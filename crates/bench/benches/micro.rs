@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of every substrate on CLEAR-shaped inputs:
+//! FFT and Welch PSD, the 123-feature window extractor, refined k-means,
+//! CNN-LSTM forward/backward, and quantized edge inference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use clear_clustering::refine::{refined_fit, RefineConfig};
+use clear_core::ClearConfig;
+use clear_edge::{Device, EdgeDeployment};
+use clear_features::{extract_window, WindowConfig};
+use clear_nn::loss::cross_entropy;
+use clear_nn::network::cnn_lstm_compact;
+use clear_nn::quantize::{lower_network, Precision};
+use clear_nn::tensor::Tensor;
+use clear_sim::{Cohort, CohortConfig, SignalConfig};
+
+fn bench_dsp(c: &mut Criterion) {
+    let signal: Vec<f32> = (0..768)
+        .map(|i| (i as f32 * 0.37).sin() + 0.2 * (i as f32 * 1.7).cos())
+        .collect();
+    c.bench_function("fft_768_zero_padded", |b| {
+        b.iter(|| clear_dsp::fft::power_spectrum(black_box(&signal)))
+    });
+    c.bench_function("welch_psd_768", |b| {
+        b.iter(|| {
+            clear_dsp::psd::welch(
+                black_box(&signal),
+                64.0,
+                &clear_dsp::psd::WelchConfig::with_segment_len(256),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("beat_detection_768", |b| {
+        b.iter(|| clear_dsp::peaks::detect_beats(black_box(&signal), 64.0).unwrap())
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let cohort = Cohort::generate(&CohortConfig::small(1));
+    let rec = &cohort.recordings()[0];
+    let sig = cohort.config().signal;
+    let w = WindowConfig::default();
+    let nb = (w.window_secs * sig.fs_bvp) as usize;
+    let ng = (w.window_secs * sig.fs_gsr) as usize;
+    let ns = (w.window_secs * sig.fs_skt) as usize;
+    let (bvp, gsr, skt) = (&rec.bvp[..nb], &rec.gsr[..ng], &rec.skt[..ns]);
+    c.bench_function("extract_123_features_one_window", |b| {
+        b.iter(|| extract_window(black_box(bvp), black_box(gsr), black_box(skt), &sig))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // 44 users × 123 features, CLEAR's actual Global Clustering shape.
+    let points: Vec<Vec<f32>> = (0..44)
+        .map(|i| {
+            (0..123)
+                .map(|j| ((i * 131 + j * 17) % 97) as f32 / 97.0 + (i % 4) as f32)
+                .collect()
+        })
+        .collect();
+    c.bench_function("refined_kmeans_44x123_k4", |b| {
+        b.iter(|| refined_fit(black_box(&points), &RefineConfig::default()))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut net = cnn_lstm_compact(123, 9, 2, 1);
+    let x = Tensor::from_vec(&[1, 123, 9], (0..123 * 9).map(|v| (v as f32).sin()).collect());
+    c.bench_function("cnn_lstm_compact_forward", |b| {
+        b.iter(|| net.forward(black_box(&x), false))
+    });
+    c.bench_function("cnn_lstm_compact_forward_backward", |b| {
+        b.iter(|| {
+            let logits = net.forward(black_box(&x), true);
+            let (_, grad) = cross_entropy(&logits, 1);
+            net.zero_grads();
+            net.backward(&grad);
+        })
+    });
+    c.bench_function("int8_lowering_full_network", |b| {
+        b.iter_batched(
+            || net.clone(),
+            |mut n| lower_network(&mut n, Precision::Int8),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_edge(c: &mut Criterion) {
+    let net = cnn_lstm_compact(123, 9, 2, 1);
+    let x = Tensor::from_vec(&[1, 123, 9], (0..123 * 9).map(|v| (v as f32).cos()).collect());
+    let mut dep = EdgeDeployment::new(net, Device::CoralTpu, &[1, 123, 9]);
+    c.bench_function("edge_int8_inference", |b| {
+        b.iter(|| dep.infer(black_box(&x)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let config = ClearConfig::quick(3);
+    c.bench_function("cohort_generation_quick", |b| {
+        b.iter(|| Cohort::generate(black_box(&config.cohort)))
+    });
+    let signal = SignalConfig::default();
+    let cohort = Cohort::generate(&CohortConfig::small(2));
+    let extractor =
+        clear_features::FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+    let _ = signal;
+    c.bench_function("feature_map_one_recording", |b| {
+        b.iter(|| extractor.feature_map(black_box(&cohort.recordings()[0])))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dsp, bench_features, bench_clustering, bench_nn, bench_edge, bench_pipeline
+);
+criterion_main!(benches);

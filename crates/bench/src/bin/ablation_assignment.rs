@@ -1,0 +1,93 @@
+//! Ablation X2: does the hierarchical sub-centroid refinement of Cluster
+//! Assignment (paper §III-B1) help, and how many internal centroids are
+//! right?
+//!
+//! For each left-out volunteer we cluster the rest (the full Global
+//! Clustering of the pipeline), then assign the volunteer from their CA
+//! budget (10 % unlabeled data) under several rules: the flat top-level
+//! centroid (sub_k = 1) and the paper's summed distance to `sub_k`
+//! internal sub-centroids. Assignments are scored against the volunteer's
+//! ground-truth archetype (majority archetype of the chosen cluster).
+//! Model training is irrelevant here, so none happens — the sweep runs in
+//! seconds.
+
+use clear_bench::config_from_args;
+use clear_clustering::hierarchy::{ClusterHierarchy, HierarchyConfig};
+use clear_clustering::refine::refined_fit;
+use clear_core::dataset::PreparedCohort;
+use clear_sim::SubjectId;
+
+fn main() {
+    let config = config_from_args();
+    eprintln!("preparing cohort...");
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let sub_ks = [1usize, 2, 3, 4];
+    let mut hits = vec![0usize; sub_ks.len()];
+
+    for (i, &vx) in subjects.iter().enumerate() {
+        let initial: Vec<SubjectId> =
+            subjects.iter().copied().filter(|&s| s != vx).collect();
+        let normalizer = data.fit_normalizer(&initial);
+        let vectors: Vec<Vec<f32>> = initial
+            .iter()
+            .map(|&s| data.user_vector(&data.indices_of(s), &normalizer))
+            .collect();
+        let mut refine = config.refine;
+        refine.kmeans.k = config.k;
+        let clustering = refined_fit(&vectors, &refine);
+
+        // Majority archetype per cluster.
+        let mut majority = vec![0usize; config.k];
+        for (c, m) in majority.iter_mut().enumerate() {
+            let mut counts = [0usize; 4];
+            for (s, &a) in initial.iter().zip(clustering.assignments()) {
+                if a == c {
+                    counts[data.archetype_of(*s)] += 1;
+                }
+            }
+            *m = counts.iter().enumerate().max_by_key(|(_, &n)| n).unwrap().0;
+        }
+
+        let indices = data.indices_of(vx);
+        let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+        let v = data.user_vector(&indices[..ca_n], &normalizer);
+        let truth = data.archetype_of(vx);
+
+        for (j, &sub_k) in sub_ks.iter().enumerate() {
+            let assigned = if sub_k == 1 {
+                clustering.predict(&v)
+            } else {
+                let h = ClusterHierarchy::build(
+                    &clustering,
+                    &vectors,
+                    &HierarchyConfig {
+                        sub_k,
+                        seed: config.hierarchy.seed,
+                    },
+                );
+                h.assign(&v)
+            };
+            if majority[assigned] == truth {
+                hits[j] += 1;
+            }
+        }
+        eprint!("\rfold {}/{}     ", i + 1, subjects.len());
+    }
+    eprintln!();
+    let n = subjects.len() as f32;
+    println!(
+        "ABLATION — cold-start assignment mechanism ({} folds, CA budget {:.0} %)\n",
+        subjects.len(),
+        config.ca_fraction * 100.0
+    );
+    println!("{:<46} {:>10}", "assignment rule", "archetype-correct");
+    for (j, &sub_k) in sub_ks.iter().enumerate() {
+        let name = if sub_k == 1 {
+            "single top-level centroid (flat)".to_string()
+        } else {
+            format!("summed distance to {sub_k} internal sub-centroids")
+        };
+        println!("{name:<46} {:>9.1}%", hits[j] as f32 / n * 100.0);
+    }
+}

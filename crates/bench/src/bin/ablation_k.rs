@@ -1,0 +1,41 @@
+//! Ablation: end-to-end accuracy as a function of the cluster count K.
+//!
+//! The paper selects K = 4 from internal clustering indices (§IV-A). This
+//! ablation asks the harder question the paper leaves implicit: does K = 4
+//! also maximize *downstream classification accuracy*? For each K we run
+//! the CL-validation protocol (intra-cluster LOSO) and report accuracy —
+//! small K under-personalizes (approaching the General model), large K
+//! starves each cluster of training data.
+
+use clear_bench::config_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::evaluation::cl_validation;
+
+fn main() {
+    let base = config_from_args();
+    eprintln!("preparing cohort...");
+    let data = PreparedCohort::prepare(&base);
+    let max_k = 6.min(data.subject_ids().len() / 2);
+
+    println!("ABLATION — cluster count K (intra-cluster LOSO accuracy)\n");
+    println!(
+        "{:>3} {:>12} {:>10} {:>12} {:>10}",
+        "K", "CL acc %", "CL std", "RT CL acc %", "RT std"
+    );
+    for k in 2..=max_k {
+        let mut config = base.clone();
+        config.k = k;
+        config.refine.kmeans.k = k;
+        let result = cl_validation(&data, &config);
+        println!(
+            "{:>3} {:>12.2} {:>10.2} {:>12.2} {:>10.2}",
+            k,
+            result.cl.accuracy_mean,
+            result.cl.accuracy_std,
+            result.rt.accuracy_mean,
+            result.rt.accuracy_std
+        );
+        eprintln!("K = {k} done");
+    }
+    println!("\npaper's operating point: K = 4 (clusters of 17/13/7/7 volunteers)");
+}

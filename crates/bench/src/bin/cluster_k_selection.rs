@@ -1,0 +1,59 @@
+//! Regenerates the §IV-A cluster-count selection: the paper picks K = 4
+//! from "the best balance between intra-cluster similarity and
+//! inter-cluster separation". This binary sweeps K over 2..=8 on the
+//! per-user feature vectors and prints WCSS (elbow), silhouette and
+//! Davies-Bouldin, plus the elbow rule's selection.
+
+use clear_bench::config_from_args;
+use clear_clustering::kmeans::{KMeans, KMeansConfig};
+use clear_clustering::quality::{davies_bouldin, elbow_k, silhouette};
+use clear_core::dataset::PreparedCohort;
+
+fn main() {
+    let config = config_from_args();
+    eprintln!("preparing cohort...");
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let normalizer = data.fit_normalizer(&subjects);
+    let vectors: Vec<Vec<f32>> = subjects
+        .iter()
+        .map(|&s| data.user_vector(&data.indices_of(s), &normalizer))
+        .collect();
+
+    println!("CLUSTER-COUNT SELECTION (paper §IV-A: K = 4 chosen)\n");
+    println!(
+        "{:>3} {:>12} {:>12} {:>14} {:>16}",
+        "K", "WCSS", "silhouette", "davies-bouldin", "cluster sizes"
+    );
+    let k_min = 2usize;
+    let k_max = 8.min(subjects.len());
+    let mut wcss_curve = Vec::new();
+    for k in k_min..=k_max {
+        let model = KMeans::new(KMeansConfig {
+            k,
+            max_iter: 100,
+            n_init: 8,
+            seed: config.seed,
+        })
+        .fit(&vectors);
+        let sil = silhouette(&vectors, model.assignments());
+        let db = davies_bouldin(&vectors, model.assignments(), model.centroids());
+        let mut sizes: Vec<usize> = (0..k).map(|c| model.members(c).len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        wcss_curve.push(model.inertia());
+        println!(
+            "{:>3} {:>12.2} {:>12.3} {:>14.3} {:>16}",
+            k,
+            model.inertia(),
+            sil,
+            db,
+            format!("{sizes:?}")
+        );
+    }
+    let chosen = elbow_k(&wcss_curve, k_min);
+    println!("\nelbow rule selects K = {chosen} (paper: K = 4)");
+    println!(
+        "ground-truth archetype sizes: {:?}",
+        config.cohort.subjects_per_archetype
+    );
+}

@@ -1,0 +1,86 @@
+//! Regenerates Figure 1: the CLEAR architecture overview, rendered as a
+//! traced end-to-end run of the pipeline — cloud stage (feature maps,
+//! Global Clustering, per-cluster pre-training) followed by the edge stage
+//! (cold-start Cluster Assignment and fine-tuning) for one new user.
+
+use clear_bench::config_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::pipeline::CloudTraining;
+use clear_nn::train;
+use clear_sim::SubjectId;
+
+fn main() {
+    let mut config = config_from_args();
+    // The trace runs one full pipeline; the quick profile keeps it snappy
+    // unless the user explicitly asked for paper scale.
+    if std::env::args().all(|a| a != "--quick") {
+        eprintln!("(running at paper scale; pass --quick for a fast trace)");
+    }
+    config.train.epochs = config.train.epochs.min(8);
+
+    println!("FIGURE 1 — CLEAR architecture, traced end to end\n");
+    println!("== cloud stage (offline) ==");
+    let t0 = std::time::Instant::now();
+    let data = PreparedCohort::prepare(&config);
+    println!(
+        "[1] feature-map generation: {} recordings -> {} maps of 123 x {} ({:.1?})",
+        data.cohort().recordings().len(),
+        data.maps().len(),
+        data.windows(),
+        t0.elapsed()
+    );
+
+    let subjects = data.subject_ids();
+    let new_user = *subjects.last().expect("cohort has subjects");
+    let initial: Vec<SubjectId> = subjects
+        .iter()
+        .copied()
+        .filter(|&s| s != new_user)
+        .collect();
+    let t1 = std::time::Instant::now();
+    let cloud = CloudTraining::fit(&data, &initial, &config);
+    println!(
+        "[2] global clustering (K = {}): cluster sizes {:?}",
+        cloud.cluster_count(),
+        (0..cloud.cluster_count())
+            .map(|c| cloud.members_of(c).len())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "[3] per-cluster pre-training: {} CNN-LSTM checkpoints ({:.1?})",
+        cloud.cluster_count(),
+        t1.elapsed()
+    );
+
+    println!("\n== edge stage (new user {new_user:?}, cold start) ==");
+    let indices = data.indices_of(new_user);
+    let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+    let ca_idx = &indices[..ca_n];
+    let assigned = cloud.assign_user(&data, ca_idx);
+    println!(
+        "[4] cluster assignment from {} unlabeled map(s) ({}% of data): cluster {}",
+        ca_n,
+        (config.ca_fraction * 100.0) as u32,
+        assigned
+    );
+    let score_before = cloud.evaluate(&data, assigned, &indices[ca_n..]);
+    println!(
+        "[5] cold-start accuracy without fine-tuning: {:.1} %",
+        score_before.accuracy * 100.0
+    );
+
+    let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
+    let ft_idx = &indices[ca_n..ca_n + ft_n];
+    let test_idx = &indices[ca_n + ft_n..];
+    let ft_ds = cloud.user_dataset(&data, ft_idx);
+    let test_ds = cloud.user_dataset(&data, test_idx);
+    let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+    let score_after = train::evaluate(&mut personalized, &test_ds);
+    println!(
+        "[6] fine-tuning with {} labeled map(s) ({}% of data): {:.1} % on held-out data",
+        ft_n,
+        (config.ft_fraction * 100.0) as u32,
+        score_after.accuracy * 100.0
+    );
+    println!("\ntotal wall clock: {:.1?}", t0.elapsed());
+}

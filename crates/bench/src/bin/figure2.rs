@@ -1,0 +1,27 @@
+//! Regenerates Figure 2: the CNN-LSTM architecture for emotion
+//! recognition from 2D feature maps, rendered as a layer-by-layer summary
+//! (shapes, parameters, FLOPs) — the faithful machine-readable equivalent
+//! of the paper's architecture diagram.
+
+use clear_bench::config_from_args;
+use clear_features::FEATURE_COUNT;
+use clear_nn::network::{cnn_lstm, cnn_lstm_compact};
+use clear_nn::summary::summarize;
+
+fn main() {
+    let config = config_from_args();
+    let windows = config.window.window_count(config.cohort.signal.stimulus_secs);
+    println!(
+        "FIGURE 2 — CNN-LSTM architecture for {} x {} feature maps\n",
+        FEATURE_COUNT, windows
+    );
+    println!("paper preset (6/12 channels, 48 LSTM units):");
+    let net = cnn_lstm(FEATURE_COUNT, windows, 2, config.seed);
+    println!("{}", summarize(&net, &[1, FEATURE_COUNT, windows]).to_table());
+    println!("compact preset used by the single-core experiment harness:");
+    let compact = cnn_lstm_compact(FEATURE_COUNT, windows, 2, config.seed);
+    println!(
+        "{}",
+        summarize(&compact, &[1, FEATURE_COUNT, windows]).to_table()
+    );
+}

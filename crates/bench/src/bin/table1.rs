@@ -1,0 +1,39 @@
+//! Regenerates Table I: accuracy/F1 of every validation protocol
+//! (General model, CL validation + RT, CLEAR w/o and w/ fine-tuning + RT).
+
+use clear_bench::{cli_from_args, maybe_write_json, print_progress};
+use clear_core::dataset::PreparedCohort;
+use clear_core::experiments::run_table1;
+
+fn main() {
+    let cli = cli_from_args();
+    let config = cli.config.clone();
+    eprintln!(
+        "table1: {} subjects, {} recordings, K = {}",
+        config.cohort.total_subjects(),
+        config.cohort.total_recordings(),
+        config.k
+    );
+    let t0 = std::time::Instant::now();
+    eprintln!("extracting feature maps...");
+    let data = PreparedCohort::prepare(&config);
+    eprintln!(
+        "extracted {} feature maps (123 x {}) in {:.1?}",
+        data.maps().len(),
+        data.windows(),
+        t0.elapsed()
+    );
+    let table = run_table1(&data, &config, print_progress);
+    println!("{}", table.render());
+    maybe_write_json(&cli, &table);
+    let violations = table.shape_violations();
+    if violations.is_empty() {
+        println!("shape check: PASS (all qualitative orderings match the paper)");
+    } else {
+        println!("shape check: {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    println!("total wall clock: {:.1?}", t0.elapsed());
+}

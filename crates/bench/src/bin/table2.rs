@@ -1,0 +1,32 @@
+//! Regenerates Table II: cloud-edge validation — per-platform accuracy
+//! (GPU / Coral TPU / Pi + NCS2, with robustness tests), on-device
+//! fine-tuning, and the simulated MTC/MPC measurement block.
+
+use clear_bench::{cli_from_args, maybe_write_json, print_progress};
+use clear_core::dataset::PreparedCohort;
+use clear_core::experiments::run_table2;
+
+fn main() {
+    let cli = cli_from_args();
+    let config = cli.config.clone();
+    eprintln!(
+        "table2: {} subjects, edge devices: GPU, Coral TPU, Pi + NCS2",
+        config.cohort.total_subjects()
+    );
+    let t0 = std::time::Instant::now();
+    eprintln!("extracting feature maps...");
+    let data = PreparedCohort::prepare(&config);
+    let table = run_table2(&data, &config, print_progress);
+    println!("{}", table.render());
+    maybe_write_json(&cli, &table);
+    let violations = table.shape_violations();
+    if violations.is_empty() {
+        println!("shape check: PASS (all qualitative orderings match the paper)");
+    } else {
+        println!("shape check: {} violation(s)", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+    }
+    println!("total wall clock: {:.1?}", t0.elapsed());
+}

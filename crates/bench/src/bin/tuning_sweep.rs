@@ -1,0 +1,97 @@
+//! Fine-tuning hyper-parameter sweep (development diagnostic).
+//!
+//! Runs a handful of CLEAR folds, fits the cloud once per fold, then
+//! fine-tunes the assigned checkpoint under several configurations —
+//! trainable tail, learning rate, L2-SP anchor — and compares each against
+//! the *same* held-out test set. This is the tool that selected the
+//! committed fine-tuning configuration; it stays in the tree so future
+//! changes to the simulator can be re-tuned in minutes.
+
+use clear_bench::config_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::pipeline::CloudTraining;
+use clear_nn::optim::OptimizerConfig;
+use clear_nn::train::{self, TrainConfig};
+use clear_sim::SubjectId;
+
+fn main() {
+    let config = config_from_args();
+    eprintln!("preparing cohort...");
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let fold_count = 12.min(subjects.len());
+
+    // (label, tail, lr, epochs, batch, l2_sp)
+    let candidates: Vec<(&str, Option<usize>, f32, usize, usize, Option<f32>)> = vec![
+        ("head lr 3e-3 sp.01", Some(1), 3e-3, 25, 2, Some(0.01)),
+        ("head lr 5e-3 sp.02", Some(1), 5e-3, 25, 2, Some(0.02)),
+        ("lstm+head 8e-4 sp.02", Some(2), 8e-4, 15, 4, Some(0.02)),
+        ("lstm+head 2e-3 sp.05", Some(2), 2e-3, 25, 2, Some(0.05)),
+        ("lstm+head 8e-4 free", Some(2), 8e-4, 15, 4, None),
+        ("all 4e-4 sp.02", None, 4e-4, 15, 4, Some(0.02)),
+    ];
+
+    let mut base_sum = 0.0f32;
+    let mut sums = vec![0.0f32; candidates.len()];
+    for (fold, &vx) in subjects.iter().take(fold_count).enumerate() {
+        let initial: Vec<SubjectId> =
+            subjects.iter().copied().filter(|&s| s != vx).collect();
+        let cloud = CloudTraining::fit(&data, &initial, &config);
+        let indices = data.indices_of(vx);
+        let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+        let assigned = cloud.assign_user(&data, &indices[..ca_n]);
+        let rest = &indices[ca_n..];
+        // Stratified FT budget: interleave labels.
+        let fear: Vec<usize> = rest
+            .iter()
+            .copied()
+            .filter(|&i| data.map_and_label(i).1 == clear_sim::Emotion::Fear)
+            .collect();
+        let calm: Vec<usize> = rest
+            .iter()
+            .copied()
+            .filter(|&i| data.map_and_label(i).1 == clear_sim::Emotion::NonFear)
+            .collect();
+        let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(2);
+        let mut ft_idx = Vec::new();
+        for i in 0..ft_n {
+            let src = if i % 2 == 0 { &fear } else { &calm };
+            if let Some(&idx) = src.get(i / 2) {
+                ft_idx.push(idx);
+            }
+        }
+        let test_idx: Vec<usize> = rest
+            .iter()
+            .copied()
+            .filter(|i| !ft_idx.contains(i))
+            .collect();
+
+        let base = cloud.evaluate(&data, assigned, &test_idx).accuracy;
+        base_sum += base;
+        let ft_ds = cloud.user_dataset(&data, &ft_idx);
+        let test_ds = cloud.user_dataset(&data, &test_idx);
+        for (ci, (_, tail, lr, epochs, batch, sp)) in candidates.iter().enumerate() {
+            let tc = TrainConfig {
+                epochs: *epochs,
+                batch_size: *batch,
+                optimizer: OptimizerConfig::adam(*lr),
+                seed: config.seed.wrapping_add(fold as u64),
+                patience: 0,
+                trainable_tail: *tail,
+                l2_sp: *sp,
+            };
+            let mut net = cloud.model(assigned).clone();
+            train::train(&mut net, &ft_ds, None, &tc);
+            sums[ci] += train::evaluate(&mut net, &test_ds).accuracy;
+        }
+        eprint!("\rfold {}/{fold_count}   ", fold + 1);
+    }
+    eprintln!();
+    let n = fold_count as f32;
+    println!("FINE-TUNING SWEEP ({fold_count} folds, same test set per fold)\n");
+    println!("{:<24} {:>10}", "configuration", "acc %");
+    println!("{:<24} {:>9.1}%", "no fine-tuning", base_sum / n * 100.0);
+    for (ci, (label, ..)) in candidates.iter().enumerate() {
+        println!("{:<24} {:>9.1}%", label, sums[ci] / n * 100.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! # clear-bench — experiment harness
+//!
+//! Thin command-line wrappers around `clear-core`'s experiment runners.
+//! One binary per paper artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table I (accuracy/F1 comparison of all validation protocols) |
+//! | `table2` | Table II (cloud-edge accuracy + MTC/MPC measurements) |
+//! | `figure1` | Figure 1 (CLEAR architecture — pipeline stage trace) |
+//! | `figure2` | Figure 2 (CNN-LSTM architecture — layer summary) |
+//! | `cluster_k_selection` | §IV-A cluster-count selection (K = 4) |
+//! | `ablation_assignment` | CA with vs. without internal sub-centroids |
+//! | `ablation_finetune` | fine-tuning label-budget sweep |
+//!
+//! All binaries accept `--quick` (reduced profile for smoke runs) and
+//! `--seed <n>`.
+
+#![forbid(unsafe_code)]
+
+use clear_core::ClearConfig;
+
+/// Shared CLI options of every experiment binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The resolved experiment configuration.
+    pub config: ClearConfig,
+    /// Where to additionally write the machine-readable results, when the
+    /// user passed `--json <path>`.
+    pub json_path: Option<std::path::PathBuf>,
+}
+
+/// Parses the shared CLI flags (`--quick`, `--seed <n>`, `--json <path>`).
+///
+/// Unknown flags abort with a usage message.
+pub fn cli_from_args() -> Cli {
+    let mut quick = false;
+    let mut seed = 2025u64;
+    let mut json_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--json" => {
+                json_path = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--json needs a path")),
+                ));
+            }
+            "--help" | "-h" => usage("usage"),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    let config = if quick {
+        ClearConfig::quick(seed)
+    } else {
+        ClearConfig::paper(seed)
+    };
+    Cli { config, json_path }
+}
+
+/// Backwards-compatible helper returning only the configuration.
+pub fn config_from_args() -> ClearConfig {
+    cli_from_args().config
+}
+
+/// Writes serializable results to the `--json` path if one was given.
+pub fn maybe_write_json<T: serde::Serialize>(cli: &Cli, results: &T) {
+    if let Some(path) = &cli.json_path {
+        match serde_json::to_string_pretty(results) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => eprintln!("results written to {}", path.display()),
+                Err(e) => eprintln!("could not write {}: {e}", path.display()),
+            },
+            Err(e) => eprintln!("could not serialize results: {e}"),
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: <binary> [--quick] [--seed <n>] [--json <path>]");
+    std::process::exit(2);
+}
+
+/// Prints a `(stage, done, total)` progress line in place.
+pub fn print_progress(stage: &str, done: usize, total: usize) {
+    eprint!("\r{stage}: {done}/{total}        ");
+    if done == total {
+        eprintln!();
+    }
+}

@@ -1,0 +1,241 @@
+//! Sub-centroid hierarchy and cold-start cluster assignment.
+//!
+//! Paper §III-B1: when a new user enters the system with only unlabeled
+//! data, CLEAR computes *internal centroids* `C_{k,i}` for sub-clusters
+//! within each main cluster and assigns the user to *"the cluster that
+//! minimizes the overall summation of distances to these internal
+//! centroids"*. The hierarchy captures within-cluster structure that a
+//! single centroid blurs, making the unsupervised assignment markedly more
+//! accurate near cluster boundaries.
+
+use crate::kmeans::{KMeans, KMeansConfig, KMeansModel};
+use crate::distance;
+use serde::{Deserialize, Serialize};
+
+/// Per-cluster internal sub-centroids supporting cold-start assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterHierarchy {
+    /// `sub_centroids[k]` holds the internal centroids `C_{k,i}` of main
+    /// cluster `k`.
+    sub_centroids: Vec<Vec<Vec<f32>>>,
+}
+
+/// Configuration of the hierarchy construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Maximum sub-clusters per main cluster; clusters with fewer members
+    /// get one sub-centroid per member.
+    pub sub_k: usize,
+    /// RNG seed for the internal k-means runs.
+    pub seed: u64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self { sub_k: 3, seed: 17 }
+    }
+}
+
+impl ClusterHierarchy {
+    /// Builds the hierarchy from a fitted top-level model and the training
+    /// points it was fit on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() != model.assignments().len()` or
+    /// `config.sub_k == 0`.
+    pub fn build(model: &KMeansModel, points: &[Vec<f32>], config: &HierarchyConfig) -> Self {
+        assert_eq!(
+            points.len(),
+            model.assignments().len(),
+            "points must be the model's training set"
+        );
+        assert!(config.sub_k > 0, "sub_k must be positive");
+        let mut sub_centroids = Vec::with_capacity(model.k());
+        for c in 0..model.k() {
+            let members: Vec<Vec<f32>> = model
+                .members(c)
+                .into_iter()
+                .map(|i| points[i].clone())
+                .collect();
+            if members.is_empty() {
+                // Degenerate cluster: fall back to its top-level centroid.
+                sub_centroids.push(vec![model.centroids()[c].clone()]);
+                continue;
+            }
+            let k = config.sub_k.min(members.len());
+            let sub = KMeans::new(KMeansConfig {
+                k,
+                max_iter: 50,
+                n_init: 4,
+                seed: config.seed.wrapping_add(c as u64),
+            })
+            .fit(&members);
+            sub_centroids.push(sub.centroids().to_vec());
+        }
+        Self { sub_centroids }
+    }
+
+    /// Number of main clusters.
+    pub fn k(&self) -> usize {
+        self.sub_centroids.len()
+    }
+
+    /// The internal centroids of main cluster `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn sub_centroids(&self, k: usize) -> &[Vec<f32>] {
+        &self.sub_centroids[k]
+    }
+
+    /// Mean distance from `p` to cluster `k`'s internal centroids — the
+    /// paper's assignment score (normalized by sub-cluster count so
+    /// clusters with more internal centroids are not penalized).
+    pub fn score(&self, p: &[f32], k: usize) -> f32 {
+        let subs = &self.sub_centroids[k];
+        subs.iter().map(|c| distance(p, c)).sum::<f32>() / subs.len() as f32
+    }
+
+    /// Cold-start assignment: the cluster minimizing [`Self::score`].
+    pub fn assign(&self, p: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_s = f32::INFINITY;
+        for k in 0..self.k() {
+            let s = self.score(p, k);
+            if s < best_s {
+                best_s = s;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// Assignment scores for all clusters, ascending by cluster index.
+    pub fn scores(&self, p: &[f32]) -> Vec<f32> {
+        (0..self.k()).map(|k| self.score(p, k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two elongated bar clusters where single centroids blur structure.
+    /// (Bars are kept shorter than their separation so the top-level
+    /// k-means reliably splits them apart rather than along the bars.)
+    fn elongated() -> (Vec<Vec<f32>>, KMeansModel) {
+        let mut pts = Vec::new();
+        // Cluster 0: horizontal bar y≈0, x in [0, 5.7].
+        for i in 0..20 {
+            pts.push(vec![i as f32 * 0.3, (i % 3) as f32 * 0.1]);
+        }
+        // Cluster 1: horizontal bar y≈5, x in [0, 5.7].
+        for i in 0..20 {
+            pts.push(vec![i as f32 * 0.3, 5.0 + (i % 3) as f32 * 0.1]);
+        }
+        let model = KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&pts);
+        (pts, model)
+    }
+
+    #[test]
+    fn hierarchy_has_requested_structure() {
+        let (pts, model) = elongated();
+        let h = ClusterHierarchy::build(&model, &pts, &HierarchyConfig::default());
+        assert_eq!(h.k(), 2);
+        for k in 0..2 {
+            assert_eq!(h.sub_centroids(k).len(), 3);
+        }
+    }
+
+    #[test]
+    fn assignment_matches_obvious_membership() {
+        let (pts, model) = elongated();
+        let h = ClusterHierarchy::build(&model, &pts, &HierarchyConfig::default());
+        // A point clearly on the y≈0 bar.
+        let low = vec![3.0f32, 0.05];
+        let high = vec![3.0f32, 5.05];
+        let c_low = h.assign(&low);
+        let c_high = h.assign(&high);
+        assert_ne!(c_low, c_high);
+        assert_eq!(c_low, model.predict(&low));
+        assert_eq!(c_high, model.predict(&high));
+    }
+
+    #[test]
+    fn sub_centroids_capture_elongation_better_than_single_centroid() {
+        // Point at the far end of the elongated cluster 0: the single
+        // top-level centroid sits at the bar's middle, but a sub-centroid
+        // sits near the end, shrinking the assignment score.
+        let (pts, model) = elongated();
+        let h = ClusterHierarchy::build(&model, &pts, &HierarchyConfig::default());
+        let end_point = vec![5.6f32, 0.0];
+        let own = model.predict(&end_point);
+        let d_top = distance(&end_point, &model.centroids()[own]);
+        let d_best_sub = h.sub_centroids(own)
+            .iter()
+            .map(|c| distance(&end_point, c))
+            .fold(f32::INFINITY, f32::min);
+        assert!(d_best_sub < d_top, "sub {d_best_sub} vs top {d_top}");
+    }
+
+    #[test]
+    fn scores_are_consistent_with_assign() {
+        let (pts, model) = elongated();
+        let h = ClusterHierarchy::build(&model, &pts, &HierarchyConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = vec![rng.gen_range(0.0..6.0f32), rng.gen_range(-1.0..6.0f32)];
+            let scores = h.scores(&p);
+            let argmin = scores
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(h.assign(&p), argmin);
+        }
+    }
+
+    #[test]
+    fn tiny_clusters_degrade_gracefully() {
+        let pts = vec![vec![0.0f32], vec![0.1], vec![10.0]];
+        let model = KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&pts);
+        let h = ClusterHierarchy::build(
+            &model,
+            &pts,
+            &HierarchyConfig {
+                sub_k: 5,
+                seed: 1,
+            },
+        );
+        // Each cluster has at most as many sub-centroids as members.
+        for k in 0..h.k() {
+            assert!(h.sub_centroids(k).len() <= 2);
+            assert!(!h.sub_centroids(k).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "training set")]
+    fn mismatched_points_panic() {
+        let pts = vec![vec![0.0f32], vec![1.0]];
+        let model = KMeans::new(KMeansConfig {
+            k: 1,
+            ..Default::default()
+        })
+        .fit(&pts);
+        let _ = ClusterHierarchy::build(&model, &pts[..1].to_vec(), &HierarchyConfig::default());
+    }
+}

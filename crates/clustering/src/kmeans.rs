@@ -1,0 +1,414 @@
+//! Lloyd's k-means with k-means++ seeding and restarts.
+
+use crate::{centroid_of, distance_sq};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a k-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Independent k-means++ restarts; the lowest-inertia run wins.
+    pub n_init: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            max_iter: 100,
+            n_init: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// The k-means estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansModel {
+    centroids: Vec<Vec<f32>>,
+    assignments: Vec<usize>,
+    inertia: f32,
+}
+
+impl KMeans {
+    /// Creates an estimator with `config`.
+    pub fn new(config: KMeansConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fits the model to `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, `k == 0`, or `k > points.len()`.
+    pub fn fit(&self, points: &[Vec<f32>]) -> KMeansModel {
+        let k = self.config.k;
+        assert!(!points.is_empty(), "k-means needs at least one point");
+        assert!(k > 0, "k must be positive");
+        assert!(
+            k <= points.len(),
+            "k ({k}) cannot exceed the number of points ({})",
+            points.len()
+        );
+        let mut best: Option<KMeansModel> = None;
+        for restart in 0..self.config.n_init.max(1) {
+            let mut rng = SmallRng::seed_from_u64(
+                self.config.seed.wrapping_add(restart as u64 * 0x9E37_79B9),
+            );
+            let model = self.fit_once(points, &mut rng);
+            if best.as_ref().map_or(true, |b| model.inertia < b.inertia) {
+                best = Some(model);
+            }
+        }
+        best.expect("at least one restart ran")
+    }
+
+    fn fit_once(&self, points: &[Vec<f32>], rng: &mut SmallRng) -> KMeansModel {
+        let k = self.config.k;
+        let mut centroids = plus_plus_init(points, k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        for _ in 0..self.config.max_iter {
+            // Assign.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let nearest = nearest_centroid(p, &centroids);
+                if assignments[i] != nearest {
+                    assignments[i] = nearest;
+                    changed = true;
+                }
+            }
+            // Update.
+            let mut empties = Vec::new();
+            for (ci, c) in centroids.iter_mut().enumerate() {
+                let members: Vec<&[f32]> = points
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == ci)
+                    .map(|(p, _)| p.as_slice())
+                    .collect();
+                if members.is_empty() {
+                    empties.push(ci);
+                } else {
+                    *c = centroid_of(&members);
+                }
+            }
+            // Re-seed each empty cluster at the point farthest from its
+            // assigned centroid (the classic splitting heuristic).
+            for ci in empties {
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let da = distance_sq(p, &centroids[assignments[*i]]);
+                        let db = distance_sq(q, &centroids[assignments[*j]]);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[ci] = points[far].clone();
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| distance_sq(p, &centroids[a]))
+            .sum();
+        KMeansModel {
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+}
+
+fn plus_plus_init(points: &[Vec<f32>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f32>> {
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f32> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| distance_sq(p, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+        let total: f32 = d2.iter().sum();
+        let next = if total <= f32::EPSILON {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+    }
+    centroids
+}
+
+/// Index of the centroid nearest to `p`.
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty.
+pub fn nearest_centroid(p: &[f32], centroids: &[Vec<f32>]) -> usize {
+    assert!(!centroids.is_empty(), "no centroids to compare against");
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance_sq(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+impl KMeansModel {
+    /// Builds a model directly from centroids (used by the refinement
+    /// stage and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` is empty.
+    pub fn from_centroids(centroids: Vec<Vec<f32>>, points: &[Vec<f32>]) -> Self {
+        assert!(!centroids.is_empty(), "model needs at least one centroid");
+        let assignments: Vec<usize> = points
+            .iter()
+            .map(|p| nearest_centroid(p, &centroids))
+            .collect();
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| distance_sq(p, &centroids[a]))
+            .sum();
+        Self {
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+
+    /// Fitted cluster centers.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Cluster index of each training point.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances of points to their assigned centroids.
+    pub fn inertia(&self) -> f32 {
+        self.inertia
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Predicts the cluster of a new point.
+    pub fn predict(&self, p: &[f32]) -> usize {
+        nearest_centroid(p, &self.centroids)
+    }
+
+    /// Indices of training points in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four well-separated Gaussian-ish blobs in 2D.
+    fn blobs(per: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                pts.push(vec![
+                    c[0] + rng.gen_range(-1.0..1.0f32),
+                    c[1] + rng.gen_range(-1.0..1.0f32),
+                ]);
+                labels.push(ci);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (pts, labels) = blobs(20, 1);
+        let model = KMeans::new(KMeansConfig {
+            k: 4,
+            ..Default::default()
+        })
+        .fit(&pts);
+        // Every ground-truth blob maps to exactly one cluster.
+        for blob in 0..4 {
+            let clusters: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(model.assignments())
+                .filter(|(&l, _)| l == blob)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(clusters.len(), 1, "blob {blob} split across clusters");
+        }
+    }
+
+    #[test]
+    fn assignments_minimize_distance_invariant() {
+        let (pts, _) = blobs(15, 2);
+        let model = KMeans::new(KMeansConfig {
+            k: 4,
+            ..Default::default()
+        })
+        .fit(&pts);
+        for (p, &a) in pts.iter().zip(model.assignments()) {
+            let da = distance_sq(p, &model.centroids()[a]);
+            for c in model.centroids() {
+                assert!(da <= distance_sq(p, c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn centroids_are_member_means() {
+        let (pts, _) = blobs(10, 3);
+        let model = KMeans::new(KMeansConfig {
+            k: 4,
+            ..Default::default()
+        })
+        .fit(&pts);
+        for c in 0..model.k() {
+            let members = model.members(c);
+            if members.is_empty() {
+                continue;
+            }
+            let mpts: Vec<&[f32]> = members.iter().map(|&i| pts[i].as_slice()).collect();
+            let mean = centroid_of(&mpts);
+            for (a, b) in mean.iter().zip(&model.centroids()[c]) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (pts, _) = blobs(10, 4);
+        let cfg = KMeansConfig {
+            k: 4,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = KMeans::new(cfg).fit(&pts);
+        let b = KMeans::new(cfg).fit(&pts);
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts = vec![vec![0.0f32], vec![5.0], vec![9.0]];
+        let model = KMeans::new(KMeansConfig {
+            k: 3,
+            ..Default::default()
+        })
+        .fit(&pts);
+        assert!(model.inertia() < 1e-6);
+    }
+
+    #[test]
+    fn k_one_centroid_is_global_mean() {
+        let pts = vec![vec![0.0f32, 0.0], vec![2.0, 2.0], vec![4.0, 4.0]];
+        let model = KMeans::new(KMeansConfig {
+            k: 1,
+            ..Default::default()
+        })
+        .fit(&pts);
+        assert_eq!(model.centroids()[0], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn k_larger_than_n_panics() {
+        let pts = vec![vec![0.0f32]];
+        let _ = KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        })
+        .fit(&pts);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let (pts, _) = blobs(8, 5);
+        let model = KMeans::new(KMeansConfig {
+            k: 4,
+            ..Default::default()
+        })
+        .fit(&pts);
+        for (p, &a) in pts.iter().zip(model.assignments()) {
+            assert_eq!(model.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn from_centroids_round_trip() {
+        let pts = vec![vec![0.0f32], vec![1.0], vec![10.0], vec![11.0]];
+        let model = KMeansModel::from_centroids(vec![vec![0.5], vec![10.5]], &pts);
+        assert_eq!(model.assignments(), &[0, 0, 1, 1]);
+        assert!((model.inertia() - 1.0).abs() < 1e-5);
+        assert_eq!(model.members(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![vec![1.0f32, 1.0]; 10];
+        let model = KMeans::new(KMeansConfig {
+            k: 3,
+            ..Default::default()
+        })
+        .fit(&pts);
+        assert!(model.inertia() < 1e-6);
+        assert_eq!(model.k(), 3);
+    }
+}

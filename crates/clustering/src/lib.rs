@@ -1,0 +1,105 @@
+//! # clear-clustering — clustering substrate for CLEAR
+//!
+//! Implements the clustering machinery of the CLEAR methodology:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and multiple
+//!   restarts, the base clusterer;
+//! * [`refine`] — the iterative subset-resampling refinement of
+//!   Gutiérrez-Martín et al. [19] used for Global Clustering (paper
+//!   §III-A2): training subsets are repeatedly sampled, centroids
+//!   recomputed, and users reassigned when their cluster is no longer
+//!   closest;
+//! * [`hierarchy`] — per-cluster internal sub-centroids and the cold-start
+//!   Cluster Assignment rule (paper §III-B1): a new, unlabeled user joins
+//!   the cluster minimizing the summed distance to that cluster's internal
+//!   centroids;
+//! * [`quality`] — WCSS/elbow, silhouette, Davies-Bouldin, plus external
+//!   agreement indices (adjusted Rand index, purity) for scoring recovered
+//!   clusters against ground-truth archetypes.
+//!
+//! Points are `&[f32]` slices of equal dimension; all algorithms are
+//! deterministic given their seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_clustering::kmeans::{KMeans, KMeansConfig};
+//!
+//! // Two obvious blobs on a line.
+//! let points: Vec<Vec<f32>> = (0..10)
+//!     .map(|i| vec![if i < 5 { 0.0 } else { 10.0 } + i as f32 * 0.01])
+//!     .collect();
+//! let model = KMeans::new(KMeansConfig { k: 2, ..Default::default() }).fit(&points);
+//! assert_eq!(model.centroids().len(), 2);
+//! let a = model.predict(&points[0]);
+//! let b = model.predict(&points[9]);
+//! assert_ne!(a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod kmeans;
+pub mod quality;
+pub mod refine;
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics in debug builds when lengths differ.
+pub fn distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+pub fn distance(a: &[f32], b: &[f32]) -> f32 {
+    distance_sq(a, b).sqrt()
+}
+
+/// Mean of a set of points (dimension taken from the first point).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn centroid_of(points: &[&[f32]]) -> Vec<f32> {
+    assert!(!points.is_empty(), "centroid of zero points is undefined");
+    let dim = points[0].len();
+    let mut c = vec![0.0f32; dim];
+    for p in points {
+        for (acc, v) in c.iter_mut().zip(*p) {
+            *acc += v;
+        }
+    }
+    for v in &mut c {
+        *v /= points.len() as f32;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        assert_eq!(distance_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn centroid_mean() {
+        let a = [0.0f32, 0.0];
+        let b = [2.0f32, 4.0];
+        assert_eq!(centroid_of(&[&a, &b]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn centroid_empty_panics() {
+        let _ = centroid_of(&[]);
+    }
+}

@@ -1,0 +1,336 @@
+//! Internal and external clustering quality indices.
+//!
+//! The paper selects `K = 4` from a "preliminary analysis [of] the best
+//! balance between intra-cluster similarity and inter-cluster separation" —
+//! i.e. the standard internal indices implemented here (WCSS/elbow,
+//! silhouette, Davies-Bouldin). External agreement indices (adjusted Rand
+//! index, purity) score recovered clusters against the simulator's
+//! ground-truth archetypes in tests and ablations.
+
+use crate::{distance, distance_sq};
+
+/// Within-cluster sum of squares of a labeled partition.
+///
+/// # Panics
+///
+/// Panics if `points.len() != labels.len()`.
+pub fn wcss(points: &[Vec<f32>], labels: &[usize], centroids: &[Vec<f32>]) -> f32 {
+    assert_eq!(points.len(), labels.len(), "labels must match points");
+    points
+        .iter()
+        .zip(labels)
+        .map(|(p, &l)| distance_sq(p, &centroids[l]))
+        .sum()
+}
+
+/// Mean silhouette coefficient of a partition, in `[-1, 1]`.
+///
+/// Returns `0.0` when every point sits in one cluster (undefined) or when
+/// there are fewer than 2 points.
+///
+/// # Panics
+///
+/// Panics if `points.len() != labels.len()`.
+pub fn silhouette(points: &[Vec<f32>], labels: &[usize]) -> f32 {
+    assert_eq!(points.len(), labels.len(), "labels must match points");
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let own = labels[i];
+        // Mean intra-cluster distance a(i) and per-cluster mean distances.
+        let mut sums = vec![0.0f32; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += distance(&points[i], &points[j]);
+            counts[labels[j]] += 1;
+        }
+        if counts[own] == 0 {
+            continue; // singleton: silhouette undefined, skip
+        }
+        let a = sums[own] / counts[own] as f32;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > f32::EPSILON {
+            total += (b - a) / denom;
+        }
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+/// Davies-Bouldin index (lower is better).
+///
+/// Returns `0.0` for degenerate partitions (fewer than 2 non-empty
+/// clusters).
+///
+/// # Panics
+///
+/// Panics if `points.len() != labels.len()`.
+pub fn davies_bouldin(points: &[Vec<f32>], labels: &[usize], centroids: &[Vec<f32>]) -> f32 {
+    assert_eq!(points.len(), labels.len(), "labels must match points");
+    let k = centroids.len();
+    // Per-cluster scatter: mean distance of members to their centroid.
+    let mut scatter = vec![0.0f32; k];
+    let mut counts = vec![0usize; k];
+    for (p, &l) in points.iter().zip(labels) {
+        scatter[l] += distance(p, &centroids[l]);
+        counts[l] += 1;
+    }
+    let active: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+    if active.len() < 2 {
+        return 0.0;
+    }
+    for c in &active {
+        scatter[*c] /= counts[*c] as f32;
+    }
+    let mut total = 0.0f32;
+    for &i in &active {
+        let worst = active
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| {
+                let sep = distance(&centroids[i], &centroids[j]).max(f32::MIN_POSITIVE);
+                (scatter[i] + scatter[j]) / sep
+            })
+            .fold(0.0f32, f32::max);
+        total += worst;
+    }
+    total / active.len() as f32
+}
+
+/// Selects `k` by the elbow rule over WCSS values computed for
+/// `k = k_min..=k_max`: the k with the largest curvature (second
+/// difference) of the **log**-WCSS curve. The log scale makes the rule
+/// insensitive to the absolute magnitude of the first drop, which would
+/// otherwise always win.
+///
+/// `wcss_by_k[i]` must correspond to `k = k_min + i`.
+///
+/// # Panics
+///
+/// Panics if fewer than 3 WCSS values are given.
+pub fn elbow_k(wcss_by_k: &[f32], k_min: usize) -> usize {
+    assert!(
+        wcss_by_k.len() >= 3,
+        "elbow needs at least 3 candidate k values"
+    );
+    let logs: Vec<f32> = wcss_by_k.iter().map(|w| w.max(1e-12).ln()).collect();
+    let mut best_k = k_min + 1;
+    let mut best_curv = f32::NEG_INFINITY;
+    for i in 1..logs.len() - 1 {
+        let curv = logs[i - 1] - 2.0 * logs[i] + logs[i + 1];
+        if curv > best_curv {
+            best_curv = curv;
+            best_k = k_min + i;
+        }
+    }
+    best_k
+}
+
+/// Adjusted Rand index between two labelings, in `[-1, 1]`; `1` means
+/// identical partitions (up to relabeling), `≈0` means chance agreement.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths or are empty.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f32 {
+    assert_eq!(a.len(), b.len(), "labelings must have equal length");
+    assert!(!a.is_empty(), "labelings must be non-empty");
+    let ka = a.iter().copied().max().unwrap() + 1;
+    let kb = b.iter().copied().max().unwrap() + 1;
+    // Contingency table.
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let comb2 = |n: u64| -> f64 { (n as f64) * (n as f64 - 1.0) / 2.0 };
+    let sum_ij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&n| comb2(n))
+        .sum();
+    let sum_a: f64 = table.iter().map(|row| comb2(row.iter().sum())).sum();
+    let sum_b: f64 = (0..kb)
+        .map(|j| comb2(table.iter().map(|row| row[j]).sum()))
+        .sum();
+    let total = comb2(a.len() as u64);
+    let expected = sum_a * sum_b / total.max(1.0);
+    let max_index = (sum_a + sum_b) / 2.0;
+    let denom = max_index - expected;
+    if denom.abs() < 1e-12 {
+        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    ((sum_ij - expected) / denom) as f32
+}
+
+/// Purity of predicted clusters against ground truth, in `(0, 1]`: the
+/// fraction of points whose cluster's majority truth label matches their
+/// own.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths or are empty.
+pub fn purity(predicted: &[usize], truth: &[usize]) -> f32 {
+    assert_eq!(predicted.len(), truth.len(), "labelings must have equal length");
+    assert!(!predicted.is_empty(), "labelings must be non-empty");
+    let kp = predicted.iter().copied().max().unwrap() + 1;
+    let kt = truth.iter().copied().max().unwrap() + 1;
+    let mut table = vec![vec![0usize; kt]; kp];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        table[p][t] += 1;
+    }
+    let correct: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    correct as f32 / predicted.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{KMeans, KMeansConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(per: usize, sep: f32, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..per {
+                pts.push(vec![
+                    c as f32 * sep + rng.gen_range(-1.0..1.0f32),
+                    rng.gen_range(-1.0..1.0f32),
+                ]);
+                labels.push(c);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_merged() {
+        let (far_pts, far_labels) = blobs(15, 20.0, 1);
+        let (near_pts, near_labels) = blobs(15, 1.0, 1);
+        let s_far = silhouette(&far_pts, &far_labels);
+        let s_near = silhouette(&near_pts, &near_labels);
+        assert!(s_far > 0.8, "separated silhouette {s_far}");
+        assert!(s_near < s_far);
+    }
+
+    #[test]
+    fn silhouette_degenerate_cases() {
+        assert_eq!(silhouette(&[vec![0.0]], &[0]), 0.0);
+        let pts = vec![vec![0.0f32], vec![1.0]];
+        assert_eq!(silhouette(&pts, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_separation() {
+        let (far_pts, far_labels) = blobs(15, 20.0, 2);
+        let (near_pts, near_labels) = blobs(15, 2.0, 2);
+        let centroids = |pts: &[Vec<f32>], labels: &[usize]| -> Vec<Vec<f32>> {
+            (0..3)
+                .map(|c| {
+                    let members: Vec<&[f32]> = pts
+                        .iter()
+                        .zip(labels)
+                        .filter(|(_, &l)| l == c)
+                        .map(|(p, _)| p.as_slice())
+                        .collect();
+                    crate::centroid_of(&members)
+                })
+                .collect()
+        };
+        let db_far = davies_bouldin(&far_pts, &far_labels, &centroids(&far_pts, &far_labels));
+        let db_near = davies_bouldin(&near_pts, &near_labels, &centroids(&near_pts, &near_labels));
+        assert!(db_far < db_near);
+    }
+
+    #[test]
+    fn wcss_decreases_with_k() {
+        let (pts, _) = blobs(20, 8.0, 3);
+        let mut last = f32::INFINITY;
+        for k in 1..=5 {
+            let m = KMeans::new(KMeansConfig {
+                k,
+                ..Default::default()
+            })
+            .fit(&pts);
+            let w = wcss(&pts, m.assignments(), m.centroids());
+            assert!(w <= last + 1e-3, "wcss rose at k={k}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn elbow_finds_true_k_on_blobs() {
+        let (pts, _) = blobs(25, 15.0, 4); // 3 true clusters
+        let wcss_curve: Vec<f32> = (1..=6)
+            .map(|k| {
+                let m = KMeans::new(KMeansConfig {
+                    k,
+                    ..Default::default()
+                })
+                .fit(&pts);
+                m.inertia()
+            })
+            .collect();
+        assert_eq!(elbow_k(&wcss_curve, 1), 3);
+    }
+
+    #[test]
+    fn ari_identical_permuted_and_random() {
+        let truth = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let same = truth.clone();
+        let permuted = vec![2, 2, 2, 0, 0, 0, 1, 1, 1];
+        assert!((adjusted_rand_index(&truth, &same) - 1.0).abs() < 1e-6);
+        assert!((adjusted_rand_index(&truth, &permuted) - 1.0).abs() < 1e-6);
+        let anti = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+        assert!(adjusted_rand_index(&truth, &anti) < 0.1);
+    }
+
+    #[test]
+    fn purity_bounds_and_known_value() {
+        let truth = vec![0, 0, 1, 1];
+        assert_eq!(purity(&[0, 0, 1, 1], &truth), 1.0);
+        assert_eq!(purity(&[1, 1, 0, 0], &truth), 1.0); // label-invariant
+        assert_eq!(purity(&[0, 0, 0, 0], &truth), 0.5);
+        // Mixed cluster: {0,0,1} majority 0 (2 right), {1} right → 3/4.
+        assert_eq!(purity(&[0, 0, 0, 1], &truth), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ari_length_mismatch_panics() {
+        let _ = adjusted_rand_index(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn elbow_too_few_panics() {
+        let _ = elbow_k(&[1.0, 0.5], 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Iterative subset-resampling refinement of Global Clustering.
+//!
+//! Implements the refinement loop of Gutiérrez-Martín et al. [19] as used
+//! by the paper (§III-A2): after an initial k-means solution, *"training
+//! subsets of data are repeatedly sampled, and the centroids are
+//! recalculated. Users are reassigned if their current cluster is no longer
+//! the closest based on the updated centroids."* The resampling makes the
+//! final partition robust to outlier users dominating a centroid.
+
+use crate::kmeans::{nearest_centroid, KMeans, KMeansConfig, KMeansModel};
+use crate::{centroid_of, distance_sq};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the refinement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Base k-means configuration (k, restarts, seed).
+    pub kmeans: KMeansConfig,
+    /// Number of resampling rounds.
+    pub rounds: usize,
+    /// Fraction of each cluster's members sampled per round, in `(0, 1]`.
+    pub subset_fraction: f32,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self {
+            kmeans: KMeansConfig::default(),
+            rounds: 25,
+            subset_fraction: 0.8,
+        }
+    }
+}
+
+/// Fits the refined clustering: k-means initialization followed by
+/// subset-resampled centroid updates with reassignment; the lowest-inertia
+/// partition seen across rounds is returned.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`KMeans::fit`], or when
+/// `subset_fraction` is outside `(0, 1]`.
+pub fn refined_fit(points: &[Vec<f32>], config: &RefineConfig) -> KMeansModel {
+    assert!(
+        config.subset_fraction > 0.0 && config.subset_fraction <= 1.0,
+        "subset_fraction must lie in (0, 1]"
+    );
+    let base = KMeans::new(config.kmeans).fit(points);
+    let k = base.k();
+    let mut rng = SmallRng::seed_from_u64(config.kmeans.seed.wrapping_add(0xC0FFEE));
+
+    let mut centroids = base.centroids().to_vec();
+    let mut assignments = base.assignments().to_vec();
+    let mut best = base;
+
+    for _ in 0..config.rounds {
+        // Sample a subset of each cluster and recompute its centroid from
+        // the subset only.
+        for c in 0..k {
+            let mut members: Vec<usize> = assignments
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == c)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            members.shuffle(&mut rng);
+            let take = ((members.len() as f32 * config.subset_fraction).ceil() as usize)
+                .clamp(1, members.len());
+            let subset: Vec<&[f32]> = members[..take].iter().map(|&i| points[i].as_slice()).collect();
+            centroids[c] = centroid_of(&subset);
+        }
+        // Reassign all users against the refreshed centroids.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest_centroid(p, &centroids);
+        }
+        // Stabilize: recompute centroids as full-member means, giving a
+        // proper partition to score.
+        for c in 0..k {
+            let members: Vec<&[f32]> = points
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| p.as_slice())
+                .collect();
+            if !members.is_empty() {
+                centroids[c] = centroid_of(&members);
+            }
+        }
+        let inertia: f32 = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| distance_sq(p, &centroids[a]))
+            .sum();
+        if inertia < best.inertia() {
+            best = KMeansModel::from_centroids(centroids.clone(), points);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs_with_outliers(seed: u64) -> Vec<Vec<f32>> {
+        let centers = [[0.0f32, 0.0], [12.0, 0.0], [0.0, 12.0], [12.0, 12.0]];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for c in &centers {
+            for _ in 0..12 {
+                pts.push(vec![
+                    c[0] + rng.gen_range(-1.2..1.2f32),
+                    c[1] + rng.gen_range(-1.2..1.2f32),
+                ]);
+            }
+            // One far outlier per blob.
+            pts.push(vec![c[0] + 4.0, c[1] + 4.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn refinement_never_worsens_inertia() {
+        let pts = blobs_with_outliers(3);
+        let config = RefineConfig::default();
+        let base = KMeans::new(config.kmeans).fit(&pts);
+        let refined = refined_fit(&pts, &config);
+        assert!(refined.inertia() <= base.inertia() + 1e-3);
+    }
+
+    #[test]
+    fn refined_assignments_minimize_distance() {
+        let pts = blobs_with_outliers(5);
+        let model = refined_fit(&pts, &RefineConfig::default());
+        for (p, &a) in pts.iter().zip(model.assignments()) {
+            let da = distance_sq(p, &model.centroids()[a]);
+            for c in model.centroids() {
+                assert!(da <= distance_sq(p, c) + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let pts = blobs_with_outliers(7);
+        let a = refined_fit(&pts, &RefineConfig::default());
+        let b = refined_fit(&pts, &RefineConfig::default());
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn full_subset_fraction_behaves_like_lloyd() {
+        let pts = blobs_with_outliers(9);
+        let config = RefineConfig {
+            subset_fraction: 1.0,
+            rounds: 5,
+            ..Default::default()
+        };
+        let model = refined_fit(&pts, &config);
+        assert_eq!(model.k(), 4);
+        assert!(model.inertia().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "subset_fraction")]
+    fn invalid_fraction_panics() {
+        let pts = vec![vec![0.0f32]; 8];
+        let config = RefineConfig {
+            subset_fraction: 0.0,
+            ..Default::default()
+        };
+        let _ = refined_fit(&pts, &config);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the clustering substrate's invariants.
+
+use clear_clustering::hierarchy::{ClusterHierarchy, HierarchyConfig};
+use clear_clustering::kmeans::{KMeans, KMeansConfig};
+use clear_clustering::quality::{adjusted_rand_index, purity, silhouette, wcss};
+use clear_clustering::{centroid_of, distance_sq};
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 3), 4..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After convergence every point sits in its nearest cluster and each
+    /// non-empty centroid is the mean of its members.
+    #[test]
+    fn kmeans_fixed_point_invariants(points in points_strategy(), k in 1usize..4) {
+        prop_assume!(k <= points.len());
+        let model = KMeans::new(KMeansConfig { k, max_iter: 200, n_init: 2, seed: 7 })
+            .fit(&points);
+        for (p, &a) in points.iter().zip(model.assignments()) {
+            let da = distance_sq(p, &model.centroids()[a]);
+            for c in model.centroids() {
+                prop_assert!(da <= distance_sq(p, c) + 1e-3);
+            }
+        }
+        for c in 0..k {
+            let members: Vec<&[f32]> = model
+                .members(c)
+                .into_iter()
+                .map(|i| points[i].as_slice())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mean = centroid_of(&members);
+            for (a, b) in mean.iter().zip(&model.centroids()[c]) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+        // Reported inertia is consistent with the WCSS definition.
+        let w = wcss(&points, model.assignments(), model.centroids());
+        prop_assert!((w - model.inertia()).abs() < 1e-2 * (1.0 + w));
+    }
+
+    /// ARI is symmetric, 1 on identical labelings, and label-permutation
+    /// invariant.
+    #[test]
+    fn ari_properties(labels in prop::collection::vec(0usize..4, 4..48)) {
+        prop_assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-5);
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        prop_assert!((adjusted_rand_index(&labels, &permuted) - 1.0).abs() < 1e-5);
+        let other: Vec<usize> = labels.iter().rev().copied().collect();
+        let ab = adjusted_rand_index(&labels, &other);
+        let ba = adjusted_rand_index(&other, &labels);
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    /// Purity lies in (0, 1] and equals 1 when predictions refine truth.
+    #[test]
+    fn purity_properties(truth in prop::collection::vec(0usize..3, 4..48)) {
+        let perfect: Vec<usize> = truth.clone();
+        prop_assert_eq!(purity(&perfect, &truth), 1.0);
+        // Each point its own cluster → also purity 1 (a refinement).
+        let singleton: Vec<usize> = (0..truth.len()).collect();
+        prop_assert_eq!(purity(&singleton, &truth), 1.0);
+        // All-one-cluster purity equals the majority class share.
+        let lumped = vec![0usize; truth.len()];
+        let mut counts = [0usize; 3];
+        for &t in &truth {
+            counts[t] += 1;
+        }
+        let majority = *counts.iter().max().unwrap() as f32 / truth.len() as f32;
+        prop_assert!((purity(&lumped, &truth) - majority).abs() < 1e-5);
+    }
+
+    /// Silhouette is bounded in [-1, 1].
+    #[test]
+    fn silhouette_bounds(points in points_strategy()) {
+        let labels: Vec<usize> = (0..points.len()).map(|i| i % 2).collect();
+        let s = silhouette(&points, &labels);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    /// The hierarchy's assignment agrees with its own scores and is a
+    /// valid cluster index.
+    #[test]
+    fn hierarchy_consistency(points in points_strategy(), qx in -20.0f32..20.0, qy in -20.0f32..20.0) {
+        prop_assume!(points.len() >= 4);
+        let model = KMeans::new(KMeansConfig { k: 2, ..Default::default() }).fit(&points);
+        let h = ClusterHierarchy::build(&model, &points, &HierarchyConfig::default());
+        let q = vec![qx, qy, 0.0];
+        let scores = h.scores(&q);
+        let assigned = h.assign(&q);
+        prop_assert!(assigned < 2);
+        for s in &scores {
+            prop_assert!(scores[assigned] <= s + 1e-5);
+        }
+    }
+}

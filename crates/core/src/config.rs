@@ -1,0 +1,168 @@
+//! Configuration of the full CLEAR pipeline and its evaluation protocols.
+
+use clear_clustering::hierarchy::HierarchyConfig;
+use clear_clustering::kmeans::KMeansConfig;
+use clear_clustering::refine::RefineConfig;
+use clear_features::WindowConfig;
+use clear_nn::optim::OptimizerConfig;
+use clear_nn::train::TrainConfig;
+use clear_sim::CohortConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to run CLEAR end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClearConfig {
+    /// Synthetic cohort (the WEMAC substitute).
+    pub cohort: CohortConfig,
+    /// Sliding-window feature extraction.
+    pub window: WindowConfig,
+    /// Number of global clusters (the paper selects K = 4).
+    pub k: usize,
+    /// Global-clustering refinement parameters (per [19]).
+    pub refine: RefineConfig,
+    /// Internal sub-centroid construction for cold-start assignment.
+    pub hierarchy: HierarchyConfig,
+    /// Cloud pre-training hyper-parameters.
+    pub train: TrainConfig,
+    /// Fine-tuning hyper-parameters (edge stage).
+    pub finetune: TrainConfig,
+    /// Fraction of a new user's *unlabeled* data used for Cluster
+    /// Assignment (the paper uses 10 %).
+    pub ca_fraction: f32,
+    /// Fraction of a new user's *labeled* data used for fine-tuning (the
+    /// paper uses 20 %; the rest is the test set).
+    pub ft_fraction: f32,
+    /// Subjects in the General-model baseline (the paper uses 11, the
+    /// average cluster size).
+    pub general_subjects: usize,
+    /// Fraction of cluster training data held out for checkpoint
+    /// selection (early stopping).
+    pub val_fraction: f32,
+    /// Use the compute-lean model preset (recommended on small CPUs).
+    pub compact_model: bool,
+    /// Master seed for everything not covered by the nested configs.
+    pub seed: u64,
+}
+
+impl ClearConfig {
+    /// Paper-scale configuration: 44 subjects (17/13/7/7), ~792 feature
+    /// maps, K = 4, CA on 10 % unlabeled data, FT on 20 % labeled data.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            cohort: CohortConfig::paper_scale(seed),
+            window: WindowConfig::default(),
+            k: 4,
+            refine: RefineConfig {
+                kmeans: KMeansConfig {
+                    k: 4,
+                    max_iter: 100,
+                    n_init: 8,
+                    seed,
+                },
+                rounds: 20,
+                subset_fraction: 0.8,
+            },
+            hierarchy: HierarchyConfig {
+                sub_k: 2,
+                seed: seed.wrapping_add(1),
+            },
+            train: TrainConfig {
+                epochs: 12,
+                batch_size: 16,
+                optimizer: OptimizerConfig::adam(1.5e-3),
+                seed: seed.wrapping_add(2),
+                patience: 4,
+                trainable_tail: None,
+                l2_sp: None,
+            },
+            finetune: TrainConfig {
+                epochs: 25,
+                batch_size: 2,
+                optimizer: OptimizerConfig::adam(5e-3),
+                seed: seed.wrapping_add(3),
+                patience: 0,
+                // Freeze everything but the dense head and anchor it to the
+                // cluster checkpoint with L2-SP: on a 4-sample labeled
+                // budget this calibrates the subject's decision threshold
+                // without catastrophic drift (selected by `tuning_sweep`).
+                trainable_tail: Some(1),
+                l2_sp: Some(0.02),
+            },
+            ca_fraction: 0.10,
+            ft_fraction: 0.20,
+            general_subjects: 11,
+            val_fraction: 0.15,
+            compact_model: true,
+            seed,
+        }
+    }
+
+    /// Reduced configuration for unit/integration tests: 8 subjects (2 per
+    /// archetype), 8 recordings each, 30-second stimuli, few epochs.
+    pub fn quick(seed: u64) -> Self {
+        let mut config = Self::paper(seed);
+        let mut cohort = CohortConfig {
+            subjects_per_archetype: [2, 2, 2, 2],
+            recordings_per_subject: 8,
+            ..CohortConfig::small(seed)
+        };
+        // Two 3-wide convolutions need at least 5 window columns; 42 s of
+        // stimulus yields 6 windows under the default 12 s / 6 s windowing.
+        cohort.signal.stimulus_secs = 42.0;
+        // The smoke profile runs clusters of 1-2 subjects; keep the task
+        // easy enough that its sanity assertions are meaningful.
+        cohort.class_overlap = 0.40;
+        config.cohort = cohort;
+        config.refine.rounds = 6;
+        config.refine.kmeans.n_init = 4;
+        config.train.epochs = 6;
+        config.train.patience = 3;
+        config.finetune.epochs = 6;
+        config.general_subjects = 3;
+        config
+    }
+
+    /// The paper's K = 4 cluster count.
+    pub fn cluster_count(&self) -> usize {
+        self.k
+    }
+}
+
+impl Default for ClearConfig {
+    fn default() -> Self {
+        Self::paper(2025)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_paper_constants() {
+        let c = ClearConfig::paper(1);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.cohort.subjects_per_archetype, [17, 13, 7, 7]);
+        assert!((c.ca_fraction - 0.10).abs() < 1e-6);
+        assert!((c.ft_fraction - 0.20).abs() < 1e-6);
+        assert_eq!(c.general_subjects, 11);
+        assert_eq!(c.refine.kmeans.k, 4);
+    }
+
+    #[test]
+    fn quick_profile_is_smaller() {
+        let q = ClearConfig::quick(1);
+        let p = ClearConfig::paper(1);
+        assert!(q.cohort.total_subjects() < p.cohort.total_subjects());
+        assert!(q.train.epochs < p.train.epochs);
+        assert_eq!(q.k, 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ClearConfig::paper(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClearConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

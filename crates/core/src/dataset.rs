@@ -1,0 +1,322 @@
+//! Cohort preparation: raw recordings → feature maps, indexed by subject.
+
+use crate::config::ClearConfig;
+use clear_features::{FeatureExtractor, FeatureMap, Normalizer};
+use clear_nn::data::Dataset;
+use clear_nn::tensor::Tensor;
+use clear_sim::{Cohort, Emotion, SubjectId};
+
+/// A cohort with every recording already reduced to its `123 × W` feature
+/// map, plus subject-level indexing helpers used by the LOSO harnesses.
+#[derive(Debug, Clone)]
+pub struct PreparedCohort {
+    cohort: Cohort,
+    maps: Vec<FeatureMap>,
+    windows: usize,
+}
+
+impl PreparedCohort {
+    /// Generates the synthetic cohort of `config` and extracts all feature
+    /// maps. This is the expensive one-time preprocessing step (the
+    /// paper's "approximately 800 feature maps").
+    pub fn prepare(config: &ClearConfig) -> Self {
+        let cohort = Cohort::generate(&config.cohort);
+        let extractor = FeatureExtractor::new(config.cohort.signal, config.window);
+        let maps = extractor.feature_maps(cohort.recordings());
+        let windows = maps.first().map_or(0, FeatureMap::window_count);
+        Self {
+            cohort,
+            maps,
+            windows,
+        }
+    }
+
+    /// The underlying cohort (roster, ground truth).
+    pub fn cohort(&self) -> &Cohort {
+        &self.cohort
+    }
+
+    /// Feature-map windows per recording (`W`).
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// All subject ids, ascending.
+    pub fn subject_ids(&self) -> Vec<SubjectId> {
+        self.cohort
+            .subjects()
+            .iter()
+            .map(|s| SubjectId(s.id))
+            .collect()
+    }
+
+    /// Indices (into the recording/map arrays) of one subject's data.
+    pub fn indices_of(&self, subject: SubjectId) -> Vec<usize> {
+        self.cohort
+            .recordings()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.subject == subject)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The feature map and label of recording `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn map_and_label(&self, index: usize) -> (&FeatureMap, Emotion) {
+        (&self.maps[index], self.cohort.recordings()[index].emotion)
+    }
+
+    /// All feature maps, parallel to `cohort().recordings()`.
+    pub fn maps(&self) -> &[FeatureMap] {
+        &self.maps
+    }
+
+    /// Fits a normalizer on the maps of `subjects` only (training-side
+    /// statistics; evaluation subjects must stay unseen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subjects` contributes no maps.
+    pub fn fit_normalizer(&self, subjects: &[SubjectId]) -> Normalizer {
+        let refs: Vec<&FeatureMap> = subjects
+            .iter()
+            .flat_map(|&s| self.indices_of(s))
+            .map(|i| &self.maps[i])
+            .collect();
+        Normalizer::fit(&refs)
+    }
+
+    /// Normalized per-user feature vector (mean column over the subject's
+    /// selected map indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn user_vector(&self, indices: &[usize], normalizer: &Normalizer) -> Vec<f32> {
+        let refs: Vec<&FeatureMap> = indices.iter().map(|&i| &self.maps[i]).collect();
+        normalizer.apply_vector(&clear_features::map::user_vector(&refs))
+    }
+
+    /// Builds a normalized NN dataset from recording indices.
+    pub fn nn_dataset(&self, indices: &[usize], normalizer: &Normalizer) -> Dataset {
+        let mut out = Dataset::new();
+        for &i in indices {
+            let mut map = self.maps[i].clone();
+            map.normalize(normalizer);
+            let w = map.window_count();
+            let f = map.feature_count();
+            let tensor = Tensor::from_vec(&[1, f, w], map.as_slice().to_vec());
+            out.push(tensor, self.cohort.recordings()[i].emotion.class_index());
+        }
+        out
+    }
+
+    /// Per-subject physiological baseline: the mean feature column over a
+    /// subject's recordings at `indices`. Computing it requires **no
+    /// labels** — a deployed device accumulates it from raw data — so the
+    /// classification path may subtract it even for brand-new users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn baseline_vector(&self, indices: &[usize]) -> Vec<f32> {
+        let refs: Vec<&FeatureMap> = indices.iter().map(|&i| &self.maps[i]).collect();
+        clear_features::map::user_vector(&refs)
+    }
+
+    /// Baseline of one subject over *all* their data (the deployed-device
+    /// view: raw data is plentiful, labels are scarce).
+    pub fn subject_baseline(&self, subject: SubjectId) -> Vec<f32> {
+        self.baseline_vector(&self.indices_of(subject))
+    }
+
+    /// A feature map with the subject baseline subtracted from every
+    /// window column (the per-volunteer baseline correction of the WEMAC
+    /// processing chain — classifiers see *changes from personal
+    /// baseline*, not absolute levels).
+    pub fn corrected_map(&self, index: usize, baseline: &[f32]) -> FeatureMap {
+        let map = &self.maps[index];
+        let w = map.window_count();
+        let mut columns = Vec::with_capacity(w);
+        for col in 0..w {
+            let column: Vec<f32> = (0..map.feature_count())
+                .map(|f| map.get(f, col) - baseline[f])
+                .collect();
+            columns.push(column);
+        }
+        FeatureMap::from_columns(&columns)
+    }
+
+    /// Fits a normalizer on the *baseline-corrected* maps of `subjects`
+    /// (each subject corrected by their own full-data baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subjects` contributes no maps.
+    pub fn fit_normalizer_corrected(&self, subjects: &[SubjectId]) -> Normalizer {
+        let maps: Vec<FeatureMap> = subjects
+            .iter()
+            .flat_map(|&s| {
+                let baseline = self.subject_baseline(s);
+                self.indices_of(s)
+                    .into_iter()
+                    .map(move |i| self.corrected_map(i, &baseline))
+            })
+            .collect();
+        let refs: Vec<&FeatureMap> = maps.iter().collect();
+        Normalizer::fit(&refs)
+    }
+
+    /// Builds a baseline-corrected, normalized NN dataset: every map at
+    /// `indices` has `baseline` subtracted, then `normalizer` applied.
+    pub fn corrected_nn_dataset(
+        &self,
+        indices: &[usize],
+        baseline: &[f32],
+        normalizer: &Normalizer,
+    ) -> Dataset {
+        let mut out = Dataset::new();
+        for &i in indices {
+            let mut map = self.corrected_map(i, baseline);
+            map.normalize(normalizer);
+            let w = map.window_count();
+            let f = map.feature_count();
+            let tensor = Tensor::from_vec(&[1, f, w], map.as_slice().to_vec());
+            out.push(tensor, self.cohort.recordings()[i].emotion.class_index());
+        }
+        out
+    }
+
+    /// Union dataset of several subjects, each baseline-corrected by their
+    /// own full-data baseline and normalized with `normalizer`.
+    pub fn corrected_dataset_for_subjects(
+        &self,
+        subjects: &[SubjectId],
+        normalizer: &Normalizer,
+    ) -> Dataset {
+        let mut out = Dataset::new();
+        for &s in subjects {
+            let baseline = self.subject_baseline(s);
+            out.extend_from(&self.corrected_nn_dataset(
+                &self.indices_of(s),
+                &baseline,
+                normalizer,
+            ));
+        }
+        out
+    }
+
+    /// Ground-truth archetype index of a subject (scoring only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown subject.
+    pub fn archetype_of(&self, subject: SubjectId) -> usize {
+        self.cohort
+            .archetype_of(subject)
+            .expect("unknown subject")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> (ClearConfig, PreparedCohort) {
+        let config = ClearConfig::quick(5);
+        let data = PreparedCohort::prepare(&config);
+        (config, data)
+    }
+
+    #[test]
+    fn preparation_extracts_one_map_per_recording() {
+        let (config, data) = quick();
+        assert_eq!(data.maps().len(), config.cohort.total_recordings());
+        assert_eq!(data.subject_ids().len(), config.cohort.total_subjects());
+        assert!(data.windows() >= 4);
+    }
+
+    #[test]
+    fn subject_indexing_partitions_recordings() {
+        let (config, data) = quick();
+        let mut total = 0;
+        for s in data.subject_ids() {
+            let idx = data.indices_of(s);
+            assert_eq!(idx.len(), config.cohort.recordings_per_subject);
+            total += idx.len();
+            for i in idx {
+                assert_eq!(data.cohort().recordings()[i].subject, s);
+            }
+        }
+        assert_eq!(total, data.maps().len());
+    }
+
+    #[test]
+    fn nn_dataset_shapes_and_labels() {
+        let (_, data) = quick();
+        let subjects = data.subject_ids();
+        let norm = data.fit_normalizer(&subjects);
+        let idx = data.indices_of(subjects[0]);
+        let ds = data.nn_dataset(&idx, &norm);
+        assert_eq!(ds.len(), idx.len());
+        let s = &ds.samples()[0];
+        assert_eq!(s.input.shape(), &[1, 123, data.windows()]);
+        assert!(s.label <= 1);
+        // Labels alternate fear / non-fear in the simulator.
+        let counts = ds.class_counts();
+        assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn user_vectors_have_feature_dimension() {
+        let (_, data) = quick();
+        let subjects = data.subject_ids();
+        let norm = data.fit_normalizer(&subjects);
+        let v = data.user_vector(&data.indices_of(subjects[0]), &norm);
+        assert_eq!(v.len(), 123);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn user_vectors_separate_archetypes_better_than_random() {
+        // Same-archetype subjects must on average sit closer than
+        // different-archetype subjects — the property Global Clustering
+        // relies on.
+        let (_, data) = quick();
+        let subjects = data.subject_ids();
+        let norm = data.fit_normalizer(&subjects);
+        let vecs: Vec<(usize, Vec<f32>)> = subjects
+            .iter()
+            .map(|&s| {
+                (
+                    data.archetype_of(s),
+                    data.user_vector(&data.indices_of(s), &norm),
+                )
+            })
+            .collect();
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for i in 0..vecs.len() {
+            for j in i + 1..vecs.len() {
+                let d = clear_clustering::distance(&vecs[i].1, &vecs[j].1);
+                if vecs[i].0 == vecs[j].0 {
+                    same.push(d);
+                } else {
+                    diff.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&same) < mean(&diff),
+            "same-archetype distance {} should be below cross-archetype {}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Production deployment artifacts: persisting a trained CLEAR system and
+//! onboarding users incrementally.
+//!
+//! The experiment harnesses re-train everything per fold; a product does
+//! not. [`ClearBundle`] is the serializable artifact the cloud ships to
+//! devices — normalization statistics, cluster centroids with their
+//! internal sub-centroid hierarchy, and the per-cluster checkpoints.
+//! [`ClearDeployment`] wraps a bundle at runtime: it onboards new users
+//! from unlabeled feature maps, serves per-user predictions, and upgrades
+//! users in place when labeled data arrives.
+
+use crate::config::ClearConfig;
+use crate::pipeline::CloudTraining;
+use clear_clustering::hierarchy::ClusterHierarchy;
+use clear_features::{FeatureMap, Normalizer, FEATURE_COUNT};
+use clear_nn::data::Dataset;
+use clear_nn::loss::predict_class;
+use clear_nn::network::Network;
+use clear_nn::tensor::Tensor;
+use clear_nn::train::TrainConfig;
+use clear_sim::Emotion;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Errors of the deployment layer.
+#[derive(Debug)]
+pub enum DeployError {
+    /// (De)serialization failure.
+    Serde(String),
+    /// Referenced an unknown user.
+    UnknownUser(String),
+    /// Input data was unusable (empty, wrong shape).
+    BadInput(&'static str),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Serde(e) => write!(f, "bundle serialization failed: {e}"),
+            DeployError::UnknownUser(u) => write!(f, "unknown user `{u}`"),
+            DeployError::BadInput(why) => write!(f, "bad input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// The serializable cloud artifact: everything a fleet of edge devices
+/// needs to run CLEAR.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClearBundle {
+    /// Normalization statistics of the *raw*-map path (clustering and
+    /// cold-start assignment).
+    pub normalizer: Normalizer,
+    /// Normalization statistics of the classifier path (fit on
+    /// baseline-corrected maps).
+    pub clf_normalizer: Normalizer,
+    /// Internal sub-centroid hierarchy for cold-start assignment.
+    pub hierarchy: ClusterHierarchy,
+    /// One pre-trained checkpoint per cluster.
+    pub models: Vec<Network>,
+    /// Feature-map window count the models expect.
+    pub windows: usize,
+}
+
+impl ClearBundle {
+    /// Extracts the shippable bundle from a finished cloud training run.
+    pub fn from_cloud(cloud: &CloudTraining) -> Self {
+        Self {
+            normalizer: cloud.normalizer().clone(),
+            clf_normalizer: cloud.clf_normalizer().clone(),
+            hierarchy: cloud.hierarchy().clone(),
+            models: (0..cloud.cluster_count())
+                .map(|c| cloud.model(c).clone())
+                .collect(),
+            windows: cloud.windows(),
+        }
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Serde`] on serializer failure.
+    pub fn to_json(&self) -> Result<String, DeployError> {
+        serde_json::to_string(self).map_err(|e| DeployError::Serde(e.to_string()))
+    }
+
+    /// Restores a bundle from [`ClearBundle::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::Serde`] on parse failure.
+    pub fn from_json(json: &str) -> Result<Self, DeployError> {
+        serde_json::from_str(json).map_err(|e| DeployError::Serde(e.to_string()))
+    }
+
+    /// Number of clusters in the bundle.
+    pub fn cluster_count(&self) -> usize {
+        self.models.len()
+    }
+}
+
+/// One onboarded user's runtime state.
+#[derive(Debug, Clone)]
+struct UserState {
+    cluster: usize,
+    /// The user's physiological baseline, accumulated from their unlabeled
+    /// data at onboarding; subtracted before classification.
+    baseline: Vec<f32>,
+    /// Personalized checkpoint once fine-tuned; otherwise the cluster
+    /// model serves this user.
+    personalized: Option<Network>,
+}
+
+/// A runtime CLEAR service: cold-start onboarding, per-user inference and
+/// in-place personalization.
+#[derive(Debug, Clone)]
+pub struct ClearDeployment {
+    bundle: ClearBundle,
+    users: BTreeMap<String, UserState>,
+}
+
+impl ClearDeployment {
+    /// Starts a deployment from a cloud bundle.
+    pub fn new(bundle: ClearBundle) -> Self {
+        Self {
+            bundle,
+            users: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying bundle.
+    pub fn bundle(&self) -> &ClearBundle {
+        &self.bundle
+    }
+
+    /// Users currently onboarded.
+    pub fn user_ids(&self) -> Vec<&str> {
+        self.users.keys().map(String::as_str).collect()
+    }
+
+    /// Onboards a new user from *unlabeled* feature maps (the cold-start
+    /// path): computes their user vector and assigns the closest cluster
+    /// by the sub-centroid rule. Returns the assigned cluster.
+    ///
+    /// Re-onboarding an existing user re-runs assignment and discards any
+    /// personalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::BadInput`] when `maps` is empty.
+    pub fn onboard(&mut self, user: &str, maps: &[FeatureMap]) -> Result<usize, DeployError> {
+        if maps.is_empty() {
+            return Err(DeployError::BadInput("onboarding needs at least one map"));
+        }
+        let refs: Vec<&FeatureMap> = maps.iter().collect();
+        let raw_vector = clear_features::map::user_vector(&refs);
+        let vector = self.bundle.normalizer.apply_vector(&raw_vector);
+        let cluster = self.bundle.hierarchy.assign(&vector);
+        self.users.insert(
+            user.to_string(),
+            UserState {
+                cluster,
+                // The same unlabeled data provides the personal baseline.
+                baseline: raw_vector,
+                personalized: None,
+            },
+        );
+        Ok(cluster)
+    }
+
+    /// The cluster a user was assigned to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::UnknownUser`] if the user was never
+    /// onboarded.
+    pub fn cluster_of(&self, user: &str) -> Result<usize, DeployError> {
+        self.users
+            .get(user)
+            .map(|s| s.cluster)
+            .ok_or_else(|| DeployError::UnknownUser(user.to_string()))
+    }
+
+    /// Whether the user has a personalized (fine-tuned) model.
+    pub fn is_personalized(&self, user: &str) -> bool {
+        self.users
+            .get(user)
+            .is_some_and(|s| s.personalized.is_some())
+    }
+
+    /// Classifies one feature map for a user, using their personalized
+    /// model when available, the cluster model otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::UnknownUser`] for unknown users.
+    pub fn predict(&mut self, user: &str, map: &FeatureMap) -> Result<Emotion, DeployError> {
+        let state = self
+            .users
+            .get(user)
+            .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
+        let cluster = state.cluster;
+        let mut normalized = corrected(map, &state.baseline);
+        normalized.normalize(&self.bundle.clf_normalizer);
+        let x = Tensor::from_vec(
+            &[1, FEATURE_COUNT, normalized.window_count()],
+            normalized.as_slice().to_vec(),
+        );
+        // Borrow the right network mutably (forward caches activations).
+        let state = self.users.get_mut(user).expect("user just looked up");
+        let logits = match &mut state.personalized {
+            Some(net) => net.forward(&x, false),
+            None => self.bundle.models[cluster].forward(&x, false),
+        };
+        Ok(Emotion::from_class_index(predict_class(&logits)))
+    }
+
+    /// Personalizes a user's model from labeled feature maps (the paper's
+    /// fine-tuning stage). Subsequent predictions use the new checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::UnknownUser`] for unknown users and
+    /// [`DeployError::BadInput`] for an empty labeled set.
+    pub fn personalize(
+        &mut self,
+        user: &str,
+        labeled: &[(FeatureMap, Emotion)],
+        config: &TrainConfig,
+    ) -> Result<(), DeployError> {
+        if labeled.is_empty() {
+            return Err(DeployError::BadInput("personalization needs labeled maps"));
+        }
+        let cluster = self.cluster_of(user)?;
+        let baseline = self
+            .users
+            .get(user)
+            .expect("cluster_of verified existence")
+            .baseline
+            .clone();
+        let mut dataset = Dataset::new();
+        for (map, emotion) in labeled {
+            let mut normalized = corrected(map, &baseline);
+            normalized.normalize(&self.bundle.clf_normalizer);
+            dataset.push(
+                Tensor::from_vec(
+                    &[1, FEATURE_COUNT, normalized.window_count()],
+                    normalized.as_slice().to_vec(),
+                ),
+                emotion.class_index(),
+            );
+        }
+        let mut net = self.bundle.models[cluster].clone();
+        clear_nn::train::train(&mut net, &dataset, None, config);
+        self.users
+            .get_mut(user)
+            .expect("cluster_of verified existence")
+            .personalized = Some(net);
+        Ok(())
+    }
+
+    /// Drops a user's state (e.g. account deletion — the privacy path).
+    ///
+    /// Returns whether the user existed.
+    pub fn offboard(&mut self, user: &str) -> bool {
+        self.users.remove(user).is_some()
+    }
+}
+
+/// Subtracts a per-user baseline vector from every window column.
+fn corrected(map: &FeatureMap, baseline: &[f32]) -> FeatureMap {
+    let w = map.window_count();
+    let columns: Vec<Vec<f32>> = (0..w)
+        .map(|col| {
+            (0..map.feature_count())
+                .map(|f| map.get(f, col) - baseline[f])
+                .collect()
+        })
+        .collect();
+    FeatureMap::from_columns(&columns)
+}
+
+/// Convenience: fits the cloud stage and wraps it as a deployment, the
+/// one-call path from prepared data to a serving system.
+pub fn deploy(
+    data: &crate::dataset::PreparedCohort,
+    subjects: &[clear_sim::SubjectId],
+    config: &ClearConfig,
+) -> ClearDeployment {
+    let cloud = CloudTraining::fit(data, subjects, config);
+    ClearDeployment::new(ClearBundle::from_cloud(&cloud))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PreparedCohort;
+
+    fn deployment() -> (ClearConfig, PreparedCohort, ClearDeployment, Vec<usize>) {
+        let config = ClearConfig::quick(17);
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let (&newcomer, initial) = subjects.split_last().unwrap();
+        let dep = deploy(&data, initial, &config);
+        let indices = data.indices_of(newcomer);
+        (config, data, dep, indices)
+    }
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let (_, _, dep, _) = deployment();
+        let json = dep.bundle().to_json().unwrap();
+        let restored = ClearBundle::from_json(&json).unwrap();
+        assert_eq!(restored.cluster_count(), dep.bundle().cluster_count());
+        assert_eq!(restored.windows, dep.bundle().windows);
+        assert!(ClearBundle::from_json("{").is_err());
+    }
+
+    #[test]
+    fn onboarding_and_prediction_flow() {
+        let (_, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = indices[..2]
+            .iter()
+            .map(|&i| data.maps()[i].clone())
+            .collect();
+        let cluster = dep.onboard("alice", &maps).unwrap();
+        assert!(cluster < dep.bundle().cluster_count());
+        assert_eq!(dep.cluster_of("alice").unwrap(), cluster);
+        assert!(!dep.is_personalized("alice"));
+        let emotion = dep.predict("alice", &data.maps()[indices[3]]).unwrap();
+        assert!(matches!(emotion, Emotion::Fear | Emotion::NonFear));
+        assert_eq!(dep.user_ids(), vec!["alice"]);
+    }
+
+    #[test]
+    fn personalization_switches_serving_model() {
+        let (config, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = indices[..1]
+            .iter()
+            .map(|&i| data.maps()[i].clone())
+            .collect();
+        dep.onboard("bob", &maps).unwrap();
+        let labeled: Vec<(FeatureMap, Emotion)> = indices[1..4]
+            .iter()
+            .map(|&i| {
+                let (m, e) = data.map_and_label(i);
+                (m.clone(), e)
+            })
+            .collect();
+        dep.personalize("bob", &labeled, &config.finetune).unwrap();
+        assert!(dep.is_personalized("bob"));
+        // Prediction still works through the personalized path.
+        let _ = dep.predict("bob", &data.maps()[indices[5]]).unwrap();
+        // Offboarding erases the user.
+        assert!(dep.offboard("bob"));
+        assert!(!dep.offboard("bob"));
+        assert!(dep.predict("bob", &data.maps()[indices[5]]).is_err());
+    }
+
+    #[test]
+    fn unknown_users_and_bad_inputs_error() {
+        let (config, data, mut dep, indices) = deployment();
+        assert!(dep.cluster_of("nobody").is_err());
+        assert!(dep.predict("nobody", &data.maps()[0]).is_err());
+        assert!(dep.onboard("empty", &[]).is_err());
+        let err = dep.personalize("nobody", &[(data.maps()[indices[0]].clone(), Emotion::Fear)], &config.finetune);
+        assert!(err.is_err());
+        let msg = dep.cluster_of("nobody").unwrap_err().to_string();
+        assert!(msg.contains("nobody"));
+    }
+
+    #[test]
+    fn reonboarding_resets_personalization() {
+        let (config, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("carol", &maps).unwrap();
+        let labeled = vec![(data.maps()[indices[1]].clone(), Emotion::NonFear)];
+        dep.personalize("carol", &labeled, &config.finetune).unwrap();
+        assert!(dep.is_personalized("carol"));
+        dep.onboard("carol", &maps).unwrap();
+        assert!(!dep.is_personalized("carol"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Table I / Table II experiment runners and report formatting.
+//!
+//! Each runner executes the corresponding evaluation protocol end to end
+//! and renders a text table mirroring the paper's layout, with the paper's
+//! published numbers alongside for comparison. The experiment binaries in
+//! `clear-bench` are thin wrappers around these functions.
+
+use crate::config::ClearConfig;
+use crate::dataset::PreparedCohort;
+use crate::evaluation::{self, ClearValidation};
+use clear_edge::{Device, Measurement};
+use clear_nn::metrics::Aggregate;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy/F1 quadruple as the paper's tables report them (percent).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperRow {
+    /// Mean accuracy, percent.
+    pub accuracy: f32,
+    /// Accuracy standard deviation, percent.
+    pub accuracy_std: f32,
+    /// Mean F1, percent.
+    pub f1: f32,
+    /// F1 standard deviation, percent.
+    pub f1_std: f32,
+}
+
+/// The paper's Table I reference values.
+pub mod paper_table1 {
+    use super::PaperRow;
+    /// Bindi [22] (literature reference row).
+    pub const BINDI: PaperRow = PaperRow { accuracy: 64.63, accuracy_std: 16.56, f1: 66.67, f1_std: 17.31 };
+    /// Sun et al. [18] (literature reference row).
+    pub const SUN: PaperRow = PaperRow { accuracy: 79.90, accuracy_std: 4.16, f1: 78.13, f1_std: 6.52 };
+    /// General model (no clustering).
+    pub const GENERAL: PaperRow = PaperRow { accuracy: 75.00, accuracy_std: 2.76, f1: 72.57, f1_std: 3.12 };
+    /// RT CL robustness test.
+    pub const RT_CL: PaperRow = PaperRow { accuracy: 64.33, accuracy_std: 1.80, f1: 62.42, f1_std: 1.57 };
+    /// CL validation.
+    pub const CL: PaperRow = PaperRow { accuracy: 81.90, accuracy_std: 3.44, f1: 80.41, f1_std: 3.58 };
+    /// RT CLEAR robustness test.
+    pub const RT_CLEAR: PaperRow = PaperRow { accuracy: 72.68, accuracy_std: 5.10, f1: 70.98, f1_std: 4.26 };
+    /// CLEAR without fine-tuning.
+    pub const CLEAR_WO_FT: PaperRow = PaperRow { accuracy: 80.63, accuracy_std: 4.22, f1: 79.97, f1_std: 4.74 };
+    /// CLEAR with fine-tuning.
+    pub const CLEAR_W_FT: PaperRow = PaperRow { accuracy: 86.34, accuracy_std: 4.04, f1: 86.03, f1_std: 5.04 };
+}
+
+/// The paper's Table II reference values.
+pub mod paper_table2 {
+    use super::PaperRow;
+    /// Upper block: GPU baseline (= CLEAR w/o FT).
+    pub const GPU: PaperRow = PaperRow { accuracy: 80.63, accuracy_std: 4.22, f1: 79.97, f1_std: 4.74 };
+    /// Upper block: Coral TPU without FT.
+    pub const TPU: PaperRow = PaperRow { accuracy: 74.17, accuracy_std: 3.84, f1: 73.57, f1_std: 4.44 };
+    /// Upper block: RT CLEAR on the TPU.
+    pub const TPU_RT: PaperRow = PaperRow { accuracy: 65.32, accuracy_std: 5.42, f1: 64.79, f1_std: 4.82 };
+    /// Upper block: Pi + NCS2 without FT.
+    pub const NCS2: PaperRow = PaperRow { accuracy: 79.03, accuracy_std: 4.10, f1: 78.48, f1_std: 4.76 };
+    /// Upper block: RT CLEAR on the Pi + NCS2.
+    pub const NCS2_RT: PaperRow = PaperRow { accuracy: 68.47, accuracy_std: 3.25, f1: 69.02, f1_std: 4.14 };
+    /// Lower block: fine-tuned accuracy per platform (GPU, TPU, NCS2).
+    pub const FT: [PaperRow; 3] = [
+        PaperRow { accuracy: 86.34, accuracy_std: 4.04, f1: 86.03, f1_std: 5.04 },
+        PaperRow { accuracy: 79.40, accuracy_std: 4.51, f1: 79.14, f1_std: 4.66 },
+        PaperRow { accuracy: 84.49, accuracy_std: 4.82, f1: 84.07, f1_std: 5.16 },
+    ];
+    /// MTC re-training seconds (TPU, Pi+NCS2).
+    pub const MTC_RETRAIN_S: [f32; 2] = [32.48, 78.52];
+    /// MPC re-training watts (TPU, Pi+NCS2).
+    pub const MPC_RETRAIN_W: [f32; 2] = [1.82, 3.78];
+    /// MTC test milliseconds (TPU, Pi+NCS2).
+    pub const MTC_TEST_MS: [f32; 2] = [47.31, 239.70];
+    /// MPC test watts (TPU, Pi+NCS2).
+    pub const MPC_TEST_W: [f32; 2] = [1.64, 3.43];
+    /// MPC baseline watts (TPU, Pi+NCS2).
+    pub const MPC_BASELINE_W: [f32; 2] = [1.28, 2.76];
+}
+
+/// Full Table I reproduction results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// "General Model" row.
+    pub general: Aggregate,
+    /// "RT CL" row.
+    pub rt_cl: Aggregate,
+    /// "CL validation" row.
+    pub cl: Aggregate,
+    /// "RT CLEAR" row.
+    pub rt_clear: Aggregate,
+    /// "CLEAR w/o FT" row.
+    pub clear_wo_ft: Aggregate,
+    /// "CLEAR w FT" row.
+    pub clear_w_ft: Aggregate,
+    /// Cold-start assignment accuracy across folds (not in the paper's
+    /// table, but the property the CA mechanism claims).
+    pub assignment_accuracy: f32,
+}
+
+/// Runs everything behind Table I. `progress(stage, done, total)` reports
+/// the long-running stages.
+pub fn run_table1(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    mut progress: impl FnMut(&str, usize, usize),
+) -> Table1 {
+    progress("general model", 0, 1);
+    let general = evaluation::general_model(data, config);
+    progress("general model", 1, 1);
+
+    progress("cl validation", 0, 1);
+    let cl = evaluation::cl_validation(data, config);
+    progress("cl validation", 1, 1);
+
+    let n = data.subject_ids().len();
+    let clear = evaluation::clear_folds(data, config, false, |done, total| {
+        progress("clear validation", done, total);
+    });
+    debug_assert_eq!(clear.folds.len(), n);
+
+    Table1 {
+        general,
+        rt_cl: cl.rt,
+        cl: cl.cl,
+        rt_clear: clear.rt,
+        clear_wo_ft: clear.without_ft,
+        clear_w_ft: clear.with_ft,
+        assignment_accuracy: clear.assignment_accuracy,
+    }
+}
+
+fn row(name: &str, agg: &Aggregate, paper: &PaperRow) -> String {
+    format!(
+        "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+        name,
+        agg.accuracy_mean,
+        agg.accuracy_std,
+        agg.f1_mean,
+        agg.f1_std,
+        paper.accuracy,
+        paper.accuracy_std,
+        paper.f1,
+        paper.f1_std
+    )
+}
+
+impl Table1 {
+    /// Renders the table with measured and paper columns side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("TABLE I — WEMAC fear / non-fear (measured | paper)\n");
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8} {:>8} {:>8} {:>8}\n",
+            "Validation", "Acc", "STD", "F1", "STD", "Acc", "STD", "F1", "STD"
+        ));
+        out.push_str(&"-".repeat(96));
+        out.push('\n');
+        out.push_str("— previous works (literature constants, not rerun) —\n");
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            "Bindi [22]", "-", "-", "-", "-",
+            paper_table1::BINDI.accuracy,
+            paper_table1::BINDI.accuracy_std,
+            paper_table1::BINDI.f1,
+            paper_table1::BINDI.f1_std
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
+            "Sun et al. [18]", "-", "-", "-", "-",
+            paper_table1::SUN.accuracy,
+            paper_table1::SUN.accuracy_std,
+            paper_table1::SUN.f1,
+            paper_table1::SUN.f1_std
+        ));
+        out.push_str("— without clustering —\n");
+        out.push_str(&row("General Model", &self.general, &paper_table1::GENERAL));
+        out.push_str("— clustering and learning (CL) validation —\n");
+        out.push_str(&row("RT CL", &self.rt_cl, &paper_table1::RT_CL));
+        out.push_str(&row("CL validation", &self.cl, &paper_table1::CL));
+        out.push_str("— CLEAR validation —\n");
+        out.push_str(&row("RT CLEAR", &self.rt_clear, &paper_table1::RT_CLEAR));
+        out.push_str(&row("CLEAR w/o FT", &self.clear_wo_ft, &paper_table1::CLEAR_WO_FT));
+        out.push_str(&row("CLEAR w FT", &self.clear_w_ft, &paper_table1::CLEAR_W_FT));
+        out.push_str(&"-".repeat(96));
+        out.push('\n');
+        out.push_str(&format!(
+            "cold-start assignment accuracy: {:.1} % of volunteers assigned to their archetype cluster\n",
+            self.assignment_accuracy * 100.0
+        ));
+        out
+    }
+
+    /// Checks the qualitative shape of Table I (who wins, by what order);
+    /// returns human-readable violations (empty = shape holds).
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut expect = |cond: bool, msg: &str| {
+            if !cond {
+                v.push(msg.to_string());
+            }
+        };
+        expect(
+            self.cl.accuracy_mean > self.general.accuracy_mean,
+            "CL validation should beat the General model",
+        );
+        expect(
+            self.rt_cl.accuracy_mean < self.cl.accuracy_mean,
+            "RT CL should fall well below CL validation",
+        );
+        expect(
+            self.rt_clear.accuracy_mean < self.clear_wo_ft.accuracy_mean,
+            "RT CLEAR should fall below CLEAR w/o FT",
+        );
+        expect(
+            self.clear_w_ft.accuracy_mean > self.clear_wo_ft.accuracy_mean,
+            "fine-tuning should improve over CLEAR w/o FT",
+        );
+        expect(
+            self.clear_wo_ft.accuracy_mean > self.general.accuracy_mean,
+            "CLEAR w/o FT should beat the General model",
+        );
+        v
+    }
+}
+
+/// Full Table II reproduction results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Upper block: per-device without-FT score, ordered as
+    /// [`Device::all`] (GPU, TPU, Pi+NCS2).
+    pub without_ft: Vec<Aggregate>,
+    /// Upper block: per-device robustness test.
+    pub rt: Vec<Aggregate>,
+    /// Lower block: per-device fine-tuned score.
+    pub with_ft: Vec<Aggregate>,
+    /// Mean simulated measurements per device.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Runs the cloud-edge validation behind Table II.
+pub fn run_table2(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    mut progress: impl FnMut(&str, usize, usize),
+) -> Table2 {
+    let clear = evaluation::clear_folds(data, config, true, |done, total| {
+        progress("edge validation", done, total);
+    });
+    Table2::from_validation(&clear)
+}
+
+impl Table2 {
+    /// Aggregates a fold set that was run with edge evaluation enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fold lacks edge results.
+    pub fn from_validation(clear: &ClearValidation) -> Self {
+        let devices = Device::all().len();
+        let mut without_ft = Vec::new();
+        let mut rt = Vec::new();
+        let mut with_ft = Vec::new();
+        let mut measurements = Vec::new();
+        for d in 0..devices {
+            let wo: Vec<_> = clear
+                .folds
+                .iter()
+                .map(|f| f.edge.as_ref().expect("edge results missing").without_ft[d])
+                .collect();
+            let r: Vec<_> = clear
+                .folds
+                .iter()
+                .map(|f| f.edge.as_ref().expect("edge results missing").rt[d])
+                .collect();
+            let w: Vec<_> = clear
+                .folds
+                .iter()
+                .map(|f| f.edge.as_ref().expect("edge results missing").with_ft[d])
+                .collect();
+            without_ft.push(Aggregate::from_scores(&wo));
+            rt.push(Aggregate::from_scores(&r));
+            with_ft.push(Aggregate::from_scores(&w));
+            let n = clear.folds.len() as f32;
+            let sum = |f: &dyn Fn(&Measurement) -> f32| -> f32 {
+                clear
+                    .folds
+                    .iter()
+                    .map(|fold| f(&fold.edge.as_ref().expect("edge results missing").measurements[d]))
+                    .sum::<f32>()
+                    / n
+            };
+            measurements.push(Measurement {
+                mtc_retraining_s: sum(&|m| m.mtc_retraining_s),
+                mpc_retraining_w: sum(&|m| m.mpc_retraining_w),
+                mtc_test_ms: sum(&|m| m.mtc_test_ms),
+                mpc_test_w: sum(&|m| m.mpc_test_w),
+                mpc_baseline_w: sum(&|m| m.mpc_baseline_w),
+            });
+        }
+        Self {
+            without_ft,
+            rt,
+            with_ft,
+            measurements,
+        }
+    }
+
+    /// Renders the table with measured and paper columns.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("TABLE II — cloud-edge validation (measured | paper)\n");
+        out.push_str("— upper block: CLEAR w/o FT per platform —\n");
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8} {:>8} {:>8} {:>8}\n",
+            "Platform", "Acc", "STD", "F1", "STD", "Acc", "STD", "F1", "STD"
+        ));
+        out.push_str(&row("GPU (baseline)", &self.without_ft[0], &paper_table2::GPU));
+        out.push_str(&row("Coral TPU", &self.without_ft[1], &paper_table2::TPU));
+        out.push_str(&row("  RT CLEAR", &self.rt[1], &paper_table2::TPU_RT));
+        out.push_str(&row("Pi + NCS2", &self.without_ft[2], &paper_table2::NCS2));
+        out.push_str(&row("  RT CLEAR", &self.rt[2], &paper_table2::NCS2_RT));
+        out.push_str("— lower block: after on-device fine-tuning —\n");
+        for (i, name) in ["GPU", "Coral TPU", "Pi + NCS2"].iter().enumerate() {
+            out.push_str(&row(name, &self.with_ft[i], &paper_table2::FT[i]));
+        }
+        out.push_str("— measurements (mean over folds; measured | paper) —\n");
+        let dev = |i: usize| -> &Measurement { &self.measurements[i] };
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>10.2}   | {:>8.2} {:>8.2}  s\n",
+            "MTC Re-training",
+            dev(1).mtc_retraining_s,
+            dev(2).mtc_retraining_s,
+            paper_table2::MTC_RETRAIN_S[0],
+            paper_table2::MTC_RETRAIN_S[1]
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>10.2}   | {:>8.2} {:>8.2}  W\n",
+            "MPC Re-training",
+            dev(1).mpc_retraining_w,
+            dev(2).mpc_retraining_w,
+            paper_table2::MPC_RETRAIN_W[0],
+            paper_table2::MPC_RETRAIN_W[1]
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>10.2}   | {:>8.2} {:>8.2}  ms\n",
+            "MTC Test",
+            dev(1).mtc_test_ms,
+            dev(2).mtc_test_ms,
+            paper_table2::MTC_TEST_MS[0],
+            paper_table2::MTC_TEST_MS[1]
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>10.2}   | {:>8.2} {:>8.2}  W\n",
+            "MPC Test",
+            dev(1).mpc_test_w,
+            dev(2).mpc_test_w,
+            paper_table2::MPC_TEST_W[0],
+            paper_table2::MPC_TEST_W[1]
+        ));
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>10.2}   | {:>8.2} {:>8.2}  W\n",
+            "MPC Baseline",
+            dev(1).mpc_baseline_w,
+            dev(2).mpc_baseline_w,
+            paper_table2::MPC_BASELINE_W[0],
+            paper_table2::MPC_BASELINE_W[1]
+        ));
+        out
+    }
+
+    /// Qualitative shape checks for Table II (empty = shape holds).
+    pub fn shape_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let mut expect = |cond: bool, msg: &str| {
+            if !cond {
+                v.push(msg.to_string());
+            }
+        };
+        expect(
+            self.without_ft[1].accuracy_mean <= self.without_ft[0].accuracy_mean + 0.5,
+            "int8 TPU should not beat the fp32 GPU baseline",
+        );
+        expect(
+            self.without_ft[2].accuracy_mean >= self.without_ft[1].accuracy_mean - 0.5,
+            "fp16 NCS2 should sit above the int8 TPU",
+        );
+        for d in 1..3 {
+            expect(
+                self.rt[d].accuracy_mean < self.without_ft[d].accuracy_mean,
+                "RT CLEAR should fall below matched-cluster accuracy on device",
+            );
+            expect(
+                self.with_ft[d].accuracy_mean > self.without_ft[d].accuracy_mean,
+                "on-device fine-tuning should improve accuracy",
+            );
+        }
+        expect(
+            self.measurements[1].mtc_test_ms < self.measurements[2].mtc_test_ms,
+            "TPU inference should be faster than Pi+NCS2",
+        );
+        expect(
+            self.measurements[1].mtc_retraining_s < self.measurements[2].mtc_retraining_s,
+            "TPU re-training should be faster than Pi+NCS2",
+        );
+        expect(
+            self.measurements[1].mpc_baseline_w < self.measurements[2].mpc_baseline_w,
+            "TPU should idle below Pi+NCS2",
+        );
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_nn::metrics::FoldScore;
+
+    fn agg(acc: f32) -> Aggregate {
+        Aggregate::from_scores(&[FoldScore {
+            accuracy: acc,
+            f1: acc - 0.01,
+        }])
+    }
+
+    #[test]
+    fn table1_shape_checks_fire_correctly() {
+        let good = Table1 {
+            general: agg(0.75),
+            rt_cl: agg(0.64),
+            cl: agg(0.82),
+            rt_clear: agg(0.72),
+            clear_wo_ft: agg(0.80),
+            clear_w_ft: agg(0.86),
+            assignment_accuracy: 0.9,
+        };
+        assert!(good.shape_violations().is_empty());
+        let bad = Table1 {
+            general: agg(0.9),
+            ..good.clone()
+        };
+        assert!(!bad.shape_violations().is_empty());
+    }
+
+    #[test]
+    fn table1_render_contains_all_rows() {
+        let t = Table1 {
+            general: agg(0.75),
+            rt_cl: agg(0.64),
+            cl: agg(0.82),
+            rt_clear: agg(0.72),
+            clear_wo_ft: agg(0.80),
+            clear_w_ft: agg(0.86),
+            assignment_accuracy: 0.9,
+        };
+        let text = t.render();
+        for needle in [
+            "Bindi [22]",
+            "Sun et al. [18]",
+            "General Model",
+            "RT CL",
+            "CL validation",
+            "RT CLEAR",
+            "CLEAR w/o FT",
+            "CLEAR w FT",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn paper_constants_match_published_table() {
+        assert_eq!(paper_table1::CLEAR_W_FT.accuracy, 86.34);
+        assert_eq!(paper_table1::GENERAL.accuracy, 75.00);
+        assert_eq!(paper_table2::MTC_TEST_MS, [47.31, 239.70]);
+        assert_eq!(paper_table2::FT[1].accuracy, 79.40);
+    }
+}

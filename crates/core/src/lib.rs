@@ -1,0 +1,49 @@
+//! # clear-core — the CLEAR pipeline
+//!
+//! This crate assembles the substrates (`clear-sim`, `clear-features`,
+//! `clear-clustering`, `clear-nn`, `clear-edge`) into the full CLEAR
+//! methodology of the paper:
+//!
+//! 1. **Cloud stage** ([`pipeline`]): feature maps → Global Clustering
+//!    (refined k-means over per-user feature vectors, K = 4) → one
+//!    CNN-LSTM pre-trained per cluster, with the best-validation
+//!    checkpoint retained.
+//! 2. **Edge stage** ([`pipeline`]): cold-start Cluster Assignment of an
+//!    unseen user from a small fraction of *unlabeled* data (summed
+//!    distance to each cluster's internal sub-centroids), followed by
+//!    optional fine-tuning with a small fraction of labeled data.
+//!
+//! The evaluation harnesses ([`evaluation`]) reproduce the paper's
+//! protocols: Leave-One-Subject-Out throughout, CL validation (intra-
+//! cluster LOSO) with robustness tests, the General-model baseline, full
+//! CLEAR validation with and without fine-tuning, and the cloud-edge
+//! deployment study of Table II ([`experiments`]).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use clear_core::config::ClearConfig;
+//! use clear_core::dataset::PreparedCohort;
+//! use clear_core::pipeline::CloudTraining;
+//!
+//! let config = ClearConfig::quick(7);
+//! let data = PreparedCohort::prepare(&config);
+//! let subjects = data.subject_ids();
+//! let cloud = CloudTraining::fit(&data, &subjects, &config);
+//! println!("trained {} cluster models", cloud.cluster_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dataset;
+pub mod deployment;
+pub mod evaluation;
+pub mod experiments;
+pub mod pipeline;
+
+pub use config::ClearConfig;
+pub use dataset::PreparedCohort;
+pub use deployment::{ClearBundle, ClearDeployment};
+pub use pipeline::CloudTraining;

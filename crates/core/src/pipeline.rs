@@ -1,0 +1,326 @@
+//! The CLEAR pipeline: cloud training, cold-start assignment, fine-tuning.
+
+use crate::config::ClearConfig;
+use crate::dataset::PreparedCohort;
+use clear_clustering::hierarchy::ClusterHierarchy;
+use clear_clustering::kmeans::KMeansModel;
+use clear_clustering::refine::refined_fit;
+use clear_features::Normalizer;
+use clear_nn::data::Dataset;
+use clear_nn::metrics::FoldScore;
+use clear_nn::network::{cnn_lstm, cnn_lstm_compact, Network};
+use clear_nn::train::{self, TrainConfig};
+use clear_sim::SubjectId;
+use std::collections::BTreeMap;
+
+/// The result of the cloud stage (paper §III-A): global clustering over
+/// the initial user population plus one pre-trained CNN-LSTM per cluster.
+#[derive(Debug, Clone)]
+pub struct CloudTraining {
+    normalizer: Normalizer,
+    clf_normalizer: Normalizer,
+    clustering: KMeansModel,
+    hierarchy: ClusterHierarchy,
+    subject_cluster: BTreeMap<SubjectId, usize>,
+    models: Vec<Network>,
+    windows: usize,
+}
+
+impl CloudTraining {
+    /// Runs the full cloud stage on `subjects` (the initial, labeled
+    /// population): fits normalization statistics, performs refined
+    /// Global Clustering of per-user feature vectors, builds the internal
+    /// sub-centroid hierarchy and pre-trains one model per cluster,
+    /// keeping the best-validation checkpoint of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subjects` is empty or smaller than `config.k`.
+    pub fn fit(data: &PreparedCohort, subjects: &[SubjectId], config: &ClearConfig) -> Self {
+        assert!(
+            subjects.len() >= config.k,
+            "need at least k subjects to form k clusters"
+        );
+        let normalizer = data.fit_normalizer(subjects);
+
+        // Global Clustering on the D ∈ R^{F×N} matrix of user vectors.
+        let user_vectors: Vec<Vec<f32>> = subjects
+            .iter()
+            .map(|&s| data.user_vector(&data.indices_of(s), &normalizer))
+            .collect();
+        let mut refine = config.refine;
+        refine.kmeans.k = config.k;
+        let clustering = refined_fit(&user_vectors, &refine);
+        let hierarchy = ClusterHierarchy::build(&clustering, &user_vectors, &config.hierarchy);
+
+        let subject_cluster: BTreeMap<SubjectId, usize> = subjects
+            .iter()
+            .zip(clustering.assignments())
+            .map(|(&s, &c)| (s, c))
+            .collect();
+
+        // Classifiers operate on per-subject baseline-corrected features
+        // (the WEMAC processing chain's per-volunteer correction); fit
+        // their normalization statistics on the corrected training maps.
+        let clf_normalizer = data.fit_normalizer_corrected(subjects);
+
+        // Per-cluster pre-training.
+        let mut models = Vec::with_capacity(config.k);
+        for cluster in 0..config.k {
+            let members: Vec<SubjectId> = subjects
+                .iter()
+                .copied()
+                .filter(|s| subject_cluster[s] == cluster)
+                .collect();
+            let model = if members.is_empty() {
+                // Degenerate cluster: an untrained model (never selected by
+                // CA in practice, but keeps indices aligned).
+                build_model(data.windows(), config, config.seed ^ cluster as u64)
+            } else {
+                let full = data.corrected_dataset_for_subjects(&members, &clf_normalizer);
+                let mut net = build_model(data.windows(), config, config.seed ^ cluster as u64);
+                let (val, train_set) = full.split_stratified(config.val_fraction, config.seed);
+                if val.is_empty() || train_set.is_empty() {
+                    train::train(&mut net, &full, None, &config.train);
+                } else {
+                    train::train(&mut net, &train_set, Some(&val), &config.train);
+                }
+                net
+            };
+            models.push(model);
+        }
+
+        Self {
+            normalizer,
+            clf_normalizer,
+            clustering,
+            hierarchy,
+            subject_cluster,
+            models,
+            windows: data.windows(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Cluster membership decided for an initial-population subject.
+    pub fn cluster_of(&self, subject: SubjectId) -> Option<usize> {
+        self.subject_cluster.get(&subject).copied()
+    }
+
+    /// Members of a cluster among the initial population.
+    pub fn members_of(&self, cluster: usize) -> Vec<SubjectId> {
+        self.subject_cluster
+            .iter()
+            .filter(|(_, &c)| c == cluster)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// The pre-trained model of a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster >= cluster_count()`.
+    pub fn model(&self, cluster: usize) -> &Network {
+        &self.models[cluster]
+    }
+
+    /// The normalization statistics fit on the initial population's *raw*
+    /// maps (used for clustering and cold-start assignment).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The normalization statistics of the classifier path (fit on
+    /// baseline-corrected maps).
+    pub fn clf_normalizer(&self) -> &Normalizer {
+        &self.clf_normalizer
+    }
+
+    /// The fitted global clustering.
+    pub fn clustering(&self) -> &KMeansModel {
+        &self.clustering
+    }
+
+    /// The sub-centroid hierarchy used for cold-start assignment.
+    pub fn hierarchy(&self) -> &ClusterHierarchy {
+        &self.hierarchy
+    }
+
+    /// Cold-start Cluster Assignment (paper §III-B1): assigns a new user
+    /// from the *unlabeled* feature maps at `indices` (a small fraction of
+    /// their data), by minimum mean distance to each cluster's internal
+    /// sub-centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn assign_user(&self, data: &PreparedCohort, indices: &[usize]) -> usize {
+        let v = data.user_vector(indices, &self.normalizer);
+        self.hierarchy.assign(&v)
+    }
+
+    /// Builds the classifier-ready dataset of one subject's recordings:
+    /// baseline-corrected by that subject's full unlabeled data and
+    /// normalized with the classifier statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or spans multiple subjects.
+    pub fn user_dataset(&self, data: &PreparedCohort, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "no recordings given");
+        let subject = data.cohort().recordings()[indices[0]].subject;
+        assert!(
+            indices
+                .iter()
+                .all(|&i| data.cohort().recordings()[i].subject == subject),
+            "indices must belong to one subject"
+        );
+        let baseline = data.subject_baseline(subject);
+        data.corrected_nn_dataset(indices, &baseline, &self.clf_normalizer)
+    }
+
+    /// Evaluates a cluster model on recordings `indices` of `data`
+    /// (all belonging to one subject, whose baseline is applied).
+    pub fn evaluate(&self, data: &PreparedCohort, cluster: usize, indices: &[usize]) -> FoldScore {
+        let ds = self.user_dataset(data, indices);
+        let mut net = self.models[cluster].clone();
+        train::evaluate(&mut net, &ds)
+    }
+
+    /// Fine-tunes the model of `cluster` on a labeled dataset, returning
+    /// the personalized network (the cloud copy is untouched).
+    pub fn fine_tune(
+        &self,
+        cluster: usize,
+        train_set: &Dataset,
+        config: &TrainConfig,
+    ) -> Network {
+        let mut net = self.models[cluster].clone();
+        // A small validation carve-out retains the best checkpoint when
+        // the labeled budget allows it.
+        if train_set.len() >= 8 {
+            let (val, tr) = train_set.split_stratified(0.25, config.seed);
+            if !val.is_empty() && !tr.is_empty() {
+                train::train(&mut net, &tr, Some(&val), config);
+                return net;
+            }
+        }
+        // Tiny labeled budgets cannot afford a held-out split, and
+        // selecting on the labeled set itself saturates immediately (train
+        // accuracy hits 100 % after one epoch and freezes the weights).
+        // Run the configured epochs at the deliberately low fine-tuning
+        // learning rate instead.
+        train::train(&mut net, train_set, None, config);
+        net
+    }
+
+    /// Feature-map window count the models expect.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+}
+
+/// Builds the classifier for `windows`-column feature maps.
+pub fn build_model(windows: usize, config: &ClearConfig, seed: u64) -> Network {
+    if config.compact_model {
+        cnn_lstm_compact(clear_features::FEATURE_COUNT, windows, 2, seed)
+    } else {
+        cnn_lstm(clear_features::FEATURE_COUNT, windows, 2, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_clustering::quality::purity;
+
+    fn fitted() -> (ClearConfig, PreparedCohort, CloudTraining) {
+        let config = ClearConfig::quick(11);
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let cloud = CloudTraining::fit(&data, &subjects, &config);
+        (config, data, cloud)
+    }
+
+    #[test]
+    fn cloud_training_produces_k_models() {
+        let (config, _, cloud) = fitted();
+        assert_eq!(cloud.cluster_count(), config.k);
+        for c in 0..config.k {
+            assert!(cloud.model(c).param_count() > 0);
+        }
+    }
+
+    #[test]
+    fn every_subject_gets_a_cluster() {
+        let (config, data, cloud) = fitted();
+        let mut covered = 0;
+        for s in data.subject_ids() {
+            let c = cloud.cluster_of(s).expect("subject missing from clustering");
+            assert!(c < config.k);
+            covered += 1;
+        }
+        assert_eq!(covered, config.cohort.total_subjects());
+    }
+
+    #[test]
+    fn clustering_recovers_archetypes_reasonably() {
+        let (_, data, cloud) = fitted();
+        let subjects = data.subject_ids();
+        let predicted: Vec<usize> = subjects
+            .iter()
+            .map(|&s| cloud.cluster_of(s).unwrap())
+            .collect();
+        let truth: Vec<usize> = subjects.iter().map(|&s| data.archetype_of(s)).collect();
+        let p = purity(&predicted, &truth);
+        assert!(p >= 0.7, "cluster purity {p} too low");
+    }
+
+    #[test]
+    fn assignment_of_training_subjects_is_consistent() {
+        // Assigning an initial-population subject through the cold-start
+        // path should usually land in their own cluster.
+        let (_, data, cloud) = fitted();
+        let mut hits = 0;
+        let subjects = data.subject_ids();
+        for &s in &subjects {
+            let assigned = cloud.assign_user(&data, &data.indices_of(s));
+            if assigned == cloud.cluster_of(s).unwrap() {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 10 >= subjects.len() * 7,
+            "only {hits}/{} self-assignments",
+            subjects.len()
+        );
+    }
+
+    #[test]
+    fn evaluation_and_fine_tune_run() {
+        let (config, data, cloud) = fitted();
+        let subjects = data.subject_ids();
+        let s = subjects[0];
+        let cluster = cloud.cluster_of(s).unwrap();
+        let idx = data.indices_of(s);
+        let score = cloud.evaluate(&data, cluster, &idx);
+        assert!(score.accuracy >= 0.0 && score.accuracy <= 1.0);
+        let ds = cloud.user_dataset(&data, &idx);
+        let personalized = cloud.fine_tune(cluster, &ds, &config.finetune);
+        assert_eq!(personalized.param_count(), cloud.model(cluster).param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k subjects")]
+    fn too_few_subjects_panics() {
+        let config = ClearConfig::quick(13);
+        let data = PreparedCohort::prepare(&config);
+        let subjects = &data.subject_ids()[..2];
+        let _ = CloudTraining::fit(&data, subjects, &config);
+    }
+}

@@ -1,0 +1,259 @@
+//! Entropy and non-linear complexity measures.
+//!
+//! The paper's feature set includes "non-linear" features; the standard
+//! choices for physiological signals are histogram (Shannon) entropy,
+//! sample entropy and approximate entropy, all provided here.
+
+use crate::DspError;
+
+/// Shannon entropy (nats) of the amplitude histogram of `x` with `bins`
+/// equal-width bins over the signal's range.
+///
+/// Constant signals (zero range) have zero entropy.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice and
+/// [`DspError::BadParameter`] when `bins == 0`.
+pub fn shannon_entropy(x: &[f32], bins: usize) -> Result<f32, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if bins == 0 {
+        return Err(DspError::BadParameter {
+            name: "bins",
+            reason: "at least one histogram bin is required",
+        });
+    }
+    let lo = crate::stats::min(x)?;
+    let hi = crate::stats::max(x)?;
+    let range = hi - lo;
+    if range < f32::EPSILON {
+        return Ok(0.0);
+    }
+    let mut counts = vec![0usize; bins];
+    for &v in x {
+        let idx = (((v - lo) / range) * bins as f32) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    let n = x.len() as f32;
+    Ok(-counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f32 / n;
+            p * p.ln()
+        })
+        .sum::<f32>())
+}
+
+/// Sample entropy `SampEn(m, r)` of `x`.
+///
+/// Counts template matches of length `m` and `m + 1` under Chebyshev
+/// distance tolerance `r` (absolute units — pre-scale by the signal's
+/// standard deviation for the conventional `r = 0.2 σ`). Self-matches are
+/// excluded. Returns `ln(A/B)` negated, i.e. `-ln(A/B)`; when no matches
+/// exist the result saturates at a large finite value instead of infinity so
+/// downstream feature maps stay finite.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when `x.len() <= m + 1` and
+/// [`DspError::BadParameter`] when `r <= 0` or `m == 0`.
+pub fn sample_entropy(x: &[f32], m: usize, r: f32) -> Result<f32, DspError> {
+    if m == 0 {
+        return Err(DspError::BadParameter {
+            name: "m",
+            reason: "template length must be at least 1",
+        });
+    }
+    if r.is_nan() || r <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "r",
+            reason: "tolerance must be positive",
+        });
+    }
+    if x.len() <= m + 1 {
+        return Err(DspError::BadLength {
+            expected: "more than m + 1 samples",
+            actual: x.len(),
+        });
+    }
+    let count = |len: usize| -> u64 {
+        let n = x.len() - len + 1;
+        let mut matches = 0u64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let mut ok = true;
+                for k in 0..len {
+                    if (x[i + k] - x[j + k]).abs() > r {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    matches += 1;
+                }
+            }
+        }
+        matches
+    };
+    let b = count(m);
+    let a = count(m + 1);
+    const SATURATION: f32 = 10.0;
+    if a == 0 || b == 0 {
+        return Ok(SATURATION);
+    }
+    Ok((-(a as f32 / b as f32).ln()).min(SATURATION))
+}
+
+/// Approximate entropy `ApEn(m, r)` of `x` (includes self-matches, per
+/// Pincus' original definition).
+///
+/// # Errors
+///
+/// Same conditions as [`sample_entropy`].
+pub fn approximate_entropy(x: &[f32], m: usize, r: f32) -> Result<f32, DspError> {
+    if m == 0 {
+        return Err(DspError::BadParameter {
+            name: "m",
+            reason: "template length must be at least 1",
+        });
+    }
+    if r.is_nan() || r <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "r",
+            reason: "tolerance must be positive",
+        });
+    }
+    if x.len() <= m + 1 {
+        return Err(DspError::BadLength {
+            expected: "more than m + 1 samples",
+            actual: x.len(),
+        });
+    }
+    let phi = |len: usize| -> f32 {
+        let n = x.len() - len + 1;
+        let mut total = 0.0f32;
+        for i in 0..n {
+            let mut c = 0usize;
+            for j in 0..n {
+                let mut ok = true;
+                for k in 0..len {
+                    if (x[i + k] - x[j + k]).abs() > r {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    c += 1;
+                }
+            }
+            total += (c as f32 / n as f32).ln();
+        }
+        total / n as f32
+    };
+    Ok(phi(m) - phi(m + 1))
+}
+
+/// Petrosian fractal dimension — a cheap waveform-complexity index based on
+/// the count of sign changes in the first difference.
+pub fn petrosian_fd(x: &[f32]) -> f32 {
+    let n = x.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let diffs: Vec<f32> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    let n_delta = diffs
+        .windows(2)
+        .filter(|w| w[0].signum() != w[1].signum() && w[0] != 0.0)
+        .count();
+    let nf = n as f32;
+    nf.ln() / (nf.ln() + (nf / (nf + 0.4 * n_delta as f32)).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regular_signal(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 16.0).sin())
+            .collect()
+    }
+
+    /// Deterministic pseudo-random-looking signal (logistic map, chaotic).
+    fn chaotic_signal(n: usize) -> Vec<f32> {
+        let mut v = 0.37f32;
+        (0..n)
+            .map(|_| {
+                v = 3.99 * v * (1.0 - v);
+                v * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shannon_entropy_flat_beats_constant() {
+        let uniform: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let constant = vec![3.0f32; 256];
+        let eu = shannon_entropy(&uniform, 16).unwrap();
+        let ec = shannon_entropy(&constant, 16).unwrap();
+        assert!((eu - (16.0f32).ln()).abs() < 0.05);
+        assert_eq!(ec, 0.0);
+    }
+
+    #[test]
+    fn shannon_entropy_validates() {
+        assert!(shannon_entropy(&[], 8).is_err());
+        assert!(shannon_entropy(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn sample_entropy_chaos_exceeds_periodicity() {
+        let reg = regular_signal(200);
+        let chaos = chaotic_signal(200);
+        let r_reg = 0.2 * crate::stats::std_dev(&reg);
+        let r_chaos = 0.2 * crate::stats::std_dev(&chaos);
+        let se_reg = sample_entropy(&reg, 2, r_reg).unwrap();
+        let se_chaos = sample_entropy(&chaos, 2, r_chaos).unwrap();
+        assert!(
+            se_chaos > se_reg,
+            "chaotic {se_chaos} should exceed regular {se_reg}"
+        );
+    }
+
+    #[test]
+    fn sample_entropy_saturates_not_infinite() {
+        // A strictly monotonic ramp with tiny tolerance has no m+1 matches.
+        let ramp: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let se = sample_entropy(&ramp, 2, 1e-6).unwrap();
+        assert!(se.is_finite());
+        assert!(se >= 9.0);
+    }
+
+    #[test]
+    fn sample_entropy_validates() {
+        assert!(sample_entropy(&[1.0, 2.0], 2, 0.1).is_err());
+        assert!(sample_entropy(&regular_signal(64), 0, 0.1).is_err());
+        assert!(sample_entropy(&regular_signal(64), 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn approximate_entropy_orders_like_sample_entropy() {
+        let reg = regular_signal(150);
+        let chaos = chaotic_signal(150);
+        let ae_reg = approximate_entropy(&reg, 2, 0.2 * crate::stats::std_dev(&reg)).unwrap();
+        let ae_chaos =
+            approximate_entropy(&chaos, 2, 0.2 * crate::stats::std_dev(&chaos)).unwrap();
+        assert!(ae_chaos > ae_reg);
+    }
+
+    #[test]
+    fn petrosian_fd_increases_with_roughness() {
+        let smooth = regular_signal(256);
+        let rough = chaotic_signal(256);
+        assert!(petrosian_fd(&rough) > petrosian_fd(&smooth));
+        assert_eq!(petrosian_fd(&[1.0, 2.0]), 0.0);
+    }
+}

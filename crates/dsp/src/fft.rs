@@ -1,0 +1,295 @@
+//! Radix-2 iterative fast Fourier transform and spectrum helpers.
+//!
+//! The CLEAR feature extractor needs magnitude/power spectra of short signal
+//! windows (GSR and BVP frequency-domain features). A minimal complex type
+//! and an in-place iterative Cooley-Tukey FFT cover that; inputs whose
+//! length is not a power of two are zero-padded by the convenience wrappers.
+
+use crate::DspError;
+
+/// A complex number in `f32`, sufficient for short-window spectra.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Creates a complex number from rectangular coordinates.
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude `sqrt(re² + im²)`.
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the square root).
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for Complex32 {
+    type Output = Complex32;
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex32 {
+    type Output = Complex32;
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex32 {
+    type Output = Complex32;
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place forward FFT of a power-of-two-length complex buffer.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when `buf.len()` is not a power of two
+/// (zero counts as invalid).
+pub fn fft_in_place(buf: &mut [Complex32]) -> Result<(), DspError> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the `1/n` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when `buf.len()` is not a power of two.
+pub fn ifft_in_place(buf: &mut [Complex32]) -> Result<(), DspError> {
+    transform(buf, true)?;
+    let n = buf.len() as f32;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex32], inverse: bool) -> Result<(), DspError> {
+    let n = buf.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(DspError::BadLength {
+            expected: "a nonzero power of two",
+            actual: n,
+        });
+    }
+    if n == 1 {
+        return Ok(()); // the length-1 transform is the identity
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex32::new(ang.cos(), ang.sin());
+        for chunk in buf.chunks_mut(len) {
+            let mut w = Complex32::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Next power of two that is `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum of length `next_pow2(x.len())`.
+pub fn fft_real(x: &[f32]) -> Vec<Complex32> {
+    let n = next_pow2(x.len());
+    let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
+    buf.resize(n, Complex32::default());
+    fft_in_place(&mut buf).expect("length is a power of two by construction");
+    buf
+}
+
+/// Magnitude spectrum `|X[k]|` of a real signal (zero-padded, full length).
+pub fn magnitude_spectrum(x: &[f32]) -> Vec<f32> {
+    fft_real(x).into_iter().map(Complex32::abs).collect()
+}
+
+/// One-sided power spectrum of a real signal.
+///
+/// Returns `n/2 + 1` bins, `|X[k]|² / n`, with interior bins doubled to
+/// account for the mirrored negative frequencies.
+pub fn power_spectrum(x: &[f32]) -> Vec<f32> {
+    let spec = fft_real(x);
+    let n = spec.len();
+    let half = n / 2;
+    let norm = 1.0 / n as f32;
+    (0..=half)
+        .map(|k| {
+            let p = spec[k].norm_sqr() * norm;
+            if k == 0 || k == half {
+                p
+            } else {
+                2.0 * p
+            }
+        })
+        .collect()
+}
+
+/// Frequency in Hz of one-sided spectrum bin `k` for a signal of padded
+/// length `n` sampled at `fs` Hz.
+pub fn bin_frequency(k: usize, n: usize, fs: f32) -> f32 {
+    k as f32 * fs / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32, tol: f32) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex32::default(); 6];
+        assert!(matches!(
+            fft_in_place(&mut buf),
+            Err(DspError::BadLength { .. })
+        ));
+        let mut empty: Vec<Complex32> = vec![];
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn length_one_fft_is_identity() {
+        let mut buf = vec![Complex32::new(3.5, -1.25)];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex32::new(3.5, -1.25));
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex32::new(3.5, -1.25));
+        // The real-signal helpers are total over length-1 input too.
+        assert_eq!(fft_real(&[2.0]).len(), 1);
+        assert_eq!(power_spectrum(&[2.0]).len(), 1);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex32::default(); 8];
+        buf[0] = Complex32::new(1.0, 0.0);
+        fft_in_place(&mut buf).unwrap();
+        for v in &buf {
+            assert!(close(v.re, 1.0, 1e-5));
+            assert!(close(v.im, 0.0, 1e-5));
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_concentrates_in_bin_zero() {
+        let mut buf = vec![Complex32::new(1.0, 0.0); 16];
+        fft_in_place(&mut buf).unwrap();
+        assert!(close(buf[0].re, 16.0, 1e-4));
+        for v in &buf[1..] {
+            assert!(v.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin() + 0.1 * i as f32).collect();
+        let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
+        fft_in_place(&mut buf).unwrap();
+        ifft_in_place(&mut buf).unwrap();
+        for (orig, rec) in x.iter().zip(&buf) {
+            assert!(close(*orig, rec.re, 1e-4));
+            assert!(close(rec.im, 0.0, 1e-4));
+        }
+    }
+
+    #[test]
+    fn tone_lands_in_expected_bin() {
+        let fs = 128.0;
+        let f0 = 12.0;
+        let x: Vec<f32> = (0..128)
+            .map(|n| (2.0 * std::f32::consts::PI * f0 * n as f32 / fs).cos())
+            .collect();
+        let ps = power_spectrum(&x);
+        let peak = crate::stats::argmax(&ps).unwrap();
+        assert_eq!(peak, 12);
+        assert!(close(bin_frequency(peak, 128, fs), 12.0, 1e-6));
+    }
+
+    #[test]
+    fn parseval_energy_identity() {
+        let x: Vec<f32> = (0..64).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.3).collect();
+        let time_energy: f32 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x);
+        let freq_energy: f32 = spec.iter().map(|c| c.norm_sqr()).sum::<f32>() / 64.0;
+        assert!(close(time_energy, freq_energy, 1e-3 * time_energy.max(1.0)));
+    }
+
+    #[test]
+    fn one_sided_power_sums_to_signal_power() {
+        // For a zero-mean tone of amplitude A, total one-sided power = A²/2.
+        let x: Vec<f32> = (0..256)
+            .map(|n| 3.0 * (2.0 * std::f32::consts::PI * 10.0 * n as f32 / 256.0).sin())
+            .collect();
+        let total: f32 = power_spectrum(&x).iter().sum::<f32>() / 256.0;
+        assert!(close(total, 4.5, 0.05));
+    }
+
+    #[test]
+    fn zero_padding_keeps_length_pow2() {
+        let x = vec![1.0f32; 100];
+        assert_eq!(fft_real(&x).len(), 128);
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(129), 256);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(a + b, Complex32::new(4.0, 1.0));
+        assert_eq!(a - b, Complex32::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex32::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
+        assert!(close(a.abs(), 5.0f32.sqrt(), 1e-6));
+        assert!(close(a.norm_sqr(), 5.0, 1e-6));
+    }
+}

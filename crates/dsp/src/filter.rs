@@ -1,0 +1,304 @@
+//! IIR biquad filters with second-order Butterworth designs.
+//!
+//! The feature extractor pre-conditions each modality before measuring it:
+//! GSR is split into tonic (low-pass) and phasic (high-pass / band-pass)
+//! components, BVP is band-passed around the cardiac band, and SKT is
+//! low-passed. A direct-form-I biquad with bilinear-transform Butterworth
+//! coefficients covers all of these; [`filtfilt`] provides the zero-phase
+//! variant used on stored windows.
+
+use crate::DspError;
+
+/// Second-order IIR section, direct form I.
+///
+/// Coefficients are normalized so that `a0 == 1`:
+/// `y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    b0: f32,
+    b1: f32,
+    b2: f32,
+    a1: f32,
+    a2: f32,
+}
+
+impl Biquad {
+    /// Builds a biquad from raw normalized coefficients.
+    pub fn from_coefficients(b0: f32, b1: f32, b2: f32, a1: f32, a2: f32) -> Self {
+        Self { b0, b1, b2, a1, a2 }
+    }
+
+    /// Second-order Butterworth low-pass with cutoff `fc` Hz at sampling
+    /// rate `fs` Hz (bilinear transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] unless `0 < fc < fs / 2`.
+    pub fn butterworth_lowpass(fc: f32, fs: f32) -> Result<Self, DspError> {
+        check_cutoff(fc, fs)?;
+        let k = (std::f32::consts::PI * fc / fs).tan();
+        let q = std::f32::consts::FRAC_1_SQRT_2;
+        let norm = 1.0 / (1.0 + k / q + k * k);
+        Ok(Self {
+            b0: k * k * norm,
+            b1: 2.0 * k * k * norm,
+            b2: k * k * norm,
+            a1: 2.0 * (k * k - 1.0) * norm,
+            a2: (1.0 - k / q + k * k) * norm,
+        })
+    }
+
+    /// Second-order Butterworth high-pass with cutoff `fc` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] unless `0 < fc < fs / 2`.
+    pub fn butterworth_highpass(fc: f32, fs: f32) -> Result<Self, DspError> {
+        check_cutoff(fc, fs)?;
+        let k = (std::f32::consts::PI * fc / fs).tan();
+        let q = std::f32::consts::FRAC_1_SQRT_2;
+        let norm = 1.0 / (1.0 + k / q + k * k);
+        Ok(Self {
+            b0: norm,
+            b1: -2.0 * norm,
+            b2: norm,
+            a1: 2.0 * (k * k - 1.0) * norm,
+            a2: (1.0 - k / q + k * k) * norm,
+        })
+    }
+
+    /// Band-pass with center `f0` Hz and quality factor `q` (constant
+    /// skirt-gain biquad).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] unless `0 < f0 < fs / 2` and
+    /// `q > 0`.
+    pub fn bandpass(f0: f32, q: f32, fs: f32) -> Result<Self, DspError> {
+        check_cutoff(f0, fs)?;
+        if q.is_nan() || q <= 0.0 {
+            return Err(DspError::BadParameter {
+                name: "q",
+                reason: "quality factor must be positive",
+            });
+        }
+        let w0 = 2.0 * std::f32::consts::PI * f0 / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        Ok(Self {
+            b0: alpha / a0,
+            b1: 0.0,
+            b2: -alpha / a0,
+            a1: -2.0 * w0.cos() / a0,
+            a2: (1.0 - alpha) / a0,
+        })
+    }
+
+    /// Filters `x` forward in time from zero initial conditions.
+    pub fn filter(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = Vec::with_capacity(x.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for &xn in x {
+            let yn = self.b0 * xn + self.b1 * x1 + self.b2 * x2 - self.a1 * y1 - self.a2 * y2;
+            x2 = x1;
+            x1 = xn;
+            y2 = y1;
+            y1 = yn;
+            y.push(yn);
+        }
+        y
+    }
+
+    /// Magnitude response at frequency `f` Hz for sampling rate `fs`.
+    pub fn magnitude_at(&self, f: f32, fs: f32) -> f32 {
+        use crate::fft::Complex32;
+        let w = 2.0 * std::f32::consts::PI * f / fs;
+        let z1 = Complex32::new(w.cos(), -w.sin());
+        let z2 = z1 * z1;
+        let one = Complex32::new(1.0, 0.0);
+        let scale = |c: Complex32, s: f32| Complex32::new(c.re * s, c.im * s);
+        let num = one
+            + Complex32::new(0.0, 0.0)
+            + scale(z1, self.b1 / self.b0.max(f32::MIN_POSITIVE))
+            + scale(z2, self.b2 / self.b0.max(f32::MIN_POSITIVE));
+        let num = scale(num, self.b0);
+        let den = one + scale(z1, self.a1) + scale(z2, self.a2);
+        num.abs() / den.abs().max(f32::MIN_POSITIVE)
+    }
+}
+
+fn check_cutoff(fc: f32, fs: f32) -> Result<(), DspError> {
+    if fs.is_nan() || fs <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rate must be positive",
+        });
+    }
+    if fc.is_nan() || fc <= 0.0 || fc >= fs / 2.0 {
+        return Err(DspError::BadParameter {
+            name: "fc",
+            reason: "cutoff must lie strictly between 0 and fs / 2",
+        });
+    }
+    Ok(())
+}
+
+/// Zero-phase filtering: applies `biquad` forward, then backward.
+///
+/// Doubles the effective filter order and cancels the phase delay —
+/// appropriate for offline feature extraction where the full window is
+/// available.
+pub fn filtfilt(biquad: &Biquad, x: &[f32]) -> Vec<f32> {
+    let fwd = biquad.filter(x);
+    let mut rev: Vec<f32> = fwd.into_iter().rev().collect();
+    rev = biquad.filter(&rev);
+    rev.reverse();
+    rev
+}
+
+/// Centered moving average of width `w` (odd widths recommended).
+/// Edges use the available shorter windows, so the output length equals the
+/// input length.
+pub fn moving_average(x: &[f32], w: usize) -> Vec<f32> {
+    if x.is_empty() || w <= 1 {
+        return x.to_vec();
+    }
+    let half = w / 2;
+    (0..x.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(x.len());
+            crate::stats::mean(&x[lo..hi])
+        })
+        .collect()
+}
+
+/// Removes the least-squares linear trend from `x`.
+pub fn detrend(x: &[f32]) -> Vec<f32> {
+    let n = x.len();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    let b = crate::stats::slope(x);
+    let m = crate::stats::mean(x);
+    let t_mean = (n as f32 - 1.0) / 2.0;
+    x.iter()
+        .enumerate()
+        .map(|(i, &v)| v - (m + b * (i as f32 - t_mean)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f32, f0: f32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * f0 * i as f32 / fs).sin())
+            .collect()
+    }
+
+    fn rms(x: &[f32]) -> f32 {
+        crate::stats::rms(x)
+    }
+
+    #[test]
+    fn lowpass_passes_low_blocks_high() {
+        let fs = 64.0;
+        let lp = Biquad::butterworth_lowpass(2.0, fs).unwrap();
+        let low = lp.filter(&tone(fs, 0.5, 1024));
+        let high = lp.filter(&tone(fs, 16.0, 1024));
+        assert!(rms(&low[256..]) > 0.6, "low tone attenuated: {}", rms(&low[256..]));
+        assert!(rms(&high[256..]) < 0.05, "high tone passed: {}", rms(&high[256..]));
+    }
+
+    #[test]
+    fn highpass_blocks_low_passes_high() {
+        let fs = 64.0;
+        let hp = Biquad::butterworth_highpass(4.0, fs).unwrap();
+        let low = hp.filter(&tone(fs, 0.25, 1024));
+        let high = hp.filter(&tone(fs, 16.0, 1024));
+        assert!(rms(&low[256..]) < 0.05);
+        assert!(rms(&high[256..]) > 0.6);
+    }
+
+    #[test]
+    fn bandpass_selects_center_band() {
+        let fs = 64.0;
+        let bp = Biquad::bandpass(8.0, 1.0, fs).unwrap();
+        let center = bp.filter(&tone(fs, 8.0, 1024));
+        let low = bp.filter(&tone(fs, 1.0, 1024));
+        let high = bp.filter(&tone(fs, 28.0, 1024));
+        assert!(rms(&center[256..]) > 3.0 * rms(&low[256..]));
+        assert!(rms(&center[256..]) > 3.0 * rms(&high[256..]));
+    }
+
+    #[test]
+    fn dc_gain_of_lowpass_is_unity() {
+        let lp = Biquad::butterworth_lowpass(2.0, 64.0).unwrap();
+        let dc = lp.filter(&vec![1.0f32; 512]);
+        assert!((dc[511] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_cutoffs_rejected() {
+        assert!(Biquad::butterworth_lowpass(0.0, 64.0).is_err());
+        assert!(Biquad::butterworth_lowpass(32.0, 64.0).is_err());
+        assert!(Biquad::butterworth_lowpass(5.0, 0.0).is_err());
+        assert!(Biquad::butterworth_highpass(-1.0, 64.0).is_err());
+        assert!(Biquad::bandpass(8.0, 0.0, 64.0).is_err());
+    }
+
+    #[test]
+    fn filtfilt_has_no_phase_shift() {
+        let fs = 64.0;
+        let lp = Biquad::butterworth_lowpass(6.0, fs).unwrap();
+        let x = tone(fs, 1.0, 512);
+        let y = filtfilt(&lp, &x);
+        // A 1 Hz tone sits deep in the 6 Hz passband, and filtfilt cancels
+        // the phase delay, so away from the edges output ≈ input.
+        let max_err = x[64..448]
+            .iter()
+            .zip(&y[64..448])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.05, "filtfilt deviation {max_err}");
+    }
+
+    #[test]
+    fn filter_is_stable_on_long_input() {
+        let fs = 64.0;
+        let lp = Biquad::butterworth_lowpass(1.0, fs).unwrap();
+        let x: Vec<f32> = (0..20_000).map(|i| ((i * 31 % 97) as f32 - 48.0) / 48.0).collect();
+        let y = lp.filter(&x);
+        assert!(y.iter().all(|v| v.is_finite() && v.abs() < 100.0));
+    }
+
+    #[test]
+    fn moving_average_smooths_preserving_mean() {
+        let x: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = moving_average(&x, 5);
+        assert_eq!(y.len(), x.len());
+        assert!(rms(&y[10..90]) < 0.5 * rms(&x));
+        assert_eq!(moving_average(&x, 1), x);
+        assert!(moving_average(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn detrend_removes_linear_component() {
+        let x: Vec<f32> = (0..200).map(|i| 0.3 * i as f32 + 5.0).collect();
+        let y = detrend(&x);
+        assert!(rms(&y) < 1e-3);
+        assert_eq!(detrend(&[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn magnitude_response_matches_filtered_rms() {
+        let fs = 64.0;
+        let lp = Biquad::butterworth_lowpass(4.0, fs).unwrap();
+        let g_pass = lp.magnitude_at(1.0, fs);
+        let g_stop = lp.magnitude_at(20.0, fs);
+        assert!(g_pass > 0.9);
+        assert!(g_stop < 0.1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Heart-rate-variability (HRV) metrics from inter-beat intervals.
+//!
+//! The 84 BVP features of the CLEAR extractor are dominated by HRV measures
+//! computed from the inter-beat-interval (IBI) series: time-domain (SDNN,
+//! RMSSD, pNN50…), geometric (Poincaré SD1/SD2), and frequency-domain
+//! (LF/HF band powers of the interpolated IBI tachogram).
+
+use crate::psd::{welch, WelchConfig};
+use crate::resample::interp_uniform;
+use crate::DspError;
+
+/// Time-domain HRV summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeDomainHrv {
+    /// Mean inter-beat interval, seconds.
+    pub mean_ibi: f32,
+    /// Mean heart rate, beats per minute.
+    pub mean_hr: f32,
+    /// Standard deviation of heart rate (bpm).
+    pub std_hr: f32,
+    /// Standard deviation of IBIs (SDNN), seconds.
+    pub sdnn: f32,
+    /// Root mean square of successive IBI differences (RMSSD), seconds.
+    pub rmssd: f32,
+    /// Standard deviation of successive differences (SDSD), seconds.
+    pub sdsd: f32,
+    /// Fraction of successive differences exceeding 50 ms (pNN50) in `[0,1]`.
+    pub pnn50: f32,
+    /// Fraction of successive differences exceeding 20 ms (pNN20) in `[0,1]`.
+    pub pnn20: f32,
+}
+
+/// Computes time-domain HRV from an IBI series (seconds).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when fewer than 2 intervals are given
+/// (successive differences are undefined).
+pub fn time_domain(ibis: &[f32]) -> Result<TimeDomainHrv, DspError> {
+    if ibis.len() < 2 {
+        return Err(DspError::BadLength {
+            expected: "at least 2 inter-beat intervals",
+            actual: ibis.len(),
+        });
+    }
+    let mean_ibi = crate::stats::mean(ibis);
+    let hrs: Vec<f32> = ibis.iter().map(|&ibi| 60.0 / ibi.max(1e-3)).collect();
+    let diffs: Vec<f32> = ibis.windows(2).map(|w| w[1] - w[0]).collect();
+    let rmssd = crate::stats::rms(&diffs);
+    let nn50 = diffs.iter().filter(|d| d.abs() > 0.050).count();
+    let nn20 = diffs.iter().filter(|d| d.abs() > 0.020).count();
+    Ok(TimeDomainHrv {
+        mean_ibi,
+        mean_hr: crate::stats::mean(&hrs),
+        std_hr: crate::stats::std_dev(&hrs),
+        sdnn: crate::stats::std_dev(ibis),
+        rmssd,
+        sdsd: crate::stats::std_dev(&diffs),
+        pnn50: nn50 as f32 / diffs.len() as f32,
+        pnn20: nn20 as f32 / diffs.len() as f32,
+    })
+}
+
+/// Poincaré-plot geometry of an IBI series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Poincare {
+    /// Short-term variability axis (width of the cloud).
+    pub sd1: f32,
+    /// Long-term variability axis (length of the cloud).
+    pub sd2: f32,
+    /// `sd1 / sd2` balance; `0.0` when SD2 vanishes.
+    pub ratio: f32,
+}
+
+/// Computes Poincaré SD1/SD2 from an IBI series.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when fewer than 2 intervals are given.
+pub fn poincare(ibis: &[f32]) -> Result<Poincare, DspError> {
+    if ibis.len() < 2 {
+        return Err(DspError::BadLength {
+            expected: "at least 2 inter-beat intervals",
+            actual: ibis.len(),
+        });
+    }
+    // SD1² = var((x_{n+1} - x_n)/√2), SD2² = var((x_{n+1} + x_n)/√2).
+    let d: Vec<f32> = ibis
+        .windows(2)
+        .map(|w| (w[1] - w[0]) / std::f32::consts::SQRT_2)
+        .collect();
+    let s: Vec<f32> = ibis
+        .windows(2)
+        .map(|w| (w[1] + w[0]) / std::f32::consts::SQRT_2)
+        .collect();
+    let sd1 = crate::stats::std_dev(&d);
+    let sd2 = crate::stats::std_dev(&s);
+    Ok(Poincare {
+        sd1,
+        sd2,
+        ratio: if sd2 > f32::EPSILON { sd1 / sd2 } else { 0.0 },
+    })
+}
+
+/// Frequency-domain HRV summary (powers in s²; standard short-term bands).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrequencyDomainHrv {
+    /// Very-low-frequency power, 0.0033–0.04 Hz.
+    pub vlf_power: f32,
+    /// Low-frequency power, 0.04–0.15 Hz.
+    pub lf_power: f32,
+    /// High-frequency power, 0.15–0.4 Hz.
+    pub hf_power: f32,
+    /// `lf / hf` sympathovagal balance; `0.0` when HF vanishes.
+    pub lf_hf_ratio: f32,
+    /// Normalized LF: `lf / (lf + hf)`.
+    pub lf_normalized: f32,
+}
+
+/// Computes frequency-domain HRV by resampling the IBI tachogram to a
+/// uniform 4 Hz grid and Welch-estimating its PSD.
+///
+/// `beat_times` are the cumulative beat timestamps (seconds) matching the
+/// IBI series (`beat_times.len() == ibis.len()`, timestamp of each interval's
+/// *end* beat).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when fewer than 4 intervals are given
+/// or the lengths mismatch.
+pub fn frequency_domain(beat_times: &[f32], ibis: &[f32]) -> Result<FrequencyDomainHrv, DspError> {
+    if ibis.len() < 4 {
+        return Err(DspError::BadLength {
+            expected: "at least 4 inter-beat intervals",
+            actual: ibis.len(),
+        });
+    }
+    if beat_times.len() != ibis.len() {
+        return Err(DspError::BadLength {
+            expected: "beat_times matching ibis length",
+            actual: beat_times.len(),
+        });
+    }
+    const RESAMPLE_HZ: f32 = 4.0;
+    let t0 = beat_times[0];
+    let t1 = *beat_times.last().unwrap();
+    let duration = (t1 - t0).max(1.0 / RESAMPLE_HZ);
+    let n = ((duration * RESAMPLE_HZ) as usize).max(8);
+    let tachogram = interp_uniform(beat_times, ibis, t0, t1, n)?;
+    let seg = (n / 2).clamp(8, 256);
+    let psd = welch(&tachogram, RESAMPLE_HZ, &WelchConfig::with_segment_len(seg))?;
+    let vlf = psd.band_power(0.0033, 0.04);
+    let lf = psd.band_power(0.04, 0.15);
+    let hf = psd.band_power(0.15, 0.4);
+    Ok(FrequencyDomainHrv {
+        vlf_power: vlf,
+        lf_power: lf,
+        hf_power: hf,
+        lf_hf_ratio: if hf > f32::EPSILON { lf / hf } else { 0.0 },
+        lf_normalized: if lf + hf > f32::EPSILON {
+            lf / (lf + hf)
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_domain_of_steady_rhythm() {
+        let ibis = vec![0.8f32; 50]; // 75 bpm, no variability
+        let td = time_domain(&ibis).unwrap();
+        assert!((td.mean_hr - 75.0).abs() < 0.1);
+        assert!(td.sdnn < 1e-6);
+        assert!(td.rmssd < 1e-6);
+        assert_eq!(td.pnn50, 0.0);
+    }
+
+    #[test]
+    fn time_domain_alternans_has_high_rmssd() {
+        let ibis: Vec<f32> = (0..60)
+            .map(|i| if i % 2 == 0 { 0.7 } else { 0.9 })
+            .collect();
+        let td = time_domain(&ibis).unwrap();
+        assert!((td.rmssd - 0.2).abs() < 1e-3);
+        assert_eq!(td.pnn50, 1.0);
+        assert_eq!(td.pnn20, 1.0);
+        assert!((td.mean_ibi - 0.8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_domain_needs_two_intervals() {
+        assert!(time_domain(&[0.8]).is_err());
+        assert!(time_domain(&[]).is_err());
+    }
+
+    #[test]
+    fn poincare_alternans_is_sd1_dominant() {
+        // Beat-to-beat alternation → large SD1 relative to SD2.
+        let alternans: Vec<f32> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.7 } else { 0.9 })
+            .collect();
+        let p = poincare(&alternans).unwrap();
+        assert!(p.sd1 > 5.0 * p.sd2.max(1e-6), "sd1 {} sd2 {}", p.sd1, p.sd2);
+
+        // Slow monotonic drift → SD2 dominant.
+        let drift: Vec<f32> = (0..40).map(|i| 0.7 + 0.005 * i as f32).collect();
+        let p2 = poincare(&drift).unwrap();
+        assert!(p2.sd2 > 5.0 * p2.sd1.max(1e-6));
+        assert!(p2.ratio < 0.25);
+    }
+
+    #[test]
+    fn frequency_domain_separates_lf_and_hf_modulation() {
+        // Build beat times whose IBIs oscillate at a known modulation rate.
+        let make = |mod_hz: f32| -> (Vec<f32>, Vec<f32>) {
+            let mut t = 0.0f32;
+            let mut times = Vec::new();
+            let mut ibis = Vec::new();
+            for _ in 0..400 {
+                let ibi = 0.8 + 0.05 * (2.0 * std::f32::consts::PI * mod_hz * t).sin();
+                t += ibi;
+                times.push(t);
+                ibis.push(ibi);
+            }
+            (times, ibis)
+        };
+        let (t_lf, ibi_lf) = make(0.1); // inside the LF band
+        let (t_hf, ibi_hf) = make(0.3); // inside the HF band
+        let lf = frequency_domain(&t_lf, &ibi_lf).unwrap();
+        let hf = frequency_domain(&t_hf, &ibi_hf).unwrap();
+        assert!(lf.lf_power > lf.hf_power, "{lf:?}");
+        assert!(hf.hf_power > hf.lf_power, "{hf:?}");
+        assert!(lf.lf_hf_ratio > 1.0);
+        assert!(hf.lf_hf_ratio < 1.0);
+        assert!(lf.lf_normalized > 0.5 && hf.lf_normalized < 0.5);
+    }
+
+    #[test]
+    fn frequency_domain_validates_input() {
+        assert!(frequency_domain(&[1.0, 2.0], &[0.8, 0.8]).is_err());
+        assert!(frequency_domain(&[1.0; 5], &[0.8; 4]).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! # clear-dsp — signal-processing substrate for CLEAR
+//!
+//! This crate provides every numerical signal-processing primitive the CLEAR
+//! reproduction needs to turn raw physiological signals (blood volume pulse,
+//! galvanic skin response, skin temperature) into the 123 scalar features of
+//! the paper's 2D feature maps:
+//!
+//! * descriptive statistics ([`stats`]),
+//! * window functions ([`window`]) and a radix-2 FFT ([`fft`]),
+//! * Welch power-spectral-density estimation and band power ([`psd`]),
+//! * IIR biquad filters with Butterworth designs ([`filter`]),
+//! * peak/event detection for heart beats and skin-conductance responses
+//!   ([`peaks`]),
+//! * entropy and non-linear complexity measures ([`entropy`]),
+//! * heart-rate-variability metrics, including Poincaré geometry ([`hrv`]),
+//! * resampling and detrending helpers ([`resample`]).
+//!
+//! All routines operate on `f32` slices, are deterministic, and allocate only
+//! when a new series must be returned.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_dsp::{fft, stats};
+//!
+//! // A pure 5 Hz tone sampled at 64 Hz has its spectral mass in bin 5.
+//! let fs = 64.0;
+//! let signal: Vec<f32> = (0..64)
+//!     .map(|n| (2.0 * std::f32::consts::PI * 5.0 * n as f32 / fs).sin())
+//!     .collect();
+//! let spectrum = fft::magnitude_spectrum(&signal);
+//! let peak_bin = stats::argmax(&spectrum[..32]).unwrap();
+//! assert_eq!(peak_bin, 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod fft;
+pub mod filter;
+pub mod hrv;
+pub mod peaks;
+pub mod psd;
+pub mod resample;
+pub mod stats;
+pub mod window;
+
+pub use fft::Complex32;
+
+/// Errors produced by `clear-dsp` routines.
+///
+/// Every fallible public function in this crate returns `Result<_, DspError>`;
+/// the error messages are lowercase and concise per Rust API guidelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// The input series was empty but the operation needs at least one sample.
+    EmptyInput,
+    /// The input length is invalid for the operation (e.g. FFT length not a
+    /// power of two, or fewer samples than a required minimum).
+    BadLength {
+        /// What the routine expected of the length.
+        expected: &'static str,
+        /// The length it actually received.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for DspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input series is empty"),
+            DspError::BadLength { expected, actual } => {
+                write!(f, "invalid input length {actual}, expected {expected}")
+            }
+            DspError::BadParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_lowercase_and_nonempty() {
+        let errs = [
+            DspError::EmptyInput,
+            DspError::BadLength {
+                expected: "a power of two",
+                actual: 7,
+            },
+            DspError::BadParameter {
+                name: "cutoff",
+                reason: "must be below the nyquist frequency",
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

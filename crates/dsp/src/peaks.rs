@@ -1,0 +1,339 @@
+//! Peak and physiological-event detection.
+//!
+//! Two detectors drive the CLEAR feature extractor:
+//!
+//! * [`detect_peaks`] — generic local-maximum detection with amplitude
+//!   threshold and refractory distance, used for BVP systolic peaks (heart
+//!   beats) from which the HRV features derive;
+//! * [`detect_scr_events`] — skin-conductance-response onsets/peaks in the
+//!   phasic GSR component, yielding SCR rate, amplitudes, rise times and
+//!   half-recovery times.
+
+use crate::DspError;
+
+/// Parameters for [`detect_peaks`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeakConfig {
+    /// Minimum absolute height a sample must reach to qualify.
+    pub min_height: f32,
+    /// Minimum distance (in samples) between consecutive accepted peaks —
+    /// the physiological refractory period.
+    pub min_distance: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        Self {
+            min_height: 0.0,
+            min_distance: 1,
+        }
+    }
+}
+
+/// Indices of local maxima of `x` subject to `config`.
+///
+/// A sample qualifies when it strictly exceeds its immediate neighbours,
+/// reaches `min_height`, and is at least `min_distance` samples after the
+/// previously accepted peak. When two candidates collide within the
+/// refractory distance the higher one wins.
+pub fn detect_peaks(x: &[f32], config: &PeakConfig) -> Vec<usize> {
+    if x.len() < 3 {
+        return Vec::new();
+    }
+    let mut peaks: Vec<usize> = Vec::new();
+    for i in 1..x.len() - 1 {
+        if x[i] > x[i - 1] && x[i] >= x[i + 1] && x[i] >= config.min_height {
+            match peaks.last() {
+                Some(&last) if i - last < config.min_distance.max(1) => {
+                    if x[i] > x[last] {
+                        *peaks.last_mut().unwrap() = i;
+                    }
+                }
+                _ => peaks.push(i),
+            }
+        }
+    }
+    peaks
+}
+
+/// Detects heart beats in a blood-volume-pulse signal.
+///
+/// The threshold adapts to the signal: 40 % of the 90th amplitude percentile
+/// above the median, with a refractory period of 0.33 s (max ≈ 180 bpm).
+///
+/// Returns beat indices (systolic peaks).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadParameter`] when `fs <= 0`.
+pub fn detect_beats(bvp: &[f32], fs: f32) -> Result<Vec<usize>, DspError> {
+    if fs.is_nan() || fs <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rate must be positive",
+        });
+    }
+    if bvp.len() < 3 {
+        return Ok(Vec::new());
+    }
+    let med = crate::stats::median(bvp).unwrap_or(0.0);
+    let p90 = crate::stats::percentile(bvp, 90.0).unwrap_or(0.0);
+    let threshold = med + 0.4 * (p90 - med);
+    let config = PeakConfig {
+        min_height: threshold,
+        min_distance: (0.33 * fs).round().max(1.0) as usize,
+    };
+    let mut beats = detect_peaks(bvp, &config);
+    // Second pass: the dicrotic wave can clear the amplitude threshold at
+    // slow heart rates. Dicrotic bumps are much lower than systolic peaks,
+    // so drop detections below half the 90th-percentile peak height.
+    if beats.len() >= 3 {
+        let heights: Vec<f32> = beats.iter().map(|&i| bvp[i]).collect();
+        let p90h = crate::stats::percentile(&heights, 90.0).unwrap_or(0.0);
+        beats.retain(|&i| bvp[i] >= 0.5 * p90h);
+    }
+    // Third pass: any interval shorter than 60 % of the median interval
+    // is physiologically implausible — drop the lower of the two peaks.
+    loop {
+        let ibis: Vec<f32> = beats.windows(2).map(|w| (w[1] - w[0]) as f32).collect();
+        if ibis.len() < 2 {
+            break;
+        }
+        let med_ibi = crate::stats::median(&ibis).expect("ibis nonempty");
+        let mut removed = false;
+        let mut i = 1;
+        while i < beats.len() {
+            if ((beats[i] - beats[i - 1]) as f32) < 0.6 * med_ibi {
+                let drop = if bvp[beats[i]] < bvp[beats[i - 1]] {
+                    i
+                } else {
+                    i - 1
+                };
+                beats.remove(drop);
+                removed = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+    Ok(beats)
+}
+
+/// A detected skin-conductance response (SCR).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrEvent {
+    /// Sample index where the response starts rising.
+    pub onset: usize,
+    /// Sample index of the response apex.
+    pub peak: usize,
+    /// Conductance rise from onset to apex (µS in the simulator's units).
+    pub amplitude: f32,
+    /// Rise time in seconds (onset → apex).
+    pub rise_time: f32,
+    /// Half-recovery time in seconds (apex → first sample below
+    /// `onset + amplitude / 2`), `None` if recovery never happens within the
+    /// window.
+    pub half_recovery: Option<f32>,
+}
+
+/// Detects SCR events in the *phasic* GSR component sampled at `fs` Hz.
+///
+/// An event is a rise of at least `min_amplitude` from a local trough to a
+/// local apex. Follows the standard trough-to-peak scoring of
+/// electrodermal-activity analysis.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadParameter`] when `fs <= 0` or
+/// `min_amplitude <= 0`.
+pub fn detect_scr_events(
+    phasic: &[f32],
+    fs: f32,
+    min_amplitude: f32,
+) -> Result<Vec<ScrEvent>, DspError> {
+    if fs.is_nan() || fs <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rate must be positive",
+        });
+    }
+    if min_amplitude.is_nan() || min_amplitude <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "min_amplitude",
+            reason: "amplitude criterion must be positive",
+        });
+    }
+    let n = phasic.len();
+    if n < 3 {
+        return Ok(Vec::new());
+    }
+
+    let mut events = Vec::new();
+    let mut trough_idx = 0usize;
+    let mut trough_val = phasic[0];
+    let mut i = 1;
+    while i < n {
+        if phasic[i] < trough_val {
+            trough_val = phasic[i];
+            trough_idx = i;
+        }
+        // Local apex: strictly rising into i, non-rising out of i.
+        let is_apex = phasic[i] > phasic[i - 1] && (i + 1 == n || phasic[i] >= phasic[i + 1]);
+        if is_apex {
+            let amplitude = phasic[i] - trough_val;
+            if amplitude >= min_amplitude {
+                let half_level = trough_val + amplitude / 2.0;
+                let half_recovery = phasic[i..]
+                    .iter()
+                    .position(|&v| v <= half_level)
+                    .map(|off| off as f32 / fs);
+                events.push(ScrEvent {
+                    onset: trough_idx,
+                    peak: i,
+                    amplitude,
+                    rise_time: (i - trough_idx) as f32 / fs,
+                    half_recovery,
+                });
+                // Restart trough tracking from the apex.
+                trough_idx = i;
+                trough_val = phasic[i];
+            }
+        }
+        i += 1;
+    }
+    Ok(events)
+}
+
+/// Inter-beat intervals in seconds from beat indices at sampling rate `fs`.
+pub fn inter_beat_intervals(beats: &[usize], fs: f32) -> Vec<f32> {
+    beats
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f32 / fs)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesizes a pulse train resembling BVP at the given heart rate.
+    fn synth_bvp(fs: f32, bpm: f32, secs: f32) -> Vec<f32> {
+        let n = (fs * secs) as usize;
+        let period = 60.0 / bpm;
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / fs;
+                let phase = (t % period) / period;
+                // Sharp systolic upstroke, slower decay, small dicrotic bump.
+                (-(phase * 8.0)).exp() + 0.25 * (-((phase - 0.4) * 12.0).powi(2)).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detect_peaks_basic_triangle() {
+        let x = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let p = detect_peaks(&x, &PeakConfig::default());
+        assert_eq!(p, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn detect_peaks_height_filter() {
+        let x = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let p = detect_peaks(
+            &x,
+            &PeakConfig {
+                min_height: 1.5,
+                min_distance: 1,
+            },
+        );
+        assert_eq!(p, vec![3, 5]);
+    }
+
+    #[test]
+    fn detect_peaks_refractory_keeps_higher() {
+        let x = [0.0, 1.0, 0.5, 2.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        let p = detect_peaks(
+            &x,
+            &PeakConfig {
+                min_height: 0.0,
+                min_distance: 4,
+            },
+        );
+        assert_eq!(p, vec![3, 7]);
+    }
+
+    #[test]
+    fn detect_peaks_short_input() {
+        assert!(detect_peaks(&[], &PeakConfig::default()).is_empty());
+        assert!(detect_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn beat_detection_recovers_heart_rate() {
+        let fs = 64.0;
+        for bpm in [55.0, 72.0, 95.0, 120.0] {
+            let bvp = synth_bvp(fs, bpm, 30.0);
+            let beats = detect_beats(&bvp, fs).unwrap();
+            let ibis = inter_beat_intervals(&beats, fs);
+            let mean_ibi = crate::stats::mean(&ibis);
+            let detected_bpm = 60.0 / mean_ibi;
+            assert!(
+                (detected_bpm - bpm).abs() < 4.0,
+                "bpm {bpm} detected {detected_bpm}"
+            );
+        }
+    }
+
+    #[test]
+    fn beat_detection_validates_fs() {
+        assert!(detect_beats(&[1.0, 2.0, 1.0], 0.0).is_err());
+        assert!(detect_beats(&[], 64.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scr_detection_counts_events() {
+        let fs = 8.0;
+        // Two clear SCRs: fast rise, slow decay, separated by quiet baseline.
+        let mut x = vec![0.0f32; 160];
+        for (start, amp) in [(20usize, 1.0f32), (100, 0.7)] {
+            for i in 0..60 {
+                if start + i < x.len() {
+                    let t = i as f32 / fs;
+                    x[start + i] += amp * (t / 0.8) * (-(t / 2.0)).exp() * std::f32::consts::E;
+                }
+            }
+        }
+        let events = detect_scr_events(&x, fs, 0.1).unwrap();
+        assert_eq!(events.len(), 2, "events: {events:?}");
+        assert!(events[0].amplitude > events[1].amplitude);
+        assert!(events[0].rise_time > 0.0);
+        assert!(events[0].half_recovery.is_some());
+        assert!(events[0].onset < events[0].peak);
+    }
+
+    #[test]
+    fn scr_detection_ignores_subthreshold_ripple() {
+        let x: Vec<f32> = (0..200).map(|i| 0.01 * ((i as f32) * 0.7).sin()).collect();
+        let events = detect_scr_events(&x, 8.0, 0.1).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn scr_detection_validates_parameters() {
+        assert!(detect_scr_events(&[0.0; 10], 0.0, 0.1).is_err());
+        assert!(detect_scr_events(&[0.0; 10], 8.0, 0.0).is_err());
+        assert!(detect_scr_events(&[0.0; 2], 8.0, 0.1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ibi_computation() {
+        let beats = [10usize, 74, 138];
+        let ibis = inter_beat_intervals(&beats, 64.0);
+        assert_eq!(ibis, vec![1.0, 1.0]);
+        assert!(inter_beat_intervals(&[5], 64.0).is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Welch power-spectral-density estimation and band-power features.
+//!
+//! The frequency-domain features of the CLEAR extractor (BVP spectral bands,
+//! GSR low-frequency power, LF/HF HRV ratios) are computed from a Welch PSD:
+//! the signal is split into overlapping tapered segments whose periodograms
+//! are averaged, trading frequency resolution for variance reduction — the
+//! right trade-off for the 60-second physiological windows of the paper.
+
+use crate::fft::{self, Complex32};
+use crate::window::WindowKind;
+use crate::DspError;
+
+/// A one-sided power spectral density estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd {
+    /// Bin center frequencies in Hz, ascending, `freqs[0] == 0`.
+    pub freqs: Vec<f32>,
+    /// Power density per bin, same length as `freqs` (units²/Hz).
+    pub power: Vec<f32>,
+}
+
+impl Psd {
+    /// Total power in the inclusive-exclusive frequency band `[lo, hi)` Hz,
+    /// integrated with the rectangle rule.
+    ///
+    /// Out-of-range bands yield `0.0`.
+    pub fn band_power(&self, lo: f32, hi: f32) -> f32 {
+        if self.freqs.len() < 2 {
+            return 0.0;
+        }
+        let df = self.freqs[1] - self.freqs[0];
+        self.freqs
+            .iter()
+            .zip(&self.power)
+            .filter(|(f, _)| **f >= lo && **f < hi)
+            .map(|(_, p)| p * df)
+            .sum()
+    }
+
+    /// Total power across the whole estimated spectrum.
+    pub fn total_power(&self) -> f32 {
+        self.band_power(0.0, f32::INFINITY)
+    }
+
+    /// Frequency of the highest-power bin, excluding DC (bin 0).
+    pub fn peak_frequency(&self) -> f32 {
+        if self.power.len() < 2 {
+            return 0.0;
+        }
+        let idx = crate::stats::argmax(&self.power[1..]).map_or(0, |i| i + 1);
+        self.freqs[idx]
+    }
+
+    /// Spectral centroid: the power-weighted mean frequency.
+    pub fn spectral_centroid(&self) -> f32 {
+        let total: f32 = self.power.iter().sum();
+        if total < f32::EPSILON {
+            return 0.0;
+        }
+        self.freqs
+            .iter()
+            .zip(&self.power)
+            .map(|(f, p)| f * p)
+            .sum::<f32>()
+            / total
+    }
+
+    /// Spectral (Shannon) entropy of the normalized PSD, in nats.
+    ///
+    /// A flat spectrum maximizes it; a single tone minimizes it.
+    pub fn spectral_entropy(&self) -> f32 {
+        let total: f32 = self.power.iter().sum();
+        if total < f32::EPSILON {
+            return 0.0;
+        }
+        -self
+            .power
+            .iter()
+            .map(|p| p / total)
+            .filter(|p| *p > f32::EPSILON)
+            .map(|p| p * p.ln())
+            .sum::<f32>()
+    }
+
+    /// Frequency below which `fraction` of the total power lies (spectral
+    /// roll-off). `fraction` is clamped to `[0, 1]`.
+    pub fn rolloff(&self, fraction: f32) -> f32 {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let total: f32 = self.power.iter().sum();
+        if total < f32::EPSILON {
+            return 0.0;
+        }
+        let target = total * fraction;
+        let mut acc = 0.0;
+        for (f, p) in self.freqs.iter().zip(&self.power) {
+            acc += p;
+            if acc >= target {
+                return *f;
+            }
+        }
+        *self.freqs.last().unwrap_or(&0.0)
+    }
+}
+
+/// Configuration for [`welch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchConfig {
+    /// Samples per segment (will be zero-padded to a power of two for the
+    /// FFT). Must be at least 2.
+    pub segment_len: usize,
+    /// Overlap between consecutive segments in samples; must be smaller than
+    /// `segment_len`. Half-overlap is the classic Welch choice.
+    pub overlap: usize,
+    /// Taper applied to each segment.
+    pub window: WindowKind,
+}
+
+impl WelchConfig {
+    /// Classic Welch configuration: given segment length, 50 % overlap,
+    /// Hann window.
+    pub fn with_segment_len(segment_len: usize) -> Self {
+        Self {
+            segment_len,
+            overlap: segment_len / 2,
+            window: WindowKind::Hann,
+        }
+    }
+}
+
+impl Default for WelchConfig {
+    fn default() -> Self {
+        Self::with_segment_len(256)
+    }
+}
+
+/// Welch PSD estimate of `x` sampled at `fs` Hz.
+///
+/// Segments that would run past the end of the signal are dropped; if the
+/// signal is shorter than one segment, the whole signal forms a single
+/// (zero-padded) segment.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal,
+/// [`DspError::BadParameter`] when `fs <= 0`, `segment_len < 2`, or
+/// `overlap >= segment_len`.
+pub fn welch(x: &[f32], fs: f32, config: &WelchConfig) -> Result<Psd, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if fs.is_nan() || fs <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rate must be positive",
+        });
+    }
+    if config.segment_len < 2 {
+        return Err(DspError::BadParameter {
+            name: "segment_len",
+            reason: "segments need at least 2 samples",
+        });
+    }
+    if config.overlap >= config.segment_len {
+        return Err(DspError::BadParameter {
+            name: "overlap",
+            reason: "overlap must be smaller than the segment length",
+        });
+    }
+
+    let seg_len = config.segment_len.min(x.len());
+    let nfft = fft::next_pow2(seg_len);
+    let step = config.segment_len - config.overlap;
+    let win = config.window.coefficients(seg_len);
+    let win_norm = win.iter().map(|w| w * w).sum::<f32>();
+
+    let half = nfft / 2;
+    let mut accum = vec![0.0f32; half + 1];
+    let mut count = 0usize;
+
+    let mut start = 0;
+    loop {
+        let end = start + seg_len;
+        if end > x.len() {
+            break;
+        }
+        let seg = &x[start..end];
+        let seg_mean = crate::stats::mean(seg);
+        let mut buf: Vec<Complex32> = seg
+            .iter()
+            .zip(&win)
+            .map(|(&v, &w)| Complex32::new((v - seg_mean) * w, 0.0))
+            .collect();
+        buf.resize(nfft, Complex32::default());
+        fft::fft_in_place(&mut buf).expect("nfft is a power of two");
+        for (k, a) in accum.iter_mut().enumerate() {
+            let scale = if k == 0 || k == half { 1.0 } else { 2.0 };
+            *a += scale * buf[k].norm_sqr() / (fs * win_norm);
+        }
+        count += 1;
+        if step == 0 {
+            break;
+        }
+        start += step;
+    }
+    if count == 0 {
+        // Signal shorter than one segment: single zero-padded segment.
+        let seg = x;
+        let win = config.window.coefficients(seg.len());
+        let win_norm: f32 = win.iter().map(|w| w * w).sum();
+        let seg_mean = crate::stats::mean(seg);
+        let mut buf: Vec<Complex32> = seg
+            .iter()
+            .zip(&win)
+            .map(|(&v, &w)| Complex32::new((v - seg_mean) * w, 0.0))
+            .collect();
+        buf.resize(nfft, Complex32::default());
+        fft::fft_in_place(&mut buf).expect("nfft is a power of two");
+        for (k, a) in accum.iter_mut().enumerate() {
+            let scale = if k == 0 || k == half { 1.0 } else { 2.0 };
+            *a += scale * buf[k].norm_sqr() / (fs * win_norm.max(f32::EPSILON));
+        }
+        count = 1;
+    }
+
+    let power: Vec<f32> = accum.into_iter().map(|p| p / count as f32).collect();
+    let freqs: Vec<f32> = (0..=half).map(|k| fft::bin_frequency(k, nfft, fs)).collect();
+    Ok(Psd { freqs, power })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f32, f0: f32, amp: f32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f32::consts::PI * f0 * i as f32 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn welch_locates_tone_frequency() {
+        let fs = 64.0;
+        let x = tone(fs, 8.0, 1.0, 1024);
+        let psd = welch(&x, fs, &WelchConfig::with_segment_len(256)).unwrap();
+        assert!((psd.peak_frequency() - 8.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn band_power_concentrates_around_tone() {
+        let fs = 64.0;
+        let x = tone(fs, 8.0, 2.0, 2048);
+        let psd = welch(&x, fs, &WelchConfig::with_segment_len(256)).unwrap();
+        let in_band = psd.band_power(7.0, 9.0);
+        let out_band = psd.band_power(16.0, 30.0);
+        assert!(in_band > 50.0 * out_band.max(1e-9));
+        // Total power ≈ A²/2 = 2.0 for a mean-removed tone.
+        assert!((psd.total_power() - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn two_tones_split_between_bands() {
+        let fs = 64.0;
+        let mut x = tone(fs, 4.0, 1.0, 2048);
+        for (v, t) in x.iter_mut().zip(tone(fs, 20.0, 1.0, 2048)) {
+            *v += t;
+        }
+        let psd = welch(&x, fs, &WelchConfig::with_segment_len(256)).unwrap();
+        let low = psd.band_power(3.0, 5.0);
+        let high = psd.band_power(19.0, 21.0);
+        assert!((low - high).abs() < 0.2 * low.max(high));
+    }
+
+    #[test]
+    fn spectral_entropy_orders_tone_below_noise() {
+        let fs = 64.0;
+        let x = tone(fs, 8.0, 1.0, 1024);
+        // Deterministic wideband signal: sum of many incommensurate tones.
+        let noise: Vec<f32> = (0..1024)
+            .map(|i| {
+                (1..20)
+                    .map(|k| ((i * k) as f32 * 0.517 + k as f32).sin())
+                    .sum::<f32>()
+            })
+            .collect();
+        let cfg = WelchConfig::with_segment_len(256);
+        let e_tone = welch(&x, fs, &cfg).unwrap().spectral_entropy();
+        let e_noise = welch(&noise, fs, &cfg).unwrap().spectral_entropy();
+        assert!(e_noise > e_tone);
+    }
+
+    #[test]
+    fn centroid_and_rolloff_track_tone() {
+        let fs = 64.0;
+        let x = tone(fs, 10.0, 1.0, 2048);
+        let psd = welch(&x, fs, &WelchConfig::with_segment_len(512)).unwrap();
+        assert!((psd.spectral_centroid() - 10.0).abs() < 1.5);
+        let r = psd.rolloff(0.9);
+        assert!(r >= 9.0 && r <= 12.0, "rolloff {r}");
+    }
+
+    #[test]
+    fn short_signal_single_segment_fallback() {
+        let x = tone(32.0, 4.0, 1.0, 40); // shorter than default 256 segment
+        let psd = welch(&x, 32.0, &WelchConfig::default()).unwrap();
+        assert!(!psd.power.is_empty());
+        assert!((psd.peak_frequency() - 4.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let x = vec![0.0f32; 64];
+        assert!(welch(&[], 32.0, &WelchConfig::default()).is_err());
+        assert!(welch(&x, 0.0, &WelchConfig::default()).is_err());
+        assert!(welch(
+            &x,
+            32.0,
+            &WelchConfig {
+                segment_len: 1,
+                overlap: 0,
+                window: WindowKind::Hann
+            }
+        )
+        .is_err());
+        assert!(welch(
+            &x,
+            32.0,
+            &WelchConfig {
+                segment_len: 32,
+                overlap: 32,
+                window: WindowKind::Hann
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn band_power_outside_range_is_zero() {
+        let x = tone(64.0, 8.0, 1.0, 512);
+        let psd = welch(&x, 64.0, &WelchConfig::with_segment_len(128)).unwrap();
+        assert_eq!(psd.band_power(100.0, 200.0), 0.0);
+    }
+}

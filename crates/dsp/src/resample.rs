@@ -1,0 +1,204 @@
+//! Resampling and interpolation helpers.
+//!
+//! The HRV frequency-domain features need the irregular inter-beat series
+//! resampled on a uniform grid; the simulator and feature extractor use the
+//! uniform-ratio resampler when modalities are recorded at different rates.
+
+use crate::DspError;
+
+/// Linearly interpolates the samples `(xs[i], ys[i])` onto `n` uniformly
+/// spaced points covering `[x_start, x_end]` inclusive.
+///
+/// `xs` must be strictly increasing. Query points outside the data range are
+/// clamped to the boundary values (constant extrapolation).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] when `xs` is empty,
+/// [`DspError::BadLength`] when `xs.len() != ys.len()`, and
+/// [`DspError::BadParameter`] when `xs` is not strictly increasing,
+/// `n == 0`, or `x_end < x_start`.
+pub fn interp_uniform(
+    xs: &[f32],
+    ys: &[f32],
+    x_start: f32,
+    x_end: f32,
+    n: usize,
+) -> Result<Vec<f32>, DspError> {
+    if xs.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(DspError::BadLength {
+            expected: "xs and ys of equal length",
+            actual: ys.len(),
+        });
+    }
+    if n == 0 {
+        return Err(DspError::BadParameter {
+            name: "n",
+            reason: "at least one output sample is required",
+        });
+    }
+    if x_end < x_start {
+        return Err(DspError::BadParameter {
+            name: "x_end",
+            reason: "range end must not precede range start",
+        });
+    }
+    if xs.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(DspError::BadParameter {
+            name: "xs",
+            reason: "sample positions must be strictly increasing",
+        });
+    }
+    let step = if n > 1 {
+        (x_end - x_start) / (n - 1) as f32
+    } else {
+        0.0
+    };
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for i in 0..n {
+        let xq = x_start + step * i as f32;
+        if xq <= xs[0] {
+            out.push(ys[0]);
+            continue;
+        }
+        if xq >= *xs.last().unwrap() {
+            out.push(*ys.last().unwrap());
+            continue;
+        }
+        while seg + 1 < xs.len() && xs[seg + 1] < xq {
+            seg += 1;
+        }
+        let x0 = xs[seg];
+        let x1 = xs[seg + 1];
+        let t = (xq - x0) / (x1 - x0);
+        out.push(ys[seg] + t * (ys[seg + 1] - ys[seg]));
+    }
+    Ok(out)
+}
+
+/// Resamples a uniformly sampled signal from `fs_in` Hz to `fs_out` Hz by
+/// linear interpolation.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal and
+/// [`DspError::BadParameter`] when either rate is non-positive.
+pub fn resample(x: &[f32], fs_in: f32, fs_out: f32) -> Result<Vec<f32>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if fs_in.is_nan() || fs_in <= 0.0 || fs_out.is_nan() || fs_out <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rates must be positive",
+        });
+    }
+    let duration = (x.len() - 1) as f32 / fs_in;
+    let n_out = ((duration * fs_out) as usize + 1).max(1);
+    let xs: Vec<f32> = (0..x.len()).map(|i| i as f32 / fs_in).collect();
+    interp_uniform(&xs, x, 0.0, duration, n_out)
+}
+
+/// Splits `x` into consecutive windows of `len` samples advancing by `step`,
+/// dropping any trailing partial window.
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `step == 0`.
+pub fn sliding_windows(x: &[f32], len: usize, step: usize) -> Vec<&[f32]> {
+    assert!(len > 0 && step > 0, "window length and step must be nonzero");
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + len <= x.len() {
+        out.push(&x[start..start + len]);
+        start += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_recovers_linear_function() {
+        let xs: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let out = interp_uniform(&xs, &ys, 0.0, 9.0, 19).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            let xq = 9.0 * i as f32 / 18.0;
+            assert!((v - (2.0 * xq + 1.0)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn interp_clamps_outside_range() {
+        let xs = [1.0f32, 2.0];
+        let ys = [10.0f32, 20.0];
+        let out = interp_uniform(&xs, &ys, 0.0, 3.0, 4).unwrap();
+        assert_eq!(out[0], 10.0);
+        assert_eq!(out[3], 20.0);
+    }
+
+    #[test]
+    fn interp_validates() {
+        assert!(interp_uniform(&[], &[], 0.0, 1.0, 4).is_err());
+        assert!(interp_uniform(&[1.0], &[1.0, 2.0], 0.0, 1.0, 4).is_err());
+        assert!(interp_uniform(&[1.0, 1.0], &[1.0, 2.0], 0.0, 1.0, 4).is_err());
+        assert!(interp_uniform(&[1.0, 2.0], &[1.0, 2.0], 0.0, 1.0, 0).is_err());
+        assert!(interp_uniform(&[1.0, 2.0], &[1.0, 2.0], 2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn resample_preserves_tone_shape() {
+        let fs_in = 32.0;
+        let x: Vec<f32> = (0..128)
+            .map(|i| (2.0 * std::f32::consts::PI * 2.0 * i as f32 / fs_in).sin())
+            .collect();
+        let y = resample(&x, fs_in, 64.0).unwrap();
+        assert!((y.len() as f32 - 2.0 * x.len() as f32).abs() < 3.0);
+        // The upsampled signal still crosses zero ~16 times (2 Hz over 4 s).
+        let zc = crate::stats::zero_crossings(&y);
+        assert!((14..=18).contains(&zc), "zero crossings {zc}");
+    }
+
+    #[test]
+    fn resample_identity_rate() {
+        let x = vec![1.0f32, 2.0, 3.0, 4.0];
+        let y = resample(&x, 10.0, 10.0).unwrap();
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resample_validates() {
+        assert!(resample(&[], 10.0, 5.0).is_err());
+        assert!(resample(&[1.0], 0.0, 5.0).is_err());
+        assert!(resample(&[1.0], 10.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn sliding_windows_counts_and_contents() {
+        let x: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let w = sliding_windows(&x, 4, 2);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(w[3], &[6.0, 7.0, 8.0, 9.0]);
+        // Non-overlapping exact fit.
+        assert_eq!(sliding_windows(&x, 5, 5).len(), 2);
+        // Window longer than signal → none.
+        assert!(sliding_windows(&x, 11, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn sliding_windows_zero_step_panics() {
+        sliding_windows(&[1.0], 1, 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Descriptive statistics over `f32` slices.
+//!
+//! These are the time-domain building blocks of the CLEAR feature extractor:
+//! central moments, order statistics, signal-energy measures, zero/mean
+//! crossings and a least-squares slope. All functions are total over
+//! non-empty inputs; empty inputs return [`DspError::EmptyInput`] where a
+//! value cannot be defined, or `0.0` where the paper's feature definition
+//! treats an empty window as zero activity.
+
+use crate::DspError;
+
+/// Arithmetic mean of `x`.
+///
+/// Returns `0.0` for an empty slice (an empty window carries zero activity).
+///
+/// ```
+/// assert_eq!(clear_dsp::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f32>() / x.len() as f32
+}
+
+/// Population variance (divides by `n`, not `n - 1`).
+///
+/// ```
+/// assert_eq!(clear_dsp::stats::variance(&[1.0, 3.0]), 1.0);
+/// ```
+pub fn variance(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f32]) -> f32 {
+    variance(x).sqrt()
+}
+
+/// Root mean square of the signal.
+pub fn rms(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32).sqrt()
+}
+
+/// Fisher skewness (third standardized moment). Zero for constant signals.
+pub fn skewness(x: &[f32]) -> f32 {
+    let s = std_dev(x);
+    if x.is_empty() || s < f32::EPSILON {
+        return 0.0;
+    }
+    let m = mean(x);
+    let n = x.len() as f32;
+    x.iter().map(|v| ((v - m) / s).powi(3)).sum::<f32>() / n
+}
+
+/// Excess kurtosis (fourth standardized moment minus 3). Zero for constant
+/// signals; zero for a perfect Gaussian in expectation.
+pub fn kurtosis(x: &[f32]) -> f32 {
+    let s = std_dev(x);
+    if x.is_empty() || s < f32::EPSILON {
+        return 0.0;
+    }
+    let m = mean(x);
+    let n = x.len() as f32;
+    x.iter().map(|v| ((v - m) / s).powi(4)).sum::<f32>() / n - 3.0
+}
+
+/// Minimum value.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `x` is empty.
+pub fn min(x: &[f32]) -> Result<f32, DspError> {
+    x.iter()
+        .copied()
+        .fold(None, |acc: Option<f32>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+        .ok_or(DspError::EmptyInput)
+}
+
+/// Maximum value.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `x` is empty.
+pub fn max(x: &[f32]) -> Result<f32, DspError> {
+    x.iter()
+        .copied()
+        .fold(None, |acc: Option<f32>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+        .ok_or(DspError::EmptyInput)
+}
+
+/// Peak-to-peak range (`max - min`), or `0.0` for an empty slice.
+pub fn range(x: &[f32]) -> f32 {
+    match (min(x), max(x)) {
+        (Ok(lo), Ok(hi)) => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Index of the maximum element, `None` when empty. Ties resolve to the
+/// first occurrence.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element, `None` when empty. Ties resolve to the
+/// first occurrence.
+pub fn argmin(x: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice and
+/// [`DspError::BadParameter`] if `p` is outside `[0, 100]` or not finite.
+pub fn percentile(x: &[f32], p: f32) -> Result<f32, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) || !p.is_finite() {
+        return Err(DspError::BadParameter {
+            name: "p",
+            reason: "percentile must lie in [0, 100]",
+        });
+    }
+    let mut sorted: Vec<f32> = x.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (50th percentile).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty slice.
+pub fn median(x: &[f32]) -> Result<f32, DspError> {
+    percentile(x, 50.0)
+}
+
+/// Interquartile range (75th minus 25th percentile), `0.0` when empty.
+pub fn iqr(x: &[f32]) -> f32 {
+    match (percentile(x, 75.0), percentile(x, 25.0)) {
+        (Ok(q3), Ok(q1)) => q3 - q1,
+        _ => 0.0,
+    }
+}
+
+/// Median absolute deviation from the median, `0.0` when empty.
+pub fn mad(x: &[f32]) -> f32 {
+    let Ok(med) = median(x) else { return 0.0 };
+    let devs: Vec<f32> = x.iter().map(|v| (v - med).abs()).collect();
+    median(&devs).unwrap_or(0.0)
+}
+
+/// Number of sign changes of the mean-removed signal (mean crossings).
+pub fn mean_crossings(x: &[f32]) -> usize {
+    if x.len() < 2 {
+        return 0;
+    }
+    let m = mean(x);
+    x.windows(2)
+        .filter(|w| (w[0] - m).signum() != (w[1] - m).signum() && (w[0] - m) != 0.0)
+        .count()
+}
+
+/// Number of zero crossings of the raw signal.
+pub fn zero_crossings(x: &[f32]) -> usize {
+    if x.len() < 2 {
+        return 0;
+    }
+    x.windows(2)
+        .filter(|w| w[0].signum() != w[1].signum() && w[0] != 0.0)
+        .count()
+}
+
+/// Mean absolute first difference — the average sample-to-sample activity,
+/// used by the feature extractor as a roughness measure.
+pub fn mean_abs_diff(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    x.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f32>() / (x.len() - 1) as f32
+}
+
+/// Mean absolute second difference.
+pub fn mean_abs_diff2(x: &[f32]) -> f32 {
+    if x.len() < 3 {
+        return 0.0;
+    }
+    x.windows(3)
+        .map(|w| (w[2] - 2.0 * w[1] + w[0]).abs())
+        .sum::<f32>()
+        / (x.len() - 2) as f32
+}
+
+/// Least-squares slope of `x` against sample index (units per sample).
+pub fn slope(x: &[f32]) -> f32 {
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f32;
+    let t_mean = (nf - 1.0) / 2.0;
+    let x_mean = mean(x);
+    let mut num = 0.0f32;
+    let mut den = 0.0f32;
+    for (i, &v) in x.iter().enumerate() {
+        let dt = i as f32 - t_mean;
+        num += dt * (v - x_mean);
+        den += dt * dt;
+    }
+    if den < f32::EPSILON {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Normalized autocorrelation at integer `lag`.
+///
+/// Returns `0.0` when the lag exceeds the series length or the signal is
+/// constant (autocorrelation undefined).
+pub fn autocorrelation(x: &[f32], lag: usize) -> f32 {
+    let n = x.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let m = mean(x);
+    let var = variance(x) * n as f32;
+    if var < f32::EPSILON {
+        return 0.0;
+    }
+    let mut acc = 0.0f32;
+    for i in 0..n - lag {
+        acc += (x[i] - m) * (x[i + lag] - m);
+    }
+    acc / var
+}
+
+/// Pearson correlation between two equal-length series.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] when the lengths differ and
+/// [`DspError::EmptyInput`] when either slice is empty.
+pub fn pearson(x: &[f32], y: &[f32]) -> Result<f32, DspError> {
+    if x.is_empty() || y.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if x.len() != y.len() {
+        return Err(DspError::BadLength {
+            expected: "two series of equal length",
+            actual: y.len(),
+        });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut num = 0.0f32;
+    let mut dx = 0.0f32;
+    let mut dy = 0.0f32;
+    for (&a, &b) in x.iter().zip(y) {
+        num += (a - mx) * (b - my);
+        dx += (a - mx) * (a - mx);
+        dy += (b - my) * (b - my);
+    }
+    let den = (dx * dy).sqrt();
+    if den < f32::EPSILON {
+        Ok(0.0)
+    } else {
+        Ok(num / den)
+    }
+}
+
+/// Total signal energy, `Σ x[i]²`.
+pub fn energy(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Line length, `Σ |x[i+1] - x[i]|` — a standard biosignal activity measure.
+pub fn line_length(x: &[f32]) -> f32 {
+    x.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// Hjorth mobility: `std(dx) / std(x)`; `0.0` for constant signals.
+pub fn hjorth_mobility(x: &[f32]) -> f32 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let sx = std_dev(x);
+    if sx < f32::EPSILON {
+        return 0.0;
+    }
+    let dx: Vec<f32> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    std_dev(&dx) / sx
+}
+
+/// Hjorth complexity: `mobility(dx) / mobility(x)`; `0.0` when undefined.
+pub fn hjorth_complexity(x: &[f32]) -> f32 {
+    if x.len() < 3 {
+        return 0.0;
+    }
+    let mob = hjorth_mobility(x);
+    if mob < f32::EPSILON {
+        return 0.0;
+    }
+    let dx: Vec<f32> = x.windows(2).map(|w| w[1] - w[0]).collect();
+    hjorth_mobility(&dx) / mob
+}
+
+/// Z-score normalization: returns `(x - mean) / std`, or a zero vector when
+/// the signal is constant.
+pub fn zscore(x: &[f32]) -> Vec<f32> {
+    let m = mean(x);
+    let s = std_dev(x);
+    if s < f32::EPSILON {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|v| (v - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-5;
+
+    #[test]
+    fn mean_variance_std_of_known_series() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < EPS);
+        assert!((variance(&x) - 4.0).abs() < EPS);
+        assert!((std_dev(&x) - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(range(&[]), 0.0);
+        assert_eq!(min(&[]), Err(DspError::EmptyInput));
+        assert_eq!(median(&[]), Err(DspError::EmptyInput));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn skewness_sign_matches_asymmetry() {
+        let right_tail = [1.0, 1.0, 1.0, 1.0, 10.0];
+        let left_tail = [-10.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(skewness(&right_tail) > 0.5);
+        assert!(skewness(&left_tail) < -0.5);
+        assert_eq!(skewness(&[3.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn kurtosis_of_constant_is_zero() {
+        assert_eq!(kurtosis(&[1.0; 16]), 0.0);
+    }
+
+    #[test]
+    fn kurtosis_heavy_tail_positive() {
+        let mut x = vec![0.0f32; 64];
+        x[0] = 20.0;
+        x[63] = -20.0;
+        assert!(kurtosis(&x) > 1.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let x = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&x, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&x, 100.0).unwrap(), 5.0);
+        assert_eq!(median(&x).unwrap(), 3.0);
+        assert!(percentile(&x, 101.0).is_err());
+        assert!(percentile(&x, -0.1).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [0.0, 10.0];
+        assert!((percentile(&x, 25.0).unwrap() - 2.5).abs() < EPS);
+    }
+
+    #[test]
+    fn iqr_and_mad_of_uniform_grid() {
+        let x: Vec<f32> = (0..101).map(|i| i as f32).collect();
+        assert!((iqr(&x) - 50.0).abs() < EPS);
+        assert!((mad(&x) - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn crossings_counts() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(zero_crossings(&x), 3);
+        assert_eq!(mean_crossings(&x), 3);
+        // Signal entirely above zero never crosses zero but crosses its mean.
+        let y = [1.0, 3.0, 1.0, 3.0];
+        assert_eq!(zero_crossings(&y), 0);
+        assert_eq!(mean_crossings(&y), 3);
+    }
+
+    #[test]
+    fn slope_recovers_linear_trend() {
+        let x: Vec<f32> = (0..50).map(|i| 0.5 * i as f32 + 3.0).collect();
+        assert!((slope(&x) - 0.5).abs() < 1e-4);
+        assert_eq!(slope(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let x: Vec<f32> = (0..128)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 16.0).sin())
+            .collect();
+        assert!(autocorrelation(&x, 0) > 0.999);
+        assert!(autocorrelation(&x, 16) > 0.8); // one full period
+        assert!(autocorrelation(&x, 8) < -0.8); // anti-phase
+        assert_eq!(autocorrelation(&x, 1000), 0.0);
+    }
+
+    #[test]
+    fn pearson_correlation_known_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < EPS);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < EPS);
+        assert!(pearson(&x, &[1.0]).is_err());
+        assert!(pearson(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn hjorth_parameters_behave() {
+        let slow: Vec<f32> = (0..256)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 128.0).sin())
+            .collect();
+        let fast: Vec<f32> = (0..256)
+            .map(|i| (2.0 * std::f32::consts::PI * i as f32 / 8.0).sin())
+            .collect();
+        assert!(hjorth_mobility(&fast) > hjorth_mobility(&slow));
+        assert_eq!(hjorth_mobility(&[1.0; 32]), 0.0);
+        assert!(hjorth_complexity(&slow) >= 0.0);
+    }
+
+    #[test]
+    fn zscore_has_zero_mean_unit_std() {
+        let x = [1.0, 5.0, 9.0, 2.0, 8.0];
+        let z = zscore(&x);
+        assert!(mean(&z).abs() < 1e-5);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-5);
+        assert_eq!(zscore(&[4.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn diff_measures() {
+        let x = [0.0, 1.0, 0.0, 1.0];
+        assert!((mean_abs_diff(&x) - 1.0).abs() < EPS);
+        assert!((mean_abs_diff2(&x) - 2.0).abs() < EPS);
+        assert!((line_length(&x) - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn argmax_argmin_first_tie() {
+        let x = [1.0, 3.0, 3.0, 0.0, 0.0];
+        assert_eq!(argmax(&x), Some(1));
+        assert_eq!(argmin(&x), Some(3));
+    }
+}

@@ -1,0 +1,163 @@
+//! Window (taper) functions for spectral estimation.
+//!
+//! Welch PSD estimation and the frequency-domain features of the CLEAR
+//! extractor taper each segment before the FFT to control spectral leakage.
+
+/// The supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann window, the default for Welch estimation.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients of length `n`.
+    ///
+    /// An `n` of zero yields an empty vector; `n == 1` yields `[1.0]` for
+    /// every kind (the symmetric window degenerate case).
+    ///
+    /// ```
+    /// use clear_dsp::window::WindowKind;
+    /// let w = WindowKind::Hann.coefficients(8);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w[0] < 1e-6); // Hann tapers to zero at the edges
+    /// ```
+    pub fn coefficients(self, n: usize) -> Vec<f32> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f32;
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / denom;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f32::consts::PI * t).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f32::consts::PI * t).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f32::consts::PI * t).cos()
+                            + 0.08 * (4.0 * std::f32::consts::PI * t).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of squared coefficients, the normalization constant used by Welch
+    /// PSD estimation.
+    pub fn power_normalization(self, n: usize) -> f32 {
+        self.coefficients(n).iter().map(|w| w * w).sum()
+    }
+}
+
+impl std::fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            WindowKind::Rectangular => "rectangular",
+            WindowKind::Hann => "hann",
+            WindowKind::Hamming => "hamming",
+            WindowKind::Blackman => "blackman",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Multiplies `x` element-wise by the window coefficients, returning the
+/// tapered copy.
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.len()`; the caller generates `w` from `x.len()`.
+pub fn apply(x: &[f32], w: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), w.len(), "window length must match signal length");
+    x.iter().zip(w).map(|(a, b)| a * b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_windows_have_requested_length() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            assert_eq!(kind.coefficients(0).len(), 0);
+            assert_eq!(kind.coefficients(1), vec![1.0]);
+            assert_eq!(kind.coefficients(17).len(), 17);
+        }
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-6,
+                    "{kind} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windows_peak_at_center_with_unit_max() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(65);
+            let peak = w[32];
+            assert!((peak - 1.0).abs() < 1e-5, "{kind} center {peak}");
+            assert!(w.iter().all(|&v| v <= peak + 1e-6));
+            assert!(w.iter().all(|&v| v >= -1e-6));
+        }
+    }
+
+    #[test]
+    fn hann_edges_are_zero_hamming_edges_are_not() {
+        let hann = WindowKind::Hann.coefficients(16);
+        let hamming = WindowKind::Hamming.coefficients(16);
+        assert!(hann[0].abs() < 1e-6);
+        assert!((hamming[0] - 0.08).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rectangular_power_normalization_equals_n() {
+        assert_eq!(WindowKind::Rectangular.power_normalization(40), 40.0);
+        let hann_norm = WindowKind::Hann.power_normalization(40);
+        assert!(hann_norm > 0.0 && hann_norm < 40.0);
+    }
+
+    #[test]
+    fn apply_tapers_signal() {
+        let x = vec![2.0f32; 8];
+        let w = WindowKind::Hann.coefficients(8);
+        let y = apply(&x, &w);
+        assert!(y[0].abs() < 1e-5);
+        assert!(y[4] > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn apply_length_mismatch_panics() {
+        apply(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WindowKind::Hann.to_string(), "hann");
+        assert_eq!(WindowKind::default(), WindowKind::Hann);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the DSP substrate's mathematical invariants.
+
+use clear_dsp::fft::{self, Complex32};
+use clear_dsp::filter::{detrend, moving_average, Biquad};
+use clear_dsp::resample::interp_uniform;
+use clear_dsp::stats;
+use clear_dsp::window::WindowKind;
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    /// FFT is linear: FFT(a·x + b·y) = a·FFT(x) + b·FFT(y).
+    #[test]
+    fn fft_linearity(
+        x in prop::collection::vec(-10.0f32..10.0, 32),
+        y in prop::collection::vec(-10.0f32..10.0, 32),
+        a in -3.0f32..3.0,
+        b in -3.0f32..3.0,
+    ) {
+        let combo: Vec<f32> = x.iter().zip(&y).map(|(u, v)| a * u + b * v).collect();
+        let fx = fft::fft_real(&x);
+        let fy = fft::fft_real(&y);
+        let fc = fft::fft_real(&combo);
+        for k in 0..32 {
+            let expect = Complex32::new(
+                a * fx[k].re + b * fy[k].re,
+                a * fx[k].im + b * fy[k].im,
+            );
+            prop_assert!((fc[k].re - expect.re).abs() < 2e-2 * (1.0 + expect.re.abs()));
+            prop_assert!((fc[k].im - expect.im).abs() < 2e-2 * (1.0 + expect.im.abs()));
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / n.
+    #[test]
+    fn fft_parseval(x in prop::collection::vec(-10.0f32..10.0, 64)) {
+        let time: f32 = x.iter().map(|v| v * v).sum();
+        let freq: f32 = fft::fft_real(&x).iter().map(|c| c.norm_sqr()).sum::<f32>() / 64.0;
+        prop_assert!((time - freq).abs() < 1e-2 * (1.0 + time));
+    }
+
+    /// Window coefficients stay in [0, 1] and are symmetric.
+    #[test]
+    fn window_bounds(n in 2usize..200) {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(n);
+            prop_assert!(w.iter().all(|&v| (-1e-6..=1.0 + 1e-6).contains(&v)));
+            for i in 0..n {
+                prop_assert!((w[i] - w[n - 1 - i]).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Percentiles are bounded by min and max and monotone in p.
+    #[test]
+    fn percentile_bounds(x in signal_strategy(64), p in 0.0f32..100.0) {
+        let lo = stats::min(&x).unwrap();
+        let hi = stats::max(&x).unwrap();
+        let v = stats::percentile(&x, p).unwrap();
+        prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+        let v2 = stats::percentile(&x, (p + 10.0).min(100.0)).unwrap();
+        prop_assert!(v2 >= v - 1e-4);
+    }
+
+    /// Variance is non-negative and zero only for constants.
+    #[test]
+    fn variance_nonnegative(x in signal_strategy(64)) {
+        prop_assert!(stats::variance(&x) >= 0.0);
+    }
+
+    /// A Butterworth low-pass never blows up on bounded input.
+    #[test]
+    fn filter_bibo_stability(
+        x in prop::collection::vec(-1.0f32..1.0, 64..512),
+        fc in 0.5f32..24.0,
+    ) {
+        let lp = Biquad::butterworth_lowpass(fc, 64.0).unwrap();
+        let y = lp.filter(&x);
+        prop_assert!(y.iter().all(|v| v.is_finite() && v.abs() < 50.0));
+    }
+
+    /// Detrending leaves (near-)zero linear slope.
+    #[test]
+    fn detrend_kills_slope(x in signal_strategy(128)) {
+        prop_assume!(x.len() >= 4);
+        let y = detrend(&x);
+        let residual = stats::slope(&y).abs();
+        let scale = stats::std_dev(&x).max(1.0);
+        prop_assert!(residual < 1e-2 * scale, "slope {residual}");
+    }
+
+    /// Moving average preserves length and global mean (approximately,
+    /// edges use shorter windows so exact preservation is not expected).
+    #[test]
+    fn moving_average_properties(x in signal_strategy(128), w in 1usize..15) {
+        let y = moving_average(&x, w);
+        prop_assert_eq!(y.len(), x.len());
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+        let (lo, hi) = (stats::min(&x).unwrap(), stats::max(&x).unwrap());
+        prop_assert!(y.iter().all(|&v| v >= lo - 1e-4 && v <= hi + 1e-4));
+    }
+
+    /// Linear interpolation output is bounded by input extremes.
+    #[test]
+    fn interp_is_bounded(ys in prop::collection::vec(-10.0f32..10.0, 2..32), n in 1usize..64) {
+        let xs: Vec<f32> = (0..ys.len()).map(|i| i as f32).collect();
+        let out = interp_uniform(&xs, &ys, -1.0, ys.len() as f32, n).unwrap();
+        let lo = stats::min(&ys).unwrap();
+        let hi = stats::max(&ys).unwrap();
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-4 && v <= hi + 1e-4));
+    }
+
+    /// Z-scored signals are scale- and shift-invariant.
+    #[test]
+    fn zscore_invariance(
+        x in prop::collection::vec(-10.0f32..10.0, 8..64),
+        shift in -50.0f32..50.0,
+        scale in 0.1f32..10.0,
+    ) {
+        prop_assume!(stats::std_dev(&x) > 1e-3);
+        let transformed: Vec<f32> = x.iter().map(|v| v * scale + shift).collect();
+        let za = stats::zscore(&x);
+        let zb = stats::zscore(&transformed);
+        for (a, b) in za.iter().zip(&zb) {
+            prop_assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+    }
+}

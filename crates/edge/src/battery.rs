@@ -1,0 +1,143 @@
+//! Battery-life estimation for wearable duty cycles.
+//!
+//! The paper motivates CLEAR with always-on wearable deployments and
+//! closes with "assure low power devices to further enhance real-world
+//! usability". This module turns the simulator's power model into the
+//! quantity a product team actually asks for: *hours of battery life under
+//! a given monitoring duty cycle*, including periodic on-device
+//! re-training.
+
+use crate::deploy::EdgeDeployment;
+use serde::{Deserialize, Serialize};
+
+/// A monitoring duty cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DutyCycle {
+    /// Classifications per hour (one per feature-map hop in continuous
+    /// monitoring; lower for spot checks).
+    pub inferences_per_hour: f32,
+    /// On-device re-training sessions per day (personalization refreshes).
+    pub retrainings_per_day: f32,
+    /// Seconds per re-training session.
+    pub retraining_secs: f32,
+}
+
+impl DutyCycle {
+    /// Continuous monitoring: one inference per 6-second feature-map hop,
+    /// one 60-second personalization refresh per day.
+    pub fn continuous() -> Self {
+        Self {
+            inferences_per_hour: 600.0,
+            retrainings_per_day: 1.0,
+            retraining_secs: 60.0,
+        }
+    }
+
+    /// Spot checking: one inference per minute, weekly refresh.
+    pub fn spot_check() -> Self {
+        Self {
+            inferences_per_hour: 60.0,
+            retrainings_per_day: 1.0 / 7.0,
+            retraining_secs: 60.0,
+        }
+    }
+}
+
+/// Battery-life estimate of one deployment under a duty cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryEstimate {
+    /// Mean power draw including idle, W.
+    pub mean_power_w: f32,
+    /// Estimated runtime on the given battery, hours.
+    pub runtime_hours: f32,
+    /// Fraction of energy spent on inference (vs idle + re-training).
+    pub inference_energy_share: f32,
+}
+
+/// Estimates battery life for `deployment` under `duty` with a battery of
+/// `battery_wh` watt-hours (a typical wearable cell is 1–2 Wh; a Pi
+/// power-bank setup 10–40 Wh).
+///
+/// # Panics
+///
+/// Panics if `battery_wh` is not positive.
+pub fn estimate(deployment: &EdgeDeployment, duty: &DutyCycle, battery_wh: f32) -> BatteryEstimate {
+    assert!(battery_wh > 0.0, "battery capacity must be positive");
+    let spec = deployment.spec();
+    let infer_time_s = spec.inference_time_s(deployment.flops());
+    let infer_energy_j = infer_time_s * spec.test_power_w();
+
+    // Energy accounting over one hour.
+    let infer_busy_s = duty.inferences_per_hour * infer_time_s;
+    let retrain_busy_s = duty.retrainings_per_day / 24.0 * duty.retraining_secs;
+    let idle_s = (3600.0 - infer_busy_s - retrain_busy_s).max(0.0);
+
+    let e_infer = duty.inferences_per_hour * infer_energy_j;
+    let e_retrain = retrain_busy_s * spec.retraining_power_w();
+    let e_idle = idle_s * spec.idle_w;
+    let total_j_per_hour = e_infer + e_retrain + e_idle;
+
+    let mean_power_w = total_j_per_hour / 3600.0;
+    let runtime_hours = battery_wh * 3600.0 / total_j_per_hour;
+    BatteryEstimate {
+        mean_power_w,
+        runtime_hours,
+        inference_energy_share: e_infer / total_j_per_hour,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use clear_nn::network::cnn_lstm_compact;
+
+    fn deployment(device: Device) -> EdgeDeployment {
+        EdgeDeployment::new(cnn_lstm_compact(123, 9, 2, 1), device, &[1, 123, 9])
+    }
+
+    #[test]
+    fn tpu_outlasts_pi_on_the_same_battery() {
+        let duty = DutyCycle::continuous();
+        let tpu = estimate(&deployment(Device::CoralTpu), &duty, 10.0);
+        let pi = estimate(&deployment(Device::PiNcs2), &duty, 10.0);
+        assert!(tpu.runtime_hours > pi.runtime_hours);
+        assert!(tpu.mean_power_w < pi.mean_power_w);
+    }
+
+    #[test]
+    fn lighter_duty_cycle_lasts_longer() {
+        let dep = deployment(Device::CoralTpu);
+        let heavy = estimate(&dep, &DutyCycle::continuous(), 10.0);
+        let light = estimate(&dep, &DutyCycle::spot_check(), 10.0);
+        assert!(light.runtime_hours > heavy.runtime_hours);
+        assert!(light.inference_energy_share < heavy.inference_energy_share);
+    }
+
+    #[test]
+    fn runtime_scales_linearly_with_capacity() {
+        let dep = deployment(Device::CoralTpu);
+        let duty = DutyCycle::continuous();
+        let a = estimate(&dep, &duty, 5.0);
+        let b = estimate(&dep, &duty, 10.0);
+        assert!((b.runtime_hours / a.runtime_hours - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn idle_dominates_at_low_duty() {
+        let dep = deployment(Device::CoralTpu);
+        let est = estimate(&dep, &DutyCycle::spot_check(), 10.0);
+        assert!(est.inference_energy_share < 0.5);
+        // Mean power close to (but above) the idle floor.
+        let idle = dep.spec().idle_w;
+        assert!(est.mean_power_w >= idle);
+        assert!(est.mean_power_w < idle * 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "battery capacity")]
+    fn zero_battery_panics() {
+        let dep = deployment(Device::CoralTpu);
+        let _ = estimate(&dep, &DutyCycle::continuous(), 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Deploying, evaluating and fine-tuning networks on simulated devices.
+
+use crate::device::{Device, DeviceSpec};
+use clear_nn::data::Dataset;
+use clear_nn::loss::predict_class;
+use clear_nn::metrics::{ConfusionMatrix, FoldScore};
+use clear_nn::network::Network;
+use clear_nn::quantize::{dequantize_int8, lower_network, quantize_int8, round_f16, Precision};
+use clear_nn::summary::summarize;
+use clear_nn::tensor::Tensor;
+use clear_nn::train::{self, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// The Table II measurement block of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Mean time consumption of re-training, seconds.
+    pub mtc_retraining_s: f32,
+    /// Mean power consumption during re-training, watts.
+    pub mpc_retraining_w: f32,
+    /// Mean time consumption of one test inference, milliseconds.
+    pub mtc_test_ms: f32,
+    /// Mean power consumption during test, watts.
+    pub mpc_test_w: f32,
+    /// Baseline (idle) power consumption, watts.
+    pub mpc_baseline_w: f32,
+}
+
+/// Result of an on-device fine-tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneOutcome {
+    /// Post-fine-tuning score on the held-out data.
+    pub score: FoldScore,
+    /// Epochs the training loop actually ran.
+    pub epochs_run: usize,
+    /// Simulated re-training wall-clock, seconds.
+    pub retraining_time_s: f32,
+    /// Simulated re-training energy, joules.
+    pub retraining_energy_j: f32,
+}
+
+/// A network deployed on a simulated edge device.
+///
+/// Construction lowers the checkpoint to the device's precision; the model
+/// size and FLOP count are frozen at deployment time.
+#[derive(Debug, Clone)]
+pub struct EdgeDeployment {
+    device: Device,
+    spec: DeviceSpec,
+    network: Network,
+    flops: u64,
+    model_bytes: usize,
+}
+
+impl EdgeDeployment {
+    /// Deploys `network` (a cloud checkpoint) onto `device`.
+    ///
+    /// `input_shape` is the feature-map shape the model will serve (e.g.
+    /// `[1, 123, 9]`), needed for FLOP accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_shape` is incompatible with the network.
+    pub fn new(mut network: Network, device: Device, input_shape: &[usize]) -> Self {
+        let spec = device.spec();
+        let flops = summarize(&network, input_shape).total_flops();
+        let model_bytes = lower_network(&mut network, spec.precision);
+        Self {
+            device,
+            spec,
+            network,
+            flops,
+            model_bytes,
+        }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// The device descriptor.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Deployed model size in bytes (after precision lowering).
+    pub fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// Forward FLOPs of one inference.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// The deployed (lowered) network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Runs one inference under the device's numeric precision: lowered
+    /// weights plus, on quantized hardware, **activation quantization
+    /// between layers** — the Edge TPU runs the whole graph in int8 and
+    /// the NCS2 in fp16, which is where most of their accuracy loss comes
+    /// from.
+    pub fn infer(&mut self, input: &Tensor) -> Tensor {
+        let precision = self.spec.precision;
+        let mut cur = quantize_activation(input.clone(), precision);
+        for layer in self.network.layers_mut() {
+            cur = layer.forward(&cur, false);
+            cur = quantize_activation(cur, precision);
+        }
+        cur
+    }
+
+    /// Evaluates the deployment on a dataset through the device's numeric
+    /// path (see [`EdgeDeployment::infer`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn evaluate(&mut self, data: &Dataset) -> FoldScore {
+        assert!(!data.is_empty(), "evaluation set is empty");
+        let mut cm = ConfusionMatrix::new(2);
+        for sample in data.iter() {
+            let logits = self.infer(&sample.input);
+            cm.record(sample.label, predict_class(&logits));
+        }
+        FoldScore {
+            accuracy: cm.accuracy(),
+            f1: cm.f1(1),
+        }
+    }
+
+    /// Simulated single-inference latency, milliseconds.
+    pub fn test_time_ms(&self) -> f32 {
+        self.spec.inference_time_s(self.flops) * 1000.0
+    }
+
+    /// Fine-tunes on-device: trains with the given config, re-lowering the
+    /// weights to device precision after every epoch (the device cannot
+    /// hold fp32 weights), then evaluates on `test`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dataset is empty.
+    pub fn fine_tune(
+        &mut self,
+        train_set: &Dataset,
+        test_set: &Dataset,
+        config: &TrainConfig,
+    ) -> FineTuneOutcome {
+        // Epoch-wise loop so precision lowering interleaves with updates.
+        let mut epochs_run = 0usize;
+        let mut best_acc = f32::NEG_INFINITY;
+        let mut stale = 0usize;
+        let mut best_weights = self.network.parameters_flat();
+        for epoch in 0..config.epochs {
+            let mut one = *config;
+            one.epochs = 1;
+            one.seed = config.seed.wrapping_add(epoch as u64);
+            one.patience = 0;
+            train::train(&mut self.network, train_set, None, &one);
+            lower_network(&mut self.network, self.spec.precision);
+            epochs_run += 1;
+            let score = self.evaluate(train_set);
+            if score.accuracy >= best_acc {
+                best_acc = score.accuracy;
+                best_weights = self.network.parameters_flat();
+                stale = 0;
+            } else {
+                stale += 1;
+                if config.patience > 0 && stale >= config.patience {
+                    break;
+                }
+            }
+        }
+        self.network.set_parameters_flat(&best_weights);
+        lower_network(&mut self.network, self.spec.precision);
+
+        let score = self.evaluate(test_set);
+        let retraining_time_s =
+            self.spec
+                .retraining_time_s(epochs_run, train_set.len(), self.flops);
+        FineTuneOutcome {
+            score,
+            epochs_run,
+            retraining_time_s,
+            retraining_energy_j: retraining_time_s * self.spec.retraining_power_w(),
+        }
+    }
+
+    /// The Table II measurement block for this deployment, given a
+    /// representative fine-tuning run.
+    pub fn measurement(&self, outcome: &FineTuneOutcome) -> Measurement {
+        Measurement {
+            mtc_retraining_s: outcome.retraining_time_s,
+            mpc_retraining_w: self.spec.retraining_power_w(),
+            mtc_test_ms: self.test_time_ms(),
+            mpc_test_w: self.spec.test_power_w(),
+            mpc_baseline_w: self.spec.idle_w,
+        }
+    }
+}
+
+/// Quantizes an activation tensor to the device's precision and back
+/// (per-tensor dynamic scale for int8, value rounding for fp16).
+fn quantize_activation(t: Tensor, precision: Precision) -> Tensor {
+    match precision {
+        Precision::Fp32 => t,
+        Precision::Fp16 => t.map(round_f16),
+        Precision::Int8 => {
+            let shape = t.shape().to_vec();
+            let (q, scale) = quantize_int8(t.as_slice());
+            Tensor::from_vec(&shape, dequantize_int8(&q, scale))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_nn::network::cnn_lstm;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_maps(n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut data = vec![0.0f32; 30 * 5];
+            for v in &mut data {
+                *v = rng.gen_range(-0.3..0.3);
+            }
+            if label == 1 {
+                for r in 0..10 {
+                    for c in 0..5 {
+                        data[r * 5 + c] += 1.2;
+                    }
+                }
+            }
+            d.push(Tensor::from_vec(&[1, 30, 5], data), label);
+        }
+        d
+    }
+
+    fn trained_net(seed: u64) -> Network {
+        let mut net = cnn_lstm(30, 5, 2, seed);
+        let config = TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            ..Default::default()
+        };
+        train::train(&mut net, &toy_maps(40, 1), None, &config);
+        net
+    }
+
+    #[test]
+    fn deployment_lowers_weights_to_device_precision() {
+        let net = trained_net(3);
+        let tpu = EdgeDeployment::new(net.clone(), Device::CoralTpu, &[1, 30, 5]);
+        assert_eq!(tpu.model_bytes(), net.param_count());
+        let gpu = EdgeDeployment::new(net.clone(), Device::Gpu, &[1, 30, 5]);
+        assert_eq!(gpu.model_bytes(), 4 * net.param_count());
+    }
+
+    #[test]
+    fn accuracy_ordering_gpu_ge_ncs2_ge_tpu() {
+        let net = trained_net(5);
+        let test = toy_maps(30, 9);
+        let mut scores = Vec::new();
+        for device in Device::all() {
+            let mut dep = EdgeDeployment::new(net.clone(), device, &[1, 30, 5]);
+            scores.push((device, dep.evaluate(&test).accuracy));
+        }
+        // On an easy task all should stay high; int8 must not beat fp32.
+        let gpu = scores[0].1;
+        let tpu = scores[1].1;
+        let ncs2 = scores[2].1;
+        assert!(gpu >= tpu - 1e-6, "gpu {gpu} vs tpu {tpu}");
+        assert!(ncs2 >= tpu - 1e-6, "ncs2 {ncs2} vs tpu {tpu}");
+        assert!(gpu > 0.85);
+    }
+
+    #[test]
+    fn timing_ordering_matches_table2() {
+        let net = trained_net(7);
+        let gpu = EdgeDeployment::new(net.clone(), Device::Gpu, &[1, 30, 5]);
+        let tpu = EdgeDeployment::new(net.clone(), Device::CoralTpu, &[1, 30, 5]);
+        let ncs2 = EdgeDeployment::new(net, Device::PiNcs2, &[1, 30, 5]);
+        assert!(gpu.test_time_ms() < tpu.test_time_ms());
+        assert!(tpu.test_time_ms() < ncs2.test_time_ms());
+    }
+
+    #[test]
+    fn fine_tune_improves_on_new_distribution() {
+        // Shifted task: same structure, different noise seed and offset.
+        let net = trained_net(11);
+        let mut dep = EdgeDeployment::new(net, Device::PiNcs2, &[1, 30, 5]);
+        let user_train = toy_maps(16, 21);
+        let user_test = toy_maps(20, 22);
+        let before = dep.evaluate(&user_test).accuracy;
+        let outcome = dep.fine_tune(
+            &user_train,
+            &user_test,
+            &TrainConfig {
+                epochs: 8,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
+        assert!(outcome.score.accuracy >= before - 0.05);
+        assert!(outcome.epochs_run >= 1 && outcome.epochs_run <= 8);
+        assert!(outcome.retraining_time_s > 0.0);
+        assert!(outcome.retraining_energy_j > outcome.retraining_time_s); // power > 1 W
+    }
+
+    #[test]
+    fn measurement_block_is_consistent() {
+        let net = trained_net(13);
+        let mut dep = EdgeDeployment::new(net, Device::CoralTpu, &[1, 30, 5]);
+        let outcome = dep.fine_tune(
+            &toy_maps(8, 31),
+            &toy_maps(8, 32),
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
+        let m = dep.measurement(&outcome);
+        assert_eq!(m.mtc_retraining_s, outcome.retraining_time_s);
+        assert!(m.mpc_baseline_w < m.mpc_test_w);
+        assert!(m.mpc_test_w < m.mpc_retraining_w);
+        assert!(m.mtc_test_ms > 0.0);
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let net = trained_net(17);
+        let mut dep = EdgeDeployment::new(net, Device::CoralTpu, &[1, 30, 5]);
+        let x = Tensor::zeros(&[1, 30, 5]);
+        let a = dep.infer(&x);
+        let b = dep.infer(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,237 @@
+//! Device descriptors: precision, throughput, overheads, power.
+//!
+//! The constants below are calibrated once against the paper's Table II
+//! (the only published measurements of this workload on these devices) and
+//! then reused unchanged by every experiment. Timing is *computed* from
+//! the deployed network's FLOPs, so a larger or smaller model yields
+//! correspondingly different simulated measurements.
+
+use clear_nn::quantize::Precision;
+use serde::{Deserialize, Serialize};
+
+/// A deployment target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Device {
+    /// Workstation GPU — the paper's training/evaluation baseline.
+    Gpu,
+    /// Google Coral Edge TPU Dev Board (int8 accelerator).
+    CoralTpu,
+    /// Raspberry Pi + Intel Movidius Neural Compute Stick 2 (fp16, USB).
+    PiNcs2,
+}
+
+impl Device {
+    /// All simulated devices, baseline first.
+    pub fn all() -> [Device; 3] {
+        [Device::Gpu, Device::CoralTpu, Device::PiNcs2]
+    }
+
+    /// The device's performance/power descriptor.
+    pub fn spec(self) -> DeviceSpec {
+        match self {
+            Device::Gpu => DeviceSpec {
+                precision: Precision::Fp32,
+                infer_overhead_s: 0.8e-3,
+                infer_flops_per_s: 4.0e9,
+                train_flops_per_s: 2.0e9,
+                epoch_overhead_s: 2.0e-3,
+                convergence_factor: 1.0,
+                idle_w: 45.0,
+                infer_delta_w: 65.0,
+                train_delta_w: 120.0,
+            },
+            Device::CoralTpu => DeviceSpec {
+                precision: Precision::Int8,
+                // Table II: MTC test 47.31 ms for a ~1.5 MFLOP model —
+                // runtime/IO overhead dominates tiny models.
+                infer_overhead_s: 46.0e-3,
+                infer_flops_per_s: 1.2e9,
+                // Table II: MTC re-training 32.48 s.
+                train_flops_per_s: 11.0e6,
+                epoch_overhead_s: 0.12,
+                // The paper notes the TPU "may converge faster during
+                // training" thanks to 8-bit arithmetic.
+                convergence_factor: 0.7,
+                // Table II: MPC baseline 1.28 W, test 1.64 W, re-train 1.82 W.
+                idle_w: 1.28,
+                infer_delta_w: 0.36,
+                train_delta_w: 0.54,
+            },
+            Device::PiNcs2 => DeviceSpec {
+                precision: Precision::Fp16,
+                // Table II: MTC test 239.70 ms — USB round trip dominates.
+                infer_overhead_s: 236.0e-3,
+                infer_flops_per_s: 0.6e9,
+                // Table II: MTC re-training 78.52 s.
+                train_flops_per_s: 6.5e6,
+                epoch_overhead_s: 0.25,
+                convergence_factor: 1.0,
+                // Table II: MPC baseline 2.76 W, test 3.43 W, re-train 3.78 W.
+                idle_w: 2.76,
+                infer_delta_w: 0.67,
+                train_delta_w: 1.02,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Device::Gpu => "GPU",
+            Device::CoralTpu => "Coral TPU",
+            Device::PiNcs2 => "Pi + NCS2",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Performance and power characteristics of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Native weight/activation precision.
+    pub precision: Precision,
+    /// Fixed per-inference overhead (runtime dispatch, USB transfer), s.
+    pub infer_overhead_s: f32,
+    /// Effective inference throughput for this workload, FLOPs/s.
+    pub infer_flops_per_s: f32,
+    /// Effective training throughput (forward + backward), FLOPs/s.
+    pub train_flops_per_s: f32,
+    /// Fixed per-epoch overhead during on-device training, s.
+    pub epoch_overhead_s: f32,
+    /// Multiplier on epochs-to-convergence (< 1 converges faster).
+    pub convergence_factor: f32,
+    /// Idle ("baseline") power draw, W.
+    pub idle_w: f32,
+    /// Additional power draw while running inference, W.
+    pub infer_delta_w: f32,
+    /// Additional power draw while re-training, W.
+    pub train_delta_w: f32,
+}
+
+impl DeviceSpec {
+    /// Simulated wall-clock of a single inference of `flops` FLOPs, seconds.
+    pub fn inference_time_s(&self, flops: u64) -> f32 {
+        self.infer_overhead_s + flops as f32 / self.infer_flops_per_s
+    }
+
+    /// Simulated wall-clock of on-device re-training, seconds.
+    ///
+    /// `epochs` is the number of epochs the training loop actually ran,
+    /// `samples` the training-set size, and `flops` the forward cost per
+    /// sample (backward counted as 2× forward).
+    pub fn retraining_time_s(&self, epochs: usize, samples: usize, flops: u64) -> f32 {
+        let step_flops = 3.0 * flops as f32;
+        let effective_epochs = epochs as f32 * self.convergence_factor;
+        effective_epochs * (self.epoch_overhead_s + samples as f32 * step_flops / self.train_flops_per_s)
+    }
+
+    /// Mean power during inference, W.
+    pub fn test_power_w(&self) -> f32 {
+        self.idle_w + self.infer_delta_w
+    }
+
+    /// Mean power during re-training, W.
+    pub fn retraining_power_w(&self) -> f32 {
+        self.idle_w + self.train_delta_w
+    }
+
+    /// Energy of one inference, joules.
+    pub fn inference_energy_j(&self, flops: u64) -> f32 {
+        self.inference_time_s(flops) * self.test_power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FLOP count of the paper-scale CNN-LSTM (123×9 input), used to check
+    /// the calibration against Table II.
+    fn paper_flops() -> u64 {
+        let net = clear_nn::network::cnn_lstm(123, 9, 2, 1);
+        clear_nn::summary::summarize(&net, &[1, 123, 9]).total_flops()
+    }
+
+    #[test]
+    fn tpu_inference_time_matches_table2_scale() {
+        let t = Device::CoralTpu.spec().inference_time_s(paper_flops()) * 1000.0;
+        assert!((35.0..65.0).contains(&t), "TPU test {t} ms, table says 47.31");
+    }
+
+    #[test]
+    fn ncs2_inference_time_matches_table2_scale() {
+        let t = Device::PiNcs2.spec().inference_time_s(paper_flops()) * 1000.0;
+        assert!((190.0..290.0).contains(&t), "NCS2 test {t} ms, table says 239.70");
+    }
+
+    #[test]
+    fn tpu_is_faster_and_leaner_than_ncs2() {
+        let flops = paper_flops();
+        let tpu = Device::CoralTpu.spec();
+        let ncs2 = Device::PiNcs2.spec();
+        assert!(tpu.inference_time_s(flops) < ncs2.inference_time_s(flops));
+        assert!(tpu.retraining_time_s(25, 4, flops) < ncs2.retraining_time_s(25, 4, flops));
+        assert!(tpu.test_power_w() < ncs2.test_power_w());
+        assert!(tpu.retraining_power_w() < ncs2.retraining_power_w());
+        assert!(tpu.idle_w < ncs2.idle_w);
+    }
+
+    #[test]
+    fn gpu_is_fastest() {
+        let flops = paper_flops();
+        let gpu = Device::Gpu.spec();
+        for dev in [Device::CoralTpu, Device::PiNcs2] {
+            assert!(gpu.inference_time_s(flops) < dev.spec().inference_time_s(flops));
+        }
+    }
+
+    #[test]
+    fn retraining_time_scales_with_work() {
+        let spec = Device::CoralTpu.spec();
+        let f = paper_flops();
+        assert!(spec.retraining_time_s(20, 4, f) < spec.retraining_time_s(40, 4, f));
+        assert!(spec.retraining_time_s(20, 4, f) < spec.retraining_time_s(20, 8, f));
+    }
+
+    #[test]
+    fn retraining_time_matches_table2_scale() {
+        // Paper setup ≈ 20 % of ~18 maps (4 samples) to convergence.
+        let f = paper_flops();
+        let tpu = Device::CoralTpu.spec().retraining_time_s(25, 4, f);
+        let ncs2 = Device::PiNcs2.spec().retraining_time_s(25, 4, f);
+        assert!((18.0..50.0).contains(&tpu), "TPU retrain {tpu} s, table says 32.48");
+        assert!((55.0..110.0).contains(&ncs2), "NCS2 retrain {ncs2} s, table says 78.52");
+    }
+
+    #[test]
+    fn power_ordering_baseline_test_train() {
+        for dev in Device::all() {
+            let s = dev.spec();
+            assert!(s.idle_w < s.test_power_w());
+            assert!(s.test_power_w() < s.retraining_power_w());
+        }
+    }
+
+    #[test]
+    fn precisions_match_hardware() {
+        assert_eq!(Device::Gpu.spec().precision, Precision::Fp32);
+        assert_eq!(Device::CoralTpu.spec().precision, Precision::Int8);
+        assert_eq!(Device::PiNcs2.spec().precision, Precision::Fp16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Device::CoralTpu.to_string(), "Coral TPU");
+        assert_eq!(Device::PiNcs2.to_string(), "Pi + NCS2");
+        assert_eq!(Device::Gpu.to_string(), "GPU");
+    }
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let spec = Device::CoralTpu.spec();
+        let e = spec.inference_energy_j(1_000_000);
+        let expected = spec.inference_time_s(1_000_000) * spec.test_power_w();
+        assert!((e - expected).abs() < 1e-6);
+    }
+}

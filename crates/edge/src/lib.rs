@@ -1,0 +1,53 @@
+//! # clear-edge — edge platform simulator
+//!
+//! The paper deploys CLEAR's cluster models on two real edge platforms —
+//! the Coral Edge TPU Dev Board and a Raspberry Pi with an Intel Movidius
+//! NCS2 — and reports accuracy, mean time consumption (MTC) and mean power
+//! consumption (MPC) for re-training and test (Table II). Without the
+//! hardware, this crate simulates both devices with models rather than
+//! constants-only lookup tables:
+//!
+//! * **Numeric precision** ([`clear_nn::quantize`]): checkpoint weights are
+//!   lowered to each device's native format (TPU → int8, NCS2 → fp16, GPU →
+//!   fp32) before inference, and *re-lowered after every optimizer step*
+//!   during on-device fine-tuning — so the TPU's 8-bit accuracy penalty and
+//!   the NCS2's near-baseline behaviour emerge from arithmetic, exactly as
+//!   the paper attributes them ("the performance of TPU is lower than
+//!   baseline due to it only support for only 8-bit data").
+//! * **Latency** ([`device`]): a roofline-style model — per-inference
+//!   runtime overhead plus FLOPs over effective device throughput — whose
+//!   per-device constants are calibrated once against the paper's Table II
+//!   and then *reused for every experiment*; the FLOPs come from the actual
+//!   network via [`clear_nn::summary`], so architecture changes change the
+//!   simulated timings faithfully.
+//! * **Power/energy** ([`device`]): baseline (idle) draw plus a
+//!   task-dependent active delta, yielding MPC for re-training, test and
+//!   baseline rows.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_edge::{Device, EdgeDeployment};
+//! use clear_nn::network::cnn_lstm;
+//! use clear_nn::tensor::Tensor;
+//!
+//! let net = cnn_lstm(123, 9, 2, 1);
+//! let mut deployment = EdgeDeployment::new(net, Device::CoralTpu, &[1, 123, 9]);
+//! let logits = deployment.infer(&Tensor::zeros(&[1, 123, 9]));
+//! assert_eq!(logits.shape(), &[2]);
+//! // Simulated single-inference latency is tens of milliseconds on a TPU.
+//! assert!(deployment.test_time_ms() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod deploy;
+pub mod device;
+pub mod memory;
+
+pub use deploy::{EdgeDeployment, FineTuneOutcome, Measurement};
+pub use device::{Device, DeviceSpec};
+pub use battery::{estimate as estimate_battery, BatteryEstimate, DutyCycle};
+pub use memory::{footprint, MemoryBudget, MemoryFootprint};

@@ -1,0 +1,157 @@
+//! Deployment memory accounting.
+//!
+//! Edge accelerators are memory-bound as much as compute-bound: the Coral
+//! Edge TPU has 8 MB of on-chip SRAM for parameters, and the NCS2 streams
+//! activations through 512 KB slices. This module computes a deployed
+//! model's memory footprint — parameter bytes at device precision plus
+//! peak activation residency — and checks it against each device's budget,
+//! so a user scaling the CLEAR architecture up learns *before* flashing
+//! that the model no longer fits.
+
+use crate::device::Device;
+use clear_nn::network::Network;
+use clear_nn::summary::summarize;
+use serde::{Deserialize, Serialize};
+
+/// Memory footprint of one deployed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Parameter bytes at the device's weight precision.
+    pub parameter_bytes: usize,
+    /// Peak simultaneous activation bytes during a forward pass (input +
+    /// output of the widest layer, activations kept at fp32 on every
+    /// simulated runtime).
+    pub peak_activation_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.parameter_bytes + self.peak_activation_bytes
+    }
+}
+
+/// Memory budget of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    /// Bytes available for parameters (on-chip where applicable).
+    pub parameter_budget_bytes: usize,
+    /// Bytes available for activations.
+    pub activation_budget_bytes: usize,
+}
+
+/// The published memory budgets of the simulated devices.
+pub fn budget_of(device: Device) -> MemoryBudget {
+    match device {
+        // Workstation GPU: effectively unconstrained for this model class.
+        Device::Gpu => MemoryBudget {
+            parameter_budget_bytes: 8 << 30,
+            activation_budget_bytes: 8 << 30,
+        },
+        // Coral Edge TPU: 8 MB on-chip parameter SRAM.
+        Device::CoralTpu => MemoryBudget {
+            parameter_budget_bytes: 8 << 20,
+            activation_budget_bytes: 8 << 20,
+        },
+        // Intel NCS2: 512 KB CMX slices + 512 MB LPDDR; parameters stream
+        // from DDR, activations must tile through CMX.
+        Device::PiNcs2 => MemoryBudget {
+            parameter_budget_bytes: 512 << 20,
+            activation_budget_bytes: 512 << 10,
+        },
+    }
+}
+
+/// Computes the footprint of `network` on `device` for `input_shape`
+/// inputs.
+///
+/// # Panics
+///
+/// Panics if `input_shape` is incompatible with the network.
+pub fn footprint(network: &Network, device: Device, input_shape: &[usize]) -> MemoryFootprint {
+    let spec = device.spec();
+    let parameter_bytes = network.param_count() * spec.precision.bytes_per_weight();
+    let summary = summarize(network, input_shape);
+    // Peak residency: a layer's input plus its output must coexist.
+    let mut prev: usize = input_shape.iter().product();
+    let mut peak = 0usize;
+    for layer in &summary.layers {
+        let out: usize = layer.output_shape.iter().product();
+        peak = peak.max(prev + out);
+        prev = out;
+    }
+    MemoryFootprint {
+        parameter_bytes,
+        peak_activation_bytes: peak * 4, // fp32 activations
+    }
+}
+
+/// Whether the model fits the device's budgets.
+pub fn fits(network: &Network, device: Device, input_shape: &[usize]) -> bool {
+    let fp = footprint(network, device, input_shape);
+    let budget = budget_of(device);
+    fp.parameter_bytes <= budget.parameter_budget_bytes
+        && fp.peak_activation_bytes <= budget.activation_budget_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_nn::network::{cnn_lstm, cnn_lstm_compact, cnn_lstm_custom};
+
+    #[test]
+    fn paper_model_fits_every_device() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        for device in Device::all() {
+            assert!(fits(&net, device, &[1, 123, 9]), "does not fit {device}");
+        }
+    }
+
+    #[test]
+    fn compact_model_is_smaller_everywhere() {
+        let big = cnn_lstm(123, 9, 2, 1);
+        let small = cnn_lstm_compact(123, 9, 2, 1);
+        for device in Device::all() {
+            let fb = footprint(&big, device, &[1, 123, 9]);
+            let fs = footprint(&small, device, &[1, 123, 9]);
+            assert!(fs.parameter_bytes < fb.parameter_bytes);
+            assert!(fs.total_bytes() < fb.total_bytes());
+        }
+    }
+
+    #[test]
+    fn int8_parameters_are_quarter_of_fp32() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let gpu = footprint(&net, Device::Gpu, &[1, 123, 9]);
+        let tpu = footprint(&net, Device::CoralTpu, &[1, 123, 9]);
+        assert_eq!(gpu.parameter_bytes, 4 * tpu.parameter_bytes);
+        // Activations identical (fp32 runtime on all).
+        assert_eq!(gpu.peak_activation_bytes, tpu.peak_activation_bytes);
+    }
+
+    #[test]
+    fn oversized_model_exceeds_tpu_sram() {
+        // A deliberately bloated variant: 64/128 channels, 1024 LSTM units
+        // (≈ 18 MB of int8 parameters, past the TPU's 8 MB SRAM).
+        let huge = cnn_lstm_custom(123, 9, 2, 64, 128, 2, 2, 1024, 0.3, 1);
+        let fp = footprint(&huge, Device::CoralTpu, &[1, 123, 9]);
+        assert!(
+            fp.parameter_bytes > budget_of(Device::CoralTpu).parameter_budget_bytes,
+            "bloated model unexpectedly fits ({} B)",
+            fp.parameter_bytes
+        );
+        assert!(!fits(&huge, Device::CoralTpu, &[1, 123, 9]));
+        // It still fits the GPU.
+        assert!(fits(&huge, Device::Gpu, &[1, 123, 9]));
+    }
+
+    #[test]
+    fn peak_activation_covers_widest_layer_pair() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let fp = footprint(&net, Device::Gpu, &[1, 123, 9]);
+        // Conv1 output is 6×119×7 = 4998 floats; with its 1107-float input
+        // that's ≥ 6105 floats ≈ 24.4 kB.
+        assert!(fp.peak_activation_bytes >= 6105 * 4);
+        assert!(fp.peak_activation_bytes < 1 << 20, "implausibly large peak");
+    }
+}

@@ -1,0 +1,284 @@
+//! The authoritative ordered catalog of the 123 features.
+//!
+//! The paper extracts "123 features … including 34 for GSR, 84 for BVP,
+//! and five for SKT" spanning time-domain, frequency-domain and non-linear
+//! measures. This module pins the exact definitions and their order; the
+//! extractor in [`crate::extract`] must produce values in catalog order, and
+//! tests enforce the 34/84/5 split.
+
+/// Which physiological channel a feature is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modality {
+    /// Galvanic skin response (electrodermal activity).
+    Gsr,
+    /// Blood volume pulse (photoplethysmography).
+    Bvp,
+    /// Skin temperature.
+    Skt,
+}
+
+impl std::fmt::Display for Modality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Modality::Gsr => f.write_str("GSR"),
+            Modality::Bvp => f.write_str("BVP"),
+            Modality::Skt => f.write_str("SKT"),
+        }
+    }
+}
+
+/// A single feature definition: stable name, source modality and the
+/// analysis domain it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureDef {
+    /// Stable snake_case feature name.
+    pub name: &'static str,
+    /// Source channel.
+    pub modality: Modality,
+    /// Analysis domain ("time", "frequency", "nonlinear", "event").
+    pub domain: &'static str,
+}
+
+const fn f(name: &'static str, modality: Modality, domain: &'static str) -> FeatureDef {
+    FeatureDef {
+        name,
+        modality,
+        domain,
+    }
+}
+
+/// Total feature count: 34 GSR + 84 BVP + 5 SKT.
+pub const FEATURE_COUNT: usize = 123;
+/// Number of GSR features.
+pub const GSR_COUNT: usize = 34;
+/// Number of BVP features.
+pub const BVP_COUNT: usize = 84;
+/// Number of SKT features.
+pub const SKT_COUNT: usize = 5;
+
+/// The full ordered catalog. Index `i` of any extracted feature vector or
+/// feature-map row corresponds to `CATALOG[i]`.
+pub const CATALOG: [FeatureDef; FEATURE_COUNT] = [
+    // ---------------- GSR (34) ----------------
+    // Raw conductance time-domain statistics (10).
+    f("gsr_mean", Modality::Gsr, "time"),
+    f("gsr_std", Modality::Gsr, "time"),
+    f("gsr_min", Modality::Gsr, "time"),
+    f("gsr_max", Modality::Gsr, "time"),
+    f("gsr_range", Modality::Gsr, "time"),
+    f("gsr_slope", Modality::Gsr, "time"),
+    f("gsr_mean_abs_diff", Modality::Gsr, "time"),
+    f("gsr_skewness", Modality::Gsr, "time"),
+    f("gsr_kurtosis", Modality::Gsr, "time"),
+    f("gsr_iqr", Modality::Gsr, "time"),
+    // Tonic (low-pass) component (4).
+    f("gsr_tonic_mean", Modality::Gsr, "time"),
+    f("gsr_tonic_std", Modality::Gsr, "time"),
+    f("gsr_tonic_slope", Modality::Gsr, "time"),
+    f("gsr_tonic_range", Modality::Gsr, "time"),
+    // Phasic (high-pass) component (6).
+    f("gsr_phasic_mean_abs", Modality::Gsr, "time"),
+    f("gsr_phasic_std", Modality::Gsr, "time"),
+    f("gsr_phasic_rms", Modality::Gsr, "time"),
+    f("gsr_phasic_energy", Modality::Gsr, "time"),
+    f("gsr_phasic_max", Modality::Gsr, "time"),
+    f("gsr_phasic_line_length", Modality::Gsr, "time"),
+    // Skin-conductance-response events (8).
+    f("gsr_scr_count", Modality::Gsr, "event"),
+    f("gsr_scr_rate", Modality::Gsr, "event"),
+    f("gsr_scr_amp_mean", Modality::Gsr, "event"),
+    f("gsr_scr_amp_max", Modality::Gsr, "event"),
+    f("gsr_scr_amp_sum", Modality::Gsr, "event"),
+    f("gsr_scr_rise_mean", Modality::Gsr, "event"),
+    f("gsr_scr_recovery_mean", Modality::Gsr, "event"),
+    f("gsr_scr_recovered_frac", Modality::Gsr, "event"),
+    // Frequency domain (4).
+    f("gsr_bp_low", Modality::Gsr, "frequency"),
+    f("gsr_bp_mid", Modality::Gsr, "frequency"),
+    f("gsr_bp_high", Modality::Gsr, "frequency"),
+    f("gsr_spectral_centroid", Modality::Gsr, "frequency"),
+    // Non-linear (2).
+    f("gsr_shannon_entropy", Modality::Gsr, "nonlinear"),
+    f("gsr_sample_entropy", Modality::Gsr, "nonlinear"),
+    // ---------------- BVP (84) ----------------
+    // Raw waveform time-domain statistics (12).
+    f("bvp_mean", Modality::Bvp, "time"),
+    f("bvp_std", Modality::Bvp, "time"),
+    f("bvp_rms", Modality::Bvp, "time"),
+    f("bvp_skewness", Modality::Bvp, "time"),
+    f("bvp_kurtosis", Modality::Bvp, "time"),
+    f("bvp_iqr", Modality::Bvp, "time"),
+    f("bvp_mad", Modality::Bvp, "time"),
+    f("bvp_mean_abs_diff", Modality::Bvp, "time"),
+    f("bvp_line_length", Modality::Bvp, "time"),
+    f("bvp_hjorth_mobility", Modality::Bvp, "time"),
+    f("bvp_hjorth_complexity", Modality::Bvp, "time"),
+    f("bvp_zcr", Modality::Bvp, "time"),
+    // Amplitude percentiles (5).
+    f("bvp_p05", Modality::Bvp, "time"),
+    f("bvp_p25", Modality::Bvp, "time"),
+    f("bvp_p50", Modality::Bvp, "time"),
+    f("bvp_p75", Modality::Bvp, "time"),
+    f("bvp_p95", Modality::Bvp, "time"),
+    // Pulse-amplitude features from detected beats (8).
+    f("bvp_peak_mean", Modality::Bvp, "event"),
+    f("bvp_peak_std", Modality::Bvp, "event"),
+    f("bvp_peak_min", Modality::Bvp, "event"),
+    f("bvp_peak_max", Modality::Bvp, "event"),
+    f("bvp_peak_range", Modality::Bvp, "event"),
+    f("bvp_peak_slope", Modality::Bvp, "event"),
+    f("bvp_peak_cv", Modality::Bvp, "event"),
+    f("bvp_beat_count", Modality::Bvp, "event"),
+    // HRV time-domain (8).
+    f("hrv_mean_ibi", Modality::Bvp, "time"),
+    f("hrv_mean_hr", Modality::Bvp, "time"),
+    f("hrv_std_hr", Modality::Bvp, "time"),
+    f("hrv_sdnn", Modality::Bvp, "time"),
+    f("hrv_rmssd", Modality::Bvp, "time"),
+    f("hrv_sdsd", Modality::Bvp, "time"),
+    f("hrv_pnn50", Modality::Bvp, "time"),
+    f("hrv_pnn20", Modality::Bvp, "time"),
+    // IBI distribution statistics (6).
+    f("ibi_min", Modality::Bvp, "time"),
+    f("ibi_max", Modality::Bvp, "time"),
+    f("ibi_range", Modality::Bvp, "time"),
+    f("ibi_skewness", Modality::Bvp, "time"),
+    f("ibi_kurtosis", Modality::Bvp, "time"),
+    f("ibi_cv", Modality::Bvp, "time"),
+    // Poincaré geometry (3).
+    f("poincare_sd1", Modality::Bvp, "nonlinear"),
+    f("poincare_sd2", Modality::Bvp, "nonlinear"),
+    f("poincare_ratio", Modality::Bvp, "nonlinear"),
+    // Geometric HRV (4).
+    f("hrv_triangular_index", Modality::Bvp, "time"),
+    f("hrv_tinn", Modality::Bvp, "time"),
+    f("poincare_area", Modality::Bvp, "nonlinear"),
+    f("poincare_csi", Modality::Bvp, "nonlinear"),
+    // HRV frequency-domain (5).
+    f("hrv_vlf", Modality::Bvp, "frequency"),
+    f("hrv_lf", Modality::Bvp, "frequency"),
+    f("hrv_hf", Modality::Bvp, "frequency"),
+    f("hrv_lf_hf", Modality::Bvp, "frequency"),
+    f("hrv_lf_norm", Modality::Bvp, "frequency"),
+    // Instantaneous heart-rate dynamics (4).
+    f("hr_slope", Modality::Bvp, "time"),
+    f("hr_min", Modality::Bvp, "time"),
+    f("hr_max", Modality::Bvp, "time"),
+    f("hr_range", Modality::Bvp, "time"),
+    // Waveform spectrum (12).
+    f("bvp_bp_0p5_1", Modality::Bvp, "frequency"),
+    f("bvp_bp_1_1p5", Modality::Bvp, "frequency"),
+    f("bvp_bp_1p5_2", Modality::Bvp, "frequency"),
+    f("bvp_bp_2_3", Modality::Bvp, "frequency"),
+    f("bvp_bp_3_4", Modality::Bvp, "frequency"),
+    f("bvp_bp_4_6", Modality::Bvp, "frequency"),
+    f("bvp_spectral_centroid", Modality::Bvp, "frequency"),
+    f("bvp_spectral_entropy", Modality::Bvp, "frequency"),
+    f("bvp_peak_freq", Modality::Bvp, "frequency"),
+    f("bvp_rolloff85", Modality::Bvp, "frequency"),
+    f("bvp_total_power", Modality::Bvp, "frequency"),
+    f("bvp_dominant_ratio", Modality::Bvp, "frequency"),
+    // Derivative statistics (6).
+    f("bvp_d1_std", Modality::Bvp, "time"),
+    f("bvp_d1_rms", Modality::Bvp, "time"),
+    f("bvp_d1_max", Modality::Bvp, "time"),
+    f("bvp_d2_std", Modality::Bvp, "time"),
+    f("bvp_d2_rms", Modality::Bvp, "time"),
+    f("bvp_d2_max", Modality::Bvp, "time"),
+    // Baseline wander (3).
+    f("bvp_baseline_slope", Modality::Bvp, "time"),
+    f("bvp_baseline_std", Modality::Bvp, "time"),
+    f("bvp_baseline_range", Modality::Bvp, "time"),
+    // Non-linear (4).
+    f("bvp_shannon_entropy", Modality::Bvp, "nonlinear"),
+    f("ibi_sample_entropy", Modality::Bvp, "nonlinear"),
+    f("ibi_approx_entropy", Modality::Bvp, "nonlinear"),
+    f("bvp_petrosian_fd", Modality::Bvp, "nonlinear"),
+    // Autocorrelation probes (4).
+    f("bvp_autocorr_250ms", Modality::Bvp, "nonlinear"),
+    f("bvp_autocorr_500ms", Modality::Bvp, "nonlinear"),
+    f("bvp_autocorr_1000ms", Modality::Bvp, "nonlinear"),
+    f("bvp_autocorr_1500ms", Modality::Bvp, "nonlinear"),
+    // ---------------- SKT (5) ----------------
+    f("skt_mean", Modality::Skt, "time"),
+    f("skt_std", Modality::Skt, "time"),
+    f("skt_slope", Modality::Skt, "time"),
+    f("skt_min", Modality::Skt, "time"),
+    f("skt_max", Modality::Skt, "time"),
+];
+
+/// Index of the first feature of `modality` in [`CATALOG`].
+pub fn modality_offset(modality: Modality) -> usize {
+    match modality {
+        Modality::Gsr => 0,
+        Modality::Bvp => GSR_COUNT,
+        Modality::Skt => GSR_COUNT + BVP_COUNT,
+    }
+}
+
+/// Looks up a feature index by name.
+pub fn index_of(name: &str) -> Option<usize> {
+    CATALOG.iter().position(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_matches_paper_split() {
+        let gsr = CATALOG.iter().filter(|d| d.modality == Modality::Gsr).count();
+        let bvp = CATALOG.iter().filter(|d| d.modality == Modality::Bvp).count();
+        let skt = CATALOG.iter().filter(|d| d.modality == Modality::Skt).count();
+        assert_eq!(gsr, GSR_COUNT);
+        assert_eq!(bvp, BVP_COUNT);
+        assert_eq!(skt, SKT_COUNT);
+        assert_eq!(gsr + bvp + skt, FEATURE_COUNT);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = CATALOG.iter().map(|d| d.name).collect();
+        assert_eq!(names.len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn modalities_are_contiguous_blocks() {
+        for (i, d) in CATALOG.iter().enumerate() {
+            let expected = if i < GSR_COUNT {
+                Modality::Gsr
+            } else if i < GSR_COUNT + BVP_COUNT {
+                Modality::Bvp
+            } else {
+                Modality::Skt
+            };
+            assert_eq!(d.modality, expected, "feature {i} ({}) out of block", d.name);
+        }
+    }
+
+    #[test]
+    fn catalog_covers_all_domains() {
+        for domain in ["time", "frequency", "nonlinear", "event"] {
+            assert!(
+                CATALOG.iter().any(|d| d.domain == domain),
+                "missing domain {domain}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_lookup() {
+        assert_eq!(index_of("gsr_mean"), Some(0));
+        assert_eq!(index_of("skt_max"), Some(FEATURE_COUNT - 1));
+        assert_eq!(index_of("bvp_mean"), Some(modality_offset(Modality::Bvp)));
+        assert_eq!(index_of("nope"), None);
+    }
+
+    #[test]
+    fn modality_display() {
+        assert_eq!(Modality::Gsr.to_string(), "GSR");
+        assert_eq!(Modality::Bvp.to_string(), "BVP");
+        assert_eq!(Modality::Skt.to_string(), "SKT");
+    }
+}

@@ -1,0 +1,467 @@
+//! Per-window extraction of the 123 catalog features.
+//!
+//! [`extract_window`] consumes one time-aligned window of the three raw
+//! modalities and produces the feature vector in [`crate::catalog::CATALOG`]
+//! order. Undefined quantities (e.g. HRV of a window with fewer than two
+//! detected beats) are reported as `0.0` so feature maps are always finite —
+//! matching the extractor of the paper's reference [18], which imputes
+//! missing window features.
+
+use clear_dsp::filter::{detrend, filtfilt, Biquad};
+use clear_dsp::peaks::{detect_beats, detect_scr_events, inter_beat_intervals};
+use clear_dsp::psd::{welch, WelchConfig};
+use clear_dsp::{entropy, hrv, stats};
+use clear_sim::SignalConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::FEATURE_COUNT;
+
+/// Sliding-window parameters of the feature-map generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Window length in seconds.
+    pub window_secs: f32,
+    /// Step between window starts in seconds.
+    pub step_secs: f32,
+}
+
+impl Default for WindowConfig {
+    /// 12-second windows advancing by 6 s: a 60 s stimulus yields 9
+    /// windows, so the paper-scale cohort produces `123 × 9` feature maps.
+    fn default() -> Self {
+        Self {
+            window_secs: 12.0,
+            step_secs: 6.0,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Number of windows a recording of `duration_secs` yields.
+    pub fn window_count(&self, duration_secs: f32) -> usize {
+        if duration_secs < self.window_secs {
+            return 0;
+        }
+        (((duration_secs - self.window_secs) / self.step_secs).floor() as usize) + 1
+    }
+}
+
+/// Extracts the 123 features from one aligned window of raw signals.
+///
+/// `bvp`, `gsr` and `skt` must cover the same time span at the rates given
+/// in `signal`. Returns exactly [`FEATURE_COUNT`] finite values in catalog
+/// order.
+pub fn extract_window(
+    bvp: &[f32],
+    gsr: &[f32],
+    skt: &[f32],
+    signal: &SignalConfig,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(FEATURE_COUNT);
+    gsr_features(gsr, signal.fs_gsr, &mut out);
+    debug_assert_eq!(out.len(), crate::catalog::GSR_COUNT);
+    bvp_features(bvp, signal.fs_bvp, &mut out);
+    debug_assert_eq!(
+        out.len(),
+        crate::catalog::GSR_COUNT + crate::catalog::BVP_COUNT
+    );
+    skt_features(skt, &mut out);
+    debug_assert_eq!(out.len(), FEATURE_COUNT);
+    // Guarantee finiteness: any NaN/inf collapses to 0 (imputation).
+    for v in &mut out {
+        if !v.is_finite() {
+            *v = 0.0;
+        }
+    }
+    out
+}
+
+fn gsr_features(gsr: &[f32], fs: f32, out: &mut Vec<f32>) {
+    // Raw statistics (10).
+    out.push(stats::mean(gsr));
+    out.push(stats::std_dev(gsr));
+    out.push(stats::min(gsr).unwrap_or(0.0));
+    out.push(stats::max(gsr).unwrap_or(0.0));
+    out.push(stats::range(gsr));
+    out.push(stats::slope(gsr) * fs); // per second
+    out.push(stats::mean_abs_diff(gsr));
+    out.push(stats::skewness(gsr));
+    out.push(stats::kurtosis(gsr));
+    out.push(stats::iqr(gsr));
+
+    // Tonic / phasic decomposition at 0.05 Hz. The filter runs on the
+    // mean-removed signal (mean restored afterwards) so its zero initial
+    // conditions do not eat the DC level within a short window.
+    let (tonic, phasic) = match Biquad::butterworth_lowpass(0.05, fs) {
+        Ok(lp) => {
+            let mean = stats::mean(gsr);
+            let centered: Vec<f32> = gsr.iter().map(|v| v - mean).collect();
+            let tonic: Vec<f32> = filtfilt(&lp, &centered)
+                .into_iter()
+                .map(|v| v + mean)
+                .collect();
+            let phasic: Vec<f32> = gsr.iter().zip(&tonic).map(|(g, t)| g - t).collect();
+            (tonic, phasic)
+        }
+        Err(_) => (gsr.to_vec(), vec![0.0; gsr.len()]),
+    };
+    // Tonic (4).
+    out.push(stats::mean(&tonic));
+    out.push(stats::std_dev(&tonic));
+    out.push(stats::slope(&tonic) * fs);
+    out.push(stats::range(&tonic));
+    // Phasic (6).
+    out.push(stats::mean(&phasic.iter().map(|v| v.abs()).collect::<Vec<_>>()));
+    out.push(stats::std_dev(&phasic));
+    out.push(stats::rms(&phasic));
+    out.push(stats::energy(&phasic));
+    out.push(stats::max(&phasic).unwrap_or(0.0));
+    out.push(stats::line_length(&phasic));
+
+    // SCR events (8).
+    let events = detect_scr_events(&phasic, fs, 0.04).unwrap_or_default();
+    let duration_min = gsr.len() as f32 / fs / 60.0;
+    let amps: Vec<f32> = events.iter().map(|e| e.amplitude).collect();
+    let rises: Vec<f32> = events.iter().map(|e| e.rise_time).collect();
+    let recoveries: Vec<f32> = events.iter().filter_map(|e| e.half_recovery).collect();
+    out.push(events.len() as f32);
+    out.push(if duration_min > 0.0 {
+        events.len() as f32 / duration_min
+    } else {
+        0.0
+    });
+    out.push(stats::mean(&amps));
+    out.push(stats::max(&amps).unwrap_or(0.0));
+    out.push(amps.iter().sum());
+    out.push(stats::mean(&rises));
+    out.push(stats::mean(&recoveries));
+    out.push(if events.is_empty() {
+        0.0
+    } else {
+        recoveries.len() as f32 / events.len() as f32
+    });
+
+    // Frequency domain (4).
+    let seg = (gsr.len() / 2).clamp(8, 128);
+    match welch(gsr, fs, &WelchConfig::with_segment_len(seg)) {
+        Ok(psd) => {
+            out.push(psd.band_power(0.0, 0.1));
+            out.push(psd.band_power(0.1, 0.5));
+            out.push(psd.band_power(0.5, 1.0));
+            out.push(psd.spectral_centroid());
+        }
+        Err(_) => out.extend_from_slice(&[0.0; 4]),
+    }
+
+    // Non-linear (2).
+    out.push(entropy::shannon_entropy(gsr, 16).unwrap_or(0.0));
+    let sd = stats::std_dev(gsr);
+    out.push(if gsr.len() > 4 && sd > f32::EPSILON {
+        entropy::sample_entropy(gsr, 2, 0.2 * sd).unwrap_or(0.0)
+    } else {
+        0.0
+    });
+}
+
+fn bvp_features(bvp: &[f32], fs: f32, out: &mut Vec<f32>) {
+    // Raw waveform statistics (12).
+    let centered = detrend(bvp);
+    out.push(stats::mean(bvp));
+    out.push(stats::std_dev(bvp));
+    out.push(stats::rms(&centered));
+    out.push(stats::skewness(bvp));
+    out.push(stats::kurtosis(bvp));
+    out.push(stats::iqr(bvp));
+    out.push(stats::mad(bvp));
+    out.push(stats::mean_abs_diff(bvp));
+    out.push(stats::line_length(bvp));
+    out.push(stats::hjorth_mobility(bvp));
+    out.push(stats::hjorth_complexity(bvp));
+    out.push(stats::mean_crossings(bvp) as f32 / (bvp.len() as f32 / fs).max(1e-6));
+
+    // Percentiles (5).
+    for p in [5.0, 25.0, 50.0, 75.0, 95.0] {
+        out.push(stats::percentile(bvp, p).unwrap_or(0.0));
+    }
+
+    // Beats and pulse amplitudes (8).
+    let beats = detect_beats(bvp, fs).unwrap_or_default();
+    let heights: Vec<f32> = beats.iter().map(|&i| bvp[i]).collect();
+    out.push(stats::mean(&heights));
+    out.push(stats::std_dev(&heights));
+    out.push(stats::min(&heights).unwrap_or(0.0));
+    out.push(stats::max(&heights).unwrap_or(0.0));
+    out.push(stats::range(&heights));
+    out.push(stats::slope(&heights));
+    let hm = stats::mean(&heights);
+    out.push(if hm.abs() > f32::EPSILON {
+        stats::std_dev(&heights) / hm
+    } else {
+        0.0
+    });
+    out.push(beats.len() as f32);
+
+    // HRV time-domain (8).
+    let ibis = inter_beat_intervals(&beats, fs);
+    let td = hrv::time_domain(&ibis).unwrap_or_default();
+    out.push(td.mean_ibi);
+    out.push(td.mean_hr);
+    out.push(td.std_hr);
+    out.push(td.sdnn);
+    out.push(td.rmssd);
+    out.push(td.sdsd);
+    out.push(td.pnn50);
+    out.push(td.pnn20);
+
+    // IBI distribution (6).
+    out.push(stats::min(&ibis).unwrap_or(0.0));
+    out.push(stats::max(&ibis).unwrap_or(0.0));
+    out.push(stats::range(&ibis));
+    out.push(stats::skewness(&ibis));
+    out.push(stats::kurtosis(&ibis));
+    out.push(if td.mean_ibi > f32::EPSILON {
+        td.sdnn / td.mean_ibi
+    } else {
+        0.0
+    });
+
+    // Poincaré (3).
+    let pc = hrv::poincare(&ibis).unwrap_or_default();
+    out.push(pc.sd1);
+    out.push(pc.sd2);
+    out.push(pc.ratio);
+
+    // Geometric HRV (4).
+    out.push(triangular_index(&ibis));
+    out.push(tinn(&ibis));
+    out.push(std::f32::consts::PI * pc.sd1 * pc.sd2);
+    out.push(if pc.sd1 > f32::EPSILON {
+        pc.sd2 / pc.sd1
+    } else {
+        0.0
+    });
+
+    // HRV frequency domain (5).
+    let beat_times: Vec<f32> = beats.iter().skip(1).map(|&i| i as f32 / fs).collect();
+    let fd = hrv::frequency_domain(&beat_times, &ibis).unwrap_or_default();
+    out.push(fd.vlf_power);
+    out.push(fd.lf_power);
+    out.push(fd.hf_power);
+    out.push(fd.lf_hf_ratio);
+    out.push(fd.lf_normalized);
+
+    // Instantaneous heart-rate dynamics (4).
+    let inst_hr: Vec<f32> = ibis.iter().map(|&i| 60.0 / i.max(1e-3)).collect();
+    out.push(stats::slope(&inst_hr));
+    out.push(stats::min(&inst_hr).unwrap_or(0.0));
+    out.push(stats::max(&inst_hr).unwrap_or(0.0));
+    out.push(stats::range(&inst_hr));
+
+    // Waveform spectrum (12).
+    let seg = (bvp.len() / 2).clamp(32, 512);
+    match welch(&centered, fs, &WelchConfig::with_segment_len(seg)) {
+        Ok(psd) => {
+            let bands = [
+                (0.5, 1.0),
+                (1.0, 1.5),
+                (1.5, 2.0),
+                (2.0, 3.0),
+                (3.0, 4.0),
+                (4.0, 6.0),
+            ];
+            let mut dominant = 0.0f32;
+            for (lo, hi) in bands {
+                let p = psd.band_power(lo, hi);
+                dominant = dominant.max(p);
+                out.push(p);
+            }
+            out.push(psd.spectral_centroid());
+            out.push(psd.spectral_entropy());
+            out.push(psd.peak_frequency());
+            out.push(psd.rolloff(0.85));
+            let total = psd.total_power();
+            out.push(total);
+            out.push(if total > f32::EPSILON {
+                dominant / total
+            } else {
+                0.0
+            });
+        }
+        Err(_) => out.extend_from_slice(&[0.0; 12]),
+    }
+
+    // Derivative statistics (6).
+    let d1: Vec<f32> = bvp.windows(2).map(|w| (w[1] - w[0]) * fs).collect();
+    let d2: Vec<f32> = d1.windows(2).map(|w| (w[1] - w[0]) * fs).collect();
+    out.push(stats::std_dev(&d1));
+    out.push(stats::rms(&d1));
+    out.push(stats::max(&d1).unwrap_or(0.0));
+    out.push(stats::std_dev(&d2));
+    out.push(stats::rms(&d2));
+    out.push(stats::max(&d2).unwrap_or(0.0));
+
+    // Baseline wander (3).
+    let baseline = match Biquad::butterworth_lowpass(0.3, fs) {
+        Ok(lp) => filtfilt(&lp, bvp),
+        Err(_) => vec![0.0; bvp.len()],
+    };
+    out.push(stats::slope(&baseline) * fs);
+    out.push(stats::std_dev(&baseline));
+    out.push(stats::range(&baseline));
+
+    // Non-linear (4).
+    out.push(entropy::shannon_entropy(bvp, 16).unwrap_or(0.0));
+    let ibi_sd = stats::std_dev(&ibis);
+    out.push(if ibis.len() > 4 && ibi_sd > f32::EPSILON {
+        entropy::sample_entropy(&ibis, 2, 0.2 * ibi_sd).unwrap_or(0.0)
+    } else {
+        0.0
+    });
+    out.push(if ibis.len() > 4 && ibi_sd > f32::EPSILON {
+        entropy::approximate_entropy(&ibis, 2, 0.2 * ibi_sd).unwrap_or(0.0)
+    } else {
+        0.0
+    });
+    out.push(entropy::petrosian_fd(bvp));
+
+    // Autocorrelation probes (4).
+    for lag_secs in [0.25f32, 0.5, 1.0, 1.5] {
+        out.push(stats::autocorrelation(bvp, (lag_secs * fs) as usize));
+    }
+}
+
+fn skt_features(skt: &[f32], out: &mut Vec<f32>) {
+    out.push(stats::mean(skt));
+    out.push(stats::std_dev(skt));
+    out.push(stats::slope(skt) * skt.len() as f32); // total drift over window
+    out.push(stats::min(skt).unwrap_or(0.0));
+    out.push(stats::max(skt).unwrap_or(0.0));
+}
+
+/// HRV triangular index: total IBI count over the modal histogram bin count
+/// (standard 1/128 s bins). `0.0` for fewer than 2 intervals.
+fn triangular_index(ibis: &[f32]) -> f32 {
+    if ibis.len() < 2 {
+        return 0.0;
+    }
+    let counts = ibi_histogram(ibis);
+    let max_count = counts.iter().copied().max().unwrap_or(0);
+    if max_count == 0 {
+        0.0
+    } else {
+        ibis.len() as f32 / max_count as f32
+    }
+}
+
+/// TINN proxy: width (seconds) of the occupied span of the IBI histogram.
+fn tinn(ibis: &[f32]) -> f32 {
+    if ibis.len() < 2 {
+        return 0.0;
+    }
+    let counts = ibi_histogram(ibis);
+    let first = counts.iter().position(|&c| c > 0);
+    let last = counts.iter().rposition(|&c| c > 0);
+    match (first, last) {
+        (Some(a), Some(b)) => (b - a + 1) as f32 / 128.0,
+        _ => 0.0,
+    }
+}
+
+fn ibi_histogram(ibis: &[f32]) -> Vec<usize> {
+    // 1/128 s bins over 0..2.5 s.
+    let mut counts = vec![0usize; 320];
+    for &ibi in ibis {
+        let bin = ((ibi * 128.0) as usize).min(319);
+        counts[bin] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_sim::{Cohort, CohortConfig};
+
+    fn sample_window() -> (Vec<f32>, Vec<f32>, Vec<f32>, SignalConfig) {
+        let cohort = Cohort::generate(&CohortConfig::small(42));
+        let r = &cohort.recordings()[0];
+        let sig = cohort.config().signal;
+        let w = WindowConfig::default();
+        let nb = (w.window_secs * sig.fs_bvp) as usize;
+        let ng = (w.window_secs * sig.fs_gsr) as usize;
+        let ns = (w.window_secs * sig.fs_skt) as usize;
+        (
+            r.bvp[..nb].to_vec(),
+            r.gsr[..ng].to_vec(),
+            r.skt[..ns].to_vec(),
+            sig,
+        )
+    }
+
+    #[test]
+    fn extraction_yields_123_finite_features() {
+        let (bvp, gsr, skt, sig) = sample_window();
+        let v = extract_window(&bvp, &gsr, &skt, &sig);
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn empty_signals_still_yield_123_zeros_mostly() {
+        let sig = SignalConfig::default();
+        let v = extract_window(&[], &[], &[], &sig);
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn constant_signals_are_handled() {
+        let sig = SignalConfig::default();
+        let bvp = vec![1.0f32; 768];
+        let gsr = vec![3.0f32; 96];
+        let skt = vec![33.0f32; 48];
+        let v = extract_window(&bvp, &gsr, &skt, &sig);
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert!(v.iter().all(|x| x.is_finite()));
+        // gsr_mean and skt_mean are the constants.
+        assert!((v[crate::catalog::index_of("gsr_mean").unwrap()] - 3.0).abs() < 1e-4);
+        assert!((v[crate::catalog::index_of("skt_mean").unwrap()] - 33.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn heart_rate_feature_tracks_generator() {
+        let (bvp, gsr, skt, sig) = sample_window();
+        let v = extract_window(&bvp, &gsr, &skt, &sig);
+        let hr = v[crate::catalog::index_of("hrv_mean_hr").unwrap()];
+        assert!(hr > 45.0 && hr < 130.0, "mean hr {hr}");
+    }
+
+    #[test]
+    fn beat_count_feature_is_plausible() {
+        let (bvp, gsr, skt, sig) = sample_window();
+        let v = extract_window(&bvp, &gsr, &skt, &sig);
+        let beats = v[crate::catalog::index_of("bvp_beat_count").unwrap()];
+        // 12 s at 45–130 bpm → 9–26 beats.
+        assert!(beats >= 7.0 && beats <= 30.0, "beats {beats}");
+    }
+
+    #[test]
+    fn window_count_arithmetic() {
+        let w = WindowConfig::default();
+        assert_eq!(w.window_count(60.0), 9);
+        assert_eq!(w.window_count(30.0), 4);
+        assert_eq!(w.window_count(12.0), 1);
+        assert_eq!(w.window_count(11.0), 0);
+    }
+
+    #[test]
+    fn triangular_index_and_tinn() {
+        let steady = vec![0.8f32; 30];
+        assert!((triangular_index(&steady) - 1.0).abs() < 1e-5);
+        assert!((tinn(&steady) - 1.0 / 128.0).abs() < 1e-5);
+        let spread: Vec<f32> = (0..30).map(|i| 0.6 + 0.01 * i as f32).collect();
+        assert!(triangular_index(&spread) > 5.0);
+        assert!(tinn(&spread) > 0.2);
+        assert_eq!(triangular_index(&[0.8]), 0.0);
+    }
+}

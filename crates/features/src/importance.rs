@@ -1,0 +1,189 @@
+//! Feature relevance analysis.
+//!
+//! The paper's feature extractor (after [18]) motivates its 123-feature
+//! set by discriminability; this module quantifies that: per-feature
+//! Fisher scores between fear and non-fear, rankings, and per-modality
+//! aggregation. Used by the `feature_explorer` example and the modality
+//! ablation bench, and useful downstream for pruning the map on very
+//! constrained devices.
+
+use crate::catalog::{Modality, CATALOG, FEATURE_COUNT};
+use crate::map::FeatureMap;
+
+/// Fisher discriminability score of every feature between two groups of
+/// feature maps (typically fear vs non-fear).
+///
+/// For feature `f` with per-class means `m0, m1` and variances `v0, v1`:
+/// `score = (m0 - m1)² / (v0 + v1)` (zero-variance features score 0).
+///
+/// Maps contribute their per-window columns, so a map with `W` windows
+/// counts as `W` observations.
+///
+/// # Panics
+///
+/// Panics if either group is empty.
+pub fn fisher_scores(group_a: &[&FeatureMap], group_b: &[&FeatureMap]) -> Vec<f32> {
+    assert!(
+        !group_a.is_empty() && !group_b.is_empty(),
+        "both groups need at least one feature map"
+    );
+    let stats = |group: &[&FeatureMap]| -> (Vec<f64>, Vec<f64>) {
+        let mut mean = vec![0.0f64; FEATURE_COUNT];
+        let mut count = 0usize;
+        for m in group {
+            for f in 0..FEATURE_COUNT {
+                for &v in m.row(f) {
+                    mean[f] += v as f64;
+                }
+            }
+            count += m.window_count();
+        }
+        for v in &mut mean {
+            *v /= count as f64;
+        }
+        let mut var = vec![0.0f64; FEATURE_COUNT];
+        for m in group {
+            for f in 0..FEATURE_COUNT {
+                for &v in m.row(f) {
+                    let d = v as f64 - mean[f];
+                    var[f] += d * d;
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= count as f64;
+        }
+        (mean, var)
+    };
+    let (ma, va) = stats(group_a);
+    let (mb, vb) = stats(group_b);
+    (0..FEATURE_COUNT)
+        .map(|f| {
+            let denom = va[f] + vb[f];
+            if denom < 1e-12 {
+                0.0
+            } else {
+                (((ma[f] - mb[f]) * (ma[f] - mb[f])) / denom) as f32
+            }
+        })
+        .collect()
+}
+
+/// A ranked feature: catalog index plus its score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedFeature {
+    /// Index into [`CATALOG`].
+    pub index: usize,
+    /// Fisher score (higher = more discriminative).
+    pub score: f32,
+}
+
+/// Ranks all features by descending Fisher score.
+pub fn rank(scores: &[f32]) -> Vec<RankedFeature> {
+    assert_eq!(scores.len(), FEATURE_COUNT, "expected 123 scores");
+    let mut ranked: Vec<RankedFeature> = scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| RankedFeature { index, score })
+        .collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    ranked
+}
+
+/// Sums Fisher scores per modality — how much each sensor contributes to
+/// the discrimination.
+pub fn modality_totals(scores: &[f32]) -> [(Modality, f32); 3] {
+    assert_eq!(scores.len(), FEATURE_COUNT, "expected 123 scores");
+    let total = |m: Modality| -> f32 {
+        CATALOG
+            .iter()
+            .zip(scores)
+            .filter(|(d, _)| d.modality == m)
+            .map(|(_, &s)| s)
+            .sum()
+    };
+    [
+        (Modality::Gsr, total(Modality::Gsr)),
+        (Modality::Bvp, total(Modality::Bvp)),
+        (Modality::Skt, total(Modality::Skt)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::FeatureMap;
+
+    fn map_with(value: f32, hot_feature: usize, hot_value: f32) -> FeatureMap {
+        let mut col = vec![value; FEATURE_COUNT];
+        col[hot_feature] = hot_value;
+        FeatureMap::from_columns(&[col.clone(), col])
+    }
+
+    #[test]
+    fn fisher_score_peaks_on_the_separating_feature() {
+        // Feature 7 separates the groups; everything else is identical
+        // plus negligible jitter so variances stay nonzero.
+        let a: Vec<FeatureMap> = (0..4)
+            .map(|i| map_with(1.0 + 0.01 * i as f32, 7, 10.0 + 0.01 * i as f32))
+            .collect();
+        let b: Vec<FeatureMap> = (0..4)
+            .map(|i| map_with(1.0 + 0.01 * i as f32, 7, -10.0 - 0.01 * i as f32))
+            .collect();
+        let ra: Vec<&FeatureMap> = a.iter().collect();
+        let rb: Vec<&FeatureMap> = b.iter().collect();
+        let scores = fisher_scores(&ra, &rb);
+        let ranked = rank(&scores);
+        assert_eq!(ranked[0].index, 7);
+        assert!(ranked[0].score > 100.0 * ranked[1].score.max(1e-6));
+    }
+
+    #[test]
+    fn identical_groups_score_zero() {
+        let m = map_with(3.0, 0, 3.0);
+        let scores = fisher_scores(&[&m], &[&m]);
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn modality_totals_attribute_to_the_right_sensor() {
+        // Hot feature inside the BVP block (jitter keeps variances nonzero
+        // so the zero-variance guard does not zero the score).
+        let bvp_idx = crate::catalog::modality_offset(Modality::Bvp) + 3;
+        let a: Vec<FeatureMap> = (0..3)
+            .map(|i| map_with(0.01 * i as f32, bvp_idx, 5.0 + 0.01 * i as f32))
+            .collect();
+        let b: Vec<FeatureMap> = (0..3)
+            .map(|i| map_with(0.01 * i as f32, bvp_idx, -5.0 - 0.01 * i as f32))
+            .collect();
+        let ra: Vec<&FeatureMap> = a.iter().collect();
+        let rb: Vec<&FeatureMap> = b.iter().collect();
+        let scores = fisher_scores(&ra, &rb);
+        let totals = modality_totals(&scores);
+        assert_eq!(totals[1].0, Modality::Bvp);
+        assert!(totals[1].1 > totals[0].1);
+        assert!(totals[1].1 > totals[2].1);
+    }
+
+    #[test]
+    fn rank_is_descending() {
+        let mut scores = vec![0.0f32; FEATURE_COUNT];
+        scores[5] = 3.0;
+        scores[50] = 7.0;
+        scores[100] = 1.0;
+        let ranked = rank(&scores);
+        assert_eq!(ranked[0].index, 50);
+        assert_eq!(ranked[1].index, 5);
+        assert_eq!(ranked[2].index, 100);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feature map")]
+    fn empty_group_panics() {
+        let m = map_with(0.0, 0, 0.0);
+        let _ = fisher_scores(&[&m], &[]);
+    }
+}

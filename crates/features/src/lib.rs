@@ -1,0 +1,44 @@
+//! # clear-features — the 123-feature 2D feature-map extractor
+//!
+//! Implements the feature-map generation stage of the CLEAR methodology
+//! (paper §III-A1, following Sun et al. [18]): raw physiological windows are
+//! reduced to **123 features — 34 GSR, 84 BVP and 5 SKT** — spanning the
+//! time domain, frequency domain and non-linear measures. Sliding windows
+//! over one stimulus recording are stacked into a 2D matrix
+//! `M ∈ R^{F×W}` (`F = 123` features × `W` windows), which downstream
+//! stages treat as an image for the CNN-LSTM classifier and flatten into
+//! per-user vectors for clustering.
+//!
+//! * [`catalog`] — the authoritative ordered list of feature definitions,
+//! * [`extract`] — per-window extraction of the 123 scalars,
+//! * [`map`] — feature-map assembly, per-feature normalization and
+//!   user-level aggregation,
+//! * [`importance`] — Fisher-score feature relevance and per-modality
+//!   attribution.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_features::{FeatureExtractor, WindowConfig, FEATURE_COUNT};
+//! use clear_sim::{Cohort, CohortConfig};
+//!
+//! let cohort = Cohort::generate(&CohortConfig::small(1));
+//! let extractor = FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+//! let map = extractor.feature_map(&cohort.recordings()[0]);
+//! assert_eq!(map.feature_count(), FEATURE_COUNT);
+//! assert!(map.window_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod extract;
+pub mod importance;
+pub mod map;
+pub mod streaming;
+
+pub use catalog::{FeatureDef, Modality, FEATURE_COUNT};
+pub use extract::{extract_window, WindowConfig};
+pub use map::{FeatureExtractor, FeatureMap, Normalizer};
+pub use streaming::StreamingExtractor;

@@ -1,0 +1,386 @@
+//! Feature-map assembly, normalization and user-level aggregation.
+//!
+//! A [`FeatureMap`] is the paper's `M ∈ R^{F×W}` matrix: one column of 123
+//! features per sliding window of a stimulus recording. A [`Normalizer`]
+//! carries per-feature z-score statistics fit on training data only (so
+//! evaluation never leaks test statistics). User-level vectors for the
+//! clustering stage are the mean feature column across all of a user's
+//! windows — the `D ∈ R^{F×N}` matrix of paper §III-A2.
+
+use clear_sim::{Recording, SignalConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::FEATURE_COUNT;
+use crate::extract::{extract_window, WindowConfig};
+
+/// A 2D feature map `F × W`: `F = 123` features (rows) by `W` windows
+/// (columns), stored row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    windows: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Builds a map from per-window feature vectors (each of length 123).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or any column length differs from
+    /// [`FEATURE_COUNT`].
+    pub fn from_columns(columns: &[Vec<f32>]) -> Self {
+        assert!(!columns.is_empty(), "a feature map needs at least one window");
+        for c in columns {
+            assert_eq!(c.len(), FEATURE_COUNT, "feature column must have 123 entries");
+        }
+        let windows = columns.len();
+        let mut data = vec![0.0f32; FEATURE_COUNT * windows];
+        for (w, col) in columns.iter().enumerate() {
+            for (f, &v) in col.iter().enumerate() {
+                data[f * windows + w] = v;
+            }
+        }
+        Self { windows, data }
+    }
+
+    /// Number of feature rows (always 123).
+    pub fn feature_count(&self) -> usize {
+        FEATURE_COUNT
+    }
+
+    /// Number of window columns.
+    pub fn window_count(&self) -> usize {
+        self.windows
+    }
+
+    /// Value of feature `f` in window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn get(&self, f: usize, w: usize) -> f32 {
+        assert!(f < FEATURE_COUNT && w < self.windows, "index out of range");
+        self.data[f * self.windows + w]
+    }
+
+    /// Row-major raw data (`f * window_count + w` indexing).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// One feature's trajectory across windows.
+    pub fn row(&self, f: usize) -> &[f32] {
+        assert!(f < FEATURE_COUNT, "feature index out of range");
+        &self.data[f * self.windows..(f + 1) * self.windows]
+    }
+
+    /// Mean over windows: the 123-vector used for clustering.
+    pub fn mean_column(&self) -> Vec<f32> {
+        (0..FEATURE_COUNT)
+            .map(|f| {
+                let row = self.row(f);
+                row.iter().sum::<f32>() / row.len() as f32
+            })
+            .collect()
+    }
+
+    /// Applies a fitted normalizer in place.
+    pub fn normalize(&mut self, normalizer: &Normalizer) {
+        let w = self.windows;
+        for f in 0..FEATURE_COUNT {
+            let (m, s) = (normalizer.mean[f], normalizer.std[f]);
+            for x in &mut self.data[f * w..(f + 1) * w] {
+                *x = (*x - m) / s;
+            }
+        }
+    }
+}
+
+/// Per-feature z-score statistics, fit on training maps only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits mean/std per feature over all windows of all `maps`.
+    ///
+    /// Features with (near-)zero variance get `std = 1` so normalization
+    /// never divides by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maps` is empty.
+    pub fn fit(maps: &[&FeatureMap]) -> Self {
+        assert!(!maps.is_empty(), "cannot fit a normalizer on zero maps");
+        let mut mean = vec![0.0f64; FEATURE_COUNT];
+        let mut count = 0usize;
+        for m in maps {
+            for f in 0..FEATURE_COUNT {
+                for &v in m.row(f) {
+                    mean[f] += v as f64;
+                }
+            }
+            count += m.window_count();
+        }
+        for m in &mut mean {
+            *m /= count as f64;
+        }
+        let mut var = vec![0.0f64; FEATURE_COUNT];
+        for m in maps {
+            for f in 0..FEATURE_COUNT {
+                for &v in m.row(f) {
+                    let d = v as f64 - mean[f];
+                    var[f] += d * d;
+                }
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / count as f64).sqrt() as f32;
+                if s < 1e-6 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self {
+            mean: mean.into_iter().map(|v| v as f32).collect(),
+            std,
+        }
+    }
+
+    /// Normalizes a bare feature vector (e.g. a user-level mean column).
+    pub fn apply_vector(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), FEATURE_COUNT, "vector must have 123 entries");
+        v.iter()
+            .enumerate()
+            .map(|(f, &x)| (x - self.mean[f]) / self.std[f])
+            .collect()
+    }
+
+    /// The fitted per-feature means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// The fitted per-feature standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+/// Stateful extractor binding signal and window configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureExtractor {
+    signal: SignalConfig,
+    window: WindowConfig,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor for recordings produced under `signal`,
+    /// windowed per `window`.
+    pub fn new(signal: SignalConfig, window: WindowConfig) -> Self {
+        Self { signal, window }
+    }
+
+    /// The window configuration.
+    pub fn window_config(&self) -> WindowConfig {
+        self.window
+    }
+
+    /// The signal configuration.
+    pub fn signal_config(&self) -> SignalConfig {
+        self.signal
+    }
+
+    /// Extracts the full `123 × W` feature map of one recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording is shorter than one window.
+    pub fn feature_map(&self, recording: &Recording) -> FeatureMap {
+        let duration = recording.bvp.len() as f32 / self.signal.fs_bvp;
+        let count = self.window.window_count(duration);
+        assert!(
+            count > 0,
+            "recording shorter than one window ({duration} s < {} s)",
+            self.window.window_secs
+        );
+        let mut columns = Vec::with_capacity(count);
+        for w in 0..count {
+            let t0 = w as f32 * self.window.step_secs;
+            let t1 = t0 + self.window.window_secs;
+            let slice = |x: &[f32], fs: f32| -> Vec<f32> {
+                let a = (t0 * fs) as usize;
+                let b = ((t1 * fs) as usize).min(x.len());
+                x[a.min(b)..b].to_vec()
+            };
+            let bvp = slice(&recording.bvp, self.signal.fs_bvp);
+            let gsr = slice(&recording.gsr, self.signal.fs_gsr);
+            let skt = slice(&recording.skt, self.signal.fs_skt);
+            columns.push(extract_window(&bvp, &gsr, &skt, &self.signal));
+        }
+        FeatureMap::from_columns(&columns)
+    }
+
+    /// Extracts maps for many recordings.
+    pub fn feature_maps<'a, I>(&self, recordings: I) -> Vec<FeatureMap>
+    where
+        I: IntoIterator<Item = &'a Recording>,
+    {
+        recordings.into_iter().map(|r| self.feature_map(r)).collect()
+    }
+}
+
+/// Mean 123-vector over a set of feature maps — one user's row of the
+/// clustering matrix `D`.
+///
+/// # Panics
+///
+/// Panics if `maps` is empty.
+pub fn user_vector(maps: &[&FeatureMap]) -> Vec<f32> {
+    assert!(!maps.is_empty(), "user vector needs at least one map");
+    let mut acc = vec![0.0f32; FEATURE_COUNT];
+    for m in maps {
+        for (a, v) in acc.iter_mut().zip(m.mean_column()) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= maps.len() as f32;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_sim::{Cohort, CohortConfig};
+
+    fn small_cohort() -> Cohort {
+        Cohort::generate(&CohortConfig::small(4))
+    }
+
+    #[test]
+    fn feature_map_shape_and_layout() {
+        let cols = vec![vec![1.0; FEATURE_COUNT], vec![2.0; FEATURE_COUNT]];
+        let m = FeatureMap::from_columns(&cols);
+        assert_eq!(m.feature_count(), FEATURE_COUNT);
+        assert_eq!(m.window_count(), 2);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.row(5), &[1.0, 2.0]);
+        assert_eq!(m.mean_column()[7], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn empty_map_panics() {
+        let _ = FeatureMap::from_columns(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "123 entries")]
+    fn wrong_column_length_panics() {
+        let _ = FeatureMap::from_columns(&[vec![0.0; 3]]);
+    }
+
+    #[test]
+    fn extractor_produces_expected_window_count() {
+        let cohort = small_cohort();
+        let ex = FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+        let map = ex.feature_map(&cohort.recordings()[0]);
+        // 30 s stimulus, 12 s windows stepping 6 s → 4 windows.
+        assert_eq!(map.window_count(), 4);
+        assert!(map.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn normalizer_zero_means_unit_stds() {
+        let cohort = small_cohort();
+        let ex = FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+        let maps = ex.feature_maps(cohort.recordings().iter().take(8));
+        let refs: Vec<&FeatureMap> = maps.iter().collect();
+        let norm = Normalizer::fit(&refs);
+        let mut normalized = maps.clone();
+        for m in &mut normalized {
+            m.normalize(&norm);
+        }
+        // Per feature: mean ≈ 0, std ≈ 1 (or exactly 0 for constant rows).
+        for fidx in 0..FEATURE_COUNT {
+            let mut vals = Vec::new();
+            for m in &normalized {
+                vals.extend_from_slice(m.row(fidx));
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-2, "feature {fidx} mean {mean}");
+            let var =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(var < 1.6, "feature {fidx} var {var}");
+        }
+    }
+
+    #[test]
+    fn normalizer_apply_vector_matches_map_normalization() {
+        let cohort = small_cohort();
+        let ex = FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+        let maps = ex.feature_maps(cohort.recordings().iter().take(4));
+        let refs: Vec<&FeatureMap> = maps.iter().collect();
+        let norm = Normalizer::fit(&refs);
+        let vec_before = maps[0].mean_column();
+        let via_vector = norm.apply_vector(&vec_before);
+        let mut m = maps[0].clone();
+        m.normalize(&norm);
+        let via_map = m.mean_column();
+        for (a, b) in via_vector.iter().zip(&via_map) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn user_vector_averages_maps() {
+        let a = FeatureMap::from_columns(&[vec![1.0; FEATURE_COUNT]]);
+        let b = FeatureMap::from_columns(&[vec![3.0; FEATURE_COUNT]]);
+        let v = user_vector(&[&a, &b]);
+        assert!(v.iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn feature_maps_differ_between_fear_and_calm() {
+        // Aggregate discriminability smoke test: the fear/non-fear mean
+        // columns must differ on at least some features.
+        let cohort = small_cohort();
+        let ex = FeatureExtractor::new(cohort.config().signal, WindowConfig::default());
+        let mut fear = vec![0.0f32; FEATURE_COUNT];
+        let mut calm = vec![0.0f32; FEATURE_COUNT];
+        let (mut nf, mut nc) = (0, 0);
+        for r in cohort.recordings() {
+            let col = ex.feature_map(r).mean_column();
+            match r.emotion {
+                clear_sim::Emotion::Fear => {
+                    for (a, v) in fear.iter_mut().zip(&col) {
+                        *a += v;
+                    }
+                    nf += 1;
+                }
+                clear_sim::Emotion::NonFear => {
+                    for (a, v) in calm.iter_mut().zip(&col) {
+                        *a += v;
+                    }
+                    nc += 1;
+                }
+            }
+        }
+        let hr_idx = crate::catalog::index_of("hrv_mean_hr").unwrap();
+        let fear_hr = fear[hr_idx] / nf as f32;
+        let calm_hr = calm[hr_idx] / nc as f32;
+        assert!(
+            fear_hr > calm_hr + 1.0,
+            "fear mean hr {fear_hr} vs calm {calm_hr}"
+        );
+    }
+}

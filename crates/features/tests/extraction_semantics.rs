@@ -1,0 +1,183 @@
+//! Semantic tests of the 123-feature extractor: controlled manipulations
+//! of the input signals must move the right features in the right
+//! direction. These pin the *meaning* of the catalog, not just its shape.
+
+use clear_features::catalog::index_of;
+use clear_features::extract_window;
+use clear_sim::SignalConfig;
+
+fn sig() -> SignalConfig {
+    SignalConfig::default()
+}
+
+/// A clean BVP pulse train at the given heart rate.
+fn bvp_at(bpm: f32, secs: f32, fs: f32) -> Vec<f32> {
+    let n = (secs * fs) as usize;
+    let period = 60.0 / bpm;
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / fs;
+            let phase = (t % period) / period;
+            (-(phase * 8.0)).exp() + 0.2 * (-((phase - 0.4) * 12.0).powi(2)).exp()
+        })
+        .collect()
+}
+
+/// A GSR trace with `events` SCRs on a given tonic level.
+fn gsr_with(events: usize, tonic: f32, secs: f32, fs: f32) -> Vec<f32> {
+    let n = (secs * fs) as usize;
+    let mut out = vec![tonic; n];
+    for e in 0..events {
+        let start = ((e as f32 + 0.5) / events as f32 * secs * fs) as usize;
+        for i in 0..(10.0 * fs) as usize {
+            if start + i < n {
+                let t = i as f32 / fs;
+                out[start + i] += 0.4 * ((-(t / 3.0)).exp() - (-(t / 0.6)).exp()) * 1.5;
+            }
+        }
+    }
+    out
+}
+
+fn skt_with_slope(slope_per_min: f32, base: f32, secs: f32, fs: f32) -> Vec<f32> {
+    let n = (secs * fs) as usize;
+    (0..n)
+        .map(|i| base + slope_per_min * (i as f32 / fs) / 60.0)
+        .collect()
+}
+
+fn feat(v: &[f32], name: &str) -> f32 {
+    v[index_of(name).unwrap_or_else(|| panic!("unknown feature {name}"))]
+}
+
+#[test]
+fn heart_rate_features_track_generator_bpm() {
+    let s = sig();
+    let gsr = gsr_with(2, 3.0, 12.0, s.fs_gsr);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    for bpm in [60.0f32, 75.0, 95.0] {
+        let bvp = bvp_at(bpm, 12.0, s.fs_bvp);
+        let v = extract_window(&bvp, &gsr, &skt, &s);
+        let hr = feat(&v, "hrv_mean_hr");
+        assert!(
+            (hr - bpm).abs() < 5.0,
+            "generator {bpm} bpm, extracted {hr}"
+        );
+        // Beat count consistent with duration × rate.
+        let beats = feat(&v, "bvp_beat_count");
+        assert!((beats - bpm / 60.0 * 12.0).abs() <= 2.0);
+    }
+}
+
+#[test]
+fn scr_count_tracks_injected_events() {
+    let s = sig();
+    let bvp = bvp_at(70.0, 12.0, s.fs_bvp);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    let quiet = extract_window(&bvp, &gsr_with(0, 3.0, 12.0, s.fs_gsr), &skt, &s);
+    let busy = extract_window(&bvp, &gsr_with(3, 3.0, 12.0, s.fs_gsr), &skt, &s);
+    assert!(feat(&quiet, "gsr_scr_count") <= 1.0);
+    assert!(
+        feat(&busy, "gsr_scr_count") >= 2.0,
+        "busy count {}",
+        feat(&busy, "gsr_scr_count")
+    );
+    assert!(feat(&busy, "gsr_scr_amp_sum") > feat(&quiet, "gsr_scr_amp_sum"));
+    assert!(feat(&busy, "gsr_phasic_energy") > feat(&quiet, "gsr_phasic_energy"));
+}
+
+#[test]
+fn tonic_level_lands_in_gsr_tonic_mean() {
+    let s = sig();
+    let bvp = bvp_at(70.0, 12.0, s.fs_bvp);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    for tonic in [2.0f32, 5.0, 8.0] {
+        let v = extract_window(&bvp, &gsr_with(1, tonic, 12.0, s.fs_gsr), &skt, &s);
+        assert!(
+            (feat(&v, "gsr_tonic_mean") - tonic).abs() < 0.5,
+            "tonic {tonic} extracted {}",
+            feat(&v, "gsr_tonic_mean")
+        );
+    }
+}
+
+#[test]
+fn skt_slope_signs_are_preserved() {
+    let s = sig();
+    let bvp = bvp_at(70.0, 12.0, s.fs_bvp);
+    let gsr = gsr_with(1, 3.0, 12.0, s.fs_gsr);
+    let cooling = extract_window(
+        &bvp,
+        &gsr,
+        &skt_with_slope(-0.5, 34.0, 12.0, s.fs_skt),
+        &s,
+    );
+    let warming = extract_window(
+        &bvp,
+        &gsr,
+        &skt_with_slope(0.5, 32.0, 12.0, s.fs_skt),
+        &s,
+    );
+    assert!(feat(&cooling, "skt_slope") < 0.0);
+    assert!(feat(&warming, "skt_slope") > 0.0);
+    assert!((feat(&cooling, "skt_mean") - 34.0).abs() < 0.2);
+    assert!((feat(&warming, "skt_min") - 32.0).abs() < 0.2);
+}
+
+#[test]
+fn hrv_variability_features_separate_steady_from_variable_rhythm() {
+    let s = sig();
+    let gsr = gsr_with(1, 3.0, 12.0, s.fs_gsr);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    // Steady rhythm.
+    let steady = bvp_at(72.0, 12.0, s.fs_bvp);
+    // Modulated rhythm: alternate the instantaneous period.
+    let fsb = s.fs_bvp;
+    let n = (12.0 * fsb) as usize;
+    let mut variable = vec![0.0f32; n];
+    let mut t_beat = 0.0f32;
+    let mut k = 0;
+    while t_beat < 12.0 {
+        let start = (t_beat * fsb) as usize;
+        for i in start..(start + (1.0 * fsb) as usize).min(n) {
+            let dt = i as f32 / fsb - t_beat;
+            variable[i] += (-(dt * 8.0)).exp();
+        }
+        t_beat += if k % 2 == 0 { 0.70 } else { 0.95 };
+        k += 1;
+    }
+    let v_steady = extract_window(&steady, &gsr, &skt, &s);
+    let v_var = extract_window(&variable, &gsr, &skt, &s);
+    assert!(feat(&v_var, "hrv_rmssd") > 3.0 * feat(&v_steady, "hrv_rmssd").max(1e-4));
+    assert!(feat(&v_var, "hrv_sdnn") > feat(&v_steady, "hrv_sdnn"));
+    assert!(feat(&v_var, "poincare_sd1") > feat(&v_steady, "poincare_sd1"));
+    assert!(feat(&v_var, "hrv_pnn50") > feat(&v_steady, "hrv_pnn50"));
+}
+
+#[test]
+fn pulse_amplitude_features_track_scaling() {
+    let s = sig();
+    let gsr = gsr_with(1, 3.0, 12.0, s.fs_gsr);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    let full = bvp_at(70.0, 12.0, s.fs_bvp);
+    let damped: Vec<f32> = full.iter().map(|v| v * 0.5).collect();
+    let v_full = extract_window(&full, &gsr, &skt, &s);
+    let v_damp = extract_window(&damped, &gsr, &skt, &s);
+    assert!(feat(&v_damp, "bvp_peak_mean") < 0.7 * feat(&v_full, "bvp_peak_mean"));
+    assert!(feat(&v_damp, "bvp_std") < 0.7 * feat(&v_full, "bvp_std"));
+    // Heart rate is amplitude-invariant.
+    assert!((feat(&v_damp, "hrv_mean_hr") - feat(&v_full, "hrv_mean_hr")).abs() < 2.0);
+}
+
+#[test]
+fn cardiac_band_power_peaks_at_the_pulse_fundamental() {
+    let s = sig();
+    let gsr = gsr_with(1, 3.0, 12.0, s.fs_gsr);
+    let skt = skt_with_slope(0.0, 33.0, 12.0, s.fs_skt);
+    // 72 bpm = 1.2 Hz fundamental → band 1–1.5 Hz should dominate 3–4 Hz.
+    let bvp = bvp_at(72.0, 12.0, s.fs_bvp);
+    let v = extract_window(&bvp, &gsr, &skt, &s);
+    assert!(feat(&v, "bvp_bp_1_1p5") > feat(&v, "bvp_bp_3_4"));
+    let peak = feat(&v, "bvp_peak_freq");
+    assert!((0.8..=2.6).contains(&peak), "peak frequency {peak}");
+}

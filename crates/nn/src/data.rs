@@ -1,0 +1,226 @@
+//! Labeled datasets, shuffling, splits and stratified sampling.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled sample: an input tensor and its class index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Model input (e.g. a `[1, 123, W]` feature map).
+    pub input: Tensor,
+    /// Class index.
+    pub label: usize,
+}
+
+/// An in-memory labeled dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dataset from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, input: Tensor, label: usize) {
+        self.samples.push(Sample { input, label });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Immutable sample access.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Indices shuffled deterministically by `seed`.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.samples.len()).collect();
+        idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+        idx
+    }
+
+    /// Splits into `(first, second)` with `fraction` of samples in the
+    /// first part, after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn split(&self, fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0, 1)"
+        );
+        let idx = self.shuffled_indices(seed);
+        let cut = ((self.samples.len() as f32) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.samples.len().saturating_sub(1).max(1));
+        let first = idx[..cut]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        let second = idx[cut..]
+            .iter()
+            .map(|&i| self.samples[i].clone())
+            .collect();
+        (Dataset::from_samples(first), Dataset::from_samples(second))
+    }
+
+    /// Stratified split preserving per-class proportions: `fraction` of
+    /// *each class* lands in the first part.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction < 1`.
+    pub fn split_stratified(&self, fraction: f32, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0, 1)"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let classes: std::collections::BTreeSet<usize> =
+            self.samples.iter().map(|s| s.label).collect();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for class in classes {
+            let mut members: Vec<&Sample> = self
+                .samples
+                .iter()
+                .filter(|s| s.label == class)
+                .collect();
+            members.shuffle(&mut rng);
+            let cut = ((members.len() as f32) * fraction).round() as usize;
+            let cut = cut.min(members.len());
+            for (i, s) in members.into_iter().enumerate() {
+                if i < cut {
+                    first.push(s.clone());
+                } else {
+                    second.push(s.clone());
+                }
+            }
+        }
+        (Dataset::from_samples(first), Dataset::from_samples(second))
+    }
+
+    /// Per-class sample counts (index = class).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let max = self.samples.iter().map(|s| s.label).max().unwrap_or(0);
+        let mut counts = vec![0usize; max + 1];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Dataset::from_samples(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(Tensor::from_vec(&[1], vec![i as f32]), i % 2);
+        }
+        d
+    }
+
+    #[test]
+    fn push_len_counts() {
+        let d = toy(10);
+        assert_eq!(d.len(), 10);
+        assert!(!d.is_empty());
+        assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = toy(20);
+        let (a, b) = d.split(0.25, 7);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 15);
+        let mut seen: Vec<f32> = a
+            .iter()
+            .chain(b.iter())
+            .map(|s| s.input.at1(0))
+            .collect();
+        seen.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let expected: Vec<f32> = (0..20).map(|v| v as f32).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let mut d = Dataset::new();
+        for i in 0..30 {
+            d.push(Tensor::from_vec(&[1], vec![i as f32]), if i < 20 { 0 } else { 1 });
+        }
+        let (a, b) = d.split_stratified(0.5, 3);
+        assert_eq!(a.class_counts(), vec![10, 5]);
+        assert_eq!(b.class_counts(), vec![10, 5]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let d = toy(12);
+        assert_eq!(d.shuffled_indices(5), d.shuffled_indices(5));
+        assert_ne!(d.shuffled_indices(5), d.shuffled_indices(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction")]
+    fn bad_fraction_panics() {
+        let _ = toy(4).split(1.0, 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let d: Dataset = toy(4).iter().cloned().collect();
+        assert_eq!(d.len(), 4);
+        let mut e = toy(2);
+        e.extend(d.iter().cloned());
+        assert_eq!(e.len(), 6);
+        let mut f = toy(1);
+        f.extend_from(&e);
+        assert_eq!(f.len(), 7);
+    }
+}

@@ -1,0 +1,910 @@
+//! Neural-network layers with exact backward passes.
+//!
+//! Each layer processes one sample at a time (mini-batches accumulate
+//! gradients across consecutive `forward`/`backward` calls before an
+//! optimizer step). Caches needed by the backward pass are stored in the
+//! layer and skipped during serialization, so checkpoints contain weights
+//! only.
+
+use crate::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A sequential-network layer.
+///
+/// Using an enum (rather than trait objects) keeps networks serializable
+/// and keeps dispatch static.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2D valid convolution.
+    Conv2d(Conv2d),
+    /// Rectified linear activation.
+    Relu(Relu),
+    /// Max pooling with stride equal to the kernel.
+    MaxPool2d(MaxPool2d),
+    /// `[C, H, W] → [W, C·H]` conversion feeding the LSTM (time = windows).
+    MapToSequence(MapToSequence),
+    /// Long short-term memory over a `[T, D]` sequence, returning the last
+    /// hidden state.
+    Lstm(Lstm),
+    /// Fully connected layer.
+    Dense(Dense),
+    /// Inverted dropout (train-time only).
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Runs the layer forward. `train` enables dropout.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        match self {
+            Layer::Conv2d(l) => l.forward(x),
+            Layer::Relu(l) => l.forward(x),
+            Layer::MaxPool2d(l) => l.forward(x),
+            Layer::MapToSequence(l) => l.forward(x),
+            Layer::Lstm(l) => l.forward(x),
+            Layer::Dense(l) => l.forward(x),
+            Layer::Dropout(l) => l.forward(x, train),
+        }
+    }
+
+    /// Propagates the gradient, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` (no cached activation).
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(l) => l.backward(grad),
+            Layer::Relu(l) => l.backward(grad),
+            Layer::MaxPool2d(l) => l.backward(grad),
+            Layer::MapToSequence(l) => l.backward(grad),
+            Layer::Lstm(l) => l.backward(grad),
+            Layer::Dense(l) => l.backward(grad),
+            Layer::Dropout(l) => l.backward(grad),
+        }
+    }
+
+    /// Visits each (parameter, gradient) pair for the optimizer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        match self {
+            Layer::Conv2d(l) => {
+                f(&mut l.w, &mut l.gw);
+                f(&mut l.b, &mut l.gb);
+            }
+            Layer::Lstm(l) => {
+                f(&mut l.wx, &mut l.gwx);
+                f(&mut l.wh, &mut l.gwh);
+                f(&mut l.b, &mut l.gb);
+            }
+            Layer::Dense(l) => {
+                f(&mut l.w, &mut l.gw);
+                f(&mut l.b, &mut l.gb);
+            }
+            Layer::Relu(_) | Layer::MaxPool2d(_) | Layer::MapToSequence(_) | Layer::Dropout(_) => {}
+        }
+    }
+
+    /// Resets accumulated gradients to zero.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.iter_mut().for_each(|v| *v = 0.0));
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d(l) => l.w.len() + l.b.len(),
+            Layer::Lstm(l) => l.wx.len() + l.wh.len() + l.b.len(),
+            Layer::Dense(l) => l.w.len() + l.b.len(),
+            _ => 0,
+        }
+    }
+
+    /// Short human-readable layer name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "Conv2d",
+            Layer::Relu(_) => "ReLU",
+            Layer::MaxPool2d(_) => "MaxPool2d",
+            Layer::MapToSequence(_) => "MapToSequence",
+            Layer::Lstm(_) => "LSTM",
+            Layer::Dense(_) => "Dense",
+            Layer::Dropout(_) => "Dropout",
+        }
+    }
+}
+
+fn xavier(fan_in: usize, fan_out: usize, n: usize, rng: &mut SmallRng) -> Vec<f32> {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    (0..n).map(|_| rng.gen_range(-limit..limit)).collect()
+}
+
+// ---------------------------------------------------------------- Conv2d --
+
+/// Valid 2D convolution (stride 1), input `[C_in, H, W]`, output
+/// `[C_out, H-kh+1, W-kw+1]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    pub(crate) w: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gw: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gb: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// New Xavier-initialized convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_ch: usize, out_ch: usize, kh: usize, kw: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kh > 0 && kw > 0, "zero conv dim");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = out_ch * in_ch * kh * kw;
+        let fan_in = in_ch * kh * kw;
+        let fan_out = out_ch * kh * kw;
+        Self {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            w: xavier(fan_in, fan_out, n, &mut rng),
+            b: vec![0.0; out_ch],
+            gw: vec![0.0; n],
+            gb: vec![0.0; out_ch],
+            cache: None,
+        }
+    }
+
+    /// `(in_ch, out_ch, kh, kw)`.
+    pub fn dims(&self) -> (usize, usize, usize, usize) {
+        (self.in_ch, self.out_ch, self.kh, self.kw)
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gw.len() != self.w.len() {
+            self.gw = vec![0.0; self.w.len()];
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "Conv2d expects [C, H, W]");
+        assert_eq!(x.shape()[0], self.in_ch, "Conv2d channel mismatch");
+        self.ensure_grads();
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        assert!(
+            h >= self.kh && w >= self.kw,
+            "input {h}x{w} smaller than kernel {}x{}",
+            self.kh,
+            self.kw
+        );
+        let (oh, ow) = (h - self.kh + 1, w - self.kw + 1);
+        let mut out = Tensor::zeros(&[self.out_ch, oh, ow]);
+        let xs = x.as_slice();
+        {
+            let od = out.as_mut_slice();
+            for o in 0..self.out_ch {
+                for y in 0..oh {
+                    for xcol in 0..ow {
+                        let mut acc = self.b[o];
+                        for i in 0..self.in_ch {
+                            for ky in 0..self.kh {
+                                let wrow = ((o * self.in_ch + i) * self.kh + ky) * self.kw;
+                                let xrow = (i * h + y + ky) * w + xcol;
+                                for kx in 0..self.kw {
+                                    acc += self.w[wrow + kx] * xs[xrow + kx];
+                                }
+                            }
+                        }
+                        od[(o * oh + y) * ow + xcol] = acc;
+                    }
+                }
+            }
+        }
+        self.cache = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("Conv2d backward before forward");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (h - self.kh + 1, w - self.kw + 1);
+        assert_eq!(grad.shape(), &[self.out_ch, oh, ow], "Conv2d grad shape");
+        let xs = x.as_slice();
+        let gs = grad.as_slice();
+        let mut gin = Tensor::zeros(&[self.in_ch, h, w]);
+        let gd = gin.as_mut_slice();
+        for o in 0..self.out_ch {
+            for y in 0..oh {
+                for xcol in 0..ow {
+                    let g = gs[(o * oh + y) * ow + xcol];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.gb[o] += g;
+                    for i in 0..self.in_ch {
+                        for ky in 0..self.kh {
+                            let wrow = ((o * self.in_ch + i) * self.kh + ky) * self.kw;
+                            let xrow = (i * h + y + ky) * w + xcol;
+                            for kx in 0..self.kw {
+                                self.gw[wrow + kx] += g * xs[xrow + kx];
+                                gd[xrow + kx] += g * self.w[wrow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gin
+    }
+}
+
+// ------------------------------------------------------------------ Relu --
+
+/// Rectified linear unit, any rank.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Vec<bool>,
+    #[serde(skip)]
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = x.as_slice().iter().map(|&v| v > 0.0).collect();
+        self.shape = x.shape().to_vec();
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.shape(), &self.shape[..], "ReLU grad shape");
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(&self.shape, data)
+    }
+}
+
+// ------------------------------------------------------------- MaxPool2d --
+
+/// Max pooling over `[C, H, W]` with window `(ph, pw)` and stride equal to
+/// the window; trailing remainders are dropped (floor semantics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    ph: usize,
+    pw: usize,
+    #[serde(skip)]
+    argmax: Vec<usize>,
+    #[serde(skip)]
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// New pooling layer with window `(ph, pw)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window dimension is zero.
+    pub fn new(ph: usize, pw: usize) -> Self {
+        assert!(ph > 0 && pw > 0, "pool window must be nonzero");
+        Self {
+            ph,
+            pw,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// `(ph, pw)`.
+    pub fn window(&self) -> (usize, usize) {
+        (self.ph, self.pw)
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "MaxPool2d expects [C, H, W]");
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (oh, ow) = (h / self.ph, w / self.pw);
+        assert!(oh > 0 && ow > 0, "input smaller than pool window");
+        let xs = x.as_slice();
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.argmax = vec![0; c * oh * ow];
+        self.in_shape = x.shape().to_vec();
+        let od = out.as_mut_slice();
+        for ci in 0..c {
+            for y in 0..oh {
+                for xcol in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for py in 0..self.ph {
+                        for px in 0..self.pw {
+                            let idx = (ci * h + y * self.ph + py) * w + xcol * self.pw + px;
+                            if xs[idx] > best {
+                                best = xs[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = (ci * oh + y) * ow + xcol;
+                    od[oidx] = best;
+                    self.argmax[oidx] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "MaxPool2d backward before forward");
+        let mut gin = Tensor::zeros(&self.in_shape);
+        let gd = gin.as_mut_slice();
+        for (oidx, &g) in grad.as_slice().iter().enumerate() {
+            gd[self.argmax[oidx]] += g;
+        }
+        gin
+    }
+}
+
+// --------------------------------------------------------- MapToSequence --
+
+/// Converts a `[C, H, W]` convolutional activation into a `[W, C·H]`
+/// sequence — each feature-map window (time step) becomes one LSTM input.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MapToSequence {
+    #[serde(skip)]
+    in_shape: Vec<usize>,
+}
+
+impl MapToSequence {
+    /// New converter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 3, "MapToSequence expects [C, H, W]");
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        self.in_shape = x.shape().to_vec();
+        let mut out = Tensor::zeros(&[w, c * h]);
+        let od = out.as_mut_slice();
+        let xs = x.as_slice();
+        for t in 0..w {
+            for ci in 0..c {
+                for y in 0..h {
+                    od[t * (c * h) + ci * h + y] = xs[(ci * h + y) * w + t];
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "MapToSequence backward before forward");
+        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        assert_eq!(grad.shape(), &[w, c * h], "MapToSequence grad shape");
+        let mut gin = Tensor::zeros(&self.in_shape);
+        let gd = gin.as_mut_slice();
+        let gs = grad.as_slice();
+        for t in 0..w {
+            for ci in 0..c {
+                for y in 0..h {
+                    gd[(ci * h + y) * w + t] = gs[t * (c * h) + ci * h + y];
+                }
+            }
+        }
+        gin
+    }
+}
+
+// ------------------------------------------------------------------ Lstm --
+
+/// Single-layer LSTM consuming `[T, D]`, emitting the final hidden state
+/// `[H]`. Gate order in the stacked weights is `i, f, g, o`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    input: usize,
+    hidden: usize,
+    pub(crate) wx: Vec<f32>, // [4H, D]
+    pub(crate) wh: Vec<f32>, // [4H, H]
+    pub(crate) b: Vec<f32>,  // [4H]
+    #[serde(skip)]
+    pub(crate) gwx: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gwh: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gb: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<LstmCache>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LstmCache {
+    xs: Vec<Vec<f32>>,     // input per step
+    gates: Vec<Vec<f32>>,  // activated i,f,g,o per step (4H)
+    cs: Vec<Vec<f32>>,     // cell states per step
+    hs: Vec<Vec<f32>>,     // hidden states per step
+}
+
+impl Lstm {
+    /// New Xavier-initialized LSTM with a forget-gate bias of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        assert!(input > 0 && hidden > 0, "zero lstm dim");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wx = xavier(input, hidden, 4 * hidden * input, &mut rng);
+        let wh = xavier(hidden, hidden, 4 * hidden * hidden, &mut rng);
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias 1.0 (standard trick for gradient flow).
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        let (nwx, nwh, nb) = (wx.len(), wh.len(), b.len());
+        Self {
+            input,
+            hidden,
+            wx,
+            wh,
+            b,
+            gwx: vec![0.0; nwx],
+            gwh: vec![0.0; nwh],
+            gb: vec![0.0; nb],
+            cache: None,
+        }
+    }
+
+    /// `(input_size, hidden_size)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.input, self.hidden)
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gwx.len() != self.wx.len() {
+            self.gwx = vec![0.0; self.wx.len()];
+        }
+        if self.gwh.len() != self.wh.len() {
+            self.gwh = vec![0.0; self.wh.len()];
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "LSTM expects [T, D]");
+        assert_eq!(x.shape()[1], self.input, "LSTM input width mismatch");
+        self.ensure_grads();
+        let t_len = x.shape()[0];
+        let hdim = self.hidden;
+        let mut cache = LstmCache::default();
+        let mut h = vec![0.0f32; hdim];
+        let mut c = vec![0.0f32; hdim];
+        for t in 0..t_len {
+            let xt = &x.as_slice()[t * self.input..(t + 1) * self.input];
+            // z = Wx x + Wh h + b, gate blocks i|f|g|o.
+            let mut z = self.b.clone();
+            for row in 0..4 * hdim {
+                let mut acc = 0.0f32;
+                let wrow = &self.wx[row * self.input..(row + 1) * self.input];
+                for (wv, xv) in wrow.iter().zip(xt) {
+                    acc += wv * xv;
+                }
+                let hrow = &self.wh[row * hdim..(row + 1) * hdim];
+                for (wv, hv) in hrow.iter().zip(&h) {
+                    acc += wv * hv;
+                }
+                z[row] += acc;
+            }
+            let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+            let mut gates = vec![0.0f32; 4 * hdim];
+            for j in 0..hdim {
+                gates[j] = sigmoid(z[j]); // i
+                gates[hdim + j] = sigmoid(z[hdim + j]); // f
+                gates[2 * hdim + j] = z[2 * hdim + j].tanh(); // g
+                gates[3 * hdim + j] = sigmoid(z[3 * hdim + j]); // o
+            }
+            let mut new_c = vec![0.0f32; hdim];
+            let mut new_h = vec![0.0f32; hdim];
+            for j in 0..hdim {
+                new_c[j] = gates[hdim + j] * c[j] + gates[j] * gates[2 * hdim + j];
+                new_h[j] = gates[3 * hdim + j] * new_c[j].tanh();
+            }
+            cache.xs.push(xt.to_vec());
+            cache.gates.push(gates);
+            cache.cs.push(new_c.clone());
+            cache.hs.push(new_h.clone());
+            c = new_c;
+            h = new_h;
+        }
+        self.cache = Some(cache);
+        Tensor::from_vec(&[hdim], h)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("LSTM backward before forward");
+        let hdim = self.hidden;
+        assert_eq!(grad.shape(), &[hdim], "LSTM grad shape");
+        let t_len = cache.xs.len();
+        let mut dh = grad.as_slice().to_vec();
+        let mut dc = vec![0.0f32; hdim];
+        let mut gin = Tensor::zeros(&[t_len, self.input]);
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t];
+            let c_t = &cache.cs[t];
+            let c_prev: Vec<f32> = if t == 0 {
+                vec![0.0; hdim]
+            } else {
+                cache.cs[t - 1].clone()
+            };
+            let h_prev: Vec<f32> = if t == 0 {
+                vec![0.0; hdim]
+            } else {
+                cache.hs[t - 1].clone()
+            };
+            // dz blocks i|f|g|o.
+            let mut dz = vec![0.0f32; 4 * hdim];
+            for j in 0..hdim {
+                let i = gates[j];
+                let f = gates[hdim + j];
+                let g = gates[2 * hdim + j];
+                let o = gates[3 * hdim + j];
+                let tc = c_t[j].tanh();
+                let do_ = dh[j] * tc;
+                let dct = dc[j] + dh[j] * o * (1.0 - tc * tc);
+                let di = dct * g;
+                let df = dct * c_prev[j];
+                let dg = dct * i;
+                dc[j] = dct * f; // becomes dc_{t-1}
+                dz[j] = di * i * (1.0 - i);
+                dz[hdim + j] = df * f * (1.0 - f);
+                dz[2 * hdim + j] = dg * (1.0 - g * g);
+                dz[3 * hdim + j] = do_ * o * (1.0 - o);
+            }
+            // Parameter gradients and upstream gradients.
+            let xt = &cache.xs[t];
+            let mut dh_prev = vec![0.0f32; hdim];
+            {
+                let gx = &mut gin.as_mut_slice()[t * self.input..(t + 1) * self.input];
+                for row in 0..4 * hdim {
+                    let dzr = dz[row];
+                    if dzr == 0.0 {
+                        continue;
+                    }
+                    self.gb[row] += dzr;
+                    let wx_row = row * self.input;
+                    for (k, &xv) in xt.iter().enumerate() {
+                        self.gwx[wx_row + k] += dzr * xv;
+                        gx[k] += dzr * self.wx[wx_row + k];
+                    }
+                    let wh_row = row * hdim;
+                    for (k, &hv) in h_prev.iter().enumerate() {
+                        self.gwh[wh_row + k] += dzr * hv;
+                        dh_prev[k] += dzr * self.wh[wh_row + k];
+                    }
+                }
+            }
+            dh = dh_prev;
+        }
+        gin
+    }
+}
+
+// ----------------------------------------------------------------- Dense --
+
+/// Fully connected layer `[D] → [O]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    input: usize,
+    output: usize,
+    pub(crate) w: Vec<f32>, // [O, D]
+    pub(crate) b: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gw: Vec<f32>,
+    #[serde(skip)]
+    pub(crate) gb: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// New Xavier-initialized dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input: usize, output: usize, seed: u64) -> Self {
+        assert!(input > 0 && output > 0, "zero dense dim");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self {
+            input,
+            output,
+            w: xavier(input, output, input * output, &mut rng),
+            b: vec![0.0; output],
+            gw: vec![0.0; input * output],
+            gb: vec![0.0; output],
+            cache: None,
+        }
+    }
+
+    /// `(input_size, output_size)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.input, self.output)
+    }
+
+    fn ensure_grads(&mut self) {
+        if self.gw.len() != self.w.len() {
+            self.gw = vec![0.0; self.w.len()];
+        }
+        if self.gb.len() != self.b.len() {
+            self.gb = vec![0.0; self.b.len()];
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 1, "Dense expects [D]");
+        assert_eq!(x.numel(), self.input, "Dense input width mismatch");
+        self.ensure_grads();
+        let xs = x.as_slice();
+        let mut out = vec![0.0f32; self.output];
+        for (o, ov) in out.iter_mut().enumerate() {
+            let row = &self.w[o * self.input..(o + 1) * self.input];
+            *ov = self.b[o] + row.iter().zip(xs).map(|(w, x)| w * x).sum::<f32>();
+        }
+        self.cache = Some(xs.to_vec());
+        Tensor::from_vec(&[self.output], out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let xs = self.cache.as_ref().expect("Dense backward before forward");
+        assert_eq!(grad.shape(), &[self.output], "Dense grad shape");
+        let gs = grad.as_slice();
+        let mut gin = vec![0.0f32; self.input];
+        for (o, &g) in gs.iter().enumerate() {
+            self.gb[o] += g;
+            let row = o * self.input;
+            for k in 0..self.input {
+                self.gw[row + k] += g * xs[k];
+                gin[k] += g * self.w[row + k];
+            }
+        }
+        Tensor::from_vec(&[self.input], gin)
+    }
+}
+
+// --------------------------------------------------------------- Dropout --
+
+/// Inverted dropout: active only in training mode, identity at inference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+    counter: u64,
+    #[serde(skip)]
+    mask: Vec<f32>,
+    #[serde(skip)]
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// New dropout with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self {
+            p,
+            seed,
+            counter: 0,
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.shape = x.shape().to_vec();
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; x.numel()];
+            return x.clone();
+        }
+        self.counter = self.counter.wrapping_add(1);
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(self.counter));
+        let scale = 1.0 / (1.0 - self.p);
+        self.mask = (0..x.numel())
+            .map(|_| {
+                if rng.gen_range(0.0..1.0f32) < self.p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let data = x
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
+        Tensor::from_vec(x.shape(), data)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.shape(), &self.shape[..], "Dropout grad shape");
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(&self.shape, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0);
+        conv.w = vec![2.0];
+        conv.b = vec![1.0];
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1);
+        let x = Tensor::zeros(&[2, 10, 5]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[3, 8, 4]);
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 0.0, 9.0]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 9.0]);
+        let g = Tensor::from_vec(&[1, 1, 2], vec![1.0, 2.0]);
+        let gin = pool.backward(&g);
+        // Gradient routes only to the argmax positions.
+        assert_eq!(gin.as_slice(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(relu.backward(&g).as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn map_to_sequence_round_trip() {
+        let mut m2s = MapToSequence::new();
+        let x = Tensor::from_vec(&[2, 2, 3], (0..12).map(|v| v as f32).collect());
+        let seq = m2s.forward(&x);
+        assert_eq!(seq.shape(), &[3, 4]);
+        // t=0 gathers column 0 of both channels: [0, 3, 6, 9].
+        assert_eq!(&seq.as_slice()[..4], &[0.0, 3.0, 6.0, 9.0]);
+        let back = m2s.backward(&seq);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn lstm_shapes_and_determinism() {
+        let mut lstm = Lstm::new(5, 7, 3);
+        let x = Tensor::from_vec(&[4, 5], (0..20).map(|v| v as f32 * 0.1).collect());
+        let h1 = lstm.forward(&x);
+        let h2 = lstm.forward(&x);
+        assert_eq!(h1.shape(), &[7]);
+        assert_eq!(h1.as_slice(), h2.as_slice());
+        assert!(h1.as_slice().iter().all(|v| v.abs() < 1.0)); // tanh-bounded
+    }
+
+    #[test]
+    fn lstm_remembers_sequence_order() {
+        let mut lstm = Lstm::new(1, 4, 9);
+        let up = Tensor::from_vec(&[3, 1], vec![0.1, 0.5, 0.9]);
+        let down = Tensor::from_vec(&[3, 1], vec![0.9, 0.5, 0.1]);
+        let hu = lstm.forward(&up).as_slice().to_vec();
+        let hd = lstm.forward(&down).as_slice().to_vec();
+        assert_ne!(hu, hd, "order must matter to an LSTM");
+    }
+
+    #[test]
+    fn dense_linear_map() {
+        let mut dense = Dense::new(2, 2, 0);
+        dense.w = vec![1.0, 2.0, 3.0, 4.0];
+        dense.b = vec![0.5, -0.5];
+        let y = dense.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(&[8], vec![1.0; 8]);
+        let y = d.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::from_vec(&[10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.06, "inverted-dropout mean {mean}");
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 4_000 && zeros < 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_before_forward_panics() {
+        let mut dense = Dense::new(2, 2, 0);
+        let _ = dense.backward(&Tensor::zeros(&[2]));
+    }
+
+    #[test]
+    fn layer_enum_dispatch_and_param_count() {
+        let mut layer = Layer::Dense(Dense::new(3, 2, 0));
+        assert_eq!(layer.name(), "Dense");
+        assert_eq!(layer.param_count(), 8);
+        let y = layer.forward(&Tensor::zeros(&[3]), false);
+        assert_eq!(y.shape(), &[2]);
+        let mut visited = 0;
+        layer.visit_params(&mut |p, g| {
+            assert_eq!(p.len(), g.len());
+            visited += 1;
+        });
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut layer = Layer::Dense(Dense::new(2, 1, 0));
+        let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
+        let _ = layer.forward(&x, true);
+        let _ = layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        let mut nonzero = false;
+        layer.visit_params(&mut |_, g| nonzero |= g.iter().any(|&v| v != 0.0));
+        assert!(nonzero);
+        layer.zero_grads();
+        layer.visit_params(&mut |_, g| assert!(g.iter().all(|&v| v == 0.0)));
+    }
+}

@@ -1,0 +1,95 @@
+//! # clear-nn — from-scratch CNN-LSTM deep learning stack
+//!
+//! The CLEAR paper classifies 2D feature maps with a small CNN-LSTM
+//! (paper Fig. 2: two convolutional layers feeding an LSTM and a dense
+//! head). The `repro_why` calibration notes that Rust DL training tooling
+//! (candle/tch) is immature, so this crate implements the full stack from
+//! scratch in pure Rust:
+//!
+//! * [`tensor`] — a minimal row-major `f32` tensor,
+//! * [`layers`] — `Conv2d`, `MaxPool2d`, `Relu`, `MapToSequence`, `Lstm`,
+//!   `Dense`, `Dropout`, each with exact backward passes,
+//! * [`network`] — a serializable sequential container and the canonical
+//!   [`network::cnn_lstm`] architecture builder,
+//! * [`loss`] — softmax cross-entropy,
+//! * [`optim`] — SGD with momentum and Adam,
+//! * [`train`] — mini-batch trainer with early stopping on a validation
+//!   split,
+//! * [`data`] — labeled datasets, shuffled splits, stratified sampling,
+//! * [`metrics`] — accuracy, binary F1, confusion matrices, aggregation,
+//! * [`quantize`] — int8 and fp16 weight quantization used by the edge
+//!   platform simulator,
+//! * [`summary`] — parameter and FLOP accounting per layer (Figure 2
+//!   reproduction and the edge latency model).
+//!
+//! Gradients are verified against finite differences in the test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_nn::network::cnn_lstm;
+//! use clear_nn::tensor::Tensor;
+//!
+//! // A classifier for 123×9 feature maps with 2 output classes.
+//! let mut net = cnn_lstm(123, 9, 2, 42);
+//! let map = Tensor::zeros(&[1, 123, 9]);
+//! let logits = net.forward(&map, false);
+//! assert_eq!(logits.shape(), &[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optim;
+pub mod quantize;
+pub mod summary;
+pub mod tensor;
+pub mod train;
+
+/// Errors produced by `clear-nn`.
+#[derive(Debug)]
+pub enum NnError {
+    /// Shape mismatch between a tensor and what a layer expects.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        actual: Vec<usize>,
+    },
+    /// Checkpoint (de)serialization failure.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+            NnError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+        let e = NnError::ShapeMismatch {
+            expected: "[1, 2, 3]".into(),
+            actual: vec![4],
+        };
+        assert!(e.to_string().starts_with("shape mismatch"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax of a logit vector.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+/// Softmax cross-entropy for a single sample.
+///
+/// Returns `(loss, grad_logits)` where the gradient is `softmax - onehot`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1 or `target` is out of range.
+pub fn cross_entropy(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 1, "cross entropy expects rank-1 logits");
+    let n = logits.numel();
+    assert!(target < n, "target class {target} out of range (n={n})");
+    let probs = softmax(logits.as_slice());
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, Tensor::from_vec(&[n], grad))
+}
+
+/// Predicted class of a logit vector (argmax).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 1.
+pub fn predict_class(logits: &Tensor) -> usize {
+    logits.argmax()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        let extreme = softmax(&[-1e20, 1e20]);
+        assert!(extreme.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let good = Tensor::from_vec(&[2], vec![10.0, -10.0]);
+        let (l_good, _) = cross_entropy(&good, 0);
+        let (l_bad, _) = cross_entropy(&good, 1);
+        assert!(l_good < 1e-3);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(&[3], vec![0.0, 0.0, 0.0]);
+        let (_, g) = cross_entropy(&logits, 1);
+        let third = 1.0 / 3.0;
+        assert!((g.at1(0) - third).abs() < 1e-6);
+        assert!((g.at1(1) - (third - 1.0)).abs() < 1e-6);
+        assert!((g.at1(2) - third).abs() < 1e-6);
+        // Gradients over classes sum to zero.
+        assert!(g.as_slice().iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn finite_difference_check() {
+        // d(loss)/d(logit_j) must match numerical differentiation.
+        let base = vec![0.3f32, -0.7, 1.2];
+        let (_, g) = cross_entropy(&Tensor::from_vec(&[3], base.clone()), 2);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut plus = base.clone();
+            plus[j] += eps;
+            let mut minus = base.clone();
+            minus[j] -= eps;
+            let (lp, _) = cross_entropy(&Tensor::from_vec(&[3], plus), 2);
+            let (lm, _) = cross_entropy(&Tensor::from_vec(&[3], minus), 2);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - g.at1(j)).abs() < 1e-3,
+                "logit {j}: analytic {} vs numeric {num}",
+                g.at1(j)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = cross_entropy(&Tensor::zeros(&[2]), 2);
+    }
+}

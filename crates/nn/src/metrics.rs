@@ -1,0 +1,259 @@
+//! Classification metrics: accuracy, binary F1, confusion matrices and
+//! mean ± std aggregation — the quantities reported in the paper's
+//! Tables I and II.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary (or small multi-class) confusion matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[truth][predicted]`.
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        Self {
+            classes,
+            counts: vec![vec![0; classes]; classes],
+        }
+    }
+
+    /// Records one prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes, "class out of range");
+        self.counts[truth][predicted] += 1;
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Raw count `counts[truth][predicted]`.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Total recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; `0.0` when empty.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.counts[c][c]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// F1 score of class `positive` (binary-style one-vs-rest).
+    ///
+    /// Returns `0.0` when precision + recall is zero.
+    pub fn f1(&self, positive: usize) -> f32 {
+        let tp = self.counts[positive][positive] as f32;
+        let fp: f32 = (0..self.classes)
+            .filter(|&t| t != positive)
+            .map(|t| self.counts[t][positive] as f32)
+            .sum();
+        let fn_: f32 = (0..self.classes)
+            .filter(|&p| p != positive)
+            .map(|p| self.counts[positive][p] as f32)
+            .sum();
+        let denom = 2.0 * tp + fp + fn_;
+        if denom == 0.0 {
+            0.0
+        } else {
+            2.0 * tp / denom
+        }
+    }
+
+    /// Macro-averaged F1 over all classes.
+    pub fn macro_f1(&self) -> f32 {
+        (0..self.classes).map(|c| self.f1(c)).sum::<f32>() / self.classes as f32
+    }
+
+    /// Merges another matrix of the same size into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                self.counts[t][p] += other.counts[t][p];
+            }
+        }
+    }
+}
+
+/// One evaluation outcome (e.g. one LOSO fold).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldScore {
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// F1 of the positive (fear) class in `[0, 1]`.
+    pub f1: f32,
+}
+
+/// Mean ± standard deviation across folds, reported in percent as the
+/// paper's tables do.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Mean accuracy, percent.
+    pub accuracy_mean: f32,
+    /// Accuracy standard deviation, percent.
+    pub accuracy_std: f32,
+    /// Mean F1, percent.
+    pub f1_mean: f32,
+    /// F1 standard deviation, percent.
+    pub f1_std: f32,
+    /// Number of folds aggregated.
+    pub folds: usize,
+}
+
+impl Aggregate {
+    /// Aggregates fold scores into mean ± std (percent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty.
+    pub fn from_scores(scores: &[FoldScore]) -> Self {
+        assert!(!scores.is_empty(), "cannot aggregate zero folds");
+        let n = scores.len() as f32;
+        let acc_mean = scores.iter().map(|s| s.accuracy).sum::<f32>() / n;
+        let f1_mean = scores.iter().map(|s| s.f1).sum::<f32>() / n;
+        let acc_var = scores
+            .iter()
+            .map(|s| (s.accuracy - acc_mean).powi(2))
+            .sum::<f32>()
+            / n;
+        let f1_var = scores.iter().map(|s| (s.f1 - f1_mean).powi(2)).sum::<f32>() / n;
+        Self {
+            accuracy_mean: acc_mean * 100.0,
+            accuracy_std: acc_var.sqrt() * 100.0,
+            f1_mean: f1_mean * 100.0,
+            f1_std: f1_var.sqrt() * 100.0,
+            folds: scores.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc {:.2} ± {:.2} %, f1 {:.2} ± {:.2} % ({} folds)",
+            self.accuracy_mean, self.accuracy_std, self.f1_mean, self.f1_std, self.folds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..5 {
+            cm.record(0, 0);
+            cm.record(1, 1);
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.f1(1), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.total(), 10);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // truth 1 predicted 1: 8 (TP); truth 0 predicted 1: 2 (FP);
+        // truth 1 predicted 0: 4 (FN); truth 0 predicted 0: 6 (TN).
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..8 {
+            cm.record(1, 1);
+        }
+        for _ in 0..2 {
+            cm.record(0, 1);
+        }
+        for _ in 0..4 {
+            cm.record(1, 0);
+        }
+        for _ in 0..6 {
+            cm.record(0, 0);
+        }
+        assert!((cm.accuracy() - 0.7).abs() < 1e-6);
+        // F1 = 2·8 / (2·8 + 2 + 4) = 16/22.
+        assert!((cm.f1(1) - 16.0 / 22.0).abs() < 1e-6);
+        assert_eq!(cm.count(1, 0), 4);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(0, 0);
+        b.record(1, 0);
+        a.merge(&b);
+        assert_eq!(a.count(0, 0), 2);
+        assert_eq!(a.count(1, 0), 1);
+    }
+
+    #[test]
+    fn aggregate_mean_std_in_percent() {
+        let scores = [
+            FoldScore {
+                accuracy: 0.8,
+                f1: 0.75,
+            },
+            FoldScore {
+                accuracy: 0.9,
+                f1: 0.85,
+            },
+        ];
+        let agg = Aggregate::from_scores(&scores);
+        assert!((agg.accuracy_mean - 85.0).abs() < 1e-4);
+        assert!((agg.accuracy_std - 5.0).abs() < 1e-4);
+        assert!((agg.f1_mean - 80.0).abs() < 1e-4);
+        assert_eq!(agg.folds, 2);
+        let text = agg.to_string();
+        assert!(text.contains("85.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero folds")]
+    fn aggregate_empty_panics() {
+        let _ = Aggregate::from_scores(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn record_out_of_range_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Sequential network container, checkpointing, and the canonical CNN-LSTM.
+
+use crate::layers::{Conv2d, Dense, Dropout, Layer, Lstm, MapToSequence, MaxPool2d, Relu};
+use crate::tensor::Tensor;
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// A sequential stack of [`Layer`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Builds a network from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Self { layers }
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by quantization).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Full forward pass. `train` enables dropout.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Full backward pass from the loss gradient; accumulates parameter
+    /// gradients in each layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Zeroes the gradients of every parameterized layer except the last
+    /// `tail` ones — the transfer-learning freeze: with gradients pinned to
+    /// zero, optimizers (including Adam) leave the frozen weights
+    /// untouched.
+    ///
+    /// A `tail` of 1 trains only the dense head; 2 adds the LSTM.
+    pub fn mask_grads_to_tail(&mut self, tail: usize) {
+        let parameterized = self.layers.iter().filter(|l| l.param_count() > 0).count();
+        let frozen = parameterized.saturating_sub(tail);
+        let mut seen = 0usize;
+        for layer in &mut self.layers {
+            if layer.param_count() == 0 {
+                continue;
+            }
+            if seen < frozen {
+                layer.zero_grads();
+            }
+            seen += 1;
+        }
+    }
+
+    /// Visits every (parameter, gradient) slice pair.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Serializes the network (weights only) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] when serialization fails.
+    pub fn to_json(&self) -> Result<String, NnError> {
+        serde_json::to_string(self).map_err(|e| NnError::Checkpoint(e.to_string()))
+    }
+
+    /// Restores a network from [`Network::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] when parsing fails.
+    pub fn from_json(json: &str) -> Result<Self, NnError> {
+        serde_json::from_str(json).map_err(|e| NnError::Checkpoint(e.to_string()))
+    }
+
+    /// Flattens all parameters into one vector (used by tests and the edge
+    /// precision simulator).
+    pub fn parameters_flat(&mut self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Network::parameters_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the parameter count.
+    pub fn set_parameters_flat(&mut self, flat: &[f32]) {
+        let mut offset = 0usize;
+        self.visit_params(&mut |p, _| {
+            p.copy_from_slice(&flat[offset..offset + p.len()]);
+            offset += p.len();
+        });
+        assert_eq!(offset, flat.len(), "flat parameter length mismatch");
+    }
+}
+
+/// Fully parameterized CNN-LSTM builder: two conv blocks (`c1`, `c2`
+/// output channels, 5×3 then feature-axis pooling `p1`, `p2`) feeding an
+/// LSTM of `hidden` units and a dense head.
+///
+/// [`cnn_lstm`] and [`cnn_lstm_compact`] are presets of this builder.
+///
+/// # Panics
+///
+/// Panics when the input is too small for the convolution/pooling chain or
+/// any size is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn cnn_lstm_custom(
+    features: usize,
+    windows: usize,
+    classes: usize,
+    c1: usize,
+    c2: usize,
+    p1: usize,
+    p2: usize,
+    hidden: usize,
+    dropout: f32,
+    seed: u64,
+) -> Network {
+    assert!(classes >= 2, "need at least two classes");
+    let h1 = features
+        .checked_sub(4)
+        .expect("feature axis too small for conv1");
+    let w1 = windows.checked_sub(2).expect("window axis too small for conv1");
+    let h1p = h1 / p1;
+    let h2 = h1p.checked_sub(4).expect("feature axis too small for conv2");
+    let w2 = w1.checked_sub(2).expect("window axis too small for conv2");
+    assert!(w2 >= 1, "architecture collapsed the temporal axis");
+    let h2p = h2 / p2;
+    assert!(h2p >= 1, "feature axis too small after pooling");
+    let lstm_input = c2 * h2p;
+    Network::new(vec![
+        Layer::Conv2d(Conv2d::new(1, c1, 5, 3, seed.wrapping_add(1))),
+        Layer::Relu(Relu::new()),
+        Layer::MaxPool2d(MaxPool2d::new(p1, 1)),
+        Layer::Conv2d(Conv2d::new(c1, c2, 5, 3, seed.wrapping_add(2))),
+        Layer::Relu(Relu::new()),
+        Layer::MaxPool2d(MaxPool2d::new(p2, 1)),
+        Layer::MapToSequence(MapToSequence::new()),
+        Layer::Lstm(Lstm::new(lstm_input, hidden, seed.wrapping_add(3))),
+        Layer::Dropout(Dropout::new(dropout, seed.wrapping_add(4))),
+        Layer::Dense(Dense::new(hidden, classes, seed.wrapping_add(5))),
+    ])
+}
+
+/// A compute-lean preset of the same architecture (4/8 channels, harder
+/// feature pooling, 24 LSTM units) used by the single-core experiment
+/// harness; ~3× fewer FLOPs than [`cnn_lstm`] at nearly the same accuracy
+/// on the CLEAR task.
+pub fn cnn_lstm_compact(features: usize, windows: usize, classes: usize, seed: u64) -> Network {
+    cnn_lstm_custom(features, windows, classes, 4, 8, 2, 3, 24, 0.3, seed)
+}
+
+/// The paper's CNN-LSTM classifier (Fig. 2) for `features × windows`
+/// feature maps:
+///
+/// ```text
+/// [1, F, W] → Conv2d(1→6, 5×3) → ReLU → MaxPool(2×1)
+///           → Conv2d(6→12, 5×3) → ReLU → MaxPool(2×1)
+///           → MapToSequence → LSTM(48) → Dropout(0.3) → Dense(classes)
+/// ```
+///
+/// Pooling shrinks the feature axis only, preserving the temporal (window)
+/// axis for the LSTM.
+///
+/// # Panics
+///
+/// Panics if the input is too small for the two 5×3 convolutions
+/// (`features >= 26`, `windows >= 5`).
+pub fn cnn_lstm(features: usize, windows: usize, classes: usize, seed: u64) -> Network {
+    assert!(features >= 26, "feature axis too small for the architecture");
+    assert!(windows >= 5, "window axis too small for the architecture");
+    cnn_lstm_custom(features, windows, classes, 6, 12, 2, 2, 48, 0.3, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::cross_entropy;
+
+    #[test]
+    fn cnn_lstm_forward_shape() {
+        let mut net = cnn_lstm(123, 9, 2, 1);
+        let x = Tensor::zeros(&[1, 123, 9]);
+        let y = net.forward(&x, false);
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn cnn_lstm_param_count_is_stable() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        // Conv1: 6·1·5·3 + 6 = 96; Conv2: 12·6·5·3 + 12 = 1092.
+        // h1=119, h1p=59, h2=55, h2p=27 → lstm_in=324.
+        // LSTM: 4·48·324 + 4·48·48 + 4·48 = 62208 + 9216 + 192 = 71616.
+        // Dense: 2·48 + 2 = 98. Total 72902.
+        assert_eq!(net.param_count(), 96 + 1092 + 71616 + 98);
+    }
+
+    #[test]
+    fn forward_is_deterministic_in_eval_mode() {
+        let mut net = cnn_lstm(40, 6, 2, 7);
+        let x = Tensor::from_vec(&[1, 40, 6], (0..240).map(|v| (v as f32).sin()).collect());
+        let a = net.forward(&x, false);
+        let b = net.forward(&x, false);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn one_training_step_reduces_loss() {
+        let mut net = cnn_lstm(30, 5, 2, 3);
+        let x = Tensor::from_vec(
+            &[1, 30, 5],
+            (0..150).map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0).collect(),
+        );
+        let target = 1usize;
+        let logits = net.forward(&x, true);
+        let (loss0, grad) = cross_entropy(&logits, target);
+        net.zero_grads();
+        net.backward(&grad);
+        // Manual SGD step.
+        let lr = 0.05f32;
+        net.visit_params(&mut |p, g| {
+            for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                *pv -= lr * gv;
+            }
+        });
+        let logits1 = net.forward(&x, false);
+        let (loss1, _) = cross_entropy(&logits1, target);
+        assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_outputs() {
+        let mut net = cnn_lstm(30, 5, 2, 11);
+        let x = Tensor::from_vec(&[1, 30, 5], (0..150).map(|v| (v as f32 * 0.13).cos()).collect());
+        let before = net.forward(&x, false);
+        let json = net.to_json().unwrap();
+        let mut restored = Network::from_json(&json).unwrap();
+        let after = restored.forward(&x, false);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn parameters_flat_round_trip() {
+        let mut net = cnn_lstm(30, 5, 2, 5);
+        let flat = net.parameters_flat();
+        assert_eq!(flat.len(), net.param_count());
+        let mut altered = flat.clone();
+        altered[0] += 1.0;
+        net.set_parameters_flat(&altered);
+        assert_eq!(net.parameters_flat()[0], flat[0] + 1.0);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        assert!(Network::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = Network::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_input_panics() {
+        let _ = cnn_lstm(10, 9, 2, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers keep per-parameter state in flat buffers aligned with the
+//! network's [`visit_params`](crate::network::Network::visit_params)
+//! traversal order, which is stable for a given architecture.
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer selection and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerConfig {
+    /// Stochastic gradient descent with momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f32,
+    },
+    /// Adam with the usual bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical stabilizer.
+        eps: f32,
+    },
+}
+
+impl OptimizerConfig {
+    /// Adam with standard defaults at the given learning rate.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerConfig::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Plain SGD with momentum 0.9.
+    pub fn sgd(lr: f32) -> Self {
+        OptimizerConfig::Sgd { lr, momentum: 0.9 }
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self::adam(1e-3)
+    }
+}
+
+/// Stateful optimizer bound to one network's parameter layout.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for `network` (allocates state lazily on the
+    /// first step).
+    pub fn new(config: OptimizerConfig) -> Self {
+        Self {
+            config,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+
+    /// Applies one update step using the gradients currently accumulated in
+    /// `network`, scaled by `1 / grad_scale` (pass the mini-batch size to
+    /// average accumulated gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_scale` is not positive.
+    pub fn step(&mut self, network: &mut Network, grad_scale: f32) {
+        assert!(grad_scale > 0.0, "grad_scale must be positive");
+        let total = network.param_count();
+        if self.m.len() != total {
+            self.m = vec![0.0; total];
+            self.v = vec![0.0; total];
+        }
+        self.t += 1;
+        let mut offset = 0usize;
+        let (m, v, t) = (&mut self.m, &mut self.v, self.t);
+        let config = self.config;
+        network.visit_params(&mut |p, g| {
+            match config {
+                OptimizerConfig::Sgd { lr, momentum } => {
+                    for i in 0..p.len() {
+                        let grad = g[i] / grad_scale;
+                        m[offset + i] = momentum * m[offset + i] + grad;
+                        p[i] -= lr * m[offset + i];
+                    }
+                }
+                OptimizerConfig::Adam {
+                    lr,
+                    beta1,
+                    beta2,
+                    eps,
+                } => {
+                    let bc1 = 1.0 - beta1.powi(t as i32);
+                    let bc2 = 1.0 - beta2.powi(t as i32);
+                    for i in 0..p.len() {
+                        let grad = g[i] / grad_scale;
+                        m[offset + i] = beta1 * m[offset + i] + (1.0 - beta1) * grad;
+                        v[offset + i] = beta2 * v[offset + i] + (1.0 - beta2) * grad * grad;
+                        let mh = m[offset + i] / bc1;
+                        let vh = v[offset + i] / bc2;
+                        p[i] -= lr * mh / (vh.sqrt() + eps);
+                    }
+                }
+            }
+            offset += p.len();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Layer};
+    use crate::loss::cross_entropy;
+    use crate::tensor::Tensor;
+
+    fn tiny_net(seed: u64) -> Network {
+        Network::new(vec![Layer::Dense(Dense::new(4, 2, seed))])
+    }
+
+    fn train_step(net: &mut Network, opt: &mut Optimizer, x: &Tensor, y: usize) -> f32 {
+        let logits = net.forward(x, true);
+        let (loss, grad) = cross_entropy(&logits, y);
+        net.zero_grads();
+        net.backward(&grad);
+        opt.step(net, 1.0);
+        loss
+    }
+
+    #[test]
+    fn sgd_converges_on_separable_problem() {
+        let mut net = tiny_net(1);
+        let mut opt = Optimizer::new(OptimizerConfig::sgd(0.1));
+        let a = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+        let b = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 1.0]);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            let la = train_step(&mut net, &mut opt, &a, 0);
+            let lb = train_step(&mut net, &mut opt, &b, 1);
+            last = la + lb;
+        }
+        assert!(last < 0.05, "sgd failed to converge, loss {last}");
+    }
+
+    #[test]
+    fn adam_converges_faster_than_tiny_lr_sgd() {
+        let run = |config: OptimizerConfig| -> f32 {
+            let mut net = tiny_net(2);
+            let mut opt = Optimizer::new(config);
+            let a = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+            let b = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 1.0]);
+            let mut last = f32::INFINITY;
+            for _ in 0..40 {
+                let la = train_step(&mut net, &mut opt, &a, 0);
+                let lb = train_step(&mut net, &mut opt, &b, 1);
+                last = la + lb;
+            }
+            last
+        };
+        let adam = run(OptimizerConfig::adam(0.01));
+        let slow_sgd = run(OptimizerConfig::Sgd {
+            lr: 1e-4,
+            momentum: 0.0,
+        });
+        assert!(adam < slow_sgd);
+    }
+
+    #[test]
+    fn grad_scale_averages_minibatch() {
+        // Two identical samples accumulated then scaled by 2 must equal one
+        // sample scaled by 1.
+        let x = Tensor::from_vec(&[4], vec![0.5, -0.5, 0.25, 1.0]);
+        let mut net1 = tiny_net(3);
+        let mut net2 = net1.clone();
+        let mut opt1 = Optimizer::new(OptimizerConfig::sgd(0.1));
+        let mut opt2 = Optimizer::new(OptimizerConfig::sgd(0.1));
+
+        let logits = net1.forward(&x, true);
+        let (_, g) = cross_entropy(&logits, 0);
+        net1.zero_grads();
+        net1.backward(&g);
+        opt1.step(&mut net1, 1.0);
+
+        net2.zero_grads();
+        for _ in 0..2 {
+            let logits = net2.forward(&x, true);
+            let (_, g) = cross_entropy(&logits, 0);
+            net2.backward(&g);
+        }
+        opt2.step(&mut net2, 2.0);
+
+        let p1 = net1.parameters_flat();
+        let p2 = net2.parameters_flat();
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        let mut net = tiny_net(4);
+        let mut opt = Optimizer::new(OptimizerConfig::default());
+        opt.step(&mut net, 0.0);
+    }
+}

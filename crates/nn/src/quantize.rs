@@ -1,0 +1,302 @@
+//! Weight quantization: int8 post-training quantization and fp16 rounding.
+//!
+//! The edge platform simulator lowers checkpoints to each device's native
+//! numeric format: the Coral Edge TPU executes int8 (the paper attributes
+//! its accuracy drop to "support for only 8-bit data"), while the Intel
+//! NCS2 executes fp16. Quantizing the weights and re-running the f32
+//! forward pass models exactly the precision-induced part of the accuracy
+//! difference.
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a deployment target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE 754 single precision (GPU baseline).
+    Fp32,
+    /// IEEE 754 half precision (Intel NCS2).
+    Fp16,
+    /// Signed 8-bit affine quantization (Coral Edge TPU).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per weight under this precision.
+    pub fn bytes_per_weight(self) -> usize {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Fp16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Fp32 => f.write_str("fp32"),
+            Precision::Fp16 => f.write_str("fp16"),
+            Precision::Int8 => f.write_str("int8"),
+        }
+    }
+}
+
+/// Rounds an `f32` through IEEE 754 half precision (round-to-nearest-even)
+/// and back.
+pub fn round_f16(v: f32) -> f32 {
+    f16_to_f32(f32_to_f16(v))
+}
+
+/// Converts `f32` to half-precision bits (round-to-nearest-even).
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let mut exp = ((bits >> 23) & 0xFF) as i32;
+    let mut frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        return sign | 0x7C00 | if frac != 0 { 0x0200 } else { 0 };
+    }
+    exp -= 127;
+    if exp > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if exp >= -14 {
+        // Normal half.
+        let mut half_frac = frac >> 13;
+        let rem = frac & 0x1FFF;
+        // Round to nearest even.
+        if rem > 0x1000 || (rem == 0x1000 && (half_frac & 1) == 1) {
+            half_frac += 1;
+        }
+        let mut half_exp = (exp + 15) as u32;
+        if half_frac == 0x400 {
+            half_frac = 0;
+            half_exp += 1;
+            if half_exp >= 31 {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((half_exp as u16) << 10) | (half_frac as u16);
+    }
+    // Subnormal half.
+    if exp < -24 {
+        return sign; // underflow → zero
+    }
+    frac |= 0x0080_0000; // implicit leading 1
+    let shift = (-14 - exp) as u32 + 13;
+    let mut half_frac = frac >> shift;
+    let rem_mask = (1u32 << shift) - 1;
+    let rem = frac & rem_mask;
+    let halfway = 1u32 << (shift - 1);
+    if rem > halfway || (rem == halfway && (half_frac & 1) == 1) {
+        half_frac += 1;
+    }
+    sign | half_frac as u16
+}
+
+/// Converts half-precision bits to `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign // ±0
+        } else {
+            // Subnormal: normalize.
+            let mut e = -1i32;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            f &= 0x03FF;
+            sign | (((127 - 14 + e + 1) as u32) << 23) | (f << 13)
+        }
+    } else if exp == 31 {
+        sign | 0x7F80_0000 | (frac << 13) // inf / nan
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Per-tensor affine int8 quantization of a weight slice.
+///
+/// Returns `(quantized, scale)`; `dequantized[i] = quantized[i] * scale`.
+/// An all-zero slice gets scale 1.
+pub fn quantize_int8(weights: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = weights.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+    let scale = if max_abs < f32::MIN_POSITIVE {
+        1.0
+    } else {
+        max_abs / 127.0
+    };
+    let q = weights
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+/// Reconstructs `f32` weights from int8 quantization.
+pub fn dequantize_int8(q: &[i8], scale: f32) -> Vec<f32> {
+    q.iter().map(|&v| v as f32 * scale).collect()
+}
+
+/// Lowers every parameter tensor of `network` to `precision` in place
+/// (quantize + dequantize, so the f32 forward path emulates the device's
+/// arithmetic).
+///
+/// Returns the total parameter bytes the deployed model would occupy.
+pub fn lower_network(network: &mut Network, precision: Precision) -> usize {
+    let mut bytes = 0usize;
+    network.visit_params(&mut |p, _| {
+        bytes += p.len() * precision.bytes_per_weight();
+        match precision {
+            Precision::Fp32 => {}
+            Precision::Fp16 => {
+                for v in p.iter_mut() {
+                    *v = round_f16(*v);
+                }
+            }
+            Precision::Int8 => {
+                let (q, scale) = quantize_int8(p);
+                for (v, &qv) in p.iter_mut().zip(&q) {
+                    *v = qv as f32 * scale;
+                }
+            }
+        }
+    });
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::cnn_lstm;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn f16_round_trip_of_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 0.25, -3.5, 65504.0] {
+            assert_eq!(round_f16(v), v, "{v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_error_is_bounded() {
+        // Relative error of normal halves is at most 2^-11.
+        for i in 1..1000 {
+            let v = i as f32 * 0.001 + 0.1;
+            let r = round_f16(v);
+            assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert_eq!(round_f16(f32::INFINITY), f32::INFINITY);
+        assert_eq!(round_f16(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(round_f16(f32::NAN).is_nan());
+        assert_eq!(round_f16(1e10), f32::INFINITY); // overflow
+        assert_eq!(round_f16(1e-10), 0.0); // underflow
+        // Subnormal half range survives approximately.
+        let tiny = 3.0e-7f32;
+        let r = round_f16(tiny);
+        assert!(r > 0.0 && (r - tiny).abs() / tiny < 0.25);
+    }
+
+    #[test]
+    fn int8_round_trip_error_bound() {
+        let w: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) * 0.01).collect();
+        let (q, scale) = quantize_int8(&w);
+        let deq = dequantize_int8(&q, scale);
+        let max_abs = w.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+        for (orig, rec) in w.iter().zip(&deq) {
+            assert!((orig - rec).abs() <= scale / 2.0 + 1e-6);
+        }
+        assert!(scale <= max_abs / 127.0 + 1e-9);
+    }
+
+    #[test]
+    fn int8_of_zeros_is_stable() {
+        let (q, scale) = quantize_int8(&[0.0; 8]);
+        assert!(q.iter().all(|&v| v == 0));
+        assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn lowering_preserves_fp32_and_shrinks_bytes() {
+        let mut net = cnn_lstm(30, 5, 2, 1);
+        let before = net.parameters_flat();
+        let bytes32 = lower_network(&mut net, Precision::Fp32);
+        assert_eq!(net.parameters_flat(), before);
+        let mut net16 = cnn_lstm(30, 5, 2, 1);
+        let bytes16 = lower_network(&mut net16, Precision::Fp16);
+        let mut net8 = cnn_lstm(30, 5, 2, 1);
+        let bytes8 = lower_network(&mut net8, Precision::Int8);
+        assert_eq!(bytes32, 4 * before.len());
+        assert_eq!(bytes16, 2 * before.len());
+        assert_eq!(bytes8, before.len());
+    }
+
+    #[test]
+    fn int8_lowering_changes_outputs_slightly_not_wildly() {
+        let mut net = cnn_lstm(30, 5, 2, 3);
+        let x = Tensor::from_vec(
+            &[1, 30, 5],
+            (0..150).map(|v| ((v % 23) as f32 - 11.0) / 11.0).collect(),
+        );
+        let before = net.forward(&x, false);
+        let mut lowered = net.clone();
+        lower_network(&mut lowered, Precision::Int8);
+        let after = lowered.forward(&x, false);
+        let diff: f32 = before
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.0, "int8 must perturb the logits");
+        assert!(diff < 1.0, "int8 must not destroy the logits (diff {diff})");
+    }
+
+    #[test]
+    fn fp16_perturbs_less_than_int8() {
+        let mut net = cnn_lstm(30, 5, 2, 5);
+        let x = Tensor::from_vec(
+            &[1, 30, 5],
+            (0..150).map(|v| ((v % 17) as f32 - 8.0) / 8.0).collect(),
+        );
+        let base = net.forward(&x, false);
+        let mut n16 = net.clone();
+        lower_network(&mut n16, Precision::Fp16);
+        let mut n8 = net.clone();
+        lower_network(&mut n8, Precision::Int8);
+        let d16: f32 = base
+            .as_slice()
+            .iter()
+            .zip(n16.forward(&x, false).as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let d8: f32 = base
+            .as_slice()
+            .iter()
+            .zip(n8.forward(&x, false).as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d16 < d8, "fp16 ({d16}) should beat int8 ({d8})");
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(Precision::Fp32.bytes_per_weight(), 4);
+        assert_eq!(Precision::Fp16.bytes_per_weight(), 2);
+        assert_eq!(Precision::Int8.bytes_per_weight(), 1);
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+}

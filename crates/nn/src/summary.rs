@@ -1,0 +1,213 @@
+//! Per-layer parameter and FLOP accounting.
+//!
+//! Reproduces the paper's Figure 2 (the CNN-LSTM architecture diagram) as
+//! a machine-generated table, and feeds the edge latency model, which
+//! converts per-layer FLOPs and byte traffic into device execution time.
+
+use crate::layers::Layer;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Shape, parameter and FLOP summary of one layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSummary {
+    /// Layer name.
+    pub name: String,
+    /// Output activation shape.
+    pub output_shape: Vec<usize>,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Multiply-accumulate-dominated floating-point operations for one
+    /// forward pass.
+    pub flops: u64,
+}
+
+/// Full-network summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSummary {
+    /// Input shape the summary was computed for.
+    pub input_shape: Vec<usize>,
+    /// Per-layer rows, in execution order.
+    pub layers: Vec<LayerSummary>,
+}
+
+impl NetworkSummary {
+    /// Total parameters.
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total forward FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops).sum()
+    }
+
+    /// Renders a fixed-width text table (the Figure 2 reproduction).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<18} {:>10} {:>14}\n",
+            "Layer", "Output shape", "Params", "FLOPs"
+        ));
+        out.push_str(&"-".repeat(62));
+        out.push('\n');
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<16} {:<18} {:>10} {:>14}\n",
+                l.name,
+                format!("{:?}", l.output_shape),
+                l.params,
+                l.flops
+            ));
+        }
+        out.push_str(&"-".repeat(62));
+        out.push('\n');
+        out.push_str(&format!(
+            "total params: {}   total FLOPs: {}\n",
+            self.total_params(),
+            self.total_flops()
+        ));
+        out
+    }
+}
+
+/// Computes the summary of `network` for inputs of `input_shape`.
+///
+/// # Panics
+///
+/// Panics when the input shape is incompatible with the network's layers.
+pub fn summarize(network: &Network, input_shape: &[usize]) -> NetworkSummary {
+    let mut shape = input_shape.to_vec();
+    let mut layers = Vec::new();
+    for layer in network.layers() {
+        let (out_shape, flops) = layer_shape_flops(layer, &shape);
+        layers.push(LayerSummary {
+            name: layer.name().to_string(),
+            output_shape: out_shape.clone(),
+            params: layer.param_count(),
+            flops,
+        });
+        shape = out_shape;
+    }
+    NetworkSummary {
+        input_shape: input_shape.to_vec(),
+        layers,
+    }
+}
+
+fn layer_shape_flops(layer: &Layer, input: &[usize]) -> (Vec<usize>, u64) {
+    match layer {
+        Layer::Conv2d(conv) => {
+            let (in_ch, out_ch, kh, kw) = conv.dims();
+            assert_eq!(input.len(), 3, "Conv2d expects [C, H, W]");
+            assert_eq!(input[0], in_ch, "Conv2d channel mismatch");
+            let oh = input[1] - kh + 1;
+            let ow = input[2] - kw + 1;
+            let flops = 2 * (out_ch * oh * ow * in_ch * kh * kw) as u64;
+            (vec![out_ch, oh, ow], flops)
+        }
+        Layer::Relu(_) => {
+            let n: usize = input.iter().product();
+            (input.to_vec(), n as u64)
+        }
+        Layer::MaxPool2d(pool) => {
+            let (ph, pw) = pool.window();
+            assert_eq!(input.len(), 3, "MaxPool2d expects [C, H, W]");
+            let oh = input[1] / ph;
+            let ow = input[2] / pw;
+            let flops = (input[0] * oh * ow * ph * pw) as u64;
+            (vec![input[0], oh, ow], flops)
+        }
+        Layer::MapToSequence(_) => {
+            assert_eq!(input.len(), 3, "MapToSequence expects [C, H, W]");
+            (vec![input[2], input[0] * input[1]], 0)
+        }
+        Layer::Lstm(lstm) => {
+            let (d, h) = lstm.dims();
+            assert_eq!(input.len(), 2, "LSTM expects [T, D]");
+            assert_eq!(input[1], d, "LSTM input width mismatch");
+            let t = input[0];
+            // Per step: 4H·(D + H) MACs (×2 flops) plus ~10H gate math.
+            let per_step = 2 * 4 * h * (d + h) + 10 * h;
+            (vec![h], (t * per_step) as u64)
+        }
+        Layer::Dense(dense) => {
+            let (d, o) = dense.dims();
+            assert_eq!(input, [d], "Dense input width mismatch");
+            (vec![o], 2 * (d * o) as u64)
+        }
+        Layer::Dropout(_) => {
+            let n: usize = input.iter().product();
+            (input.to_vec(), n as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::cnn_lstm;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn summary_shapes_match_actual_forward() {
+        let mut net = cnn_lstm(123, 9, 2, 1);
+        let summary = summarize(&net, &[1, 123, 9]);
+        let out = net.forward(&Tensor::zeros(&[1, 123, 9]), false);
+        assert_eq!(
+            summary.layers.last().unwrap().output_shape,
+            out.shape().to_vec()
+        );
+        // Spot-check the conv/pool chain: 123→119→59→55→27 on the feature
+        // axis, 9→7→7→5→5 on the window axis.
+        assert_eq!(summary.layers[0].output_shape, vec![6, 119, 7]);
+        assert_eq!(summary.layers[2].output_shape, vec![6, 59, 7]);
+        assert_eq!(summary.layers[3].output_shape, vec![12, 55, 5]);
+        assert_eq!(summary.layers[5].output_shape, vec![12, 27, 5]);
+        assert_eq!(summary.layers[6].output_shape, vec![5, 324]);
+    }
+
+    #[test]
+    fn summary_params_match_network() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let summary = summarize(&net, &[1, 123, 9]);
+        assert_eq!(summary.total_params(), net.param_count());
+    }
+
+    #[test]
+    fn flops_are_positive_and_conv_dominated_or_lstm_dominated() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let summary = summarize(&net, &[1, 123, 9]);
+        assert!(summary.total_flops() > 100_000);
+        for l in &summary.layers {
+            if l.name == "Conv2d" || l.name == "LSTM" || l.name == "Dense" {
+                assert!(l.flops > 0, "{} has zero flops", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn known_conv_flops() {
+        // Conv2d(1→6, 5×3) on [1, 123, 9]: out 6×119×7, MACs = 6·119·7·15.
+        let net = cnn_lstm(123, 9, 2, 1);
+        let summary = summarize(&net, &[1, 123, 9]);
+        assert_eq!(summary.layers[0].flops, 2 * 6 * 119 * 7 * 15);
+    }
+
+    #[test]
+    fn table_renders_all_layers() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let summary = summarize(&net, &[1, 123, 9]);
+        let table = summary.to_table();
+        for name in ["Conv2d", "ReLU", "MaxPool2d", "LSTM", "Dense", "total params"] {
+            assert!(table.contains(name), "missing {name} in table");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_input_shape_panics() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let _ = summarize(&net, &[2, 123, 9]);
+    }
+}

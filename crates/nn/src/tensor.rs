@@ -1,0 +1,243 @@
+//! A minimal row-major `f32` tensor.
+//!
+//! Inter-layer data in this stack is small (feature maps of a few thousand
+//! elements), so the tensor favors clarity over blocking/vectorization
+//! tricks: contiguous `Vec<f32>` storage, explicit shape, and checked
+//! indexing helpers for ranks 1–3.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor rank must be at least 1");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive"
+        );
+        let numel = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        assert!(!shape.is_empty(), "tensor rank must be at least 1");
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes in place (element count must be preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's element count differs.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        self.shape = shape.to_vec();
+    }
+
+    /// 1D element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 1 or the index is out of bounds.
+    pub fn at1(&self, i: usize) -> f32 {
+        assert_eq!(self.rank(), 1, "at1 requires a rank-1 tensor");
+        self.data[i]
+    }
+
+    /// 2D element access (`[rows, cols]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or an index is out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
+        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// 3D element access (`[ch, rows, cols]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or an index is out of bounds.
+    pub fn at3(&self, ch: usize, r: usize, c: usize) -> f32 {
+        assert_eq!(self.rank(), 3, "at3 requires a rank-3 tensor");
+        let (d1, d2) = (self.shape[1], self.shape[2]);
+        assert!(ch < self.shape[0] && r < d1 && c < d2, "index out of bounds");
+        self.data[(ch * d1 + r) * d2 + c]
+    }
+
+    /// Sets a 3D element.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tensor::at3`].
+    pub fn set3(&mut self, ch: usize, r: usize, c: usize, v: f32) {
+        assert_eq!(self.rank(), 3, "set3 requires a rank-3 tensor");
+        let (d1, d2) = (self.shape[1], self.shape[2]);
+        assert!(ch < self.shape[0] && r < d1 && c < d2, "index out of bounds");
+        self.data[(ch * d1 + r) * d2 + c] = v;
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Largest element's index (rank 1), ties to the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 1.
+    pub fn argmax(&self) -> usize {
+        assert_eq!(self.rank(), 1, "argmax requires a rank-1 tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f32).collect());
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at2(1, 2), 5.0);
+        assert_eq!(t.at2(0, 0), 0.0);
+    }
+
+    #[test]
+    fn three_d_layout_is_row_major() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 1, 1), 3.0);
+        assert_eq!(t.at3(1, 0, 0), 4.0);
+        assert_eq!(t.at3(1, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn set3_then_read() {
+        let mut t = Tensor::zeros(&[1, 2, 2]);
+        t.set3(0, 1, 0, 9.0);
+        assert_eq!(t.at3(0, 1, 0), 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut t = Tensor::from_vec(&[2, 3], (0..6).map(|v| v as f32).collect());
+        t.reshape(&[6]);
+        assert_eq!(t.rank(), 1);
+        assert_eq!(t.at1(5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve element count")]
+    fn bad_reshape_panics() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.reshape(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_from_vec_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dim_panics() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn map_and_argmax() {
+        let t = Tensor::from_vec(&[3], vec![1.0, 5.0, 3.0]);
+        assert_eq!(t.argmax(), 1);
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.as_slice(), &[2.0, 10.0, 6.0]);
+    }
+
+    #[test]
+    fn display_shows_shape() {
+        assert_eq!(Tensor::zeros(&[2, 3]).to_string(), "Tensor[2, 3]");
+    }
+}

@@ -1,0 +1,321 @@
+//! Mini-batch trainer with optional early stopping.
+//!
+//! Implements the training loop used for both cloud pre-training and edge
+//! fine-tuning: shuffled mini-batches, gradient accumulation across the
+//! batch, one optimizer step per batch, and (when a validation set is
+//! given) retention of the best-validation-accuracy checkpoint — the
+//! paper's "best-performing training checkpoints ... are saved".
+
+use crate::data::Dataset;
+use crate::loss::{cross_entropy, predict_class};
+use crate::metrics::{ConfusionMatrix, FoldScore};
+use crate::network::Network;
+use crate::optim::{Optimizer, OptimizerConfig};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (gradient accumulation length).
+    pub batch_size: usize,
+    /// Optimizer selection.
+    pub optimizer: OptimizerConfig,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Early-stopping patience in epochs (0 disables early stopping);
+    /// requires a validation set to have any effect.
+    pub patience: usize,
+    /// When set, freeze all parameterized layers except the last `n`
+    /// (transfer-learning head fine-tuning). `None` trains everything.
+    #[serde(default)]
+    pub trainable_tail: Option<usize>,
+    /// L2-SP regularization strength: pulls weights towards their values
+    /// at the *start of this training run* (the pre-trained point), the
+    /// standard anchor against catastrophic drift when fine-tuning on very
+    /// few samples. `None` disables it.
+    #[serde(default)]
+    pub l2_sp: Option<f32>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            batch_size: 16,
+            optimizer: OptimizerConfig::adam(1e-3),
+            seed: 0,
+            patience: 8,
+            trainable_tail: None,
+            l2_sp: None,
+        }
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation accuracy per epoch (empty without a validation set).
+    pub val_accuracies: Vec<f32>,
+    /// Epoch whose weights were kept (best validation accuracy, or the
+    /// last epoch without validation).
+    pub best_epoch: usize,
+}
+
+/// Trains `network` on `train` (optionally early-stopping on `val`).
+///
+/// On return, `network` holds the best checkpoint seen.
+///
+/// # Panics
+///
+/// Panics if `train` is empty, `batch_size == 0`, or `epochs == 0`.
+pub fn train(
+    network: &mut Network,
+    train: &Dataset,
+    val: Option<&Dataset>,
+    config: &TrainConfig,
+) -> TrainReport {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert!(config.epochs > 0, "epoch count must be positive");
+
+    let mut optimizer = Optimizer::new(config.optimizer);
+    let anchor: Option<Vec<f32>> = config.l2_sp.map(|_| network.parameters_flat());
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut val_accuracies = Vec::new();
+    let mut best_epoch = config.epochs.saturating_sub(1);
+    let mut best_acc = f32::NEG_INFINITY;
+    let mut best_weights: Option<Vec<f32>> = None;
+    let mut stale = 0usize;
+
+    for epoch in 0..config.epochs {
+        let order = train.shuffled_indices(config.seed.wrapping_add(epoch as u64));
+        let mut total_loss = 0.0f32;
+        for chunk in order.chunks(config.batch_size) {
+            network.zero_grads();
+            for &i in chunk {
+                let sample = &train.samples()[i];
+                let logits = network.forward(&sample.input, true);
+                let (loss, grad) = cross_entropy(&logits, sample.label);
+                total_loss += loss;
+                network.backward(&grad);
+            }
+            if let Some(tail) = config.trainable_tail {
+                network.mask_grads_to_tail(tail);
+            }
+            if let (Some(lambda), Some(w0)) = (config.l2_sp, anchor.as_deref()) {
+                // Add λ(w - w0) per sample so the optimizer's batch
+                // averaging leaves an effective pull of λ(w - w0).
+                let scale = lambda * chunk.len() as f32;
+                let mut offset = 0usize;
+                network.visit_params(&mut |p, g| {
+                    for i in 0..p.len() {
+                        // Frozen layers keep zero gradients: do not wake
+                        // them up with the regularizer (they sit at w0
+                        // anyway, so their pull is zero).
+                        if g[i] != 0.0 || (p[i] - w0[offset + i]) != 0.0 {
+                            g[i] += scale * (p[i] - w0[offset + i]);
+                        }
+                    }
+                    offset += p.len();
+                });
+            }
+            optimizer.step(network, chunk.len() as f32);
+        }
+        epoch_losses.push(total_loss / train.len() as f32);
+
+        if let Some(val_set) = val {
+            let score = evaluate(network, val_set);
+            val_accuracies.push(score.accuracy);
+            if score.accuracy > best_acc {
+                best_acc = score.accuracy;
+                best_epoch = epoch;
+                best_weights = Some(network.parameters_flat());
+                stale = 0;
+            } else {
+                stale += 1;
+                if config.patience > 0 && stale >= config.patience {
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(w) = best_weights {
+        network.set_parameters_flat(&w);
+    }
+    TrainReport {
+        epoch_losses,
+        val_accuracies,
+        best_epoch,
+    }
+}
+
+/// Evaluates `network` on `data`, returning accuracy and fear-class F1.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn evaluate(network: &mut Network, data: &Dataset) -> FoldScore {
+    let cm = confusion(network, data);
+    FoldScore {
+        accuracy: cm.accuracy(),
+        f1: cm.f1(1.min(cm.classes() - 1)),
+    }
+}
+
+/// Full confusion matrix of `network` on `data`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn confusion(network: &mut Network, data: &Dataset) -> ConfusionMatrix {
+    assert!(!data.is_empty(), "evaluation set is empty");
+    let classes = data
+        .samples()
+        .iter()
+        .map(|s| s.label)
+        .max()
+        .map_or(2, |m| (m + 1).max(2));
+    let mut cm = ConfusionMatrix::new(classes);
+    for sample in data.iter() {
+        let logits = network.forward(&sample.input, false);
+        cm.record(sample.label, predict_class(&logits));
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::cnn_lstm;
+    use crate::tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Tiny synthetic task: class 1 maps have a hot top-left block.
+    fn toy_maps(n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mut data = vec![0.0f32; 30 * 5];
+            for v in &mut data {
+                *v = rng.gen_range(-0.3..0.3);
+            }
+            if label == 1 {
+                for r in 0..10 {
+                    for c in 0..5 {
+                        data[r * 5 + c] += 1.2;
+                    }
+                }
+            }
+            d.push(Tensor::from_vec(&[1, 30, 5], data), label);
+        }
+        d
+    }
+
+    #[test]
+    fn training_learns_separable_maps() {
+        let train_set = toy_maps(40, 1);
+        let test_set = toy_maps(20, 2);
+        let mut net = cnn_lstm(30, 5, 2, 7);
+        let config = TrainConfig {
+            epochs: 15,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let report = train(&mut net, &train_set, None, &config);
+        assert_eq!(report.epoch_losses.len(), 15);
+        assert!(report.epoch_losses[14] < report.epoch_losses[0]);
+        let score = evaluate(&mut net, &test_set);
+        assert!(score.accuracy > 0.9, "accuracy {}", score.accuracy);
+        assert!(score.f1 > 0.85, "f1 {}", score.f1);
+    }
+
+    #[test]
+    fn early_stopping_keeps_best_checkpoint() {
+        let train_set = toy_maps(30, 3);
+        let val_set = toy_maps(16, 4);
+        let mut net = cnn_lstm(30, 5, 2, 9);
+        let config = TrainConfig {
+            epochs: 20,
+            batch_size: 8,
+            patience: 3,
+            ..Default::default()
+        };
+        let report = train(&mut net, &train_set, Some(&val_set), &config);
+        assert!(!report.val_accuracies.is_empty());
+        let best_seen = report
+            .val_accuracies
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        // Restored checkpoint reproduces the best validation accuracy.
+        let score = evaluate(&mut net, &val_set);
+        assert!((score.accuracy - best_seen).abs() < 1e-6);
+        assert_eq!(
+            report.val_accuracies[report.best_epoch], best_seen,
+            "best_epoch must index the best accuracy"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = toy_maps(16, 5);
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut a = cnn_lstm(30, 5, 2, 11);
+        let mut b = cnn_lstm(30, 5, 2, 11);
+        let ra = train(&mut a, &data, None, &config);
+        let rb = train(&mut b, &data, None, &config);
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert_eq!(a.parameters_flat(), b.parameters_flat());
+    }
+
+    #[test]
+    fn frozen_tail_leaves_early_layers_untouched() {
+        let data = toy_maps(12, 8);
+        let mut net = cnn_lstm(30, 5, 2, 13);
+        let before = net.parameters_flat();
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            trainable_tail: Some(1), // dense head only
+            ..Default::default()
+        };
+        train(&mut net, &data, None, &config);
+        let after = net.parameters_flat();
+        // The dense head is the last 2·48 + 2 = 98 parameters.
+        let head = 98;
+        let frozen = &before[..before.len() - head];
+        let frozen_after = &after[..after.len() - head];
+        assert_eq!(frozen, frozen_after, "frozen layers must not move");
+        assert_ne!(
+            &before[before.len() - head..],
+            &after[after.len() - head..],
+            "head must train"
+        );
+    }
+
+    #[test]
+    fn confusion_matrix_shape() {
+        let data = toy_maps(10, 6);
+        let mut net = cnn_lstm(30, 5, 2, 1);
+        let cm = confusion(&mut net, &data);
+        assert_eq!(cm.classes(), 2);
+        assert_eq!(cm.total(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_panics() {
+        let mut net = cnn_lstm(30, 5, 2, 1);
+        let _ = train(&mut net, &Dataset::new(), None, &TrainConfig::default());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the NN stack's algebraic invariants.
+
+use clear_nn::loss::softmax;
+use clear_nn::quantize::{dequantize_int8, quantize_int8, round_f16};
+use clear_nn::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Softmax is a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_distribution(logits in prop::collection::vec(-50.0f32..50.0, 1..16)) {
+        let p = softmax(&logits);
+        prop_assert_eq!(p.len(), logits.len());
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Softmax is invariant under a constant shift of the logits.
+    #[test]
+    fn softmax_shift_invariant(
+        logits in prop::collection::vec(-20.0f32..20.0, 2..8),
+        shift in -100.0f32..100.0,
+    ) {
+        let a = softmax(&logits);
+        let shifted: Vec<f32> = logits.iter().map(|v| v + shift).collect();
+        let b = softmax(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// int8 quantization error never exceeds half a quantization step.
+    #[test]
+    fn int8_error_bound(weights in prop::collection::vec(-10.0f32..10.0, 1..256)) {
+        let (q, scale) = quantize_int8(&weights);
+        let deq = dequantize_int8(&q, scale);
+        for (orig, rec) in weights.iter().zip(&deq) {
+            prop_assert!((orig - rec).abs() <= scale / 2.0 + 1e-5);
+        }
+    }
+
+    /// fp16 rounding is idempotent and monotone w.r.t. sign.
+    #[test]
+    fn f16_idempotent(v in -60000.0f32..60000.0) {
+        let once = round_f16(v);
+        let twice = round_f16(once);
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(once.signum(), v.signum());
+    }
+
+    /// fp16 relative error of normal-range values is bounded by 2^-11.
+    #[test]
+    fn f16_relative_error(v in 1e-3f32..6e4) {
+        let r = round_f16(v);
+        prop_assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7);
+    }
+
+    /// Tensor reshape round-trips preserve data.
+    #[test]
+    fn tensor_reshape_round_trip(data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        let mut t = Tensor::from_vec(&[3, 4], data.clone());
+        t.reshape(&[2, 6]);
+        t.reshape(&[12]);
+        prop_assert_eq!(t.as_slice(), &data[..]);
+    }
+
+    /// argmax returns an index of a maximal element.
+    #[test]
+    fn tensor_argmax_is_max(data in prop::collection::vec(-5.0f32..5.0, 1..32)) {
+        let t = Tensor::from_vec(&[data.len()], data.clone());
+        let idx = t.argmax();
+        let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert_eq!(data[idx], max);
+    }
+}

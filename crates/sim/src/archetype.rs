@@ -1,0 +1,222 @@
+//! Latent physiological response archetypes.
+//!
+//! The CLEAR paper's global clustering empirically finds four groups of
+//! volunteers (sizes 17/13/7/7). This module encodes four corresponding
+//! *generative* archetypes: autonomic phenotypes that differ both in
+//! resting physiology (what unsupervised clustering can see in unlabeled
+//! data) and in fear-response style (what the per-cluster classifiers
+//! exploit). The styles follow the affective-computing literature:
+//! cardiac-dominant, electrodermal-dominant, vascular/thermal-dominant and
+//! blunted responders.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the four canonical archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArchetypeId(pub usize);
+
+impl std::fmt::Display for ArchetypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "archetype-{}", self.0)
+    }
+}
+
+/// Generative parameters of a response archetype.
+///
+/// Baseline fields describe resting physiology; `*_react` fields describe
+/// the change elicited by a unit-intensity fear stimulus. A subject's
+/// concrete parameters are drawn around these by
+/// [`SubjectProfile::sample`](crate::subject::SubjectProfile::sample).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchetypeParams {
+    /// Resting heart rate, beats per minute.
+    pub base_hr: f32,
+    /// Fractional amplitude of respiratory/LF heart-rate modulation
+    /// (drives HRV).
+    pub hrv_mod: f32,
+    /// Resting tonic skin conductance, µS.
+    pub base_tonic_gsr: f32,
+    /// Resting spontaneous SCR rate, events per minute.
+    pub base_scr_rate: f32,
+    /// Resting distal skin temperature, °C.
+    pub base_skt: f32,
+    /// Resting BVP pulse amplitude (arbitrary photoplethysmograph units).
+    pub bvp_amp: f32,
+
+    /// Heart-rate increase under unit fear, bpm.
+    pub hr_react: f32,
+    /// Multiplicative HRV suppression under unit fear, in `[0, 1)`
+    /// (0 = no change).
+    pub hrv_suppression: f32,
+    /// Additional SCR events per minute under unit fear.
+    pub scr_rate_react: f32,
+    /// Multiplier on SCR amplitudes under unit fear (1 = no change).
+    pub scr_amp_react: f32,
+    /// Tonic skin-conductance rise under unit fear, µS.
+    pub tonic_gsr_react: f32,
+    /// Skin-temperature slope under unit fear, °C per minute (negative =
+    /// vasoconstriction cooling).
+    pub skt_slope_react: f32,
+    /// Multiplier on BVP pulse amplitude under unit fear (vasoconstriction
+    /// shrinks the peripheral pulse; < 1 = constriction).
+    pub bvp_amp_react: f32,
+}
+
+impl ArchetypeParams {
+    /// The four canonical archetypes used throughout the reproduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.0 >= 4`.
+    pub fn canonical(id: ArchetypeId) -> Self {
+        match id.0 {
+            // Cardiac-dominant responder: big chronotropic response, strong
+            // vagal withdrawal, only mild electrodermal involvement.
+            0 => Self {
+                base_hr: 68.0,
+                hrv_mod: 0.060,
+                base_tonic_gsr: 2.2,
+                base_scr_rate: 3.0,
+                base_skt: 33.5,
+                bvp_amp: 1.00,
+                hr_react: 14.0,
+                hrv_suppression: 0.55,
+                scr_rate_react: 3.5,
+                scr_amp_react: 1.25,
+                tonic_gsr_react: 0.40,
+                skt_slope_react: -0.10,
+                bvp_amp_react: 0.90,
+            },
+            // Electrodermal-dominant responder: SCR storms and tonic rise,
+            // modest cardiac change.
+            1 => Self {
+                base_hr: 74.0,
+                hrv_mod: 0.042,
+                base_tonic_gsr: 4.2,
+                base_scr_rate: 6.0,
+                base_skt: 32.6,
+                bvp_amp: 0.85,
+                hr_react: 6.5,
+                hrv_suppression: 0.30,
+                scr_rate_react: 9.0,
+                scr_amp_react: 1.90,
+                tonic_gsr_react: 1.00,
+                skt_slope_react: -0.05,
+                bvp_amp_react: 0.97,
+            },
+            // Vascular/thermal responder: peripheral vasoconstriction —
+            // strong SKT drop and BVP amplitude collapse, moderate HR.
+            2 => Self {
+                base_hr: 62.0,
+                hrv_mod: 0.080,
+                base_tonic_gsr: 3.0,
+                base_scr_rate: 2.0,
+                base_skt: 34.2,
+                bvp_amp: 1.20,
+                hr_react: 8.0,
+                hrv_suppression: 0.35,
+                scr_rate_react: 4.0,
+                scr_amp_react: 1.35,
+                tonic_gsr_react: 0.50,
+                skt_slope_react: -0.40,
+                bvp_amp_react: 0.60,
+            },
+            // Freeze responder: fear bradycardia — heart rate *drops* and
+            // vagal tone rises under threat (the documented freeze/orienting
+            // profile), while electrodermal activity still climbs mildly.
+            // This is the archetype that makes one-model-fits-all fail.
+            3 => Self {
+                base_hr: 81.0,
+                hrv_mod: 0.024,
+                base_tonic_gsr: 5.6,
+                base_scr_rate: 4.5,
+                base_skt: 31.8,
+                bvp_amp: 0.70,
+                hr_react: -5.0,
+                hrv_suppression: -0.25,
+                scr_rate_react: 2.5,
+                scr_amp_react: 1.15,
+                tonic_gsr_react: 0.25,
+                skt_slope_react: 0.06,
+                bvp_amp_react: 1.02,
+            },
+            other => panic!("archetype id must be < 4, got {other}"),
+        }
+    }
+
+    /// Number of canonical archetypes.
+    pub const COUNT: usize = 4;
+
+    /// All canonical archetypes, in id order.
+    pub fn all() -> [Self; Self::COUNT] {
+        std::array::from_fn(|i| Self::canonical(ArchetypeId(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_archetypes_exist() {
+        let all = ArchetypeParams::all();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn archetypes_differ_pairwise_in_baseline() {
+        let all = ArchetypeParams::all();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let a = &all[i];
+                let b = &all[j];
+                // Baseline phenotypes must be distinguishable from
+                // unlabeled data: resting HR separated by at least 4 bpm
+                // or tonic GSR by at least 0.8 µS.
+                let hr_gap = (a.base_hr - b.base_hr).abs();
+                let gsr_gap = (a.base_tonic_gsr - b.base_tonic_gsr).abs();
+                assert!(
+                    hr_gap >= 4.0 || gsr_gap >= 0.8,
+                    "archetypes {i} and {j} too similar at rest"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn response_styles_have_distinct_dominant_channel() {
+        let all = ArchetypeParams::all();
+        // Cardiac archetype has the largest HR reaction.
+        assert!(all[0].hr_react > all[1].hr_react.max(all[2].hr_react).max(all[3].hr_react));
+        // Electrodermal archetype has the largest SCR-rate reaction.
+        assert!(all[1].scr_rate_react > all[0].scr_rate_react);
+        assert!(all[1].scr_rate_react > all[2].scr_rate_react);
+        // Vascular archetype has the strongest SKT drop and BVP collapse.
+        assert!(all[2].skt_slope_react < all[0].skt_slope_react);
+        assert!(all[2].bvp_amp_react < all[0].bvp_amp_react);
+        // Blunted archetype is weakest on HR and SCR reactions.
+        assert!(all[3].hr_react < all[0].hr_react);
+        assert!(all[3].scr_rate_react < all[1].scr_rate_react);
+        // And its SKT response direction is inverted (warming).
+        assert!(all[3].skt_slope_react > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "archetype id")]
+    fn canonical_out_of_range_panics() {
+        let _ = ArchetypeParams::canonical(ArchetypeId(4));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchetypeId(2).to_string(), "archetype-2");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = ArchetypeParams::canonical(ArchetypeId(1));
+        let json = serde_json::to_string(&a).unwrap();
+        let b: ArchetypeParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Sensor artifact injection.
+//!
+//! Real wearable recordings contain motion artifacts, electrode lift-off
+//! dropouts and quantization — the reasons edge pipelines need robust
+//! feature extraction. This module corrupts clean recordings in
+//! controlled, physiologically-typical ways so the test suite and
+//! robustness studies can measure how gracefully the CLEAR pipeline
+//! degrades (the paper's "real-world usability" claim).
+
+use crate::Recording;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the artifact injector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactConfig {
+    /// Expected motion-artifact bursts per minute (BVP is most affected).
+    pub motion_bursts_per_min: f32,
+    /// Burst duration in seconds.
+    pub burst_secs: f32,
+    /// Burst amplitude as a multiple of the signal's standard deviation.
+    pub burst_gain: f32,
+    /// Probability that a recording contains a sensor dropout (a span
+    /// frozen at the last valid value — electrode lift-off).
+    pub dropout_probability: f32,
+    /// Dropout duration in seconds.
+    pub dropout_secs: f32,
+    /// Additive wideband noise standard deviation as a fraction of each
+    /// channel's standard deviation.
+    pub noise_fraction: f32,
+    /// Seed for reproducible corruption.
+    pub seed: u64,
+}
+
+impl Default for ArtifactConfig {
+    fn default() -> Self {
+        Self {
+            motion_bursts_per_min: 2.0,
+            burst_secs: 1.0,
+            burst_gain: 3.0,
+            dropout_probability: 0.15,
+            dropout_secs: 2.0,
+            noise_fraction: 0.10,
+            seed: 99,
+        }
+    }
+}
+
+fn std_of(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = x.iter().sum::<f32>() / x.len() as f32;
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32).sqrt()
+}
+
+fn corrupt_channel<R: Rng + ?Sized>(
+    x: &mut [f32],
+    fs: f32,
+    config: &ArtifactConfig,
+    rng: &mut R,
+) {
+    if x.is_empty() {
+        return;
+    }
+    let sd = std_of(x).max(1e-6);
+    let n = x.len();
+    let duration_min = n as f32 / fs / 60.0;
+
+    // Motion bursts: Poisson count, each a decaying oscillatory transient.
+    let expected = config.motion_bursts_per_min * duration_min;
+    let bursts = poisson(expected, rng);
+    for _ in 0..bursts {
+        let start = rng.gen_range(0..n);
+        let span = ((config.burst_secs * fs) as usize).max(1);
+        let f_burst = rng.gen_range(0.5..4.0f32);
+        for i in start..(start + span).min(n) {
+            let t = (i - start) as f32 / fs;
+            let envelope = (-(t / config.burst_secs) * 3.0).exp();
+            x[i] += config.burst_gain
+                * sd
+                * envelope
+                * (2.0 * std::f32::consts::PI * f_burst * t).sin();
+        }
+    }
+
+    // Dropout: freeze a span at its first value.
+    if rng.gen_range(0.0..1.0f32) < config.dropout_probability {
+        let span = ((config.dropout_secs * fs) as usize).max(1);
+        let start = rng.gen_range(0..n.saturating_sub(span).max(1));
+        let frozen = x[start];
+        for v in &mut x[start..(start + span).min(n)] {
+            *v = frozen;
+        }
+    }
+
+    // Wideband noise.
+    for v in x.iter_mut() {
+        let u1: f32 = rng.gen_range(1e-6..1.0f32);
+        let u2: f32 = rng.gen_range(0.0..1.0f32);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        *v += config.noise_fraction * sd * g;
+    }
+}
+
+fn poisson<R: Rng + ?Sized>(lambda: f32, rng: &mut R) -> usize {
+    // Knuth's algorithm; fine for small lambda.
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f32;
+    loop {
+        p *= rng.gen_range(0.0..1.0f32);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k;
+        }
+    }
+}
+
+/// Returns a corrupted copy of `recording` (the clean original is
+/// untouched). Sampling rates must match the recording's generator
+/// configuration.
+pub fn corrupt(
+    recording: &Recording,
+    fs_bvp: f32,
+    fs_gsr: f32,
+    fs_skt: f32,
+    config: &ArtifactConfig,
+) -> Recording {
+    let mut out = recording.clone();
+    let mut rng = SmallRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .wrapping_add(recording.subject.0 as u64 * 131 + recording.stimulus as u64),
+    );
+    corrupt_channel(&mut out.bvp, fs_bvp, config, &mut rng);
+    corrupt_channel(&mut out.gsr, fs_gsr, config, &mut rng);
+    // SKT sensors are thermally sluggish: motion barely couples in, so
+    // only dropout and (reduced) noise apply.
+    let skt_config = ArtifactConfig {
+        motion_bursts_per_min: 0.0,
+        noise_fraction: config.noise_fraction * 0.3,
+        ..*config
+    };
+    corrupt_channel(&mut out.skt, fs_skt, &skt_config, &mut rng);
+    // Conductance cannot go negative even under artifacts.
+    for v in &mut out.gsr {
+        *v = v.max(0.01);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cohort, CohortConfig};
+
+    fn sample() -> (Recording, f32, f32, f32) {
+        let config = CohortConfig::small(3);
+        let cohort = Cohort::generate(&config);
+        (
+            cohort.recordings()[0].clone(),
+            config.signal.fs_bvp,
+            config.signal.fs_gsr,
+            config.signal.fs_skt,
+        )
+    }
+
+    #[test]
+    fn corruption_changes_signals_but_not_metadata() {
+        let (rec, fb, fg, fs) = sample();
+        let bad = corrupt(&rec, fb, fg, fs, &ArtifactConfig::default());
+        assert_ne!(bad.bvp, rec.bvp);
+        assert_ne!(bad.gsr, rec.gsr);
+        assert_eq!(bad.subject, rec.subject);
+        assert_eq!(bad.emotion, rec.emotion);
+        assert_eq!(bad.bvp.len(), rec.bvp.len());
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let (rec, fb, fg, fs) = sample();
+        let a = corrupt(&rec, fb, fg, fs, &ArtifactConfig::default());
+        let b = corrupt(&rec, fb, fg, fs, &ArtifactConfig::default());
+        assert_eq!(a.bvp, b.bvp);
+        assert_eq!(a.gsr, b.gsr);
+    }
+
+    #[test]
+    fn gsr_stays_positive_under_artifacts() {
+        let (rec, fb, fg, fs) = sample();
+        let heavy = ArtifactConfig {
+            burst_gain: 10.0,
+            noise_fraction: 0.5,
+            ..ArtifactConfig::default()
+        };
+        let bad = corrupt(&rec, fb, fg, fs, &heavy);
+        assert!(bad.gsr.iter().all(|&v| v > 0.0));
+        assert!(bad.bvp.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_config_only_adds_nothing() {
+        let (rec, fb, fg, fs) = sample();
+        let none = ArtifactConfig {
+            motion_bursts_per_min: 0.0,
+            dropout_probability: 0.0,
+            noise_fraction: 0.0,
+            ..ArtifactConfig::default()
+        };
+        let same = corrupt(&rec, fb, fg, fs, &none);
+        assert_eq!(same.bvp, rec.bvp);
+        assert_eq!(same.skt, rec.skt);
+    }
+
+    #[test]
+    fn noise_scales_with_fraction() {
+        let (rec, fb, fg, fs) = sample();
+        let light = corrupt(
+            &rec,
+            fb,
+            fg,
+            fs,
+            &ArtifactConfig {
+                motion_bursts_per_min: 0.0,
+                dropout_probability: 0.0,
+                noise_fraction: 0.05,
+                ..ArtifactConfig::default()
+            },
+        );
+        let heavy = corrupt(
+            &rec,
+            fb,
+            fg,
+            fs,
+            &ArtifactConfig {
+                motion_bursts_per_min: 0.0,
+                dropout_probability: 0.0,
+                noise_fraction: 0.5,
+                ..ArtifactConfig::default()
+            },
+        );
+        let rms = |a: &[f32], b: &[f32]| -> f32 {
+            (a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f32>()
+                / a.len() as f32)
+                .sqrt()
+        };
+        assert!(rms(&heavy.bvp, &rec.bvp) > 5.0 * rms(&light.bvp, &rec.bvp));
+    }
+}

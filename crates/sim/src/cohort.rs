@@ -1,0 +1,408 @@
+//! Cohort assembly: subjects × stimuli → recordings.
+//!
+//! Mirrors the WEMAC protocol scale: ~44 volunteers (the paper's clusters
+//! sum to 17+13+7+7), ~18 one-minute stimulus recordings each, half
+//! fear-eliciting, giving ≈ 800 feature maps after extraction — the number
+//! the paper reports.
+
+use crate::archetype::ArchetypeId;
+use crate::signals::{synth_bvp, synth_gsr, synth_skt, Evocation, SignalConfig};
+use crate::stimulus::{EmotionCategory, StimulusProtocol};
+use crate::subject::{IdiosyncrasyScale, SubjectProfile};
+use crate::Emotion;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a subject within a cohort.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SubjectId(pub usize);
+
+impl std::fmt::Display for SubjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "V{:02}", self.0)
+    }
+}
+
+/// One stimulus presentation: the raw traces of all three modalities plus
+/// ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    /// The recorded subject.
+    pub subject: SubjectId,
+    /// Index of the stimulus within the subject's session.
+    pub stimulus: usize,
+    /// Ground-truth label.
+    pub emotion: Emotion,
+    /// Categorical emotion of the stimulus, when the cohort was generated
+    /// from an explicit [`StimulusProtocol`]; `None` for the fast binary
+    /// protocol of [`Cohort::generate`].
+    pub category: Option<EmotionCategory>,
+    /// Evoked-response intensity of this presentation (hidden from CLEAR).
+    pub intensity: f32,
+    /// Blood-volume-pulse trace.
+    pub bvp: Vec<f32>,
+    /// Skin-conductance trace, µS.
+    pub gsr: Vec<f32>,
+    /// Skin-temperature trace, °C.
+    pub skt: Vec<f32>,
+}
+
+/// Configuration of a synthetic cohort.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortConfig {
+    /// Subjects per archetype, in archetype-id order. The paper's empirical
+    /// cluster sizes are 17/13/7/7.
+    pub subjects_per_archetype: [usize; 4],
+    /// Stimulus recordings per subject (half fear, half non-fear,
+    /// interleaved).
+    pub recordings_per_subject: usize,
+    /// How far subjects deviate from their archetype.
+    pub idiosyncrasy: IdiosyncrasyScale,
+    /// Fraction of the fear-response pattern leaking into non-fear stimuli
+    /// (emotional films are never neutral); this is the main difficulty
+    /// knob of the task.
+    pub class_overlap: f32,
+    /// Sampling rates and stimulus duration.
+    pub signal: SignalConfig,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+}
+
+impl CohortConfig {
+    /// The paper-scale cohort: 44 subjects (17/13/7/7), 18 recordings each
+    /// (792 ≈ the paper's "approximately 800 feature maps").
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            subjects_per_archetype: [17, 13, 7, 7],
+            recordings_per_subject: 18,
+            idiosyncrasy: IdiosyncrasyScale::default(),
+            class_overlap: 0.68,
+            signal: SignalConfig::default(),
+            seed,
+        }
+    }
+
+    /// A tiny cohort (2 subjects per archetype, 6 recordings each, short
+    /// stimuli) for unit tests and doc tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            subjects_per_archetype: [2, 2, 2, 2],
+            recordings_per_subject: 6,
+            idiosyncrasy: IdiosyncrasyScale::default(),
+            class_overlap: 0.68,
+            signal: SignalConfig {
+                stimulus_secs: 30.0,
+                ..SignalConfig::default()
+            },
+            seed,
+        }
+    }
+
+    /// Total number of subjects.
+    pub fn total_subjects(&self) -> usize {
+        self.subjects_per_archetype.iter().sum()
+    }
+
+    /// Total number of recordings.
+    pub fn total_recordings(&self) -> usize {
+        self.total_subjects() * self.recordings_per_subject
+    }
+}
+
+impl Default for CohortConfig {
+    fn default() -> Self {
+        Self::paper_scale(2025)
+    }
+}
+
+/// A generated cohort: the subject roster and all their recordings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cohort {
+    config: CohortConfig,
+    subjects: Vec<SubjectProfile>,
+    recordings: Vec<Recording>,
+}
+
+impl Cohort {
+    /// Generates a cohort deterministically from `config.seed`.
+    ///
+    /// Subject order is shuffled so archetypes are not contiguous in id
+    /// space (the clustering stage must not be able to cheat on ordering).
+    pub fn generate(config: &CohortConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        // Roster: archetype assignment, shuffled.
+        let mut archetype_of: Vec<usize> = config
+            .subjects_per_archetype
+            .iter()
+            .enumerate()
+            .flat_map(|(arch, &n)| std::iter::repeat(arch).take(n))
+            .collect();
+        // Fisher-Yates with the cohort RNG.
+        for i in (1..archetype_of.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            archetype_of.swap(i, j);
+        }
+
+        let subjects: Vec<SubjectProfile> = archetype_of
+            .iter()
+            .enumerate()
+            .map(|(id, &arch)| {
+                SubjectProfile::sample(id, ArchetypeId(arch), config.idiosyncrasy, &mut rng)
+            })
+            .collect();
+
+        // Recordings: alternate fear / non-fear stimuli per subject.
+        let mut recordings = Vec::with_capacity(config.total_recordings());
+        for subject in &subjects {
+            let mut srng = SmallRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(subject.id as u64),
+            );
+            for stim in 0..config.recordings_per_subject {
+                let emotion = if stim % 2 == 0 {
+                    Emotion::Fear
+                } else {
+                    Emotion::NonFear
+                };
+                let intensity = (1.0 + 0.15 * gauss(&mut srng)).clamp(0.4, 1.6);
+                let evocation = Evocation { emotion, intensity };
+                let bvp = synth_bvp(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
+                let gsr = synth_gsr(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
+                let skt = synth_skt(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
+                recordings.push(Recording {
+                    subject: SubjectId(subject.id),
+                    stimulus: stim,
+                    emotion,
+                    category: None,
+                    intensity,
+                    bvp,
+                    gsr,
+                    skt,
+                });
+            }
+        }
+
+        Self {
+            config: config.clone(),
+            subjects,
+            recordings,
+        }
+    }
+
+    /// Generates a cohort whose recordings follow an explicit
+    /// [`StimulusProtocol`] — the ten-emotion WEMAC-style session — rather
+    /// than the plain alternating binary protocol of [`Cohort::generate`].
+    ///
+    /// Clip arousal scales each recording's evoked intensity, so e.g. calm
+    /// clips are easy negatives while anger clips are hard ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol length differs from
+    /// `config.recordings_per_subject`.
+    pub fn generate_with_protocol(config: &CohortConfig, protocol: &StimulusProtocol) -> Self {
+        assert_eq!(
+            protocol.len(),
+            config.recordings_per_subject,
+            "protocol length must match recordings_per_subject"
+        );
+        let mut cohort = Self::generate(config);
+        // Regenerate every recording under the protocol's categories and
+        // arousal levels (subject roster and seeds are reused, so the
+        // population is identical to the fast path's).
+        let mut recordings = Vec::with_capacity(config.total_recordings());
+        for subject in &cohort.subjects {
+            let mut srng = SmallRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(subject.id as u64)
+                    ^ 0x5717,
+            );
+            for (stim, clip) in protocol.clips().iter().enumerate() {
+                let emotion = clip.label();
+                let base = clip.intensity() / EmotionCategory::Fear.arousal();
+                let intensity = (base * (1.0 + 0.15 * gauss(&mut srng))).clamp(0.05, 1.8);
+                let evocation = Evocation { emotion, intensity };
+                let bvp = synth_bvp(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
+                let gsr = synth_gsr(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
+                let skt = synth_skt(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
+                recordings.push(Recording {
+                    subject: SubjectId(subject.id),
+                    stimulus: stim,
+                    emotion,
+                    category: Some(clip.category),
+                    intensity,
+                    bvp,
+                    gsr,
+                    skt,
+                });
+            }
+        }
+        cohort.recordings = recordings;
+        cohort
+    }
+
+    /// The configuration this cohort was generated from.
+    pub fn config(&self) -> &CohortConfig {
+        &self.config
+    }
+
+    /// The subject roster, ordered by subject id.
+    pub fn subjects(&self) -> &[SubjectProfile] {
+        &self.subjects
+    }
+
+    /// All recordings, grouped by subject in roster order.
+    pub fn recordings(&self) -> &[Recording] {
+        &self.recordings
+    }
+
+    /// Recordings belonging to one subject.
+    pub fn recordings_of(&self, subject: SubjectId) -> Vec<&Recording> {
+        self.recordings
+            .iter()
+            .filter(|r| r.subject == subject)
+            .collect()
+    }
+
+    /// Ground-truth archetype of a subject (for scoring clustering quality
+    /// only — CLEAR itself never sees this).
+    pub fn archetype_of(&self, subject: SubjectId) -> Option<ArchetypeId> {
+        self.subjects
+            .iter()
+            .find(|s| s.id == subject.0)
+            .map(|s| s.archetype)
+    }
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_has_expected_shape() {
+        let config = CohortConfig::small(3);
+        let cohort = Cohort::generate(&config);
+        assert_eq!(cohort.subjects().len(), 8);
+        assert_eq!(cohort.recordings().len(), 48);
+        assert_eq!(cohort.config(), &config);
+        for (i, s) in cohort.subjects().iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn archetype_counts_match_config() {
+        let config = CohortConfig::small(3);
+        let cohort = Cohort::generate(&config);
+        let mut counts = [0usize; 4];
+        for s in cohort.subjects() {
+            counts[s.archetype.0] += 1;
+        }
+        assert_eq!(counts, config.subjects_per_archetype);
+    }
+
+    #[test]
+    fn archetypes_are_shuffled_across_subject_ids() {
+        let config = CohortConfig {
+            subjects_per_archetype: [5, 5, 5, 5],
+            ..CohortConfig::small(3)
+        };
+        let cohort = Cohort::generate(&config);
+        let order: Vec<usize> = cohort.subjects().iter().map(|s| s.archetype.0).collect();
+        let sorted = {
+            let mut o = order.clone();
+            o.sort_unstable();
+            o
+        };
+        assert_ne!(order, sorted, "roster should not be archetype-sorted");
+    }
+
+    #[test]
+    fn labels_are_balanced_per_subject() {
+        let cohort = Cohort::generate(&CohortConfig::small(5));
+        for subject in cohort.subjects() {
+            let recs = cohort.recordings_of(SubjectId(subject.id));
+            let fear = recs.iter().filter(|r| r.emotion == Emotion::Fear).count();
+            assert_eq!(fear, recs.len() / 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CohortConfig::small(7);
+        let a = Cohort::generate(&config);
+        let b = Cohort::generate(&config);
+        assert_eq!(a.recordings()[0].bvp, b.recordings()[0].bvp);
+        assert_eq!(
+            a.subjects().iter().map(|s| s.archetype).collect::<Vec<_>>(),
+            b.subjects().iter().map(|s| s.archetype).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Cohort::generate(&CohortConfig::small(1));
+        let b = Cohort::generate(&CohortConfig::small(2));
+        assert_ne!(a.recordings()[0].bvp, b.recordings()[0].bvp);
+    }
+
+    #[test]
+    fn archetype_lookup() {
+        let cohort = Cohort::generate(&CohortConfig::small(9));
+        let sid = SubjectId(0);
+        assert_eq!(
+            cohort.archetype_of(sid),
+            Some(cohort.subjects()[0].archetype)
+        );
+        assert_eq!(cohort.archetype_of(SubjectId(999)), None);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_numbers() {
+        let config = CohortConfig::paper_scale(1);
+        assert_eq!(config.total_subjects(), 44);
+        assert_eq!(config.total_recordings(), 792); // ≈ 800 feature maps
+    }
+
+    #[test]
+    fn recording_traces_have_configured_lengths() {
+        let config = CohortConfig::small(11);
+        let cohort = Cohort::generate(&config);
+        let r = &cohort.recordings()[0];
+        assert_eq!(r.bvp.len(), config.signal.bvp_len());
+        assert_eq!(r.gsr.len(), config.signal.gsr_len());
+        assert_eq!(r.skt.len(), config.signal.skt_len());
+    }
+}

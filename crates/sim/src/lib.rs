@@ -1,0 +1,119 @@
+//! # clear-sim — synthetic WEMAC-like physiological cohort generator
+//!
+//! The CLEAR paper evaluates on the WEMAC dataset: 47 volunteers watching
+//! emotion-eliciting videos while a wearable records blood volume pulse
+//! (BVP), galvanic skin response (GSR) and skin temperature (SKT), with
+//! fear / non-fear labels. WEMAC is not redistributable, so this crate
+//! builds the closest synthetic equivalent that exercises the same code
+//! paths (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! * Subjects are drawn from **four latent response archetypes** — the
+//!   paper's own clustering finds 4 groups of sizes 17/13/7/7 — each with a
+//!   distinct physiological phenotype (baseline autonomic tone) *and* a
+//!   distinct fear-response style (which signals react, in which direction,
+//!   and how strongly).
+//! * Each subject adds **idiosyncratic offsets and gains** around their
+//!   archetype, plus sensor noise; this is the structure that fine-tuning
+//!   with a little labeled data can exploit.
+//! * Each stimulus produces a [`Recording`] of raw BVP/GSR/SKT traces with
+//!   physiologically plausible morphology (pulse waves with dicrotic bumps
+//!   and HRV modulation; tonic + phasic electrodermal activity with
+//!   Poisson SCR events; slow thermal drift), so the downstream feature
+//!   extractor does real signal-processing work, not table lookups.
+//!
+//! Everything is seeded and deterministic.
+//!
+//! ## Example
+//!
+//! ```
+//! use clear_sim::{Cohort, CohortConfig};
+//!
+//! let config = CohortConfig::small(7); // tiny cohort for doc tests
+//! let cohort = Cohort::generate(&config);
+//! assert_eq!(cohort.subjects().len(), 8); // 2 per archetype
+//! let rec = &cohort.recordings()[0];
+//! assert!(rec.bvp.len() > 0 && rec.gsr.len() > 0 && rec.skt.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archetype;
+pub mod artifacts;
+pub mod cohort;
+pub mod signals;
+pub mod stimulus;
+pub mod subject;
+
+pub use archetype::{ArchetypeId, ArchetypeParams};
+pub use cohort::{Cohort, CohortConfig, Recording, SubjectId};
+pub use signals::SignalConfig;
+pub use stimulus::{EmotionCategory, Stimulus, StimulusProtocol};
+pub use subject::SubjectProfile;
+
+/// Binary emotion label of a stimulus, matching the paper's fear-detection
+/// task on WEMAC ("fear and non-fear").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Emotion {
+    /// Fear-eliciting stimulus.
+    Fear,
+    /// Any non-fear stimulus (joy, calm, disgust, ... — the paper collapses
+    /// the other nine WEMAC labels into this class).
+    NonFear,
+}
+
+impl Emotion {
+    /// Class index used by the classifier: fear = 1, non-fear = 0.
+    pub fn class_index(self) -> usize {
+        match self {
+            Emotion::Fear => 1,
+            Emotion::NonFear => 0,
+        }
+    }
+
+    /// Inverse of [`Emotion::class_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    pub fn from_class_index(index: usize) -> Self {
+        match index {
+            0 => Emotion::NonFear,
+            1 => Emotion::Fear,
+            _ => panic!("emotion class index must be 0 or 1, got {index}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Emotion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Emotion::Fear => f.write_str("fear"),
+            Emotion::NonFear => f.write_str("non-fear"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emotion_class_round_trip() {
+        for e in [Emotion::Fear, Emotion::NonFear] {
+            assert_eq!(Emotion::from_class_index(e.class_index()), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class index")]
+    fn emotion_bad_index_panics() {
+        let _ = Emotion::from_class_index(2);
+    }
+
+    #[test]
+    fn emotion_display() {
+        assert_eq!(Emotion::Fear.to_string(), "fear");
+        assert_eq!(Emotion::NonFear.to_string(), "non-fear");
+    }
+}

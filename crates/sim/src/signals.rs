@@ -1,0 +1,347 @@
+//! Raw physiological signal synthesis.
+//!
+//! Generates the three wearable modalities of the WEMAC protocol with
+//! realistic morphology so the downstream feature extractor performs the
+//! same work it would on real data:
+//!
+//! * **BVP** — an integrate-and-fire pulse train: inter-beat intervals carry
+//!   LF (Mayer-wave, ~0.1 Hz) and HF (respiratory, ~0.27 Hz) modulation;
+//!   each beat emits a systolic wave with an exponential decay and a
+//!   dicrotic bump; fear raises heart rate, suppresses HRV, shifts LF/HF
+//!   balance, and (for vascular responders) shrinks pulse amplitude.
+//! * **GSR** — tonic level with slow drift plus phasic SCRs: Poisson event
+//!   arrivals convolved with a Bateman-like kernel (fast rise, slow decay);
+//!   fear raises the event rate, amplitudes and tonic level.
+//! * **SKT** — slow thermal dynamics: baseline plus a stimulus-driven
+//!   linear drift (vasoconstriction cooling or paradoxical warming) with
+//!   very-low-frequency fluctuation.
+
+use crate::subject::SubjectProfile;
+use crate::Emotion;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Sampling rates and stimulus duration of the simulated recording chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignalConfig {
+    /// BVP sampling rate, Hz (wearable photoplethysmograph).
+    pub fs_bvp: f32,
+    /// GSR sampling rate, Hz.
+    pub fs_gsr: f32,
+    /// SKT sampling rate, Hz.
+    pub fs_skt: f32,
+    /// Length of one stimulus recording, seconds.
+    pub stimulus_secs: f32,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        Self {
+            fs_bvp: 64.0,
+            fs_gsr: 8.0,
+            fs_skt: 4.0,
+            stimulus_secs: 60.0,
+        }
+    }
+}
+
+impl SignalConfig {
+    /// Number of BVP samples in one recording.
+    pub fn bvp_len(&self) -> usize {
+        (self.fs_bvp * self.stimulus_secs) as usize
+    }
+    /// Number of GSR samples in one recording.
+    pub fn gsr_len(&self) -> usize {
+        (self.fs_gsr * self.stimulus_secs) as usize
+    }
+    /// Number of SKT samples in one recording.
+    pub fn skt_len(&self) -> usize {
+        (self.fs_skt * self.stimulus_secs) as usize
+    }
+}
+
+/// The evoked-response magnitude of one recording.
+///
+/// Fear recordings get `intensity ≈ 1`; non-fear recordings still carry a
+/// small arousal component (`class_overlap` × the same pattern), which is
+/// what makes the classification task hard rather than trivial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evocation {
+    /// Stimulus label.
+    pub emotion: Emotion,
+    /// Scales the subject's evoked pattern; drawn per recording.
+    pub intensity: f32,
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(1e-6..1.0f32);
+    let u2: f32 = rng.gen_range(0.0..1.0f32);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Effective evoked-response drive in `[0, ~1.7]` for this recording.
+fn drive(subject: &SubjectProfile, evocation: &Evocation, class_overlap: f32) -> f32 {
+    let base = match evocation.emotion {
+        Emotion::Fear => 1.0,
+        Emotion::NonFear => class_overlap,
+    };
+    (base * evocation.intensity * subject.response_gain).max(0.0)
+}
+
+/// Synthesizes one BVP trace.
+pub fn synth_bvp<R: Rng + ?Sized>(
+    subject: &SubjectProfile,
+    evocation: &Evocation,
+    class_overlap: f32,
+    config: &SignalConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    let p = &subject.params;
+    let d = drive(subject, evocation, class_overlap);
+    let fs = config.fs_bvp;
+    let n = config.bvp_len();
+
+    let hr = (p.base_hr + p.hr_react * d).clamp(40.0, 180.0);
+    let hrv_amp = (p.hrv_mod * (1.0 - p.hrv_suppression * d.min(1.2))).clamp(0.003, 0.2);
+    let amp = (p.bvp_amp * (1.0 - (1.0 - p.bvp_amp_react) * d.min(1.2))).max(0.1);
+    // Fear shifts sympathovagal balance towards LF.
+    let lf_share = (0.45 + 0.35 * d.min(1.0)).min(0.9);
+
+    // Generate beat times by integrate-and-fire over modulated IBIs.
+    let duration = config.stimulus_secs;
+    let mut beat_times: Vec<f32> = Vec::new();
+    let mut t = rng.gen_range(0.0..0.8f32);
+    while t < duration + 2.0 {
+        let lf = (2.0 * std::f32::consts::PI * 0.095 * t).sin();
+        let hf = (2.0 * std::f32::consts::PI * 0.27 * t).sin();
+        let modulation = hrv_amp * (lf_share * lf + (1.0 - lf_share) * hf)
+            + 0.008 * gauss(rng);
+        let ibi = (60.0 / hr) * (1.0 + modulation);
+        beat_times.push(t);
+        t += ibi.clamp(0.3, 2.0);
+    }
+
+    // Render the pulse train.
+    let mut out = vec![0.0f32; n];
+    for &bt in &beat_times {
+        let start = (bt * fs) as isize;
+        // One pulse spans at most ~1.5 s.
+        let span = (1.5 * fs) as isize;
+        for i in start.max(0)..(start + span).min(n as isize) {
+            let dt = i as f32 / fs - bt;
+            if dt < 0.0 {
+                continue;
+            }
+            let systolic = (-(dt * 9.0)).exp();
+            let dicrotic = 0.22 * (-((dt - 0.38) * 11.0).powi(2)).exp();
+            out[i as usize] += amp * (systolic + dicrotic);
+        }
+    }
+    // Sensor noise and slight baseline wander.
+    for (i, v) in out.iter_mut().enumerate() {
+        let t = i as f32 / fs;
+        *v += subject.noise_level * gauss(rng)
+            + 0.03 * (2.0 * std::f32::consts::PI * 0.18 * t).sin();
+    }
+    out
+}
+
+/// Synthesizes one GSR (skin conductance) trace in µS.
+pub fn synth_gsr<R: Rng + ?Sized>(
+    subject: &SubjectProfile,
+    evocation: &Evocation,
+    class_overlap: f32,
+    config: &SignalConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    let p = &subject.params;
+    let d = drive(subject, evocation, class_overlap);
+    let fs = config.fs_gsr;
+    let n = config.gsr_len();
+    let duration = config.stimulus_secs;
+
+    let tonic = p.base_tonic_gsr + p.tonic_gsr_react * d;
+    let scr_rate_per_sec = (p.base_scr_rate + p.scr_rate_react * d) / 60.0;
+    let scr_amp = 0.18 * (1.0 + (p.scr_amp_react - 1.0) * d.min(1.2));
+
+    // Poisson SCR arrivals via exponential inter-arrival times.
+    let mut events: Vec<(f32, f32)> = Vec::new();
+    let mut t = 0.0f32;
+    loop {
+        let u: f32 = rng.gen_range(1e-6..1.0f32);
+        t += -u.ln() / scr_rate_per_sec.max(1e-4);
+        if t >= duration {
+            break;
+        }
+        let a = scr_amp * rng.gen_range(0.5..1.5f32);
+        events.push((t, a));
+    }
+
+    let mut out = vec![0.0f32; n];
+    for (et, ea) in &events {
+        let start = (et * fs) as usize;
+        let span = (12.0 * fs) as usize; // SCR kernel spans ~12 s
+        for i in start..(start + span).min(n) {
+            let dt = i as f32 / fs - et;
+            if dt < 0.0 {
+                continue;
+            }
+            // Bateman-like: difference of exponentials (rise 0.7 s, decay 3.5 s).
+            let kernel = (-(dt / 3.5)).exp() - (-(dt / 0.7)).exp();
+            out[i] += ea * kernel * 1.6; // 1.6 normalizes kernel peak ≈ 1
+        }
+    }
+    // Tonic level with slow drift + measurement noise.
+    let drift_slope = 0.10 * d + 0.02 * gauss(rng); // µS per minute
+    for (i, v) in out.iter_mut().enumerate() {
+        let t = i as f32 / fs;
+        *v += tonic
+            + drift_slope * t / 60.0
+            + 0.05 * (2.0 * std::f32::consts::PI * 0.01 * t).sin()
+            + subject.noise_level * 0.25 * gauss(rng);
+        *v = v.max(0.05);
+    }
+    out
+}
+
+/// Synthesizes one SKT (skin temperature) trace in °C.
+pub fn synth_skt<R: Rng + ?Sized>(
+    subject: &SubjectProfile,
+    evocation: &Evocation,
+    class_overlap: f32,
+    config: &SignalConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    let p = &subject.params;
+    let d = drive(subject, evocation, class_overlap);
+    let fs = config.fs_skt;
+    let n = config.skt_len();
+
+    let slope_per_min = p.skt_slope_react * d + 0.01 * gauss(rng);
+    let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / fs;
+            p.base_skt
+                + slope_per_min * t / 60.0
+                + 0.04 * (2.0 * std::f32::consts::PI * 0.005 * t + phase).sin()
+                + subject.noise_level * 0.12 * gauss(rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::ArchetypeId;
+    use crate::subject::IdiosyncrasyScale;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn subject(arch: usize, seed: u64) -> SubjectProfile {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        SubjectProfile::sample(0, ArchetypeId(arch), IdiosyncrasyScale(0.0), &mut rng)
+    }
+
+    fn fear() -> Evocation {
+        Evocation {
+            emotion: Emotion::Fear,
+            intensity: 1.0,
+        }
+    }
+
+    fn calm() -> Evocation {
+        Evocation {
+            emotion: Emotion::NonFear,
+            intensity: 1.0,
+        }
+    }
+
+    #[test]
+    fn signal_lengths_match_config() {
+        let cfg = SignalConfig::default();
+        let s = subject(0, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(synth_bvp(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.bvp_len());
+        assert_eq!(synth_gsr(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.gsr_len());
+        assert_eq!(synth_skt(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.skt_len());
+        assert_eq!(cfg.bvp_len(), 3840);
+        assert_eq!(cfg.gsr_len(), 480);
+        assert_eq!(cfg.skt_len(), 240);
+    }
+
+    #[test]
+    fn fear_raises_heart_rate_in_rendered_bvp() {
+        let cfg = SignalConfig::default();
+        let s = subject(0, 1); // cardiac responder
+        let mut rng = SmallRng::seed_from_u64(3);
+        let bvp_fear = synth_bvp(&s, &fear(), 0.2, &cfg, &mut rng);
+        let bvp_calm = synth_bvp(&s, &calm(), 0.2, &cfg, &mut rng);
+        let beats_fear = clear_dsp::peaks::detect_beats(&bvp_fear, cfg.fs_bvp).unwrap();
+        let beats_calm = clear_dsp::peaks::detect_beats(&bvp_calm, cfg.fs_bvp).unwrap();
+        // Fear HR ≈ 82 bpm vs calm ≈ 70.8 bpm over 60 s.
+        assert!(
+            beats_fear.len() as f32 > beats_calm.len() as f32 + 5.0,
+            "fear {} calm {}",
+            beats_fear.len(),
+            beats_calm.len()
+        );
+    }
+
+    #[test]
+    fn fear_raises_gsr_level_for_electrodermal_responder() {
+        let cfg = SignalConfig::default();
+        let s = subject(1, 1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g_fear = synth_gsr(&s, &fear(), 0.2, &cfg, &mut rng);
+        let g_calm = synth_gsr(&s, &calm(), 0.2, &cfg, &mut rng);
+        let mean = |x: &[f32]| x.iter().sum::<f32>() / x.len() as f32;
+        assert!(mean(&g_fear) > mean(&g_calm) + 0.4);
+    }
+
+    #[test]
+    fn fear_cools_skin_for_vascular_responder() {
+        let cfg = SignalConfig::default();
+        let s = subject(2, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t_fear = synth_skt(&s, &fear(), 0.2, &cfg, &mut rng);
+        // End-minus-start drop of ≈ 0.45 °C over the minute.
+        let head = t_fear[..20].iter().sum::<f32>() / 20.0;
+        let tail = t_fear[t_fear.len() - 20..].iter().sum::<f32>() / 20.0;
+        assert!(head - tail > 0.2, "drop {}", head - tail);
+    }
+
+    #[test]
+    fn gsr_is_positive_conductance() {
+        let cfg = SignalConfig::default();
+        let mut rng = SmallRng::seed_from_u64(6);
+        for arch in 0..4 {
+            let s = subject(arch, 10 + arch as u64);
+            let g = synth_gsr(&s, &fear(), 0.2, &cfg, &mut rng);
+            assert!(g.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let cfg = SignalConfig::default();
+        let s = subject(0, 1);
+        let a = synth_bvp(&s, &fear(), 0.2, &cfg, &mut SmallRng::seed_from_u64(9));
+        let b = synth_bvp(&s, &fear(), 0.2, &cfg, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signals_are_finite() {
+        let cfg = SignalConfig::default();
+        let mut rng = SmallRng::seed_from_u64(12);
+        for arch in 0..4 {
+            let s = subject(arch, 20 + arch as u64);
+            for evo in [fear(), calm()] {
+                assert!(synth_bvp(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
+                assert!(synth_gsr(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
+                assert!(synth_skt(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The stimulus protocol: emotion-eliciting video clips.
+//!
+//! WEMAC annotates its recordings with **ten** emotional labels, which the
+//! paper collapses into fear / non-fear for the detection task. This
+//! module models that richer protocol: a catalog of video stimuli, each
+//! with a categorical emotion and an arousal level that scales the evoked
+//! physiological response. [`StimulusProtocol::wemac_like`] builds a
+//! session resembling the WEMAC design (balanced fear / non-fear,
+//! arousal-varied clips); [`Cohort`](crate::Cohort) generation keeps its
+//! original fast path, and
+//! [`Cohort::generate_with_protocol`](crate::Cohort::generate_with_protocol)
+//! uses an explicit protocol instead.
+
+use crate::Emotion;
+use serde::{Deserialize, Serialize};
+
+/// The ten categorical emotion labels of the WEMAC annotation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmotionCategory {
+    /// Fear — the detection target.
+    Fear,
+    /// Joy.
+    Joy,
+    /// Hope.
+    Hope,
+    /// Calm / relaxation.
+    Calm,
+    /// Tenderness.
+    Tenderness,
+    /// Gratitude.
+    Gratitude,
+    /// Sadness.
+    Sadness,
+    /// Disgust.
+    Disgust,
+    /// Anger.
+    Anger,
+    /// Surprise.
+    Surprise,
+}
+
+impl EmotionCategory {
+    /// All ten categories, fear first.
+    pub fn all() -> [EmotionCategory; 10] {
+        use EmotionCategory::*;
+        [
+            Fear, Joy, Hope, Calm, Tenderness, Gratitude, Sadness, Disgust, Anger, Surprise,
+        ]
+    }
+
+    /// The paper's binary collapse: fear vs everything else.
+    pub fn binary(self) -> Emotion {
+        if self == EmotionCategory::Fear {
+            Emotion::Fear
+        } else {
+            Emotion::NonFear
+        }
+    }
+
+    /// Canonical arousal level of the category in `[0, 1]` — how strongly
+    /// a typical clip of this category drives autonomic responses.
+    /// (Values follow the usual circumplex placements.)
+    pub fn arousal(self) -> f32 {
+        use EmotionCategory::*;
+        match self {
+            Fear => 0.90,
+            Anger => 0.80,
+            Surprise => 0.75,
+            Joy => 0.65,
+            Disgust => 0.60,
+            Hope => 0.45,
+            Gratitude => 0.35,
+            Sadness => 0.30,
+            Tenderness => 0.25,
+            Calm => 0.10,
+        }
+    }
+}
+
+impl std::fmt::Display for EmotionCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EmotionCategory::Fear => "fear",
+            EmotionCategory::Joy => "joy",
+            EmotionCategory::Hope => "hope",
+            EmotionCategory::Calm => "calm",
+            EmotionCategory::Tenderness => "tenderness",
+            EmotionCategory::Gratitude => "gratitude",
+            EmotionCategory::Sadness => "sadness",
+            EmotionCategory::Disgust => "disgust",
+            EmotionCategory::Anger => "anger",
+            EmotionCategory::Surprise => "surprise",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One video clip in the session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stimulus {
+    /// Categorical emotion the clip elicits.
+    pub category: EmotionCategory,
+    /// Clip-specific arousal multiplier around the category's canonical
+    /// arousal (clip selection effects), typically near 1.
+    pub arousal_gain: f32,
+}
+
+impl Stimulus {
+    /// Binary label of the clip.
+    pub fn label(&self) -> Emotion {
+        self.category.binary()
+    }
+
+    /// Effective evoked intensity of this clip for an average subject.
+    pub fn intensity(&self) -> f32 {
+        (self.category.arousal() * self.arousal_gain).max(0.0)
+    }
+}
+
+/// An ordered session of stimuli presented to every volunteer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StimulusProtocol {
+    clips: Vec<Stimulus>,
+}
+
+impl StimulusProtocol {
+    /// Builds a protocol from explicit clips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clips` is empty.
+    pub fn new(clips: Vec<Stimulus>) -> Self {
+        assert!(!clips.is_empty(), "a protocol needs at least one stimulus");
+        Self { clips }
+    }
+
+    /// A WEMAC-like session of `len` clips: alternating fear and non-fear,
+    /// with the non-fear slots cycling through the other nine categories
+    /// and mild deterministic arousal-gain variation per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn wemac_like(len: usize) -> Self {
+        assert!(len > 0, "a protocol needs at least one stimulus");
+        let others: Vec<EmotionCategory> = EmotionCategory::all()[1..].to_vec();
+        let clips = (0..len)
+            .map(|i| {
+                let category = if i % 2 == 0 {
+                    EmotionCategory::Fear
+                } else {
+                    others[(i / 2) % others.len()]
+                };
+                // ±15 % deterministic clip-selection variation.
+                let arousal_gain = 1.0 + 0.15 * ((i as f32 * 2.399).sin());
+                Stimulus {
+                    category,
+                    arousal_gain,
+                }
+            })
+            .collect();
+        Self { clips }
+    }
+
+    /// The session's clips in presentation order.
+    pub fn clips(&self) -> &[Stimulus] {
+        &self.clips
+    }
+
+    /// Number of clips.
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// Whether the protocol is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Number of fear clips.
+    pub fn fear_count(&self) -> usize {
+        self.clips
+            .iter()
+            .filter(|c| c.label() == Emotion::Fear)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_categories_binary_collapse() {
+        let all = EmotionCategory::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(
+            all.iter().filter(|c| c.binary() == Emotion::Fear).count(),
+            1
+        );
+        assert_eq!(EmotionCategory::Fear.binary(), Emotion::Fear);
+        assert_eq!(EmotionCategory::Calm.binary(), Emotion::NonFear);
+    }
+
+    #[test]
+    fn arousal_ordering_is_plausible() {
+        assert!(EmotionCategory::Fear.arousal() > EmotionCategory::Joy.arousal());
+        assert!(EmotionCategory::Joy.arousal() > EmotionCategory::Calm.arousal());
+        for c in EmotionCategory::all() {
+            assert!((0.0..=1.0).contains(&c.arousal()));
+        }
+    }
+
+    #[test]
+    fn wemac_like_protocol_is_balanced_and_diverse() {
+        let p = StimulusProtocol::wemac_like(18);
+        assert_eq!(p.len(), 18);
+        assert_eq!(p.fear_count(), 9);
+        // Non-fear slots cycle through multiple categories.
+        let distinct: std::collections::HashSet<_> = p
+            .clips()
+            .iter()
+            .filter(|c| c.label() == Emotion::NonFear)
+            .map(|c| c.category)
+            .collect();
+        assert!(distinct.len() >= 5, "only {distinct:?}");
+    }
+
+    #[test]
+    fn stimulus_intensity_scales_with_arousal() {
+        let fear = Stimulus {
+            category: EmotionCategory::Fear,
+            arousal_gain: 1.0,
+        };
+        let calm = Stimulus {
+            category: EmotionCategory::Calm,
+            arousal_gain: 1.0,
+        };
+        assert!(fear.intensity() > calm.intensity());
+        assert_eq!(fear.label(), Emotion::Fear);
+        assert_eq!(calm.label(), Emotion::NonFear);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stimulus")]
+    fn empty_protocol_panics() {
+        let _ = StimulusProtocol::new(vec![]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EmotionCategory::Tenderness.to_string(), "tenderness");
+    }
+}

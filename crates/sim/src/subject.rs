@@ -1,0 +1,168 @@
+//! Per-subject physiological profiles.
+//!
+//! A subject is an archetype plus idiosyncrasy: every generative parameter
+//! is perturbed around the archetype's value, and a per-subject *response
+//! gain* scales the whole evoked pattern. The gain and offsets are exactly
+//! what the paper's fine-tuning stage recovers from a little labeled data —
+//! they are invisible to the cluster-level models.
+
+use crate::archetype::{ArchetypeId, ArchetypeParams};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Controls how far subjects deviate from their archetype.
+///
+/// `1.0` reproduces the calibrated inter-subject spread; `0.0` makes every
+/// subject identical to their archetype (useful in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdiosyncrasyScale(pub f32);
+
+impl Default for IdiosyncrasyScale {
+    fn default() -> Self {
+        Self(1.0)
+    }
+}
+
+/// A concrete subject: archetype parameters with personal deviations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectProfile {
+    /// Stable subject identifier within the cohort.
+    pub id: usize,
+    /// Ground-truth archetype (hidden from CLEAR; used only to score
+    /// clustering quality).
+    pub archetype: ArchetypeId,
+    /// The subject's concrete generative parameters.
+    pub params: ArchetypeParams,
+    /// Multiplier on the whole evoked fear response (subject trait).
+    pub response_gain: f32,
+    /// Additive sensor noise level (standard deviations in signal units
+    /// for BVP; scaled for GSR/SKT).
+    pub noise_level: f32,
+}
+
+impl SubjectProfile {
+    /// Samples a subject around `archetype` using `rng`.
+    ///
+    /// Deviations are Gaussian with standard deviations chosen so that
+    /// intra-archetype spread stays well below the inter-archetype
+    /// separation (subjects still cluster correctly) while leaving enough
+    /// personal structure for fine-tuning to matter.
+    pub fn sample<R: Rng + ?Sized>(
+        id: usize,
+        archetype: ArchetypeId,
+        scale: IdiosyncrasyScale,
+        rng: &mut R,
+    ) -> Self {
+        let base = ArchetypeParams::canonical(archetype);
+        let s = scale.0;
+        let mut gauss = |std: f32| -> f32 {
+            // Box-Muller from two uniforms; good enough and dependency-free.
+            let u1: f32 = rng.gen_range(1e-6..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std * s
+        };
+        let params = ArchetypeParams {
+            base_hr: (base.base_hr + gauss(1.8)).clamp(45.0, 110.0),
+            hrv_mod: (base.hrv_mod * (1.0 + gauss(0.15))).clamp(0.005, 0.15),
+            base_tonic_gsr: (base.base_tonic_gsr + gauss(0.30)).max(0.2),
+            base_scr_rate: (base.base_scr_rate + gauss(0.7)).max(0.2),
+            base_skt: (base.base_skt + gauss(0.35)).clamp(28.0, 37.0),
+            bvp_amp: (base.bvp_amp * (1.0 + gauss(0.10))).max(0.1),
+            hr_react: base.hr_react + gauss(3.0),
+            hrv_suppression: (base.hrv_suppression + gauss(0.12)).clamp(-0.6, 0.9),
+            scr_rate_react: (base.scr_rate_react + gauss(1.8)).max(0.0),
+            scr_amp_react: (base.scr_amp_react + gauss(0.15)).max(1.0),
+            tonic_gsr_react: (base.tonic_gsr_react + gauss(0.12)).max(0.0),
+            skt_slope_react: base.skt_slope_react + gauss(0.08),
+            bvp_amp_react: (base.bvp_amp_react + gauss(0.10)).clamp(0.3, 1.1),
+        };
+        Self {
+            id,
+            archetype,
+            params,
+            response_gain: (1.0 + gauss(0.30)).clamp(0.55, 1.6),
+            noise_level: (0.035 + gauss(0.012).abs()).clamp(0.02, 0.12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_scale_reproduces_archetype_exactly() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = SubjectProfile::sample(0, ArchetypeId(2), IdiosyncrasyScale(0.0), &mut rng);
+        assert_eq!(s.params, ArchetypeParams::canonical(ArchetypeId(2)));
+        assert_eq!(s.response_gain, 1.0);
+        assert_eq!(s.archetype, ArchetypeId(2));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let s1 = SubjectProfile::sample(3, ArchetypeId(1), IdiosyncrasyScale::default(), &mut a);
+        let s2 = SubjectProfile::sample(3, ArchetypeId(1), IdiosyncrasyScale::default(), &mut b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn subjects_stay_near_their_archetype() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for arch in 0..4 {
+            let base = ArchetypeParams::canonical(ArchetypeId(arch));
+            for i in 0..30 {
+                let s = SubjectProfile::sample(
+                    i,
+                    ArchetypeId(arch),
+                    IdiosyncrasyScale::default(),
+                    &mut rng,
+                );
+                assert!(
+                    (s.params.base_hr - base.base_hr).abs() < 10.0,
+                    "hr drifted: {} vs {}",
+                    s.params.base_hr,
+                    base.base_hr
+                );
+                assert!((s.params.base_tonic_gsr - base.base_tonic_gsr).abs() < 1.6);
+                assert!(s.response_gain >= 0.45 && s.response_gain <= 1.7);
+                assert!(s.noise_level >= 0.02 && s.noise_level <= 0.12);
+            }
+        }
+    }
+
+    #[test]
+    fn parameters_respect_physiological_bounds() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for i in 0..200 {
+            let s = SubjectProfile::sample(
+                i,
+                ArchetypeId(i % 4),
+                IdiosyncrasyScale(2.0), // exaggerated spread
+                &mut rng,
+            );
+            let p = &s.params;
+            assert!(p.base_hr >= 45.0 && p.base_hr <= 110.0);
+            assert!(p.hrv_mod > 0.0);
+            assert!(p.base_tonic_gsr > 0.0);
+            assert!(p.base_scr_rate > 0.0);
+            assert!(p.base_skt >= 28.0 && p.base_skt <= 37.0);
+            assert!(p.hr_react.abs() < 25.0);
+            assert!(p.hrv_suppression >= -0.6 && p.hrv_suppression <= 0.9);
+            assert!(p.scr_amp_react >= 1.0);
+            assert!(p.bvp_amp_react >= 0.3 && p.bvp_amp_react <= 1.1);
+        }
+    }
+
+    #[test]
+    fn different_subjects_differ() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = SubjectProfile::sample(0, ArchetypeId(0), IdiosyncrasyScale::default(), &mut rng);
+        let b = SubjectProfile::sample(1, ArchetypeId(0), IdiosyncrasyScale::default(), &mut rng);
+        assert_ne!(a.params, b.params);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the cohort simulator.
+
+use clear_sim::signals::{synth_bvp, synth_gsr, synth_skt, Evocation};
+use clear_sim::subject::IdiosyncrasyScale;
+use clear_sim::{ArchetypeId, Cohort, CohortConfig, Emotion, SignalConfig, SubjectProfile};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Signals are finite and length-correct for any archetype, seed,
+    /// emotion and intensity.
+    #[test]
+    fn signals_total_over_generator_space(
+        arch in 0usize..4,
+        seed in 0u64..1000,
+        fear in proptest::bool::ANY,
+        intensity in 0.1f32..1.8,
+        overlap in 0.0f32..0.6,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let subject = SubjectProfile::sample(
+            0,
+            ArchetypeId(arch),
+            IdiosyncrasyScale::default(),
+            &mut rng,
+        );
+        let evocation = Evocation {
+            emotion: if fear { Emotion::Fear } else { Emotion::NonFear },
+            intensity,
+        };
+        let config = SignalConfig {
+            stimulus_secs: 20.0,
+            ..SignalConfig::default()
+        };
+        let bvp = synth_bvp(&subject, &evocation, overlap, &config, &mut rng);
+        let gsr = synth_gsr(&subject, &evocation, overlap, &config, &mut rng);
+        let skt = synth_skt(&subject, &evocation, overlap, &config, &mut rng);
+        prop_assert_eq!(bvp.len(), config.bvp_len());
+        prop_assert_eq!(gsr.len(), config.gsr_len());
+        prop_assert_eq!(skt.len(), config.skt_len());
+        prop_assert!(bvp.iter().all(|v| v.is_finite()));
+        prop_assert!(gsr.iter().all(|v| v.is_finite() && *v > 0.0));
+        prop_assert!(skt.iter().all(|v| v.is_finite() && (*v > 20.0 && *v < 45.0)));
+    }
+
+    /// Cohort shape follows the configuration for arbitrary archetype
+    /// splits.
+    #[test]
+    fn cohort_shape_follows_config(
+        a in 1usize..4,
+        b in 1usize..4,
+        c in 1usize..4,
+        d in 1usize..4,
+        recs in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let config = CohortConfig {
+            subjects_per_archetype: [a, b, c, d],
+            recordings_per_subject: recs,
+            signal: SignalConfig { stimulus_secs: 15.0, ..SignalConfig::default() },
+            ..CohortConfig::small(seed)
+        };
+        let cohort = Cohort::generate(&config);
+        prop_assert_eq!(cohort.subjects().len(), a + b + c + d);
+        prop_assert_eq!(cohort.recordings().len(), (a + b + c + d) * recs);
+        let mut counts = [0usize; 4];
+        for s in cohort.subjects() {
+            counts[s.archetype.0] += 1;
+        }
+        prop_assert_eq!(counts, [a, b, c, d]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Tests of protocol-driven cohort generation.
+
+use clear_sim::{Cohort, CohortConfig, Emotion, EmotionCategory, StimulusProtocol};
+
+fn config() -> CohortConfig {
+    CohortConfig {
+        recordings_per_subject: 10,
+        ..CohortConfig::small(9)
+    }
+}
+
+#[test]
+fn protocol_cohort_carries_categories() {
+    let protocol = StimulusProtocol::wemac_like(10);
+    let cohort = Cohort::generate_with_protocol(&config(), &protocol);
+    assert_eq!(cohort.recordings().len(), 80);
+    for (i, rec) in cohort.recordings().iter().enumerate() {
+        let clip = protocol.clips()[i % 10];
+        assert_eq!(rec.category, Some(clip.category));
+        assert_eq!(rec.emotion, clip.label());
+    }
+}
+
+#[test]
+fn protocol_cohort_keeps_same_roster_as_fast_path() {
+    let cfg = config();
+    let protocol = StimulusProtocol::wemac_like(10);
+    let fast = Cohort::generate(&cfg);
+    let rich = Cohort::generate_with_protocol(&cfg, &protocol);
+    for (a, b) in fast.subjects().iter().zip(rich.subjects()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn calm_clips_evoke_less_than_fear_clips() {
+    let protocol = StimulusProtocol::wemac_like(10);
+    let cohort = Cohort::generate_with_protocol(&config(), &protocol);
+    let mean_intensity = |label: Emotion| -> f32 {
+        let v: Vec<f32> = cohort
+            .recordings()
+            .iter()
+            .filter(|r| r.emotion == label)
+            .map(|r| r.intensity)
+            .collect();
+        v.iter().sum::<f32>() / v.len() as f32
+    };
+    // Fear clips carry the canonical high arousal; the mixed non-fear set
+    // averages lower.
+    assert!(mean_intensity(Emotion::Fear) > mean_intensity(Emotion::NonFear));
+}
+
+#[test]
+#[should_panic(expected = "protocol length")]
+fn mismatched_protocol_length_panics() {
+    let protocol = StimulusProtocol::wemac_like(4);
+    let _ = Cohort::generate_with_protocol(&config(), &protocol);
+}
+
+#[test]
+fn ten_categories_appear_across_long_protocol() {
+    let protocol = StimulusProtocol::wemac_like(20);
+    let distinct: std::collections::HashSet<EmotionCategory> =
+        protocol.clips().iter().map(|c| c.category).collect();
+    assert_eq!(distinct.len(), 10);
+}

@@ -1,0 +1,83 @@
+//! Cold-start onboarding: streaming new users into a deployed system.
+//!
+//! A CLEAR system is trained once on an initial population; then a second
+//! wave of brand-new users arrives. For each newcomer the example shows
+//! the three accuracy levels a product would see:
+//!
+//! 1. wrong-cluster model (what a random assignment would give),
+//! 2. unsupervised cold-start assignment (no labels at all),
+//! 3. after fine-tuning with a small labeled budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cold_start_onboarding
+//! ```
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::pipeline::CloudTraining;
+use clear::nn::train;
+use clear::sim::SubjectId;
+
+fn main() {
+    let mut config = ClearConfig::quick(19);
+    // A slightly larger cohort so the held-out wave has 4 users.
+    config.cohort.subjects_per_archetype = [3, 3, 3, 3];
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (wave, initial) = subjects.split_at(subjects.len() - 4);
+    // `wave` is everything *before* the last 4; swap so newcomers are last 4.
+    let (initial, wave) = (wave, initial);
+    let newcomers: Vec<SubjectId> = wave.to_vec();
+
+    println!(
+        "initial population: {} users; onboarding {} newcomers\n",
+        initial.len(),
+        newcomers.len()
+    );
+    let cloud = CloudTraining::fit(&data, initial, &config);
+
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>12}",
+        "user", "cluster", "wrong-cluster", "cold-start", "fine-tuned"
+    );
+    for &user in &newcomers {
+        let indices = data.indices_of(user);
+        let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+        let assigned = cloud.assign_user(&data, &indices[..ca_n]);
+        let rest = &indices[ca_n..];
+
+        // Wrong cluster: mean accuracy over the other clusters' models.
+        let mut wrong = 0.0f32;
+        let mut n = 0;
+        for c in 0..cloud.cluster_count() {
+            if c != assigned {
+                wrong += cloud.evaluate(&data, c, rest).accuracy;
+                n += 1;
+            }
+        }
+        let wrong = wrong / n.max(1) as f32;
+
+        let cold = cloud.evaluate(&data, assigned, rest).accuracy;
+
+        let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
+        let ft_ds = cloud.user_dataset(&data, &rest[..ft_n]);
+        let test_ds = cloud.user_dataset(&data, &rest[ft_n..]);
+        let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+        let tuned = train::evaluate(&mut personalized, &test_ds).accuracy;
+
+        println!(
+            "{:<8} {:>8} {:>13.1}% {:>13.1}% {:>11.1}%",
+            user.to_string(),
+            assigned,
+            wrong * 100.0,
+            cold * 100.0,
+            tuned * 100.0
+        );
+    }
+    println!(
+        "\ncold-start assignment recovers most of the matched-cluster accuracy\n\
+         without a single label; fine-tuning closes the remaining gap."
+    );
+}

@@ -1,0 +1,60 @@
+//! Edge deployment: one cluster checkpoint on three platforms.
+//!
+//! Pre-trains a cluster model in the "cloud", then deploys it on the
+//! simulated GPU, Coral Edge TPU (int8) and Raspberry Pi + Intel NCS2
+//! (fp16), comparing accuracy, model size, single-inference latency and
+//! energy, and finally fine-tuning *on each device* for a new user.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example edge_deployment
+//! ```
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::pipeline::CloudTraining;
+use clear::edge::{Device, EdgeDeployment};
+
+fn main() {
+    let config = ClearConfig::quick(7);
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (&new_user, initial) = subjects.split_last().expect("cohort is non-empty");
+    let cloud = CloudTraining::fit(&data, initial, &config);
+
+    // Cold-start assignment of the new user, exactly as on a real rollout.
+    let indices = data.indices_of(new_user);
+    let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+    let assigned = cloud.assign_user(&data, &indices[..ca_n]);
+    let rest = &indices[ca_n..];
+    let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
+    let ft_ds = cloud.user_dataset(&data, &rest[..ft_n]);
+    let test_ds = cloud.user_dataset(&data, &rest[ft_n..]);
+
+    let input_shape = [1usize, 123, data.windows()];
+    println!(
+        "{:<12} {:>9} {:>11} {:>12} {:>12} {:>12} {:>12}",
+        "platform", "precision", "model size", "acc w/o FT", "acc w/ FT", "latency", "energy/inf"
+    );
+    for device in Device::all() {
+        let mut dep = EdgeDeployment::new(cloud.model(assigned).clone(), device, &input_shape);
+        let before = dep.evaluate(&test_ds);
+        let outcome = dep.fine_tune(&ft_ds, &test_ds, &config.finetune);
+        println!(
+            "{:<12} {:>9} {:>9} B {:>11.1}% {:>11.1}% {:>9.1} ms {:>10.1} mJ",
+            device.to_string(),
+            dep.spec().precision.to_string(),
+            dep.model_bytes(),
+            before.accuracy * 100.0,
+            outcome.score.accuracy * 100.0,
+            dep.test_time_ms(),
+            dep.spec().inference_energy_j(dep.flops()) * 1000.0
+        );
+        println!(
+            "{:<12} on-device fine-tuning: {} epochs, simulated {:.1} s at {:.2} W",
+            "", outcome.epochs_run, outcome.retraining_time_s,
+            dep.spec().retraining_power_w()
+        );
+    }
+}

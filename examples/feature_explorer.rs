@@ -1,0 +1,85 @@
+//! Feature explorer: which of the 123 physiological features carry the
+//! fear signal, and how does that differ across response archetypes?
+//!
+//! Generates one subject per archetype, extracts feature maps for fear and
+//! non-fear stimuli, and prints each archetype's most discriminative
+//! features (largest standardized mean difference). This reproduces the
+//! intuition behind CLEAR: *different user groups express fear through
+//! different physiological channels*, which is why per-cluster models beat
+//! a single general model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example feature_explorer
+//! ```
+
+use clear::features::{catalog, FeatureExtractor, WindowConfig, FEATURE_COUNT};
+use clear::sim::{Cohort, CohortConfig, Emotion};
+
+fn main() {
+    let config = CohortConfig {
+        subjects_per_archetype: [1, 1, 1, 1],
+        recordings_per_subject: 24,
+        ..CohortConfig::paper_scale(11)
+    };
+    let cohort = Cohort::generate(&config);
+    let extractor = FeatureExtractor::new(config.signal, WindowConfig::default());
+
+    for subject in cohort.subjects() {
+        // Mean feature vector per emotion class.
+        let mut fear = vec![0.0f64; FEATURE_COUNT];
+        let mut calm = vec![0.0f64; FEATURE_COUNT];
+        let mut sq = vec![0.0f64; FEATURE_COUNT];
+        let (mut nf, mut nc) = (0usize, 0usize);
+        let recs = cohort.recordings_of(clear::sim::SubjectId(subject.id));
+        for rec in &recs {
+            let col = extractor.feature_map(rec).mean_column();
+            match rec.emotion {
+                Emotion::Fear => {
+                    for (a, v) in fear.iter_mut().zip(&col) {
+                        *a += *v as f64;
+                    }
+                    nf += 1;
+                }
+                Emotion::NonFear => {
+                    for (a, v) in calm.iter_mut().zip(&col) {
+                        *a += *v as f64;
+                    }
+                    nc += 1;
+                }
+            }
+            for (a, v) in sq.iter_mut().zip(&col) {
+                *a += (*v as f64) * (*v as f64);
+            }
+        }
+        let n = (nf + nc) as f64;
+        // Standardized mean difference per feature.
+        let mut scored: Vec<(usize, f64)> = (0..FEATURE_COUNT)
+            .map(|i| {
+                let mf = fear[i] / nf as f64;
+                let mc = calm[i] / nc as f64;
+                let mean = (fear[i] + calm[i]) / n;
+                let var = (sq[i] / n - mean * mean).max(1e-12);
+                (i, (mf - mc) / var.sqrt())
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+
+        println!(
+            "\nsubject V{:02} ({}): top discriminative features (fear vs non-fear)",
+            subject.id, subject.archetype
+        );
+        for (idx, d) in scored.iter().take(6) {
+            let def = catalog::CATALOG[*idx];
+            println!(
+                "  {:<24} [{} / {}]  effect size {:+.2}",
+                def.name, def.modality, def.domain, d
+            );
+        }
+    }
+    println!(
+        "\nNote how the dominant channel changes with the archetype — the\n\
+         structure CLEAR's Global Clustering discovers without labels."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the whole CLEAR pipeline in one page.
+//!
+//! Generates a small synthetic cohort, runs the cloud stage (clustering +
+//! per-cluster pre-training), then onboards the last volunteer as a brand
+//! new user: cold-start cluster assignment from unlabeled data, followed
+//! by fine-tuning with a handful of labeled recordings.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::pipeline::CloudTraining;
+use clear::nn::train;
+
+fn main() {
+    // 1. A reproducible synthetic cohort (the WEMAC stand-in) and its
+    //    123-feature maps. `quick` keeps this example fast; use
+    //    `ClearConfig::paper(seed)` for the full 44-volunteer setup.
+    let config = ClearConfig::quick(42);
+    let data = PreparedCohort::prepare(&config);
+    println!(
+        "cohort: {} volunteers, {} recordings -> {} feature maps (123 x {})",
+        data.subject_ids().len(),
+        data.cohort().recordings().len(),
+        data.maps().len(),
+        data.windows()
+    );
+
+    // 2. Cloud stage: cluster the initial population and pre-train one
+    //    CNN-LSTM per cluster. The last volunteer plays the "new user".
+    let subjects = data.subject_ids();
+    let (&new_user, initial) = subjects.split_last().expect("cohort is non-empty");
+    let cloud = CloudTraining::fit(&data, initial, &config);
+    println!(
+        "cloud stage: K = {} clusters with sizes {:?}",
+        cloud.cluster_count(),
+        (0..cloud.cluster_count())
+            .map(|c| cloud.members_of(c).len())
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Cold start: assign the new user from ~10 % *unlabeled* data.
+    let indices = data.indices_of(new_user);
+    let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);
+    let assigned = cloud.assign_user(&data, &indices[..ca_n]);
+    let cold = cloud.evaluate(&data, assigned, &indices[ca_n..]);
+    println!(
+        "cold start: user {new_user} assigned to cluster {assigned}; accuracy without any labels: {:.1} %",
+        cold.accuracy * 100.0
+    );
+
+    // 4. Personalization: fine-tune the cluster model with ~20 % labeled
+    //    data and test on the rest.
+    let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
+    let ft_ds = cloud.user_dataset(&data, &indices[ca_n..ca_n + ft_n]);
+    let test_ds = cloud.user_dataset(&data, &indices[ca_n + ft_n..]);
+    let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+    let tuned = train::evaluate(&mut personalized, &test_ds);
+    println!(
+        "fine-tuned with {ft_n} labeled recordings: accuracy {:.1} % (f1 {:.1} %)",
+        tuned.accuracy * 100.0,
+        tuned.f1 * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! # clear — cold-start emotion detection for the edge
+//!
+//! Umbrella crate of the CLEAR reproduction (Sun et al., DATE 2025:
+//! *"Solving the Cold-Start Problem for the Edge: Clustering and Adaptive
+//! Deep Learning for Emotion Detection"*). It re-exports the public API of
+//! every subsystem crate so applications can depend on a single crate:
+//!
+//! * [`sim`] — synthetic WEMAC-like physiological cohort generator,
+//! * [`dsp`] — signal-processing substrate,
+//! * [`features`] — the 123-feature 2D feature-map extractor,
+//! * [`clustering`] — refined k-means with sub-centroid cold-start assignment,
+//! * [`nn`] — from-scratch CNN-LSTM training stack,
+//! * [`edge`] — edge platform simulator (Coral TPU, Raspberry Pi + NCS2),
+//! * [`core`] — the CLEAR pipeline and its LOSO evaluation harnesses.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! complete system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use clear_clustering as clustering;
+pub use clear_core as core;
+pub use clear_dsp as dsp;
+pub use clear_edge as edge;
+pub use clear_features as features;
+pub use clear_nn as nn;
+pub use clear_sim as sim;

@@ -1,0 +1,77 @@
+//! Cross-crate contracts: the invariants each crate promises its
+//! consumers, checked at the seams (property-based where the input space
+//! matters).
+
+use clear::features::{catalog, extract_window, FEATURE_COUNT};
+use clear::nn::tensor::Tensor;
+use clear::sim::SignalConfig;
+use proptest::prelude::*;
+
+#[test]
+fn feature_count_is_the_papers_123() {
+    assert_eq!(FEATURE_COUNT, 123);
+    assert_eq!(catalog::GSR_COUNT, 34);
+    assert_eq!(catalog::BVP_COUNT, 84);
+    assert_eq!(catalog::SKT_COUNT, 5);
+}
+
+#[test]
+fn model_input_contract_matches_feature_maps() {
+    // The core pipeline feeds [1, 123, W] tensors into networks built by
+    // build_model; the seam is pinned here.
+    let config = clear::core::config::ClearConfig::quick(3);
+    let data = clear::core::dataset::PreparedCohort::prepare(&config);
+    let mut net = clear::core::pipeline::build_model(data.windows(), &config, 0);
+    let x = Tensor::zeros(&[1, FEATURE_COUNT, data.windows()]);
+    let y = net.forward(&x, false);
+    assert_eq!(y.shape(), &[2]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The window extractor returns exactly 123 finite features for ANY
+    /// finite input signals, however short, constant or wild.
+    #[test]
+    fn extractor_is_total_over_arbitrary_signals(
+        bvp in prop::collection::vec(-10.0f32..10.0, 0..512),
+        gsr in prop::collection::vec(0.0f32..20.0, 0..128),
+        skt in prop::collection::vec(20.0f32..40.0, 0..64),
+    ) {
+        let sig = SignalConfig::default();
+        let v = extract_window(&bvp, &gsr, &skt, &sig);
+        prop_assert_eq!(v.len(), FEATURE_COUNT);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    /// Edge quantization preserves classifier output shape and finiteness
+    /// for any precision.
+    #[test]
+    fn lowered_networks_stay_total(seed in 0u64..50) {
+        use clear::nn::quantize::{lower_network, Precision};
+        let mut net = clear::nn::network::cnn_lstm_compact(123, 6, 2, seed);
+        for p in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
+            let mut lowered = net.clone();
+            lower_network(&mut lowered, p);
+            let y = lowered.forward(&Tensor::zeros(&[1, 123, 6]), false);
+            prop_assert_eq!(y.shape(), &[2usize]);
+            prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        }
+        let _ = net.forward(&Tensor::zeros(&[1, 123, 6]), false);
+    }
+
+    /// Cluster assignment always returns a valid cluster index, for any
+    /// query vector.
+    #[test]
+    fn hierarchy_assignment_is_total(query in prop::collection::vec(-100.0f32..100.0, 4)) {
+        use clear::clustering::hierarchy::{ClusterHierarchy, HierarchyConfig};
+        use clear::clustering::kmeans::{KMeans, KMeansConfig};
+        let points: Vec<Vec<f32>> = (0..12)
+            .map(|i| vec![i as f32, (i % 3) as f32, -(i as f32), 0.5 * i as f32])
+            .collect();
+        let model = KMeans::new(KMeansConfig { k: 3, ..Default::default() }).fit(&points);
+        let h = ClusterHierarchy::build(&model, &points, &HierarchyConfig::default());
+        let c = h.assign(&query);
+        prop_assert!(c < 3);
+    }
+}

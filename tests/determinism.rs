@@ -1,0 +1,61 @@
+//! Reproducibility: every stage of the system is a pure function of its
+//! seed. Scientific results that cannot be regenerated bit-for-bit are
+//! not results; these tests pin that property across crate boundaries.
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::evaluation::clear_folds;
+use clear::core::pipeline::CloudTraining;
+use clear::sim::{Cohort, CohortConfig};
+
+#[test]
+fn cohort_and_features_are_seed_deterministic() {
+    let config = ClearConfig::quick(77);
+    let a = PreparedCohort::prepare(&config);
+    let b = PreparedCohort::prepare(&config);
+    assert_eq!(a.maps().len(), b.maps().len());
+    for (ma, mb) in a.maps().iter().zip(b.maps()) {
+        assert_eq!(ma.as_slice(), mb.as_slice());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_cohorts() {
+    let a = Cohort::generate(&CohortConfig::small(1));
+    let b = Cohort::generate(&CohortConfig::small(2));
+    assert_ne!(a.recordings()[0].bvp, b.recordings()[0].bvp);
+}
+
+#[test]
+fn cloud_training_is_deterministic() {
+    let config = ClearConfig::quick(55);
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let a = CloudTraining::fit(&data, &subjects, &config);
+    let b = CloudTraining::fit(&data, &subjects, &config);
+    for s in &subjects {
+        assert_eq!(a.cluster_of(*s), b.cluster_of(*s));
+    }
+    for c in 0..a.cluster_count() {
+        assert_eq!(
+            a.model(c).clone().parameters_flat(),
+            b.model(c).clone().parameters_flat(),
+            "cluster {c} weights diverged"
+        );
+    }
+}
+
+#[test]
+fn full_validation_is_deterministic() {
+    let config = ClearConfig::quick(66);
+    let data = PreparedCohort::prepare(&config);
+    let a = clear_folds(&data, &config, false, |_, _| {});
+    let b = clear_folds(&data, &config, false, |_, _| {});
+    assert_eq!(a.without_ft, b.without_ft);
+    assert_eq!(a.with_ft, b.with_ft);
+    assert_eq!(a.rt, b.rt);
+    for (fa, fb) in a.folds.iter().zip(&b.folds) {
+        assert_eq!(fa.assigned_cluster, fb.assigned_cluster);
+        assert_eq!(fa.without_ft, fb.without_ft);
+    }
+}

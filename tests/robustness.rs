@@ -1,0 +1,91 @@
+//! Robustness: the pipeline under realistic sensor artifacts.
+//!
+//! The paper targets "real-world usability" on wearables; these tests
+//! corrupt recordings with motion bursts, dropouts and wideband noise and
+//! check that (a) feature extraction stays total and finite, and (b) the
+//! trained classifier degrades gracefully rather than collapsing.
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::pipeline::CloudTraining;
+use clear::features::{FeatureExtractor, WindowConfig};
+use clear::nn::tensor::Tensor;
+use clear::sim::artifacts::{corrupt, ArtifactConfig};
+use clear::sim::{Cohort, CohortConfig};
+
+#[test]
+fn features_stay_finite_under_heavy_artifacts() {
+    let config = CohortConfig::small(21);
+    let cohort = Cohort::generate(&config);
+    let extractor = FeatureExtractor::new(config.signal, WindowConfig::default());
+    let heavy = ArtifactConfig {
+        motion_bursts_per_min: 10.0,
+        burst_gain: 8.0,
+        dropout_probability: 1.0,
+        dropout_secs: 5.0,
+        noise_fraction: 0.4,
+        ..ArtifactConfig::default()
+    };
+    for rec in cohort.recordings().iter().take(8) {
+        let bad = corrupt(
+            rec,
+            config.signal.fs_bvp,
+            config.signal.fs_gsr,
+            config.signal.fs_skt,
+            &heavy,
+        );
+        let map = extractor.feature_map(&bad);
+        assert!(map.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(map.feature_count(), 123);
+    }
+}
+
+#[test]
+fn classifier_degrades_gracefully_not_catastrophically() {
+    let config = ClearConfig::quick(55);
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (&vx, initial) = subjects.split_last().unwrap();
+    let cloud = CloudTraining::fit(&data, initial, &config);
+    let indices = data.indices_of(vx);
+    let assigned = cloud.assign_user(&data, &indices[..1]);
+
+    // Clean accuracy.
+    let clean = cloud.evaluate(&data, assigned, &indices[1..]).accuracy;
+
+    // Mildly corrupted copies of the same recordings, run through the same
+    // feature extractor and classifier path.
+    let sig = config.cohort.signal;
+    let extractor = FeatureExtractor::new(sig, config.window);
+    let mild = ArtifactConfig::default();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut net = cloud.model(assigned).clone();
+    let baseline = data.subject_baseline(vx);
+    for &i in &indices[1..] {
+        let rec = &data.cohort().recordings()[i];
+        let bad = corrupt(rec, sig.fs_bvp, sig.fs_gsr, sig.fs_skt, &mild);
+        let map = extractor.feature_map(&bad);
+        // Manual corrected-normalized path mirroring user_dataset.
+        let w = map.window_count();
+        let columns: Vec<Vec<f32>> = (0..w)
+            .map(|c| (0..123).map(|f| map.get(f, c) - baseline[f]).collect())
+            .collect();
+        let mut corrected_map = clear::features::FeatureMap::from_columns(&columns);
+        corrected_map.normalize(cloud.clf_normalizer());
+        let x = Tensor::from_vec(&[1, 123, w], corrected_map.as_slice().to_vec());
+        let logits = net.forward(&x, false);
+        if clear::nn::loss::predict_class(&logits) == rec.emotion.class_index() {
+            correct += 1;
+        }
+        total += 1;
+    }
+    let corrupted_acc = correct as f32 / total as f32;
+    // Graceful degradation: stay within 35 accuracy points of clean and
+    // above chance-minus-noise on this small sample.
+    assert!(
+        corrupted_acc >= clean - 0.35,
+        "collapsed under artifacts: clean {clean}, corrupted {corrupted_acc}"
+    );
+    assert!(corrupted_acc >= 0.3, "corrupted accuracy {corrupted_acc}");
+}

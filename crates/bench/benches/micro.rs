@@ -67,7 +67,10 @@ fn bench_clustering(c: &mut Criterion) {
 
 fn bench_nn(c: &mut Criterion) {
     let mut net = cnn_lstm_compact(123, 9, 2, 1);
-    let x = Tensor::from_vec(&[1, 123, 9], (0..123 * 9).map(|v| (v as f32).sin()).collect());
+    let x = Tensor::from_vec(
+        &[1, 123, 9],
+        (0..123 * 9).map(|v| (v as f32).sin()).collect(),
+    );
     c.bench_function("cnn_lstm_compact_forward", |b| {
         b.iter(|| net.forward(black_box(&x), false))
     });
@@ -90,7 +93,10 @@ fn bench_nn(c: &mut Criterion) {
 
 fn bench_edge(c: &mut Criterion) {
     let net = cnn_lstm_compact(123, 9, 2, 1);
-    let x = Tensor::from_vec(&[1, 123, 9], (0..123 * 9).map(|v| (v as f32).cos()).collect());
+    let x = Tensor::from_vec(
+        &[1, 123, 9],
+        (0..123 * 9).map(|v| (v as f32).cos()).collect(),
+    );
     let mut dep = EdgeDeployment::new(net, Device::CoralTpu, &[1, 123, 9]);
     c.bench_function("edge_int8_inference", |b| {
         b.iter(|| dep.infer(black_box(&x)))

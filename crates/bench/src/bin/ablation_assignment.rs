@@ -26,8 +26,7 @@ fn main() {
     let mut hits = vec![0usize; sub_ks.len()];
 
     for (i, &vx) in subjects.iter().enumerate() {
-        let initial: Vec<SubjectId> =
-            subjects.iter().copied().filter(|&s| s != vx).collect();
+        let initial: Vec<SubjectId> = subjects.iter().copied().filter(|&s| s != vx).collect();
         let normalizer = data.fit_normalizer(&initial);
         let vectors: Vec<Vec<f32>> = initial
             .iter()

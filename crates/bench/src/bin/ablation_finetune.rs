@@ -21,15 +21,20 @@ fn main() {
     let folds: Vec<SubjectId> = subjects.iter().copied().take(8).collect();
     let fractions = [0.05f32, 0.10, 0.20, 0.35, 0.50];
 
-    println!("ABLATION — fine-tuning label budget ({} folds)\n", folds.len());
-    println!("{:>10} {:>14} {:>14}", "labeled %", "acc w/o FT %", "acc w/ FT %");
+    println!(
+        "ABLATION — fine-tuning label budget ({} folds)\n",
+        folds.len()
+    );
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "labeled %", "acc w/o FT %", "acc w/ FT %"
+    );
 
     for &fraction in &fractions {
         let mut acc_before = 0.0f32;
         let mut acc_after = 0.0f32;
         for (i, &vx) in folds.iter().enumerate() {
-            let initial: Vec<SubjectId> =
-                subjects.iter().copied().filter(|&s| s != vx).collect();
+            let initial: Vec<SubjectId> = subjects.iter().copied().filter(|&s| s != vx).collect();
             let mut cfg = config.clone();
             cfg.seed = config.seed.wrapping_add(i as u64);
             let cloud = CloudTraining::fit(&data, &initial, &cfg);
@@ -48,7 +53,12 @@ fn main() {
             let test_ds = cloud.user_dataset(&data, test_idx);
             let mut personalized = cloud.fine_tune(assigned, &ft_ds, &cfg.finetune);
             acc_after += train::evaluate(&mut personalized, &test_ds).accuracy;
-            eprint!("\rfraction {:.0}%: fold {}/{}   ", fraction * 100.0, i + 1, folds.len());
+            eprint!(
+                "\rfraction {:.0}%: fold {}/{}   ",
+                fraction * 100.0,
+                i + 1,
+                folds.len()
+            );
         }
         eprintln!();
         let n = folds.len() as f32;

@@ -59,7 +59,10 @@ fn main() {
         ("without SKT", Some(Modality::Skt)),
     ];
 
-    println!("ABLATION — modality knockout ({} LOSO folds each)\n", group.len());
+    println!(
+        "ABLATION — modality knockout ({} LOSO folds each)\n",
+        group.len()
+    );
     println!("{:<14} {:>10} {:>8}", "sensors", "acc %", "std");
     for (name, mask) in masks {
         let mut scores: Vec<FoldScore> = Vec::new();
@@ -87,7 +90,10 @@ fn main() {
         }
         eprintln!();
         let agg = Aggregate::from_scores(&scores);
-        println!("{:<14} {:>10.2} {:>8.2}", name, agg.accuracy_mean, agg.accuracy_std);
+        println!(
+            "{:<14} {:>10.2} {:>8.2}",
+            name, agg.accuracy_mean, agg.accuracy_std
+        );
     }
     println!("\nGSR and BVP carry most of the fear signal; SKT refines the vascular archetype.");
 }

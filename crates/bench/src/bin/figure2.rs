@@ -10,14 +10,19 @@ use clear_nn::summary::summarize;
 
 fn main() {
     let config = config_from_args();
-    let windows = config.window.window_count(config.cohort.signal.stimulus_secs);
+    let windows = config
+        .window
+        .window_count(config.cohort.signal.stimulus_secs);
     println!(
         "FIGURE 2 — CNN-LSTM architecture for {} x {} feature maps\n",
         FEATURE_COUNT, windows
     );
     println!("paper preset (6/12 channels, 48 LSTM units):");
     let net = cnn_lstm(FEATURE_COUNT, windows, 2, config.seed);
-    println!("{}", summarize(&net, &[1, FEATURE_COUNT, windows]).to_table());
+    println!(
+        "{}",
+        summarize(&net, &[1, FEATURE_COUNT, windows]).to_table()
+    );
     println!("compact preset used by the single-core experiment harness:");
     let compact = cnn_lstm_compact(FEATURE_COUNT, windows, 2, config.seed);
     println!(

@@ -34,8 +34,7 @@ fn main() {
     let mut base_sum = 0.0f32;
     let mut sums = vec![0.0f32; candidates.len()];
     for (fold, &vx) in subjects.iter().take(fold_count).enumerate() {
-        let initial: Vec<SubjectId> =
-            subjects.iter().copied().filter(|&s| s != vx).collect();
+        let initial: Vec<SubjectId> = subjects.iter().copied().filter(|&s| s != vx).collect();
         let cloud = CloudTraining::fit(&data, &initial, &config);
         let indices = data.indices_of(vx);
         let ca_n = ((indices.len() as f32 * config.ca_fraction).ceil() as usize).max(1);

@@ -12,6 +12,7 @@
 //! | `cluster_k_selection` | §IV-A cluster-count selection (K = 4) |
 //! | `ablation_assignment` | CA with vs. without internal sub-centroids |
 //! | `ablation_finetune` | fine-tuning label-budget sweep |
+//! | `robustness_curve` | accuracy/abstention/availability vs. artifact severity |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

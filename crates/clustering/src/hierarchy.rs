@@ -8,8 +8,8 @@
 //! single centroid blurs, making the unsupervised assignment markedly more
 //! accurate near cluster boundaries.
 
-use crate::kmeans::{KMeans, KMeansConfig, KMeansModel};
 use crate::distance;
+use crate::kmeans::{KMeans, KMeansConfig, KMeansModel};
 use serde::{Deserialize, Serialize};
 
 /// Per-cluster internal sub-centroids supporting cold-start assignment.
@@ -179,7 +179,8 @@ mod tests {
         let end_point = vec![5.6f32, 0.0];
         let own = model.predict(&end_point);
         let d_top = distance(&end_point, &model.centroids()[own]);
-        let d_best_sub = h.sub_centroids(own)
+        let d_best_sub = h
+            .sub_centroids(own)
             .iter()
             .map(|c| distance(&end_point, c))
             .fold(f32::INFINITY, f32::min);
@@ -212,14 +213,7 @@ mod tests {
             ..Default::default()
         })
         .fit(&pts);
-        let h = ClusterHierarchy::build(
-            &model,
-            &pts,
-            &HierarchyConfig {
-                sub_k: 5,
-                seed: 1,
-            },
-        );
+        let h = ClusterHierarchy::build(&model, &pts, &HierarchyConfig { sub_k: 5, seed: 1 });
         // Each cluster has at most as many sub-centroids as members.
         for k in 0..h.k() {
             assert!(h.sub_centroids(k).len() <= 2);

@@ -179,7 +179,11 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f32 {
     let max_index = (sum_a + sum_b) / 2.0;
     let denom = max_index - expected;
     if denom.abs() < 1e-12 {
-        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     ((sum_ij - expected) / denom) as f32
 }
@@ -192,7 +196,11 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f32 {
 ///
 /// Panics if the labelings have different lengths or are empty.
 pub fn purity(predicted: &[usize], truth: &[usize]) -> f32 {
-    assert_eq!(predicted.len(), truth.len(), "labelings must have equal length");
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "labelings must have equal length"
+    );
     assert!(!predicted.is_empty(), "labelings must be non-empty");
     let kp = predicted.iter().copied().max().unwrap() + 1;
     let kt = truth.iter().copied().max().unwrap() + 1;

@@ -72,7 +72,10 @@ pub fn refined_fit(points: &[Vec<f32>], config: &RefineConfig) -> KMeansModel {
             members.shuffle(&mut rng);
             let take = ((members.len() as f32 * config.subset_fraction).ceil() as usize)
                 .clamp(1, members.len());
-            let subset: Vec<&[f32]> = members[..take].iter().map(|&i| points[i].as_slice()).collect();
+            let subset: Vec<&[f32]> = members[..take]
+                .iter()
+                .map(|&i| points[i].as_slice())
+                .collect();
             centroids[c] = centroid_of(&subset);
         }
         // Reassign all users against the refreshed centroids.

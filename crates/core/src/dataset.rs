@@ -201,11 +201,7 @@ impl PreparedCohort {
         let mut out = Dataset::new();
         for &s in subjects {
             let baseline = self.subject_baseline(s);
-            out.extend_from(&self.corrected_nn_dataset(
-                &self.indices_of(s),
-                &baseline,
-                normalizer,
-            ));
+            out.extend_from(&self.corrected_nn_dataset(&self.indices_of(s), &baseline, normalizer));
         }
         out
     }

@@ -1,5 +1,5 @@
-//! Production deployment artifacts: persisting a trained CLEAR system and
-//! onboarding users incrementally.
+//! Production deployment artifacts: persisting a trained CLEAR system,
+//! onboarding users incrementally, and serving under degraded conditions.
 //!
 //! The experiment harnesses re-train everything per fold; a product does
 //! not. [`ClearBundle`] is the serializable artifact the cloud ships to
@@ -8,16 +8,35 @@
 //! [`ClearDeployment`] wraps a bundle at runtime: it onboards new users
 //! from unlabeled feature maps, serves per-user predictions, and upgrades
 //! users in place when labeled data arrives.
+//!
+//! Unlike the experiment harnesses, the deployment assumes its inputs are
+//! *hostile*: wearable channels flatline, saturate and drop out (see
+//! [`clear_features::quality`]). Serving is therefore quality-gated:
+//!
+//! * [`ClearDeployment::predict`] assesses each feature map, quarantines
+//!   windows with no usable modality, imputes dead modality blocks from
+//!   the user's cluster statistics, and returns a [`Prediction`] carrying
+//!   confidence and quality — abstaining (emotion `None`) below the
+//!   configured floors instead of guessing.
+//! * [`ClearDeployment::onboard`] defers cluster assignment until enough
+//!   good-quality maps accumulate ([`Onboarding::Deferred`]), with a
+//!   retry path: later calls keep accumulating until the guardrail is
+//!   met.
+//! * [`ClearDeployment::personalize`] holds out a validation slice and
+//!   rolls back to the cluster checkpoint when fine-tuning degrades it
+//!   ([`PersonalizeOutcome::adopted`]).
 
 use crate::config::ClearConfig;
 use crate::pipeline::CloudTraining;
 use clear_clustering::hierarchy::ClusterHierarchy;
-use clear_features::{FeatureMap, Normalizer, FEATURE_COUNT};
+use clear_features::catalog::{modality_count, modality_of};
+use clear_features::quality::assess_map;
+use clear_features::{FeatureMap, Modality, Normalizer, FEATURE_COUNT};
 use clear_nn::data::Dataset;
-use clear_nn::loss::predict_class;
+use clear_nn::loss::{predict_class, softmax};
 use clear_nn::network::Network;
 use clear_nn::tensor::Tensor;
-use clear_nn::train::TrainConfig;
+use clear_nn::train::{self, TrainConfig};
 use clear_sim::Emotion;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -44,6 +63,112 @@ impl std::fmt::Display for DeployError {
 }
 
 impl std::error::Error for DeployError {}
+
+/// Serving-time robustness thresholds of a [`ClearDeployment`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingPolicy {
+    /// Predictions with window quality below this abstain.
+    pub min_quality: f32,
+    /// Predictions with softmax confidence below this abstain.
+    pub min_confidence: f32,
+    /// A modality block scoring below this counts as dead/missing.
+    pub min_modality_score: f32,
+    /// Replace dead modality blocks with cluster statistics instead of
+    /// serving their raw (degenerate) values.
+    pub impute_missing: bool,
+    /// Feature maps scoring below this do not count toward onboarding.
+    pub min_onboarding_quality: f32,
+    /// Good-quality maps required before cluster assignment happens.
+    pub min_onboarding_maps: usize,
+    /// Labeled maps required before personalization carves a validation
+    /// holdout; below this, fine-tuning is adopted unvalidated (the
+    /// legacy tiny-budget behavior).
+    pub min_validation_maps: usize,
+    /// Fraction of the labeled sequence (its trailing, most recent part)
+    /// held out to decide personalization adoption.
+    pub validation_fraction: f32,
+}
+
+impl Default for ServingPolicy {
+    fn default() -> Self {
+        Self {
+            min_quality: 0.35,
+            min_confidence: 0.55,
+            min_modality_score: 0.5,
+            impute_missing: true,
+            min_onboarding_quality: 0.5,
+            min_onboarding_maps: 1,
+            min_validation_maps: 4,
+            validation_fraction: 0.25,
+        }
+    }
+}
+
+/// Which checkpoint produced a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSource {
+    /// The user's fine-tuned personal checkpoint.
+    Personalized,
+    /// The shared pre-trained model of cluster `k`.
+    Cluster(usize),
+}
+
+/// Outcome of one quality-gated inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// The served label, or `None` when the deployment abstained
+    /// (quarantined input, low quality, or low confidence).
+    pub emotion: Option<Emotion>,
+    /// Softmax probability of the winning class (0 when quarantined
+    /// before inference).
+    pub confidence: f32,
+    /// Input quality in `[0, 1]` after accounting for imputed blocks.
+    pub quality: f32,
+    /// The checkpoint that ran, `None` when quarantined before inference.
+    pub served_by: Option<ModelSource>,
+    /// Modality blocks replaced by cluster statistics for this window.
+    pub imputed: Vec<Modality>,
+}
+
+impl Prediction {
+    /// Whether the deployment declined to emit a label.
+    pub fn abstained(&self) -> bool {
+        self.emotion.is_none()
+    }
+}
+
+/// Result of an [`ClearDeployment::onboard`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Onboarding {
+    /// Enough good-quality data: the user is assigned to `cluster`.
+    Assigned {
+        /// The assigned cluster index.
+        cluster: usize,
+    },
+    /// Not enough good-quality maps yet; call again with more data.
+    Deferred {
+        /// Good maps accumulated so far (across calls).
+        accumulated: usize,
+        /// Good maps required by the policy.
+        required: usize,
+    },
+}
+
+/// Result of a [`ClearDeployment::personalize`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PersonalizeOutcome {
+    /// Whether the fine-tuned checkpoint replaced the cluster model. When
+    /// `false` the deployment rolled back and keeps serving the cluster
+    /// checkpoint.
+    pub adopted: bool,
+    /// Whether a held-out validation slice decided adoption (tiny labeled
+    /// budgets adopt unvalidated).
+    pub validated: bool,
+    /// Cluster-checkpoint accuracy on the validation slice.
+    pub baseline_accuracy: f32,
+    /// Fine-tuned accuracy on the validation slice.
+    pub personalized_accuracy: f32,
+}
 
 /// The serializable cloud artifact: everything a fleet of edge devices
 /// needs to run CLEAR.
@@ -111,22 +236,37 @@ struct UserState {
     /// Personalized checkpoint once fine-tuned; otherwise the cluster
     /// model serves this user.
     personalized: Option<Network>,
+    /// Windows quarantined for this user (no usable modality).
+    quarantined: usize,
 }
 
 /// A runtime CLEAR service: cold-start onboarding, per-user inference and
-/// in-place personalization.
+/// in-place personalization, with quality gating and degraded-mode
+/// serving throughout.
 #[derive(Debug, Clone)]
 pub struct ClearDeployment {
     bundle: ClearBundle,
+    policy: ServingPolicy,
     users: BTreeMap<String, UserState>,
+    /// Good-quality maps accumulated for users whose onboarding is still
+    /// deferred by the quality guardrail.
+    pending: BTreeMap<String, Vec<FeatureMap>>,
 }
 
 impl ClearDeployment {
-    /// Starts a deployment from a cloud bundle.
+    /// Starts a deployment from a cloud bundle with the default
+    /// [`ServingPolicy`].
     pub fn new(bundle: ClearBundle) -> Self {
+        Self::with_policy(bundle, ServingPolicy::default())
+    }
+
+    /// Starts a deployment with an explicit serving policy.
+    pub fn with_policy(bundle: ClearBundle, policy: ServingPolicy) -> Self {
         Self {
             bundle,
+            policy,
             users: BTreeMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -135,14 +275,40 @@ impl ClearDeployment {
         &self.bundle
     }
 
+    /// The serving policy in force.
+    pub fn policy(&self) -> &ServingPolicy {
+        &self.policy
+    }
+
+    /// Replaces the serving policy (e.g. to loosen abstention floors for
+    /// an offline batch pass).
+    pub fn set_policy(&mut self, policy: ServingPolicy) {
+        self.policy = policy;
+    }
+
     /// Users currently onboarded.
     pub fn user_ids(&self) -> Vec<&str> {
         self.users.keys().map(String::as_str).collect()
     }
 
+    /// Good-quality maps accumulated for a user whose onboarding is still
+    /// deferred (0 for assigned or unknown users).
+    pub fn pending_maps(&self, user: &str) -> usize {
+        self.pending.get(user).map_or(0, Vec::len)
+    }
+
+    /// Windows quarantined so far for a user (0 for unknown users).
+    pub fn quarantined_count(&self, user: &str) -> usize {
+        self.users.get(user).map_or(0, |s| s.quarantined)
+    }
+
     /// Onboards a new user from *unlabeled* feature maps (the cold-start
-    /// path): computes their user vector and assigns the closest cluster
-    /// by the sub-centroid rule. Returns the assigned cluster.
+    /// path). Maps failing the quality floor are discarded; the rest
+    /// accumulate until [`ServingPolicy::min_onboarding_maps`] good maps
+    /// are available, at which point the user vector is computed and the
+    /// closest cluster assigned by the sub-centroid rule. Until then the
+    /// call returns [`Onboarding::Deferred`] and the user is *not*
+    /// onboarded — retry with more data.
     ///
     /// Re-onboarding an existing user re-runs assignment and discards any
     /// personalization.
@@ -150,11 +316,25 @@ impl ClearDeployment {
     /// # Errors
     ///
     /// Returns [`DeployError::BadInput`] when `maps` is empty.
-    pub fn onboard(&mut self, user: &str, maps: &[FeatureMap]) -> Result<usize, DeployError> {
+    pub fn onboard(&mut self, user: &str, maps: &[FeatureMap]) -> Result<Onboarding, DeployError> {
         if maps.is_empty() {
             return Err(DeployError::BadInput("onboarding needs at least one map"));
         }
-        let refs: Vec<&FeatureMap> = maps.iter().collect();
+        let buffer = self.pending.entry(user.to_string()).or_default();
+        for map in maps {
+            if assess_map(map).score >= self.policy.min_onboarding_quality {
+                buffer.push(map.clone());
+            }
+        }
+        let accumulated = buffer.len();
+        if accumulated < self.policy.min_onboarding_maps.max(1) {
+            return Ok(Onboarding::Deferred {
+                accumulated,
+                required: self.policy.min_onboarding_maps.max(1),
+            });
+        }
+        let good = self.pending.remove(user).unwrap_or_default();
+        let refs: Vec<&FeatureMap> = good.iter().collect();
         let raw_vector = clear_features::map::user_vector(&refs);
         let vector = self.bundle.normalizer.apply_vector(&raw_vector);
         let cluster = self.bundle.hierarchy.assign(&vector);
@@ -165,9 +345,10 @@ impl ClearDeployment {
                 // The same unlabeled data provides the personal baseline.
                 baseline: raw_vector,
                 personalized: None,
+                quarantined: 0,
             },
         );
-        Ok(cluster)
+        Ok(Onboarding::Assigned { cluster })
     }
 
     /// The cluster a user was assigned to.
@@ -175,7 +356,7 @@ impl ClearDeployment {
     /// # Errors
     ///
     /// Returns [`DeployError::UnknownUser`] if the user was never
-    /// onboarded.
+    /// onboarded (deferred onboardings do not count).
     pub fn cluster_of(&self, user: &str) -> Result<usize, DeployError> {
         self.users
             .get(user)
@@ -190,46 +371,211 @@ impl ClearDeployment {
             .is_some_and(|s| s.personalized.is_some())
     }
 
-    /// Classifies one feature map for a user, using their personalized
-    /// model when available, the cluster model otherwise.
+    /// The cluster's centroid in *raw* feature space, reconstructed from
+    /// the sub-centroid hierarchy and the normalization statistics. This
+    /// is the imputation source for dead modality blocks.
+    fn cluster_raw_centroid(&self, cluster: usize) -> Vec<f32> {
+        let mean = self.bundle.normalizer.mean();
+        let std = self.bundle.normalizer.std();
+        let fallback = || mean.to_vec();
+        if cluster >= self.bundle.hierarchy.k() {
+            return fallback();
+        }
+        let subs = self.bundle.hierarchy.sub_centroids(cluster);
+        if subs.is_empty() || subs[0].len() != FEATURE_COUNT {
+            return fallback();
+        }
+        if mean.len() != FEATURE_COUNT || std.len() != FEATURE_COUNT {
+            return fallback();
+        }
+        let mut acc = vec![0.0f32; FEATURE_COUNT];
+        for sub in subs {
+            if sub.len() != FEATURE_COUNT {
+                return fallback();
+            }
+            for (a, &v) in acc.iter_mut().zip(sub) {
+                *a += v;
+            }
+        }
+        for (f, a) in acc.iter_mut().enumerate() {
+            *a /= subs.len() as f32;
+            // De-normalize back into raw feature units.
+            *a = *a * std[f] + mean[f];
+            if !a.is_finite() {
+                *a = mean[f];
+            }
+        }
+        acc
+    }
+
+    /// Replaces non-finite entries — and, when `impute` names them, whole
+    /// dead modality blocks — with the cluster's raw centroid values.
+    fn sanitized_map(&self, map: &FeatureMap, centroid: &[f32], impute: &[Modality]) -> FeatureMap {
+        let w = map.window_count();
+        let columns: Vec<Vec<f32>> = (0..w)
+            .map(|col| {
+                (0..map.feature_count())
+                    .map(|f| {
+                        let v = map.get(f, col);
+                        if impute.contains(&modality_of(f)) || !v.is_finite() {
+                            centroid[f]
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        FeatureMap::from_columns(&columns)
+    }
+
+    /// Validates a feature map's shape against the bundle.
+    fn check_shape(&self, map: &FeatureMap) -> Result<(), DeployError> {
+        if map.feature_count() != FEATURE_COUNT {
+            return Err(DeployError::BadInput(
+                "feature map row count does not match the catalog",
+            ));
+        }
+        if map.window_count() != self.bundle.windows {
+            return Err(DeployError::BadInput(
+                "feature map window count does not match the bundle",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Classifies one feature map for a user through the quality gate,
+    /// using their personalized model when available, the cluster model
+    /// otherwise.
+    ///
+    /// Degraded-mode behavior:
+    ///
+    /// * every modality block dead → the window is **quarantined**:
+    ///   `emotion: None`, `served_by: None`, nothing runs;
+    /// * some blocks dead → they are imputed from cluster statistics
+    ///   (when [`ServingPolicy::impute_missing`]) and inference proceeds
+    ///   with a quality penalty;
+    /// * post-inference, the prediction **abstains** (emotion `None`,
+    ///   `served_by` kept) when quality or confidence fall below the
+    ///   policy floors.
     ///
     /// # Errors
     ///
-    /// Returns [`DeployError::UnknownUser`] for unknown users.
-    pub fn predict(&mut self, user: &str, map: &FeatureMap) -> Result<Emotion, DeployError> {
+    /// Returns [`DeployError::UnknownUser`] for unknown users and
+    /// [`DeployError::BadInput`] for maps whose shape does not match the
+    /// bundle.
+    pub fn predict(&mut self, user: &str, map: &FeatureMap) -> Result<Prediction, DeployError> {
         let state = self
             .users
             .get(user)
             .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
         let cluster = state.cluster;
-        let mut normalized = corrected(map, &state.baseline);
+        let baseline = state.baseline.clone();
+        self.check_shape(map)?;
+
+        let mq = assess_map(map);
+        let dead = mq.dead_modalities(self.policy.min_modality_score);
+        if dead.len() == mq.blocks.len() {
+            let state = self.users.get_mut(user).expect("user just looked up");
+            state.quarantined += 1;
+            return Ok(Prediction {
+                emotion: None,
+                confidence: 0.0,
+                quality: mq.score,
+                served_by: None,
+                imputed: Vec::new(),
+            });
+        }
+
+        let impute: Vec<Modality> = if self.policy.impute_missing {
+            dead.clone()
+        } else {
+            Vec::new()
+        };
+        // Quality after degradation handling: imputed blocks stop harming
+        // the input numerically, but each costs half its feature weight.
+        let quality = if dead.is_empty() {
+            mq.score
+        } else {
+            let (mut alive_score, mut alive_weight, mut dead_weight) = (0.0f32, 0.0f32, 0.0f32);
+            for b in &mq.blocks {
+                let w = modality_count(b.modality) as f32;
+                if dead.contains(&b.modality) {
+                    dead_weight += w;
+                } else {
+                    alive_score += b.score * w;
+                    alive_weight += w;
+                }
+            }
+            let alive = if alive_weight > 0.0 {
+                alive_score / alive_weight
+            } else {
+                0.0
+            };
+            let dead_fraction = dead_weight / (alive_weight + dead_weight).max(1.0);
+            (alive * (1.0 - 0.5 * dead_fraction)).clamp(0.0, 1.0)
+        };
+
+        let centroid = self.cluster_raw_centroid(cluster);
+        let mut normalized = corrected(&self.sanitized_map(map, &centroid, &impute), &baseline)?;
         normalized.normalize(&self.bundle.clf_normalizer);
         let x = Tensor::from_vec(
             &[1, FEATURE_COUNT, normalized.window_count()],
             normalized.as_slice().to_vec(),
         );
+
         // Borrow the right network mutably (forward caches activations).
         let state = self.users.get_mut(user).expect("user just looked up");
-        let logits = match &mut state.personalized {
-            Some(net) => net.forward(&x, false),
-            None => self.bundle.models[cluster].forward(&x, false),
+        let (logits, served_by) = match &mut state.personalized {
+            Some(net) => (net.forward(&x, false), ModelSource::Personalized),
+            None => {
+                let net = self
+                    .bundle
+                    .models
+                    .get_mut(cluster)
+                    .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+                (net.forward(&x, false), ModelSource::Cluster(cluster))
+            }
         };
-        Ok(Emotion::from_class_index(predict_class(&logits)))
+        let class = predict_class(&logits);
+        let probs = softmax(logits.as_slice());
+        let confidence = probs.get(class).copied().unwrap_or(0.0);
+        let emotion = if class <= 1
+            && confidence >= self.policy.min_confidence
+            && quality >= self.policy.min_quality
+        {
+            Some(Emotion::from_class_index(class))
+        } else {
+            None
+        };
+        Ok(Prediction {
+            emotion,
+            confidence,
+            quality,
+            served_by: Some(served_by),
+            imputed: impute,
+        })
     }
 
     /// Personalizes a user's model from labeled feature maps (the paper's
-    /// fine-tuning stage). Subsequent predictions use the new checkpoint.
+    /// fine-tuning stage), with rollback: when the labeled budget allows
+    /// it, the trailing [`ServingPolicy::validation_fraction`] of the
+    /// sequence is held out, and the fine-tuned checkpoint is adopted
+    /// only if it does not degrade validation accuracy versus the cluster
+    /// checkpoint. On rollback the user keeps being served by the cluster
+    /// model.
     ///
     /// # Errors
     ///
     /// Returns [`DeployError::UnknownUser`] for unknown users and
-    /// [`DeployError::BadInput`] for an empty labeled set.
+    /// [`DeployError::BadInput`] for an empty or unusable labeled set or
+    /// maps whose shape does not match the bundle.
     pub fn personalize(
         &mut self,
         user: &str,
         labeled: &[(FeatureMap, Emotion)],
         config: &TrainConfig,
-    ) -> Result<(), DeployError> {
+    ) -> Result<PersonalizeOutcome, DeployError> {
         if labeled.is_empty() {
             return Err(DeployError::BadInput("personalization needs labeled maps"));
         }
@@ -240,37 +586,120 @@ impl ClearDeployment {
             .expect("cluster_of verified existence")
             .baseline
             .clone();
-        let mut dataset = Dataset::new();
+        for (map, _) in labeled {
+            self.check_shape(map)?;
+        }
+        let centroid = self.cluster_raw_centroid(cluster);
+
+        // Build the classifier-path tensors, dropping fully-dead maps.
+        let mut samples: Vec<(Tensor, usize)> = Vec::with_capacity(labeled.len());
         for (map, emotion) in labeled {
-            let mut normalized = corrected(map, &baseline);
+            let mq = assess_map(map);
+            let dead = mq.dead_modalities(self.policy.min_modality_score);
+            if dead.len() == mq.blocks.len() {
+                continue; // quarantined: carries no physiological signal
+            }
+            let impute: Vec<Modality> = if self.policy.impute_missing {
+                dead
+            } else {
+                Vec::new()
+            };
+            let mut normalized =
+                corrected(&self.sanitized_map(map, &centroid, &impute), &baseline)?;
             normalized.normalize(&self.bundle.clf_normalizer);
-            dataset.push(
+            samples.push((
                 Tensor::from_vec(
                     &[1, FEATURE_COUNT, normalized.window_count()],
                     normalized.as_slice().to_vec(),
                 ),
                 emotion.class_index(),
-            );
+            ));
         }
-        let mut net = self.bundle.models[cluster].clone();
-        clear_nn::train::train(&mut net, &dataset, None, config);
-        self.users
-            .get_mut(user)
-            .expect("cluster_of verified existence")
-            .personalized = Some(net);
-        Ok(())
+        if samples.is_empty() {
+            return Err(DeployError::BadInput(
+                "no usable labeled maps after quality gating",
+            ));
+        }
+
+        let base_model = self
+            .bundle
+            .models
+            .get(cluster)
+            .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+
+        let validated = samples.len() >= self.policy.min_validation_maps.max(2);
+        let (train_samples, val_samples) = if validated {
+            let n_val = ((samples.len() as f32 * self.policy.validation_fraction).ceil() as usize)
+                .clamp(1, samples.len() - 1);
+            let split = samples.len() - n_val;
+            let val = samples.split_off(split);
+            (samples, val)
+        } else {
+            (samples, Vec::new())
+        };
+
+        let mut train_set = Dataset::new();
+        for (x, label) in &train_samples {
+            train_set.push(x.clone(), *label);
+        }
+        let mut net = base_model.clone();
+        train::train(&mut net, &train_set, None, config);
+
+        let (adopted, baseline_accuracy, personalized_accuracy) = if validated {
+            let mut val_set = Dataset::new();
+            for (x, label) in &val_samples {
+                val_set.push(x.clone(), *label);
+            }
+            let mut base = base_model.clone();
+            let base_score = train::evaluate(&mut base, &val_set);
+            let tuned_score = train::evaluate(&mut net, &val_set);
+            (
+                tuned_score.accuracy + 1e-6 >= base_score.accuracy,
+                base_score.accuracy,
+                tuned_score.accuracy,
+            )
+        } else {
+            // Tiny budgets: adopt unvalidated, report training-set fit.
+            let tuned_score = train::evaluate(&mut net, &train_set);
+            (true, f32::NAN, tuned_score.accuracy)
+        };
+
+        if adopted {
+            self.users
+                .get_mut(user)
+                .expect("cluster_of verified existence")
+                .personalized = Some(net);
+        }
+        Ok(PersonalizeOutcome {
+            adopted,
+            validated,
+            baseline_accuracy,
+            personalized_accuracy,
+        })
     }
 
-    /// Drops a user's state (e.g. account deletion — the privacy path).
+    /// Drops a user's state (e.g. account deletion — the privacy path),
+    /// including any deferred onboarding buffer.
     ///
-    /// Returns whether the user existed.
+    /// Returns whether the user existed (onboarded or deferred).
     pub fn offboard(&mut self, user: &str) -> bool {
-        self.users.remove(user).is_some()
+        let pending = self.pending.remove(user).is_some();
+        self.users.remove(user).is_some() || pending
     }
 }
 
 /// Subtracts a per-user baseline vector from every window column.
-fn corrected(map: &FeatureMap, baseline: &[f32]) -> FeatureMap {
+///
+/// # Errors
+///
+/// Returns [`DeployError::BadInput`] when the baseline length does not
+/// match the map's feature count.
+fn corrected(map: &FeatureMap, baseline: &[f32]) -> Result<FeatureMap, DeployError> {
+    if baseline.len() != map.feature_count() {
+        return Err(DeployError::BadInput(
+            "baseline length does not match feature count",
+        ));
+    }
     let w = map.window_count();
     let columns: Vec<Vec<f32>> = (0..w)
         .map(|col| {
@@ -279,7 +708,7 @@ fn corrected(map: &FeatureMap, baseline: &[f32]) -> FeatureMap {
                 .collect()
         })
         .collect();
-    FeatureMap::from_columns(&columns)
+    Ok(FeatureMap::from_columns(&columns))
 }
 
 /// Convenience: fits the cloud stage and wraps it as a deployment, the
@@ -308,6 +737,15 @@ mod tests {
         (config, data, dep, indices)
     }
 
+    /// A policy that never abstains on confidence, so tests exercising
+    /// the serving path deterministically receive a label on clean data.
+    fn lenient(policy: ServingPolicy) -> ServingPolicy {
+        ServingPolicy {
+            min_confidence: 0.0,
+            ..policy
+        }
+    }
+
     #[test]
     fn bundle_round_trips_through_json() {
         let (_, _, dep, _) = deployment();
@@ -321,22 +759,35 @@ mod tests {
     #[test]
     fn onboarding_and_prediction_flow() {
         let (_, data, mut dep, indices) = deployment();
+        dep.set_policy(lenient(ServingPolicy::default()));
         let maps: Vec<FeatureMap> = indices[..2]
             .iter()
             .map(|&i| data.maps()[i].clone())
             .collect();
-        let cluster = dep.onboard("alice", &maps).unwrap();
+        let outcome = dep.onboard("alice", &maps).unwrap();
+        let cluster = match outcome {
+            Onboarding::Assigned { cluster } => cluster,
+            Onboarding::Deferred { .. } => panic!("clean maps must assign immediately"),
+        };
         assert!(cluster < dep.bundle().cluster_count());
         assert_eq!(dep.cluster_of("alice").unwrap(), cluster);
         assert!(!dep.is_personalized("alice"));
-        let emotion = dep.predict("alice", &data.maps()[indices[3]]).unwrap();
-        assert!(matches!(emotion, Emotion::Fear | Emotion::NonFear));
+        let pred = dep.predict("alice", &data.maps()[indices[3]]).unwrap();
+        assert!(matches!(
+            pred.emotion,
+            Some(Emotion::Fear) | Some(Emotion::NonFear)
+        ));
+        assert_eq!(pred.served_by, Some(ModelSource::Cluster(cluster)));
+        assert!(pred.confidence >= 0.5 && pred.confidence <= 1.0);
+        assert!(pred.quality > 0.5, "clean map quality {}", pred.quality);
+        assert!(pred.imputed.is_empty());
         assert_eq!(dep.user_ids(), vec!["alice"]);
     }
 
     #[test]
     fn personalization_switches_serving_model() {
         let (config, data, mut dep, indices) = deployment();
+        dep.set_policy(lenient(ServingPolicy::default()));
         let maps: Vec<FeatureMap> = indices[..1]
             .iter()
             .map(|&i| data.maps()[i].clone())
@@ -349,10 +800,13 @@ mod tests {
                 (m.clone(), e)
             })
             .collect();
-        dep.personalize("bob", &labeled, &config.finetune).unwrap();
+        let outcome = dep.personalize("bob", &labeled, &config.finetune).unwrap();
+        assert!(outcome.adopted);
+        assert!(!outcome.validated, "3 maps are below the holdout floor");
         assert!(dep.is_personalized("bob"));
-        // Prediction still works through the personalized path.
-        let _ = dep.predict("bob", &data.maps()[indices[5]]).unwrap();
+        // Prediction runs through the personalized path.
+        let pred = dep.predict("bob", &data.maps()[indices[5]]).unwrap();
+        assert_eq!(pred.served_by, Some(ModelSource::Personalized));
         // Offboarding erases the user.
         assert!(dep.offboard("bob"));
         assert!(!dep.offboard("bob"));
@@ -365,10 +819,78 @@ mod tests {
         assert!(dep.cluster_of("nobody").is_err());
         assert!(dep.predict("nobody", &data.maps()[0]).is_err());
         assert!(dep.onboard("empty", &[]).is_err());
-        let err = dep.personalize("nobody", &[(data.maps()[indices[0]].clone(), Emotion::Fear)], &config.finetune);
+        let err = dep.personalize(
+            "nobody",
+            &[(data.maps()[indices[0]].clone(), Emotion::Fear)],
+            &config.finetune,
+        );
         assert!(err.is_err());
         let msg = dep.cluster_of("nobody").unwrap_err().to_string();
         assert!(msg.contains("nobody"));
+    }
+
+    #[test]
+    fn wrong_window_count_is_bad_input_not_panic() {
+        let (config, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("dave", &maps).unwrap();
+        // A map with a different number of windows than the bundle.
+        let wrong = FeatureMap::from_columns(&vec![vec![0.5; FEATURE_COUNT]; 2]);
+        assert!(wrong.window_count() != dep.bundle().windows);
+        match dep.predict("dave", &wrong) {
+            Err(DeployError::BadInput(_)) => {}
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+        match dep.personalize("dave", &[(wrong, Emotion::Fear)], &config.finetune) {
+            Err(DeployError::BadInput(_)) => {}
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_windows_are_quarantined() {
+        let (_, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("erin", &maps).unwrap();
+        let w = dep.bundle().windows;
+        // All-NaN map: every modality block is dead.
+        let nan_map = FeatureMap::from_columns(&vec![vec![f32::NAN; FEATURE_COUNT]; w]);
+        let pred = dep.predict("erin", &nan_map).unwrap();
+        assert!(pred.abstained());
+        assert_eq!(pred.served_by, None);
+        assert_eq!(pred.confidence, 0.0);
+        assert_eq!(dep.quarantined_count("erin"), 1);
+        // Constant map: every row flat — equally dead.
+        let flat_map = FeatureMap::from_columns(&vec![vec![0.25; FEATURE_COUNT]; w]);
+        let pred = dep.predict("erin", &flat_map).unwrap();
+        assert!(pred.abstained());
+        assert_eq!(dep.quarantined_count("erin"), 2);
+    }
+
+    #[test]
+    fn low_quality_onboarding_is_deferred_until_retry() {
+        let (_, data, mut dep, indices) = deployment();
+        let w = dep.bundle().windows;
+        let junk = FeatureMap::from_columns(&vec![vec![0.25; FEATURE_COUNT]; w]);
+        let outcome = dep.onboard("frank", &[junk.clone()]).unwrap();
+        assert_eq!(
+            outcome,
+            Onboarding::Deferred {
+                accumulated: 0,
+                required: 1
+            }
+        );
+        assert!(dep.cluster_of("frank").is_err(), "not onboarded yet");
+        // Retry with a good map completes the deferred onboarding.
+        let good = data.maps()[indices[0]].clone();
+        match dep.onboard("frank", &[good]).unwrap() {
+            Onboarding::Assigned { cluster } => {
+                assert!(cluster < dep.bundle().cluster_count());
+            }
+            Onboarding::Deferred { .. } => panic!("good map must complete onboarding"),
+        }
+        assert!(dep.cluster_of("frank").is_ok());
+        assert_eq!(dep.pending_maps("frank"), 0);
     }
 
     #[test]
@@ -377,9 +899,44 @@ mod tests {
         let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
         dep.onboard("carol", &maps).unwrap();
         let labeled = vec![(data.maps()[indices[1]].clone(), Emotion::NonFear)];
-        dep.personalize("carol", &labeled, &config.finetune).unwrap();
+        dep.personalize("carol", &labeled, &config.finetune)
+            .unwrap();
         assert!(dep.is_personalized("carol"));
         dep.onboard("carol", &maps).unwrap();
         assert!(!dep.is_personalized("carol"));
+    }
+
+    #[test]
+    fn missing_modality_is_imputed_and_served() {
+        let (_, data, mut dep, indices) = deployment();
+        dep.set_policy(lenient(ServingPolicy::default()));
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("gina", &maps).unwrap();
+        // Kill the BVP block of a clean map: constant values everywhere.
+        let clean = &data.maps()[indices[2]];
+        let w = clean.window_count();
+        let columns: Vec<Vec<f32>> = (0..w)
+            .map(|c| {
+                (0..FEATURE_COUNT)
+                    .map(|f| {
+                        if matches!(modality_of(f), Modality::Bvp) {
+                            0.125
+                        } else {
+                            clean.get(f, c)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let degraded = FeatureMap::from_columns(&columns);
+        let pred = dep.predict("gina", &degraded).unwrap();
+        assert!(pred.imputed.contains(&Modality::Bvp), "BVP must be imputed");
+        assert!(pred.emotion.is_some(), "degraded but servable");
+        assert!(
+            pred.quality < 0.9,
+            "quality must reflect the dead block, got {}",
+            pred.quality
+        );
+        assert!(pred.quality >= dep.policy().min_quality);
     }
 }

@@ -138,11 +138,8 @@ pub fn general_model(data: &PreparedCohort, config: &ClearConfig) -> Aggregate {
             train::train(&mut net, &tr, Some(&val), &config.train);
         }
         let lo_baseline = data.subject_baseline(left_out);
-        let test_ds = data.corrected_nn_dataset(
-            &data.indices_of(left_out),
-            &lo_baseline,
-            &normalizer,
-        );
+        let test_ds =
+            data.corrected_nn_dataset(&data.indices_of(left_out), &lo_baseline, &normalizer);
         scores.push(train::evaluate(&mut net, &test_ds));
     }
     Aggregate::from_scores(&scores)
@@ -183,11 +180,8 @@ pub fn cl_validation(data: &PreparedCohort, config: &ClearConfig) -> ClValidatio
             .map(|(&s, _)| s)
             .collect();
         for (fold, &left_out) in members.iter().enumerate() {
-            let train_subjects: Vec<SubjectId> = members
-                .iter()
-                .copied()
-                .filter(|&s| s != left_out)
-                .collect();
+            let train_subjects: Vec<SubjectId> =
+                members.iter().copied().filter(|&s| s != left_out).collect();
             let fold_norm = data.fit_normalizer_corrected(&train_subjects);
             let train_ds = data.corrected_dataset_for_subjects(&train_subjects, &fold_norm);
             let mut net = build_model(
@@ -202,11 +196,8 @@ pub fn cl_validation(data: &PreparedCohort, config: &ClearConfig) -> ClValidatio
                 train::train(&mut net, &tr, Some(&val), &config.train);
             }
             let lo_baseline = data.subject_baseline(left_out);
-            let test_ds = data.corrected_nn_dataset(
-                &data.indices_of(left_out),
-                &lo_baseline,
-                &fold_norm,
-            );
+            let test_ds =
+                data.corrected_nn_dataset(&data.indices_of(left_out), &lo_baseline, &fold_norm);
             cl_scores.push(train::evaluate(&mut net, &test_ds));
 
             // Robustness test: the same checkpoint on other clusters' data.
@@ -239,8 +230,8 @@ fn split_user_budget(
     shuffled.shuffle(&mut SmallRng::seed_from_u64(seed));
     let n = shuffled.len();
     let ca_n = ((n as f32 * config.ca_fraction).ceil() as usize).clamp(1, n.saturating_sub(2));
-    let ft_n = ((n as f32 * config.ft_fraction).ceil() as usize)
-        .clamp(1, n.saturating_sub(ca_n + 1));
+    let ft_n =
+        ((n as f32 * config.ft_fraction).ceil() as usize).clamp(1, n.saturating_sub(ca_n + 1));
     let ca = shuffled[..ca_n].to_vec();
     let rest = &shuffled[ca_n..];
     // Interleave labels: fear, non-fear, fear, ... so any prefix is as
@@ -327,11 +318,7 @@ pub fn clear_folds(
         let assignment_correct = majorities[assigned] == data.archetype_of(vx);
 
         // CLEAR w/o FT: assigned model on everything except the CA budget.
-        let eval_idx: Vec<usize> = ft_idx
-            .iter()
-            .chain(test_idx.iter())
-            .copied()
-            .collect();
+        let eval_idx: Vec<usize> = ft_idx.iter().chain(test_idx.iter()).copied().collect();
         let without_ft = cloud.evaluate(data, assigned, &eval_idx);
 
         // RT CLEAR: mean score of the other clusters' models.

@@ -29,41 +29,121 @@ pub struct PaperRow {
 pub mod paper_table1 {
     use super::PaperRow;
     /// Bindi [22] (literature reference row).
-    pub const BINDI: PaperRow = PaperRow { accuracy: 64.63, accuracy_std: 16.56, f1: 66.67, f1_std: 17.31 };
+    pub const BINDI: PaperRow = PaperRow {
+        accuracy: 64.63,
+        accuracy_std: 16.56,
+        f1: 66.67,
+        f1_std: 17.31,
+    };
     /// Sun et al. [18] (literature reference row).
-    pub const SUN: PaperRow = PaperRow { accuracy: 79.90, accuracy_std: 4.16, f1: 78.13, f1_std: 6.52 };
+    pub const SUN: PaperRow = PaperRow {
+        accuracy: 79.90,
+        accuracy_std: 4.16,
+        f1: 78.13,
+        f1_std: 6.52,
+    };
     /// General model (no clustering).
-    pub const GENERAL: PaperRow = PaperRow { accuracy: 75.00, accuracy_std: 2.76, f1: 72.57, f1_std: 3.12 };
+    pub const GENERAL: PaperRow = PaperRow {
+        accuracy: 75.00,
+        accuracy_std: 2.76,
+        f1: 72.57,
+        f1_std: 3.12,
+    };
     /// RT CL robustness test.
-    pub const RT_CL: PaperRow = PaperRow { accuracy: 64.33, accuracy_std: 1.80, f1: 62.42, f1_std: 1.57 };
+    pub const RT_CL: PaperRow = PaperRow {
+        accuracy: 64.33,
+        accuracy_std: 1.80,
+        f1: 62.42,
+        f1_std: 1.57,
+    };
     /// CL validation.
-    pub const CL: PaperRow = PaperRow { accuracy: 81.90, accuracy_std: 3.44, f1: 80.41, f1_std: 3.58 };
+    pub const CL: PaperRow = PaperRow {
+        accuracy: 81.90,
+        accuracy_std: 3.44,
+        f1: 80.41,
+        f1_std: 3.58,
+    };
     /// RT CLEAR robustness test.
-    pub const RT_CLEAR: PaperRow = PaperRow { accuracy: 72.68, accuracy_std: 5.10, f1: 70.98, f1_std: 4.26 };
+    pub const RT_CLEAR: PaperRow = PaperRow {
+        accuracy: 72.68,
+        accuracy_std: 5.10,
+        f1: 70.98,
+        f1_std: 4.26,
+    };
     /// CLEAR without fine-tuning.
-    pub const CLEAR_WO_FT: PaperRow = PaperRow { accuracy: 80.63, accuracy_std: 4.22, f1: 79.97, f1_std: 4.74 };
+    pub const CLEAR_WO_FT: PaperRow = PaperRow {
+        accuracy: 80.63,
+        accuracy_std: 4.22,
+        f1: 79.97,
+        f1_std: 4.74,
+    };
     /// CLEAR with fine-tuning.
-    pub const CLEAR_W_FT: PaperRow = PaperRow { accuracy: 86.34, accuracy_std: 4.04, f1: 86.03, f1_std: 5.04 };
+    pub const CLEAR_W_FT: PaperRow = PaperRow {
+        accuracy: 86.34,
+        accuracy_std: 4.04,
+        f1: 86.03,
+        f1_std: 5.04,
+    };
 }
 
 /// The paper's Table II reference values.
 pub mod paper_table2 {
     use super::PaperRow;
     /// Upper block: GPU baseline (= CLEAR w/o FT).
-    pub const GPU: PaperRow = PaperRow { accuracy: 80.63, accuracy_std: 4.22, f1: 79.97, f1_std: 4.74 };
+    pub const GPU: PaperRow = PaperRow {
+        accuracy: 80.63,
+        accuracy_std: 4.22,
+        f1: 79.97,
+        f1_std: 4.74,
+    };
     /// Upper block: Coral TPU without FT.
-    pub const TPU: PaperRow = PaperRow { accuracy: 74.17, accuracy_std: 3.84, f1: 73.57, f1_std: 4.44 };
+    pub const TPU: PaperRow = PaperRow {
+        accuracy: 74.17,
+        accuracy_std: 3.84,
+        f1: 73.57,
+        f1_std: 4.44,
+    };
     /// Upper block: RT CLEAR on the TPU.
-    pub const TPU_RT: PaperRow = PaperRow { accuracy: 65.32, accuracy_std: 5.42, f1: 64.79, f1_std: 4.82 };
+    pub const TPU_RT: PaperRow = PaperRow {
+        accuracy: 65.32,
+        accuracy_std: 5.42,
+        f1: 64.79,
+        f1_std: 4.82,
+    };
     /// Upper block: Pi + NCS2 without FT.
-    pub const NCS2: PaperRow = PaperRow { accuracy: 79.03, accuracy_std: 4.10, f1: 78.48, f1_std: 4.76 };
+    pub const NCS2: PaperRow = PaperRow {
+        accuracy: 79.03,
+        accuracy_std: 4.10,
+        f1: 78.48,
+        f1_std: 4.76,
+    };
     /// Upper block: RT CLEAR on the Pi + NCS2.
-    pub const NCS2_RT: PaperRow = PaperRow { accuracy: 68.47, accuracy_std: 3.25, f1: 69.02, f1_std: 4.14 };
+    pub const NCS2_RT: PaperRow = PaperRow {
+        accuracy: 68.47,
+        accuracy_std: 3.25,
+        f1: 69.02,
+        f1_std: 4.14,
+    };
     /// Lower block: fine-tuned accuracy per platform (GPU, TPU, NCS2).
     pub const FT: [PaperRow; 3] = [
-        PaperRow { accuracy: 86.34, accuracy_std: 4.04, f1: 86.03, f1_std: 5.04 },
-        PaperRow { accuracy: 79.40, accuracy_std: 4.51, f1: 79.14, f1_std: 4.66 },
-        PaperRow { accuracy: 84.49, accuracy_std: 4.82, f1: 84.07, f1_std: 5.16 },
+        PaperRow {
+            accuracy: 86.34,
+            accuracy_std: 4.04,
+            f1: 86.03,
+            f1_std: 5.04,
+        },
+        PaperRow {
+            accuracy: 79.40,
+            accuracy_std: 4.51,
+            f1: 79.14,
+            f1_std: 4.66,
+        },
+        PaperRow {
+            accuracy: 84.49,
+            accuracy_std: 4.82,
+            f1: 84.07,
+            f1_std: 5.16,
+        },
     ];
     /// MTC re-training seconds (TPU, Pi+NCS2).
     pub const MTC_RETRAIN_S: [f32; 2] = [32.48, 78.52];
@@ -158,7 +238,11 @@ impl Table1 {
         out.push_str("— previous works (literature constants, not rerun) —\n");
         out.push_str(&format!(
             "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
-            "Bindi [22]", "-", "-", "-", "-",
+            "Bindi [22]",
+            "-",
+            "-",
+            "-",
+            "-",
             paper_table1::BINDI.accuracy,
             paper_table1::BINDI.accuracy_std,
             paper_table1::BINDI.f1,
@@ -166,7 +250,11 @@ impl Table1 {
         ));
         out.push_str(&format!(
             "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
-            "Sun et al. [18]", "-", "-", "-", "-",
+            "Sun et al. [18]",
+            "-",
+            "-",
+            "-",
+            "-",
             paper_table1::SUN.accuracy,
             paper_table1::SUN.accuracy_std,
             paper_table1::SUN.f1,
@@ -179,8 +267,16 @@ impl Table1 {
         out.push_str(&row("CL validation", &self.cl, &paper_table1::CL));
         out.push_str("— CLEAR validation —\n");
         out.push_str(&row("RT CLEAR", &self.rt_clear, &paper_table1::RT_CLEAR));
-        out.push_str(&row("CLEAR w/o FT", &self.clear_wo_ft, &paper_table1::CLEAR_WO_FT));
-        out.push_str(&row("CLEAR w FT", &self.clear_w_ft, &paper_table1::CLEAR_W_FT));
+        out.push_str(&row(
+            "CLEAR w/o FT",
+            &self.clear_wo_ft,
+            &paper_table1::CLEAR_WO_FT,
+        ));
+        out.push_str(&row(
+            "CLEAR w FT",
+            &self.clear_w_ft,
+            &paper_table1::CLEAR_W_FT,
+        ));
         out.push_str(&"-".repeat(96));
         out.push('\n');
         out.push_str(&format!(
@@ -285,7 +381,13 @@ impl Table2 {
                 clear
                     .folds
                     .iter()
-                    .map(|fold| f(&fold.edge.as_ref().expect("edge results missing").measurements[d]))
+                    .map(|fold| {
+                        f(&fold
+                            .edge
+                            .as_ref()
+                            .expect("edge results missing")
+                            .measurements[d])
+                    })
                     .sum::<f32>()
                     / n
             };
@@ -314,7 +416,11 @@ impl Table2 {
             "{:<16} {:>8} {:>8} {:>8} {:>8}   | {:>8} {:>8} {:>8} {:>8}\n",
             "Platform", "Acc", "STD", "F1", "STD", "Acc", "STD", "F1", "STD"
         ));
-        out.push_str(&row("GPU (baseline)", &self.without_ft[0], &paper_table2::GPU));
+        out.push_str(&row(
+            "GPU (baseline)",
+            &self.without_ft[0],
+            &paper_table2::GPU,
+        ));
         out.push_str(&row("Coral TPU", &self.without_ft[1], &paper_table2::TPU));
         out.push_str(&row("  RT CLEAR", &self.rt[1], &paper_table2::TPU_RT));
         out.push_str(&row("Pi + NCS2", &self.without_ft[2], &paper_table2::NCS2));

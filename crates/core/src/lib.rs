@@ -45,5 +45,8 @@ pub mod pipeline;
 
 pub use config::ClearConfig;
 pub use dataset::PreparedCohort;
-pub use deployment::{ClearBundle, ClearDeployment};
+pub use deployment::{
+    ClearBundle, ClearDeployment, DeployError, ModelSource, Onboarding, PersonalizeOutcome,
+    Prediction, ServingPolicy,
+};
 pub use pipeline::CloudTraining;

@@ -194,12 +194,7 @@ impl CloudTraining {
 
     /// Fine-tunes the model of `cluster` on a labeled dataset, returning
     /// the personalized network (the cloud copy is untouched).
-    pub fn fine_tune(
-        &self,
-        cluster: usize,
-        train_set: &Dataset,
-        config: &TrainConfig,
-    ) -> Network {
+    pub fn fine_tune(&self, cluster: usize, train_set: &Dataset, config: &TrainConfig) -> Network {
         let mut net = self.models[cluster].clone();
         // A small validation carve-out retains the best checkpoint when
         // the labeled budget allows it.
@@ -261,7 +256,9 @@ mod tests {
         let (config, data, cloud) = fitted();
         let mut covered = 0;
         for s in data.subject_ids() {
-            let c = cloud.cluster_of(s).expect("subject missing from clustering");
+            let c = cloud
+                .cluster_of(s)
+                .expect("subject missing from clustering");
             assert!(c < config.k);
             covered += 1;
         }
@@ -312,7 +309,10 @@ mod tests {
         assert!(score.accuracy >= 0.0 && score.accuracy <= 1.0);
         let ds = cloud.user_dataset(&data, &idx);
         let personalized = cloud.fine_tune(cluster, &ds, &config.finetune);
-        assert_eq!(personalized.param_count(), cloud.model(cluster).param_count());
+        assert_eq!(
+            personalized.param_count(),
+            cloud.model(cluster).param_count()
+        );
     }
 
     #[test]

@@ -244,8 +244,7 @@ mod tests {
         let reg = regular_signal(150);
         let chaos = chaotic_signal(150);
         let ae_reg = approximate_entropy(&reg, 2, 0.2 * crate::stats::std_dev(&reg)).unwrap();
-        let ae_chaos =
-            approximate_entropy(&chaos, 2, 0.2 * crate::stats::std_dev(&chaos)).unwrap();
+        let ae_chaos = approximate_entropy(&chaos, 2, 0.2 * crate::stats::std_dev(&chaos)).unwrap();
         assert!(ae_chaos > ae_reg);
     }
 

@@ -230,7 +230,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin() + 0.1 * i as f32).collect();
+        let x: Vec<f32> = (0..32)
+            .map(|i| (i as f32 * 0.37).sin() + 0.1 * i as f32)
+            .collect();
         let mut buf: Vec<Complex32> = x.iter().map(|&v| Complex32::new(v, 0.0)).collect();
         fft_in_place(&mut buf).unwrap();
         ifft_in_place(&mut buf).unwrap();

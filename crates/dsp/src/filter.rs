@@ -208,8 +208,16 @@ mod tests {
         let lp = Biquad::butterworth_lowpass(2.0, fs).unwrap();
         let low = lp.filter(&tone(fs, 0.5, 1024));
         let high = lp.filter(&tone(fs, 16.0, 1024));
-        assert!(rms(&low[256..]) > 0.6, "low tone attenuated: {}", rms(&low[256..]));
-        assert!(rms(&high[256..]) < 0.05, "high tone passed: {}", rms(&high[256..]));
+        assert!(
+            rms(&low[256..]) > 0.6,
+            "low tone attenuated: {}",
+            rms(&low[256..])
+        );
+        assert!(
+            rms(&high[256..]) < 0.05,
+            "high tone passed: {}",
+            rms(&high[256..])
+        );
     }
 
     #[test]
@@ -269,14 +277,18 @@ mod tests {
     fn filter_is_stable_on_long_input() {
         let fs = 64.0;
         let lp = Biquad::butterworth_lowpass(1.0, fs).unwrap();
-        let x: Vec<f32> = (0..20_000).map(|i| ((i * 31 % 97) as f32 - 48.0) / 48.0).collect();
+        let x: Vec<f32> = (0..20_000)
+            .map(|i| ((i * 31 % 97) as f32 - 48.0) / 48.0)
+            .collect();
         let y = lp.filter(&x);
         assert!(y.iter().all(|v| v.is_finite() && v.abs() < 100.0));
     }
 
     #[test]
     fn moving_average_smooths_preserving_mean() {
-        let x: Vec<f32> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f32> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y = moving_average(&x, 5);
         assert_eq!(y.len(), x.len());
         assert!(rms(&y[10..90]) < 0.5 * rms(&x));

@@ -223,7 +223,9 @@ pub fn welch(x: &[f32], fs: f32, config: &WelchConfig) -> Result<Psd, DspError> 
     }
 
     let power: Vec<f32> = accum.into_iter().map(|p| p / count as f32).collect();
-    let freqs: Vec<f32> = (0..=half).map(|k| fft::bin_frequency(k, nfft, fs)).collect();
+    let freqs: Vec<f32> = (0..=half)
+        .map(|k| fft::bin_frequency(k, nfft, fs))
+        .collect();
     Ok(Psd { freqs, power })
 }
 

@@ -110,7 +110,10 @@ pub fn resample(x: &[f32], fs_in: f32, fs_out: f32) -> Result<Vec<f32>, DspError
 ///
 /// Panics if `len == 0` or `step == 0`.
 pub fn sliding_windows(x: &[f32], len: usize, step: usize) -> Vec<&[f32]> {
-    assert!(len > 0 && step > 0, "window length and step must be nonzero");
+    assert!(
+        len > 0 && step > 0,
+        "window length and step must be nonzero"
+    );
     let mut out = Vec::new();
     let mut start = 0;
     while start + len <= x.len() {

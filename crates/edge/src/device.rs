@@ -123,7 +123,8 @@ impl DeviceSpec {
     pub fn retraining_time_s(&self, epochs: usize, samples: usize, flops: u64) -> f32 {
         let step_flops = 3.0 * flops as f32;
         let effective_epochs = epochs as f32 * self.convergence_factor;
-        effective_epochs * (self.epoch_overhead_s + samples as f32 * step_flops / self.train_flops_per_s)
+        effective_epochs
+            * (self.epoch_overhead_s + samples as f32 * step_flops / self.train_flops_per_s)
     }
 
     /// Mean power during inference, W.
@@ -156,13 +157,19 @@ mod tests {
     #[test]
     fn tpu_inference_time_matches_table2_scale() {
         let t = Device::CoralTpu.spec().inference_time_s(paper_flops()) * 1000.0;
-        assert!((35.0..65.0).contains(&t), "TPU test {t} ms, table says 47.31");
+        assert!(
+            (35.0..65.0).contains(&t),
+            "TPU test {t} ms, table says 47.31"
+        );
     }
 
     #[test]
     fn ncs2_inference_time_matches_table2_scale() {
         let t = Device::PiNcs2.spec().inference_time_s(paper_flops()) * 1000.0;
-        assert!((190.0..290.0).contains(&t), "NCS2 test {t} ms, table says 239.70");
+        assert!(
+            (190.0..290.0).contains(&t),
+            "NCS2 test {t} ms, table says 239.70"
+        );
     }
 
     #[test]
@@ -200,8 +207,14 @@ mod tests {
         let f = paper_flops();
         let tpu = Device::CoralTpu.spec().retraining_time_s(25, 4, f);
         let ncs2 = Device::PiNcs2.spec().retraining_time_s(25, 4, f);
-        assert!((18.0..50.0).contains(&tpu), "TPU retrain {tpu} s, table says 32.48");
-        assert!((55.0..110.0).contains(&ncs2), "NCS2 retrain {ncs2} s, table says 78.52");
+        assert!(
+            (18.0..50.0).contains(&tpu),
+            "TPU retrain {tpu} s, table says 32.48"
+        );
+        assert!(
+            (55.0..110.0).contains(&ncs2),
+            "NCS2 retrain {ncs2} s, table says 78.52"
+        );
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Edge fault injection and fault-tolerant serving.
+//!
+//! Real edge deployments fail in ways the clean simulator never shows:
+//! transient bus/IO glitches drop single inferences, memory pressure
+//! evicts the (larger) personalized checkpoint, and battery brownouts
+//! stall the accelerator. This module makes those failure modes explicit
+//! and testable:
+//!
+//! * [`FaultInjector`] draws seeded, reproducible faults at configurable
+//!   rates ([`FaultConfig`]);
+//! * [`RetryPolicy`] bounds how hard the device tries before declaring an
+//!   inference unavailable, with exponential backoff (simulated — no real
+//!   sleeping, the accumulated backoff is accounted in milliseconds);
+//! * [`ResilientDeployment`] wraps a primary [`EdgeDeployment`] (e.g. a
+//!   personalized checkpoint) plus an optional fallback (the shared,
+//!   un-personalized cluster checkpoint): transient faults retry,
+//!   memory exhaustion permanently degrades to the fallback model, and
+//!   brownouts retry after a longer backoff. [`ServeStats`] aggregates
+//!   availability over the deployment's lifetime.
+//!
+//! With the default retry budget of 3 and a transient-fault rate `p`, the
+//! probability an inference is lost is `p⁴` — at `p = 0.1` that is one in
+//! ten thousand, i.e. ≥ 99.99 % availability.
+
+use crate::deploy::EdgeDeployment;
+use clear_nn::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Rates of the injectable fault classes, each a per-attempt probability
+/// in `[0, 1]`. Their sum must stay ≤ 1 (the remainder is the no-fault
+/// probability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Transient glitch rate (sensor bus hiccup, dropped DMA): the
+    /// attempt fails but an immediate retry can succeed.
+    #[serde(default)]
+    pub transient_rate: f32,
+    /// Memory-exhaustion rate: the serving checkpoint is evicted; the
+    /// device must fall back to a smaller/shared model.
+    #[serde(default)]
+    pub memory_fault_rate: f32,
+    /// Battery-brownout rate: the accelerator stalls; retry only after a
+    /// longer backoff.
+    #[serde(default)]
+    pub brownout_rate: f32,
+    /// RNG seed — same seed, same fault sequence.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A fault-free configuration (every attempt succeeds).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Transient-only faults at `rate`, the common field condition.
+    pub fn transient(rate: f32, seed: u64) -> Self {
+        Self {
+            transient_rate: rate,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fault {
+    /// Recoverable one-shot glitch.
+    Transient,
+    /// Serving checkpoint evicted under memory pressure.
+    MemoryExhausted,
+    /// Battery brownout stalled the accelerator.
+    Brownout,
+}
+
+/// Seeded fault source. Deterministic: the same seed yields the same
+/// fault sequence, so failure scenarios are replayable in tests.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SmallRng,
+    drawn: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` or the rates sum above 1.
+    pub fn new(config: FaultConfig) -> Self {
+        let rates = [
+            config.transient_rate,
+            config.memory_fault_rate,
+            config.brownout_rate,
+        ];
+        for r in rates {
+            assert!((0.0..=1.0).contains(&r), "fault rate {r} outside [0, 1]");
+        }
+        assert!(
+            rates.iter().sum::<f32>() <= 1.0 + 1e-6,
+            "fault rates sum above 1"
+        );
+        Self {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            drawn: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Total faults+non-faults drawn so far.
+    pub fn drawn(&self) -> usize {
+        self.drawn
+    }
+
+    /// Draws the fault (if any) afflicting the next attempt.
+    pub fn draw(&mut self) -> Option<Fault> {
+        self.drawn += 1;
+        let u: f32 = self.rng.gen_range(0.0..1.0);
+        let mut acc = self.config.transient_rate;
+        if u < acc {
+            return Some(Fault::Transient);
+        }
+        acc += self.config.memory_fault_rate;
+        if u < acc {
+            return Some(Fault::MemoryExhausted);
+        }
+        acc += self.config.brownout_rate;
+        if u < acc {
+            return Some(Fault::Brownout);
+        }
+        None
+    }
+}
+
+/// Bounded-retry policy of a [`ResilientDeployment`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (so `max_retries = 3`
+    /// allows 4 attempts total).
+    pub max_retries: usize,
+    /// Backoff before the first retry, milliseconds (simulated).
+    pub backoff_base_ms: f32,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: f32,
+    /// Extra multiplier on the backoff after a brownout (power faults
+    /// need longer to clear than bus glitches).
+    pub brownout_backoff_factor: f32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_ms: 5.0,
+            backoff_factor: 2.0,
+            brownout_backoff_factor: 10.0,
+        }
+    }
+}
+
+/// Lifetime serving statistics of a [`ResilientDeployment`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Inference requests received.
+    pub requests: usize,
+    /// Requests that produced logits (primary or fallback).
+    pub served: usize,
+    /// Requests lost after exhausting the retry budget.
+    pub unavailable: usize,
+    /// Individual faults absorbed (each retried attempt counts one).
+    pub faults_absorbed: usize,
+    /// Requests served by the fallback checkpoint.
+    pub fallback_serves: usize,
+    /// Total simulated backoff waited, milliseconds.
+    pub backoff_ms: f32,
+}
+
+impl ServeStats {
+    /// Fraction of requests that produced a prediction, in `[0, 1]`.
+    /// Returns 1.0 before any request (vacuous availability).
+    pub fn availability(&self) -> f32 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.served as f32 / self.requests as f32
+        }
+    }
+}
+
+/// Outcome of one fault-tolerant serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// The logits, or `None` when the retry budget was exhausted.
+    pub logits: Option<Tensor>,
+    /// Attempts made (1 = clean first try).
+    pub attempts: usize,
+    /// Whether the fallback checkpoint produced the result.
+    pub served_by_fallback: bool,
+    /// Simulated backoff accumulated by this request, milliseconds.
+    pub backoff_ms: f32,
+}
+
+/// A fault-tolerant wrapper around one or two [`EdgeDeployment`]s.
+///
+/// `primary` is the preferred checkpoint (typically personalized);
+/// `fallback`, when present, is the smaller shared cluster checkpoint
+/// kept in reserve. A [`Fault::MemoryExhausted`] permanently degrades
+/// serving to the fallback — mirroring a real device evicting the large
+/// model under memory pressure and reloading the resident shared one.
+#[derive(Debug, Clone)]
+pub struct ResilientDeployment {
+    primary: EdgeDeployment,
+    fallback: Option<EdgeDeployment>,
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    stats: ServeStats,
+    degraded: bool,
+}
+
+impl ResilientDeployment {
+    /// Wraps a primary deployment with faults and retries.
+    pub fn new(primary: EdgeDeployment, faults: FaultConfig, policy: RetryPolicy) -> Self {
+        Self {
+            primary,
+            fallback: None,
+            injector: FaultInjector::new(faults),
+            policy,
+            stats: ServeStats::default(),
+            degraded: false,
+        }
+    }
+
+    /// Adds a fallback checkpoint (e.g. the un-personalized cluster
+    /// model) used after memory exhaustion.
+    pub fn with_fallback(mut self, fallback: EdgeDeployment) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Whether serving has degraded to the fallback checkpoint.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The primary deployment.
+    pub fn primary(&self) -> &EdgeDeployment {
+        &self.primary
+    }
+
+    /// Restores primary serving (e.g. after the device reloads the
+    /// personalized checkpoint when memory pressure clears).
+    pub fn restore_primary(&mut self) {
+        self.degraded = false;
+    }
+
+    /// Serves one inference through the fault model: transient faults and
+    /// brownouts retry with (simulated, exponential) backoff up to the
+    /// policy's budget; memory exhaustion switches to the fallback
+    /// checkpoint when one exists, otherwise retries like a transient.
+    /// Returns `logits: None` when every attempt faulted.
+    pub fn serve(&mut self, input: &Tensor) -> ServeOutcome {
+        self.stats.requests += 1;
+        let mut attempts = 0usize;
+        let mut backoff_ms = 0.0f32;
+        let mut next_backoff = self.policy.backoff_base_ms;
+        let max_attempts = self.policy.max_retries + 1;
+        while attempts < max_attempts {
+            attempts += 1;
+            match self.injector.draw() {
+                None => {
+                    let use_fallback = self.degraded && self.fallback.is_some();
+                    let logits = if use_fallback {
+                        self.fallback
+                            .as_mut()
+                            .expect("fallback presence just checked")
+                            .infer(input)
+                    } else {
+                        self.primary.infer(input)
+                    };
+                    self.stats.served += 1;
+                    if use_fallback {
+                        self.stats.fallback_serves += 1;
+                    }
+                    self.stats.backoff_ms += backoff_ms;
+                    return ServeOutcome {
+                        logits: Some(logits),
+                        attempts,
+                        served_by_fallback: use_fallback,
+                        backoff_ms,
+                    };
+                }
+                Some(fault) => {
+                    self.stats.faults_absorbed += 1;
+                    let mut wait = next_backoff;
+                    match fault {
+                        Fault::Transient => {}
+                        Fault::Brownout => wait *= self.policy.brownout_backoff_factor,
+                        Fault::MemoryExhausted => {
+                            if self.fallback.is_some() {
+                                // The big checkpoint is gone; keep serving
+                                // from the resident shared model.
+                                self.degraded = true;
+                            }
+                        }
+                    }
+                    backoff_ms += wait;
+                    next_backoff *= self.policy.backoff_factor;
+                }
+            }
+        }
+        self.stats.unavailable += 1;
+        self.stats.backoff_ms += backoff_ms;
+        ServeOutcome {
+            logits: None,
+            attempts,
+            served_by_fallback: false,
+            backoff_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use clear_nn::network::cnn_lstm;
+
+    fn deployment(seed: u64) -> EdgeDeployment {
+        EdgeDeployment::new(cnn_lstm(30, 5, 2, seed), Device::Gpu, &[1, 30, 5])
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_respects_rates() {
+        let config = FaultConfig {
+            transient_rate: 0.3,
+            memory_fault_rate: 0.1,
+            brownout_rate: 0.1,
+            seed: 42,
+        };
+        let faults: Vec<Option<Fault>> = (0..200)
+            .map(|_| FaultInjector::new(config).draw())
+            .collect();
+        // Fresh injectors with the same seed always draw the same first fault.
+        assert!(faults.windows(2).all(|w| w[0] == w[1]));
+        let mut injector = FaultInjector::new(config);
+        let n_faults = (0..2000).filter(|_| injector.draw().is_some()).count();
+        let rate = n_faults as f32 / 2000.0;
+        assert!(
+            (rate - 0.5).abs() < 0.05,
+            "empirical fault rate {rate} far from configured 0.5"
+        );
+        assert_eq!(injector.drawn(), 2000);
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let mut injector = FaultInjector::new(FaultConfig::none());
+        assert!((0..500).all(|_| injector.draw().is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rates sum above 1")]
+    fn overfull_rates_are_rejected() {
+        FaultInjector::new(FaultConfig {
+            transient_rate: 0.7,
+            memory_fault_rate: 0.7,
+            brownout_rate: 0.0,
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn clean_serving_is_transparent() {
+        let mut plain = deployment(3);
+        let mut resilient =
+            ResilientDeployment::new(deployment(3), FaultConfig::none(), RetryPolicy::default());
+        let x = Tensor::zeros(&[1, 30, 5]);
+        let outcome = resilient.serve(&x);
+        assert_eq!(outcome.attempts, 1);
+        assert!(!outcome.served_by_fallback);
+        assert_eq!(outcome.backoff_ms, 0.0);
+        assert_eq!(
+            outcome.logits.unwrap().as_slice(),
+            plain.infer(&x).as_slice()
+        );
+        assert_eq!(resilient.stats().availability(), 1.0);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_growing_backoff() {
+        // transient_rate 1.0 faults every attempt: the request must burn
+        // the whole retry budget and come back unavailable.
+        let mut resilient = ResilientDeployment::new(
+            deployment(5),
+            FaultConfig::transient(1.0, 7),
+            RetryPolicy::default(),
+        );
+        let outcome = resilient.serve(&Tensor::zeros(&[1, 30, 5]));
+        assert!(outcome.logits.is_none());
+        assert_eq!(outcome.attempts, 4);
+        // 5 + 10 + 20 + 40 with default base 5 / factor 2.
+        assert!((outcome.backoff_ms - 75.0).abs() < 1e-3);
+        assert_eq!(resilient.stats().unavailable, 1);
+        assert_eq!(resilient.stats().availability(), 0.0);
+    }
+
+    #[test]
+    fn memory_exhaustion_degrades_to_fallback() {
+        let mut resilient = ResilientDeployment::new(
+            deployment(9),
+            FaultConfig {
+                memory_fault_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            RetryPolicy::default(),
+        )
+        .with_fallback(deployment(11));
+        let x = Tensor::zeros(&[1, 30, 5]);
+        // Every draw is MemoryExhausted, so the request exhausts retries —
+        // but serving is now degraded, and stays degraded.
+        let first = resilient.serve(&x);
+        assert!(first.logits.is_none());
+        assert!(resilient.is_degraded());
+        // Stop injecting: the next serve succeeds via the fallback.
+        let mut calm =
+            ResilientDeployment::new(deployment(9), FaultConfig::none(), RetryPolicy::default())
+                .with_fallback(deployment(11));
+        calm.degraded = true;
+        let outcome = calm.serve(&x);
+        assert!(outcome.served_by_fallback);
+        assert!(outcome.logits.is_some());
+        assert_eq!(calm.stats().fallback_serves, 1);
+        calm.restore_primary();
+        assert!(!calm.is_degraded());
+        let outcome = calm.serve(&x);
+        assert!(!outcome.served_by_fallback);
+    }
+
+    #[test]
+    fn availability_survives_ten_percent_transients() {
+        let mut resilient = ResilientDeployment::new(
+            deployment(13),
+            FaultConfig::transient(0.10, 99),
+            RetryPolicy::default(),
+        );
+        let x = Tensor::zeros(&[1, 30, 5]);
+        for _ in 0..500 {
+            resilient.serve(&x);
+        }
+        let stats = resilient.stats();
+        assert_eq!(stats.requests, 500);
+        assert!(
+            stats.availability() >= 0.99,
+            "availability {} below 0.99 at 10% transient faults",
+            stats.availability()
+        );
+        assert!(stats.faults_absorbed > 0, "faults must actually fire");
+    }
+}

@@ -23,6 +23,10 @@
 //! * **Power/energy** ([`device`]): baseline (idle) draw plus a
 //!   task-dependent active delta, yielding MPC for re-training, test and
 //!   baseline rows.
+//! * **Fault tolerance** ([`fault`]): seeded transient / memory /
+//!   brownout fault injection, bounded retry with exponential backoff,
+//!   and fallback to the shared cluster checkpoint — the availability
+//!   story a field deployment needs.
 //!
 //! ## Example
 //!
@@ -45,9 +49,13 @@
 pub mod battery;
 pub mod deploy;
 pub mod device;
+pub mod fault;
 pub mod memory;
 
+pub use battery::{estimate as estimate_battery, BatteryEstimate, DutyCycle};
 pub use deploy::{EdgeDeployment, FineTuneOutcome, Measurement};
 pub use device::{Device, DeviceSpec};
-pub use battery::{estimate as estimate_battery, BatteryEstimate, DutyCycle};
+pub use fault::{
+    Fault, FaultConfig, FaultInjector, ResilientDeployment, RetryPolicy, ServeOutcome, ServeStats,
+};
 pub use memory::{footprint, MemoryBudget, MemoryFootprint};

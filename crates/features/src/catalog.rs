@@ -7,7 +7,7 @@
 //! tests enforce the 34/84/5 split.
 
 /// Which physiological channel a feature is computed from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Modality {
     /// Galvanic skin response (electrodermal activity).
     Gsr,
@@ -216,6 +216,31 @@ pub fn modality_offset(modality: Modality) -> usize {
     }
 }
 
+/// Number of catalog features computed from `modality`.
+pub fn modality_count(modality: Modality) -> usize {
+    match modality {
+        Modality::Gsr => GSR_COUNT,
+        Modality::Bvp => BVP_COUNT,
+        Modality::Skt => SKT_COUNT,
+    }
+}
+
+/// The modality of catalog feature `index`.
+///
+/// # Panics
+///
+/// Panics when `index >= FEATURE_COUNT`.
+pub fn modality_of(index: usize) -> Modality {
+    assert!(index < FEATURE_COUNT, "feature index out of range");
+    if index < GSR_COUNT {
+        Modality::Gsr
+    } else if index < GSR_COUNT + BVP_COUNT {
+        Modality::Bvp
+    } else {
+        Modality::Skt
+    }
+}
+
 /// Looks up a feature index by name.
 pub fn index_of(name: &str) -> Option<usize> {
     CATALOG.iter().position(|d| d.name == name)
@@ -228,9 +253,18 @@ mod tests {
 
     #[test]
     fn catalog_matches_paper_split() {
-        let gsr = CATALOG.iter().filter(|d| d.modality == Modality::Gsr).count();
-        let bvp = CATALOG.iter().filter(|d| d.modality == Modality::Bvp).count();
-        let skt = CATALOG.iter().filter(|d| d.modality == Modality::Skt).count();
+        let gsr = CATALOG
+            .iter()
+            .filter(|d| d.modality == Modality::Gsr)
+            .count();
+        let bvp = CATALOG
+            .iter()
+            .filter(|d| d.modality == Modality::Bvp)
+            .count();
+        let skt = CATALOG
+            .iter()
+            .filter(|d| d.modality == Modality::Skt)
+            .count();
         assert_eq!(gsr, GSR_COUNT);
         assert_eq!(bvp, BVP_COUNT);
         assert_eq!(skt, SKT_COUNT);
@@ -253,7 +287,11 @@ mod tests {
             } else {
                 Modality::Skt
             };
-            assert_eq!(d.modality, expected, "feature {i} ({}) out of block", d.name);
+            assert_eq!(
+                d.modality, expected,
+                "feature {i} ({}) out of block",
+                d.name
+            );
         }
     }
 

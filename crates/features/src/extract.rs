@@ -51,12 +51,7 @@ impl WindowConfig {
 /// `bvp`, `gsr` and `skt` must cover the same time span at the rates given
 /// in `signal`. Returns exactly [`FEATURE_COUNT`] finite values in catalog
 /// order.
-pub fn extract_window(
-    bvp: &[f32],
-    gsr: &[f32],
-    skt: &[f32],
-    signal: &SignalConfig,
-) -> Vec<f32> {
+pub fn extract_window(bvp: &[f32], gsr: &[f32], skt: &[f32], signal: &SignalConfig) -> Vec<f32> {
     let mut out = Vec::with_capacity(FEATURE_COUNT);
     gsr_features(gsr, signal.fs_gsr, &mut out);
     debug_assert_eq!(out.len(), crate::catalog::GSR_COUNT);
@@ -111,7 +106,9 @@ fn gsr_features(gsr: &[f32], fs: f32, out: &mut Vec<f32>) {
     out.push(stats::slope(&tonic) * fs);
     out.push(stats::range(&tonic));
     // Phasic (6).
-    out.push(stats::mean(&phasic.iter().map(|v| v.abs()).collect::<Vec<_>>()));
+    out.push(stats::mean(
+        &phasic.iter().map(|v| v.abs()).collect::<Vec<_>>(),
+    ));
     out.push(stats::std_dev(&phasic));
     out.push(stats::rms(&phasic));
     out.push(stats::energy(&phasic));

@@ -86,7 +86,11 @@ pub fn rank(scores: &[f32]) -> Vec<RankedFeature> {
         .enumerate()
         .map(|(index, &score)| RankedFeature { index, score })
         .collect();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     ranked
 }
 

@@ -14,7 +14,10 @@
 //! * [`map`] — feature-map assembly, per-feature normalization and
 //!   user-level aggregation,
 //! * [`importance`] — Fisher-score feature relevance and per-modality
-//!   attribution.
+//!   attribution,
+//! * [`quality`] — signal- and feature-map-level quality assessment
+//!   (flatline / saturation / dropout / NaN indices) for degraded-mode
+//!   serving.
 //!
 //! ## Example
 //!
@@ -36,9 +39,14 @@ pub mod catalog;
 pub mod extract;
 pub mod importance;
 pub mod map;
+pub mod quality;
 pub mod streaming;
 
 pub use catalog::{FeatureDef, Modality, FEATURE_COUNT};
 pub use extract::{extract_window, WindowConfig};
 pub use map::{FeatureExtractor, FeatureMap, Normalizer};
+pub use quality::{
+    assess_map, assess_window, ChannelQuality, MapQuality, QualityAssessor, QualityConfig,
+    QualityReport,
+};
 pub use streaming::StreamingExtractor;

@@ -29,9 +29,16 @@ impl FeatureMap {
     /// Panics if `columns` is empty or any column length differs from
     /// [`FEATURE_COUNT`].
     pub fn from_columns(columns: &[Vec<f32>]) -> Self {
-        assert!(!columns.is_empty(), "a feature map needs at least one window");
+        assert!(
+            !columns.is_empty(),
+            "a feature map needs at least one window"
+        );
         for c in columns {
-            assert_eq!(c.len(), FEATURE_COUNT, "feature column must have 123 entries");
+            assert_eq!(
+                c.len(),
+                FEATURE_COUNT,
+                "feature column must have 123 entries"
+            );
         }
         let windows = columns.len();
         let mut data = vec![0.0f32; FEATURE_COUNT * windows];
@@ -232,7 +239,10 @@ impl FeatureExtractor {
     where
         I: IntoIterator<Item = &'a Recording>,
     {
-        recordings.into_iter().map(|r| self.feature_map(r)).collect()
+        recordings
+            .into_iter()
+            .map(|r| self.feature_map(r))
+            .collect()
     }
 }
 
@@ -318,8 +328,7 @@ mod tests {
             }
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-2, "feature {fidx} mean {mean}");
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(var < 1.6, "feature {fidx} var {var}");
         }
     }

@@ -1,0 +1,653 @@
+//! Signal- and feature-level quality assessment.
+//!
+//! Wearable channels fail in characteristic ways — electrode lift-off
+//! freezes a trace, amplifier rails clip it, loose contacts inject NaNs or
+//! physically impossible values. This module quantifies those failure
+//! modes **before** the pipeline spends compute on a window, and again at
+//! the feature-map level where the serving layer has no access to raw
+//! samples. [`crate::map::FeatureExtractor`] stays total under garbage;
+//! quality assessment is what lets `ClearDeployment` decide whether the
+//! resulting features *mean* anything.
+//!
+//! Two layers:
+//!
+//! * **Signal level** ([`assess_window`], [`QualityAssessor`]): per-channel
+//!   indices — flatline run length, saturation fraction, dropout fraction,
+//!   NaN / out-of-physiological-range rate — rolled into a per-window
+//!   [`QualityReport`] aligned with the extractor's sliding windows.
+//! * **Feature-map level** ([`assess_map`]): per-modality block health of
+//!   an already-extracted [`FeatureMap`] (non-finite rate, dead constant
+//!   rows), for gating at serving time.
+
+use crate::catalog::{modality_count, modality_offset, Modality};
+use crate::extract::WindowConfig;
+use crate::map::FeatureMap;
+use clear_sim::{Recording, SignalConfig};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds and physiological plausibility ranges of the assessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityConfig {
+    /// A run of samples counts as *flat* while its total excursion stays
+    /// below this fraction of the channel's standard deviation.
+    pub flatline_excursion_fraction: f32,
+    /// Minimum duration (seconds) of a flat run before it is counted.
+    pub min_flat_run_secs: f32,
+    /// Samples within this fraction of the channel's observed range of
+    /// its min/max count as sitting on an amplifier rail.
+    pub rail_margin_fraction: f32,
+    /// Plausible BVP range (arbitrary photoplethysmograph units).
+    pub bvp_range: (f32, f32),
+    /// Plausible GSR range, microsiemens.
+    pub gsr_range: (f32, f32),
+    /// Plausible skin-temperature range, degrees Celsius.
+    pub skt_range: (f32, f32),
+    /// A channel scoring below this is treated as missing/dead.
+    pub min_channel_score: f32,
+    /// A window scoring below this overall is unusable.
+    pub min_window_quality: f32,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        Self {
+            flatline_excursion_fraction: 0.02,
+            min_flat_run_secs: 1.0,
+            rail_margin_fraction: 0.002,
+            bvp_range: (-30.0, 30.0),
+            gsr_range: (0.0, 80.0),
+            skt_range: (18.0, 45.0),
+            min_channel_score: 0.5,
+            min_window_quality: 0.4,
+        }
+    }
+}
+
+impl QualityConfig {
+    fn range_of(&self, modality: Modality) -> (f32, f32) {
+        match modality {
+            Modality::Bvp => self.bvp_range,
+            Modality::Gsr => self.gsr_range,
+            Modality::Skt => self.skt_range,
+        }
+    }
+}
+
+/// Quality indices of one channel over one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelQuality {
+    /// Which channel this describes.
+    pub modality: Modality,
+    /// Fraction of samples inside counted flat runs (stuck sensor).
+    pub flatline_fraction: f32,
+    /// Longest flat run, seconds.
+    pub longest_flat_run_secs: f32,
+    /// Fraction of samples in runs of *exactly* repeated values (frozen
+    /// ADC output — the classic dropout signature).
+    pub dropout_fraction: f32,
+    /// Fraction of samples piled onto the observed min/max rails.
+    pub saturation_fraction: f32,
+    /// Fraction of samples that are NaN, infinite, or outside the
+    /// physiologically plausible range.
+    pub bad_sample_fraction: f32,
+    /// Roll-up score in `[0, 1]`; 1 is pristine.
+    pub score: f32,
+}
+
+impl ChannelQuality {
+    /// Whether this channel is healthy enough to trust, under `config`.
+    pub fn usable(&self, config: &QualityConfig) -> bool {
+        self.score >= config.min_channel_score
+    }
+}
+
+/// Per-window roll-up of all three channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Channel indices in catalog modality order (GSR, BVP, SKT).
+    pub channels: Vec<ChannelQuality>,
+    /// Overall window score: the *worst* channel bounds it from above,
+    /// softened by the mean (a single dead channel should hurt but not
+    /// zero a window whose other channels are pristine).
+    pub score: f32,
+}
+
+impl QualityReport {
+    /// Whether the window clears the serving floor.
+    pub fn usable(&self, config: &QualityConfig) -> bool {
+        self.score >= config.min_window_quality
+    }
+
+    /// Channels considered missing/dead under `config`.
+    pub fn missing(&self, config: &QualityConfig) -> Vec<Modality> {
+        self.channels
+            .iter()
+            .filter(|c| !c.usable(config))
+            .map(|c| c.modality)
+            .collect()
+    }
+
+    /// The report of one channel.
+    pub fn channel(&self, modality: Modality) -> Option<&ChannelQuality> {
+        self.channels.iter().find(|c| c.modality == modality)
+    }
+}
+
+/// Assesses one channel's samples at sampling rate `fs`.
+pub fn assess_channel(
+    x: &[f32],
+    fs: f32,
+    modality: Modality,
+    config: &QualityConfig,
+) -> ChannelQuality {
+    let n = x.len();
+    if n == 0 {
+        return ChannelQuality {
+            modality,
+            flatline_fraction: 1.0,
+            longest_flat_run_secs: 0.0,
+            dropout_fraction: 1.0,
+            saturation_fraction: 0.0,
+            bad_sample_fraction: 1.0,
+            score: 0.0,
+        };
+    }
+
+    // Finite/in-range screening; all other statistics are computed over
+    // the finite samples only (a NaN would otherwise poison them).
+    let (lo, hi) = config.range_of(modality);
+    let mut bad = 0usize;
+    let mut finite: Vec<f32> = Vec::with_capacity(n);
+    for &v in x {
+        if !v.is_finite() || v < lo || v > hi {
+            bad += 1;
+        }
+        if v.is_finite() {
+            finite.push(v);
+        }
+    }
+    let bad_sample_fraction = bad as f32 / n as f32;
+    if finite.is_empty() {
+        return ChannelQuality {
+            modality,
+            flatline_fraction: 1.0,
+            longest_flat_run_secs: n as f32 / fs.max(1e-6),
+            dropout_fraction: 1.0,
+            saturation_fraction: 0.0,
+            bad_sample_fraction,
+            score: 0.0,
+        };
+    }
+
+    let mean = finite.iter().sum::<f32>() / finite.len() as f32;
+    let sd =
+        (finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / finite.len() as f32).sqrt();
+
+    // Flat runs: a run stays flat while its min-max excursion is within
+    // the threshold; a constant channel (sd = 0) is one full-length run.
+    let min_run = ((config.min_flat_run_secs * fs) as usize).max(2);
+    let excursion = config.flatline_excursion_fraction * sd;
+    let mut flat_samples = 0usize;
+    let mut longest_run = 0usize;
+    let mut run_start = 0usize;
+    let mut run_min = finite[0];
+    let mut run_max = finite[0];
+    for i in 1..=finite.len() {
+        let extended = if i < finite.len() {
+            let lo2 = run_min.min(finite[i]);
+            let hi2 = run_max.max(finite[i]);
+            if hi2 - lo2 <= excursion {
+                run_min = lo2;
+                run_max = hi2;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if !extended {
+            let len = i - run_start;
+            if len >= min_run {
+                flat_samples += len;
+                longest_run = longest_run.max(len);
+            }
+            if i < finite.len() {
+                run_start = i;
+                run_min = finite[i];
+                run_max = finite[i];
+            }
+        }
+    }
+    let flatline_fraction = flat_samples as f32 / finite.len() as f32;
+    let longest_flat_run_secs = longest_run as f32 / fs.max(1e-6);
+
+    // Dropout: runs of exactly repeated values (frozen output).
+    let mut dropout_samples = 0usize;
+    let mut eq_run = 1usize;
+    for i in 1..=finite.len() {
+        if i < finite.len() && finite[i] == finite[i - 1] {
+            eq_run += 1;
+        } else {
+            if eq_run >= min_run {
+                dropout_samples += eq_run;
+            }
+            eq_run = 1;
+        }
+    }
+    let dropout_fraction = dropout_samples as f32 / finite.len() as f32;
+
+    // Saturation: sample mass on the observed rails. Only meaningful when
+    // the channel actually spans a range.
+    let omin = finite.iter().cloned().fold(f32::INFINITY, f32::min);
+    let omax = finite.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let width = omax - omin;
+    let saturation_fraction = if width > 1e-9 {
+        let margin = config.rail_margin_fraction * width;
+        let railed = finite
+            .iter()
+            .filter(|&&v| v >= omax - margin || v <= omin + margin)
+            .count();
+        // A handful of honest extrema always touch the rails; subtract a
+        // small allowance so clean periodic signals score ~0 here.
+        ((railed as f32 / finite.len() as f32) - 0.02).max(0.0)
+    } else {
+        0.0
+    };
+
+    let score = ((1.0 - flatline_fraction.max(dropout_fraction))
+        * (1.0 - saturation_fraction)
+        * (1.0 - bad_sample_fraction))
+        .clamp(0.0, 1.0);
+
+    ChannelQuality {
+        modality,
+        flatline_fraction,
+        longest_flat_run_secs,
+        dropout_fraction,
+        saturation_fraction,
+        bad_sample_fraction,
+        score,
+    }
+}
+
+/// Assesses one time-aligned window of the three raw channels.
+pub fn assess_window(
+    bvp: &[f32],
+    gsr: &[f32],
+    skt: &[f32],
+    signal: &SignalConfig,
+    config: &QualityConfig,
+) -> QualityReport {
+    let channels = vec![
+        assess_channel(gsr, signal.fs_gsr, Modality::Gsr, config),
+        assess_channel(bvp, signal.fs_bvp, Modality::Bvp, config),
+        assess_channel(skt, signal.fs_skt, Modality::Skt, config),
+    ];
+    let worst = channels
+        .iter()
+        .map(|c| c.score)
+        .fold(f32::INFINITY, f32::min);
+    let mean = channels.iter().map(|c| c.score).sum::<f32>() / channels.len() as f32;
+    QualityReport {
+        channels,
+        score: 0.5 * worst + 0.5 * mean,
+    }
+}
+
+/// Stateful assessor mirroring [`crate::map::FeatureExtractor`]'s sliding
+/// windows, so report `i` describes the raw samples behind feature-map
+/// column `i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityAssessor {
+    signal: SignalConfig,
+    window: WindowConfig,
+    config: QualityConfig,
+}
+
+impl QualityAssessor {
+    /// Creates an assessor for recordings produced under `signal`,
+    /// windowed per `window`.
+    pub fn new(signal: SignalConfig, window: WindowConfig, config: QualityConfig) -> Self {
+        Self {
+            signal,
+            window,
+            config,
+        }
+    }
+
+    /// The thresholds in use.
+    pub fn config(&self) -> &QualityConfig {
+        &self.config
+    }
+
+    /// Per-window reports for one recording, aligned with
+    /// [`crate::map::FeatureExtractor::feature_map`] columns. Returns an
+    /// empty vector for recordings shorter than one window (where the
+    /// extractor would panic — callers should treat that as unusable).
+    pub fn assess_recording(&self, recording: &Recording) -> Vec<QualityReport> {
+        let duration = recording.bvp.len() as f32 / self.signal.fs_bvp;
+        let count = self.window.window_count(duration);
+        let mut reports = Vec::with_capacity(count);
+        for w in 0..count {
+            let t0 = w as f32 * self.window.step_secs;
+            let t1 = t0 + self.window.window_secs;
+            let slice = |x: &[f32], fs: f32| -> &[f32] {
+                let a = (t0 * fs) as usize;
+                let b = ((t1 * fs) as usize).min(x.len());
+                &x[a.min(b)..b]
+            };
+            reports.push(assess_window(
+                slice(&recording.bvp, self.signal.fs_bvp),
+                slice(&recording.gsr, self.signal.fs_gsr),
+                slice(&recording.skt, self.signal.fs_skt),
+                &self.signal,
+                &self.config,
+            ));
+        }
+        reports
+    }
+
+    /// One report over the recording's full duration.
+    pub fn assess_whole(&self, recording: &Recording) -> QualityReport {
+        assess_window(
+            &recording.bvp,
+            &recording.gsr,
+            &recording.skt,
+            &self.signal,
+            &self.config,
+        )
+    }
+}
+
+/// Feature-map-level quality: per-modality block health of an extracted
+/// map, for serving layers that never see raw samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapQuality {
+    /// `(modality, non-finite fraction, dead-row fraction, score)` per
+    /// catalog block.
+    pub blocks: Vec<MapBlockQuality>,
+    /// Feature-count-weighted overall score in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Health of one modality's feature rows within a map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapBlockQuality {
+    /// The modality of this catalog block.
+    pub modality: Modality,
+    /// Fraction of non-finite entries in the block.
+    pub nonfinite_fraction: f32,
+    /// Fraction of the block's rows that are constant across all windows
+    /// (the signature of a flat/lost channel propagated through the
+    /// extractor).
+    pub dead_row_fraction: f32,
+    /// Block score in `[0, 1]`.
+    pub score: f32,
+}
+
+impl MapQuality {
+    /// Modalities whose block score falls below `min_score`.
+    pub fn dead_modalities(&self, min_score: f32) -> Vec<Modality> {
+        self.blocks
+            .iter()
+            .filter(|b| b.score < min_score)
+            .map(|b| b.modality)
+            .collect()
+    }
+
+    /// The block of one modality.
+    pub fn block(&self, modality: Modality) -> Option<&MapBlockQuality> {
+        self.blocks.iter().find(|b| b.modality == modality)
+    }
+}
+
+/// Assesses an extracted feature map per modality block.
+///
+/// Single-window maps cannot distinguish "flat" from "short", so dead-row
+/// detection only engages for maps with at least two windows.
+pub fn assess_map(map: &FeatureMap) -> MapQuality {
+    let w = map.window_count();
+    let mut blocks = Vec::with_capacity(3);
+    let mut weighted = 0.0f32;
+    let mut weight = 0.0f32;
+    for modality in [Modality::Gsr, Modality::Bvp, Modality::Skt] {
+        let offset = modality_offset(modality);
+        let count = modality_count(modality);
+        let mut nonfinite = 0usize;
+        let mut dead_rows = 0usize;
+        for f in offset..offset + count {
+            let row = map.row(f);
+            let mut row_nonfinite = 0usize;
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in row {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                } else {
+                    row_nonfinite += 1;
+                }
+            }
+            nonfinite += row_nonfinite;
+            let finite_n = row.len() - row_nonfinite;
+            if w >= 2 && finite_n >= 2 {
+                let scale = hi.abs().max(lo.abs()).max(1.0);
+                if hi - lo <= 1e-6 * scale {
+                    dead_rows += 1;
+                }
+            } else if finite_n == 0 {
+                dead_rows += 1;
+            }
+        }
+        let nonfinite_fraction = nonfinite as f32 / (count * w) as f32;
+        let dead_row_fraction = dead_rows as f32 / count as f32;
+        // A few constant rows are normal (count-valued features often do
+        // not change between adjacent windows); only a block that is
+        // *mostly* constant indicates a dead channel.
+        let dead_penalty = if dead_row_fraction >= 0.75 {
+            dead_row_fraction
+        } else {
+            0.0
+        };
+        let score = ((1.0 - nonfinite_fraction) * (1.0 - dead_penalty)).clamp(0.0, 1.0);
+        blocks.push(MapBlockQuality {
+            modality,
+            nonfinite_fraction,
+            dead_row_fraction,
+            score,
+        });
+        weighted += score * count as f32;
+        weight += count as f32;
+    }
+    MapQuality {
+        blocks,
+        score: if weight > 0.0 { weighted / weight } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::FEATURE_COUNT;
+    use crate::map::FeatureExtractor;
+    use clear_sim::{Cohort, CohortConfig};
+
+    fn sample() -> (Recording, SignalConfig) {
+        let config = CohortConfig::small(31);
+        let cohort = Cohort::generate(&config);
+        (cohort.recordings()[0].clone(), config.signal)
+    }
+
+    #[test]
+    fn clean_recording_scores_high() {
+        let (rec, signal) = sample();
+        let assessor =
+            QualityAssessor::new(signal, WindowConfig::default(), QualityConfig::default());
+        let reports = assessor.assess_recording(&rec);
+        assert!(!reports.is_empty());
+        for r in &reports {
+            assert!(
+                r.usable(assessor.config()),
+                "clean window scored {}",
+                r.score
+            );
+            assert!(r.missing(assessor.config()).is_empty());
+        }
+    }
+
+    #[test]
+    fn constant_channel_is_flagged_flat() {
+        let (mut rec, signal) = sample();
+        let stuck = rec.bvp[0];
+        for v in &mut rec.bvp {
+            *v = stuck;
+        }
+        let assessor =
+            QualityAssessor::new(signal, WindowConfig::default(), QualityConfig::default());
+        let report = assessor.assess_whole(&rec);
+        let bvp = report.channel(Modality::Bvp).unwrap();
+        assert!(
+            bvp.flatline_fraction > 0.95,
+            "flat {}",
+            bvp.flatline_fraction
+        );
+        assert!(bvp.dropout_fraction > 0.95);
+        assert!(!bvp.usable(assessor.config()));
+        assert!(report.missing(assessor.config()).contains(&Modality::Bvp));
+        // The other channels are untouched.
+        assert!(report
+            .channel(Modality::Gsr)
+            .unwrap()
+            .usable(assessor.config()));
+    }
+
+    #[test]
+    fn fully_flat_recording_is_unusable() {
+        let (mut rec, signal) = sample();
+        for v in &mut rec.bvp {
+            *v = 1.0;
+        }
+        for v in &mut rec.gsr {
+            *v = 2.0;
+        }
+        for v in &mut rec.skt {
+            *v = 33.0;
+        }
+        let assessor =
+            QualityAssessor::new(signal, WindowConfig::default(), QualityConfig::default());
+        for report in assessor.assess_recording(&rec) {
+            assert!(!report.usable(assessor.config()));
+            assert!(report.score < 0.1);
+        }
+    }
+
+    #[test]
+    fn nan_and_out_of_range_are_bad_samples() {
+        let (mut rec, signal) = sample();
+        let n = rec.gsr.len();
+        for v in rec.gsr.iter_mut().take(n / 2) {
+            *v = f32::NAN;
+        }
+        let q = assess_channel(
+            &rec.gsr,
+            signal.fs_gsr,
+            Modality::Gsr,
+            &QualityConfig::default(),
+        );
+        assert!(q.bad_sample_fraction >= 0.49);
+        assert!(q.score < 0.6);
+        let skt = vec![900.0f32; 120];
+        let q = assess_channel(
+            &skt,
+            signal.fs_skt,
+            Modality::Skt,
+            &QualityConfig::default(),
+        );
+        assert!(q.bad_sample_fraction > 0.99);
+        assert!(q.score < 0.05);
+    }
+
+    #[test]
+    fn clipped_channel_registers_saturation() {
+        let (mut rec, signal) = sample();
+        // Hard-clip BVP to a narrow band: a large sample mass lands
+        // exactly on the rails.
+        let mean = rec.bvp.iter().sum::<f32>() / rec.bvp.len() as f32;
+        for v in &mut rec.bvp {
+            *v = v.clamp(mean - 0.05, mean + 0.05);
+        }
+        let q = assess_channel(
+            &rec.bvp,
+            signal.fs_bvp,
+            Modality::Bvp,
+            &QualityConfig::default(),
+        );
+        assert!(q.saturation_fraction > 0.1, "sat {}", q.saturation_fraction);
+    }
+
+    #[test]
+    fn map_quality_flags_dead_block() {
+        let (mut rec, signal) = sample();
+        let extractor = FeatureExtractor::new(signal, WindowConfig::default());
+        let clean_q = assess_map(&extractor.feature_map(&rec));
+        assert!(clean_q.score > 0.8, "clean map scored {}", clean_q.score);
+        assert!(clean_q.dead_modalities(0.5).is_empty());
+
+        let stuck = rec.bvp[0];
+        for v in &mut rec.bvp {
+            *v = stuck;
+        }
+        let q = assess_map(&extractor.feature_map(&rec));
+        let bvp = q.block(Modality::Bvp).unwrap();
+        assert!(
+            bvp.dead_row_fraction > 0.75,
+            "dead rows {}",
+            bvp.dead_row_fraction
+        );
+        assert!(q.dead_modalities(0.5).contains(&Modality::Bvp));
+        assert!(q.block(Modality::Gsr).unwrap().score > 0.8);
+    }
+
+    #[test]
+    fn nonfinite_map_entries_are_counted() {
+        let mut columns = vec![vec![0.5f32; FEATURE_COUNT]; 4];
+        for col in &mut columns {
+            for v in col.iter_mut().take(10) {
+                *v = f32::NAN;
+            }
+            // Vary the remaining entries so rows are not constant.
+            for (i, v) in col.iter_mut().enumerate().skip(10) {
+                *v += (i % 7) as f32 * 0.01;
+            }
+        }
+        // Make rows vary across windows too.
+        for (w, col) in columns.iter_mut().enumerate() {
+            for v in col.iter_mut().skip(10) {
+                *v += w as f32 * 0.1;
+            }
+        }
+        let map = FeatureMap::from_columns(&columns);
+        let q = assess_map(&map);
+        let gsr = q.block(Modality::Gsr).unwrap();
+        assert!(
+            gsr.nonfinite_fraction > 0.25,
+            "nf {}",
+            gsr.nonfinite_fraction
+        );
+        assert!(gsr.score < 0.75);
+    }
+
+    #[test]
+    fn empty_and_short_inputs_do_not_panic() {
+        let cfg = QualityConfig::default();
+        let q = assess_channel(&[], 64.0, Modality::Bvp, &cfg);
+        assert_eq!(q.score, 0.0);
+        let q = assess_channel(&[1.0], 64.0, Modality::Bvp, &cfg);
+        assert!(q.score.is_finite());
+        let all_nan = vec![f32::NAN; 32];
+        let q = assess_channel(&all_nan, 64.0, Modality::Bvp, &cfg);
+        assert_eq!(q.score, 0.0);
+        assert!(q.bad_sample_fraction > 0.99);
+    }
+}

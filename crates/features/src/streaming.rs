@@ -56,8 +56,7 @@ impl StreamingExtractor {
             let need_bvp = (t1 * self.signal.fs_bvp).ceil() as usize;
             let need_gsr = (t1 * self.signal.fs_gsr).ceil() as usize;
             let need_skt = (t1 * self.signal.fs_skt).ceil() as usize;
-            if self.bvp.len() < need_bvp || self.gsr.len() < need_gsr || self.skt.len() < need_skt
-            {
+            if self.bvp.len() < need_bvp || self.gsr.len() < need_gsr || self.skt.len() < need_skt {
                 break;
             }
             let slice = |x: &[f32], fs: f32| -> Vec<f32> {
@@ -129,7 +128,11 @@ mod tests {
             let nb = (fed_b + c * 8).min(rec.bvp.len());
             let ng = (fed_g + c).min(rec.gsr.len());
             let ns = (fed_s + c / 2).min(rec.skt.len());
-            streaming.push(&rec.bvp[fed_b..nb], &rec.gsr[fed_g..ng], &rec.skt[fed_s..ns]);
+            streaming.push(
+                &rec.bvp[fed_b..nb],
+                &rec.gsr[fed_g..ng],
+                &rec.skt[fed_s..ns],
+            );
             fed_b = nb;
             fed_g = ng;
             fed_s = ns;

@@ -106,18 +106,8 @@ fn skt_slope_signs_are_preserved() {
     let s = sig();
     let bvp = bvp_at(70.0, 12.0, s.fs_bvp);
     let gsr = gsr_with(1, 3.0, 12.0, s.fs_gsr);
-    let cooling = extract_window(
-        &bvp,
-        &gsr,
-        &skt_with_slope(-0.5, 34.0, 12.0, s.fs_skt),
-        &s,
-    );
-    let warming = extract_window(
-        &bvp,
-        &gsr,
-        &skt_with_slope(0.5, 32.0, 12.0, s.fs_skt),
-        &s,
-    );
+    let cooling = extract_window(&bvp, &gsr, &skt_with_slope(-0.5, 34.0, 12.0, s.fs_skt), &s);
+    let warming = extract_window(&bvp, &gsr, &skt_with_slope(0.5, 32.0, 12.0, s.fs_skt), &s);
     assert!(feat(&cooling, "skt_slope") < 0.0);
     assert!(feat(&warming, "skt_slope") > 0.0);
     assert!((feat(&cooling, "skt_mean") - 34.0).abs() < 0.2);

@@ -105,11 +105,8 @@ impl Dataset {
         let mut first = Vec::new();
         let mut second = Vec::new();
         for class in classes {
-            let mut members: Vec<&Sample> = self
-                .samples
-                .iter()
-                .filter(|s| s.label == class)
-                .collect();
+            let mut members: Vec<&Sample> =
+                self.samples.iter().filter(|s| s.label == class).collect();
             members.shuffle(&mut rng);
             let cut = ((members.len() as f32) * fraction).round() as usize;
             let cut = cut.min(members.len());
@@ -178,11 +175,7 @@ mod tests {
         let (a, b) = d.split(0.25, 7);
         assert_eq!(a.len(), 5);
         assert_eq!(b.len(), 15);
-        let mut seen: Vec<f32> = a
-            .iter()
-            .chain(b.iter())
-            .map(|s| s.input.at1(0))
-            .collect();
+        let mut seen: Vec<f32> = a.iter().chain(b.iter()).map(|s| s.input.at1(0)).collect();
         seen.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let expected: Vec<f32> = (0..20).map(|v| v as f32).collect();
         assert_eq!(seen, expected);
@@ -192,7 +185,10 @@ mod tests {
     fn stratified_split_preserves_class_balance() {
         let mut d = Dataset::new();
         for i in 0..30 {
-            d.push(Tensor::from_vec(&[1], vec![i as f32]), if i < 20 { 0 } else { 1 });
+            d.push(
+                Tensor::from_vec(&[1], vec![i as f32]),
+                if i < 20 { 0 } else { 1 },
+            );
         }
         let (a, b) = d.split_stratified(0.5, 3);
         assert_eq!(a.class_counts(), vec![10, 5]);

@@ -354,7 +354,10 @@ impl MaxPool2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(!self.in_shape.is_empty(), "MaxPool2d backward before forward");
+        assert!(
+            !self.in_shape.is_empty(),
+            "MaxPool2d backward before forward"
+        );
         let mut gin = Tensor::zeros(&self.in_shape);
         let gd = gin.as_mut_slice();
         for (oidx, &g) in grad.as_slice().iter().enumerate() {
@@ -398,7 +401,10 @@ impl MapToSequence {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(!self.in_shape.is_empty(), "MapToSequence backward before forward");
+        assert!(
+            !self.in_shape.is_empty(),
+            "MapToSequence backward before forward"
+        );
         let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
         assert_eq!(grad.shape(), &[w, c * h], "MapToSequence grad shape");
         let mut gin = Tensor::zeros(&self.in_shape);
@@ -438,10 +444,10 @@ pub struct Lstm {
 
 #[derive(Debug, Clone, Default)]
 struct LstmCache {
-    xs: Vec<Vec<f32>>,     // input per step
-    gates: Vec<Vec<f32>>,  // activated i,f,g,o per step (4H)
-    cs: Vec<Vec<f32>>,     // cell states per step
-    hs: Vec<Vec<f32>>,     // hidden states per step
+    xs: Vec<Vec<f32>>,    // input per step
+    gates: Vec<Vec<f32>>, // activated i,f,g,o per step (4H)
+    cs: Vec<Vec<f32>>,    // cell states per step
+    hs: Vec<Vec<f32>>,    // hidden states per step
 }
 
 impl Lstm {
@@ -713,7 +719,10 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
         Self {
             p,
             seed,

@@ -163,9 +163,13 @@ pub fn cnn_lstm_custom(
     let h1 = features
         .checked_sub(4)
         .expect("feature axis too small for conv1");
-    let w1 = windows.checked_sub(2).expect("window axis too small for conv1");
+    let w1 = windows
+        .checked_sub(2)
+        .expect("window axis too small for conv1");
     let h1p = h1 / p1;
-    let h2 = h1p.checked_sub(4).expect("feature axis too small for conv2");
+    let h2 = h1p
+        .checked_sub(4)
+        .expect("feature axis too small for conv2");
     let w2 = w1.checked_sub(2).expect("window axis too small for conv2");
     assert!(w2 >= 1, "architecture collapsed the temporal axis");
     let h2p = h2 / p2;
@@ -210,7 +214,10 @@ pub fn cnn_lstm_compact(features: usize, windows: usize, classes: usize, seed: u
 /// Panics if the input is too small for the two 5×3 convolutions
 /// (`features >= 26`, `windows >= 5`).
 pub fn cnn_lstm(features: usize, windows: usize, classes: usize, seed: u64) -> Network {
-    assert!(features >= 26, "feature axis too small for the architecture");
+    assert!(
+        features >= 26,
+        "feature axis too small for the architecture"
+    );
     assert!(windows >= 5, "window axis too small for the architecture");
     cnn_lstm_custom(features, windows, classes, 6, 12, 2, 2, 48, 0.3, seed)
 }
@@ -252,7 +259,9 @@ mod tests {
         let mut net = cnn_lstm(30, 5, 2, 3);
         let x = Tensor::from_vec(
             &[1, 30, 5],
-            (0..150).map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0).collect(),
+            (0..150)
+                .map(|v| ((v * 13 % 17) as f32 - 8.0) / 8.0)
+                .collect(),
         );
         let target = 1usize;
         let logits = net.forward(&x, true);
@@ -274,7 +283,10 @@ mod tests {
     #[test]
     fn checkpoint_round_trip_preserves_outputs() {
         let mut net = cnn_lstm(30, 5, 2, 11);
-        let x = Tensor::from_vec(&[1, 30, 5], (0..150).map(|v| (v as f32 * 0.13).cos()).collect());
+        let x = Tensor::from_vec(
+            &[1, 30, 5],
+            (0..150).map(|v| (v as f32 * 0.13).cos()).collect(),
+        );
         let before = net.forward(&x, false);
         let json = net.to_json().unwrap();
         let mut restored = Network::from_json(&json).unwrap();

@@ -204,7 +204,7 @@ mod tests {
         assert!(round_f16(f32::NAN).is_nan());
         assert_eq!(round_f16(1e10), f32::INFINITY); // overflow
         assert_eq!(round_f16(1e-10), 0.0); // underflow
-        // Subnormal half range survives approximately.
+                                           // Subnormal half range survives approximately.
         let tiny = 3.0e-7f32;
         let r = round_f16(tiny);
         assert!(r > 0.0 && (r - tiny).abs() / tiny < 0.25);

@@ -199,7 +199,14 @@ mod tests {
         let net = cnn_lstm(123, 9, 2, 1);
         let summary = summarize(&net, &[1, 123, 9]);
         let table = summary.to_table();
-        for name in ["Conv2d", "ReLU", "MaxPool2d", "LSTM", "Dense", "total params"] {
+        for name in [
+            "Conv2d",
+            "ReLU",
+            "MaxPool2d",
+            "LSTM",
+            "Dense",
+            "total params",
+        ] {
             assert!(table.contains(name), "missing {name} in table");
         }
     }

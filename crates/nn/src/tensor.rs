@@ -91,7 +91,11 @@ impl Tensor {
     /// Panics if the new shape's element count differs.
     pub fn reshape(&mut self, shape: &[usize]) {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape must preserve element count"
+        );
         self.shape = shape.to_vec();
     }
 
@@ -112,7 +116,10 @@ impl Tensor {
     /// Panics if the tensor is not rank 2 or an index is out of bounds.
     pub fn at2(&self, r: usize, c: usize) -> f32 {
         assert_eq!(self.rank(), 2, "at2 requires a rank-2 tensor");
-        assert!(r < self.shape[0] && c < self.shape[1], "index out of bounds");
+        assert!(
+            r < self.shape[0] && c < self.shape[1],
+            "index out of bounds"
+        );
         self.data[r * self.shape[1] + c]
     }
 
@@ -124,7 +131,10 @@ impl Tensor {
     pub fn at3(&self, ch: usize, r: usize, c: usize) -> f32 {
         assert_eq!(self.rank(), 3, "at3 requires a rank-3 tensor");
         let (d1, d2) = (self.shape[1], self.shape[2]);
-        assert!(ch < self.shape[0] && r < d1 && c < d2, "index out of bounds");
+        assert!(
+            ch < self.shape[0] && r < d1 && c < d2,
+            "index out of bounds"
+        );
         self.data[(ch * d1 + r) * d2 + c]
     }
 
@@ -136,7 +146,10 @@ impl Tensor {
     pub fn set3(&mut self, ch: usize, r: usize, c: usize, v: f32) {
         assert_eq!(self.rank(), 3, "set3 requires a rank-3 tensor");
         let (d1, d2) = (self.shape[1], self.shape[2]);
-        assert!(ch < self.shape[0] && r < d1 && c < d2, "index out of bounds");
+        assert!(
+            ch < self.shape[0] && r < d1 && c < d2,
+            "index out of bounds"
+        );
         self.data[(ch * d1 + r) * d2 + c] = v;
     }
 

@@ -29,8 +29,45 @@ pub struct ArtifactConfig {
     /// Additive wideband noise standard deviation as a fraction of each
     /// channel's standard deviation.
     pub noise_fraction: f32,
+    /// Probability that a channel contains a *flatline* span: the sensor
+    /// reports a single stuck value with no noise on top (ADC freeze /
+    /// firmware stall), unlike [`ArtifactConfig::dropout_probability`]
+    /// spans which still accumulate the wideband noise.
+    #[serde(default)]
+    pub flatline_probability: f32,
+    /// Flatline duration in seconds.
+    #[serde(default = "default_flatline_secs")]
+    pub flatline_secs: f32,
+    /// Probability that a channel saturates against its amplifier rails
+    /// for a span (values clipped at a tight symmetric level around the
+    /// channel mean).
+    #[serde(default)]
+    pub saturation_probability: f32,
+    /// Saturation span duration in seconds.
+    #[serde(default = "default_saturation_secs")]
+    pub saturation_secs: f32,
+    /// Clip level of a saturated span, in channel standard deviations
+    /// around the channel mean (smaller = harsher clipping).
+    #[serde(default = "default_saturation_level_sd")]
+    pub saturation_level_sd: f32,
+    /// Probability that a channel is lost for the *whole recording*
+    /// (electrode unplugged): every sample frozen at the first value.
+    #[serde(default)]
+    pub channel_loss_probability: f32,
     /// Seed for reproducible corruption.
     pub seed: u64,
+}
+
+fn default_flatline_secs() -> f32 {
+    3.0
+}
+
+fn default_saturation_secs() -> f32 {
+    3.0
+}
+
+fn default_saturation_level_sd() -> f32 {
+    0.5
 }
 
 impl Default for ArtifactConfig {
@@ -42,7 +79,50 @@ impl Default for ArtifactConfig {
             dropout_probability: 0.15,
             dropout_secs: 2.0,
             noise_fraction: 0.10,
+            flatline_probability: 0.0,
+            flatline_secs: default_flatline_secs(),
+            saturation_probability: 0.0,
+            saturation_secs: default_saturation_secs(),
+            saturation_level_sd: default_saturation_level_sd(),
+            channel_loss_probability: 0.0,
             seed: 99,
+        }
+    }
+}
+
+impl ArtifactConfig {
+    /// A configuration with every artifact kind disabled: [`corrupt`] is
+    /// the identity (up to cloning) under this config.
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            motion_bursts_per_min: 0.0,
+            dropout_probability: 0.0,
+            noise_fraction: 0.0,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Scales every artifact kind by `level` in `[0, 1]`: 0 is the clean
+    /// identity, 1 is a harsh wearable environment (frequent strong
+    /// bursts, long dropouts, flatlines, rail saturation and occasional
+    /// whole-channel loss). Used by the robustness-curve sweep.
+    pub fn severity(level: f32, seed: u64) -> Self {
+        let s = level.clamp(0.0, 1.0);
+        Self {
+            motion_bursts_per_min: 6.0 * s,
+            burst_secs: 1.0,
+            burst_gain: 2.0 + 6.0 * s,
+            dropout_probability: 0.8 * s,
+            dropout_secs: 2.0 + 3.0 * s,
+            noise_fraction: 0.35 * s,
+            flatline_probability: 0.5 * s,
+            flatline_secs: 2.0 + 4.0 * s,
+            saturation_probability: 0.5 * s,
+            saturation_secs: 2.0 + 4.0 * s,
+            saturation_level_sd: default_saturation_level_sd(),
+            channel_loss_probability: 0.25 * s,
+            seed,
         }
     }
 }
@@ -55,12 +135,7 @@ fn std_of(x: &[f32]) -> f32 {
     (x.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32).sqrt()
 }
 
-fn corrupt_channel<R: Rng + ?Sized>(
-    x: &mut [f32],
-    fs: f32,
-    config: &ArtifactConfig,
-    rng: &mut R,
-) {
+fn corrupt_channel<R: Rng + ?Sized>(x: &mut [f32], fs: f32, config: &ArtifactConfig, rng: &mut R) {
     if x.is_empty() {
         return;
     }
@@ -101,6 +176,45 @@ fn corrupt_channel<R: Rng + ?Sized>(
         let u2: f32 = rng.gen_range(0.0..1.0f32);
         let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         *v += config.noise_fraction * sd * g;
+    }
+
+    // The remaining kinds are guarded on a non-zero probability before any
+    // RNG draw so configurations predating them reproduce bit-identical
+    // corruption (the draws would otherwise shift the stream).
+
+    // Rail saturation: a span clipped tightly around the channel mean.
+    if config.saturation_probability > 0.0
+        && rng.gen_range(0.0..1.0f32) < config.saturation_probability
+    {
+        let mean = x.iter().sum::<f32>() / n as f32;
+        let rail = (config.saturation_level_sd * sd).max(1e-6);
+        let span = ((config.saturation_secs * fs) as usize).max(1);
+        let start = rng.gen_range(0..n.saturating_sub(span).max(1));
+        for v in &mut x[start..(start + span).min(n)] {
+            *v = v.clamp(mean - rail, mean + rail);
+        }
+    }
+
+    // Flatline: a span stuck at one value, with *no* noise on top (applied
+    // after the noise pass, unlike dropout).
+    if config.flatline_probability > 0.0 && rng.gen_range(0.0..1.0f32) < config.flatline_probability
+    {
+        let span = ((config.flatline_secs * fs) as usize).max(1);
+        let start = rng.gen_range(0..n.saturating_sub(span).max(1));
+        let stuck = x[start];
+        for v in &mut x[start..(start + span).min(n)] {
+            *v = stuck;
+        }
+    }
+
+    // Whole-channel loss: the sensor is gone for the entire recording.
+    if config.channel_loss_probability > 0.0
+        && rng.gen_range(0.0..1.0f32) < config.channel_loss_probability
+    {
+        let stuck = x[0];
+        for v in x.iter_mut() {
+            *v = stuck;
+        }
     }
 }
 
@@ -222,6 +336,104 @@ mod tests {
     }
 
     #[test]
+    fn channel_loss_flattens_every_channel() {
+        let (rec, fb, fg, fs) = sample();
+        let lost = corrupt(
+            &rec,
+            fb,
+            fg,
+            fs,
+            &ArtifactConfig {
+                channel_loss_probability: 1.0,
+                ..ArtifactConfig::clean(7)
+            },
+        );
+        assert!(lost.bvp.iter().all(|&v| v == lost.bvp[0]));
+        assert!(lost.skt.iter().all(|&v| v == lost.skt[0]));
+        // GSR is additionally floored at 0.01, so "constant" still holds.
+        assert!(lost.gsr.iter().all(|&v| v == lost.gsr[0]));
+    }
+
+    #[test]
+    fn flatline_freezes_a_span_exactly() {
+        let (rec, fb, fg, fs) = sample();
+        let flat = corrupt(
+            &rec,
+            fb,
+            fg,
+            fs,
+            &ArtifactConfig {
+                flatline_probability: 1.0,
+                flatline_secs: 4.0,
+                ..ArtifactConfig::clean(11)
+            },
+        );
+        // Some run of >= 2 s worth of BVP samples must be exactly constant.
+        let min_run = (2.0 * fb) as usize;
+        let mut run = 1usize;
+        let mut longest = 1usize;
+        for w in flat.bvp.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(longest >= min_run, "longest flat run {longest} < {min_run}");
+    }
+
+    #[test]
+    fn saturation_clips_to_a_narrow_band() {
+        let (rec, fb, fg, fs) = sample();
+        let sat = corrupt(
+            &rec,
+            fb,
+            fg,
+            fs,
+            &ArtifactConfig {
+                saturation_probability: 1.0,
+                saturation_secs: 8.0,
+                saturation_level_sd: 0.2,
+                ..ArtifactConfig::clean(13)
+            },
+        );
+        // Clipping never widens the channel's excursion.
+        let width = |x: &[f32]| {
+            x.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+                - x.iter().cloned().fold(f32::INFINITY, f32::min)
+        };
+        assert!(width(&sat.bvp) <= width(&rec.bvp) + 1e-6);
+        assert_ne!(sat.bvp, rec.bvp);
+    }
+
+    #[test]
+    fn severity_zero_is_identity_and_scales_up() {
+        let (rec, fb, fg, fs) = sample();
+        let clean = corrupt(&rec, fb, fg, fs, &ArtifactConfig::severity(0.0, 5));
+        assert_eq!(clean.bvp, rec.bvp);
+        assert_eq!(clean.gsr, rec.gsr);
+        assert_eq!(clean.skt, rec.skt);
+        let harsh = corrupt(&rec, fb, fg, fs, &ArtifactConfig::severity(1.0, 5));
+        assert_ne!(harsh.bvp, rec.bvp);
+        assert!(harsh.bvp.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn legacy_config_stream_is_unchanged_by_new_kinds() {
+        // Old configs (new probabilities zero) must produce bit-identical
+        // output to the pre-extension injector; the disabled kinds draw
+        // nothing from the RNG, so enabling one must change nothing before
+        // its own span draws.
+        let (rec, fb, fg, fs) = sample();
+        let base = corrupt(&rec, fb, fg, fs, &ArtifactConfig::default());
+        let again = corrupt(&rec, fb, fg, fs, &ArtifactConfig::default());
+        assert_eq!(base.bvp, again.bvp);
+        assert_eq!(base.gsr, again.gsr);
+        assert_eq!(base.skt, again.skt);
+    }
+
+    #[test]
     fn noise_scales_with_fraction() {
         let (rec, fb, fg, fs) = sample();
         let light = corrupt(
@@ -249,12 +461,7 @@ mod tests {
             },
         );
         let rms = |a: &[f32], b: &[f32]| -> f32 {
-            (a.iter()
-                .zip(b)
-                .map(|(x, y)| (x - y) * (x - y))
-                .sum::<f32>()
-                / a.len() as f32)
-                .sqrt()
+            (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>() / a.len() as f32).sqrt()
         };
         assert!(rms(&heavy.bvp, &rec.bvp) > 5.0 * rms(&light.bvp, &rec.bvp));
     }

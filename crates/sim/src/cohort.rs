@@ -248,9 +248,27 @@ impl Cohort {
                 let base = clip.intensity() / EmotionCategory::Fear.arousal();
                 let intensity = (base * (1.0 + 0.15 * gauss(&mut srng))).clamp(0.05, 1.8);
                 let evocation = Evocation { emotion, intensity };
-                let bvp = synth_bvp(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
-                let gsr = synth_gsr(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
-                let skt = synth_skt(subject, &evocation, config.class_overlap, &config.signal, &mut srng);
+                let bvp = synth_bvp(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
+                let gsr = synth_gsr(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
+                let skt = synth_skt(
+                    subject,
+                    &evocation,
+                    config.class_overlap,
+                    &config.signal,
+                    &mut srng,
+                );
                 recordings.push(Recording {
                     subject: SubjectId(subject.id),
                     stimulus: stim,

@@ -114,8 +114,7 @@ pub fn synth_bvp<R: Rng + ?Sized>(
     while t < duration + 2.0 {
         let lf = (2.0 * std::f32::consts::PI * 0.095 * t).sin();
         let hf = (2.0 * std::f32::consts::PI * 0.27 * t).sin();
-        let modulation = hrv_amp * (lf_share * lf + (1.0 - lf_share) * hf)
-            + 0.008 * gauss(rng);
+        let modulation = hrv_amp * (lf_share * lf + (1.0 - lf_share) * hf) + 0.008 * gauss(rng);
         let ibi = (60.0 / hr) * (1.0 + modulation);
         beat_times.push(t);
         t += ibi.clamp(0.3, 2.0);
@@ -140,8 +139,8 @@ pub fn synth_bvp<R: Rng + ?Sized>(
     // Sensor noise and slight baseline wander.
     for (i, v) in out.iter_mut().enumerate() {
         let t = i as f32 / fs;
-        *v += subject.noise_level * gauss(rng)
-            + 0.03 * (2.0 * std::f32::consts::PI * 0.18 * t).sin();
+        *v +=
+            subject.noise_level * gauss(rng) + 0.03 * (2.0 * std::f32::consts::PI * 0.18 * t).sin();
     }
     out
 }
@@ -262,9 +261,18 @@ mod tests {
         let cfg = SignalConfig::default();
         let s = subject(0, 1);
         let mut rng = SmallRng::seed_from_u64(2);
-        assert_eq!(synth_bvp(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.bvp_len());
-        assert_eq!(synth_gsr(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.gsr_len());
-        assert_eq!(synth_skt(&s, &fear(), 0.2, &cfg, &mut rng).len(), cfg.skt_len());
+        assert_eq!(
+            synth_bvp(&s, &fear(), 0.2, &cfg, &mut rng).len(),
+            cfg.bvp_len()
+        );
+        assert_eq!(
+            synth_gsr(&s, &fear(), 0.2, &cfg, &mut rng).len(),
+            cfg.gsr_len()
+        );
+        assert_eq!(
+            synth_skt(&s, &fear(), 0.2, &cfg, &mut rng).len(),
+            cfg.skt_len()
+        );
         assert_eq!(cfg.bvp_len(), 3840);
         assert_eq!(cfg.gsr_len(), 480);
         assert_eq!(cfg.skt_len(), 240);
@@ -338,9 +346,15 @@ mod tests {
         for arch in 0..4 {
             let s = subject(arch, 20 + arch as u64);
             for evo in [fear(), calm()] {
-                assert!(synth_bvp(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
-                assert!(synth_gsr(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
-                assert!(synth_skt(&s, &evo, 0.2, &cfg, &mut rng).iter().all(|v| v.is_finite()));
+                assert!(synth_bvp(&s, &evo, 0.2, &cfg, &mut rng)
+                    .iter()
+                    .all(|v| v.is_finite()));
+                assert!(synth_gsr(&s, &evo, 0.2, &cfg, &mut rng)
+                    .iter()
+                    .all(|v| v.is_finite()));
+                assert!(synth_skt(&s, &evo, 0.2, &cfg, &mut rng)
+                    .iter()
+                    .all(|v| v.is_finite()));
             }
         }
     }

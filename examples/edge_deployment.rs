@@ -53,7 +53,9 @@ fn main() {
         );
         println!(
             "{:<12} on-device fine-tuning: {} epochs, simulated {:.1} s at {:.2} W",
-            "", outcome.epochs_run, outcome.retraining_time_s,
+            "",
+            outcome.epochs_run,
+            outcome.retraining_time_s,
             dep.spec().retraining_power_w()
         );
     }

@@ -14,9 +14,8 @@
 
 use clear::core::config::ClearConfig;
 use clear::core::dataset::PreparedCohort;
-use clear::core::deployment::{deploy, ClearBundle, ClearDeployment};
+use clear::core::deployment::{deploy, ClearBundle, ClearDeployment, Onboarding};
 use clear::features::{FeatureMap, StreamingExtractor};
-use clear::sim::Emotion;
 
 fn main() {
     // Cloud side: train and serialize the bundle (normally done offline).
@@ -43,8 +42,17 @@ fn main() {
     // The CA budget: a couple of *unlabeled* recordings. They double as
     // the wearer's personal baseline, so a mix of stimuli matters — a
     // single clip would bias the baseline towards its own response.
-    let ca_maps: Vec<_> = indices[..2].iter().map(|&i| data.maps()[i].clone()).collect();
-    let cluster = device.onboard("wearer", &ca_maps).expect("onboarding");
+    let ca_maps: Vec<_> = indices[..2]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect();
+    let cluster = match device.onboard("wearer", &ca_maps).expect("onboarding") {
+        Onboarding::Assigned { cluster } => cluster,
+        Onboarding::Deferred {
+            accumulated,
+            required,
+        } => panic!("clean data deferred onboarding ({accumulated}/{required} maps)"),
+    };
     println!("wearer onboarded cold-start into cluster {cluster}\n");
 
     // Stream the remaining recordings sample-chunk by sample-chunk.
@@ -77,17 +85,25 @@ fn main() {
             }
         }
         let map: FeatureMap = extractor.feature_map().expect("windows available");
-        let predicted: Emotion = device.predict("wearer", &map).expect("wearer onboarded");
-        let ok = predicted == rec.emotion;
-        correct += usize::from(ok);
-        total += 1;
+        // Serving is quality-gated: the deployment may abstain (low
+        // quality or low confidence) instead of emitting a label.
+        let prediction = device.predict("wearer", &map).expect("wearer onboarded");
+        let (shown, ok) = match prediction.emotion {
+            Some(predicted) => {
+                let ok = predicted == rec.emotion;
+                correct += usize::from(ok);
+                total += 1;
+                (predicted.to_string(), if ok { "yes" } else { "no" })
+            }
+            None => ("(abstain)".to_string(), "-"),
+        };
         println!(
             "{:<6} {:>8} {:>12} {:>12} {:>8}",
             idx,
             map.window_count(),
             rec.emotion.to_string(),
-            predicted.to_string(),
-            if ok { "yes" } else { "no" }
+            shown,
+            ok
         );
     }
     println!(

@@ -51,7 +51,11 @@ fn general_model_runs_and_reports_folds() {
     let (config, data) = quick();
     let agg = general_model(&data, &config);
     assert_eq!(agg.folds, config.general_subjects);
-    assert!(agg.accuracy_mean > 30.0, "degenerate accuracy {}", agg.accuracy_mean);
+    assert!(
+        agg.accuracy_mean > 30.0,
+        "degenerate accuracy {}",
+        agg.accuracy_mean
+    );
 }
 
 #[test]
@@ -66,11 +70,20 @@ fn edge_deployment_round_trip_from_cloud_checkpoint() {
     let test_ds = cloud.user_dataset(&data, &indices[1..]);
     let input_shape = [1usize, 123, data.windows()];
     let mut gpu = EdgeDeployment::new(cloud.model(assigned).clone(), Device::Gpu, &input_shape);
-    let mut tpu = EdgeDeployment::new(cloud.model(assigned).clone(), Device::CoralTpu, &input_shape);
+    let mut tpu = EdgeDeployment::new(
+        cloud.model(assigned).clone(),
+        Device::CoralTpu,
+        &input_shape,
+    );
     let g = gpu.evaluate(&test_ds);
     let t = tpu.evaluate(&test_ds);
     // int8 may tie but should not dramatically beat fp32 on identical data.
-    assert!(t.accuracy <= g.accuracy + 0.15, "tpu {} vs gpu {}", t.accuracy, g.accuracy);
+    assert!(
+        t.accuracy <= g.accuracy + 0.15,
+        "tpu {} vs gpu {}",
+        t.accuracy,
+        g.accuracy
+    );
     // The latency model orders devices as in the paper.
     assert!(gpu.test_time_ms() < tpu.test_time_ms());
 }

@@ -7,11 +7,16 @@
 
 use clear::core::config::ClearConfig;
 use clear::core::dataset::PreparedCohort;
+use clear::core::deployment::{deploy, ClearDeployment, DeployError, ServingPolicy};
 use clear::core::pipeline::CloudTraining;
-use clear::features::{FeatureExtractor, WindowConfig};
+use clear::edge::fault::{FaultConfig, ResilientDeployment, RetryPolicy};
+use clear::edge::{Device, EdgeDeployment};
+use clear::features::{FeatureExtractor, FeatureMap, Modality, WindowConfig, FEATURE_COUNT};
 use clear::nn::tensor::Tensor;
 use clear::sim::artifacts::{corrupt, ArtifactConfig};
-use clear::sim::{Cohort, CohortConfig};
+use clear::sim::{Cohort, CohortConfig, Emotion};
+use proptest::prelude::*;
+use std::sync::{Mutex, OnceLock};
 
 #[test]
 fn features_stay_finite_under_heavy_artifacts() {
@@ -88,4 +93,234 @@ fn classifier_degrades_gracefully_not_catastrophically() {
         "collapsed under artifacts: clean {clean}, corrupted {corrupted_acc}"
     );
     assert!(corrupted_acc >= 0.3, "corrupted accuracy {corrupted_acc}");
+}
+
+/// One trained deployment shared by the serving-robustness tests below —
+/// cloud training is the expensive part and none of these tests mutate
+/// the bundle itself, only per-user state under distinct user names.
+fn shared_deployment() -> &'static Mutex<(ClearConfig, PreparedCohort, ClearDeployment, Vec<usize>)>
+{
+    static DEPLOYMENT: OnceLock<Mutex<(ClearConfig, PreparedCohort, ClearDeployment, Vec<usize>)>> =
+        OnceLock::new();
+    DEPLOYMENT.get_or_init(|| {
+        let config = ClearConfig::quick(77);
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let (&newcomer, initial) = subjects.split_last().unwrap();
+        let dep = deploy(&data, initial, &config);
+        let indices = data.indices_of(newcomer);
+        Mutex::new((config, data, dep, indices))
+    })
+}
+
+/// A policy that abstains only on quality, never on confidence — so tests
+/// that need a label deterministically get one on servable input.
+fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+#[test]
+fn quality_gate_quarantines_flatlined_recording() {
+    let guard = shared_deployment().lock().unwrap();
+    let (config, data, dep, indices) = &*guard;
+    let mut dep = dep.clone();
+    dep.set_policy(lenient());
+    dep.onboard("qg-user", &[data.maps()[indices[0]].clone()])
+        .unwrap();
+
+    // Every channel lost: the wearable came off entirely.
+    let sig = config.cohort.signal;
+    let dead_sensor = ArtifactConfig {
+        channel_loss_probability: 1.0,
+        ..ArtifactConfig::clean(3)
+    };
+    let extractor = FeatureExtractor::new(sig, config.window);
+    let rec = &data.cohort().recordings()[indices[1]];
+    let flat = corrupt(rec, sig.fs_bvp, sig.fs_gsr, sig.fs_skt, &dead_sensor);
+    let map = extractor.feature_map(&flat);
+
+    let pred = dep.predict("qg-user", &map).unwrap();
+    assert!(
+        pred.abstained(),
+        "fully flatlined recording must not get a label"
+    );
+    assert_eq!(pred.served_by, None, "nothing should have run");
+    assert_eq!(dep.quarantined_count("qg-user"), 1);
+
+    // The same recording uncorrupted serves normally.
+    let pred = dep.predict("qg-user", &data.maps()[indices[1]]).unwrap();
+    assert!(pred.emotion.is_some(), "clean data must serve");
+}
+
+#[test]
+fn missing_modality_is_imputed_not_fatal() {
+    let guard = shared_deployment().lock().unwrap();
+    let (config, data, dep, indices) = &*guard;
+    let mut dep = dep.clone();
+    dep.set_policy(lenient());
+    dep.onboard("mm-user", &[data.maps()[indices[0]].clone()])
+        .unwrap();
+
+    // BVP sensor died mid-session: the channel froze at its last value.
+    let sig = config.cohort.signal;
+    let extractor = FeatureExtractor::new(sig, config.window);
+    let mut rec = data.cohort().recordings()[indices[2]].clone();
+    let frozen = rec.bvp[0];
+    for v in &mut rec.bvp {
+        *v = frozen;
+    }
+    let map = extractor.feature_map(&rec);
+
+    let pred = dep.predict("mm-user", &map).unwrap();
+    assert!(
+        pred.emotion.is_some(),
+        "two healthy modalities must still serve"
+    );
+    assert!(
+        pred.imputed.contains(&Modality::Bvp),
+        "dead BVP block must be imputed, got {:?}",
+        pred.imputed
+    );
+    assert!(
+        pred.quality < 1.0,
+        "quality must reflect the missing modality"
+    );
+}
+
+#[test]
+fn personalization_rolls_back_on_adversarial_labels() {
+    let guard = shared_deployment().lock().unwrap();
+    let (config, data, dep, indices) = &*guard;
+    let mut dep = dep.clone();
+    dep.set_policy(lenient());
+    dep.onboard("pr-user", &[data.maps()[indices[0]].clone()])
+        .unwrap();
+
+    // Label every map with the deployment's own current prediction, then
+    // invert the labels of the training slice. The held-out (trailing)
+    // validation slice stays self-consistent, so the cluster checkpoint
+    // scores 1.0 on it and fine-tuning on inverted labels can only hurt.
+    let eval = &indices[1..8];
+    let mut labeled: Vec<(FeatureMap, Emotion)> = Vec::new();
+    for &i in eval {
+        let map = data.maps()[i].clone();
+        let own = dep
+            .predict("pr-user", &map)
+            .unwrap()
+            .emotion
+            .expect("lenient policy labels clean maps");
+        labeled.push((map, own));
+    }
+    let n_val = (labeled.len() as f32 * dep.policy().validation_fraction).ceil() as usize;
+    let n_train = labeled.len() - n_val;
+    for (_, label) in labeled.iter_mut().take(n_train) {
+        *label = Emotion::from_class_index(1 - label.class_index());
+    }
+
+    let adversarial = clear::nn::train::TrainConfig {
+        epochs: 25,
+        batch_size: 4,
+        ..config.finetune
+    };
+    let outcome = dep.personalize("pr-user", &labeled, &adversarial).unwrap();
+    assert!(outcome.validated, "7 labeled maps must trigger validation");
+    assert!(
+        (outcome.baseline_accuracy - 1.0).abs() < 1e-6,
+        "cluster model must agree with its own labels, got {}",
+        outcome.baseline_accuracy
+    );
+    assert!(
+        !outcome.adopted,
+        "fine-tuning on inverted labels must roll back (val acc {} vs {})",
+        outcome.personalized_accuracy, outcome.baseline_accuracy
+    );
+    assert!(
+        !dep.is_personalized("pr-user"),
+        "rolled-back user keeps the cluster checkpoint"
+    );
+}
+
+#[test]
+fn edge_retry_recovers_from_transient_faults() {
+    let guard = shared_deployment().lock().unwrap();
+    let (_, data, dep, indices) = &*guard;
+    let windows = dep.bundle().windows;
+    let model = dep.bundle().models[0].clone();
+    let shape = [1usize, FEATURE_COUNT, windows];
+
+    let primary = EdgeDeployment::new(model.clone(), Device::CoralTpu, &shape);
+    let fallback = EdgeDeployment::new(model, Device::CoralTpu, &shape);
+    let mut resilient = ResilientDeployment::new(
+        primary,
+        FaultConfig::transient(0.10, 1234),
+        RetryPolicy::default(),
+    )
+    .with_fallback(fallback);
+
+    let map = &data.maps()[indices[0]];
+    let x = Tensor::from_vec(&shape, map.as_slice().to_vec());
+    for _ in 0..300 {
+        let outcome = resilient.serve(&x);
+        if let Some(logits) = outcome.logits {
+            assert_eq!(logits.shape(), [2]);
+        }
+    }
+    let stats = resilient.stats();
+    assert_eq!(stats.requests, 300);
+    assert!(stats.faults_absorbed > 0, "faults must actually fire");
+    assert!(
+        stats.availability() >= 0.99,
+        "retry must hold availability >= 0.99 at 10% transients, got {}",
+        stats.availability()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The public serving surface must never panic, whatever the shape or
+    /// contents of the feature map — garbage in, `Err`/abstention out.
+    #[test]
+    fn serving_never_panics_on_arbitrary_maps(
+        windows in 1usize..8,
+        fill in prop_oneof![
+            (-1.0e6f32..1.0e6f32).boxed(),
+            Just(f32::NAN).boxed(),
+            Just(f32::INFINITY).boxed(),
+            Just(f32::NEG_INFINITY).boxed(),
+            Just(0.0f32).boxed(),
+        ],
+        jitter in proptest::collection::vec(-1.0f32..1.0, FEATURE_COUNT),
+    ) {
+        let guard = shared_deployment().lock().unwrap();
+        let (_, data, dep, indices) = &*guard;
+        let mut dep = dep.clone();
+        dep.onboard("fuzz-user", &[data.maps()[indices[0]].clone()]).unwrap();
+
+        let columns: Vec<Vec<f32>> = (0..windows)
+            .map(|c| {
+                (0..FEATURE_COUNT)
+                    .map(|f| fill + jitter[f] * (c as f32 + 1.0))
+                    .collect()
+            })
+            .collect();
+        let map = FeatureMap::from_columns(&columns);
+
+        // Any outcome is acceptable except a panic; wrong shapes must
+        // surface as BadInput, not index errors.
+        match dep.predict("fuzz-user", &map) {
+            Ok(p) => prop_assert!(p.quality.is_finite()),
+            Err(DeployError::BadInput(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {e}"),
+        }
+        let _ = dep.onboard("fuzz-onboard", &[map.clone()]);
+        let _ = dep.personalize(
+            "fuzz-user",
+            &[(map, Emotion::Fear)],
+            &ClearConfig::quick(1).finetune,
+        );
+    }
 }

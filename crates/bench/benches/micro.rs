@@ -1,11 +1,15 @@
 //! Criterion micro-benchmarks of every substrate on CLEAR-shaped inputs:
 //! FFT and Welch PSD, the 123-feature window extractor, refined k-means,
-//! CNN-LSTM forward/backward, and quantized edge inference.
+//! CNN-LSTM forward/backward (fresh vs. reused workspace), quantized edge
+//! inference (single vs. batch), and the sequential vs. parallel LOSO
+//! fold drivers.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use clear_clustering::refine::{refined_fit, RefineConfig};
+use clear_core::dataset::PreparedCohort;
+use clear_core::evaluation::{clear_folds, clear_folds_parallel};
 use clear_core::ClearConfig;
 use clear_edge::{Device, EdgeDeployment};
 use clear_features::{extract_window, WindowConfig};
@@ -13,6 +17,7 @@ use clear_nn::loss::cross_entropy;
 use clear_nn::network::cnn_lstm_compact;
 use clear_nn::quantize::{lower_network, Precision};
 use clear_nn::tensor::Tensor;
+use clear_nn::workspace::Workspace;
 use clear_sim::{Cohort, CohortConfig, SignalConfig};
 
 fn bench_dsp(c: &mut Criterion) {
@@ -66,20 +71,35 @@ fn bench_clustering(c: &mut Criterion) {
 }
 
 fn bench_nn(c: &mut Criterion) {
-    let mut net = cnn_lstm_compact(123, 9, 2, 1);
+    let net = cnn_lstm_compact(123, 9, 2, 1);
     let x = Tensor::from_vec(
         &[1, 123, 9],
         (0..123 * 9).map(|v| (v as f32).sin()).collect(),
     );
+    // Steady state: the workspace is bound once and reused, so forward
+    // allocates nothing.
+    let mut ws = Workspace::new();
     c.bench_function("cnn_lstm_compact_forward", |b| {
-        b.iter(|| net.forward(black_box(&x), false))
+        b.iter(|| {
+            let logits = net.forward(black_box(&x), false, &mut ws);
+            black_box(logits.as_slice()[0])
+        })
+    });
+    // Cold start: every call pays workspace (re)allocation, the cost the
+    // reuse above amortizes away.
+    c.bench_function("cnn_lstm_compact_forward_fresh_workspace", |b| {
+        b.iter(|| {
+            let mut fresh = Workspace::new();
+            let logits = net.forward(black_box(&x), false, &mut fresh);
+            black_box(logits.as_slice()[0])
+        })
     });
     c.bench_function("cnn_lstm_compact_forward_backward", |b| {
         b.iter(|| {
-            let logits = net.forward(black_box(&x), true);
-            let (_, grad) = cross_entropy(&logits, 1);
-            net.zero_grads();
-            net.backward(&grad);
+            let logits = net.forward(black_box(&x), true, &mut ws);
+            let (_, grad) = cross_entropy(logits, 1);
+            ws.zero_grads();
+            net.backward(&grad, &mut ws);
         })
     });
     c.bench_function("int8_lowering_full_network", |b| {
@@ -101,6 +121,28 @@ fn bench_edge(c: &mut Criterion) {
     c.bench_function("edge_int8_inference", |b| {
         b.iter(|| dep.infer(black_box(&x)))
     });
+    // Single-vs-batch: `infer` clones the output tensor per window,
+    // `predict_batch` serves the whole batch through the reused workspace
+    // and returns plain class indices.
+    let batch: Vec<Tensor> = (0..16)
+        .map(|i| {
+            Tensor::from_vec(
+                &[1, 123, 9],
+                (0..123 * 9).map(|v| ((v + i * 7) as f32).cos()).collect(),
+            )
+        })
+        .collect();
+    c.bench_function("edge_inference_single_x16", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|m| dep.infer(black_box(m)).argmax())
+                .collect::<Vec<usize>>()
+        })
+    });
+    c.bench_function("edge_inference_batch_x16", |b| {
+        b.iter(|| dep.predict_batch(black_box(&batch)))
+    });
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -118,9 +160,31 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Sequential vs. parallel LOSO drivers on a deliberately tiny profile
+/// (one training epoch) so the comparison measures driver overhead and
+/// scaling, not epochs of SGD.
+fn bench_loso(c: &mut Criterion) {
+    let mut config = ClearConfig::quick(5);
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let mut group = c.benchmark_group("loso");
+    group.sample_size(10);
+    group.bench_function("clear_folds_sequential", |b| {
+        b.iter(|| clear_folds(black_box(&data), &config, false, |_, _| {}))
+    });
+    group.bench_function("clear_folds_parallel_4", |b| {
+        b.iter(|| clear_folds_parallel(black_box(&data), &config, false, 4, |_, _| {}))
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_dsp, bench_features, bench_clustering, bench_nn, bench_edge, bench_pipeline
+    targets = bench_dsp, bench_features, bench_clustering, bench_nn, bench_edge, bench_pipeline, bench_loso
 );
 criterion_main!(benches);

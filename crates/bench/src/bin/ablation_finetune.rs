@@ -51,8 +51,8 @@ fn main() {
             acc_before += cloud.evaluate(&data, assigned, test_idx).accuracy;
             let ft_ds = cloud.user_dataset(&data, ft_idx);
             let test_ds = cloud.user_dataset(&data, test_idx);
-            let mut personalized = cloud.fine_tune(assigned, &ft_ds, &cfg.finetune);
-            acc_after += train::evaluate(&mut personalized, &test_ds).accuracy;
+            let personalized = cloud.fine_tune(assigned, &ft_ds, &cfg.finetune);
+            acc_after += train::evaluate(&personalized, &test_ds).accuracy;
             eprint!(
                 "\rfraction {:.0}%: fold {}/{}   ",
                 fraction * 100.0,

@@ -85,7 +85,7 @@ fn main() {
             } else {
                 train::train(&mut net, &tr, Some(&val), &config.train);
             }
-            scores.push(train::evaluate(&mut net, &test_ds));
+            scores.push(train::evaluate(&net, &test_ds));
             eprint!("\r{name}: fold {}/{}   ", fold + 1, group.len());
         }
         eprintln!();

@@ -1,0 +1,131 @@
+//! Execution-model benchmark: measures the cost structure introduced by
+//! the weights/workspace split and writes `BENCH_exec.json` so the perf
+//! trajectory is tracked across revisions.
+//!
+//! Reported numbers:
+//!
+//! * inference windows/sec with a fresh workspace per call (cold start),
+//!   with one reused workspace (allocation-free steady state), and
+//!   through the edge `predict_batch` path;
+//! * CLEAR LOSO validation wall-clock, sequential vs. the parallel fold
+//!   driver at 2 and 4 worker threads.
+
+use clear_bench::cli_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::evaluation::{clear_folds, clear_folds_parallel};
+use clear_edge::{Device, EdgeDeployment};
+use clear_nn::network::cnn_lstm_compact;
+use clear_nn::tensor::Tensor;
+use clear_nn::workspace::Workspace;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ExecBench {
+    /// Forward passes per second, new workspace every call.
+    inference_fresh_ws_per_sec: f32,
+    /// Forward passes per second, one reused workspace.
+    inference_reused_ws_per_sec: f32,
+    /// Windows per second through the edge batch path.
+    inference_edge_batch_per_sec: f32,
+    /// Sequential LOSO wall-clock, seconds.
+    loso_sequential_secs: f32,
+    /// Parallel LOSO wall-clock at 2 threads, seconds.
+    loso_parallel2_secs: f32,
+    /// Parallel LOSO wall-clock at 4 threads, seconds.
+    loso_parallel4_secs: f32,
+    /// Folds in the LOSO runs.
+    loso_folds: usize,
+}
+
+fn windows_per_sec(reps: usize, f: impl FnMut()) -> f32 {
+    let mut f = f;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    reps as f32 / t0.elapsed().as_secs_f32().max(1e-9)
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    // Inference throughput on the paper-shaped 123×9 window.
+    let net = cnn_lstm_compact(123, 9, 2, 1);
+    let x = Tensor::from_vec(
+        &[1, 123, 9],
+        (0..123 * 9).map(|v| (v as f32).sin()).collect(),
+    );
+    let reps = 2000usize;
+    let fresh = windows_per_sec(reps, || {
+        let mut ws = Workspace::new();
+        let _ = net.forward(&x, false, &mut ws);
+    });
+    let mut ws = Workspace::new();
+    let reused = windows_per_sec(reps, || {
+        let _ = net.forward(&x, false, &mut ws);
+    });
+    let batch: Vec<Tensor> = (0..32)
+        .map(|i| {
+            Tensor::from_vec(
+                &[1, 123, 9],
+                (0..123 * 9).map(|v| ((v + i * 7) as f32).cos()).collect(),
+            )
+        })
+        .collect();
+    let mut dep = EdgeDeployment::new(net.clone(), Device::CoralTpu, &[1, 123, 9]);
+    let t0 = Instant::now();
+    let batch_rounds = 100usize;
+    for _ in 0..batch_rounds {
+        let _ = dep.predict_batch(&batch);
+    }
+    let edge_batch = (batch_rounds * batch.len()) as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+    eprintln!(
+        "inference windows/sec: fresh-ws {fresh:.0}, reused-ws {reused:.0}, edge batch {edge_batch:.0}"
+    );
+
+    // LOSO wall-clock: a reduced profile (one epoch) so the comparison
+    // measures driver scaling rather than epochs of SGD.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let t0 = Instant::now();
+    let seq = clear_folds(&data, &config, false, |_, _| {});
+    let loso_sequential_secs = t0.elapsed().as_secs_f32();
+    let t0 = Instant::now();
+    let par2 = clear_folds_parallel(&data, &config, false, 2, |_, _| {});
+    let loso_parallel2_secs = t0.elapsed().as_secs_f32();
+    let t0 = Instant::now();
+    let par4 = clear_folds_parallel(&data, &config, false, 4, |_, _| {});
+    let loso_parallel4_secs = t0.elapsed().as_secs_f32();
+    assert_eq!(seq, par2, "parallel folds (2 threads) diverged");
+    assert_eq!(seq, par4, "parallel folds (4 threads) diverged");
+    eprintln!(
+        "loso wall-clock: sequential {loso_sequential_secs:.2}s, 2 threads {loso_parallel2_secs:.2}s, 4 threads {loso_parallel4_secs:.2}s ({} folds, bit-identical)",
+        seq.folds.len()
+    );
+
+    let results = ExecBench {
+        inference_fresh_ws_per_sec: fresh,
+        inference_reused_ws_per_sec: reused,
+        inference_edge_batch_per_sec: edge_batch,
+        loso_sequential_secs,
+        loso_parallel2_secs,
+        loso_parallel4_secs,
+        loso_folds: seq.folds.len(),
+    };
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_exec.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+}

@@ -74,8 +74,8 @@ fn main() {
     let test_idx = &indices[ca_n + ft_n..];
     let ft_ds = cloud.user_dataset(&data, ft_idx);
     let test_ds = cloud.user_dataset(&data, test_idx);
-    let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
-    let score_after = train::evaluate(&mut personalized, &test_ds);
+    let personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+    let score_after = train::evaluate(&personalized, &test_ds);
     println!(
         "[6] fine-tuning with {} labeled map(s) ({}% of data): {:.1} % on held-out data",
         ft_n,

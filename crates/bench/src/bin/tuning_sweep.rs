@@ -81,7 +81,7 @@ fn main() {
             };
             let mut net = cloud.model(assigned).clone();
             train::train(&mut net, &ft_ds, None, &tc);
-            sums[ci] += train::evaluate(&mut net, &test_ds).accuracy;
+            sums[ci] += train::evaluate(&net, &test_ds).accuracy;
         }
         eprint!("\rfold {}/{fold_count}   ", fold + 1);
     }

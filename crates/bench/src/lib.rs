@@ -13,6 +13,7 @@
 //! | `ablation_assignment` | CA with vs. without internal sub-centroids |
 //! | `ablation_finetune` | fine-tuning label-budget sweep |
 //! | `robustness_curve` | accuracy/abstention/availability vs. artifact severity |
+//! | `bench_exec` | execution-model throughput + LOSO driver scaling (`BENCH_exec.json`) |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

@@ -37,6 +37,7 @@ use clear_nn::loss::{predict_class, softmax};
 use clear_nn::network::Network;
 use clear_nn::tensor::Tensor;
 use clear_nn::train::{self, TrainConfig};
+use clear_nn::workspace::Workspace;
 use clear_sim::Emotion;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -251,6 +252,10 @@ pub struct ClearDeployment {
     /// Good-quality maps accumulated for users whose onboarding is still
     /// deferred by the quality guardrail.
     pending: BTreeMap<String, Vec<FeatureMap>>,
+    /// Reused execution state for serving: the bundle's networks stay
+    /// immutable, and steady-state inference allocates no per-window
+    /// activation tensors.
+    ws: Workspace,
 }
 
 impl ClearDeployment {
@@ -267,6 +272,7 @@ impl ClearDeployment {
             policy,
             users: BTreeMap::new(),
             pending: BTreeMap::new(),
+            ws: Workspace::new(),
         }
     }
 
@@ -465,18 +471,59 @@ impl ClearDeployment {
     /// [`DeployError::BadInput`] for maps whose shape does not match the
     /// bundle.
     pub fn predict(&mut self, user: &str, map: &FeatureMap) -> Result<Prediction, DeployError> {
+        let mut predictions = self.predict_batch(user, std::slice::from_ref(map))?;
+        Ok(predictions.pop().expect("one prediction per input map"))
+    }
+
+    /// Classifies a batch of feature maps for one user — semantically the
+    /// same as calling [`ClearDeployment::predict`] once per map, in
+    /// order, but the user lookup, shape validation and imputation
+    /// centroid reconstruction are amortized across the whole batch, and
+    /// every forward pass reuses one workspace, so the steady state
+    /// allocates no per-window activation tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::UnknownUser`] for unknown users and
+    /// [`DeployError::BadInput`] when any map's shape does not match the
+    /// bundle (shapes are validated up front: no predictions are served
+    /// on error).
+    pub fn predict_batch(
+        &mut self,
+        user: &str,
+        maps: &[FeatureMap],
+    ) -> Result<Vec<Prediction>, DeployError> {
         let state = self
             .users
             .get(user)
             .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
         let cluster = state.cluster;
         let baseline = state.baseline.clone();
-        self.check_shape(map)?;
+        for map in maps {
+            self.check_shape(map)?;
+        }
+        let centroid = self.cluster_raw_centroid(cluster);
+        let mut predictions = Vec::with_capacity(maps.len());
+        for map in maps {
+            predictions.push(self.predict_one(user, cluster, &baseline, &centroid, map)?);
+        }
+        Ok(predictions)
+    }
 
+    /// The per-map core of the serving path, with the user's cluster,
+    /// baseline and imputation centroid already resolved by the caller.
+    fn predict_one(
+        &mut self,
+        user: &str,
+        cluster: usize,
+        baseline: &[f32],
+        centroid: &[f32],
+        map: &FeatureMap,
+    ) -> Result<Prediction, DeployError> {
         let mq = assess_map(map);
         let dead = mq.dead_modalities(self.policy.min_modality_score);
         if dead.len() == mq.blocks.len() {
-            let state = self.users.get_mut(user).expect("user just looked up");
+            let state = self.users.get_mut(user).expect("user looked up by caller");
             state.quarantined += 1;
             return Ok(Prediction {
                 emotion: None,
@@ -516,28 +563,28 @@ impl ClearDeployment {
             (alive * (1.0 - 0.5 * dead_fraction)).clamp(0.0, 1.0)
         };
 
-        let centroid = self.cluster_raw_centroid(cluster);
-        let mut normalized = corrected(&self.sanitized_map(map, &centroid, &impute), &baseline)?;
+        let mut normalized = corrected(&self.sanitized_map(map, centroid, &impute), baseline)?;
         normalized.normalize(&self.bundle.clf_normalizer);
         let x = Tensor::from_vec(
             &[1, FEATURE_COUNT, normalized.window_count()],
             normalized.as_slice().to_vec(),
         );
 
-        // Borrow the right network mutably (forward caches activations).
-        let state = self.users.get_mut(user).expect("user just looked up");
-        let (logits, served_by) = match &mut state.personalized {
-            Some(net) => (net.forward(&x, false), ModelSource::Personalized),
-            None => {
-                let net = self
-                    .bundle
+        // The served network is read-only; all mutable per-call state
+        // (activations, LSTM tape) lives in the reused workspace.
+        let state = self.users.get(user).expect("user looked up by caller");
+        let (net, served_by) = match &state.personalized {
+            Some(net) => (net, ModelSource::Personalized),
+            None => (
+                self.bundle
                     .models
-                    .get_mut(cluster)
-                    .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
-                (net.forward(&x, false), ModelSource::Cluster(cluster))
-            }
+                    .get(cluster)
+                    .ok_or(DeployError::BadInput("bundle has no model for cluster"))?,
+                ModelSource::Cluster(cluster),
+            ),
         };
-        let class = predict_class(&logits);
+        let logits = net.forward(&x, false, &mut self.ws);
+        let class = predict_class(logits);
         let probs = softmax(logits.as_slice());
         let confidence = probs.get(class).copied().unwrap_or(0.0);
         let emotion = if class <= 1
@@ -642,6 +689,9 @@ impl ClearDeployment {
         for (x, label) in &train_samples {
             train_set.push(x.clone(), *label);
         }
+        // The only weight copy on the personalization path: fine-tuning
+        // needs its own mutable parameters. Evaluation reads the shared
+        // cluster checkpoint in place.
         let mut net = base_model.clone();
         train::train(&mut net, &train_set, None, config);
 
@@ -650,9 +700,8 @@ impl ClearDeployment {
             for (x, label) in &val_samples {
                 val_set.push(x.clone(), *label);
             }
-            let mut base = base_model.clone();
-            let base_score = train::evaluate(&mut base, &val_set);
-            let tuned_score = train::evaluate(&mut net, &val_set);
+            let base_score = train::evaluate(base_model, &val_set);
+            let tuned_score = train::evaluate(&net, &val_set);
             (
                 tuned_score.accuracy + 1e-6 >= base_score.accuracy,
                 base_score.accuracy,
@@ -660,7 +709,7 @@ impl ClearDeployment {
             )
         } else {
             // Tiny budgets: adopt unvalidated, report training-set fit.
-            let tuned_score = train::evaluate(&mut net, &train_set);
+            let tuned_score = train::evaluate(&net, &train_set);
             (true, f32::NAN, tuned_score.accuracy)
         };
 
@@ -904,6 +953,37 @@ mod tests {
         assert!(dep.is_personalized("carol"));
         dep.onboard("carol", &maps).unwrap();
         assert!(!dep.is_personalized("carol"));
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predict() {
+        let (_, data, mut dep, indices) = deployment();
+        dep.set_policy(lenient(ServingPolicy::default()));
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("hana", &maps).unwrap();
+        let w = dep.bundle().windows;
+        let mut batch: Vec<FeatureMap> = indices[1..4]
+            .iter()
+            .map(|&i| data.maps()[i].clone())
+            .collect();
+        // Include a quarantined window so counter bookkeeping is compared
+        // too.
+        batch.push(FeatureMap::from_columns(&vec![
+            vec![f32::NAN; FEATURE_COUNT];
+            w
+        ]));
+        let mut sequential = dep.clone();
+        let one_by_one: Vec<Prediction> = batch
+            .iter()
+            .map(|m| sequential.predict("hana", m).unwrap())
+            .collect();
+        let batched = dep.predict_batch("hana", &batch).unwrap();
+        assert_eq!(batched, one_by_one);
+        assert_eq!(
+            dep.quarantined_count("hana"),
+            sequential.quarantined_count("hana")
+        );
+        assert!(dep.predict_batch("nobody", &batch).is_err());
     }
 
     #[test]

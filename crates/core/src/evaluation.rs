@@ -13,6 +13,9 @@
 //!   the wrong-cluster models), and finally fine-tuned with 20 % labeled
 //!   data (CLEAR w/ FT). Optionally the same folds are deployed on the
 //!   simulated edge devices for Table II.
+//! * [`clear_folds_parallel`] — the same validation fanned out across
+//!   scoped worker threads sharing the prepared cohort read-only;
+//!   bit-identical to the sequential driver at any thread count.
 
 use crate::config::ClearConfig;
 use crate::dataset::PreparedCohort;
@@ -22,10 +25,12 @@ use clear_edge::{Device, EdgeDeployment, Measurement};
 use clear_nn::metrics::{Aggregate, FoldScore};
 use clear_nn::train;
 use clear_sim::SubjectId;
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of the CL validation protocol.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,7 +145,7 @@ pub fn general_model(data: &PreparedCohort, config: &ClearConfig) -> Aggregate {
         let lo_baseline = data.subject_baseline(left_out);
         let test_ds =
             data.corrected_nn_dataset(&data.indices_of(left_out), &lo_baseline, &normalizer);
-        scores.push(train::evaluate(&mut net, &test_ds));
+        scores.push(train::evaluate(&net, &test_ds));
     }
     Aggregate::from_scores(&scores)
 }
@@ -198,12 +203,12 @@ pub fn cl_validation(data: &PreparedCohort, config: &ClearConfig) -> ClValidatio
             let lo_baseline = data.subject_baseline(left_out);
             let test_ds =
                 data.corrected_nn_dataset(&data.indices_of(left_out), &lo_baseline, &fold_norm);
-            cl_scores.push(train::evaluate(&mut net, &test_ds));
+            cl_scores.push(train::evaluate(&net, &test_ds));
 
             // Robustness test: the same checkpoint on other clusters' data.
             if !outsiders.is_empty() {
                 let out_ds = data.corrected_dataset_for_subjects(&outsiders, &fold_norm);
-                rt_scores.push(train::evaluate(&mut net, &out_ds));
+                rt_scores.push(train::evaluate(&net, &out_ds));
             }
         }
     }
@@ -285,6 +290,118 @@ fn cluster_majority_archetypes(data: &PreparedCohort, cloud: &CloudTraining) -> 
         .collect()
 }
 
+/// Runs one CLEAR-validation fold: leaves `subjects[fold_no]` out of the
+/// cloud stage, cold-start assigns them, and evaluates without/with
+/// fine-tuning (plus the edge deployment when requested).
+///
+/// Every random stream is keyed on `config.seed` and `fold_no` alone, so
+/// the fold's result does not depend on which thread runs it or in what
+/// order — the sequential and parallel drivers below produce bit-identical
+/// output by construction.
+fn run_fold(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    edge: bool,
+    subjects: &[SubjectId],
+    fold_no: usize,
+) -> ClearFold {
+    let vx = subjects[fold_no];
+    let initial: Vec<SubjectId> = subjects.iter().copied().filter(|&s| s != vx).collect();
+    let cloud = CloudTraining::fit(data, &initial, config);
+    let majorities = cluster_majority_archetypes(data, &cloud);
+
+    let vx_indices = data.indices_of(vx);
+    let (ca_idx, ft_idx, test_idx) = split_user_budget(
+        data,
+        &vx_indices,
+        config,
+        config.seed.wrapping_add(0xCA00 + fold_no as u64),
+    );
+
+    // Cold-start assignment from unlabeled data.
+    let assigned = cloud.assign_user(data, &ca_idx);
+    let assignment_correct = majorities[assigned] == data.archetype_of(vx);
+
+    // CLEAR w/o FT: assigned model on everything except the CA budget.
+    let eval_idx: Vec<usize> = ft_idx.iter().chain(test_idx.iter()).copied().collect();
+    let without_ft = cloud.evaluate(data, assigned, &eval_idx);
+
+    // RT CLEAR: mean score of the other clusters' models.
+    let mut rt_acc = 0.0f32;
+    let mut rt_f1 = 0.0f32;
+    let mut rt_n = 0usize;
+    for c in 0..cloud.cluster_count() {
+        if c == assigned {
+            continue;
+        }
+        let s = cloud.evaluate(data, c, &eval_idx);
+        rt_acc += s.accuracy;
+        rt_f1 += s.f1;
+        rt_n += 1;
+    }
+    let rt = FoldScore {
+        accuracy: rt_acc / rt_n.max(1) as f32,
+        f1: rt_f1 / rt_n.max(1) as f32,
+    };
+
+    // CLEAR w/ FT (cloud/GPU): fine-tune with the labeled budget.
+    let ft_ds = cloud.user_dataset(data, &ft_idx);
+    let test_ds = cloud.user_dataset(data, &test_idx);
+    let personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+    let with_ft = train::evaluate(&personalized, &test_ds);
+
+    let edge_fold = edge.then(|| {
+        let input_shape = [1usize, clear_features::FEATURE_COUNT, data.windows()];
+        let mut without = Vec::new();
+        let mut rt_dev = Vec::new();
+        let mut with = Vec::new();
+        let mut meas = Vec::new();
+        for device in Device::all() {
+            let mut dep = EdgeDeployment::new(cloud.model(assigned).clone(), device, &input_shape);
+            let eval_ds = cloud.user_dataset(data, &eval_idx);
+            without.push(dep.evaluate(&eval_ds));
+            // RT on-device: wrong-cluster checkpoints, same precision.
+            let mut acc = 0.0f32;
+            let mut f1 = 0.0f32;
+            let mut n = 0usize;
+            for c in 0..cloud.cluster_count() {
+                if c == assigned {
+                    continue;
+                }
+                let mut rdep = EdgeDeployment::new(cloud.model(c).clone(), device, &input_shape);
+                let s = rdep.evaluate(&eval_ds);
+                acc += s.accuracy;
+                f1 += s.f1;
+                n += 1;
+            }
+            rt_dev.push(FoldScore {
+                accuracy: acc / n.max(1) as f32,
+                f1: f1 / n.max(1) as f32,
+            });
+            // On-device fine-tuning with the labeled budget.
+            let outcome = dep.fine_tune(&ft_ds, &test_ds, &config.finetune);
+            meas.push(dep.measurement(&outcome));
+            with.push(outcome.score);
+        }
+        EdgeFold {
+            without_ft: without,
+            rt: rt_dev,
+            with_ft: with,
+            measurements: meas,
+        }
+    });
+
+    ClearFold {
+        subject: vx.0,
+        assigned_cluster: assigned,
+        assignment_correct,
+        without_ft,
+        rt,
+        with_ft,
+        edge: edge_fold,
+    }
+}
+
 /// Runs the complete CLEAR validation (optionally with edge deployment),
 /// one fold per volunteer.
 ///
@@ -299,106 +416,61 @@ pub fn clear_folds(
     let subjects = data.subject_ids();
     let total = subjects.len();
     let mut folds = Vec::with_capacity(total);
-
-    for (fold_no, &vx) in subjects.iter().enumerate() {
-        let initial: Vec<SubjectId> = subjects.iter().copied().filter(|&s| s != vx).collect();
-        let cloud = CloudTraining::fit(data, &initial, config);
-        let majorities = cluster_majority_archetypes(data, &cloud);
-
-        let vx_indices = data.indices_of(vx);
-        let (ca_idx, ft_idx, test_idx) = split_user_budget(
-            data,
-            &vx_indices,
-            config,
-            config.seed.wrapping_add(0xCA00 + fold_no as u64),
-        );
-
-        // Cold-start assignment from unlabeled data.
-        let assigned = cloud.assign_user(data, &ca_idx);
-        let assignment_correct = majorities[assigned] == data.archetype_of(vx);
-
-        // CLEAR w/o FT: assigned model on everything except the CA budget.
-        let eval_idx: Vec<usize> = ft_idx.iter().chain(test_idx.iter()).copied().collect();
-        let without_ft = cloud.evaluate(data, assigned, &eval_idx);
-
-        // RT CLEAR: mean score of the other clusters' models.
-        let mut rt_acc = 0.0f32;
-        let mut rt_f1 = 0.0f32;
-        let mut rt_n = 0usize;
-        for c in 0..cloud.cluster_count() {
-            if c == assigned {
-                continue;
-            }
-            let s = cloud.evaluate(data, c, &eval_idx);
-            rt_acc += s.accuracy;
-            rt_f1 += s.f1;
-            rt_n += 1;
-        }
-        let rt = FoldScore {
-            accuracy: rt_acc / rt_n.max(1) as f32,
-            f1: rt_f1 / rt_n.max(1) as f32,
-        };
-
-        // CLEAR w/ FT (cloud/GPU): fine-tune with the labeled budget.
-        let ft_ds = cloud.user_dataset(data, &ft_idx);
-        let test_ds = cloud.user_dataset(data, &test_idx);
-        let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
-        let with_ft = train::evaluate(&mut personalized, &test_ds);
-
-        let edge_fold = edge.then(|| {
-            let input_shape = [1usize, clear_features::FEATURE_COUNT, data.windows()];
-            let mut without = Vec::new();
-            let mut rt_dev = Vec::new();
-            let mut with = Vec::new();
-            let mut meas = Vec::new();
-            for device in Device::all() {
-                let mut dep =
-                    EdgeDeployment::new(cloud.model(assigned).clone(), device, &input_shape);
-                let eval_ds = cloud.user_dataset(data, &eval_idx);
-                without.push(dep.evaluate(&eval_ds));
-                // RT on-device: wrong-cluster checkpoints, same precision.
-                let mut acc = 0.0f32;
-                let mut f1 = 0.0f32;
-                let mut n = 0usize;
-                for c in 0..cloud.cluster_count() {
-                    if c == assigned {
-                        continue;
-                    }
-                    let mut rdep =
-                        EdgeDeployment::new(cloud.model(c).clone(), device, &input_shape);
-                    let s = rdep.evaluate(&eval_ds);
-                    acc += s.accuracy;
-                    f1 += s.f1;
-                    n += 1;
-                }
-                rt_dev.push(FoldScore {
-                    accuracy: acc / n.max(1) as f32,
-                    f1: f1 / n.max(1) as f32,
-                });
-                // On-device fine-tuning with the labeled budget.
-                let outcome = dep.fine_tune(&ft_ds, &test_ds, &config.finetune);
-                meas.push(dep.measurement(&outcome));
-                with.push(outcome.score);
-            }
-            EdgeFold {
-                without_ft: without,
-                rt: rt_dev,
-                with_ft: with,
-                measurements: meas,
-            }
-        });
-
-        folds.push(ClearFold {
-            subject: vx.0,
-            assigned_cluster: assigned,
-            assignment_correct,
-            without_ft,
-            rt,
-            with_ft,
-            edge: edge_fold,
-        });
+    for fold_no in 0..total {
+        folds.push(run_fold(data, config, edge, &subjects, fold_no));
         progress(fold_no + 1, total);
     }
+    ClearValidation::from_folds(folds)
+}
+
+/// The parallel CLEAR-validation driver: same folds as [`clear_folds`],
+/// fanned out across `threads` scoped worker threads that share the
+/// prepared cohort and configuration read-only.
+///
+/// Folds are claimed from an atomic work index and written into their
+/// fold-numbered slot, so the aggregated [`ClearValidation`] is
+/// **bit-identical** to the sequential driver's at any thread count —
+/// each fold's random streams are keyed on `config.seed` and the fold
+/// number only. `progress` observes completion counts (`done` is
+/// monotonic), not fold order.
+///
+/// `threads == 1` (or 0) degrades to the sequential driver.
+pub fn clear_folds_parallel(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    edge: bool,
+    threads: usize,
+    progress: impl FnMut(usize, usize) + Send,
+) -> ClearValidation {
+    if threads <= 1 {
+        return clear_folds(data, config, edge, progress);
+    }
+    let subjects = data.subject_ids();
+    let total = subjects.len();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<ClearFold>>> = Mutex::new(vec![None; total]);
+    let progress = Mutex::new(progress);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(total.max(1)) {
+            scope.spawn(|_| loop {
+                let fold_no = next.fetch_add(1, Ordering::SeqCst);
+                if fold_no >= total {
+                    break;
+                }
+                let fold = run_fold(data, config, edge, &subjects, fold_no);
+                slots.lock()[fold_no] = Some(fold);
+                let finished = done.fetch_add(1, Ordering::SeqCst) + 1;
+                (*progress.lock())(finished, total);
+            });
+        }
+    })
+    .expect("a fold worker panicked");
+    let folds: Vec<ClearFold> = slots
+        .into_inner()
+        .into_iter()
+        .map(|f| f.expect("every fold index is claimed by exactly one worker"))
+        .collect();
     ClearValidation::from_folds(folds)
 }
 

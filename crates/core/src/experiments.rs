@@ -209,6 +209,42 @@ pub fn run_table1(
     }
 }
 
+/// [`run_table1`] with the CLEAR validation folds fanned out across
+/// `threads` scoped worker threads (see
+/// [`evaluation::clear_folds_parallel`]). Bit-identical to the
+/// sequential runner at any thread count; `progress` must be `Send`
+/// because completion callbacks arrive from worker threads.
+pub fn run_table1_with_threads(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    threads: usize,
+    mut progress: impl FnMut(&str, usize, usize) + Send,
+) -> Table1 {
+    progress("general model", 0, 1);
+    let general = evaluation::general_model(data, config);
+    progress("general model", 1, 1);
+
+    progress("cl validation", 0, 1);
+    let cl = evaluation::cl_validation(data, config);
+    progress("cl validation", 1, 1);
+
+    let n = data.subject_ids().len();
+    let clear = evaluation::clear_folds_parallel(data, config, false, threads, |done, total| {
+        progress("clear validation", done, total);
+    });
+    debug_assert_eq!(clear.folds.len(), n);
+
+    Table1 {
+        general,
+        rt_cl: cl.rt,
+        cl: cl.cl,
+        rt_clear: clear.rt,
+        clear_wo_ft: clear.without_ft,
+        clear_w_ft: clear.with_ft,
+        assignment_accuracy: clear.assignment_accuracy,
+    }
+}
+
 fn row(name: &str, agg: &Aggregate, paper: &PaperRow) -> String {
     format!(
         "{:<16} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   | {:>8.2} {:>8.2} {:>8.2} {:>8.2}\n",
@@ -340,6 +376,21 @@ pub fn run_table2(
     mut progress: impl FnMut(&str, usize, usize),
 ) -> Table2 {
     let clear = evaluation::clear_folds(data, config, true, |done, total| {
+        progress("edge validation", done, total);
+    });
+    Table2::from_validation(&clear)
+}
+
+/// [`run_table2`] with the edge-validation folds fanned out across
+/// `threads` scoped worker threads. Bit-identical to the sequential
+/// runner at any thread count.
+pub fn run_table2_with_threads(
+    data: &PreparedCohort,
+    config: &ClearConfig,
+    threads: usize,
+    mut progress: impl FnMut(&str, usize, usize) + Send,
+) -> Table2 {
+    let clear = evaluation::clear_folds_parallel(data, config, true, threads, |done, total| {
         progress("edge validation", done, total);
     });
     Table2::from_validation(&clear)

@@ -188,8 +188,7 @@ impl CloudTraining {
     /// (all belonging to one subject, whose baseline is applied).
     pub fn evaluate(&self, data: &PreparedCohort, cluster: usize, indices: &[usize]) -> FoldScore {
         let ds = self.user_dataset(data, indices);
-        let mut net = self.models[cluster].clone();
-        train::evaluate(&mut net, &ds)
+        train::evaluate(&self.models[cluster], &ds)
     }
 
     /// Fine-tunes the model of `cluster` on a labeled dataset, returning

@@ -2,11 +2,20 @@
 //!
 //! Each layer processes one sample at a time (mini-batches accumulate
 //! gradients across consecutive `forward`/`backward` calls before an
-//! optimizer step). Caches needed by the backward pass are stored in the
-//! layer and skipped during serialization, so checkpoints contain weights
-//! only.
+//! optimizer step). Layers hold *weights only* — everything mutable per
+//! call (activations, gradients, the LSTM tape, pooling argmax, dropout
+//! masks) lives in the caller's [`Workspace`](crate::workspace::Workspace)
+//! — so checkpoints contain weights only, layers are `&self` during
+//! execution, and one model can serve many concurrent callers.
+//!
+//! The backward pass reads each layer's forward input from the workspace
+//! activation chain instead of a per-layer cache: the ReLU mask is the
+//! input's sign, the conv/dense input is the previous activation, and so
+//! on. Only genuinely derived state (pool argmax, LSTM step tape, dropout
+//! mask) is stored.
 
 use crate::tensor::Tensor;
+use crate::workspace::{LayerState, LstmTape};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -35,59 +44,97 @@ pub enum Layer {
 }
 
 impl Layer {
-    /// Runs the layer forward. `train` enables dropout.
-    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        match self {
-            Layer::Conv2d(l) => l.forward(x),
-            Layer::Relu(l) => l.forward(x),
-            Layer::MaxPool2d(l) => l.forward(x),
-            Layer::MapToSequence(l) => l.forward(x),
-            Layer::Lstm(l) => l.forward(x),
-            Layer::Dense(l) => l.forward(x),
-            Layer::Dropout(l) => l.forward(x, train),
+    /// Runs the layer forward, writing the output activation into `out`
+    /// and per-call state into `state`. `train` enables dropout.
+    pub(crate) fn forward_ws(
+        &self,
+        x: &Tensor,
+        out: &mut Tensor,
+        state: &mut LayerState,
+        train: bool,
+    ) {
+        match (self, state) {
+            (Layer::Conv2d(l), LayerState::Conv2d { .. }) => l.forward(x, out),
+            (Layer::Relu(l), LayerState::Relu) => l.forward(x, out),
+            (Layer::MaxPool2d(l), LayerState::MaxPool2d { argmax }) => l.forward(x, out, argmax),
+            (Layer::MapToSequence(l), LayerState::MapToSequence) => l.forward(x, out),
+            (Layer::Lstm(l), LayerState::Lstm { tape, .. }) => l.forward(x, out, tape),
+            (Layer::Dense(l), LayerState::Dense { .. }) => l.forward(x, out),
+            (Layer::Dropout(l), LayerState::Dropout { mask, counter }) => {
+                l.forward(x, out, mask, counter, train)
+            }
+            _ => panic!("workspace state does not match layer {}", self.name()),
         }
     }
 
-    /// Propagates the gradient, accumulating parameter gradients.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before `forward` (no cached activation).
-    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
-        match self {
-            Layer::Conv2d(l) => l.backward(grad),
-            Layer::Relu(l) => l.backward(grad),
-            Layer::MaxPool2d(l) => l.backward(grad),
-            Layer::MapToSequence(l) => l.backward(grad),
-            Layer::Lstm(l) => l.backward(grad),
-            Layer::Dense(l) => l.backward(grad),
-            Layer::Dropout(l) => l.backward(grad),
+    /// Propagates `gout` (gradient w.r.t. this layer's output) to `gin`
+    /// (gradient w.r.t. its input), accumulating parameter gradients in
+    /// `state`. `input` is the activation this layer consumed in the
+    /// matching forward pass.
+    pub(crate) fn backward_ws(
+        &self,
+        gout: &Tensor,
+        input: &Tensor,
+        gin: &mut Tensor,
+        state: &mut LayerState,
+    ) {
+        match (self, state) {
+            (Layer::Conv2d(l), LayerState::Conv2d { gw, gb }) => {
+                l.backward(gout, input, gin, gw, gb)
+            }
+            (Layer::Relu(l), LayerState::Relu) => l.backward(gout, input, gin),
+            (Layer::MaxPool2d(l), LayerState::MaxPool2d { argmax }) => {
+                l.backward(gout, input, gin, argmax)
+            }
+            (Layer::MapToSequence(l), LayerState::MapToSequence) => l.backward(gout, input, gin),
+            (Layer::Lstm(l), LayerState::Lstm { gwx, gwh, gb, tape }) => {
+                l.backward(gout, input, gin, gwx, gwh, gb, tape)
+            }
+            (Layer::Dense(l), LayerState::Dense { gw, gb }) => l.backward(gout, input, gin, gw, gb),
+            (Layer::Dropout(l), LayerState::Dropout { mask, .. }) => l.backward(gout, gin, mask),
+            _ => panic!("workspace state does not match layer {}", self.name()),
         }
     }
 
-    /// Visits each (parameter, gradient) pair for the optimizer.
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+    /// Visits each parameter slice (read-only), in optimizer order.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
         match self {
             Layer::Conv2d(l) => {
-                f(&mut l.w, &mut l.gw);
-                f(&mut l.b, &mut l.gb);
+                f(&l.w);
+                f(&l.b);
             }
             Layer::Lstm(l) => {
-                f(&mut l.wx, &mut l.gwx);
-                f(&mut l.wh, &mut l.gwh);
-                f(&mut l.b, &mut l.gb);
+                f(&l.wx);
+                f(&l.wh);
+                f(&l.b);
             }
             Layer::Dense(l) => {
-                f(&mut l.w, &mut l.gw);
-                f(&mut l.b, &mut l.gb);
+                f(&l.w);
+                f(&l.b);
             }
             Layer::Relu(_) | Layer::MaxPool2d(_) | Layer::MapToSequence(_) | Layer::Dropout(_) => {}
         }
     }
 
-    /// Resets accumulated gradients to zero.
-    pub fn zero_grads(&mut self) {
-        self.visit_params(&mut |_, g| g.iter_mut().for_each(|v| *v = 0.0));
+    /// Visits each parameter slice mutably, in optimizer order (used by
+    /// quantization and checkpoint restore).
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        match self {
+            Layer::Conv2d(l) => {
+                f(&mut l.w);
+                f(&mut l.b);
+            }
+            Layer::Lstm(l) => {
+                f(&mut l.wx);
+                f(&mut l.wh);
+                f(&mut l.b);
+            }
+            Layer::Dense(l) => {
+                f(&mut l.w);
+                f(&mut l.b);
+            }
+            Layer::Relu(_) | Layer::MaxPool2d(_) | Layer::MapToSequence(_) | Layer::Dropout(_) => {}
+        }
     }
 
     /// Total trainable parameter count.
@@ -131,12 +178,6 @@ pub struct Conv2d {
     kw: usize,
     pub(crate) w: Vec<f32>,
     pub(crate) b: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gw: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gb: Vec<f32>,
-    #[serde(skip)]
-    cache: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -158,9 +199,6 @@ impl Conv2d {
             kw,
             w: xavier(fan_in, fan_out, n, &mut rng),
             b: vec![0.0; out_ch],
-            gw: vec![0.0; n],
-            gb: vec![0.0; out_ch],
-            cache: None,
         }
     }
 
@@ -169,19 +207,9 @@ impl Conv2d {
         (self.in_ch, self.out_ch, self.kh, self.kw)
     }
 
-    fn ensure_grads(&mut self) {
-        if self.gw.len() != self.w.len() {
-            self.gw = vec![0.0; self.w.len()];
-        }
-        if self.gb.len() != self.b.len() {
-            self.gb = vec![0.0; self.b.len()];
-        }
-    }
-
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.rank(), 3, "Conv2d expects [C, H, W]");
         assert_eq!(x.shape()[0], self.in_ch, "Conv2d channel mismatch");
-        self.ensure_grads();
         let (h, w) = (x.shape()[1], x.shape()[2]);
         assert!(
             h >= self.kh && w >= self.kw,
@@ -190,40 +218,43 @@ impl Conv2d {
             self.kw
         );
         let (oh, ow) = (h - self.kh + 1, w - self.kw + 1);
-        let mut out = Tensor::zeros(&[self.out_ch, oh, ow]);
+        out.resize(&[self.out_ch, oh, ow]);
         let xs = x.as_slice();
-        {
-            let od = out.as_mut_slice();
-            for o in 0..self.out_ch {
-                for y in 0..oh {
-                    for xcol in 0..ow {
-                        let mut acc = self.b[o];
-                        for i in 0..self.in_ch {
-                            for ky in 0..self.kh {
-                                let wrow = ((o * self.in_ch + i) * self.kh + ky) * self.kw;
-                                let xrow = (i * h + y + ky) * w + xcol;
-                                for kx in 0..self.kw {
-                                    acc += self.w[wrow + kx] * xs[xrow + kx];
-                                }
+        let od = out.as_mut_slice();
+        for o in 0..self.out_ch {
+            for y in 0..oh {
+                for xcol in 0..ow {
+                    let mut acc = self.b[o];
+                    for i in 0..self.in_ch {
+                        for ky in 0..self.kh {
+                            let wrow = ((o * self.in_ch + i) * self.kh + ky) * self.kw;
+                            let xrow = (i * h + y + ky) * w + xcol;
+                            for kx in 0..self.kw {
+                                acc += self.w[wrow + kx] * xs[xrow + kx];
                             }
                         }
-                        od[(o * oh + y) * ow + xcol] = acc;
                     }
+                    od[(o * oh + y) * ow + xcol] = acc;
                 }
             }
         }
-        self.cache = Some(x.clone());
-        out
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let x = self.cache.as_ref().expect("Conv2d backward before forward");
+    fn backward(
+        &self,
+        gout: &Tensor,
+        x: &Tensor,
+        gin: &mut Tensor,
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
         let (h, w) = (x.shape()[1], x.shape()[2]);
         let (oh, ow) = (h - self.kh + 1, w - self.kw + 1);
-        assert_eq!(grad.shape(), &[self.out_ch, oh, ow], "Conv2d grad shape");
+        assert_eq!(gout.shape(), &[self.out_ch, oh, ow], "Conv2d grad shape");
         let xs = x.as_slice();
-        let gs = grad.as_slice();
-        let mut gin = Tensor::zeros(&[self.in_ch, h, w]);
+        let gs = gout.as_slice();
+        gin.resize(&[self.in_ch, h, w]);
+        gin.fill(0.0);
         let gd = gin.as_mut_slice();
         for o in 0..self.out_ch {
             for y in 0..oh {
@@ -232,13 +263,13 @@ impl Conv2d {
                     if g == 0.0 {
                         continue;
                     }
-                    self.gb[o] += g;
+                    gb[o] += g;
                     for i in 0..self.in_ch {
                         for ky in 0..self.kh {
                             let wrow = ((o * self.in_ch + i) * self.kh + ky) * self.kw;
                             let xrow = (i * h + y + ky) * w + xcol;
                             for kx in 0..self.kw {
-                                self.gw[wrow + kx] += g * xs[xrow + kx];
+                                gw[wrow + kx] += g * xs[xrow + kx];
                                 gd[xrow + kx] += g * self.w[wrow + kx];
                             }
                         }
@@ -246,20 +277,15 @@ impl Conv2d {
                 }
             }
         }
-        gin
     }
 }
 
 // ------------------------------------------------------------------ Relu --
 
-/// Rectified linear unit, any rank.
+/// Rectified linear unit, any rank. The backward mask is the forward
+/// input's sign, so the layer is stateless.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct Relu {
-    #[serde(skip)]
-    mask: Vec<bool>,
-    #[serde(skip)]
-    shape: Vec<usize>,
-}
+pub struct Relu {}
 
 impl Relu {
     /// New ReLU.
@@ -267,21 +293,21 @@ impl Relu {
         Self::default()
     }
 
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.mask = x.as_slice().iter().map(|&v| v > 0.0).collect();
-        self.shape = x.shape().to_vec();
-        x.map(|v| v.max(0.0))
+    fn forward(&self, x: &Tensor, out: &mut Tensor) {
+        out.resize(x.shape());
+        let od = out.as_mut_slice();
+        for (o, &v) in od.iter_mut().zip(x.as_slice()) {
+            *o = v.max(0.0);
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(grad.shape(), &self.shape[..], "ReLU grad shape");
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(&self.shape, data)
+    fn backward(&self, gout: &Tensor, x: &Tensor, gin: &mut Tensor) {
+        assert_eq!(gout.shape(), x.shape(), "ReLU grad shape");
+        gin.resize(x.shape());
+        let gd = gin.as_mut_slice();
+        for (i, (&g, &v)) in gout.as_slice().iter().zip(x.as_slice()).enumerate() {
+            gd[i] = if v > 0.0 { g } else { 0.0 };
+        }
     }
 }
 
@@ -293,10 +319,6 @@ impl Relu {
 pub struct MaxPool2d {
     ph: usize,
     pw: usize,
-    #[serde(skip)]
-    argmax: Vec<usize>,
-    #[serde(skip)]
-    in_shape: Vec<usize>,
 }
 
 impl MaxPool2d {
@@ -307,12 +329,7 @@ impl MaxPool2d {
     /// Panics if either window dimension is zero.
     pub fn new(ph: usize, pw: usize) -> Self {
         assert!(ph > 0 && pw > 0, "pool window must be nonzero");
-        Self {
-            ph,
-            pw,
-            argmax: Vec::new(),
-            in_shape: Vec::new(),
-        }
+        Self { ph, pw }
     }
 
     /// `(ph, pw)`.
@@ -320,15 +337,14 @@ impl MaxPool2d {
         (self.ph, self.pw)
     }
 
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&self, x: &Tensor, out: &mut Tensor, argmax: &mut Vec<usize>) {
         assert_eq!(x.rank(), 3, "MaxPool2d expects [C, H, W]");
         let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let (oh, ow) = (h / self.ph, w / self.pw);
         assert!(oh > 0 && ow > 0, "input smaller than pool window");
         let xs = x.as_slice();
-        let mut out = Tensor::zeros(&[c, oh, ow]);
-        self.argmax = vec![0; c * oh * ow];
-        self.in_shape = x.shape().to_vec();
+        out.resize(&[c, oh, ow]);
+        argmax.resize(c * oh * ow, 0);
         let od = out.as_mut_slice();
         for ci in 0..c {
             for y in 0..oh {
@@ -346,24 +362,20 @@ impl MaxPool2d {
                     }
                     let oidx = (ci * oh + y) * ow + xcol;
                     od[oidx] = best;
-                    self.argmax[oidx] = best_idx;
+                    argmax[oidx] = best_idx;
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(
-            !self.in_shape.is_empty(),
-            "MaxPool2d backward before forward"
-        );
-        let mut gin = Tensor::zeros(&self.in_shape);
+    fn backward(&self, gout: &Tensor, x: &Tensor, gin: &mut Tensor, argmax: &[usize]) {
+        assert_eq!(gout.numel(), argmax.len(), "MaxPool2d grad shape");
+        gin.resize(x.shape());
+        gin.fill(0.0);
         let gd = gin.as_mut_slice();
-        for (oidx, &g) in grad.as_slice().iter().enumerate() {
-            gd[self.argmax[oidx]] += g;
+        for (oidx, &g) in gout.as_slice().iter().enumerate() {
+            gd[argmax[oidx]] += g;
         }
-        gin
     }
 }
 
@@ -372,10 +384,7 @@ impl MaxPool2d {
 /// Converts a `[C, H, W]` convolutional activation into a `[W, C·H]`
 /// sequence — each feature-map window (time step) becomes one LSTM input.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct MapToSequence {
-    #[serde(skip)]
-    in_shape: Vec<usize>,
-}
+pub struct MapToSequence {}
 
 impl MapToSequence {
     /// New converter.
@@ -383,11 +392,10 @@ impl MapToSequence {
         Self::default()
     }
 
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.rank(), 3, "MapToSequence expects [C, H, W]");
         let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
-        self.in_shape = x.shape().to_vec();
-        let mut out = Tensor::zeros(&[w, c * h]);
+        out.resize(&[w, c * h]);
         let od = out.as_mut_slice();
         let xs = x.as_slice();
         for t in 0..w {
@@ -397,19 +405,14 @@ impl MapToSequence {
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(
-            !self.in_shape.is_empty(),
-            "MapToSequence backward before forward"
-        );
-        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
-        assert_eq!(grad.shape(), &[w, c * h], "MapToSequence grad shape");
-        let mut gin = Tensor::zeros(&self.in_shape);
+    fn backward(&self, gout: &Tensor, x: &Tensor, gin: &mut Tensor) {
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert_eq!(gout.shape(), &[w, c * h], "MapToSequence grad shape");
+        gin.resize(x.shape());
         let gd = gin.as_mut_slice();
-        let gs = grad.as_slice();
+        let gs = gout.as_slice();
         for t in 0..w {
             for ci in 0..c {
                 for y in 0..h {
@@ -417,7 +420,6 @@ impl MapToSequence {
                 }
             }
         }
-        gin
     }
 }
 
@@ -432,22 +434,6 @@ pub struct Lstm {
     pub(crate) wx: Vec<f32>, // [4H, D]
     pub(crate) wh: Vec<f32>, // [4H, H]
     pub(crate) b: Vec<f32>,  // [4H]
-    #[serde(skip)]
-    pub(crate) gwx: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gwh: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gb: Vec<f32>,
-    #[serde(skip)]
-    cache: Option<LstmCache>,
-}
-
-#[derive(Debug, Clone, Default)]
-struct LstmCache {
-    xs: Vec<Vec<f32>>,    // input per step
-    gates: Vec<Vec<f32>>, // activated i,f,g,o per step (4H)
-    cs: Vec<Vec<f32>>,    // cell states per step
-    hs: Vec<Vec<f32>>,    // hidden states per step
 }
 
 impl Lstm {
@@ -466,17 +452,12 @@ impl Lstm {
         for v in &mut b[hidden..2 * hidden] {
             *v = 1.0;
         }
-        let (nwx, nwh, nb) = (wx.len(), wh.len(), b.len());
         Self {
             input,
             hidden,
             wx,
             wh,
             b,
-            gwx: vec![0.0; nwx],
-            gwh: vec![0.0; nwh],
-            gb: vec![0.0; nb],
-            cache: None,
         }
     }
 
@@ -485,134 +466,150 @@ impl Lstm {
         (self.input, self.hidden)
     }
 
-    fn ensure_grads(&mut self) {
-        if self.gwx.len() != self.wx.len() {
-            self.gwx = vec![0.0; self.wx.len()];
-        }
-        if self.gwh.len() != self.wh.len() {
-            self.gwh = vec![0.0; self.wh.len()];
-        }
-        if self.gb.len() != self.b.len() {
-            self.gb = vec![0.0; self.b.len()];
-        }
-    }
-
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&self, x: &Tensor, out: &mut Tensor, tape: &mut LstmTape) {
         assert_eq!(x.rank(), 2, "LSTM expects [T, D]");
         assert_eq!(x.shape()[1], self.input, "LSTM input width mismatch");
-        self.ensure_grads();
         let t_len = x.shape()[0];
         let hdim = self.hidden;
-        let mut cache = LstmCache::default();
-        let mut h = vec![0.0f32; hdim];
-        let mut c = vec![0.0f32; hdim];
+        tape.gates.resize(t_len * 4 * hdim, 0.0);
+        tape.cs.resize(t_len * hdim, 0.0);
+        tape.hs.resize(t_len * hdim, 0.0);
+        tape.zero.resize(hdim, 0.0);
+        tape.zero.iter_mut().for_each(|v| *v = 0.0);
+        let xs = x.as_slice();
+        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
         for t in 0..t_len {
-            let xt = &x.as_slice()[t * self.input..(t + 1) * self.input];
-            // z = Wx x + Wh h + b, gate blocks i|f|g|o.
-            let mut z = self.b.clone();
-            for row in 0..4 * hdim {
-                let mut acc = 0.0f32;
-                let wrow = &self.wx[row * self.input..(row + 1) * self.input];
-                for (wv, xv) in wrow.iter().zip(xt) {
-                    acc += wv * xv;
+            let xt = &xs[t * self.input..(t + 1) * self.input];
+            // z = Wx x + Wh h + b, gate blocks i|f|g|o, activated in place.
+            {
+                let h_prev: &[f32] = if t == 0 {
+                    &tape.zero
+                } else {
+                    &tape.hs[(t - 1) * hdim..t * hdim]
+                };
+                let gates_t = &mut tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
+                for row in 0..4 * hdim {
+                    let mut acc = 0.0f32;
+                    let wrow = &self.wx[row * self.input..(row + 1) * self.input];
+                    for (wv, xv) in wrow.iter().zip(xt) {
+                        acc += wv * xv;
+                    }
+                    let hrow = &self.wh[row * hdim..(row + 1) * hdim];
+                    for (wv, hv) in hrow.iter().zip(h_prev) {
+                        acc += wv * hv;
+                    }
+                    gates_t[row] = self.b[row] + acc;
                 }
-                let hrow = &self.wh[row * hdim..(row + 1) * hdim];
-                for (wv, hv) in hrow.iter().zip(&h) {
-                    acc += wv * hv;
+                for j in 0..hdim {
+                    gates_t[j] = sigmoid(gates_t[j]); // i
+                    gates_t[hdim + j] = sigmoid(gates_t[hdim + j]); // f
+                    gates_t[2 * hdim + j] = gates_t[2 * hdim + j].tanh(); // g
+                    gates_t[3 * hdim + j] = sigmoid(gates_t[3 * hdim + j]); // o
                 }
-                z[row] += acc;
             }
-            let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
-            let mut gates = vec![0.0f32; 4 * hdim];
-            for j in 0..hdim {
-                gates[j] = sigmoid(z[j]); // i
-                gates[hdim + j] = sigmoid(z[hdim + j]); // f
-                gates[2 * hdim + j] = z[2 * hdim + j].tanh(); // g
-                gates[3 * hdim + j] = sigmoid(z[3 * hdim + j]); // o
+            {
+                let gates_t = &tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
+                let (cs_past, cs_now) = tape.cs.split_at_mut(t * hdim);
+                let c_prev: &[f32] = if t == 0 {
+                    &tape.zero
+                } else {
+                    &cs_past[(t - 1) * hdim..]
+                };
+                let c_t = &mut cs_now[..hdim];
+                for j in 0..hdim {
+                    c_t[j] = gates_t[hdim + j] * c_prev[j] + gates_t[j] * gates_t[2 * hdim + j];
+                }
+                let hs_t = &mut tape.hs[t * hdim..(t + 1) * hdim];
+                for j in 0..hdim {
+                    hs_t[j] = gates_t[3 * hdim + j] * c_t[j].tanh();
+                }
             }
-            let mut new_c = vec![0.0f32; hdim];
-            let mut new_h = vec![0.0f32; hdim];
-            for j in 0..hdim {
-                new_c[j] = gates[hdim + j] * c[j] + gates[j] * gates[2 * hdim + j];
-                new_h[j] = gates[3 * hdim + j] * new_c[j].tanh();
-            }
-            cache.xs.push(xt.to_vec());
-            cache.gates.push(gates);
-            cache.cs.push(new_c.clone());
-            cache.hs.push(new_h.clone());
-            c = new_c;
-            h = new_h;
         }
-        self.cache = Some(cache);
-        Tensor::from_vec(&[hdim], h)
+        out.resize(&[hdim]);
+        out.as_mut_slice()
+            .copy_from_slice(&tape.hs[(t_len - 1) * hdim..t_len * hdim]);
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("LSTM backward before forward");
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &self,
+        gout: &Tensor,
+        x: &Tensor,
+        gin: &mut Tensor,
+        gwx: &mut [f32],
+        gwh: &mut [f32],
+        gb: &mut [f32],
+        tape: &mut LstmTape,
+    ) {
         let hdim = self.hidden;
-        assert_eq!(grad.shape(), &[hdim], "LSTM grad shape");
-        let t_len = cache.xs.len();
-        let mut dh = grad.as_slice().to_vec();
-        let mut dc = vec![0.0f32; hdim];
-        let mut gin = Tensor::zeros(&[t_len, self.input]);
+        assert_eq!(gout.shape(), &[hdim], "LSTM grad shape");
+        let t_len = x.shape()[0];
+        assert_eq!(tape.cs.len(), t_len * hdim, "LSTM backward before forward");
+        tape.dh.resize(hdim, 0.0);
+        tape.dh.copy_from_slice(gout.as_slice());
+        tape.dc.resize(hdim, 0.0);
+        tape.dc.iter_mut().for_each(|v| *v = 0.0);
+        tape.dh_prev.resize(hdim, 0.0);
+        tape.dz.resize(4 * hdim, 0.0);
+        gin.resize(&[t_len, self.input]);
+        gin.fill(0.0);
+        let xs = x.as_slice();
         for t in (0..t_len).rev() {
-            let gates = &cache.gates[t];
-            let c_t = &cache.cs[t];
-            let c_prev: Vec<f32> = if t == 0 {
-                vec![0.0; hdim]
+            let gates = &tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
+            let c_t = &tape.cs[t * hdim..(t + 1) * hdim];
+            let c_prev: &[f32] = if t == 0 {
+                &tape.zero
             } else {
-                cache.cs[t - 1].clone()
+                &tape.cs[(t - 1) * hdim..t * hdim]
             };
-            let h_prev: Vec<f32> = if t == 0 {
-                vec![0.0; hdim]
+            let h_prev: &[f32] = if t == 0 {
+                &tape.zero
             } else {
-                cache.hs[t - 1].clone()
+                &tape.hs[(t - 1) * hdim..t * hdim]
             };
             // dz blocks i|f|g|o.
-            let mut dz = vec![0.0f32; 4 * hdim];
             for j in 0..hdim {
                 let i = gates[j];
                 let f = gates[hdim + j];
                 let g = gates[2 * hdim + j];
                 let o = gates[3 * hdim + j];
                 let tc = c_t[j].tanh();
-                let do_ = dh[j] * tc;
-                let dct = dc[j] + dh[j] * o * (1.0 - tc * tc);
+                let do_ = tape.dh[j] * tc;
+                let dct = tape.dc[j] + tape.dh[j] * o * (1.0 - tc * tc);
                 let di = dct * g;
                 let df = dct * c_prev[j];
                 let dg = dct * i;
-                dc[j] = dct * f; // becomes dc_{t-1}
-                dz[j] = di * i * (1.0 - i);
-                dz[hdim + j] = df * f * (1.0 - f);
-                dz[2 * hdim + j] = dg * (1.0 - g * g);
-                dz[3 * hdim + j] = do_ * o * (1.0 - o);
+                tape.dc[j] = dct * f; // becomes dc_{t-1}
+                tape.dz[j] = di * i * (1.0 - i);
+                tape.dz[hdim + j] = df * f * (1.0 - f);
+                tape.dz[2 * hdim + j] = dg * (1.0 - g * g);
+                tape.dz[3 * hdim + j] = do_ * o * (1.0 - o);
             }
             // Parameter gradients and upstream gradients.
-            let xt = &cache.xs[t];
-            let mut dh_prev = vec![0.0f32; hdim];
+            tape.dh_prev.iter_mut().for_each(|v| *v = 0.0);
             {
+                let xt = &xs[t * self.input..(t + 1) * self.input];
                 let gx = &mut gin.as_mut_slice()[t * self.input..(t + 1) * self.input];
                 for row in 0..4 * hdim {
-                    let dzr = dz[row];
+                    let dzr = tape.dz[row];
                     if dzr == 0.0 {
                         continue;
                     }
-                    self.gb[row] += dzr;
+                    gb[row] += dzr;
                     let wx_row = row * self.input;
                     for (k, &xv) in xt.iter().enumerate() {
-                        self.gwx[wx_row + k] += dzr * xv;
+                        gwx[wx_row + k] += dzr * xv;
                         gx[k] += dzr * self.wx[wx_row + k];
                     }
                     let wh_row = row * hdim;
                     for (k, &hv) in h_prev.iter().enumerate() {
-                        self.gwh[wh_row + k] += dzr * hv;
-                        dh_prev[k] += dzr * self.wh[wh_row + k];
+                        gwh[wh_row + k] += dzr * hv;
+                        tape.dh_prev[k] += dzr * self.wh[wh_row + k];
                     }
                 }
             }
-            dh = dh_prev;
+            std::mem::swap(&mut tape.dh, &mut tape.dh_prev);
         }
-        gin
     }
 }
 
@@ -625,12 +622,6 @@ pub struct Dense {
     output: usize,
     pub(crate) w: Vec<f32>, // [O, D]
     pub(crate) b: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gw: Vec<f32>,
-    #[serde(skip)]
-    pub(crate) gb: Vec<f32>,
-    #[serde(skip)]
-    cache: Option<Vec<f32>>,
 }
 
 impl Dense {
@@ -647,9 +638,6 @@ impl Dense {
             output,
             w: xavier(input, output, input * output, &mut rng),
             b: vec![0.0; output],
-            gw: vec![0.0; input * output],
-            gb: vec![0.0; output],
-            cache: None,
         }
     }
 
@@ -658,43 +646,40 @@ impl Dense {
         (self.input, self.output)
     }
 
-    fn ensure_grads(&mut self) {
-        if self.gw.len() != self.w.len() {
-            self.gw = vec![0.0; self.w.len()];
-        }
-        if self.gb.len() != self.b.len() {
-            self.gb = vec![0.0; self.b.len()];
-        }
-    }
-
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn forward(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.rank(), 1, "Dense expects [D]");
         assert_eq!(x.numel(), self.input, "Dense input width mismatch");
-        self.ensure_grads();
         let xs = x.as_slice();
-        let mut out = vec![0.0f32; self.output];
-        for (o, ov) in out.iter_mut().enumerate() {
+        out.resize(&[self.output]);
+        let od = out.as_mut_slice();
+        for (o, ov) in od.iter_mut().enumerate() {
             let row = &self.w[o * self.input..(o + 1) * self.input];
             *ov = self.b[o] + row.iter().zip(xs).map(|(w, x)| w * x).sum::<f32>();
         }
-        self.cache = Some(xs.to_vec());
-        Tensor::from_vec(&[self.output], out)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let xs = self.cache.as_ref().expect("Dense backward before forward");
-        assert_eq!(grad.shape(), &[self.output], "Dense grad shape");
-        let gs = grad.as_slice();
-        let mut gin = vec![0.0f32; self.input];
+    fn backward(
+        &self,
+        gout: &Tensor,
+        x: &Tensor,
+        gin: &mut Tensor,
+        gw: &mut [f32],
+        gb: &mut [f32],
+    ) {
+        assert_eq!(gout.shape(), &[self.output], "Dense grad shape");
+        let xs = x.as_slice();
+        let gs = gout.as_slice();
+        gin.resize(&[self.input]);
+        gin.fill(0.0);
+        let gd = gin.as_mut_slice();
         for (o, &g) in gs.iter().enumerate() {
-            self.gb[o] += g;
+            gb[o] += g;
             let row = o * self.input;
             for k in 0..self.input {
-                self.gw[row + k] += g * xs[k];
-                gin[k] += g * self.w[row + k];
+                gw[row + k] += g * xs[k];
+                gd[k] += g * self.w[row + k];
             }
         }
-        Tensor::from_vec(&[self.input], gin)
     }
 }
 
@@ -705,11 +690,11 @@ impl Dense {
 pub struct Dropout {
     p: f32,
     seed: u64,
-    counter: u64,
-    #[serde(skip)]
-    mask: Vec<f32>,
-    #[serde(skip)]
-    shape: Vec<usize>,
+    // Serialized draw counter. The *live* counter advances in the
+    // workspace's `LayerState` and is written back here by the trainer, so
+    // the checkpoint format (and the mask stream across sequential
+    // training runs) is unchanged from the caching-layer design.
+    pub(crate) counter: u64,
 }
 
 impl Dropout {
@@ -727,8 +712,6 @@ impl Dropout {
             p,
             seed,
             counter: 0,
-            mask: Vec::new(),
-            shape: Vec::new(),
         }
     }
 
@@ -737,42 +720,44 @@ impl Dropout {
         self.p
     }
 
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        self.shape = x.shape().to_vec();
+    fn forward(
+        &self,
+        x: &Tensor,
+        out: &mut Tensor,
+        mask: &mut Vec<f32>,
+        counter: &mut u64,
+        train: bool,
+    ) {
+        mask.resize(x.numel(), 0.0);
         if !train || self.p == 0.0 {
-            self.mask = vec![1.0; x.numel()];
-            return x.clone();
+            mask.iter_mut().for_each(|v| *v = 1.0);
+            out.copy_from(x);
+            return;
         }
-        self.counter = self.counter.wrapping_add(1);
-        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(self.counter));
+        *counter = counter.wrapping_add(1);
+        let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(*counter));
         let scale = 1.0 / (1.0 - self.p);
-        self.mask = (0..x.numel())
-            .map(|_| {
-                if rng.gen_range(0.0..1.0f32) < self.p {
-                    0.0
-                } else {
-                    scale
-                }
-            })
-            .collect();
-        let data = x
-            .as_slice()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&v, &m)| v * m)
-            .collect();
-        Tensor::from_vec(x.shape(), data)
+        for m in mask.iter_mut() {
+            *m = if rng.gen_range(0.0..1.0f32) < self.p {
+                0.0
+            } else {
+                scale
+            };
+        }
+        out.resize(x.shape());
+        let od = out.as_mut_slice();
+        for (i, (&v, &m)) in x.as_slice().iter().zip(mask.iter()).enumerate() {
+            od[i] = v * m;
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(grad.shape(), &self.shape[..], "Dropout grad shape");
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(&self.mask)
-            .map(|(&g, &m)| g * m)
-            .collect();
-        Tensor::from_vec(&self.shape, data)
+    fn backward(&self, gout: &Tensor, gin: &mut Tensor, mask: &[f32]) {
+        assert_eq!(gout.numel(), mask.len(), "Dropout grad shape");
+        gin.resize(gout.shape());
+        let gd = gin.as_mut_slice();
+        for (i, (&g, &m)) in gout.as_slice().iter().zip(mask.iter()).enumerate() {
+            gd[i] = g * m;
+        }
     }
 }
 
@@ -786,59 +771,72 @@ mod tests {
         conv.w = vec![2.0];
         conv.b = vec![1.0];
         let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let y = conv.forward(&x);
+        let mut y = Tensor::zeros(&[1]);
+        conv.forward(&x, &mut y);
         assert_eq!(y.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
     }
 
     #[test]
     fn conv_output_shape() {
-        let mut conv = Conv2d::new(2, 3, 3, 2, 1);
+        let conv = Conv2d::new(2, 3, 3, 2, 1);
         let x = Tensor::zeros(&[2, 10, 5]);
-        let y = conv.forward(&x);
+        let mut y = Tensor::zeros(&[1]);
+        conv.forward(&x, &mut y);
         assert_eq!(y.shape(), &[3, 8, 4]);
     }
 
     #[test]
     fn maxpool_forward_and_routing() {
-        let mut pool = MaxPool2d::new(2, 2);
+        let pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(&[1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 0.0, 9.0]);
-        let y = pool.forward(&x);
+        let mut y = Tensor::zeros(&[1]);
+        let mut argmax = Vec::new();
+        pool.forward(&x, &mut y, &mut argmax);
         assert_eq!(y.shape(), &[1, 1, 2]);
         assert_eq!(y.as_slice(), &[5.0, 9.0]);
         let g = Tensor::from_vec(&[1, 1, 2], vec![1.0, 2.0]);
-        let gin = pool.backward(&g);
+        let mut gin = Tensor::zeros(&[1]);
+        pool.backward(&g, &x, &mut gin, &argmax);
         // Gradient routes only to the argmax positions.
         assert_eq!(gin.as_slice(), &[0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
     }
 
     #[test]
     fn relu_masks_negatives() {
-        let mut relu = Relu::new();
+        let relu = Relu::new();
         let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
-        let y = relu.forward(&x);
+        let mut y = Tensor::zeros(&[1]);
+        relu.forward(&x, &mut y);
         assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
         let g = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
-        assert_eq!(relu.backward(&g).as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+        let mut gin = Tensor::zeros(&[1]);
+        relu.backward(&g, &x, &mut gin);
+        assert_eq!(gin.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
     }
 
     #[test]
     fn map_to_sequence_round_trip() {
-        let mut m2s = MapToSequence::new();
+        let m2s = MapToSequence::new();
         let x = Tensor::from_vec(&[2, 2, 3], (0..12).map(|v| v as f32).collect());
-        let seq = m2s.forward(&x);
+        let mut seq = Tensor::zeros(&[1]);
+        m2s.forward(&x, &mut seq);
         assert_eq!(seq.shape(), &[3, 4]);
         // t=0 gathers column 0 of both channels: [0, 3, 6, 9].
         assert_eq!(&seq.as_slice()[..4], &[0.0, 3.0, 6.0, 9.0]);
-        let back = m2s.backward(&seq);
+        let mut back = Tensor::zeros(&[1]);
+        m2s.backward(&seq, &x, &mut back);
         assert_eq!(back.as_slice(), x.as_slice());
     }
 
     #[test]
     fn lstm_shapes_and_determinism() {
-        let mut lstm = Lstm::new(5, 7, 3);
+        let lstm = Lstm::new(5, 7, 3);
         let x = Tensor::from_vec(&[4, 5], (0..20).map(|v| v as f32 * 0.1).collect());
-        let h1 = lstm.forward(&x);
-        let h2 = lstm.forward(&x);
+        let mut tape = LstmTape::default();
+        let mut h1 = Tensor::zeros(&[1]);
+        let mut h2 = Tensor::zeros(&[1]);
+        lstm.forward(&x, &mut h1, &mut tape);
+        lstm.forward(&x, &mut h2, &mut tape);
         assert_eq!(h1.shape(), &[7]);
         assert_eq!(h1.as_slice(), h2.as_slice());
         assert!(h1.as_slice().iter().all(|v| v.abs() < 1.0)); // tanh-bounded
@@ -846,11 +844,15 @@ mod tests {
 
     #[test]
     fn lstm_remembers_sequence_order() {
-        let mut lstm = Lstm::new(1, 4, 9);
+        let lstm = Lstm::new(1, 4, 9);
         let up = Tensor::from_vec(&[3, 1], vec![0.1, 0.5, 0.9]);
         let down = Tensor::from_vec(&[3, 1], vec![0.9, 0.5, 0.1]);
-        let hu = lstm.forward(&up).as_slice().to_vec();
-        let hd = lstm.forward(&down).as_slice().to_vec();
+        let mut tape = LstmTape::default();
+        let mut h = Tensor::zeros(&[1]);
+        lstm.forward(&up, &mut h, &mut tape);
+        let hu = h.as_slice().to_vec();
+        lstm.forward(&down, &mut h, &mut tape);
+        let hd = h.as_slice().to_vec();
         assert_ne!(hu, hd, "order must matter to an LSTM");
     }
 
@@ -859,23 +861,32 @@ mod tests {
         let mut dense = Dense::new(2, 2, 0);
         dense.w = vec![1.0, 2.0, 3.0, 4.0];
         dense.b = vec![0.5, -0.5];
-        let y = dense.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        let mut y = Tensor::zeros(&[1]);
+        dense.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]), &mut y);
         assert_eq!(y.as_slice(), &[3.5, 6.5]);
     }
 
     #[test]
     fn dropout_inference_is_identity() {
-        let mut d = Dropout::new(0.5, 1);
+        let d = Dropout::new(0.5, 1);
         let x = Tensor::from_vec(&[8], vec![1.0; 8]);
-        let y = d.forward(&x, false);
+        let mut y = Tensor::zeros(&[1]);
+        let mut mask = Vec::new();
+        let mut counter = 0u64;
+        d.forward(&x, &mut y, &mut mask, &mut counter, false);
         assert_eq!(y.as_slice(), x.as_slice());
+        assert_eq!(counter, 0, "inference must not advance the mask stream");
     }
 
     #[test]
     fn dropout_training_preserves_expectation() {
-        let mut d = Dropout::new(0.5, 7);
+        let d = Dropout::new(0.5, 7);
         let x = Tensor::from_vec(&[10_000], vec![1.0; 10_000]);
-        let y = d.forward(&x, true);
+        let mut y = Tensor::zeros(&[1]);
+        let mut mask = Vec::new();
+        let mut counter = 0u64;
+        d.forward(&x, &mut y, &mut mask, &mut counter, true);
+        assert_eq!(counter, 1);
         let mean = y.as_slice().iter().sum::<f32>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.06, "inverted-dropout mean {mean}");
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
@@ -883,22 +894,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backward before forward")]
-    fn backward_before_forward_panics() {
-        let mut dense = Dense::new(2, 2, 0);
-        let _ = dense.backward(&Tensor::zeros(&[2]));
-    }
-
-    #[test]
     fn layer_enum_dispatch_and_param_count() {
-        let mut layer = Layer::Dense(Dense::new(3, 2, 0));
+        let layer = Layer::Dense(Dense::new(3, 2, 0));
         assert_eq!(layer.name(), "Dense");
         assert_eq!(layer.param_count(), 8);
-        let y = layer.forward(&Tensor::zeros(&[3]), false);
+        let mut state = LayerState::for_layer(&layer);
+        let mut y = Tensor::zeros(&[1]);
+        layer.forward_ws(&Tensor::zeros(&[3]), &mut y, &mut state, false);
         assert_eq!(y.shape(), &[2]);
         let mut visited = 0;
-        layer.visit_params(&mut |p, g| {
-            assert_eq!(p.len(), g.len());
+        layer.visit_params(&mut |p| {
+            assert!(!p.is_empty());
             visited += 1;
         });
         assert_eq!(visited, 2);
@@ -906,14 +912,17 @@ mod tests {
 
     #[test]
     fn zero_grads_clears_accumulation() {
-        let mut layer = Layer::Dense(Dense::new(2, 1, 0));
+        let layer = Layer::Dense(Dense::new(2, 1, 0));
+        let mut state = LayerState::for_layer(&layer);
         let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
-        let _ = layer.forward(&x, true);
-        let _ = layer.backward(&Tensor::from_vec(&[1], vec![1.0]));
+        let mut y = Tensor::zeros(&[1]);
+        layer.forward_ws(&x, &mut y, &mut state, true);
+        let mut gin = Tensor::zeros(&[1]);
+        layer.backward_ws(&Tensor::from_vec(&[1], vec![1.0]), &x, &mut gin, &mut state);
         let mut nonzero = false;
-        layer.visit_params(&mut |_, g| nonzero |= g.iter().any(|&v| v != 0.0));
+        state.visit_grads(&mut |g| nonzero |= g.iter().any(|&v| v != 0.0));
         assert!(nonzero);
-        layer.zero_grads();
-        layer.visit_params(&mut |_, g| assert!(g.iter().all(|&v| v == 0.0)));
+        state.zero_grads();
+        state.visit_grads(&mut |g| assert!(g.iter().all(|&v| v == 0.0)));
     }
 }

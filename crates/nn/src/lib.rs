@@ -11,6 +11,9 @@
 //!   `Dense`, `Dropout`, each with exact backward passes,
 //! * [`network`] — a serializable sequential container and the canonical
 //!   [`network::cnn_lstm`] architecture builder,
+//! * [`workspace`] — reusable per-caller execution state (activations,
+//!   gradients, LSTM tape, dropout masks): networks are weights-only and
+//!   shareable across threads, each caller brings a workspace,
 //! * [`loss`] — softmax cross-entropy,
 //! * [`optim`] — SGD with momentum and Adam,
 //! * [`train`] — mini-batch trainer with early stopping on a validation
@@ -29,11 +32,15 @@
 //! ```
 //! use clear_nn::network::cnn_lstm;
 //! use clear_nn::tensor::Tensor;
+//! use clear_nn::workspace::Workspace;
 //!
-//! // A classifier for 123×9 feature maps with 2 output classes.
-//! let mut net = cnn_lstm(123, 9, 2, 42);
+//! // A classifier for 123×9 feature maps with 2 output classes. The
+//! // network is immutable during inference; the workspace holds all
+//! // per-call state and is reused allocation-free across calls.
+//! let net = cnn_lstm(123, 9, 2, 42);
+//! let mut ws = Workspace::new();
 //! let map = Tensor::zeros(&[1, 123, 9]);
-//! let logits = net.forward(&map, false);
+//! let logits = net.forward(&map, false, &mut ws);
 //! assert_eq!(logits.shape(), &[2]);
 //! ```
 
@@ -50,6 +57,7 @@ pub mod quantize;
 pub mod summary;
 pub mod tensor;
 pub mod train;
+pub mod workspace;
 
 /// Errors produced by `clear-nn`.
 #[derive(Debug)]

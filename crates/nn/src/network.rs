@@ -1,7 +1,14 @@
 //! Sequential network container, checkpointing, and the canonical CNN-LSTM.
+//!
+//! A [`Network`] is weights only: forward and backward passes take `&self`
+//! and write all mutable state into a caller-owned
+//! [`Workspace`](crate::workspace::Workspace). One network can therefore be
+//! shared read-only across threads (LOSO folds, concurrent users), each
+//! holding its own workspace.
 
 use crate::layers::{Conv2d, Dense, Dropout, Layer, Lstm, MapToSequence, MaxPool2d, Relu};
 use crate::tensor::Tensor;
+use crate::workspace::{LayerState, Workspace};
 use crate::NnError;
 use serde::{Deserialize, Serialize};
 
@@ -32,60 +39,152 @@ impl Network {
         &mut self.layers
     }
 
-    /// Full forward pass. `train` enables dropout.
-    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
-        }
-        cur
+    /// Full forward pass into `ws`, returning the output activation.
+    /// `train` enables dropout. The workspace binds to this network on
+    /// first use and is reused allocation-free on subsequent same-shaped
+    /// calls; results are identical whether the workspace is fresh or
+    /// reused.
+    pub fn forward<'w>(&self, x: &Tensor, train: bool, ws: &'w mut Workspace) -> &'w Tensor {
+        self.forward_tapped(x, train, ws, &mut |_| {})
     }
 
-    /// Full backward pass from the loss gradient; accumulates parameter
-    /// gradients in each layer.
+    /// Forward pass that invokes `tap` on every activation as it is
+    /// produced (the input copy first, then each layer output), allowing
+    /// in-place observation or modification — the edge runtime uses this
+    /// to emulate reduced-precision activation storage without extra
+    /// buffers.
+    pub fn forward_tapped<'w>(
+        &self,
+        x: &Tensor,
+        train: bool,
+        ws: &'w mut Workspace,
+        tap: &mut dyn FnMut(&mut Tensor),
+    ) -> &'w Tensor {
+        ws.bind(&self.layers);
+        ws.acts[0].copy_from(x);
+        tap(&mut ws.acts[0]);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (ins, outs) = ws.acts.split_at_mut(i + 1);
+            layer.forward_ws(&ins[i], &mut outs[0], &mut ws.states[i], train);
+            tap(&mut outs[0]);
+        }
+        ws.output()
+    }
+
+    /// Full backward pass from the loss gradient, accumulating parameter
+    /// gradients in the workspace. Must follow a `forward` call on the
+    /// same workspace.
     ///
     /// # Panics
     ///
-    /// Panics if called before `forward`.
-    pub fn backward(&mut self, grad: &Tensor) {
-        let mut cur = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
-            cur = layer.backward(&cur);
+    /// Panics when called on a workspace that has not run a matching
+    /// forward pass (backward before forward).
+    pub fn backward(&self, grad: &Tensor, ws: &mut Workspace) {
+        let n = self.layers.len();
+        assert!(
+            ws.acts.len() == n + 1 && ws.states.len() == n,
+            "backward before forward: workspace holds no activations"
+        );
+        if ws.grads.len() != n {
+            ws.grads.resize_with(n, || Tensor::zeros(&[1]));
+        }
+        for i in (0..n).rev() {
+            let (gleft, gright) = ws.grads.split_at_mut(i + 1);
+            let gout: &Tensor = if i == n - 1 { grad } else { &gright[0] };
+            self.layers[i].backward_ws(gout, &ws.acts[i], &mut gleft[i], &mut ws.states[i]);
         }
     }
 
-    /// Zeroes all accumulated gradients.
-    pub fn zero_grads(&mut self) {
-        for layer in &mut self.layers {
-            layer.zero_grads();
-        }
-    }
-
-    /// Zeroes the gradients of every parameterized layer except the last
-    /// `tail` ones — the transfer-learning freeze: with gradients pinned to
-    /// zero, optimizers (including Adam) leave the frozen weights
-    /// untouched.
+    /// Zeroes the workspace gradients of every parameterized layer except
+    /// the last `tail` ones — the transfer-learning freeze: with gradients
+    /// pinned to zero, optimizers (including Adam) leave the frozen
+    /// weights untouched.
     ///
     /// A `tail` of 1 trains only the dense head; 2 adds the LSTM.
-    pub fn mask_grads_to_tail(&mut self, tail: usize) {
+    pub fn mask_grads_to_tail(&self, ws: &mut Workspace, tail: usize) {
+        assert_eq!(
+            ws.states.len(),
+            self.layers.len(),
+            "workspace not bound to this network"
+        );
         let parameterized = self.layers.iter().filter(|l| l.param_count() > 0).count();
         let frozen = parameterized.saturating_sub(tail);
         let mut seen = 0usize;
-        for layer in &mut self.layers {
+        for (layer, state) in self.layers.iter().zip(ws.states.iter_mut()) {
             if layer.param_count() == 0 {
                 continue;
             }
             if seen < frozen {
-                layer.zero_grads();
+                state.zero_grads();
             }
             seen += 1;
         }
     }
 
-    /// Visits every (parameter, gradient) slice pair.
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        for layer in &mut self.layers {
+    /// Visits every parameter slice (read-only), in layer order.
+    pub fn visit_params(&self, f: &mut dyn FnMut(&[f32])) {
+        for layer in &self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    /// Visits every parameter slice mutably, in layer order.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Visits every (parameter, gradient) slice pair, pairing this
+    /// network's weights with the gradients accumulated in `ws` (used by
+    /// the optimizer and L2-SP regularization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` is not bound to this network's layer structure.
+    pub fn visit_params_grads(
+        &mut self,
+        ws: &mut Workspace,
+        f: &mut dyn FnMut(&mut [f32], &mut [f32]),
+    ) {
+        assert_eq!(
+            ws.states.len(),
+            self.layers.len(),
+            "workspace not bound to this network"
+        );
+        for (layer, state) in self.layers.iter_mut().zip(ws.states.iter_mut()) {
+            match (layer, state) {
+                (Layer::Conv2d(l), LayerState::Conv2d { gw, gb }) => {
+                    f(&mut l.w, gw);
+                    f(&mut l.b, gb);
+                }
+                (Layer::Lstm(l), LayerState::Lstm { gwx, gwh, gb, .. }) => {
+                    f(&mut l.wx, gwx);
+                    f(&mut l.wh, gwh);
+                    f(&mut l.b, gb);
+                }
+                (Layer::Dense(l), LayerState::Dense { gw, gb }) => {
+                    f(&mut l.w, gw);
+                    f(&mut l.b, gb);
+                }
+                (Layer::Relu(_), LayerState::Relu)
+                | (Layer::MaxPool2d(_), LayerState::MaxPool2d { .. })
+                | (Layer::MapToSequence(_), LayerState::MapToSequence)
+                | (Layer::Dropout(_), LayerState::Dropout { .. }) => {}
+                _ => panic!("workspace not bound to this network"),
+            }
+        }
+    }
+
+    /// Copies the live dropout draw counters from `ws` back into the
+    /// layers, so the serialized checkpoint (and any later training run)
+    /// continues the same mask stream. The trainer calls this once at the
+    /// end of a run.
+    pub(crate) fn sync_dropout_counters(&mut self, ws: &Workspace) {
+        for (layer, state) in self.layers.iter_mut().zip(ws.states.iter()) {
+            if let (Layer::Dropout(l), LayerState::Dropout { counter, .. }) = (layer, state) {
+                l.counter = *counter;
+            }
         }
     }
 
@@ -114,9 +213,9 @@ impl Network {
 
     /// Flattens all parameters into one vector (used by tests and the edge
     /// precision simulator).
-    pub fn parameters_flat(&mut self) -> Vec<f32> {
+    pub fn parameters_flat(&self) -> Vec<f32> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        self.visit_params(&mut |p| out.extend_from_slice(p));
         out
     }
 
@@ -128,7 +227,7 @@ impl Network {
     /// Panics if the length does not match the parameter count.
     pub fn set_parameters_flat(&mut self, flat: &[f32]) {
         let mut offset = 0usize;
-        self.visit_params(&mut |p, _| {
+        self.visit_params_mut(&mut |p| {
             p.copy_from_slice(&flat[offset..offset + p.len()]);
             offset += p.len();
         });
@@ -229,9 +328,10 @@ mod tests {
 
     #[test]
     fn cnn_lstm_forward_shape() {
-        let mut net = cnn_lstm(123, 9, 2, 1);
+        let net = cnn_lstm(123, 9, 2, 1);
+        let mut ws = Workspace::new();
         let x = Tensor::zeros(&[1, 123, 9]);
-        let y = net.forward(&x, false);
+        let y = net.forward(&x, false, &mut ws);
         assert_eq!(y.shape(), &[2]);
     }
 
@@ -246,17 +346,39 @@ mod tests {
     }
 
     #[test]
-    fn forward_is_deterministic_in_eval_mode() {
-        let mut net = cnn_lstm(40, 6, 2, 7);
+    fn reused_workspace_matches_fresh_workspace() {
+        let net = cnn_lstm(40, 6, 2, 7);
         let x = Tensor::from_vec(&[1, 40, 6], (0..240).map(|v| (v as f32).sin()).collect());
-        let a = net.forward(&x, false);
-        let b = net.forward(&x, false);
+        let mut reused = Workspace::new();
+        let a = net.forward(&x, false, &mut reused).clone();
+        let b = net.forward(&x, false, &mut reused).clone();
+        let mut fresh = Workspace::new();
+        let c = net.forward(&x, false, &mut fresh).clone();
         assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn workspace_rebinds_across_networks() {
+        let small = cnn_lstm_compact(30, 5, 2, 1);
+        let big = cnn_lstm(40, 6, 3, 2);
+        let mut ws = Workspace::new();
+        let y1 = net_out(&small, &Tensor::zeros(&[1, 30, 5]), &mut ws);
+        assert_eq!(y1.shape(), &[2]);
+        let y2 = net_out(&big, &Tensor::zeros(&[1, 40, 6]), &mut ws);
+        assert_eq!(y2.shape(), &[3]);
+        let y3 = net_out(&small, &Tensor::zeros(&[1, 30, 5]), &mut ws);
+        assert_eq!(y3.shape(), &[2]);
+    }
+
+    fn net_out(net: &Network, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        net.forward(x, false, ws).clone()
     }
 
     #[test]
     fn one_training_step_reduces_loss() {
         let mut net = cnn_lstm(30, 5, 2, 3);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(
             &[1, 30, 5],
             (0..150)
@@ -264,34 +386,52 @@ mod tests {
                 .collect(),
         );
         let target = 1usize;
-        let logits = net.forward(&x, true);
+        let logits = net.forward(&x, true, &mut ws).clone();
         let (loss0, grad) = cross_entropy(&logits, target);
-        net.zero_grads();
-        net.backward(&grad);
+        ws.zero_grads();
+        net.backward(&grad, &mut ws);
         // Manual SGD step.
         let lr = 0.05f32;
-        net.visit_params(&mut |p, g| {
+        net.visit_params_grads(&mut ws, &mut |p, g| {
             for (pv, gv) in p.iter_mut().zip(g.iter()) {
                 *pv -= lr * gv;
             }
         });
-        let logits1 = net.forward(&x, false);
-        let (loss1, _) = cross_entropy(&logits1, target);
+        let logits1 = net.forward(&x, false, &mut ws);
+        let (loss1, _) = cross_entropy(logits1, target);
         assert!(loss1 < loss0, "loss {loss0} -> {loss1}");
     }
 
     #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_before_forward_panics() {
+        let net = cnn_lstm(30, 5, 2, 3);
+        let mut ws = Workspace::new();
+        net.backward(&Tensor::zeros(&[2]), &mut ws);
+    }
+
+    #[test]
     fn checkpoint_round_trip_preserves_outputs() {
-        let mut net = cnn_lstm(30, 5, 2, 11);
+        let net = cnn_lstm(30, 5, 2, 11);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(
             &[1, 30, 5],
             (0..150).map(|v| (v as f32 * 0.13).cos()).collect(),
         );
-        let before = net.forward(&x, false);
+        let before = net.forward(&x, false, &mut ws).clone();
         let json = net.to_json().unwrap();
-        let mut restored = Network::from_json(&json).unwrap();
-        let after = restored.forward(&x, false);
+        let restored = Network::from_json(&json).unwrap();
+        let after = restored.forward(&x, false, &mut ws);
         assert_eq!(before.as_slice(), after.as_slice());
+    }
+
+    #[test]
+    fn checkpoint_format_still_carries_dropout_counter() {
+        // The weights-only refactor must not change the serialized format:
+        // the dropout draw counter stays a layer field in checkpoints.
+        let net = cnn_lstm(30, 5, 2, 11);
+        let json = net.to_json().unwrap();
+        assert!(json.contains("\"counter\":0"), "dropout counter missing");
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! Optimizers keep per-parameter state in flat buffers aligned with the
 //! network's [`visit_params`](crate::network::Network::visit_params)
-//! traversal order, which is stable for a given architecture.
+//! traversal order, which is stable for a given architecture. Gradients
+//! are read from the [`Workspace`] that accumulated them.
 
 use crate::network::Network;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Optimizer selection and hyper-parameters.
@@ -79,14 +81,15 @@ impl Optimizer {
         self.config
     }
 
-    /// Applies one update step using the gradients currently accumulated in
-    /// `network`, scaled by `1 / grad_scale` (pass the mini-batch size to
-    /// average accumulated gradients).
+    /// Applies one update step using the gradients accumulated in `ws`,
+    /// scaled by `1 / grad_scale` (pass the mini-batch size to average
+    /// accumulated gradients).
     ///
     /// # Panics
     ///
-    /// Panics if `grad_scale` is not positive.
-    pub fn step(&mut self, network: &mut Network, grad_scale: f32) {
+    /// Panics if `grad_scale` is not positive or `ws` is not bound to
+    /// `network`.
+    pub fn step(&mut self, network: &mut Network, ws: &mut Workspace, grad_scale: f32) {
         assert!(grad_scale > 0.0, "grad_scale must be positive");
         let total = network.param_count();
         if self.m.len() != total {
@@ -97,7 +100,7 @@ impl Optimizer {
         let mut offset = 0usize;
         let (m, v, t) = (&mut self.m, &mut self.v, self.t);
         let config = self.config;
-        network.visit_params(&mut |p, g| {
+        network.visit_params_grads(ws, &mut |p, g| {
             match config {
                 OptimizerConfig::Sgd { lr, momentum } => {
                     for i in 0..p.len() {
@@ -140,25 +143,32 @@ mod tests {
         Network::new(vec![Layer::Dense(Dense::new(4, 2, seed))])
     }
 
-    fn train_step(net: &mut Network, opt: &mut Optimizer, x: &Tensor, y: usize) -> f32 {
-        let logits = net.forward(x, true);
-        let (loss, grad) = cross_entropy(&logits, y);
-        net.zero_grads();
-        net.backward(&grad);
-        opt.step(net, 1.0);
+    fn train_step(
+        net: &mut Network,
+        ws: &mut Workspace,
+        opt: &mut Optimizer,
+        x: &Tensor,
+        y: usize,
+    ) -> f32 {
+        let logits = net.forward(x, true, ws);
+        let (loss, grad) = cross_entropy(logits, y);
+        ws.zero_grads();
+        net.backward(&grad, ws);
+        opt.step(net, ws, 1.0);
         loss
     }
 
     #[test]
     fn sgd_converges_on_separable_problem() {
         let mut net = tiny_net(1);
+        let mut ws = Workspace::new();
         let mut opt = Optimizer::new(OptimizerConfig::sgd(0.1));
         let a = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
         let b = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 1.0]);
         let mut last = f32::INFINITY;
         for _ in 0..100 {
-            let la = train_step(&mut net, &mut opt, &a, 0);
-            let lb = train_step(&mut net, &mut opt, &b, 1);
+            let la = train_step(&mut net, &mut ws, &mut opt, &a, 0);
+            let lb = train_step(&mut net, &mut ws, &mut opt, &b, 1);
             last = la + lb;
         }
         assert!(last < 0.05, "sgd failed to converge, loss {last}");
@@ -168,13 +178,14 @@ mod tests {
     fn adam_converges_faster_than_tiny_lr_sgd() {
         let run = |config: OptimizerConfig| -> f32 {
             let mut net = tiny_net(2);
+            let mut ws = Workspace::new();
             let mut opt = Optimizer::new(config);
             let a = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
             let b = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 1.0]);
             let mut last = f32::INFINITY;
             for _ in 0..40 {
-                let la = train_step(&mut net, &mut opt, &a, 0);
-                let lb = train_step(&mut net, &mut opt, &b, 1);
+                let la = train_step(&mut net, &mut ws, &mut opt, &a, 0);
+                let lb = train_step(&mut net, &mut ws, &mut opt, &b, 1);
                 last = la + lb;
             }
             last
@@ -194,22 +205,23 @@ mod tests {
         let x = Tensor::from_vec(&[4], vec![0.5, -0.5, 0.25, 1.0]);
         let mut net1 = tiny_net(3);
         let mut net2 = net1.clone();
+        let mut ws1 = Workspace::new();
+        let mut ws2 = Workspace::new();
         let mut opt1 = Optimizer::new(OptimizerConfig::sgd(0.1));
         let mut opt2 = Optimizer::new(OptimizerConfig::sgd(0.1));
 
-        let logits = net1.forward(&x, true);
-        let (_, g) = cross_entropy(&logits, 0);
-        net1.zero_grads();
-        net1.backward(&g);
-        opt1.step(&mut net1, 1.0);
+        let logits = net1.forward(&x, true, &mut ws1);
+        let (_, g) = cross_entropy(logits, 0);
+        ws1.zero_grads();
+        net1.backward(&g, &mut ws1);
+        opt1.step(&mut net1, &mut ws1, 1.0);
 
-        net2.zero_grads();
         for _ in 0..2 {
-            let logits = net2.forward(&x, true);
-            let (_, g) = cross_entropy(&logits, 0);
-            net2.backward(&g);
+            let logits = net2.forward(&x, true, &mut ws2);
+            let (_, g) = cross_entropy(logits, 0);
+            net2.backward(&g, &mut ws2);
         }
-        opt2.step(&mut net2, 2.0);
+        opt2.step(&mut net2, &mut ws2, 2.0);
 
         let p1 = net1.parameters_flat();
         let p2 = net2.parameters_flat();
@@ -222,7 +234,8 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_scale_panics() {
         let mut net = tiny_net(4);
+        let mut ws = Workspace::new();
         let mut opt = Optimizer::new(OptimizerConfig::default());
-        opt.step(&mut net, 0.0);
+        opt.step(&mut net, &mut ws, 0.0);
     }
 }

@@ -154,24 +154,37 @@ pub fn dequantize_int8(q: &[i8], scale: f32) -> Vec<f32> {
 /// Returns the total parameter bytes the deployed model would occupy.
 pub fn lower_network(network: &mut Network, precision: Precision) -> usize {
     let mut bytes = 0usize;
-    network.visit_params(&mut |p, _| {
+    network.visit_params_mut(&mut |p| {
         bytes += p.len() * precision.bytes_per_weight();
-        match precision {
-            Precision::Fp32 => {}
-            Precision::Fp16 => {
-                for v in p.iter_mut() {
-                    *v = round_f16(*v);
-                }
-            }
-            Precision::Int8 => {
-                let (q, scale) = quantize_int8(p);
-                for (v, &qv) in p.iter_mut().zip(&q) {
-                    *v = qv as f32 * scale;
-                }
-            }
-        }
+        quantize_in_place(p, precision);
     });
     bytes
+}
+
+/// Rounds a value slice through `precision` in place (quantize +
+/// dequantize). Used on weights by [`lower_network`] and on workspace
+/// activations by the edge runtime to emulate reduced-precision
+/// inter-layer storage without allocating temporaries.
+pub fn quantize_in_place(values: &mut [f32], precision: Precision) {
+    match precision {
+        Precision::Fp32 => {}
+        Precision::Fp16 => {
+            for v in values.iter_mut() {
+                *v = round_f16(*v);
+            }
+        }
+        Precision::Int8 => {
+            let max_abs = values.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+            let scale = if max_abs < f32::MIN_POSITIVE {
+                1.0
+            } else {
+                max_abs / 127.0
+            };
+            for v in values.iter_mut() {
+                *v = (*v / scale).round().clamp(-127.0, 127.0) * scale;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +192,7 @@ mod tests {
     use super::*;
     use crate::network::cnn_lstm;
     use crate::tensor::Tensor;
+    use crate::workspace::Workspace;
 
     #[test]
     fn f16_round_trip_of_exact_values() {
@@ -230,6 +244,23 @@ mod tests {
     }
 
     #[test]
+    fn quantize_in_place_matches_slice_quantizers() {
+        let w: Vec<f32> = (0..64).map(|i| (i as f32 - 32.0) * 0.03).collect();
+        let (q, scale) = quantize_int8(&w);
+        let expected = dequantize_int8(&q, scale);
+        let mut inplace = w.clone();
+        quantize_in_place(&mut inplace, Precision::Int8);
+        assert_eq!(inplace, expected);
+        let mut half = w.clone();
+        quantize_in_place(&mut half, Precision::Fp16);
+        let expected16: Vec<f32> = w.iter().map(|&v| round_f16(v)).collect();
+        assert_eq!(half, expected16);
+        let mut full = w.clone();
+        quantize_in_place(&mut full, Precision::Fp32);
+        assert_eq!(full, w);
+    }
+
+    #[test]
     fn lowering_preserves_fp32_and_shrinks_bytes() {
         let mut net = cnn_lstm(30, 5, 2, 1);
         let before = net.parameters_flat();
@@ -246,15 +277,16 @@ mod tests {
 
     #[test]
     fn int8_lowering_changes_outputs_slightly_not_wildly() {
-        let mut net = cnn_lstm(30, 5, 2, 3);
+        let net = cnn_lstm(30, 5, 2, 3);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(
             &[1, 30, 5],
             (0..150).map(|v| ((v % 23) as f32 - 11.0) / 11.0).collect(),
         );
-        let before = net.forward(&x, false);
+        let before = net.forward(&x, false, &mut ws).clone();
         let mut lowered = net.clone();
         lower_network(&mut lowered, Precision::Int8);
-        let after = lowered.forward(&x, false);
+        let after = lowered.forward(&x, false, &mut ws);
         let diff: f32 = before
             .as_slice()
             .iter()
@@ -267,12 +299,13 @@ mod tests {
 
     #[test]
     fn fp16_perturbs_less_than_int8() {
-        let mut net = cnn_lstm(30, 5, 2, 5);
+        let net = cnn_lstm(30, 5, 2, 5);
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec(
             &[1, 30, 5],
             (0..150).map(|v| ((v % 17) as f32 - 8.0) / 8.0).collect(),
         );
-        let base = net.forward(&x, false);
+        let base = net.forward(&x, false, &mut ws).clone();
         let mut n16 = net.clone();
         lower_network(&mut n16, Precision::Fp16);
         let mut n8 = net.clone();
@@ -280,13 +313,13 @@ mod tests {
         let d16: f32 = base
             .as_slice()
             .iter()
-            .zip(n16.forward(&x, false).as_slice())
+            .zip(n16.forward(&x, false, &mut ws).as_slice())
             .map(|(a, b)| (a - b).abs())
             .sum();
         let d8: f32 = base
             .as_slice()
             .iter()
-            .zip(n8.forward(&x, false).as_slice())
+            .zip(n8.forward(&x, false, &mut ws).as_slice())
             .map(|(a, b)| (a - b).abs())
             .sum();
         assert!(d16 < d8, "fp16 ({d16}) should beat int8 ({d8})");

@@ -151,9 +151,10 @@ mod tests {
 
     #[test]
     fn summary_shapes_match_actual_forward() {
-        let mut net = cnn_lstm(123, 9, 2, 1);
+        let net = cnn_lstm(123, 9, 2, 1);
         let summary = summarize(&net, &[1, 123, 9]);
-        let out = net.forward(&Tensor::zeros(&[1, 123, 9]), false);
+        let mut ws = crate::workspace::Workspace::new();
+        let out = net.forward(&Tensor::zeros(&[1, 123, 9]), false, &mut ws);
         assert_eq!(
             summary.layers.last().unwrap().output_shape,
             out.shape().to_vec()

@@ -84,6 +84,40 @@ impl Tensor {
         self.data
     }
 
+    /// Resizes the tensor in place to `shape`, reusing the existing
+    /// allocation when capacity allows. Newly added elements are zero;
+    /// retained elements keep their (stale) values — callers are expected
+    /// to overwrite the buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn resize(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor rank must be at least 1");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive"
+        );
+        let numel = shape.iter().product();
+        self.data.resize(numel, 0.0);
+        if self.shape != shape {
+            self.shape.clear();
+            self.shape.extend_from_slice(shape);
+        }
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|e| *e = v);
+    }
+
+    /// Makes this tensor an element-wise copy of `src` (shape and data),
+    /// reusing the existing allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize(src.shape());
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Reshapes in place (element count must be preserved).
     ///
     /// # Panics

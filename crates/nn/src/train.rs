@@ -5,12 +5,17 @@
 //! batch, one optimizer step per batch, and (when a validation set is
 //! given) retention of the best-validation-accuracy checkpoint — the
 //! paper's "best-performing training checkpoints ... are saved".
+//!
+//! The trainer owns a single [`Workspace`] for the whole run: every
+//! forward/backward in every epoch reuses the same activation and gradient
+//! buffers, so steady-state training allocates nothing per sample.
 
 use crate::data::Dataset;
 use crate::loss::{cross_entropy, predict_class};
 use crate::metrics::{ConfusionMatrix, FoldScore};
 use crate::network::Network;
 use crate::optim::{Optimizer, OptimizerConfig};
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -67,7 +72,9 @@ pub struct TrainReport {
 
 /// Trains `network` on `train` (optionally early-stopping on `val`).
 ///
-/// On return, `network` holds the best checkpoint seen.
+/// On return, `network` holds the best checkpoint seen, and its dropout
+/// draw counters reflect the masks consumed — a checkpoint saved after
+/// this run continues the same mask stream when trained further.
 ///
 /// # Panics
 ///
@@ -83,6 +90,7 @@ pub fn train(
     assert!(config.epochs > 0, "epoch count must be positive");
 
     let mut optimizer = Optimizer::new(config.optimizer);
+    let mut ws = Workspace::new();
     let anchor: Option<Vec<f32>> = config.l2_sp.map(|_| network.parameters_flat());
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut val_accuracies = Vec::new();
@@ -95,23 +103,23 @@ pub fn train(
         let order = train.shuffled_indices(config.seed.wrapping_add(epoch as u64));
         let mut total_loss = 0.0f32;
         for chunk in order.chunks(config.batch_size) {
-            network.zero_grads();
+            ws.zero_grads();
             for &i in chunk {
                 let sample = &train.samples()[i];
-                let logits = network.forward(&sample.input, true);
-                let (loss, grad) = cross_entropy(&logits, sample.label);
+                let logits = network.forward(&sample.input, true, &mut ws);
+                let (loss, grad) = cross_entropy(logits, sample.label);
                 total_loss += loss;
-                network.backward(&grad);
+                network.backward(&grad, &mut ws);
             }
             if let Some(tail) = config.trainable_tail {
-                network.mask_grads_to_tail(tail);
+                network.mask_grads_to_tail(&mut ws, tail);
             }
             if let (Some(lambda), Some(w0)) = (config.l2_sp, anchor.as_deref()) {
                 // Add λ(w - w0) per sample so the optimizer's batch
                 // averaging leaves an effective pull of λ(w - w0).
                 let scale = lambda * chunk.len() as f32;
                 let mut offset = 0usize;
-                network.visit_params(&mut |p, g| {
+                network.visit_params_grads(&mut ws, &mut |p, g| {
                     for i in 0..p.len() {
                         // Frozen layers keep zero gradients: do not wake
                         // them up with the regularizer (they sit at w0
@@ -123,7 +131,7 @@ pub fn train(
                     offset += p.len();
                 });
             }
-            optimizer.step(network, chunk.len() as f32);
+            optimizer.step(network, &mut ws, chunk.len() as f32);
         }
         epoch_losses.push(total_loss / train.len() as f32);
 
@@ -146,6 +154,9 @@ pub fn train(
     if let Some(w) = best_weights {
         network.set_parameters_flat(&w);
     }
+    // Persist the live mask stream position into the (serializable)
+    // network so the next training run draws fresh masks.
+    network.sync_dropout_counters(&ws);
     TrainReport {
         epoch_losses,
         val_accuracies,
@@ -155,10 +166,13 @@ pub fn train(
 
 /// Evaluates `network` on `data`, returning accuracy and fear-class F1.
 ///
+/// The network is shared read-only; an internal workspace holds the
+/// per-call state.
+///
 /// # Panics
 ///
 /// Panics if `data` is empty.
-pub fn evaluate(network: &mut Network, data: &Dataset) -> FoldScore {
+pub fn evaluate(network: &Network, data: &Dataset) -> FoldScore {
     let cm = confusion(network, data);
     FoldScore {
         accuracy: cm.accuracy(),
@@ -171,7 +185,7 @@ pub fn evaluate(network: &mut Network, data: &Dataset) -> FoldScore {
 /// # Panics
 ///
 /// Panics if `data` is empty.
-pub fn confusion(network: &mut Network, data: &Dataset) -> ConfusionMatrix {
+pub fn confusion(network: &Network, data: &Dataset) -> ConfusionMatrix {
     assert!(!data.is_empty(), "evaluation set is empty");
     let classes = data
         .samples()
@@ -180,9 +194,10 @@ pub fn confusion(network: &mut Network, data: &Dataset) -> ConfusionMatrix {
         .max()
         .map_or(2, |m| (m + 1).max(2));
     let mut cm = ConfusionMatrix::new(classes);
+    let mut ws = Workspace::new();
     for sample in data.iter() {
-        let logits = network.forward(&sample.input, false);
-        cm.record(sample.label, predict_class(&logits));
+        let logits = network.forward(&sample.input, false, &mut ws);
+        cm.record(sample.label, predict_class(logits));
     }
     cm
 }
@@ -230,7 +245,7 @@ mod tests {
         let report = train(&mut net, &train_set, None, &config);
         assert_eq!(report.epoch_losses.len(), 15);
         assert!(report.epoch_losses[14] < report.epoch_losses[0]);
-        let score = evaluate(&mut net, &test_set);
+        let score = evaluate(&net, &test_set);
         assert!(score.accuracy > 0.9, "accuracy {}", score.accuracy);
         assert!(score.f1 > 0.85, "f1 {}", score.f1);
     }
@@ -254,7 +269,7 @@ mod tests {
             .cloned()
             .fold(f32::NEG_INFINITY, f32::max);
         // Restored checkpoint reproduces the best validation accuracy.
-        let score = evaluate(&mut net, &val_set);
+        let score = evaluate(&net, &val_set);
         assert!((score.accuracy - best_seen).abs() < 1e-6);
         assert_eq!(
             report.val_accuracies[report.best_epoch], best_seen,
@@ -276,6 +291,30 @@ mod tests {
         let rb = train(&mut b, &data, None, &config);
         assert_eq!(ra.epoch_losses, rb.epoch_losses);
         assert_eq!(a.parameters_flat(), b.parameters_flat());
+    }
+
+    #[test]
+    fn sequential_runs_advance_the_mask_stream() {
+        // Two consecutive train() calls on one network must not replay the
+        // same dropout masks: the draw counter synced back after run 1
+        // seeds run 2 differently, exactly as the pre-refactor layer-held
+        // counter did.
+        let data = toy_maps(16, 5);
+        let config = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut seq = cnn_lstm(30, 5, 2, 17);
+        let r1 = train(&mut seq, &data, None, &config);
+        let r2 = train(&mut seq, &data, None, &config);
+        assert_ne!(
+            r1.epoch_losses, r2.epoch_losses,
+            "second run must see fresh dropout masks"
+        );
+        let json = seq.to_json().unwrap();
+        let restored = Network::from_json(&json).unwrap();
+        assert_eq!(seq.parameters_flat(), restored.parameters_flat());
     }
 
     #[test]
@@ -306,8 +345,8 @@ mod tests {
     #[test]
     fn confusion_matrix_shape() {
         let data = toy_maps(10, 6);
-        let mut net = cnn_lstm(30, 5, 2, 1);
-        let cm = confusion(&mut net, &data);
+        let net = cnn_lstm(30, 5, 2, 1);
+        let cm = confusion(&net, &data);
         assert_eq!(cm.classes(), 2);
         assert_eq!(cm.total(), 10);
     }

@@ -1,0 +1,251 @@
+//! Execution state for [`Network`](crate::network::Network) passes.
+//!
+//! The network itself holds nothing but weights: every mutable per-call
+//! quantity — layer activations, parameter gradients, the LSTM step tape,
+//! pooling argmax indices, dropout masks — lives in a [`Workspace`] owned
+//! by the caller. This splits "model" from "execution" the way inference
+//! runtimes do (one immutable weight set, one scratch context per thread),
+//! so a single checkpoint can serve many users or LOSO folds concurrently,
+//! and steady-state inference reuses buffers instead of allocating
+//! per call.
+//!
+//! A workspace binds lazily to the first network it runs and rebinds
+//! automatically when handed a network with a different layer structure.
+//! Buffers are resized in place, so repeated calls with same-shaped inputs
+//! perform no allocations.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Reusable mutable state for forward/backward passes over a network.
+///
+/// Create once with [`Workspace::new`] and pass to every
+/// [`Network::forward`](crate::network::Network::forward) /
+/// [`Network::backward`](crate::network::Network::backward) call. Reusing
+/// one workspace across calls is what makes steady-state inference
+/// allocation-free; results are bit-identical to using a fresh workspace
+/// per call.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// `acts[0]` is a copy of the network input; `acts[i + 1]` is the
+    /// output of layer `i`.
+    pub(crate) acts: Vec<Tensor>,
+    /// `grads[i]` is the loss gradient with respect to the *input* of
+    /// layer `i` (so `grads[0]` is the input gradient).
+    pub(crate) grads: Vec<Tensor>,
+    /// Per-layer mutable state, aligned with the bound network's layers.
+    pub(crate) states: Vec<LayerState>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; it sizes itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Output activation of the most recent forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has run in this workspace.
+    pub fn output(&self) -> &Tensor {
+        self.acts
+            .last()
+            .expect("workspace holds no output: no forward pass has run")
+    }
+
+    /// Loss gradient with respect to the network input, from the most
+    /// recent backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no backward pass has run in this workspace.
+    pub fn input_grad(&self) -> &Tensor {
+        self.grads
+            .first()
+            .expect("workspace holds no gradients: no backward pass has run")
+    }
+
+    /// Zeroes all accumulated parameter gradients.
+    pub fn zero_grads(&mut self) {
+        for state in &mut self.states {
+            state.zero_grads();
+        }
+    }
+
+    /// Visits every parameter-gradient slice in network traversal order
+    /// (the same order as
+    /// [`Network::visit_params`](crate::network::Network::visit_params)).
+    pub fn visit_grads(&self, f: &mut dyn FnMut(&[f32])) {
+        for state in &self.states {
+            state.visit_grads(f);
+        }
+    }
+
+    /// Flattens all accumulated parameter gradients into one vector.
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.visit_grads(&mut |g| out.extend_from_slice(g));
+        out
+    }
+
+    /// Binds this workspace to `layers`, rebuilding per-layer state when
+    /// the structure does not match. Matching state (and the dropout
+    /// counter stream with it) is kept across calls.
+    pub(crate) fn bind(&mut self, layers: &[Layer]) {
+        let bound = self.states.len() == layers.len()
+            && self
+                .states
+                .iter()
+                .zip(layers)
+                .all(|(state, layer)| state.matches(layer));
+        if !bound {
+            self.states = layers.iter().map(LayerState::for_layer).collect();
+            self.grads.clear();
+        }
+        if self.acts.len() != layers.len() + 1 {
+            self.acts
+                .resize_with(layers.len() + 1, || Tensor::zeros(&[1]));
+        }
+    }
+}
+
+/// Mutable per-layer execution state: parameter gradients plus whatever
+/// the layer's backward pass needs from its forward pass.
+#[derive(Debug, Clone)]
+pub(crate) enum LayerState {
+    Conv2d {
+        gw: Vec<f32>,
+        gb: Vec<f32>,
+    },
+    Relu,
+    MaxPool2d {
+        argmax: Vec<usize>,
+    },
+    MapToSequence,
+    Lstm {
+        gwx: Vec<f32>,
+        gwh: Vec<f32>,
+        gb: Vec<f32>,
+        tape: LstmTape,
+    },
+    Dense {
+        gw: Vec<f32>,
+        gb: Vec<f32>,
+    },
+    Dropout {
+        mask: Vec<f32>,
+        /// Live dropout-draw counter; seeded from the layer's serialized
+        /// counter at bind time and synced back by the trainer.
+        counter: u64,
+    },
+}
+
+impl LayerState {
+    /// Fresh state sized for `layer`.
+    pub(crate) fn for_layer(layer: &Layer) -> Self {
+        match layer {
+            Layer::Conv2d(l) => LayerState::Conv2d {
+                gw: vec![0.0; l.w.len()],
+                gb: vec![0.0; l.b.len()],
+            },
+            Layer::Relu(_) => LayerState::Relu,
+            Layer::MaxPool2d(_) => LayerState::MaxPool2d { argmax: Vec::new() },
+            Layer::MapToSequence(_) => LayerState::MapToSequence,
+            Layer::Lstm(l) => LayerState::Lstm {
+                gwx: vec![0.0; l.wx.len()],
+                gwh: vec![0.0; l.wh.len()],
+                gb: vec![0.0; l.b.len()],
+                tape: LstmTape::default(),
+            },
+            Layer::Dense(l) => LayerState::Dense {
+                gw: vec![0.0; l.w.len()],
+                gb: vec![0.0; l.b.len()],
+            },
+            Layer::Dropout(l) => LayerState::Dropout {
+                mask: Vec::new(),
+                counter: l.counter,
+            },
+        }
+    }
+
+    /// Whether this state fits `layer` (kind and parameter sizes).
+    fn matches(&self, layer: &Layer) -> bool {
+        match (self, layer) {
+            (LayerState::Conv2d { gw, gb }, Layer::Conv2d(l)) => {
+                gw.len() == l.w.len() && gb.len() == l.b.len()
+            }
+            (LayerState::Relu, Layer::Relu(_)) => true,
+            (LayerState::MaxPool2d { .. }, Layer::MaxPool2d(_)) => true,
+            (LayerState::MapToSequence, Layer::MapToSequence(_)) => true,
+            (LayerState::Lstm { gwx, gwh, gb, .. }, Layer::Lstm(l)) => {
+                gwx.len() == l.wx.len() && gwh.len() == l.wh.len() && gb.len() == l.b.len()
+            }
+            (LayerState::Dense { gw, gb }, Layer::Dense(l)) => {
+                gw.len() == l.w.len() && gb.len() == l.b.len()
+            }
+            (LayerState::Dropout { .. }, Layer::Dropout(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Zeroes this layer's accumulated parameter gradients.
+    pub(crate) fn zero_grads(&mut self) {
+        match self {
+            LayerState::Conv2d { gw, gb } | LayerState::Dense { gw, gb } => {
+                gw.iter_mut().for_each(|v| *v = 0.0);
+                gb.iter_mut().for_each(|v| *v = 0.0);
+            }
+            LayerState::Lstm { gwx, gwh, gb, .. } => {
+                gwx.iter_mut().for_each(|v| *v = 0.0);
+                gwh.iter_mut().for_each(|v| *v = 0.0);
+                gb.iter_mut().for_each(|v| *v = 0.0);
+            }
+            LayerState::Relu
+            | LayerState::MaxPool2d { .. }
+            | LayerState::MapToSequence
+            | LayerState::Dropout { .. } => {}
+        }
+    }
+
+    /// Visits parameter-gradient slices in the layer's parameter order.
+    pub(crate) fn visit_grads(&self, f: &mut dyn FnMut(&[f32])) {
+        match self {
+            LayerState::Conv2d { gw, gb } | LayerState::Dense { gw, gb } => {
+                f(gw);
+                f(gb);
+            }
+            LayerState::Lstm { gwx, gwh, gb, .. } => {
+                f(gwx);
+                f(gwh);
+                f(gb);
+            }
+            LayerState::Relu
+            | LayerState::MaxPool2d { .. }
+            | LayerState::MapToSequence
+            | LayerState::Dropout { .. } => {}
+        }
+    }
+}
+
+/// Flat, reusable step tape for the LSTM: forward activations plus
+/// backward scratch, all resized in place per call.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LstmTape {
+    /// Activated gates per step, `T × 4H`, blocks `i | f | g | o`.
+    pub(crate) gates: Vec<f32>,
+    /// Cell states per step, `T × H`.
+    pub(crate) cs: Vec<f32>,
+    /// Hidden states per step, `T × H`.
+    pub(crate) hs: Vec<f32>,
+    /// `H` zeros standing in for the `t = 0` previous state.
+    pub(crate) zero: Vec<f32>,
+    /// Backward scratch: gradient w.r.t. the current hidden state.
+    pub(crate) dh: Vec<f32>,
+    /// Backward scratch: gradient w.r.t. the previous hidden state.
+    pub(crate) dh_prev: Vec<f32>,
+    /// Backward scratch: gradient w.r.t. the cell state.
+    pub(crate) dc: Vec<f32>,
+    /// Backward scratch: gradient w.r.t. the pre-activation gates, `4H`.
+    pub(crate) dz: Vec<f32>,
+}

@@ -9,25 +9,25 @@
 use clear_nn::loss::cross_entropy;
 use clear_nn::network::{cnn_lstm, Network};
 use clear_nn::tensor::Tensor;
+use clear_nn::workspace::Workspace;
 
-fn loss_of(net: &mut Network, x: &Tensor, target: usize) -> f32 {
-    let logits = net.forward(x, false);
-    cross_entropy(&logits, target).0
+fn loss_of(net: &Network, ws: &mut Workspace, x: &Tensor, target: usize) -> f32 {
+    let logits = net.forward(x, false, ws);
+    cross_entropy(logits, target).0
 }
 
-fn analytic_gradients(net: &mut Network, x: &Tensor, target: usize) -> Vec<f32> {
-    let logits = net.forward(x, false);
-    let (_, grad) = cross_entropy(&logits, target);
-    net.zero_grads();
-    net.backward(&grad);
-    let mut out = Vec::new();
-    net.visit_params(&mut |_, g| out.extend_from_slice(g));
-    out
+fn analytic_gradients(net: &Network, ws: &mut Workspace, x: &Tensor, target: usize) -> Vec<f32> {
+    let logits = net.forward(x, false, ws);
+    let (_, grad) = cross_entropy(logits, target);
+    ws.zero_grads();
+    net.backward(&grad, ws);
+    ws.grads_flat()
 }
 
 #[test]
 fn full_network_gradients_match_finite_differences() {
     let mut net = cnn_lstm(26, 5, 2, 1234);
+    let mut ws = Workspace::new();
     let x = Tensor::from_vec(
         &[1, 26, 5],
         (0..130)
@@ -36,7 +36,7 @@ fn full_network_gradients_match_finite_differences() {
     );
     let target = 1usize;
 
-    let analytic = analytic_gradients(&mut net, &x, target);
+    let analytic = analytic_gradients(&net, &mut ws, &x, target);
     let params = net.parameters_flat();
     assert_eq!(analytic.len(), params.len());
 
@@ -50,12 +50,12 @@ fn full_network_gradients_match_finite_differences() {
         let mut plus = params.clone();
         plus[idx] += eps;
         net.set_parameters_flat(&plus);
-        let lp = loss_of(&mut net, &x, target);
+        let lp = loss_of(&net, &mut ws, &x, target);
 
         let mut minus = params.clone();
         minus[idx] -= eps;
         net.set_parameters_flat(&minus);
-        let lm = loss_of(&mut net, &x, target);
+        let lm = loss_of(&net, &mut ws, &x, target);
 
         net.set_parameters_flat(&params);
         let numeric = (lp - lm) / (2.0 * eps);
@@ -73,41 +73,31 @@ fn full_network_gradients_match_finite_differences() {
 #[test]
 fn input_gradient_matches_finite_differences() {
     // Also verify the gradient flowing back to the *input*, which exercises
-    // the data path of every backward pass (not just the weight path).
-    let mut net = cnn_lstm(26, 5, 2, 99);
+    // the data path of every backward pass (not just the weight path). The
+    // workspace exposes it directly as `input_grad()`.
+    let net = cnn_lstm(26, 5, 2, 99);
+    let mut ws = Workspace::new();
     let base: Vec<f32> = (0..130)
         .map(|v| (((v * 13) % 41) as f32 - 20.0) / 20.0)
         .collect();
     let x = Tensor::from_vec(&[1, 26, 5], base.clone());
     let target = 0usize;
 
-    // Analytic input gradient: backprop and capture what falls out of the
-    // first layer. The Network API propagates to the input implicitly; we
-    // recompute by wrapping the input as a parameter-free "virtual layer":
-    // finite differences on selected input coordinates vs. an analytic
-    // reconstruction via one backward call through a cloned network.
-    let logits = net.forward(&x, false);
-    let (_, grad) = cross_entropy(&logits, target);
-    net.zero_grads();
-    // Manually run the layer-by-layer backward to recover d(loss)/d(input).
-    // Network::backward discards the input gradient, so replicate it here.
-    let mut layers_net = net.clone();
-    let _ = layers_net.forward(&x, false);
-    let mut cur = grad.clone();
-    for layer in layers_net.layers_mut().iter_mut().rev() {
-        cur = layer.backward(&cur);
-    }
-    let dinput = cur;
+    let logits = net.forward(&x, false, &mut ws);
+    let (_, grad) = cross_entropy(logits, target);
+    ws.zero_grads();
+    net.backward(&grad, &mut ws);
+    let dinput = ws.input_grad().clone();
     assert_eq!(dinput.shape(), x.shape());
 
     let eps = 3e-3f32;
     for idx in [0usize, 7, 31, 64, 100, 129] {
         let mut plus = base.clone();
         plus[idx] += eps;
-        let lp = loss_of(&mut net, &Tensor::from_vec(&[1, 26, 5], plus), target);
+        let lp = loss_of(&net, &mut ws, &Tensor::from_vec(&[1, 26, 5], plus), target);
         let mut minus = base.clone();
         minus[idx] -= eps;
-        let lm = loss_of(&mut net, &Tensor::from_vec(&[1, 26, 5], minus), target);
+        let lm = loss_of(&net, &mut ws, &Tensor::from_vec(&[1, 26, 5], minus), target);
         let numeric = (lp - lm) / (2.0 * eps);
         let a = dinput.as_slice()[idx];
         let denom = a.abs().max(numeric.abs()).max(1e-2);

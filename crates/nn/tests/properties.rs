@@ -1,8 +1,10 @@
 //! Property-based tests of the NN stack's algebraic invariants.
 
 use clear_nn::loss::softmax;
+use clear_nn::network::cnn_lstm_compact;
 use clear_nn::quantize::{dequantize_int8, quantize_int8, round_f16};
 use clear_nn::tensor::Tensor;
+use clear_nn::workspace::Workspace;
 use proptest::prelude::*;
 
 proptest! {
@@ -72,5 +74,33 @@ proptest! {
         let idx = t.argmax();
         let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         prop_assert_eq!(data[idx], max);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward through a reused (dirty, possibly differently-shaped)
+    /// workspace is bit-identical to forward through a fresh one — the
+    /// allocation-free steady state cannot change results.
+    #[test]
+    fn reused_workspace_forward_matches_fresh(
+        seed in 0u64..1000,
+        data in prop::collection::vec(-2.0f32..2.0, 30 * 6),
+        width in prop::sample::select(vec![5usize, 6]),
+        prewidth in prop::sample::select(vec![5usize, 6]),
+    ) {
+        let net = cnn_lstm_compact(30, 6, 2, seed);
+        // Dirty the reused workspace with a pass at a (possibly) different
+        // input width, exercising the in-place buffer resizing.
+        let mut reused = Workspace::new();
+        let warm = Tensor::from_vec(&[1, 30, prewidth], data[..30 * prewidth].to_vec());
+        let _ = net.forward(&warm, false, &mut reused);
+        let x = Tensor::from_vec(&[1, 30, width], data[..30 * width].to_vec());
+        let again = net.forward(&x, false, &mut reused).clone();
+        let mut fresh = Workspace::new();
+        let reference = net.forward(&x, false, &mut fresh);
+        prop_assert_eq!(again.shape(), reference.shape());
+        prop_assert_eq!(again.as_slice(), reference.as_slice());
     }
 }

@@ -64,8 +64,8 @@ fn main() {
         let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
         let ft_ds = cloud.user_dataset(&data, &rest[..ft_n]);
         let test_ds = cloud.user_dataset(&data, &rest[ft_n..]);
-        let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
-        let tuned = train::evaluate(&mut personalized, &test_ds).accuracy;
+        let personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+        let tuned = train::evaluate(&personalized, &test_ds).accuracy;
 
         println!(
             "{:<8} {:>8} {:>13.1}% {:>13.1}% {:>11.1}%",

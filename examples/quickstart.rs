@@ -58,8 +58,8 @@ fn main() {
     let ft_n = ((indices.len() as f32 * config.ft_fraction).ceil() as usize).max(1);
     let ft_ds = cloud.user_dataset(&data, &indices[ca_n..ca_n + ft_n]);
     let test_ds = cloud.user_dataset(&data, &indices[ca_n + ft_n..]);
-    let mut personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
-    let tuned = train::evaluate(&mut personalized, &test_ds);
+    let personalized = cloud.fine_tune(assigned, &ft_ds, &config.finetune);
+    let tuned = train::evaluate(&personalized, &test_ds);
     println!(
         "fine-tuned with {ft_n} labeled recordings: accuracy {:.1} % (f1 {:.1} %)",
         tuned.accuracy * 100.0,

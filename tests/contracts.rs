@@ -21,9 +21,10 @@ fn model_input_contract_matches_feature_maps() {
     // build_model; the seam is pinned here.
     let config = clear::core::config::ClearConfig::quick(3);
     let data = clear::core::dataset::PreparedCohort::prepare(&config);
-    let mut net = clear::core::pipeline::build_model(data.windows(), &config, 0);
+    let net = clear::core::pipeline::build_model(data.windows(), &config, 0);
+    let mut ws = clear::nn::workspace::Workspace::new();
     let x = Tensor::zeros(&[1, FEATURE_COUNT, data.windows()]);
-    let y = net.forward(&x, false);
+    let y = net.forward(&x, false, &mut ws);
     assert_eq!(y.shape(), &[2]);
 }
 
@@ -49,15 +50,17 @@ proptest! {
     #[test]
     fn lowered_networks_stay_total(seed in 0u64..50) {
         use clear::nn::quantize::{lower_network, Precision};
-        let mut net = clear::nn::network::cnn_lstm_compact(123, 6, 2, seed);
+        use clear::nn::workspace::Workspace;
+        let net = clear::nn::network::cnn_lstm_compact(123, 6, 2, seed);
+        let mut ws = Workspace::new();
         for p in [Precision::Fp32, Precision::Fp16, Precision::Int8] {
             let mut lowered = net.clone();
             lower_network(&mut lowered, p);
-            let y = lowered.forward(&Tensor::zeros(&[1, 123, 6]), false);
+            let y = lowered.forward(&Tensor::zeros(&[1, 123, 6]), false, &mut ws);
             prop_assert_eq!(y.shape(), &[2usize]);
             prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
         }
-        let _ = net.forward(&Tensor::zeros(&[1, 123, 6]), false);
+        let _ = net.forward(&Tensor::zeros(&[1, 123, 6]), false, &mut ws);
     }
 
     /// Cluster assignment always returns a valid cluster index, for any

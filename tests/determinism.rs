@@ -4,9 +4,10 @@
 
 use clear::core::config::ClearConfig;
 use clear::core::dataset::PreparedCohort;
-use clear::core::evaluation::clear_folds;
+use clear::core::evaluation::{clear_folds, clear_folds_parallel};
 use clear::core::pipeline::CloudTraining;
 use clear::sim::{Cohort, CohortConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
 fn cohort_and_features_are_seed_deterministic() {
@@ -38,8 +39,8 @@ fn cloud_training_is_deterministic() {
     }
     for c in 0..a.cluster_count() {
         assert_eq!(
-            a.model(c).clone().parameters_flat(),
-            b.model(c).clone().parameters_flat(),
+            a.model(c).parameters_flat(),
+            b.model(c).parameters_flat(),
             "cluster {c} weights diverged"
         );
     }
@@ -57,5 +58,32 @@ fn full_validation_is_deterministic() {
     for (fa, fb) in a.folds.iter().zip(&b.folds) {
         assert_eq!(fa.assigned_cluster, fb.assigned_cluster);
         assert_eq!(fa.without_ft, fb.without_ft);
+    }
+}
+
+#[test]
+fn parallel_folds_are_bit_identical_to_sequential() {
+    // The parallel driver shares read-only data across worker threads and
+    // keys every random stream on (seed, fold); its aggregate must equal
+    // the sequential driver's exactly — same structs, same bits — at any
+    // thread count.
+    let config = ClearConfig::quick(66);
+    let data = PreparedCohort::prepare(&config);
+    let sequential = clear_folds(&data, &config, false, |_, _| {});
+    for threads in [2usize, 4, 8] {
+        let calls = AtomicUsize::new(0);
+        let parallel = clear_folds_parallel(&data, &config, false, threads, |done, total| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert!(done <= total);
+        });
+        assert_eq!(
+            parallel, sequential,
+            "parallel validation at {threads} threads diverged from sequential"
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            sequential.folds.len(),
+            "progress must fire once per fold at {threads} threads"
+        );
     }
 }

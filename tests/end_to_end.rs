@@ -94,10 +94,10 @@ fn checkpoints_survive_serialization_across_crates() {
     let subjects = data.subject_ids();
     let cloud = CloudTraining::fit(&data, &subjects, &config);
     let json = cloud.model(0).to_json().expect("serialize");
-    let mut restored = clear::nn::network::Network::from_json(&json).expect("deserialize");
+    let restored = clear::nn::network::Network::from_json(&json).expect("deserialize");
     let ds = cloud.user_dataset(&data, &data.indices_of(subjects[0]));
-    let a = clear::nn::train::evaluate(&mut cloud.model(0).clone(), &ds);
-    let b = clear::nn::train::evaluate(&mut restored, &ds);
+    let a = clear::nn::train::evaluate(cloud.model(0), &ds);
+    let b = clear::nn::train::evaluate(&restored, &ds);
     assert_eq!(a.accuracy, b.accuracy);
     assert_eq!(a.f1, b.f1);
 }

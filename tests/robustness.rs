@@ -65,7 +65,8 @@ fn classifier_degrades_gracefully_not_catastrophically() {
     let mild = ArtifactConfig::default();
     let mut correct = 0usize;
     let mut total = 0usize;
-    let mut net = cloud.model(assigned).clone();
+    let net = cloud.model(assigned);
+    let mut ws = clear::nn::workspace::Workspace::new();
     let baseline = data.subject_baseline(vx);
     for &i in &indices[1..] {
         let rec = &data.cohort().recordings()[i];
@@ -79,8 +80,8 @@ fn classifier_degrades_gracefully_not_catastrophically() {
         let mut corrected_map = clear::features::FeatureMap::from_columns(&columns);
         corrected_map.normalize(cloud.clf_normalizer());
         let x = Tensor::from_vec(&[1, 123, w], corrected_map.as_slice().to_vec());
-        let logits = net.forward(&x, false);
-        if clear::nn::loss::predict_class(&logits) == rec.emotion.class_index() {
+        let logits = net.forward(&x, false, &mut ws);
+        if clear::nn::loss::predict_class(logits) == rec.emotion.class_index() {
             correct += 1;
         }
         total += 1;

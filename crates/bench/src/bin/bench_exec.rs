@@ -9,15 +9,24 @@
 //!   through the edge `predict_batch` path;
 //! * CLEAR LOSO validation wall-clock, sequential vs. the parallel fold
 //!   driver at 2 and 4 worker threads.
+//!
+//! The whole run executes with a `clear_obs::Registry` installed, so
+//! alongside `BENCH_exec.json` it writes `BENCH_obs.json`: per-stage
+//! latency histograms and the serving counters accumulated by the
+//! benchmark's LOSO runs plus a short deploy/onboard/predict-batch
+//! serving exercise (see `DESIGN.md` §10 for how to read it).
 
 use clear_bench::cli_from_args;
 use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::deploy;
 use clear_core::evaluation::{clear_folds, clear_folds_parallel};
 use clear_edge::{Device, EdgeDeployment};
+use clear_features::FeatureMap;
 use clear_nn::network::cnn_lstm_compact;
 use clear_nn::tensor::Tensor;
 use clear_nn::workspace::Workspace;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Debug, Serialize)]
@@ -49,6 +58,11 @@ fn windows_per_sec(reps: usize, f: impl FnMut()) -> f32 {
 
 fn main() {
     let cli = cli_from_args();
+
+    // Observe everything below: stage latencies and serving counters
+    // accumulate into this registry and are exported at the end.
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
 
     // Inference throughput on the paper-shaped 123×9 window.
     let net = cnn_lstm_compact(123, 9, 2, 1);
@@ -109,6 +123,40 @@ fn main() {
         seq.folds.len()
     );
 
+    // Serving-path counters: deploy the cloud stage on all but the last
+    // subject, onboard the held-out one, and serve a batch that includes
+    // an all-NaN map so the quarantine path shows up in the export.
+    let subjects = data.subject_ids();
+    let (&newcomer, initial) = subjects.split_last().expect("cohort is non-empty");
+    let mut deployment = deploy(&data, initial, &config);
+    let indices = data.indices_of(newcomer);
+    let onboarding: Vec<FeatureMap> = indices
+        .iter()
+        .take(4)
+        .map(|&i| data.maps()[i].clone())
+        .collect();
+    deployment
+        .onboard("bench-user", &onboarding)
+        .expect("onboarding maps are non-empty");
+    let mut batch: Vec<FeatureMap> = indices
+        .iter()
+        .skip(4)
+        .take(8)
+        .map(|&i| data.maps()[i].clone())
+        .collect();
+    if let Some(template) = batch.first() {
+        let nan_columns = vec![vec![f32::NAN; template.feature_count()]; template.window_count()];
+        batch.push(FeatureMap::from_columns(&nan_columns));
+    }
+    let served = deployment
+        .predict_batch("bench-user", &batch)
+        .expect("bench-user onboarded above");
+    eprintln!(
+        "serving exercise: {} windows ({} quarantined)",
+        served.len(),
+        served.iter().filter(|p| p.served_by.is_none()).count()
+    );
+
     let results = ExecBench {
         inference_fresh_ws_per_sec: fresh,
         inference_reused_ws_per_sec: reused,
@@ -128,4 +176,18 @@ fn main() {
         },
         Err(e) => eprintln!("could not serialize results: {e}"),
     }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    clear_obs::uninstall();
 }

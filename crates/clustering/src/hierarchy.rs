@@ -100,6 +100,7 @@ impl ClusterHierarchy {
 
     /// Cold-start assignment: the cluster minimizing [`Self::score`].
     pub fn assign(&self, p: &[f32]) -> usize {
+        let _span = clear_obs::span(clear_obs::Stage::ClusterAssign);
         let mut best = 0;
         let mut best_s = f32::INFINITY;
         for k in 0..self.k() {

@@ -44,6 +44,7 @@ impl Default for RefineConfig {
 /// Panics under the same conditions as [`KMeans::fit`], or when
 /// `subset_fraction` is outside `(0, 1]`.
 pub fn refined_fit(points: &[Vec<f32>], config: &RefineConfig) -> KMeansModel {
+    let _span = clear_obs::span(clear_obs::Stage::ClusterFit);
     assert!(
         config.subset_fraction > 0.0 && config.subset_fraction <= 1.0,
         "subset_fraction must lie in (0, 1]"

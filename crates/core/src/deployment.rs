@@ -323,6 +323,7 @@ impl ClearDeployment {
     ///
     /// Returns [`DeployError::BadInput`] when `maps` is empty.
     pub fn onboard(&mut self, user: &str, maps: &[FeatureMap]) -> Result<Onboarding, DeployError> {
+        let _span = clear_obs::span(clear_obs::Stage::Onboard);
         if maps.is_empty() {
             return Err(DeployError::BadInput("onboarding needs at least one map"));
         }
@@ -334,6 +335,7 @@ impl ClearDeployment {
         }
         let accumulated = buffer.len();
         if accumulated < self.policy.min_onboarding_maps.max(1) {
+            clear_obs::counter_add(clear_obs::counters::ONBOARD_DEFERRED, 1);
             return Ok(Onboarding::Deferred {
                 accumulated,
                 required: self.policy.min_onboarding_maps.max(1),
@@ -354,6 +356,7 @@ impl ClearDeployment {
                 quarantined: 0,
             },
         );
+        clear_obs::counter_add(clear_obs::counters::ONBOARD_ASSIGNED, 1);
         Ok(Onboarding::Assigned { cluster })
     }
 
@@ -493,6 +496,7 @@ impl ClearDeployment {
         user: &str,
         maps: &[FeatureMap],
     ) -> Result<Vec<Prediction>, DeployError> {
+        let _span = clear_obs::span(clear_obs::Stage::PredictBatch);
         let state = self
             .users
             .get(user)
@@ -502,6 +506,9 @@ impl ClearDeployment {
         for map in maps {
             self.check_shape(map)?;
         }
+        clear_obs::counter_add(clear_obs::counters::BATCHES, 1);
+        clear_obs::counter_add(clear_obs::counters::BATCH_WINDOWS, maps.len() as u64);
+        clear_obs::size_record(clear_obs::BATCH_SIZE_HISTOGRAM, maps.len() as u64);
         let centroid = self.cluster_raw_centroid(cluster);
         let mut predictions = Vec::with_capacity(maps.len());
         for map in maps {
@@ -520,11 +527,13 @@ impl ClearDeployment {
         centroid: &[f32],
         map: &FeatureMap,
     ) -> Result<Prediction, DeployError> {
+        let _span = clear_obs::span(clear_obs::Stage::Predict);
         let mq = assess_map(map);
         let dead = mq.dead_modalities(self.policy.min_modality_score);
         if dead.len() == mq.blocks.len() {
             let state = self.users.get_mut(user).expect("user looked up by caller");
             state.quarantined += 1;
+            clear_obs::counter_add(clear_obs::counters::QUARANTINES, 1);
             return Ok(Prediction {
                 emotion: None,
                 confidence: 0.0,
@@ -595,6 +604,14 @@ impl ClearDeployment {
         } else {
             None
         };
+        if !impute.is_empty() {
+            clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);
+        }
+        if emotion.is_some() {
+            clear_obs::counter_add(clear_obs::counters::PREDICTIONS, 1);
+        } else {
+            clear_obs::counter_add(clear_obs::counters::ABSTENTIONS, 1);
+        }
         Ok(Prediction {
             emotion,
             confidence,
@@ -623,6 +640,7 @@ impl ClearDeployment {
         labeled: &[(FeatureMap, Emotion)],
         config: &TrainConfig,
     ) -> Result<PersonalizeOutcome, DeployError> {
+        let _span = clear_obs::span(clear_obs::Stage::Personalize);
         if labeled.is_empty() {
             return Err(DeployError::BadInput("personalization needs labeled maps"));
         }
@@ -714,10 +732,13 @@ impl ClearDeployment {
         };
 
         if adopted {
+            clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ADOPTED, 1);
             self.users
                 .get_mut(user)
                 .expect("cluster_of verified existence")
                 .personalized = Some(net);
+        } else {
+            clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ROLLED_BACK, 1);
         }
         Ok(PersonalizeOutcome {
             adopted,

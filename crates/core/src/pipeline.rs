@@ -37,6 +37,7 @@ impl CloudTraining {
     ///
     /// Panics if `subjects` is empty or smaller than `config.k`.
     pub fn fit(data: &PreparedCohort, subjects: &[SubjectId], config: &ClearConfig) -> Self {
+        let _span = clear_obs::span(clear_obs::Stage::CloudFit);
         assert!(
             subjects.len() >= config.k,
             "need at least k subjects to form k clusters"
@@ -194,6 +195,7 @@ impl CloudTraining {
     /// Fine-tunes the model of `cluster` on a labeled dataset, returning
     /// the personalized network (the cloud copy is untouched).
     pub fn fine_tune(&self, cluster: usize, train_set: &Dataset, config: &TrainConfig) -> Network {
+        let _span = clear_obs::span(clear_obs::Stage::Personalize);
         let mut net = self.models[cluster].clone();
         // A small validation carve-out retains the best checkpoint when
         // the labeled budget allows it.

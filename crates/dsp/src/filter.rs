@@ -149,6 +149,7 @@ fn check_cutoff(fc: f32, fs: f32) -> Result<(), DspError> {
 /// appropriate for offline feature extraction where the full window is
 /// available.
 pub fn filtfilt(biquad: &Biquad, x: &[f32]) -> Vec<f32> {
+    let _span = clear_obs::span(clear_obs::Stage::DspFilter);
     let fwd = biquad.filter(x);
     let mut rev: Vec<f32> = fwd.into_iter().rev().collect();
     rev = biquad.filter(&rev);

@@ -88,6 +88,7 @@ pub fn interp_uniform(
 /// Returns [`DspError::EmptyInput`] for an empty signal and
 /// [`DspError::BadParameter`] when either rate is non-positive.
 pub fn resample(x: &[f32], fs_in: f32, fs_out: f32) -> Result<Vec<f32>, DspError> {
+    let _span = clear_obs::span(clear_obs::Stage::DspResample);
     if x.is_empty() {
         return Err(DspError::EmptyInput);
     }

@@ -119,6 +119,7 @@ impl EdgeDeployment {
     /// the deployment's workspace and returns a reference to the output
     /// activation (valid until the next inference).
     fn infer_ws(&mut self, input: &Tensor) -> &Tensor {
+        let _span = clear_obs::span(clear_obs::Stage::EdgeInfer);
         let precision = self.spec.precision;
         self.network
             .forward_tapped(input, false, &mut self.ws, &mut |t| {
@@ -176,6 +177,7 @@ impl EdgeDeployment {
         test_set: &Dataset,
         config: &TrainConfig,
     ) -> FineTuneOutcome {
+        let _span = clear_obs::span(clear_obs::Stage::EdgeFineTune);
         // Epoch-wise loop so precision lowering interleaves with updates.
         let mut epochs_run = 0usize;
         let mut best_acc = f32::NEG_INFINITY;

@@ -295,6 +295,7 @@ impl ResilientDeployment {
                     self.stats.served += 1;
                     if use_fallback {
                         self.stats.fallback_serves += 1;
+                        clear_obs::counter_add(clear_obs::counters::FALLBACK_SERVES, 1);
                     }
                     self.stats.backoff_ms += backoff_ms;
                     return ServeOutcome {
@@ -306,6 +307,7 @@ impl ResilientDeployment {
                 }
                 Some(fault) => {
                     self.stats.faults_absorbed += 1;
+                    clear_obs::counter_add(clear_obs::counters::FAULTS_ABSORBED, 1);
                     let mut wait = next_backoff;
                     match fault {
                         Fault::Transient => {}
@@ -324,6 +326,7 @@ impl ResilientDeployment {
             }
         }
         self.stats.unavailable += 1;
+        clear_obs::counter_add(clear_obs::counters::UNAVAILABLE, 1);
         self.stats.backoff_ms += backoff_ms;
         ServeOutcome {
             logits: None,

@@ -210,6 +210,7 @@ impl FeatureExtractor {
     ///
     /// Panics if the recording is shorter than one window.
     pub fn feature_map(&self, recording: &Recording) -> FeatureMap {
+        let _span = clear_obs::span(clear_obs::Stage::FeatureMap);
         let duration = recording.bvp.len() as f32 / self.signal.fs_bvp;
         let count = self.window.window_count(duration);
         assert!(

@@ -1,0 +1,163 @@
+//! Metamorphic properties of the 123-feature extractor: known input
+//! transformations must produce exactly-predictable output changes. Unlike
+//! golden vectors these need no reference values — the *relation* between
+//! two extractor runs is the oracle, so they hold for whole input families.
+
+use clear_features::catalog::{index_of, BVP_COUNT, GSR_COUNT};
+use clear_features::extract_window;
+use clear_sim::SignalConfig;
+use proptest::prelude::*;
+
+const WINDOW_SECS: f32 = 12.0;
+
+fn sig() -> SignalConfig {
+    SignalConfig::default()
+}
+
+/// A clean BVP pulse train at the given heart rate.
+fn bvp_at(bpm: f32, fs: f32) -> Vec<f32> {
+    let n = (WINDOW_SECS * fs) as usize;
+    let period = 60.0 / bpm;
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / fs;
+            let phase = (t % period) / period;
+            (-(phase * 8.0)).exp() + 0.2 * (-((phase - 0.4) * 12.0).powi(2)).exp()
+        })
+        .collect()
+}
+
+/// A GSR trace with `events` triangular SCR bumps on a flat tonic level.
+/// Each bump rises 0.4 µS over one second and decays back over two — far
+/// above the detector's 0.04 µS criterion, well separated in time.
+fn gsr_with(events: usize, tonic: f32, fs: f32) -> Vec<f32> {
+    let n = (WINDOW_SECS * fs) as usize;
+    let mut out = vec![tonic; n];
+    for e in 0..events {
+        let t0 = 1.5 + 3.0 * e as f32;
+        for (i, v) in out.iter_mut().enumerate() {
+            let dt = i as f32 / fs - t0;
+            if (0.0..1.0).contains(&dt) {
+                *v += 0.4 * dt;
+            } else if (1.0..3.0).contains(&dt) {
+                *v += 0.4 * (1.0 - (dt - 1.0) / 2.0);
+            }
+        }
+    }
+    out
+}
+
+/// A gently warming SKT trace with a small oscillation so spread-sensitive
+/// features (std, slope, range) are non-degenerate.
+fn skt_trace(base: f32, fs: f32) -> Vec<f32> {
+    let n = (WINDOW_SECS * fs) as usize;
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / fs;
+            base + 0.02 * t + 0.05 * (0.7 * t).sin()
+        })
+        .collect()
+}
+
+fn feat(v: &[f32], name: &str) -> f32 {
+    v[index_of(name).unwrap_or_else(|| panic!("unknown feature {name}"))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adding a constant to the skin-temperature channel shifts its
+    /// location features (mean, min, max) by exactly that constant, leaves
+    /// its dispersion features (std, slope) unchanged, and — because the
+    /// modalities are extracted independently — leaves every GSR and BVP
+    /// feature bit-identical.
+    #[test]
+    fn skt_offset_shifts_location_features_and_nothing_else(c in -5.0f32..5.0) {
+        let s = sig();
+        let bvp = bvp_at(72.0, s.fs_bvp);
+        let gsr = gsr_with(2, 3.0, s.fs_gsr);
+        let skt = skt_trace(33.0, s.fs_skt);
+        let shifted: Vec<f32> = skt.iter().map(|v| v + c).collect();
+
+        let v0 = extract_window(&bvp, &gsr, &skt, &s);
+        let v1 = extract_window(&bvp, &gsr, &shifted, &s);
+
+        // GSR and BVP blocks precede the SKT block in catalog order and
+        // must not move at all.
+        prop_assert_eq!(
+            &v0[..GSR_COUNT + BVP_COUNT],
+            &v1[..GSR_COUNT + BVP_COUNT]
+        );
+        for name in ["skt_mean", "skt_min", "skt_max"] {
+            let delta = feat(&v1, name) - feat(&v0, name);
+            prop_assert!(
+                (delta - c).abs() < 1e-3,
+                "{name} moved by {delta}, offset was {c}"
+            );
+        }
+        for name in ["skt_std", "skt_slope"] {
+            let delta = feat(&v1, name) - feat(&v0, name);
+            prop_assert!((delta).abs() < 1e-3, "{name} drifted by {delta}");
+        }
+    }
+
+    /// Adding a constant to the GSR channel moves only its location
+    /// features: the tonic/phasic split re-centres on the window mean, so
+    /// the phasic component — and with it every SCR event feature — is
+    /// unchanged up to float rounding.
+    #[test]
+    fn gsr_offset_leaves_phasic_event_features_unchanged(c in 0.5f32..4.0) {
+        let s = sig();
+        let bvp = bvp_at(72.0, s.fs_bvp);
+        let skt = skt_trace(33.0, s.fs_skt);
+        let gsr = gsr_with(2, 3.0, s.fs_gsr);
+        let shifted: Vec<f32> = gsr.iter().map(|v| v + c).collect();
+
+        let v0 = extract_window(&bvp, &gsr, &skt, &s);
+        let v1 = extract_window(&bvp, &shifted, &skt, &s);
+
+        let d_mean = feat(&v1, "gsr_mean") - feat(&v0, "gsr_mean");
+        prop_assert!((d_mean - c).abs() < 1e-3, "gsr_mean moved by {d_mean}");
+        prop_assert!((feat(&v1, "gsr_std") - feat(&v0, "gsr_std")).abs() < 1e-3);
+        // Event scoring sees the same phasic signal: identical count, and
+        // amplitude statistics equal to rounding.
+        prop_assert_eq!(feat(&v1, "gsr_scr_count"), feat(&v0, "gsr_scr_count"));
+        prop_assert_eq!(feat(&v1, "gsr_scr_rate"), feat(&v0, "gsr_scr_rate"));
+        for name in ["gsr_scr_amp_mean", "gsr_scr_amp_max", "gsr_scr_amp_sum"] {
+            let (a, b) = (feat(&v0, name), feat(&v1, name));
+            prop_assert!((a - b).abs() < 1e-2, "{name}: {a} vs {b}");
+        }
+    }
+}
+
+/// Injecting more SCR bumps never decreases the detected count, and the
+/// rate feature is locked to the count by the window duration: for a 12 s
+/// window, rate (per minute) = count × 5.
+#[test]
+fn scr_rate_responds_monotonically_to_injected_bumps() {
+    let s = sig();
+    let bvp = bvp_at(72.0, s.fs_bvp);
+    let skt = skt_trace(33.0, s.fs_skt);
+    let mut last_count = 0.0f32;
+    for k in 0..=3usize {
+        let v = extract_window(&bvp, &gsr_with(k, 3.0, s.fs_gsr), &skt, &s);
+        let count = feat(&v, "gsr_scr_count");
+        let rate = feat(&v, "gsr_scr_rate");
+        assert!(
+            count >= k as f32,
+            "{k} injected bumps but only {count} detected"
+        );
+        assert!(
+            count >= last_count,
+            "count fell from {last_count} to {count} at k = {k}"
+        );
+        assert!(
+            (rate - count * 5.0).abs() < 1e-3,
+            "rate {rate} decoupled from count {count}"
+        );
+        last_count = count;
+    }
+    // A flat trace has no events at all.
+    let quiet = extract_window(&bvp, &gsr_with(0, 3.0, s.fs_gsr), &skt, &s);
+    assert_eq!(feat(&quiet, "gsr_scr_count"), 0.0);
+}

@@ -100,15 +100,20 @@ pub fn train(
     let mut stale = 0usize;
 
     for epoch in 0..config.epochs {
+        let _epoch_span = clear_obs::span(clear_obs::Stage::TrainEpoch);
         let order = train.shuffled_indices(config.seed.wrapping_add(epoch as u64));
         let mut total_loss = 0.0f32;
         for chunk in order.chunks(config.batch_size) {
             ws.zero_grads();
             for &i in chunk {
                 let sample = &train.samples()[i];
-                let logits = network.forward(&sample.input, true, &mut ws);
-                let (loss, grad) = cross_entropy(logits, sample.label);
+                let (loss, grad) = {
+                    let _span = clear_obs::span(clear_obs::Stage::NnForward);
+                    let logits = network.forward(&sample.input, true, &mut ws);
+                    cross_entropy(logits, sample.label)
+                };
                 total_loss += loss;
+                let _span = clear_obs::span(clear_obs::Stage::NnBackward);
                 network.backward(&grad, &mut ws);
             }
             if let Some(tail) = config.trainable_tail {
@@ -134,6 +139,7 @@ pub fn train(
             optimizer.step(network, &mut ws, chunk.len() as f32);
         }
         epoch_losses.push(total_loss / train.len() as f32);
+        clear_obs::counter_add(clear_obs::counters::TRAIN_EPOCHS, 1);
 
         if let Some(val_set) = val {
             let score = evaluate(network, val_set);
@@ -196,8 +202,11 @@ pub fn confusion(network: &Network, data: &Dataset) -> ConfusionMatrix {
     let mut cm = ConfusionMatrix::new(classes);
     let mut ws = Workspace::new();
     for sample in data.iter() {
-        let logits = network.forward(&sample.input, false, &mut ws);
-        cm.record(sample.label, predict_class(logits));
+        let pred = {
+            let _span = clear_obs::span(clear_obs::Stage::NnForward);
+            predict_class(network.forward(&sample.input, false, &mut ws))
+        };
+        cm.record(sample.label, pred);
     }
     cm
 }

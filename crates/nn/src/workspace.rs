@@ -100,6 +100,7 @@ impl Workspace {
                 .zip(layers)
                 .all(|(state, layer)| state.matches(layer));
         if !bound {
+            clear_obs::counter_add(clear_obs::counters::WORKSPACE_REBINDS, 1);
             self.states = layers.iter().map(LayerState::for_layer).collect();
             self.grads.clear();
         }

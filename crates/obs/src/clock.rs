@@ -1,0 +1,106 @@
+//! Injectable time sources for the metrics registry.
+//!
+//! Production registries read a monotonic wall clock; tests inject a
+//! [`FakeClock`] whose reads advance by a fixed, deterministic step, so
+//! snapshots of instrumented code are byte-identical run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must be thread-safe;
+/// reads from different threads need not be globally ordered, only
+/// monotone per thread.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since an arbitrary (per-clock) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`]-backed, origin at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturate rather than wrap: a process does not live 2^64 ns.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: every read advances the time by a
+/// fixed `step_ns`, so the n-th read observes `start + n * step` no matter
+/// when (in real time) it happens. Span durations measured against a
+/// `FakeClock` depend only on the *sequence* of reads, never on scheduler
+/// or hardware timing — the determinism contract instrumented code is
+/// tested under.
+#[derive(Debug)]
+pub struct FakeClock {
+    now: AtomicU64,
+    step_ns: u64,
+}
+
+impl FakeClock {
+    /// A fake clock starting at 0, advancing `step_ns` per read.
+    pub fn new(step_ns: u64) -> Self {
+        Self {
+            now: AtomicU64::new(0),
+            step_ns,
+        }
+    }
+
+    /// Manually advances the clock (on top of the per-read step).
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.step_ns, Ordering::Relaxed) + self.step_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_advances_deterministically() {
+        let c = FakeClock::new(100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 200);
+        c.advance(1_000);
+        assert_eq!(c.now_ns(), 1_300);
+    }
+
+    #[test]
+    fn fake_clock_zero_step_is_frozen() {
+        let c = FakeClock::new(0);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! # clear-obs — observability for the CLEAR pipeline
+//!
+//! A zero-heavy-dependency metrics subsystem: a thread-safe [`Registry`]
+//! of counters, gauges and fixed-bucket latency histograms; lightweight
+//! timing [`span`]s instrumenting every pipeline stage; and the serving
+//! [`counters`] the deployment layers increment. Snapshots serialize to
+//! JSON (`bench_exec` exports them as `BENCH_obs.json`).
+//!
+//! ## Design contract
+//!
+//! * **Near-free when off.** Instrumentation hooks are compiled in
+//!   unconditionally, but with no registry installed every hook is one
+//!   relaxed atomic load and an early return — no clock reads, no locks,
+//!   no allocation. Hot paths (per-window biquads, per-sample forward
+//!   passes) stay hot.
+//! * **Observation never perturbs computation.** Metrics are written, not
+//!   read, by instrumented code, so results are bit-identical with and
+//!   without a registry installed — including the parallel-LOSO
+//!   determinism contract (`tests/determinism.rs` runs the 2/4/8-thread
+//!   sweep with instrumentation enabled).
+//! * **The clock is injectable.** Production registries read a monotonic
+//!   [`clock::MonotonicClock`]; tests inject a [`clock::FakeClock`] whose
+//!   reads advance deterministically, making histogram snapshots
+//!   byte-stable for a fixed sequence of operations.
+//!
+//! ## Usage
+//!
+//! ```
+//! use clear_obs::{self as obs, Registry, Stage};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! obs::install(Arc::clone(&registry));
+//! {
+//!     let _span = obs::span(Stage::ClusterAssign);
+//!     obs::counter_add(obs::counters::PREDICTIONS, 1);
+//! } // span records its latency on drop
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counters["serve.predictions"], 1);
+//! assert_eq!(snap.histograms["stage.cluster.assign"].count, 1);
+//! obs::uninstall();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod registry;
+pub mod stage;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, LATENCY_BOUNDS_NS,
+    SIZE_BOUNDS,
+};
+pub use stage::Stage;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Well-known counter names wired through the serving layers. Using the
+/// constants (rather than ad-hoc strings) keeps snapshots, dashboards and
+/// tests in agreement.
+pub mod counters {
+    /// Served (non-abstained) predictions.
+    pub const PREDICTIONS: &str = "serve.predictions";
+    /// Post-inference abstentions (low quality or confidence).
+    pub const ABSTENTIONS: &str = "serve.abstentions";
+    /// Windows quarantined before inference (no usable modality).
+    pub const QUARANTINES: &str = "serve.quarantines";
+    /// Modality blocks imputed from cluster statistics.
+    pub const IMPUTED_MODALITIES: &str = "serve.imputed_modalities";
+    /// `predict_batch` invocations.
+    pub const BATCHES: &str = "serve.batches";
+    /// Windows served through `predict_batch`.
+    pub const BATCH_WINDOWS: &str = "serve.batch_windows";
+    /// Onboardings that assigned a cluster.
+    pub const ONBOARD_ASSIGNED: &str = "serve.onboard_assigned";
+    /// Onboardings deferred by the quality guardrail.
+    pub const ONBOARD_DEFERRED: &str = "serve.onboard_deferred";
+    /// Personalizations adopted (fine-tuned checkpoint kept).
+    pub const PERSONALIZE_ADOPTED: &str = "serve.personalize_adopted";
+    /// Personalizations rolled back to the cluster checkpoint.
+    pub const PERSONALIZE_ROLLED_BACK: &str = "serve.personalize_rolled_back";
+    /// Inferences served by a fallback checkpoint after degradation.
+    pub const FALLBACK_SERVES: &str = "serve.fallbacks";
+    /// Individual faults absorbed by retry.
+    pub const FAULTS_ABSORBED: &str = "serve.faults_absorbed";
+    /// Requests lost after exhausting the retry budget.
+    pub const UNAVAILABLE: &str = "serve.unavailable";
+    /// Workspace rebinds (layer-structure changes; steady state is 0/call).
+    pub const WORKSPACE_REBINDS: &str = "nn.workspace_rebinds";
+    /// Training epochs completed.
+    pub const TRAIN_EPOCHS: &str = "nn.train_epochs";
+}
+
+/// Histogram name for `predict_batch` request sizes (bounds
+/// [`SIZE_BOUNDS`]).
+pub const BATCH_SIZE_HISTOGRAM: &str = "serve.batch_size";
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: RwLock<Option<Arc<Registry>>> = RwLock::new(None);
+
+/// Installs `registry` as the process-wide metrics sink. Instrumentation
+/// hooks across all crates start recording into it immediately; a
+/// previously installed registry is replaced (and returned to its other
+/// `Arc` holders only).
+pub fn install(registry: Arc<Registry>) {
+    *REGISTRY.write().unwrap_or_else(PoisonError::into_inner) = Some(registry);
+    INSTALLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed registry, returning it. Hooks revert to their
+/// near-free disabled path.
+pub fn uninstall() -> Option<Arc<Registry>> {
+    INSTALLED.store(false, Ordering::Release);
+    REGISTRY
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
+
+/// The installed registry, if any. This is the fast path every hook
+/// takes: one relaxed load when disabled.
+#[inline]
+pub fn installed() -> Option<Arc<Registry>> {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    REGISTRY
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// An RAII timing span: construction reads the clock, drop records the
+/// elapsed nanoseconds into the stage's latency histogram. A no-op (no
+/// clock reads) when no registry is installed.
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<(Arc<Registry>, Stage, u64)>,
+}
+
+impl SpanGuard {
+    /// A span that records nothing (the disabled path).
+    pub fn noop() -> Self {
+        Self { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((registry, stage, start)) = self.active.take() {
+            let elapsed = registry.now_ns().saturating_sub(start);
+            registry.stage(stage).record(elapsed);
+        }
+    }
+}
+
+/// Opens a timing span over `stage`; the returned guard records the
+/// elapsed time when dropped.
+#[inline]
+pub fn span(stage: Stage) -> SpanGuard {
+    match installed() {
+        None => SpanGuard::noop(),
+        Some(registry) => {
+            let start = registry.now_ns();
+            SpanGuard {
+                active: Some((registry, stage, start)),
+            }
+        }
+    }
+}
+
+/// Adds `n` to the named counter (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if let Some(registry) = installed() {
+        registry.counter(name).add(n);
+    }
+}
+
+/// Sets the named gauge (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &str, v: i64) {
+    if let Some(registry) = installed() {
+        registry.gauge(name).set(v);
+    }
+}
+
+/// Records `v` into the named size histogram (no-op when disabled).
+#[inline]
+pub fn size_record(name: &str, v: u64) {
+    if let Some(registry) = installed() {
+        registry.histogram(name, &SIZE_BOUNDS).record(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry slot is process-wide state shared by every test
+    // in this binary; serialize the tests that touch it.
+    static GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(&[10, 100, 1_000]);
+        // On-boundary values land in their bound's bucket; above-all
+        // values land in the overflow slot.
+        for v in [0, 10, 11, 100, 1_000, 1_001, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1, 2]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, u64::MAX);
+        // Quantiles resolve to bucket upper bounds (max for overflow).
+        assert_eq!(s.quantile(0.01), 10);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_scoped_threads() {
+        let registry = Registry::new();
+        let counter = registry.counter("test.hits");
+        let hist = registry.histogram("test.sizes", &SIZE_BOUNDS);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let counter = Arc::clone(&counter);
+                let hist = Arc::clone(&hist);
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        counter.add(1);
+                        hist.record((t * 1_000 + i) % 7 + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8_000);
+        let s = hist.snapshot();
+        assert_eq!(s.count, 8_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_with_fake_clock() {
+        let run = || {
+            let registry = Registry::with_clock(Box::new(FakeClock::new(250)));
+            for _ in 0..5 {
+                let start = registry.now_ns();
+                let elapsed = registry.now_ns() - start;
+                registry.stage(Stage::Predict).record(elapsed);
+            }
+            registry.counter(counters::PREDICTIONS).add(5);
+            registry.gauge("users.active").set(3);
+            registry.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        // And the JSON is byte-stable, BTreeMap key order included.
+        let ja = a.to_json();
+        let jb = b.to_json();
+        assert_eq!(ja, jb);
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+        assert!(ja.contains("\"serve.predictions\":5"));
+        assert!(ja.contains("\"stage.serve.predict\":"));
+        // Every fake-clock span took exactly one 250 ns step.
+        let h = &a.histograms["stage.serve.predict"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 5 * 250);
+        assert_eq!(h.max, 250);
+    }
+
+    #[test]
+    fn snapshot_json_is_exactly_the_expected_bytes() {
+        let registry = Registry::with_clock(Box::new(FakeClock::new(1)));
+        registry.counter("a\"b").add(2);
+        registry.gauge("g").set(-3);
+        registry.histogram("h", &[5, 10]).record(7);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{\"a\\\"b\":2},\"gauges\":{\"g\":-3},\"histograms\":\
+             {\"h\":{\"bounds\":[5,10],\"counts\":[0,1,0],\"count\":1,\"sum\":7,\"max\":7}}}"
+        );
+        let pretty = snap.to_json_pretty();
+        assert!(pretty.starts_with("{\n  \"counters\": {\n"));
+        assert!(pretty.ends_with("\n}"));
+        assert!(pretty.contains("\"g\": -3"));
+    }
+
+    #[test]
+    fn spans_and_counters_are_noops_without_registry() {
+        let _guard = global_lock();
+        uninstall();
+        assert!(installed().is_none());
+        {
+            let _span = span(Stage::NnForward);
+            counter_add(counters::PREDICTIONS, 1);
+            gauge_set("x", 1);
+            size_record(BATCH_SIZE_HISTOGRAM, 4);
+        }
+        // Nothing to observe — the absence of a panic and of a registry
+        // is the contract.
+        assert!(installed().is_none());
+    }
+
+    #[test]
+    fn install_routes_spans_into_the_registry() {
+        let _guard = global_lock();
+        let registry = Arc::new(Registry::with_clock(Box::new(FakeClock::new(100))));
+        install(Arc::clone(&registry));
+        {
+            let _span = span(Stage::FeatureMap);
+            counter_add(counters::QUARANTINES, 2);
+            size_record(BATCH_SIZE_HISTOGRAM, 32);
+        }
+        let removed = uninstall().expect("registry was installed");
+        assert!(Arc::ptr_eq(&removed, &registry));
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["stage.features.map"].count, 1);
+        assert_eq!(snap.counters[counters::QUARANTINES], 2);
+        assert_eq!(snap.histograms[BATCH_SIZE_HISTOGRAM].count, 1);
+    }
+
+    #[test]
+    fn snapshot_omits_quiet_stages() {
+        let registry = Registry::with_clock(Box::new(FakeClock::new(1)));
+        registry.stage(Stage::EdgeInfer).record(42);
+        let snap = registry.snapshot();
+        assert!(snap.histograms.contains_key("stage.edge.infer"));
+        assert!(!snap.histograms.contains_key("stage.nn.forward"));
+    }
+}

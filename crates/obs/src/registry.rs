@@ -1,0 +1,455 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! All instruments are lock-free on the hot path (relaxed atomics); the
+//! registry's maps are only locked to *create* an instrument, never to
+//! update one. Snapshots are plain serializable structs with `BTreeMap`
+//! keys, so their JSON is byte-stable for a given sequence of updates.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::stage::Stage;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// Telemetry must never deadlock or cascade a panic: recover from lock
+// poisoning instead of unwrapping (the maps hold only Arc'd instruments,
+// so a poisoned map is still structurally sound).
+fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Default latency bucket upper bounds, nanoseconds: 1 µs … 10 s in
+/// 1-5-10 decades, plus an implicit overflow bucket. Chosen so one set of
+/// buckets resolves both a single biquad pass (~µs) and a full LOSO fold
+/// (~s).
+pub const LATENCY_BOUNDS_NS: [u64; 15] = [
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Default bucket upper bounds for size-like histograms (batch sizes):
+/// powers of two up to 1024, plus the overflow bucket.
+pub const SIZE_BOUNDS: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed level (queue depths, active users, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. A value `v` lands in the first bucket whose
+/// upper bound satisfies `v <= bound`; values above every bound land in
+/// the overflow bucket, so `counts.len() == bounds.len() + 1` and no
+/// observation is ever dropped.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over strictly increasing `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Serializable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (`counts` has one extra overflow slot).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` long.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// bound of the bucket holding the q-th observation, or `max` for
+    /// the overflow bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push_str("{\"bounds\":");
+        push_u64_array(out, &self.bounds);
+        out.push_str(",\"counts\":");
+        push_u64_array(out, &self.counts);
+        out.push_str(",\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        out.push_str(",\"max\":");
+        out.push_str(&self.max.to_string());
+        out.push('}');
+    }
+}
+
+// The crate is dependency-free, so snapshots carry their own (tiny) JSON
+// writer. Emission is deterministic: BTreeMap key order, fixed field
+// order, no float formatting (every value is an integer).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+}
+
+/// Point-in-time copy of a whole [`Registry`]. Key order (and therefore
+/// serialized JSON) is deterministic: `BTreeMap` throughout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name; pipeline stages appear under their
+    /// [`Stage::name`] (`"stage.…"` keys).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Compact deterministic JSON, single line. Byte-identical for equal
+    /// snapshots (and therefore run-to-run under a
+    /// [`crate::clock::FakeClock`]).
+    pub fn to_json(&self) -> String {
+        self.render("", "")
+    }
+
+    /// Pretty deterministic JSON: one instrument per line, two-space
+    /// indent. This is the format `bench_exec` writes to
+    /// `BENCH_obs.json`.
+    pub fn to_json_pretty(&self) -> String {
+        self.render("\n", "  ")
+    }
+
+    fn render(&self, nl: &str, indent: &str) -> String {
+        let sp = if nl.is_empty() { "" } else { " " };
+        let mut sections: Vec<(&str, Vec<String>)> = Vec::with_capacity(3);
+
+        let mut entries = Vec::with_capacity(self.counters.len());
+        for (k, v) in &self.counters {
+            let mut e = String::new();
+            push_json_string(&mut e, k);
+            e.push(':');
+            e.push_str(sp);
+            e.push_str(&v.to_string());
+            entries.push(e);
+        }
+        sections.push(("counters", entries));
+
+        let mut entries = Vec::with_capacity(self.gauges.len());
+        for (k, v) in &self.gauges {
+            let mut e = String::new();
+            push_json_string(&mut e, k);
+            e.push(':');
+            e.push_str(sp);
+            e.push_str(&v.to_string());
+            entries.push(e);
+        }
+        sections.push(("gauges", entries));
+
+        let mut entries = Vec::with_capacity(self.histograms.len());
+        for (k, h) in &self.histograms {
+            let mut e = String::new();
+            push_json_string(&mut e, k);
+            e.push(':');
+            e.push_str(sp);
+            h.push_json(&mut e);
+            entries.push(e);
+        }
+        sections.push(("histograms", entries));
+
+        let mut out = String::from("{");
+        for (i, (name, entries)) in sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(nl);
+            out.push_str(indent);
+            push_json_string(&mut out, name);
+            out.push(':');
+            out.push_str(sp);
+            out.push('{');
+            for (j, e) in entries.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(indent);
+                out.push_str(indent);
+                out.push_str(e);
+            }
+            if !entries.is_empty() {
+                out.push_str(nl);
+                out.push_str(indent);
+            }
+            out.push('}');
+        }
+        out.push_str(nl);
+        out.push('}');
+        out
+    }
+}
+
+/// A thread-safe metrics registry with an injectable clock.
+///
+/// Per-stage latency histograms are pre-allocated in a dense array indexed
+/// by [`Stage`], so span recording is two atomic clock reads plus a few
+/// relaxed atomic adds — no locks, no allocation. Named counters, gauges
+/// and extra histograms are created on first touch behind a short-lived
+/// write lock and updated lock-free thereafter.
+pub struct Registry {
+    clock: Box<dyn Clock>,
+    stages: Vec<Histogram>,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("clock", &self.clock)
+            .field("stages", &self.stages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// A registry on the production monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// A registry reading time from `clock` (tests inject a
+    /// [`crate::clock::FakeClock`]).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self {
+            clock,
+            stages: Stage::all()
+                .iter()
+                .map(|_| Histogram::new(&LATENCY_BOUNDS_NS))
+                .collect(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Current clock reading, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The pre-allocated latency histogram of a pipeline stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage as usize]
+    }
+
+    /// The named counter, created at zero on first touch.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(write(&self.counters).entry(name.to_string()).or_default())
+    }
+
+    /// The named gauge, created at zero on first touch.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = read(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(write(&self.gauges).entry(name.to_string()).or_default())
+    }
+
+    /// The named histogram, created with `bounds` on first touch (later
+    /// calls ignore `bounds` and return the existing instrument).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Serializable point-in-time copy of every instrument. Stage
+    /// histograms that never recorded are omitted, so quiet subsystems do
+    /// not pad the export.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = Stage::all()
+            .iter()
+            .filter(|&&s| self.stage(s).count() > 0)
+            .map(|&s| (s.name().to_string(), self.stage(s).snapshot()))
+            .collect();
+        for (name, h) in read(&self.histograms).iter() {
+            histograms.insert(name.clone(), h.snapshot());
+        }
+        Snapshot {
+            counters: read(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: read(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms,
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}

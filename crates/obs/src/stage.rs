@@ -1,0 +1,110 @@
+//! The span taxonomy: one [`Stage`] per instrumented pipeline phase.
+
+/// Every timed phase of the CLEAR pipeline. Each stage owns one
+/// pre-allocated latency histogram in the registry (key
+/// `stage.<name>` in snapshots), so instrumentation sites pay an array
+/// index, never a map lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// One zero-phase biquad pass (`clear_dsp::filter::filtfilt`).
+    DspFilter,
+    /// One linear-interpolation resample (`clear_dsp::resample::resample`).
+    DspResample,
+    /// One recording → 123×W feature map
+    /// (`clear_features::FeatureExtractor::feature_map`).
+    FeatureMap,
+    /// One refined k-means fit (`clear_clustering::refine::refined_fit`).
+    ClusterFit,
+    /// One sub-centroid cold-start assignment
+    /// (`clear_clustering::hierarchy::ClusterHierarchy::assign`).
+    ClusterAssign,
+    /// One network forward pass issued by the trainer or evaluator.
+    NnForward,
+    /// One network backward pass issued by the trainer.
+    NnBackward,
+    /// One full training epoch (`clear_nn::train::train`).
+    TrainEpoch,
+    /// One full cloud stage fit (`CloudTraining::fit`).
+    CloudFit,
+    /// One personalization run (cloud `fine_tune` or deployment
+    /// `personalize`).
+    Personalize,
+    /// One quality-gated single-window prediction
+    /// (`ClearDeployment::predict_one`).
+    Predict,
+    /// One quality-gated batch (`ClearDeployment::predict_batch`).
+    PredictBatch,
+    /// One onboarding call (`ClearDeployment::onboard`).
+    Onboard,
+    /// One device-precision inference (`EdgeDeployment` forward).
+    EdgeInfer,
+    /// One on-device fine-tuning run (`EdgeDeployment::fine_tune`).
+    EdgeFineTune,
+}
+
+impl Stage {
+    /// Snapshot key of this stage's histogram.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::DspFilter => "stage.dsp.filter",
+            Stage::DspResample => "stage.dsp.resample",
+            Stage::FeatureMap => "stage.features.map",
+            Stage::ClusterFit => "stage.cluster.fit",
+            Stage::ClusterAssign => "stage.cluster.assign",
+            Stage::NnForward => "stage.nn.forward",
+            Stage::NnBackward => "stage.nn.backward",
+            Stage::TrainEpoch => "stage.nn.epoch",
+            Stage::CloudFit => "stage.core.cloud_fit",
+            Stage::Personalize => "stage.core.personalize",
+            Stage::Predict => "stage.serve.predict",
+            Stage::PredictBatch => "stage.serve.predict_batch",
+            Stage::Onboard => "stage.serve.onboard",
+            Stage::EdgeInfer => "stage.edge.infer",
+            Stage::EdgeFineTune => "stage.edge.fine_tune",
+        }
+    }
+
+    /// All stages, in histogram-array order.
+    pub const fn all() -> &'static [Stage] {
+        &[
+            Stage::DspFilter,
+            Stage::DspResample,
+            Stage::FeatureMap,
+            Stage::ClusterFit,
+            Stage::ClusterAssign,
+            Stage::NnForward,
+            Stage::NnBackward,
+            Stage::TrainEpoch,
+            Stage::CloudFit,
+            Stage::Personalize,
+            Stage::Predict,
+            Stage::PredictBatch,
+            Stage::Onboard,
+            Stage::EdgeInfer,
+            Stage::EdgeFineTune,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_array_order_matches_discriminants() {
+        for (i, s) in Stage::all().iter().enumerate() {
+            assert_eq!(*s as usize, i, "{s:?} out of order");
+        }
+    }
+
+    #[test]
+    fn stage_names_are_unique_and_prefixed() {
+        let names: Vec<&str> = Stage::all().iter().map(|s| s.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate stage name");
+        assert!(names.iter().all(|n| n.starts_with("stage.")));
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`clustering`] — refined k-means with sub-centroid cold-start assignment,
 //! * [`nn`] — from-scratch CNN-LSTM training stack,
 //! * [`edge`] — edge platform simulator (Coral TPU, Raspberry Pi + NCS2),
-//! * [`core`] — the CLEAR pipeline and its LOSO evaluation harnesses.
+//! * [`core`] — the CLEAR pipeline and its LOSO evaluation harnesses,
+//! * [`obs`] — dependency-free metrics registry, stage timing spans and
+//!   serving counters (see `DESIGN.md` §10).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -24,4 +26,5 @@ pub use clear_dsp as dsp;
 pub use clear_edge as edge;
 pub use clear_features as features;
 pub use clear_nn as nn;
+pub use clear_obs as obs;
 pub use clear_sim as sim;

@@ -8,6 +8,7 @@ use clear::core::evaluation::{clear_folds, clear_folds_parallel};
 use clear::core::pipeline::CloudTraining;
 use clear::sim::{Cohort, CohortConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[test]
 fn cohort_and_features_are_seed_deterministic() {
@@ -66,7 +67,12 @@ fn parallel_folds_are_bit_identical_to_sequential() {
     // The parallel driver shares read-only data across worker threads and
     // keys every random stream on (seed, fold); its aggregate must equal
     // the sequential driver's exactly — same structs, same bits — at any
-    // thread count.
+    // thread count. The whole sweep runs with a metrics registry
+    // installed: observation must never perturb computation (the clear-obs
+    // determinism contract), so instrumented runs must stay bit-identical
+    // too.
+    let registry = Arc::new(clear::obs::Registry::new());
+    clear::obs::install(Arc::clone(&registry));
     let config = ClearConfig::quick(66);
     let data = PreparedCohort::prepare(&config);
     let sequential = clear_folds(&data, &config, false, |_, _| {});
@@ -86,4 +92,13 @@ fn parallel_folds_are_bit_identical_to_sequential() {
             "progress must fire once per fold at {threads} threads"
         );
     }
+    clear::obs::uninstall();
+    // The instrumented sweep really recorded: training forwards and the
+    // per-fold pipeline stages all flowed into the registry.
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot.histograms.contains_key("stage.nn.forward"),
+        "instrumentation recorded no forward passes"
+    );
+    assert!(snapshot.counters[clear::obs::counters::TRAIN_EPOCHS] > 0);
 }

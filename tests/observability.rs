@@ -1,0 +1,90 @@
+//! End-to-end observability: the serving stack is instrumented with
+//! clear-obs spans and counters, so running the cloud-fit → onboard →
+//! predict flow with a fake-clock registry installed yields a complete,
+//! deterministic, JSON-exportable snapshot.
+//!
+//! This test owns the process-global registry slot for its binary; it is
+//! the only test here precisely so installation cannot race another test.
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::deployment::{deploy, Onboarding};
+use clear::features::FeatureMap;
+use clear::obs::{self, FakeClock, Registry};
+use std::sync::Arc;
+
+#[test]
+fn serving_flow_populates_counters_and_stage_histograms() {
+    let registry = Arc::new(Registry::with_clock(Box::new(FakeClock::new(1_000))));
+    obs::install(Arc::clone(&registry));
+
+    let config = ClearConfig::quick(17);
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (&newcomer, initial) = subjects.split_last().expect("cohort is non-empty");
+    let mut dep = deploy(&data, initial, &config);
+
+    let indices = data.indices_of(newcomer);
+    let maps: Vec<FeatureMap> = indices[..2]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect();
+    let outcome = dep.onboard("carol", &maps).expect("maps are non-empty");
+    assert!(matches!(outcome, Onboarding::Assigned { .. }));
+
+    // Four clean windows plus one all-NaN window: the latter must take
+    // the quarantine path and show up in the quarantine counter.
+    let mut batch: Vec<FeatureMap> = indices[2..6]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect();
+    let template = &batch[0];
+    let nan_columns = vec![vec![f32::NAN; template.feature_count()]; template.window_count()];
+    batch.push(FeatureMap::from_columns(&nan_columns));
+    let predictions = dep
+        .predict_batch("carol", &batch)
+        .expect("carol onboarded above");
+    assert_eq!(predictions.len(), 5);
+
+    obs::uninstall();
+    let snap = registry.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+
+    // Serving counters balance: every batched window was either served,
+    // abstained on, or quarantined.
+    assert_eq!(c(obs::counters::BATCHES), 1);
+    assert_eq!(c(obs::counters::BATCH_WINDOWS), 5);
+    assert_eq!(c(obs::counters::QUARANTINES), 1);
+    assert_eq!(
+        c(obs::counters::PREDICTIONS) + c(obs::counters::ABSTENTIONS),
+        4
+    );
+    assert_eq!(c(obs::counters::ONBOARD_ASSIGNED), 1);
+    assert!(c(obs::counters::TRAIN_EPOCHS) > 0, "cloud fit trains");
+
+    // Stage histograms: the cloud fit, the onboarding assignment, and one
+    // span per served window all recorded.
+    for key in [
+        "stage.core.cloud_fit",
+        "stage.cluster.fit",
+        "stage.cluster.assign",
+        "stage.serve.onboard",
+        "stage.serve.predict",
+        "stage.serve.predict_batch",
+        "stage.nn.forward",
+        "stage.features.map",
+    ] {
+        assert!(snap.histograms.contains_key(key), "missing histogram {key}");
+    }
+    assert_eq!(snap.histograms["stage.serve.predict"].count, 5);
+    assert_eq!(snap.histograms["stage.serve.predict_batch"].count, 1);
+    assert_eq!(snap.histograms[obs::BATCH_SIZE_HISTOGRAM].count, 1);
+    // Fake-clock latencies are exact step multiples, never zero.
+    assert!(snap.histograms["stage.serve.predict_batch"].sum >= 1_000);
+
+    // The JSON export reflects the same snapshot, deterministically.
+    let json = snap.to_json_pretty();
+    assert!(json.contains("\"serve.batches\": 1"));
+    assert!(json.contains("\"stage.serve.predict\""));
+    assert_eq!(json, registry.snapshot().to_json_pretty());
+}

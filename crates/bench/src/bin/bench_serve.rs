@@ -1,0 +1,344 @@
+//! Multi-tenant serving benchmark: measures what the sharded engine buys
+//! over the sequential single-tenant deployment and writes
+//! `BENCH_serve.json` so the serving perf trajectory is tracked across
+//! revisions.
+//!
+//! Reported numbers:
+//!
+//! * windows/sec through a sequential per-user `predict_batch` loop (the
+//!   pre-engine serving model, single thread, no batching);
+//! * windows/sec through `ServeEngine::predict_many` at 1/2/4/8 caller
+//!   threads over the same request mix, with the speedup vs. the
+//!   sequential loop;
+//! * a personalized-model cache sweep: windows/sec and cache
+//!   hit/miss/eviction/rehydration counts at capacities 1..16 while a
+//!   rotation of personalized users keeps the cache under pressure.
+//!
+//! Before any timing, the engine's per-request output is asserted
+//! bit-identical to the sequential loop — the throughput numbers are
+//! only meaningful because the served bits are the same.
+
+use clear_bench::cli_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, ClearDeployment, Prediction, ServingPolicy};
+use clear_features::FeatureMap;
+use clear_serve::{EngineConfig, ServeEngine, ServeRequest};
+use clear_sim::Emotion;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent users in the throughput runs.
+const USERS: usize = 24;
+/// Request passes over the full user set per thread-count measurement.
+const ROUNDS: usize = 4;
+/// Personalized users in the cache sweep.
+const CACHE_USERS: usize = 8;
+/// Prediction passes per cache-sweep capacity.
+const CACHE_ROUNDS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    windows_per_sec: f32,
+    speedup_vs_sequential: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct CachePoint {
+    capacity: usize,
+    windows_per_sec: f32,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rehydrations: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeBench {
+    users: usize,
+    windows_per_request: usize,
+    sequential_windows_per_sec: f32,
+    engine_throughput: Vec<ThreadPoint>,
+    cache_sweep: Vec<CachePoint>,
+}
+
+fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+/// Maps `[lo, hi)` of the subject at `rank` (modulo cohort size),
+/// clamped to the subject's recording count.
+fn maps_of(data: &PreparedCohort, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect()
+}
+
+fn labeled_of(
+    data: &PreparedCohort,
+    rank: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<(FeatureMap, Emotion)> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| {
+            let (map, emotion) = data.map_and_label(i);
+            (map.clone(), emotion)
+        })
+        .collect()
+}
+
+fn counter_delta(before: &clear_obs::Snapshot, after: &clear_obs::Snapshot, name: &str) -> u64 {
+    after.counters.get(name).copied().unwrap_or(0) - before.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Serves `rounds` passes of the request set through the engine from
+/// `threads` caller threads, returning elapsed seconds and the results
+/// of the first pass (request-set order).
+fn engine_pass(
+    engine: &ServeEngine,
+    requests: &[(String, Vec<FeatureMap>)],
+    threads: usize,
+    rounds: usize,
+) -> (f32, Vec<Vec<Prediction>>) {
+    use parking_lot::Mutex;
+    let slots: Vec<Mutex<Option<Vec<Prediction>>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    let indexed: Vec<(usize, ServeRequest<'_>)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, (user, maps))| (i, ServeRequest { user, maps }))
+        .collect();
+    let chunk = indexed.len().div_ceil(threads);
+    let t0 = Instant::now();
+    for round in 0..rounds {
+        crossbeam::thread::scope(|scope| {
+            for part in indexed.chunks(chunk) {
+                let slots = &slots;
+                scope.spawn(move |_| {
+                    let batch: Vec<ServeRequest<'_>> = part.iter().map(|&(_, r)| r).collect();
+                    let results = engine.predict_many(&batch);
+                    if round == 0 {
+                        for (&(index, _), result) in part.iter().zip(results) {
+                            *slots[index].lock() =
+                                Some(result.expect("benchmark users are onboarded"));
+                        }
+                    }
+                });
+            }
+        })
+        .expect("a serving thread panicked");
+    }
+    let elapsed = t0.elapsed().as_secs_f32();
+    let first_pass = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every request served"))
+        .collect();
+    (elapsed, first_pass)
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    // Reduced training profile: the benchmark measures serving, not SGD.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+    let bundle = deploy(&data, initial, &config).bundle().clone();
+
+    // The tenant population: USERS users over the cohort's subjects,
+    // every fourth one personalized so forks are in the serving mix.
+    let users: Vec<String> = (0..USERS).map(|i| format!("user-{i}")).collect();
+    let mut sequential = ClearDeployment::with_policy(bundle.clone(), lenient());
+    let engine = ServeEngine::with_policy(
+        bundle.clone(),
+        lenient(),
+        EngineConfig {
+            shards: 8,
+            cache_capacity: 16,
+            max_queue_depth: 1024,
+        },
+    );
+    for (i, user) in users.iter().enumerate() {
+        let maps = maps_of(&data, i, 0, 2);
+        sequential.onboard(user, &maps).expect("onboarding maps");
+        engine.onboard(user, &maps).expect("onboarding maps");
+        if i % 4 == 0 {
+            let labeled = labeled_of(&data, i, 6, 8);
+            let a = sequential
+                .personalize(user, &labeled, &config.finetune)
+                .expect("user onboarded above");
+            let b = engine
+                .personalize(user, &labeled, &config.finetune)
+                .expect("user onboarded above");
+            // Bit-level comparison: unvalidated outcomes carry a NaN
+            // baseline accuracy, which derived `PartialEq` never matches.
+            assert_eq!(
+                (a.adopted, a.validated, a.baseline_accuracy.to_bits()),
+                (b.adopted, b.validated, b.baseline_accuracy.to_bits()),
+                "personalization diverged for {user}"
+            );
+            assert_eq!(
+                a.personalized_accuracy.to_bits(),
+                b.personalized_accuracy.to_bits(),
+                "personalization diverged for {user}"
+            );
+        }
+    }
+
+    let requests: Vec<(String, Vec<FeatureMap>)> = users
+        .iter()
+        .enumerate()
+        .map(|(i, user)| (user.clone(), maps_of(&data, i, 2, 6)))
+        .collect();
+    let windows_per_request = requests.first().map_or(0, |(_, maps)| maps.len());
+    let total_windows = requests.iter().map(|(_, maps)| maps.len()).sum::<usize>();
+
+    // Sequential baseline: the pre-engine serving model, one
+    // `predict_batch` per request on a single thread.
+    let t0 = Instant::now();
+    let mut expected: Vec<Vec<Prediction>> = Vec::with_capacity(requests.len());
+    for _ in 0..ROUNDS {
+        expected.clear();
+        for (user, maps) in &requests {
+            expected.push(
+                sequential
+                    .predict_batch(user, maps)
+                    .expect("benchmark users are onboarded"),
+            );
+        }
+    }
+    let sequential_windows_per_sec =
+        (ROUNDS * total_windows) as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+    eprintln!("sequential loop: {sequential_windows_per_sec:.0} windows/sec");
+
+    // Correctness gate: the engine must serve the same bits before its
+    // throughput numbers mean anything.
+    let (_, engine_results) = engine_pass(&engine, &requests, 4, 1);
+    assert_eq!(
+        expected, engine_results,
+        "engine output diverged from the sequential loop"
+    );
+
+    let mut engine_throughput = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (elapsed, _) = engine_pass(&engine, &requests, threads, ROUNDS);
+        let windows_per_sec = (ROUNDS * total_windows) as f32 / elapsed.max(1e-9);
+        let speedup = windows_per_sec / sequential_windows_per_sec.max(1e-9);
+        eprintln!(
+            "engine @ {threads} threads: {windows_per_sec:.0} windows/sec ({speedup:.2}x sequential)"
+        );
+        engine_throughput.push(ThreadPoint {
+            threads,
+            windows_per_sec,
+            speedup_vs_sequential: speedup,
+        });
+    }
+
+    // Cache sweep: CACHE_USERS personalized users served in rotation
+    // while the fork cache shrinks from roomy to capacity 1.
+    let mut cache_sweep = Vec::new();
+    for capacity in [1usize, 2, 4, 8, 16] {
+        let engine = ServeEngine::with_policy(
+            bundle.clone(),
+            lenient(),
+            EngineConfig {
+                shards: 4,
+                cache_capacity: capacity,
+                max_queue_depth: 1024,
+            },
+        );
+        for i in 0..CACHE_USERS {
+            let user = format!("cache-user-{i}");
+            engine
+                .onboard(&user, &maps_of(&data, i, 0, 2))
+                .expect("onboarding maps");
+            engine
+                .personalize(&user, &labeled_of(&data, i, 6, 8), &config.finetune)
+                .expect("user onboarded above");
+        }
+        let before = registry.snapshot();
+        let t0 = Instant::now();
+        let mut windows = 0usize;
+        for _ in 0..CACHE_ROUNDS {
+            for i in 0..CACHE_USERS {
+                let user = format!("cache-user-{i}");
+                let maps = maps_of(&data, i, 2, 6);
+                windows += maps.len();
+                engine
+                    .predict(&user, &maps)
+                    .expect("benchmark users are onboarded");
+            }
+        }
+        let windows_per_sec = windows as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+        let after = registry.snapshot();
+        let point = CachePoint {
+            capacity,
+            windows_per_sec,
+            hits: counter_delta(&before, &after, clear_obs::counters::CACHE_HITS),
+            misses: counter_delta(&before, &after, clear_obs::counters::CACHE_MISSES),
+            evictions: counter_delta(&before, &after, clear_obs::counters::CACHE_EVICTIONS),
+            rehydrations: counter_delta(&before, &after, clear_obs::counters::CACHE_REHYDRATIONS),
+        };
+        eprintln!(
+            "cache capacity {capacity}: {:.0} windows/sec ({} hits, {} misses, {} evictions, {} rehydrations)",
+            point.windows_per_sec, point.hits, point.misses, point.evictions, point.rehydrations
+        );
+        cache_sweep.push(point);
+    }
+
+    let results = ServeBench {
+        users: USERS,
+        windows_per_request,
+        sequential_windows_per_sec,
+        engine_throughput,
+        cache_sweep,
+    };
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_serve.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_serve_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    clear_obs::uninstall();
+}

@@ -14,6 +14,7 @@
 //! | `ablation_finetune` | fine-tuning label-budget sweep |
 //! | `robustness_curve` | accuracy/abstention/availability vs. artifact severity |
 //! | `bench_exec` | execution-model throughput + LOSO driver scaling (`BENCH_exec.json`) |
+//! | `bench_serve` | multi-tenant engine vs. sequential serving + cache sweep (`BENCH_serve.json`) |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

@@ -28,15 +28,12 @@
 
 use crate::config::ClearConfig;
 use crate::pipeline::CloudTraining;
+use crate::serving;
 use clear_clustering::hierarchy::ClusterHierarchy;
-use clear_features::catalog::{modality_count, modality_of};
 use clear_features::quality::assess_map;
-use clear_features::{FeatureMap, Modality, Normalizer, FEATURE_COUNT};
-use clear_nn::data::Dataset;
-use clear_nn::loss::{predict_class, softmax};
+use clear_features::{FeatureMap, Modality, Normalizer};
 use clear_nn::network::Network;
-use clear_nn::tensor::Tensor;
-use clear_nn::train::{self, TrainConfig};
+use clear_nn::train::TrainConfig;
 use clear_nn::workspace::Workspace;
 use clear_sim::Emotion;
 use serde::{Deserialize, Serialize};
@@ -342,10 +339,7 @@ impl ClearDeployment {
             });
         }
         let good = self.pending.remove(user).unwrap_or_default();
-        let refs: Vec<&FeatureMap> = good.iter().collect();
-        let raw_vector = clear_features::map::user_vector(&refs);
-        let vector = self.bundle.normalizer.apply_vector(&raw_vector);
-        let cluster = self.bundle.hierarchy.assign(&vector);
+        let (cluster, raw_vector) = serving::assign_cluster(&self.bundle, &good);
         self.users.insert(
             user.to_string(),
             UserState {
@@ -378,79 +372,6 @@ impl ClearDeployment {
         self.users
             .get(user)
             .is_some_and(|s| s.personalized.is_some())
-    }
-
-    /// The cluster's centroid in *raw* feature space, reconstructed from
-    /// the sub-centroid hierarchy and the normalization statistics. This
-    /// is the imputation source for dead modality blocks.
-    fn cluster_raw_centroid(&self, cluster: usize) -> Vec<f32> {
-        let mean = self.bundle.normalizer.mean();
-        let std = self.bundle.normalizer.std();
-        let fallback = || mean.to_vec();
-        if cluster >= self.bundle.hierarchy.k() {
-            return fallback();
-        }
-        let subs = self.bundle.hierarchy.sub_centroids(cluster);
-        if subs.is_empty() || subs[0].len() != FEATURE_COUNT {
-            return fallback();
-        }
-        if mean.len() != FEATURE_COUNT || std.len() != FEATURE_COUNT {
-            return fallback();
-        }
-        let mut acc = vec![0.0f32; FEATURE_COUNT];
-        for sub in subs {
-            if sub.len() != FEATURE_COUNT {
-                return fallback();
-            }
-            for (a, &v) in acc.iter_mut().zip(sub) {
-                *a += v;
-            }
-        }
-        for (f, a) in acc.iter_mut().enumerate() {
-            *a /= subs.len() as f32;
-            // De-normalize back into raw feature units.
-            *a = *a * std[f] + mean[f];
-            if !a.is_finite() {
-                *a = mean[f];
-            }
-        }
-        acc
-    }
-
-    /// Replaces non-finite entries — and, when `impute` names them, whole
-    /// dead modality blocks — with the cluster's raw centroid values.
-    fn sanitized_map(&self, map: &FeatureMap, centroid: &[f32], impute: &[Modality]) -> FeatureMap {
-        let w = map.window_count();
-        let columns: Vec<Vec<f32>> = (0..w)
-            .map(|col| {
-                (0..map.feature_count())
-                    .map(|f| {
-                        let v = map.get(f, col);
-                        if impute.contains(&modality_of(f)) || !v.is_finite() {
-                            centroid[f]
-                        } else {
-                            v
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        FeatureMap::from_columns(&columns)
-    }
-
-    /// Validates a feature map's shape against the bundle.
-    fn check_shape(&self, map: &FeatureMap) -> Result<(), DeployError> {
-        if map.feature_count() != FEATURE_COUNT {
-            return Err(DeployError::BadInput(
-                "feature map row count does not match the catalog",
-            ));
-        }
-        if map.window_count() != self.bundle.windows {
-            return Err(DeployError::BadInput(
-                "feature map window count does not match the bundle",
-            ));
-        }
-        Ok(())
     }
 
     /// Classifies one feature map for a user through the quality gate,
@@ -490,135 +411,55 @@ impl ClearDeployment {
     /// Returns [`DeployError::UnknownUser`] for unknown users and
     /// [`DeployError::BadInput`] when any map's shape does not match the
     /// bundle (shapes are validated up front: no predictions are served
-    /// on error).
+    /// on error). An **empty** request is a free no-op: it returns an
+    /// empty result without touching the quality gate, emitting spans or
+    /// even looking the user up.
     pub fn predict_batch(
         &mut self,
         user: &str,
         maps: &[FeatureMap],
     ) -> Result<Vec<Prediction>, DeployError> {
+        if maps.is_empty() {
+            return Ok(Vec::new());
+        }
         let _span = clear_obs::span(clear_obs::Stage::PredictBatch);
         let state = self
             .users
             .get(user)
             .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
         let cluster = state.cluster;
-        let baseline = state.baseline.clone();
         for map in maps {
-            self.check_shape(map)?;
+            serving::check_shape(&self.bundle, map)?;
         }
         clear_obs::counter_add(clear_obs::counters::BATCHES, 1);
         clear_obs::counter_add(clear_obs::counters::BATCH_WINDOWS, maps.len() as u64);
         clear_obs::size_record(clear_obs::BATCH_SIZE_HISTOGRAM, maps.len() as u64);
-        let centroid = self.cluster_raw_centroid(cluster);
+        let centroid = serving::cluster_raw_centroid(&self.bundle, cluster);
+        let Self {
+            bundle,
+            policy,
+            users,
+            ws,
+            ..
+        } = self;
+        let state = users.get_mut(user).expect("user looked up above");
         let mut predictions = Vec::with_capacity(maps.len());
         for map in maps {
-            predictions.push(self.predict_one(user, cluster, &baseline, &centroid, map)?);
+            let ctx = serving::ServeContext {
+                bundle,
+                policy,
+                cluster,
+                baseline: &state.baseline,
+                centroid: &centroid,
+                personalized: state.personalized.as_ref(),
+            };
+            let (prediction, quarantined) = serving::predict_one_gated(&ctx, map, ws)?;
+            if quarantined {
+                state.quarantined += 1;
+            }
+            predictions.push(prediction);
         }
         Ok(predictions)
-    }
-
-    /// The per-map core of the serving path, with the user's cluster,
-    /// baseline and imputation centroid already resolved by the caller.
-    fn predict_one(
-        &mut self,
-        user: &str,
-        cluster: usize,
-        baseline: &[f32],
-        centroid: &[f32],
-        map: &FeatureMap,
-    ) -> Result<Prediction, DeployError> {
-        let _span = clear_obs::span(clear_obs::Stage::Predict);
-        let mq = assess_map(map);
-        let dead = mq.dead_modalities(self.policy.min_modality_score);
-        if dead.len() == mq.blocks.len() {
-            let state = self.users.get_mut(user).expect("user looked up by caller");
-            state.quarantined += 1;
-            clear_obs::counter_add(clear_obs::counters::QUARANTINES, 1);
-            return Ok(Prediction {
-                emotion: None,
-                confidence: 0.0,
-                quality: mq.score,
-                served_by: None,
-                imputed: Vec::new(),
-            });
-        }
-
-        let impute: Vec<Modality> = if self.policy.impute_missing {
-            dead.clone()
-        } else {
-            Vec::new()
-        };
-        // Quality after degradation handling: imputed blocks stop harming
-        // the input numerically, but each costs half its feature weight.
-        let quality = if dead.is_empty() {
-            mq.score
-        } else {
-            let (mut alive_score, mut alive_weight, mut dead_weight) = (0.0f32, 0.0f32, 0.0f32);
-            for b in &mq.blocks {
-                let w = modality_count(b.modality) as f32;
-                if dead.contains(&b.modality) {
-                    dead_weight += w;
-                } else {
-                    alive_score += b.score * w;
-                    alive_weight += w;
-                }
-            }
-            let alive = if alive_weight > 0.0 {
-                alive_score / alive_weight
-            } else {
-                0.0
-            };
-            let dead_fraction = dead_weight / (alive_weight + dead_weight).max(1.0);
-            (alive * (1.0 - 0.5 * dead_fraction)).clamp(0.0, 1.0)
-        };
-
-        let mut normalized = corrected(&self.sanitized_map(map, centroid, &impute), baseline)?;
-        normalized.normalize(&self.bundle.clf_normalizer);
-        let x = Tensor::from_vec(
-            &[1, FEATURE_COUNT, normalized.window_count()],
-            normalized.as_slice().to_vec(),
-        );
-
-        // The served network is read-only; all mutable per-call state
-        // (activations, LSTM tape) lives in the reused workspace.
-        let state = self.users.get(user).expect("user looked up by caller");
-        let (net, served_by) = match &state.personalized {
-            Some(net) => (net, ModelSource::Personalized),
-            None => (
-                self.bundle
-                    .models
-                    .get(cluster)
-                    .ok_or(DeployError::BadInput("bundle has no model for cluster"))?,
-                ModelSource::Cluster(cluster),
-            ),
-        };
-        let logits = net.forward(&x, false, &mut self.ws);
-        let class = predict_class(logits);
-        let probs = softmax(logits.as_slice());
-        let confidence = probs.get(class).copied().unwrap_or(0.0);
-        let emotion = if class <= 1
-            && confidence >= self.policy.min_confidence
-            && quality >= self.policy.min_quality
-        {
-            Some(Emotion::from_class_index(class))
-        } else {
-            None
-        };
-        if !impute.is_empty() {
-            clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);
-        }
-        if emotion.is_some() {
-            clear_obs::counter_add(clear_obs::counters::PREDICTIONS, 1);
-        } else {
-            clear_obs::counter_add(clear_obs::counters::ABSTENTIONS, 1);
-        }
-        Ok(Prediction {
-            emotion,
-            confidence,
-            quality,
-            served_by: Some(served_by),
-            imputed: impute,
-        })
     }
 
     /// Personalizes a user's model from labeled feature maps (the paper's
@@ -645,107 +486,26 @@ impl ClearDeployment {
             return Err(DeployError::BadInput("personalization needs labeled maps"));
         }
         let cluster = self.cluster_of(user)?;
-        let baseline = self
+        let baseline = &self
             .users
             .get(user)
             .expect("cluster_of verified existence")
-            .baseline
-            .clone();
-        for (map, _) in labeled {
-            self.check_shape(map)?;
-        }
-        let centroid = self.cluster_raw_centroid(cluster);
-
-        // Build the classifier-path tensors, dropping fully-dead maps.
-        let mut samples: Vec<(Tensor, usize)> = Vec::with_capacity(labeled.len());
-        for (map, emotion) in labeled {
-            let mq = assess_map(map);
-            let dead = mq.dead_modalities(self.policy.min_modality_score);
-            if dead.len() == mq.blocks.len() {
-                continue; // quarantined: carries no physiological signal
-            }
-            let impute: Vec<Modality> = if self.policy.impute_missing {
-                dead
-            } else {
-                Vec::new()
-            };
-            let mut normalized =
-                corrected(&self.sanitized_map(map, &centroid, &impute), &baseline)?;
-            normalized.normalize(&self.bundle.clf_normalizer);
-            samples.push((
-                Tensor::from_vec(
-                    &[1, FEATURE_COUNT, normalized.window_count()],
-                    normalized.as_slice().to_vec(),
-                ),
-                emotion.class_index(),
-            ));
-        }
-        if samples.is_empty() {
-            return Err(DeployError::BadInput(
-                "no usable labeled maps after quality gating",
-            ));
-        }
-
-        let base_model = self
-            .bundle
-            .models
-            .get(cluster)
-            .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
-
-        let validated = samples.len() >= self.policy.min_validation_maps.max(2);
-        let (train_samples, val_samples) = if validated {
-            let n_val = ((samples.len() as f32 * self.policy.validation_fraction).ceil() as usize)
-                .clamp(1, samples.len() - 1);
-            let split = samples.len() - n_val;
-            let val = samples.split_off(split);
-            (samples, val)
-        } else {
-            (samples, Vec::new())
-        };
-
-        let mut train_set = Dataset::new();
-        for (x, label) in &train_samples {
-            train_set.push(x.clone(), *label);
-        }
-        // The only weight copy on the personalization path: fine-tuning
-        // needs its own mutable parameters. Evaluation reads the shared
-        // cluster checkpoint in place.
-        let mut net = base_model.clone();
-        train::train(&mut net, &train_set, None, config);
-
-        let (adopted, baseline_accuracy, personalized_accuracy) = if validated {
-            let mut val_set = Dataset::new();
-            for (x, label) in &val_samples {
-                val_set.push(x.clone(), *label);
-            }
-            let base_score = train::evaluate(base_model, &val_set);
-            let tuned_score = train::evaluate(&net, &val_set);
-            (
-                tuned_score.accuracy + 1e-6 >= base_score.accuracy,
-                base_score.accuracy,
-                tuned_score.accuracy,
-            )
-        } else {
-            // Tiny budgets: adopt unvalidated, report training-set fit.
-            let tuned_score = train::evaluate(&net, &train_set);
-            (true, f32::NAN, tuned_score.accuracy)
-        };
-
-        if adopted {
-            clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ADOPTED, 1);
+            .baseline;
+        let (outcome, checkpoint) = serving::personalize_from(
+            &self.bundle,
+            &self.policy,
+            cluster,
+            baseline,
+            labeled,
+            config,
+        )?;
+        if let Some(net) = checkpoint {
             self.users
                 .get_mut(user)
                 .expect("cluster_of verified existence")
                 .personalized = Some(net);
-        } else {
-            clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ROLLED_BACK, 1);
         }
-        Ok(PersonalizeOutcome {
-            adopted,
-            validated,
-            baseline_accuracy,
-            personalized_accuracy,
-        })
+        Ok(outcome)
     }
 
     /// Drops a user's state (e.g. account deletion — the privacy path),
@@ -756,29 +516,6 @@ impl ClearDeployment {
         let pending = self.pending.remove(user).is_some();
         self.users.remove(user).is_some() || pending
     }
-}
-
-/// Subtracts a per-user baseline vector from every window column.
-///
-/// # Errors
-///
-/// Returns [`DeployError::BadInput`] when the baseline length does not
-/// match the map's feature count.
-fn corrected(map: &FeatureMap, baseline: &[f32]) -> Result<FeatureMap, DeployError> {
-    if baseline.len() != map.feature_count() {
-        return Err(DeployError::BadInput(
-            "baseline length does not match feature count",
-        ));
-    }
-    let w = map.window_count();
-    let columns: Vec<Vec<f32>> = (0..w)
-        .map(|col| {
-            (0..map.feature_count())
-                .map(|f| map.get(f, col) - baseline[f])
-                .collect()
-        })
-        .collect();
-    Ok(FeatureMap::from_columns(&columns))
 }
 
 /// Convenience: fits the cloud stage and wraps it as a deployment, the
@@ -796,6 +533,8 @@ pub fn deploy(
 mod tests {
     use super::*;
     use crate::dataset::PreparedCohort;
+    use clear_features::catalog::modality_of;
+    use clear_features::FEATURE_COUNT;
 
     fn deployment() -> (ClearConfig, PreparedCohort, ClearDeployment, Vec<usize>) {
         let config = ClearConfig::quick(17);
@@ -1005,6 +744,18 @@ mod tests {
             sequential.quarantined_count("hana")
         );
         assert!(dep.predict_batch("nobody", &batch).is_err());
+    }
+
+    #[test]
+    fn empty_predict_batch_is_a_free_no_op() {
+        let (_, data, mut dep, indices) = deployment();
+        let maps: Vec<FeatureMap> = vec![data.maps()[indices[0]].clone()];
+        dep.onboard("ivy", &maps).unwrap();
+        assert_eq!(dep.predict_batch("ivy", &[]).unwrap(), Vec::new());
+        // The guard fires before the user lookup, so an empty request is
+        // a no-op even for users that were never onboarded (a non-empty
+        // request for them still errors, see above).
+        assert_eq!(dep.predict_batch("nobody", &[]).unwrap(), Vec::new());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod deployment;
 pub mod evaluation;
 pub mod experiments;
 pub mod pipeline;
+pub mod serving;
 
 pub use config::ClearConfig;
 pub use dataset::PreparedCohort;

@@ -1,0 +1,391 @@
+//! The shared serving core: quality-gated inference and validated
+//! personalization against a [`ClearBundle`], independent of who owns the
+//! user state.
+//!
+//! [`ClearDeployment`](crate::deployment::ClearDeployment) (single-tenant,
+//! `&mut self`, `BTreeMap` registry) and the multi-tenant sharded engine
+//! in `clear-serve` serve the exact same pipeline: quarantine check,
+//! modality imputation, baseline correction, classifier normalization,
+//! one forward pass, confidence/quality gating. Extracting that pipeline
+//! here is what makes the engine's sequential-equivalence contract
+//! checkable — both callers literally run this code, so any divergence
+//! must come from state management, not from the math.
+//!
+//! Everything here is pure with respect to user state: callers resolve
+//! the user's cluster, baseline and (optional) personalized checkpoint
+//! first, pass them in a [`ServeContext`], and apply any state updates
+//! (quarantine counts, adopted checkpoints) themselves.
+
+use crate::deployment::{
+    ClearBundle, DeployError, ModelSource, PersonalizeOutcome, Prediction, ServingPolicy,
+};
+use clear_features::catalog::{modality_count, modality_of};
+use clear_features::quality::assess_map;
+use clear_features::{FeatureMap, Modality, FEATURE_COUNT};
+use clear_nn::data::Dataset;
+use clear_nn::loss::{predict_class, softmax};
+use clear_nn::network::Network;
+use clear_nn::tensor::Tensor;
+use clear_nn::train::{self, TrainConfig};
+use clear_nn::workspace::Workspace;
+use clear_sim::Emotion;
+
+/// Everything [`predict_one_gated`] needs about the requesting user,
+/// resolved by the caller from its own registry.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeContext<'a> {
+    /// The cloud artifact being served.
+    pub bundle: &'a ClearBundle,
+    /// Abstention/imputation thresholds in force.
+    pub policy: &'a ServingPolicy,
+    /// The user's assigned cluster.
+    pub cluster: usize,
+    /// The user's physiological baseline (subtracted before inference).
+    pub baseline: &'a [f32],
+    /// The cluster's raw-space centroid (imputation source), from
+    /// [`cluster_raw_centroid`] — computed once per batch by the caller.
+    pub centroid: &'a [f32],
+    /// The user's personalized checkpoint, when one was adopted.
+    pub personalized: Option<&'a Network>,
+}
+
+/// Computes a user's cluster assignment and baseline from their
+/// good-quality onboarding maps: the user vector in raw feature space is
+/// the baseline, its normalized form is assigned by the sub-centroid
+/// rule. Returns `(cluster, baseline)`.
+pub fn assign_cluster(bundle: &ClearBundle, maps: &[FeatureMap]) -> (usize, Vec<f32>) {
+    let refs: Vec<&FeatureMap> = maps.iter().collect();
+    let raw_vector = clear_features::map::user_vector(&refs);
+    let vector = bundle.normalizer.apply_vector(&raw_vector);
+    let cluster = bundle.hierarchy.assign(&vector);
+    (cluster, raw_vector)
+}
+
+/// The cluster's centroid in *raw* feature space, reconstructed from the
+/// sub-centroid hierarchy and the normalization statistics. This is the
+/// imputation source for dead modality blocks.
+pub fn cluster_raw_centroid(bundle: &ClearBundle, cluster: usize) -> Vec<f32> {
+    let mean = bundle.normalizer.mean();
+    let std = bundle.normalizer.std();
+    let fallback = || mean.to_vec();
+    if cluster >= bundle.hierarchy.k() {
+        return fallback();
+    }
+    let subs = bundle.hierarchy.sub_centroids(cluster);
+    if subs.is_empty() || subs[0].len() != FEATURE_COUNT {
+        return fallback();
+    }
+    if mean.len() != FEATURE_COUNT || std.len() != FEATURE_COUNT {
+        return fallback();
+    }
+    let mut acc = vec![0.0f32; FEATURE_COUNT];
+    for sub in subs {
+        if sub.len() != FEATURE_COUNT {
+            return fallback();
+        }
+        for (a, &v) in acc.iter_mut().zip(sub) {
+            *a += v;
+        }
+    }
+    for (f, a) in acc.iter_mut().enumerate() {
+        *a /= subs.len() as f32;
+        // De-normalize back into raw feature units.
+        *a = *a * std[f] + mean[f];
+        if !a.is_finite() {
+            *a = mean[f];
+        }
+    }
+    acc
+}
+
+/// Validates a feature map's shape against the bundle.
+///
+/// # Errors
+///
+/// Returns [`DeployError::BadInput`] on a row- or window-count mismatch.
+pub fn check_shape(bundle: &ClearBundle, map: &FeatureMap) -> Result<(), DeployError> {
+    if map.feature_count() != FEATURE_COUNT {
+        return Err(DeployError::BadInput(
+            "feature map row count does not match the catalog",
+        ));
+    }
+    if map.window_count() != bundle.windows {
+        return Err(DeployError::BadInput(
+            "feature map window count does not match the bundle",
+        ));
+    }
+    Ok(())
+}
+
+/// Replaces non-finite entries — and, when `impute` names them, whole
+/// dead modality blocks — with the cluster's raw centroid values.
+fn sanitized_map(map: &FeatureMap, centroid: &[f32], impute: &[Modality]) -> FeatureMap {
+    let w = map.window_count();
+    let columns: Vec<Vec<f32>> = (0..w)
+        .map(|col| {
+            (0..map.feature_count())
+                .map(|f| {
+                    let v = map.get(f, col);
+                    if impute.contains(&modality_of(f)) || !v.is_finite() {
+                        centroid[f]
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    FeatureMap::from_columns(&columns)
+}
+
+/// Subtracts a per-user baseline vector from every window column.
+///
+/// # Errors
+///
+/// Returns [`DeployError::BadInput`] when the baseline length does not
+/// match the map's feature count.
+fn corrected(map: &FeatureMap, baseline: &[f32]) -> Result<FeatureMap, DeployError> {
+    if baseline.len() != map.feature_count() {
+        return Err(DeployError::BadInput(
+            "baseline length does not match feature count",
+        ));
+    }
+    let w = map.window_count();
+    let columns: Vec<Vec<f32>> = (0..w)
+        .map(|col| {
+            (0..map.feature_count())
+                .map(|f| map.get(f, col) - baseline[f])
+                .collect()
+        })
+        .collect();
+    Ok(FeatureMap::from_columns(&columns))
+}
+
+/// Classifies one feature map through the quality gate: quarantine,
+/// imputation, baseline correction, forward pass, abstention floors. The
+/// second return value reports whether the window was quarantined (no
+/// usable modality) so the caller can update its per-user bookkeeping —
+/// this function never touches user state.
+///
+/// # Errors
+///
+/// Returns [`DeployError::BadInput`] when the bundle has no model for the
+/// context's cluster or the baseline length is wrong.
+pub fn predict_one_gated(
+    ctx: &ServeContext<'_>,
+    map: &FeatureMap,
+    ws: &mut Workspace,
+) -> Result<(Prediction, bool), DeployError> {
+    let _span = clear_obs::span(clear_obs::Stage::Predict);
+    let mq = assess_map(map);
+    let dead = mq.dead_modalities(ctx.policy.min_modality_score);
+    if dead.len() == mq.blocks.len() {
+        clear_obs::counter_add(clear_obs::counters::QUARANTINES, 1);
+        return Ok((
+            Prediction {
+                emotion: None,
+                confidence: 0.0,
+                quality: mq.score,
+                served_by: None,
+                imputed: Vec::new(),
+            },
+            true,
+        ));
+    }
+
+    let impute: Vec<Modality> = if ctx.policy.impute_missing {
+        dead.clone()
+    } else {
+        Vec::new()
+    };
+    // Quality after degradation handling: imputed blocks stop harming
+    // the input numerically, but each costs half its feature weight.
+    let quality = if dead.is_empty() {
+        mq.score
+    } else {
+        let (mut alive_score, mut alive_weight, mut dead_weight) = (0.0f32, 0.0f32, 0.0f32);
+        for b in &mq.blocks {
+            let w = modality_count(b.modality) as f32;
+            if dead.contains(&b.modality) {
+                dead_weight += w;
+            } else {
+                alive_score += b.score * w;
+                alive_weight += w;
+            }
+        }
+        let alive = if alive_weight > 0.0 {
+            alive_score / alive_weight
+        } else {
+            0.0
+        };
+        let dead_fraction = dead_weight / (alive_weight + dead_weight).max(1.0);
+        (alive * (1.0 - 0.5 * dead_fraction)).clamp(0.0, 1.0)
+    };
+
+    let mut normalized = corrected(&sanitized_map(map, ctx.centroid, &impute), ctx.baseline)?;
+    normalized.normalize(&ctx.bundle.clf_normalizer);
+    let x = Tensor::from_vec(
+        &[1, FEATURE_COUNT, normalized.window_count()],
+        normalized.as_slice().to_vec(),
+    );
+
+    // The served network is read-only; all mutable per-call state
+    // (activations, LSTM tape) lives in the caller's workspace.
+    let (net, served_by) = match ctx.personalized {
+        Some(net) => (net, ModelSource::Personalized),
+        None => (
+            ctx.bundle
+                .models
+                .get(ctx.cluster)
+                .ok_or(DeployError::BadInput("bundle has no model for cluster"))?,
+            ModelSource::Cluster(ctx.cluster),
+        ),
+    };
+    let logits = net.forward(&x, false, ws);
+    let class = predict_class(logits);
+    let probs = softmax(logits.as_slice());
+    let confidence = probs.get(class).copied().unwrap_or(0.0);
+    let emotion = if class <= 1
+        && confidence >= ctx.policy.min_confidence
+        && quality >= ctx.policy.min_quality
+    {
+        Some(Emotion::from_class_index(class))
+    } else {
+        None
+    };
+    if !impute.is_empty() {
+        clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);
+    }
+    if emotion.is_some() {
+        clear_obs::counter_add(clear_obs::counters::PREDICTIONS, 1);
+    } else {
+        clear_obs::counter_add(clear_obs::counters::ABSTENTIONS, 1);
+    }
+    Ok((
+        Prediction {
+            emotion,
+            confidence,
+            quality,
+            served_by: Some(served_by),
+            imputed: impute,
+        },
+        false,
+    ))
+}
+
+/// Fine-tunes the cluster checkpoint on a user's labeled maps with the
+/// validation-holdout rollback rule. Returns the outcome and, when the
+/// fine-tuned checkpoint was adopted, the checkpoint itself — the caller
+/// decides where to store it. User state is never touched here.
+///
+/// # Errors
+///
+/// Returns [`DeployError::BadInput`] for an empty or unusable labeled
+/// set, maps whose shape does not match the bundle, or a missing cluster
+/// model.
+pub fn personalize_from(
+    bundle: &ClearBundle,
+    policy: &ServingPolicy,
+    cluster: usize,
+    baseline: &[f32],
+    labeled: &[(FeatureMap, Emotion)],
+    config: &TrainConfig,
+) -> Result<(PersonalizeOutcome, Option<Network>), DeployError> {
+    if labeled.is_empty() {
+        return Err(DeployError::BadInput("personalization needs labeled maps"));
+    }
+    for (map, _) in labeled {
+        check_shape(bundle, map)?;
+    }
+    let centroid = cluster_raw_centroid(bundle, cluster);
+
+    // Build the classifier-path tensors, dropping fully-dead maps.
+    let mut samples: Vec<(Tensor, usize)> = Vec::with_capacity(labeled.len());
+    for (map, emotion) in labeled {
+        let mq = assess_map(map);
+        let dead = mq.dead_modalities(policy.min_modality_score);
+        if dead.len() == mq.blocks.len() {
+            continue; // quarantined: carries no physiological signal
+        }
+        let impute: Vec<Modality> = if policy.impute_missing {
+            dead
+        } else {
+            Vec::new()
+        };
+        let mut normalized = corrected(&sanitized_map(map, &centroid, &impute), baseline)?;
+        normalized.normalize(&bundle.clf_normalizer);
+        samples.push((
+            Tensor::from_vec(
+                &[1, FEATURE_COUNT, normalized.window_count()],
+                normalized.as_slice().to_vec(),
+            ),
+            emotion.class_index(),
+        ));
+    }
+    if samples.is_empty() {
+        return Err(DeployError::BadInput(
+            "no usable labeled maps after quality gating",
+        ));
+    }
+
+    let base_model = bundle
+        .models
+        .get(cluster)
+        .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+
+    let validated = samples.len() >= policy.min_validation_maps.max(2);
+    let (train_samples, val_samples) = if validated {
+        let n_val = ((samples.len() as f32 * policy.validation_fraction).ceil() as usize)
+            .clamp(1, samples.len() - 1);
+        let split = samples.len() - n_val;
+        let val = samples.split_off(split);
+        (samples, val)
+    } else {
+        (samples, Vec::new())
+    };
+
+    let mut train_set = Dataset::new();
+    for (x, label) in &train_samples {
+        train_set.push(x.clone(), *label);
+    }
+    // The only weight copy on the personalization path: fine-tuning
+    // needs its own mutable parameters. Evaluation reads the shared
+    // cluster checkpoint in place.
+    let mut net = base_model.clone();
+    train::train(&mut net, &train_set, None, config);
+
+    let (adopted, baseline_accuracy, personalized_accuracy) = if validated {
+        let mut val_set = Dataset::new();
+        for (x, label) in &val_samples {
+            val_set.push(x.clone(), *label);
+        }
+        let base_score = train::evaluate(base_model, &val_set);
+        let tuned_score = train::evaluate(&net, &val_set);
+        (
+            tuned_score.accuracy + 1e-6 >= base_score.accuracy,
+            base_score.accuracy,
+            tuned_score.accuracy,
+        )
+    } else {
+        // Tiny budgets: adopt unvalidated, report training-set fit.
+        let tuned_score = train::evaluate(&net, &train_set);
+        (true, f32::NAN, tuned_score.accuracy)
+    };
+
+    let checkpoint = if adopted {
+        clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ADOPTED, 1);
+        Some(net)
+    } else {
+        clear_obs::counter_add(clear_obs::counters::PERSONALIZE_ROLLED_BACK, 1);
+        None
+    };
+    Ok((
+        PersonalizeOutcome {
+            adopted,
+            validated,
+            baseline_accuracy,
+            personalized_accuracy,
+        },
+        checkpoint,
+    ))
+}

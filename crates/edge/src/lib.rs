@@ -58,4 +58,4 @@ pub use device::{Device, DeviceSpec};
 pub use fault::{
     Fault, FaultConfig, FaultInjector, ResilientDeployment, RetryPolicy, ServeOutcome, ServeStats,
 };
-pub use memory::{footprint, MemoryBudget, MemoryFootprint};
+pub use memory::{footprint, personalized_cache_capacity, MemoryBudget, MemoryFootprint};

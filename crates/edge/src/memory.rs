@@ -86,6 +86,28 @@ pub fn footprint(network: &Network, device: Device, input_shape: &[usize]) -> Me
     }
 }
 
+/// How many personalized forks of `network` a serving cache can keep
+/// resident on `device` after reserving room for `resident_models`
+/// always-loaded checkpoints (the shared cluster models).
+///
+/// The bound divides the device's *parameter* budget — personalized
+/// forks share the activation workspace, so parameters are the resource
+/// that scales with cached users. The floor is 1: a cache that cannot
+/// hold even one fork would make personalization pointless, so the
+/// smallest device still caches a single model and evicts on every
+/// switch.
+pub fn personalized_cache_capacity(
+    network: &Network,
+    device: Device,
+    resident_models: usize,
+) -> usize {
+    let spec = device.spec();
+    let per_model = (network.param_count() * spec.precision.bytes_per_weight()).max(1);
+    let budget = budget_of(device).parameter_budget_bytes;
+    let free = budget.saturating_sub(per_model * resident_models);
+    (free / per_model).max(1)
+}
+
 /// Whether the model fits the device's budgets.
 pub fn fits(network: &Network, device: Device, input_shape: &[usize]) -> bool {
     let fp = footprint(network, device, input_shape);
@@ -143,6 +165,24 @@ mod tests {
         assert!(!fits(&huge, Device::CoralTpu, &[1, 123, 9]));
         // It still fits the GPU.
         assert!(fits(&huge, Device::Gpu, &[1, 123, 9]));
+    }
+
+    #[test]
+    fn cache_capacity_scales_with_device_memory() {
+        let net = cnn_lstm(123, 9, 2, 1);
+        let gpu = personalized_cache_capacity(&net, Device::Gpu, 4);
+        let tpu = personalized_cache_capacity(&net, Device::CoralTpu, 4);
+        assert!(gpu > tpu, "gpu {gpu} vs tpu {tpu}");
+        // TPU: 8 MB SRAM over ~72.9 kB int8 checkpoints, minus 4 shared
+        // cluster models — dozens of forks, not thousands.
+        assert!((10..1000).contains(&tpu), "tpu capacity {tpu}");
+    }
+
+    #[test]
+    fn cache_capacity_never_drops_below_one() {
+        let huge = cnn_lstm_custom(123, 9, 2, 64, 128, 2, 2, 1024, 0.3, 1);
+        let cap = personalized_cache_capacity(&huge, Device::CoralTpu, 1000);
+        assert_eq!(cap, 1, "floor must hold under absurd reservations");
     }
 
     #[test]

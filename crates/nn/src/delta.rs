@@ -1,0 +1,252 @@
+//! Sparse weight deltas: the serialized-evicted form of a personalized fork.
+//!
+//! A personalized checkpoint differs from its cluster base only in the
+//! fine-tuned tail (the dense head under the default transfer-learning
+//! freeze), so keeping a full `Network` per inactive user wastes nearly
+//! the whole parameter budget. A [`WeightDelta`] stores the difference as
+//! sparse `(index, xor)` pairs over the raw f32 *bit patterns* — XOR, not
+//! arithmetic difference, because `(a - b) + b` is not exact in floating
+//! point while `a ^ b ^ b == a` always is. Applying the delta to the same
+//! base therefore reconstructs the fork's weights bit-for-bit, including
+//! non-finite values.
+//!
+//! Deltas capture *weights only*. Dropout draw counters are not part of a
+//! delta: they are irrelevant at inference time (dropout is the identity
+//! in eval mode), and personalization always restarts from the cluster
+//! base, never from a rehydrated fork.
+
+use crate::network::Network;
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// A sparse, exactly-invertible difference between two same-shaped
+/// networks (`tuned` relative to `base`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightDelta {
+    /// Parameter count of the networks this delta connects.
+    param_count: usize,
+    /// `(flat index, base_bits ^ tuned_bits)` for every differing weight.
+    entries: Vec<(u32, u32)>,
+}
+
+impl WeightDelta {
+    /// Computes the delta turning `base`'s weights into `tuned`'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the two networks have
+    /// different parameter counts, and [`NnError::Checkpoint`] when the
+    /// parameter count exceeds the sparse index range (`u32`).
+    pub fn between(base: &Network, tuned: &Network) -> Result<Self, NnError> {
+        let b = base.parameters_flat();
+        let t = tuned.parameters_flat();
+        if b.len() != t.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} parameters", b.len()),
+                actual: vec![t.len()],
+            });
+        }
+        if b.len() > u32::MAX as usize {
+            return Err(NnError::Checkpoint(format!(
+                "{} parameters exceed the sparse delta index range",
+                b.len()
+            )));
+        }
+        let entries = b
+            .iter()
+            .zip(&t)
+            .enumerate()
+            .filter_map(|(i, (bv, tv))| {
+                let xor = bv.to_bits() ^ tv.to_bits();
+                (xor != 0).then_some((i as u32, xor))
+            })
+            .collect();
+        Ok(Self {
+            param_count: b.len(),
+            entries,
+        })
+    }
+
+    /// Reconstructs the tuned network by applying this delta to `base`.
+    /// When `base` is the network the delta was computed against, the
+    /// result's weights are bit-identical to the original fork.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `base`'s parameter count
+    /// does not match the delta, and [`NnError::Checkpoint`] when an
+    /// entry indexes out of range (a corrupt delta).
+    pub fn apply(&self, base: &Network) -> Result<Network, NnError> {
+        let mut flat = base.parameters_flat();
+        if flat.len() != self.param_count {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} parameters", self.param_count),
+                actual: vec![flat.len()],
+            });
+        }
+        for &(i, xor) in &self.entries {
+            let i = i as usize;
+            if i >= flat.len() {
+                return Err(NnError::Checkpoint(format!(
+                    "delta index {i} out of range for {} parameters",
+                    flat.len()
+                )));
+            }
+            flat[i] = f32::from_bits(flat[i].to_bits() ^ xor);
+        }
+        let mut net = base.clone();
+        net.set_parameters_flat(&flat);
+        Ok(net)
+    }
+
+    /// Number of weights that differ between base and fork.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the fork is weight-identical to its base.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parameter count of the networks this delta connects.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Fraction of parameters the delta touches, in `[0, 1]` — small under
+    /// tail-only fine-tuning, which is what makes delta eviction pay.
+    pub fn density(&self) -> f32 {
+        if self.param_count == 0 {
+            0.0
+        } else {
+            self.entries.len() as f32 / self.param_count as f32
+        }
+    }
+
+    /// Serializes the delta to JSON (the evicted wire/storage form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] on serializer failure.
+    pub fn to_json(&self) -> Result<String, NnError> {
+        serde_json::to_string(self).map_err(|e| NnError::Checkpoint(e.to_string()))
+    }
+
+    /// Restores a delta from [`WeightDelta::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Checkpoint`] on parse failure.
+    pub fn from_json(json: &str) -> Result<Self, NnError> {
+        serde_json::from_str(json).map_err(|e| NnError::Checkpoint(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{cnn_lstm_compact, cnn_lstm_custom};
+
+    fn base() -> Network {
+        cnn_lstm_compact(32, 6, 2, 9)
+    }
+
+    fn perturbed_tail(base: &Network) -> Network {
+        let mut flat = base.parameters_flat();
+        let n = flat.len();
+        // Touch the last 30 weights (the dense head region) plus one
+        // mid-network weight, with awkward values included.
+        for (k, v) in flat[n - 30..].iter_mut().enumerate() {
+            *v += 0.125 * (k as f32 + 1.0);
+        }
+        flat[n / 2] = -0.0;
+        let mut tuned = base.clone();
+        tuned.set_parameters_flat(&flat);
+        tuned
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let base = base();
+        let tuned = perturbed_tail(&base);
+        let delta = WeightDelta::between(&base, &tuned).unwrap();
+        let restored = delta.apply(&base).unwrap();
+        let want: Vec<u32> = tuned
+            .parameters_flat()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let got: Vec<u32> = restored
+            .parameters_flat()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(want, got, "rehydrated fork diverged from the original");
+    }
+
+    #[test]
+    fn tail_only_changes_stay_sparse() {
+        let base = base();
+        let tuned = perturbed_tail(&base);
+        let delta = WeightDelta::between(&base, &tuned).unwrap();
+        assert_eq!(delta.param_count(), base.param_count());
+        // -0.0 has a different bit pattern than +0.0 only when the base
+        // value was not already -0.0; either way the tail edits count.
+        assert!(
+            delta.len() >= 30,
+            "expected ≥ 30 entries, got {}",
+            delta.len()
+        );
+        assert!(delta.density() < 0.05, "density {}", delta.density());
+    }
+
+    #[test]
+    fn identical_networks_give_an_empty_delta() {
+        let base = base();
+        let delta = WeightDelta::between(&base, &base).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.len(), 0);
+        let restored = delta.apply(&base).unwrap();
+        assert_eq!(restored.parameters_flat(), base.parameters_flat());
+    }
+
+    #[test]
+    fn non_finite_values_survive_the_round_trip() {
+        let base = base();
+        let mut flat = base.parameters_flat();
+        flat[0] = f32::NAN;
+        flat[1] = f32::INFINITY;
+        flat[2] = f32::NEG_INFINITY;
+        let mut tuned = base.clone();
+        tuned.set_parameters_flat(&flat);
+        let delta = WeightDelta::between(&base, &tuned).unwrap();
+        let restored = delta.apply(&base).unwrap();
+        let got = restored.parameters_flat();
+        assert!(got[0].is_nan());
+        assert_eq!(got[0].to_bits(), flat[0].to_bits());
+        assert_eq!(got[1], f32::INFINITY);
+        assert_eq!(got[2], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_errors() {
+        let a = base();
+        let b = cnn_lstm_custom(32, 6, 2, 4, 8, 2, 3, 16, 0.3, 1);
+        assert!(WeightDelta::between(&a, &b).is_err());
+        let tuned = perturbed_tail(&a);
+        let delta = WeightDelta::between(&a, &tuned).unwrap();
+        assert!(delta.apply(&b).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_delta() {
+        let base = base();
+        let tuned = perturbed_tail(&base);
+        let delta = WeightDelta::between(&base, &tuned).unwrap();
+        let json = delta.to_json().unwrap();
+        let restored = WeightDelta::from_json(&json).unwrap();
+        assert_eq!(delta, restored);
+        assert!(WeightDelta::from_json("{").is_err());
+    }
+}

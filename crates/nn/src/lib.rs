@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod data;
+pub mod delta;
 pub mod layers;
 pub mod loss;
 pub mod metrics;

@@ -92,6 +92,16 @@ pub mod counters {
     pub const WORKSPACE_REBINDS: &str = "nn.workspace_rebinds";
     /// Training epochs completed.
     pub const TRAIN_EPOCHS: &str = "nn.train_epochs";
+    /// Personalized-model cache hits (fork already resident).
+    pub const CACHE_HITS: &str = "serve.cache_hits";
+    /// Personalized-model cache misses (fork evicted or never cached).
+    pub const CACHE_MISSES: &str = "serve.cache_misses";
+    /// Personalized forks evicted to serialized-delta form.
+    pub const CACHE_EVICTIONS: &str = "serve.cache_evictions";
+    /// Personalized forks rebuilt from a weight delta on access.
+    pub const CACHE_REHYDRATIONS: &str = "serve.cache_rehydrations";
+    /// Requests rejected by per-shard admission control.
+    pub const OVERLOADED: &str = "serve.overloaded";
 }
 
 /// Histogram name for `predict_batch` request sizes (bounds

@@ -41,6 +41,12 @@ pub enum Stage {
     EdgeInfer,
     /// One on-device fine-tuning run (`EdgeDeployment::fine_tune`).
     EdgeFineTune,
+    /// Time spent waiting to acquire a shard lock in the multi-tenant
+    /// serving engine (`clear_serve::ServeEngine`).
+    ServeShardWait,
+    /// One cross-user batch assembly pass: admission, tenant snapshot
+    /// and model hydration for a request set.
+    ServeBatchAssembly,
 }
 
 impl Stage {
@@ -62,6 +68,8 @@ impl Stage {
             Stage::Onboard => "stage.serve.onboard",
             Stage::EdgeInfer => "stage.edge.infer",
             Stage::EdgeFineTune => "stage.edge.fine_tune",
+            Stage::ServeShardWait => "stage.serve.shard_wait",
+            Stage::ServeBatchAssembly => "stage.serve.batch_assembly",
         }
     }
 
@@ -83,6 +91,8 @@ impl Stage {
             Stage::Onboard,
             Stage::EdgeInfer,
             Stage::EdgeFineTune,
+            Stage::ServeShardWait,
+            Stage::ServeBatchAssembly,
         ]
     }
 }

@@ -1,0 +1,169 @@
+//! Bounded LRU cache of resident personalized networks.
+//!
+//! The engine's source of truth for a personalized user is the sparse
+//! [`clear_nn::delta::WeightDelta`] stored in their shard; this cache
+//! only holds *hydrated* forks (full `Network`s rebuilt from base ⊕
+//! delta) so hot users skip the rebuild. Entries are keyed by user and
+//! stamped with the tenant's personalization generation: a cached fork
+//! from a previous generation (re-personalized or re-onboarded user) is
+//! treated as a miss and dropped, so the cache can never serve stale
+//! weights. Eviction is least-recently-used and semantically invisible —
+//! the next access rebuilds the identical network from the delta.
+
+use clear_nn::network::Network;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    net: Arc<Network>,
+    generation: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+/// A thread-safe LRU cache with a hard capacity (≥ 1).
+pub(crate) struct ModelCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ModelCache {
+    /// Creates a cache holding at most `capacity.max(1)` networks.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                tick: 0,
+                entries: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Returns the user's resident fork if it matches `generation`,
+    /// refreshing its recency. A stale-generation entry is dropped and
+    /// reported as a miss.
+    pub(crate) fn get(&self, user: &str, generation: u64) -> Option<Arc<Network>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(user) {
+            Some(entry) if entry.generation == generation => {
+                entry.last_used = tick;
+                return Some(Arc::clone(&entry.net));
+            }
+            Some(_) => {}
+            None => return None,
+        }
+        inner.entries.remove(user);
+        None
+    }
+
+    /// Inserts (or replaces) the user's fork and evicts least-recently
+    /// used entries until the capacity holds. Returns how many entries
+    /// were evicted.
+    pub(crate) fn insert(&self, user: &str, generation: u64, net: Arc<Network>) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            user.to_string(),
+            Entry {
+                net,
+                generation,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity cache is non-empty");
+            inner.entries.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Drops the user's resident fork, if any.
+    pub(crate) fn remove(&self, user: &str) {
+        self.inner.lock().entries.remove(user);
+    }
+
+    /// Resident forks.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// The capacity bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_nn::network::cnn_lstm_compact;
+
+    fn net(seed: u64) -> Arc<Network> {
+        Arc::new(cnn_lstm_compact(16, 4, 2, seed))
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cache = ModelCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert("a", 0, net(1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.insert("b", 0, net(2)), 1, "a must be evicted");
+        assert!(cache.get("a", 0).is_none());
+        assert!(cache.get("b", 0).is_some());
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache = ModelCache::new(2);
+        cache.insert("a", 0, net(1));
+        cache.insert("b", 0, net(2));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get("a", 0).is_some());
+        assert_eq!(cache.insert("c", 0, net(3)), 1);
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("b", 0).is_none());
+        assert!(cache.get("c", 0).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn stale_generation_is_a_miss_and_drops_the_entry() {
+        let cache = ModelCache::new(4);
+        cache.insert("a", 0, net(1));
+        assert!(cache.get("a", 1).is_none(), "old generation must not serve");
+        assert_eq!(cache.len(), 0, "stale entry must be dropped");
+        // The fresh generation re-inserts cleanly.
+        cache.insert("a", 1, net(4));
+        assert!(cache.get("a", 1).is_some());
+    }
+
+    #[test]
+    fn remove_and_replace() {
+        let cache = ModelCache::new(4);
+        cache.insert("a", 0, net(1));
+        cache.remove("a");
+        assert!(cache.get("a", 0).is_none());
+        cache.insert("a", 0, net(1));
+        assert_eq!(cache.insert("a", 1, net(2)), 0, "replacement never evicts");
+        assert!(cache.get("a", 1).is_some());
+        // A stale-generation probe both misses and invalidates.
+        assert!(cache.get("a", 0).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+}

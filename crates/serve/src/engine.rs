@@ -1,0 +1,650 @@
+//! The multi-tenant serving engine.
+//!
+//! [`ServeEngine`] is the population-scale counterpart of
+//! [`clear_core::deployment::ClearDeployment`]: same bundle, same policy,
+//! same quality-gated pipeline (both delegate to
+//! [`clear_core::serving`]), but every method takes `&self`, so distinct
+//! users onboard, predict and personalize concurrently:
+//!
+//! * **Sharded registry** — user state lives in `N` shards, each behind
+//!   its own `RwLock`; `shard = hash(user) % N`, so traffic for distinct
+//!   users rarely contends and readers never block readers.
+//! * **Cross-user batching** — [`ServeEngine::predict_many`] groups a
+//!   request set by assigned cluster and serves each cluster's group
+//!   through one workspace against the shared cluster checkpoint,
+//!   instead of per-user model churn.
+//! * **Bounded personalized-model cache** — adopted fine-tuned forks are
+//!   stored as sparse weight deltas against the cluster base (the
+//!   durable form) and kept hydrated in a bounded LRU; eviction and
+//!   transparent rehydration are bit-exact, so the cache bound changes
+//!   memory, never predictions.
+//! * **Admission control** — each shard caps in-flight requests; beyond
+//!   the cap callers get a typed [`ServeError::Overloaded`] instead of
+//!   unbounded queueing.
+//!
+//! The contract tested by `tests/equivalence.rs`: for any request set,
+//! per-request results are bit-identical to calling
+//! `ClearDeployment::predict_batch` once per request in isolation,
+//! regardless of shard count, cache bound (≥ 1) or caller thread count.
+
+use crate::cache::ModelCache;
+use clear_core::deployment::{
+    ClearBundle, DeployError, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
+};
+use clear_core::serving;
+use clear_edge::{personalized_cache_capacity, Device};
+use clear_features::quality::assess_map;
+use clear_features::FeatureMap;
+use clear_nn::delta::WeightDelta;
+use clear_nn::network::Network;
+use clear_nn::train::TrainConfig;
+use clear_nn::workspace::Workspace;
+use clear_sim::Emotion;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors of the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A deployment-layer error (unknown user, bad input, serde).
+    Deploy(DeployError),
+    /// The user's shard is at its in-flight request cap; retry later.
+    Overloaded {
+        /// The saturated shard.
+        shard: usize,
+        /// Observed in-flight depth including this request.
+        depth: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Deploy(e) => write!(f, "{e}"),
+            ServeError::Overloaded {
+                shard,
+                depth,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} overloaded: {depth} in-flight requests exceed the cap of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Deploy(e) => Some(e),
+            ServeError::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl From<DeployError> for ServeError {
+    fn from(e: DeployError) -> Self {
+        ServeError::Deploy(e)
+    }
+}
+
+/// Sizing knobs of a [`ServeEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Registry shards (floor 1). More shards, less lock contention.
+    pub shards: usize,
+    /// Personalized networks kept hydrated (floor 1); everything else
+    /// lives as weight deltas and rehydrates on access.
+    pub cache_capacity: usize,
+    /// Per-shard in-flight request cap (floor 1) before
+    /// [`ServeError::Overloaded`].
+    pub max_queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            cache_capacity: 32,
+            max_queue_depth: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sizes the hydrated-model cache from a device's parameter budget
+    /// after reserving room for the bundle's always-resident cluster
+    /// checkpoints (see [`clear_edge::personalized_cache_capacity`]).
+    pub fn for_device(bundle: &ClearBundle, device: Device) -> Self {
+        let cache_capacity = bundle.models.first().map_or(1, |net| {
+            personalized_cache_capacity(net, device, bundle.cluster_count())
+        });
+        Self {
+            cache_capacity,
+            ..Self::default()
+        }
+    }
+}
+
+/// One user's inference request inside a [`ServeEngine::predict_many`]
+/// set.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeRequest<'a> {
+    /// The requesting user.
+    pub user: &'a str,
+    /// The feature maps to classify, in order.
+    pub maps: &'a [FeatureMap],
+}
+
+/// Occupancy snapshot of the personalized-model cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hydrated forks currently resident.
+    pub resident: usize,
+    /// The configured bound.
+    pub capacity: usize,
+}
+
+/// One tenant's durable state. The personalized checkpoint is *not*
+/// stored here — only its sparse delta against the cluster base; the
+/// hydrated form lives in the bounded cache keyed by `generation`.
+struct Tenant {
+    cluster: usize,
+    baseline: Vec<f32>,
+    quarantined: usize,
+    delta: Option<WeightDelta>,
+    /// Bumped on every re-onboarding and adopted personalization, so
+    /// cached forks from earlier states can never serve.
+    generation: u64,
+}
+
+#[derive(Default)]
+struct ShardState {
+    tenants: HashMap<String, Tenant>,
+    /// Good-quality maps accumulated for deferred onboardings.
+    pending: HashMap<String, Vec<FeatureMap>>,
+}
+
+struct Shard {
+    state: RwLock<ShardState>,
+    /// In-flight requests currently admitted against this shard.
+    depth: AtomicUsize,
+}
+
+/// RAII admission token: holds one unit of its shard's queue depth.
+struct AdmissionGuard<'a> {
+    depth: &'a AtomicUsize,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A request fully resolved by batch assembly, ready for its cluster
+/// group's forward passes.
+struct Resolved {
+    index: usize,
+    user: String,
+    shard: usize,
+    cluster: usize,
+    baseline: Vec<f32>,
+    net: Option<Arc<Network>>,
+}
+
+/// A concurrent, multi-tenant CLEAR serving engine. See the module docs
+/// for the architecture and the sequential-equivalence contract.
+pub struct ServeEngine {
+    bundle: ClearBundle,
+    policy: ServingPolicy,
+    shards: Vec<Shard>,
+    cache: ModelCache,
+    max_queue_depth: usize,
+}
+
+impl ServeEngine {
+    /// Starts an engine with the default [`ServingPolicy`].
+    pub fn new(bundle: ClearBundle, config: EngineConfig) -> Self {
+        Self::with_policy(bundle, ServingPolicy::default(), config)
+    }
+
+    /// Starts an engine with an explicit serving policy.
+    pub fn with_policy(bundle: ClearBundle, policy: ServingPolicy, config: EngineConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| Shard {
+                state: RwLock::new(ShardState::default()),
+                depth: AtomicUsize::new(0),
+            })
+            .collect();
+        Self {
+            bundle,
+            policy,
+            shards,
+            cache: ModelCache::new(config.cache_capacity),
+            max_queue_depth: config.max_queue_depth.max(1),
+        }
+    }
+
+    /// The underlying bundle.
+    pub fn bundle(&self) -> &ClearBundle {
+        &self.bundle
+    }
+
+    /// The serving policy in force.
+    pub fn policy(&self) -> &ServingPolicy {
+        &self.policy
+    }
+
+    /// Registry shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Occupancy of the personalized-model cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            resident: self.cache.len(),
+            capacity: self.cache.capacity(),
+        }
+    }
+
+    fn shard_of(&self, user: &str) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        user.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, ShardState> {
+        let _span = clear_obs::span(clear_obs::Stage::ServeShardWait);
+        self.shards[shard].state.read()
+    }
+
+    fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, ShardState> {
+        let _span = clear_obs::span(clear_obs::Stage::ServeShardWait);
+        self.shards[shard].state.write()
+    }
+
+    fn admit(&self, shard: usize) -> Result<AdmissionGuard<'_>, ServeError> {
+        let depth = &self.shards[shard].depth;
+        let observed = depth.fetch_add(1, Ordering::SeqCst) + 1;
+        if observed > self.max_queue_depth {
+            depth.fetch_sub(1, Ordering::SeqCst);
+            clear_obs::counter_add(clear_obs::counters::OVERLOADED, 1);
+            return Err(ServeError::Overloaded {
+                shard,
+                depth: observed,
+                limit: self.max_queue_depth,
+            });
+        }
+        Ok(AdmissionGuard { depth })
+    }
+
+    /// Looks a hydrated personalized fork up, rebuilding it from its
+    /// delta (outside any shard lock) on a miss.
+    fn hydrate(
+        &self,
+        user: &str,
+        cluster: usize,
+        generation: u64,
+        delta: &WeightDelta,
+    ) -> Result<Arc<Network>, ServeError> {
+        if let Some(net) = self.cache.get(user, generation) {
+            clear_obs::counter_add(clear_obs::counters::CACHE_HITS, 1);
+            return Ok(net);
+        }
+        clear_obs::counter_add(clear_obs::counters::CACHE_MISSES, 1);
+        let base = self
+            .bundle
+            .models
+            .get(cluster)
+            .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+        let net = delta
+            .apply(base)
+            .map_err(|e| DeployError::Serde(format!("delta rehydration failed: {e}")))?;
+        clear_obs::counter_add(clear_obs::counters::CACHE_REHYDRATIONS, 1);
+        let net = Arc::new(net);
+        let evicted = self.cache.insert(user, generation, Arc::clone(&net));
+        if evicted > 0 {
+            clear_obs::counter_add(clear_obs::counters::CACHE_EVICTIONS, evicted);
+        }
+        Ok(net)
+    }
+
+    /// Onboards a user from unlabeled maps — the same quality guardrail
+    /// and deferred-accumulation behavior as
+    /// [`clear_core::deployment::ClearDeployment::onboard`].
+    /// Re-onboarding bumps the tenant's generation, discarding any
+    /// personalization (durable delta *and* cached fork).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::BadInput`] (wrapped) when `maps` is empty.
+    pub fn onboard(&self, user: &str, maps: &[FeatureMap]) -> Result<Onboarding, ServeError> {
+        let _span = clear_obs::span(clear_obs::Stage::Onboard);
+        if maps.is_empty() {
+            return Err(DeployError::BadInput("onboarding needs at least one map").into());
+        }
+        // Quality assessment happens outside the shard lock.
+        let good: Vec<FeatureMap> = maps
+            .iter()
+            .filter(|m| assess_map(m).score >= self.policy.min_onboarding_quality)
+            .cloned()
+            .collect();
+        let required = self.policy.min_onboarding_maps.max(1);
+        let shard = self.shard_of(user);
+        let mut state = self.write_shard(shard);
+        let buffer = state.pending.entry(user.to_string()).or_default();
+        buffer.extend(good);
+        let accumulated = buffer.len();
+        if accumulated < required {
+            clear_obs::counter_add(clear_obs::counters::ONBOARD_DEFERRED, 1);
+            return Ok(Onboarding::Deferred {
+                accumulated,
+                required,
+            });
+        }
+        let buffered = state.pending.remove(user).unwrap_or_default();
+        let (cluster, baseline) = serving::assign_cluster(&self.bundle, &buffered);
+        let generation = state.tenants.get(user).map_or(0, |t| t.generation + 1);
+        state.tenants.insert(
+            user.to_string(),
+            Tenant {
+                cluster,
+                baseline,
+                quarantined: 0,
+                delta: None,
+                generation,
+            },
+        );
+        drop(state);
+        // Any cached fork belongs to the previous enrolment.
+        self.cache.remove(user);
+        clear_obs::counter_add(clear_obs::counters::ONBOARD_ASSIGNED, 1);
+        Ok(Onboarding::Assigned { cluster })
+    }
+
+    /// Serves one user's batch — a [`ServeEngine::predict_many`] set of
+    /// size one.
+    ///
+    /// # Errors
+    ///
+    /// As for `predict_many`'s per-request results.
+    pub fn predict(&self, user: &str, maps: &[FeatureMap]) -> Result<Vec<Prediction>, ServeError> {
+        self.predict_many(&[ServeRequest { user, maps }])
+            .pop()
+            .expect("one result per request")
+    }
+
+    /// Serves a cross-user request set. Assembly resolves every request
+    /// (admission, tenant snapshot, shape checks, fork hydration), then
+    /// the resolved requests are grouped by assigned cluster and each
+    /// group runs through one reused workspace. Results come back in
+    /// request order, each exactly what a sequential
+    /// `ClearDeployment::predict_batch` call would have produced:
+    ///
+    /// * empty `maps` → `Ok(vec![])` without admission or user lookup;
+    /// * unknown user / shape mismatch → that request errors, the rest
+    ///   proceed;
+    /// * a saturated shard → [`ServeError::Overloaded`] for that request.
+    pub fn predict_many(
+        &self,
+        requests: &[ServeRequest<'_>],
+    ) -> Vec<Result<Vec<Prediction>, ServeError>> {
+        let mut slots: Vec<Option<Result<Vec<Prediction>, ServeError>>> =
+            requests.iter().map(|_| None).collect();
+        // Admission tokens are held until every request in the set has
+        // been served: depth counts in-flight work, not queue length.
+        let mut guards: Vec<AdmissionGuard<'_>> = Vec::with_capacity(requests.len());
+        let mut resolved: Vec<Resolved> = Vec::with_capacity(requests.len());
+        {
+            let _span = clear_obs::span(clear_obs::Stage::ServeBatchAssembly);
+            for (index, request) in requests.iter().enumerate() {
+                if request.maps.is_empty() {
+                    slots[index] = Some(Ok(Vec::new()));
+                    continue;
+                }
+                let shard = self.shard_of(request.user);
+                match self.admit(shard) {
+                    Ok(guard) => guards.push(guard),
+                    Err(e) => {
+                        slots[index] = Some(Err(e));
+                        continue;
+                    }
+                }
+                let snapshot = {
+                    let state = self.read_shard(shard);
+                    state
+                        .tenants
+                        .get(request.user)
+                        .map(|t| (t.cluster, t.baseline.clone(), t.delta.clone(), t.generation))
+                };
+                let Some((cluster, baseline, delta, generation)) = snapshot else {
+                    slots[index] = Some(Err(
+                        DeployError::UnknownUser(request.user.to_string()).into()
+                    ));
+                    continue;
+                };
+                if let Some(e) = request
+                    .maps
+                    .iter()
+                    .find_map(|m| serving::check_shape(&self.bundle, m).err())
+                {
+                    slots[index] = Some(Err(e.into()));
+                    continue;
+                }
+                let net = match &delta {
+                    None => None,
+                    Some(delta) => match self.hydrate(request.user, cluster, generation, delta) {
+                        Ok(net) => Some(net),
+                        Err(e) => {
+                            slots[index] = Some(Err(e));
+                            continue;
+                        }
+                    },
+                };
+                resolved.push(Resolved {
+                    index,
+                    user: request.user.to_string(),
+                    shard,
+                    cluster,
+                    baseline,
+                    net,
+                });
+            }
+        }
+
+        // One group per cluster: the shared centroid reconstruction and
+        // one workspace amortize across every request in the group.
+        let mut by_cluster: BTreeMap<usize, Vec<Resolved>> = BTreeMap::new();
+        for r in resolved {
+            by_cluster.entry(r.cluster).or_default().push(r);
+        }
+        for (cluster, group) in by_cluster {
+            let centroid = serving::cluster_raw_centroid(&self.bundle, cluster);
+            let mut ws = Workspace::new();
+            for r in group {
+                let maps = requests[r.index].maps;
+                let _span = clear_obs::span(clear_obs::Stage::PredictBatch);
+                clear_obs::counter_add(clear_obs::counters::BATCHES, 1);
+                clear_obs::counter_add(clear_obs::counters::BATCH_WINDOWS, maps.len() as u64);
+                clear_obs::size_record(clear_obs::BATCH_SIZE_HISTOGRAM, maps.len() as u64);
+                let ctx = serving::ServeContext {
+                    bundle: &self.bundle,
+                    policy: &self.policy,
+                    cluster,
+                    baseline: &r.baseline,
+                    centroid: &centroid,
+                    personalized: r.net.as_deref(),
+                };
+                let mut predictions = Vec::with_capacity(maps.len());
+                let mut quarantined = 0usize;
+                let mut failed = None;
+                for map in maps {
+                    match serving::predict_one_gated(&ctx, map, &mut ws) {
+                        Ok((prediction, q)) => {
+                            if q {
+                                quarantined += 1;
+                            }
+                            predictions.push(prediction);
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if quarantined > 0 {
+                    let mut state = self.write_shard(r.shard);
+                    if let Some(tenant) = state.tenants.get_mut(&r.user) {
+                        tenant.quarantined += quarantined;
+                    }
+                }
+                slots[r.index] = Some(match failed {
+                    Some(e) => Err(e.into()),
+                    None => Ok(predictions),
+                });
+            }
+        }
+        drop(guards);
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request resolved to a result"))
+            .collect()
+    }
+
+    /// Personalizes a user from labeled maps with the same
+    /// validation-holdout rollback rule as the deployment. Fine-tuning
+    /// runs outside every lock; on adoption the fork is stored as a
+    /// sparse delta in the user's shard (bumping their generation) and
+    /// hydrated into the cache.
+    ///
+    /// # Errors
+    ///
+    /// Wrapped [`DeployError`]s as for the deployment, plus
+    /// [`ServeError::Overloaded`] when the user's shard is saturated.
+    pub fn personalize(
+        &self,
+        user: &str,
+        labeled: &[(FeatureMap, Emotion)],
+        config: &TrainConfig,
+    ) -> Result<PersonalizeOutcome, ServeError> {
+        let _span = clear_obs::span(clear_obs::Stage::Personalize);
+        if labeled.is_empty() {
+            return Err(DeployError::BadInput("personalization needs labeled maps").into());
+        }
+        let shard = self.shard_of(user);
+        let _guard = self.admit(shard)?;
+        let (cluster, baseline) = {
+            let state = self.read_shard(shard);
+            let tenant = state
+                .tenants
+                .get(user)
+                .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
+            (tenant.cluster, tenant.baseline.clone())
+        };
+        let (outcome, checkpoint) = serving::personalize_from(
+            &self.bundle,
+            &self.policy,
+            cluster,
+            &baseline,
+            labeled,
+            config,
+        )?;
+        if let Some(net) = checkpoint {
+            let base = self
+                .bundle
+                .models
+                .get(cluster)
+                .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+            let delta = WeightDelta::between(base, &net)
+                .map_err(|e| DeployError::Serde(format!("delta extraction failed: {e}")))?;
+            let generation = {
+                let mut state = self.write_shard(shard);
+                let tenant = state
+                    .tenants
+                    .get_mut(user)
+                    .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
+                tenant.generation += 1;
+                tenant.delta = Some(delta);
+                tenant.generation
+            };
+            let evicted = self.cache.insert(user, generation, Arc::new(net));
+            if evicted > 0 {
+                clear_obs::counter_add(clear_obs::counters::CACHE_EVICTIONS, evicted);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Drops a user's state (tenant, deferred onboarding buffer and any
+    /// cached fork). Returns whether the user existed.
+    pub fn offboard(&self, user: &str) -> bool {
+        let shard = self.shard_of(user);
+        let existed = {
+            let mut state = self.write_shard(shard);
+            let pending = state.pending.remove(user).is_some();
+            state.tenants.remove(user).is_some() || pending
+        };
+        self.cache.remove(user);
+        existed
+    }
+
+    /// The cluster a user was assigned to.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`DeployError::UnknownUser`] if the user was
+    /// never onboarded.
+    pub fn cluster_of(&self, user: &str) -> Result<usize, ServeError> {
+        self.read_shard(self.shard_of(user))
+            .tenants
+            .get(user)
+            .map(|t| t.cluster)
+            .ok_or_else(|| DeployError::UnknownUser(user.to_string()).into())
+    }
+
+    /// Whether the user has an adopted personalized fork (resident or
+    /// evicted).
+    pub fn is_personalized(&self, user: &str) -> bool {
+        self.read_shard(self.shard_of(user))
+            .tenants
+            .get(user)
+            .is_some_and(|t| t.delta.is_some())
+    }
+
+    /// Windows quarantined so far for a user (0 for unknown users).
+    pub fn quarantined_count(&self, user: &str) -> usize {
+        self.read_shard(self.shard_of(user))
+            .tenants
+            .get(user)
+            .map_or(0, |t| t.quarantined)
+    }
+
+    /// Good-quality maps accumulated for a user whose onboarding is
+    /// still deferred (0 for assigned or unknown users).
+    pub fn pending_maps(&self, user: &str) -> usize {
+        self.read_shard(self.shard_of(user))
+            .pending
+            .get(user)
+            .map_or(0, Vec::len)
+    }
+
+    /// All onboarded users, sorted.
+    pub fn user_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.state.read().tenants.keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}

@@ -1,0 +1,36 @@
+//! # clear-serve — multi-tenant serving engine
+//!
+//! The paper's end state is CLEAR running as an always-on service: K
+//! shared cluster models serving a population, with per-user
+//! personalized forks created on demand. The single-tenant
+//! [`clear_core::deployment::ClearDeployment`] holds every user behind
+//! one `&mut self`, so concurrent users serialize and every personalized
+//! user pins a full network forever. This crate scales that design out
+//! without changing a single served bit:
+//!
+//! * [`ServeEngine`] — sharded user registry (`RwLock` per shard,
+//!   `shard = hash(user) % N`), every operation `&self`, so distinct
+//!   users proceed concurrently from scoped threads;
+//! * cross-user batching — [`ServeEngine::predict_many`] groups a
+//!   request set by assigned cluster and serves each group through one
+//!   reused workspace;
+//! * bounded personalized-model cache — adopted forks persist as sparse
+//!   [`clear_nn::delta::WeightDelta`]s and hydrate through a bounded
+//!   LRU; eviction/rehydration is bit-exact and invisible to callers;
+//! * admission control — per-shard in-flight caps with a typed
+//!   [`ServeError::Overloaded`] rejection instead of unbounded queueing.
+//!
+//! The load-bearing invariant, enforced by `tests/equivalence.rs`,
+//! `tests/stress.rs` and `tests/properties.rs`: for any request set and
+//! any (shards, cache bound ≥ 1, threads) configuration, the engine's
+//! per-request output is bit-identical to a sequential per-user
+//! `ClearDeployment` serving the same operations. Sharding, batching and
+//! caching change throughput and memory — never predictions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod engine;
+
+pub use engine::{CacheStats, EngineConfig, ServeEngine, ServeError, ServeRequest};

@@ -1,0 +1,99 @@
+//! Shared fixture for the serving-engine suites: one cloud training run
+//! (quick profile) whose bundle every test reuses, plus map/label
+//! helpers addressing the cohort by subject rank.
+
+#![allow(dead_code)] // each test binary uses a different helper subset
+
+use clear_core::config::ClearConfig;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, ClearBundle, PersonalizeOutcome, ServingPolicy};
+use clear_features::{FeatureMap, FEATURE_COUNT};
+use clear_sim::Emotion;
+use std::sync::OnceLock;
+
+pub struct Fixture {
+    pub config: ClearConfig,
+    pub data: PreparedCohort,
+    pub bundle: ClearBundle,
+}
+
+/// The shared cloud artifact: trained once per test binary on all but
+/// the last subject of the quick cohort.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = ClearConfig::quick(17);
+        // One-epoch fine-tuning keeps the many personalization calls in
+        // these suites cheap; the tests compare behavior, not accuracy.
+        config.finetune.epochs = 1;
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+        let dep = deploy(&data, initial, &config);
+        let bundle = dep.bundle().clone();
+        Fixture {
+            config,
+            data,
+            bundle,
+        }
+    })
+}
+
+/// A policy that never abstains on confidence, so clean maps receive
+/// deterministic labels.
+pub fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+/// Feature maps `[lo, hi)` of the subject at `rank` (modulo cohort
+/// size), clamped to the subject's map count.
+pub fn maps_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| f.data.maps()[i].clone())
+        .collect()
+}
+
+/// Labeled maps `[lo, hi)` of the subject at `rank`.
+pub fn labeled_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<(FeatureMap, Emotion)> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| {
+            let (map, emotion) = f.data.map_and_label(i);
+            (map.clone(), emotion)
+        })
+        .collect()
+}
+
+/// An all-NaN map of the bundle's shape: every modality block is dead,
+/// so serving it exercises the quarantine path.
+pub fn nan_map(f: &Fixture) -> FeatureMap {
+    FeatureMap::from_columns(&vec![vec![f32::NAN; FEATURE_COUNT]; f.bundle.windows])
+}
+
+/// NaN-safe comparable form of a [`PersonalizeOutcome`]. The unvalidated
+/// adoption path (labeled budgets below the validation threshold) reports
+/// `baseline_accuracy = NaN`, which the derived `PartialEq` can never
+/// match against an identical outcome; bit patterns compare exactly, NaN
+/// included.
+pub fn outcome_key(o: &PersonalizeOutcome) -> (bool, bool, u32, u32) {
+    (
+        o.adopted,
+        o.validated,
+        o.baseline_accuracy.to_bits(),
+        o.personalized_accuracy.to_bits(),
+    )
+}

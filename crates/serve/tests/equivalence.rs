@@ -1,0 +1,205 @@
+//! The engine's load-bearing contract: for any request set, any shard
+//! count, any cache bound ≥ 1 and any caller thread count, per-request
+//! output is bit-identical to a sequential single-tenant
+//! `ClearDeployment` serving the same users.
+
+mod common;
+
+use clear_core::deployment::{ClearDeployment, Prediction};
+use clear_edge::Device;
+use clear_features::FeatureMap;
+use clear_serve::{EngineConfig, ServeEngine, ServeError, ServeRequest};
+use common::{fixture, labeled_of, lenient, maps_of, nan_map, outcome_key};
+use parking_lot::Mutex;
+
+const USERS: usize = 5;
+
+fn user_name(i: usize) -> String {
+    format!("user-{i}")
+}
+
+/// Builds a deployment/engine pair over the shared bundle and walks both
+/// through identical onboarding and personalization, asserting the
+/// control-plane outcomes agree along the way.
+fn build_pair(shards: usize, cache: usize) -> (ClearDeployment, ServeEngine) {
+    let f = fixture();
+    let mut dep = ClearDeployment::with_policy(f.bundle.clone(), lenient());
+    let engine = ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig {
+            shards,
+            cache_capacity: cache,
+            max_queue_depth: 1024,
+        },
+    );
+    for i in 0..USERS {
+        let user = user_name(i);
+        let maps = maps_of(f, i, 0, 2);
+        let a = dep.onboard(&user, &maps).expect("onboarding maps");
+        let b = engine.onboard(&user, &maps).expect("onboarding maps");
+        assert_eq!(a, b, "onboarding outcome diverged for {user}");
+    }
+    // Two personalized users exercise the fork cache; fine-tuning is
+    // deterministic, so both sides adopt the same weights.
+    for i in [0, 2] {
+        let user = user_name(i);
+        let labeled = labeled_of(f, i, 2, 4);
+        let a = dep
+            .personalize(&user, &labeled, &f.config.finetune)
+            .expect("labeled maps");
+        let b = engine
+            .personalize(&user, &labeled, &f.config.finetune)
+            .expect("labeled maps");
+        // Bit-level comparison: two labeled maps take the unvalidated
+        // path, whose outcome carries a NaN baseline accuracy.
+        assert_eq!(
+            outcome_key(&a),
+            outcome_key(&b),
+            "personalization outcome diverged for {user}"
+        );
+        assert_eq!(dep.is_personalized(&user), engine.is_personalized(&user));
+    }
+    (dep, engine)
+}
+
+/// The mixed request set: two rounds over every user (personalized and
+/// cluster-served), one degraded batch with a quarantined window, one
+/// empty batch and one unknown user.
+fn request_set() -> Vec<(String, Vec<FeatureMap>)> {
+    let f = fixture();
+    let mut requests = Vec::new();
+    for round in 0..2 {
+        for i in 0..USERS {
+            let mut maps = maps_of(f, i, 4 + round, 6 + round);
+            if i == 1 && round == 0 {
+                maps.push(nan_map(f));
+            }
+            requests.push((user_name(i), maps));
+        }
+    }
+    requests.push((user_name(0), Vec::new()));
+    requests.push(("ghost".to_string(), maps_of(f, 0, 0, 1)));
+    requests
+}
+
+fn run(shards: usize, cache: usize, threads: usize) {
+    let (mut dep, engine) = build_pair(shards, cache);
+    let requests = request_set();
+
+    // Sequential reference: one predict_batch per request, in order.
+    let expected: Vec<Option<Vec<Prediction>>> = requests
+        .iter()
+        .map(|(user, maps)| dep.predict_batch(user, maps).ok())
+        .collect();
+
+    // Concurrent engine serving: the request set split across scoped
+    // threads, each thread submitting its chunk as one predict_many set.
+    let slots: Vec<Mutex<Option<Result<Vec<Prediction>, ServeError>>>> =
+        requests.iter().map(|_| Mutex::new(None)).collect();
+    let indexed: Vec<(usize, ServeRequest<'_>)> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, (user, maps))| (i, ServeRequest { user, maps }))
+        .collect();
+    let chunk = indexed.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for part in indexed.chunks(chunk) {
+            let slots = &slots;
+            let engine = &engine;
+            scope.spawn(move |_| {
+                let batch: Vec<ServeRequest<'_>> = part.iter().map(|&(_, r)| r).collect();
+                for (&(index, _), result) in part.iter().zip(engine.predict_many(&batch)) {
+                    *slots[index].lock() = Some(result);
+                }
+            });
+        }
+    })
+    .expect("a serving thread panicked");
+
+    for (i, want) in expected.iter().enumerate() {
+        let got = slots[i].lock().take().expect("request served");
+        match want {
+            Some(want) => {
+                assert_eq!(
+                    &got.expect("sequential path served this"),
+                    want,
+                    "request {i}"
+                );
+            }
+            None => assert!(got.is_err(), "request {i}: expected an error"),
+        }
+    }
+    for i in 0..USERS {
+        let user = user_name(i);
+        assert_eq!(
+            dep.quarantined_count(&user),
+            engine.quarantined_count(&user),
+            "quarantine bookkeeping diverged for {user}"
+        );
+    }
+    let stats = engine.cache_stats();
+    assert!(
+        stats.resident <= stats.capacity,
+        "cache bound violated: {stats:?}"
+    );
+}
+
+#[test]
+fn one_shard_tiny_cache_two_threads_matches_sequential() {
+    run(1, 1, 2);
+}
+
+#[test]
+fn three_shards_small_cache_four_threads_matches_sequential() {
+    run(3, 2, 4);
+}
+
+#[test]
+fn eight_shards_roomy_cache_eight_threads_matches_sequential() {
+    run(8, 16, 8);
+}
+
+#[test]
+fn overload_is_a_typed_rejection_and_depth_is_released() {
+    let f = fixture();
+    let engine = ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig {
+            shards: 1,
+            cache_capacity: 1,
+            max_queue_depth: 1,
+        },
+    );
+    let onboarding = maps_of(f, 0, 0, 1);
+    engine.onboard("amy", &onboarding).expect("onboarding maps");
+    let target = maps_of(f, 0, 1, 2);
+    let requests = [
+        ServeRequest {
+            user: "amy",
+            maps: &target,
+        },
+        ServeRequest {
+            user: "amy",
+            maps: &target,
+        },
+    ];
+    // Depth cap 1 on one shard: the first request admits and holds its
+    // token for the whole set, so the second must be rejected.
+    let results = engine.predict_many(&requests);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(ServeError::Overloaded { .. })));
+    // Tokens are released with the set: the next call serves again.
+    assert!(engine.predict("amy", &target).is_ok());
+}
+
+#[test]
+fn device_sized_cache_has_a_positive_bound() {
+    let f = fixture();
+    let config = EngineConfig::for_device(&f.bundle, Device::CoralTpu);
+    assert!(config.cache_capacity >= 1);
+    let engine = ServeEngine::new(f.bundle.clone(), config);
+    assert_eq!(engine.cache_stats().capacity, config.cache_capacity);
+    assert_eq!(engine.cache_stats().resident, 0);
+}

@@ -1,0 +1,182 @@
+//! Property-based invariants for the bounded cache and the delta store:
+//!
+//! 1. weight-delta extraction survives serialization and rehydrates
+//!    bit-identically for *arbitrary* bit-level weight edits, and
+//! 2. no operation sequence can make a capacity-1 cache serve different
+//!    predictions than an effectively unbounded one or a sequential
+//!    single-tenant deployment — eviction pressure is invisible.
+
+mod common;
+
+use clear_core::deployment::{ClearDeployment, Onboarding, Prediction};
+use clear_nn::delta::WeightDelta;
+use clear_nn::network::cnn_lstm_compact;
+use clear_serve::{EngineConfig, ServeEngine};
+use common::{fixture, labeled_of, lenient, maps_of, outcome_key, Fixture};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Any set of bit-level edits — including ones producing NaN or
+    /// infinity — round-trips through extract → JSON → parse → apply
+    /// with every weight bit preserved.
+    #[test]
+    fn delta_round_trip_is_bit_exact_for_arbitrary_edits(
+        seed in 0u64..1000,
+        edits in prop::collection::vec((0usize..10_000, any::<u32>()), 1..32),
+    ) {
+        let base = cnn_lstm_compact(16, 4, 2, seed);
+        let mut flat = base.parameters_flat();
+        let n = flat.len();
+        for &(idx, bump) in &edits {
+            let i = idx % n;
+            flat[i] = f32::from_bits(flat[i].to_bits().wrapping_add(bump));
+        }
+        let mut tuned = base.clone();
+        tuned.set_parameters_flat(&flat);
+
+        let delta = WeightDelta::between(&base, &tuned).unwrap();
+        let wire = delta.to_json().unwrap();
+        let restored = WeightDelta::from_json(&wire).unwrap().apply(&base).unwrap();
+
+        let want: Vec<u32> = tuned.parameters_flat().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = restored.parameters_flat().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(want, got);
+        prop_assert!(delta.len() <= edits.len());
+    }
+}
+
+/// One tenant operation over a three-user population.
+#[derive(Debug, Clone, Copy)]
+enum PropOp {
+    Onboard(u8),
+    Predict(u8, u8),
+    Personalize(u8),
+    Offboard(u8),
+}
+
+/// Observable outcome, with errors flattened to display strings (the
+/// engine's `Deploy` variant renders identically to `DeployError`) and
+/// personalization outcomes flattened to their NaN-safe bit key.
+#[derive(Debug, PartialEq)]
+enum PropResult {
+    Onboard(Result<Onboarding, String>),
+    Predict(Result<Vec<Prediction>, String>),
+    Personalize(Result<(bool, bool, u32, u32), String>),
+    Offboard(bool),
+}
+
+fn prop_op() -> impl Strategy<Value = PropOp> {
+    prop_oneof![
+        2 => (0u8..3).prop_map(PropOp::Onboard),
+        5 => ((0u8..3), (0u8..3)).prop_map(|(u, k)| PropOp::Predict(u, k)),
+        2 => (0u8..3).prop_map(PropOp::Personalize),
+        1 => (0u8..3).prop_map(PropOp::Offboard),
+    ]
+}
+
+fn user_of(op: PropOp) -> u8 {
+    match op {
+        PropOp::Onboard(u)
+        | PropOp::Predict(u, _)
+        | PropOp::Personalize(u)
+        | PropOp::Offboard(u) => u,
+    }
+}
+
+fn apply_engine(f: &Fixture, engine: &ServeEngine, op: PropOp) -> PropResult {
+    let user = format!("u-{}", user_of(op));
+    match op {
+        PropOp::Onboard(u) => PropResult::Onboard(
+            engine
+                .onboard(&user, &maps_of(f, u as usize, 0, 2))
+                .map_err(|e| e.to_string()),
+        ),
+        PropOp::Predict(u, k) => PropResult::Predict(
+            engine
+                .predict(
+                    &user,
+                    &maps_of(f, u as usize, 3 + k as usize, 5 + k as usize),
+                )
+                .map_err(|e| e.to_string()),
+        ),
+        PropOp::Personalize(u) => PropResult::Personalize(
+            engine
+                .personalize(&user, &labeled_of(f, u as usize, 2, 4), &f.config.finetune)
+                .map(|o| outcome_key(&o))
+                .map_err(|e| e.to_string()),
+        ),
+        PropOp::Offboard(_) => PropResult::Offboard(engine.offboard(&user)),
+    }
+}
+
+fn apply_dep(f: &Fixture, dep: &mut ClearDeployment, op: PropOp) -> PropResult {
+    let user = format!("u-{}", user_of(op));
+    match op {
+        PropOp::Onboard(u) => PropResult::Onboard(
+            dep.onboard(&user, &maps_of(f, u as usize, 0, 2))
+                .map_err(|e| e.to_string()),
+        ),
+        PropOp::Predict(u, k) => PropResult::Predict(
+            dep.predict_batch(
+                &user,
+                &maps_of(f, u as usize, 3 + k as usize, 5 + k as usize),
+            )
+            .map_err(|e| e.to_string()),
+        ),
+        PropOp::Personalize(u) => PropResult::Personalize(
+            dep.personalize(&user, &labeled_of(f, u as usize, 2, 4), &f.config.finetune)
+                .map(|o| outcome_key(&o))
+                .map_err(|e| e.to_string()),
+        ),
+        PropOp::Offboard(_) => PropResult::Offboard(dep.offboard(&user)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// A capacity-1 cache under maximal eviction pressure, an effectively
+    /// unbounded cache and a cache-free sequential deployment agree on
+    /// every operation of every random sequence, and on the terminal
+    /// per-user state.
+    #[test]
+    fn cache_pressure_never_changes_behavior(ops in prop::collection::vec(prop_op(), 1..14)) {
+        let f = fixture();
+        let tiny = ServeEngine::with_policy(
+            f.bundle.clone(),
+            lenient(),
+            EngineConfig { shards: 2, cache_capacity: 1, max_queue_depth: 64 },
+        );
+        let oracle = ServeEngine::with_policy(
+            f.bundle.clone(),
+            lenient(),
+            EngineConfig { shards: 1, cache_capacity: 1_000_000, max_queue_depth: 64 },
+        );
+        let mut dep = ClearDeployment::with_policy(f.bundle.clone(), lenient());
+
+        for (step, &op) in ops.iter().enumerate() {
+            let a = apply_engine(f, &tiny, op);
+            let b = apply_engine(f, &oracle, op);
+            let c = apply_dep(f, &mut dep, op);
+            prop_assert_eq!(&a, &b, "step {} ({:?}): tiny vs oracle", step, op);
+            prop_assert_eq!(&a, &c, "step {} ({:?}): tiny vs sequential", step, op);
+        }
+
+        for u in 0..3u8 {
+            let user = format!("u-{u}");
+            prop_assert_eq!(tiny.cluster_of(&user).ok(), oracle.cluster_of(&user).ok());
+            prop_assert_eq!(tiny.cluster_of(&user).ok(), dep.cluster_of(&user).ok());
+            prop_assert_eq!(tiny.is_personalized(&user), dep.is_personalized(&user));
+            prop_assert_eq!(tiny.quarantined_count(&user), dep.quarantined_count(&user));
+        }
+        prop_assert!(tiny.cache_stats().resident <= 1);
+    }
+}

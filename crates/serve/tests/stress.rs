@@ -1,0 +1,183 @@
+//! Concurrency stress: eight scoped threads interleave onboard /
+//! predict / personalize / offboard on six overlapping users, then the
+//! per-user operation logs are replayed through fresh sequential
+//! `ClearDeployment`s. Every logged result — predictions, outcomes and
+//! errors alike — must match the replay exactly.
+
+mod common;
+
+use clear_core::deployment::{ClearDeployment, Onboarding, Prediction};
+use clear_serve::{EngineConfig, ServeEngine};
+use common::{fixture, labeled_of, lenient, maps_of, nan_map, outcome_key, Fixture};
+use parking_lot::Mutex;
+
+const USERS: usize = 6;
+const THREADS: usize = 8;
+const ROUNDS: usize = 6;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Onboard,
+    Predict(usize),
+    PredictDegraded,
+    Personalize,
+    Offboard,
+}
+
+/// An operation's observable outcome. Errors are compared as display
+/// strings: `ServeError::Deploy` renders identically to the underlying
+/// `DeployError`, so engine and deployment failures unify here.
+/// Personalization outcomes are stored as their NaN-safe bit key (the
+/// unvalidated path reports a NaN baseline accuracy).
+#[derive(Debug, PartialEq)]
+enum OpResult {
+    Onboard(Result<Onboarding, String>),
+    Predict(Result<Vec<Prediction>, String>),
+    Personalize(Result<(bool, bool, u32, u32), String>),
+    Offboard(bool),
+}
+
+/// Deterministic schedule: round 0 onboards everyone, later rounds mix
+/// the remaining operations so re-onboarding, offboarded-user errors and
+/// degraded batches all occur under contention.
+fn op_for(thread: usize, round: usize) -> Op {
+    if round == 0 {
+        return Op::Onboard;
+    }
+    match (thread * 7 + round * 3) % 10 {
+        0 | 1 => Op::Onboard,
+        2 => Op::Personalize,
+        3 => Op::Offboard,
+        4 => Op::PredictDegraded,
+        k => Op::Predict(k % 3),
+    }
+}
+
+fn op_maps(f: &Fixture, idx: usize, op: Op) -> Vec<clear_features::FeatureMap> {
+    match op {
+        Op::Onboard => maps_of(f, idx, 0, 2),
+        Op::Predict(k) => maps_of(f, idx, 3 + k, 5 + k),
+        Op::PredictDegraded => {
+            let mut maps = maps_of(f, idx, 3, 4);
+            maps.push(nan_map(f));
+            maps
+        }
+        Op::Personalize | Op::Offboard => Vec::new(),
+    }
+}
+
+fn apply_engine(engine: &ServeEngine, user: &str, idx: usize, op: Op) -> OpResult {
+    let f = fixture();
+    match op {
+        Op::Onboard => OpResult::Onboard(
+            engine
+                .onboard(user, &op_maps(f, idx, op))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Predict(_) | Op::PredictDegraded => OpResult::Predict(
+            engine
+                .predict(user, &op_maps(f, idx, op))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Personalize => OpResult::Personalize(
+            engine
+                .personalize(user, &labeled_of(f, idx, 2, 4), &f.config.finetune)
+                .map(|o| outcome_key(&o))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Offboard => OpResult::Offboard(engine.offboard(user)),
+    }
+}
+
+fn apply_dep(dep: &mut ClearDeployment, user: &str, idx: usize, op: Op) -> OpResult {
+    let f = fixture();
+    match op {
+        Op::Onboard => OpResult::Onboard(
+            dep.onboard(user, &op_maps(f, idx, op))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Predict(_) | Op::PredictDegraded => OpResult::Predict(
+            dep.predict_batch(user, &op_maps(f, idx, op))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Personalize => OpResult::Personalize(
+            dep.personalize(user, &labeled_of(f, idx, 2, 4), &f.config.finetune)
+                .map(|o| outcome_key(&o))
+                .map_err(|e| e.to_string()),
+        ),
+        Op::Offboard => OpResult::Offboard(dep.offboard(user)),
+    }
+}
+
+#[test]
+fn interleaved_multi_user_ops_replay_sequentially() {
+    let f = fixture();
+    let engine = ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig {
+            shards: 2,
+            cache_capacity: 2,
+            max_queue_depth: 64,
+        },
+    );
+
+    // One log per user. Holding the user's log mutex across the engine
+    // call serializes that user's operations (so the log order IS the
+    // engine-observed order) while different users still run truly
+    // concurrently across shards.
+    let logs: Vec<Mutex<Vec<(Op, OpResult)>>> =
+        (0..USERS).map(|_| Mutex::new(Vec::new())).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let logs = &logs;
+            let engine = &engine;
+            scope.spawn(move |_| {
+                for round in 0..ROUNDS {
+                    let idx = (thread + round) % USERS;
+                    let user = format!("user-{idx}");
+                    let op = op_for(thread, round);
+                    let mut log = logs[idx].lock();
+                    let result = apply_engine(engine, &user, idx, op);
+                    log.push((op, result));
+                }
+            });
+        }
+    })
+    .expect("a stress thread panicked");
+
+    // Replay: each user's log against a fresh sequential deployment.
+    for (idx, log) in logs.iter().enumerate() {
+        let user = format!("user-{idx}");
+        let mut dep = ClearDeployment::with_policy(f.bundle.clone(), lenient());
+        for (step, (op, got)) in log.lock().iter().enumerate() {
+            let want = apply_dep(&mut dep, &user, idx, *op);
+            assert_eq!(
+                got, &want,
+                "{user} step {step} ({op:?}): engine diverged from sequential replay"
+            );
+        }
+        assert_eq!(
+            engine.cluster_of(&user).ok(),
+            dep.cluster_of(&user).ok(),
+            "{user}: terminal cluster diverged"
+        );
+        assert_eq!(
+            engine.is_personalized(&user),
+            dep.is_personalized(&user),
+            "{user}: terminal personalization flag diverged"
+        );
+        assert_eq!(
+            engine.quarantined_count(&user),
+            dep.quarantined_count(&user),
+            "{user}: terminal quarantine count diverged"
+        );
+    }
+
+    let stats = engine.cache_stats();
+    assert!(
+        stats.resident <= stats.capacity,
+        "cache bound violated after stress: {stats:?}"
+    );
+}

@@ -13,7 +13,10 @@
 //! * [`edge`] — edge platform simulator (Coral TPU, Raspberry Pi + NCS2),
 //! * [`core`] — the CLEAR pipeline and its LOSO evaluation harnesses,
 //! * [`obs`] — dependency-free metrics registry, stage timing spans and
-//!   serving counters (see `DESIGN.md` §10).
+//!   serving counters (see `DESIGN.md` §10),
+//! * [`serve`] — multi-tenant sharded serving engine with cross-user
+//!   cluster batching and a bounded personalized-model cache (see
+//!   `DESIGN.md` §11).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -27,4 +30,5 @@ pub use clear_edge as edge;
 pub use clear_features as features;
 pub use clear_nn as nn;
 pub use clear_obs as obs;
+pub use clear_serve as serve;
 pub use clear_sim as sim;

@@ -1,0 +1,182 @@
+//! Golden regression harness for the paper tables.
+//!
+//! The shape checks in `table1`/`contracts` catch qualitative breakage
+//! (orderings flipping), but a refactor can silently shift every number
+//! while preserving the shape. This harness pins the *exact* measured
+//! values of Table I (all six rows) and Table II (per-device blocks +
+//! measurements) on a reduced deterministic profile to a JSON record
+//! under `tests/golden/`, and fails with a field-by-field diff when any
+//! value moves.
+//!
+//! Blessing: the golden file is (re)written when it does not exist yet,
+//! or when the `GOLDEN_BLESS` environment variable is set:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test --test golden_tables
+//! ```
+//!
+//! Re-bless only when a change is *supposed* to move the numbers (a new
+//! feature, an intentional algorithm change) — never to silence a diff
+//! you cannot explain.
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::experiments::{run_table1, run_table2, Table1, Table2};
+use clear::edge::Device;
+use serde_json::Value;
+use std::path::Path;
+use std::sync::OnceLock;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/tables_quick.json"
+);
+const SEED: u64 = 2025;
+
+/// The pinned profile: `quick(2025)` with the training knobs turned down
+/// the same way the benchmark binaries do. The golden record pins
+/// *determinism*, not accuracy, so the cheapest profile that still
+/// produces every table row is the right one.
+fn golden_config() -> ClearConfig {
+    let mut config = ClearConfig::quick(SEED);
+    config.train.epochs = 2;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    config
+}
+
+/// Both tables, measured once per test binary.
+fn measured() -> &'static (Table1, Table2) {
+    static MEASURED: OnceLock<(Table1, Table2)> = OnceLock::new();
+    MEASURED.get_or_init(|| {
+        let config = golden_config();
+        let data = PreparedCohort::prepare(&config);
+        let table1 = run_table1(&data, &config, |_, _, _| {});
+        let table2 = run_table2(&data, &config, |_, _, _| {});
+        (table1, table2)
+    })
+}
+
+fn measured_value() -> Value {
+    let (table1, table2) = measured();
+    serde_json::json!({
+        "seed": SEED,
+        "table1": serde_json::to_value(table1).expect("Table1 serializes"),
+        "table2": serde_json::to_value(table2).expect("Table2 serializes"),
+    })
+}
+
+/// Recursive field-by-field diff; every mismatch becomes one line with
+/// its JSON path.
+fn diff_values(path: &str, golden: &Value, measured: &Value, out: &mut Vec<String>) {
+    match (golden, measured) {
+        (Value::Object(g), Value::Object(m)) => {
+            for (key, gv) in g {
+                match m.get(key) {
+                    Some(mv) => diff_values(&format!("{path}.{key}"), gv, mv, out),
+                    None => out.push(format!("{path}.{key}: missing from measured output")),
+                }
+            }
+            for key in m.keys().filter(|k| !g.contains_key(*k)) {
+                out.push(format!("{path}.{key}: not in the golden record"));
+            }
+        }
+        (Value::Array(g), Value::Array(m)) => {
+            if g.len() != m.len() {
+                out.push(format!(
+                    "{path}: golden has {} elements, measured has {}",
+                    g.len(),
+                    m.len()
+                ));
+            } else {
+                for (i, (gv, mv)) in g.iter().zip(m).enumerate() {
+                    diff_values(&format!("{path}[{i}]"), gv, mv, out);
+                }
+            }
+        }
+        _ => {
+            if golden != measured {
+                out.push(format!("{path}: golden {golden} != measured {measured}"));
+            }
+        }
+    }
+}
+
+fn bless(measured: &Value) {
+    let json = serde_json::to_string_pretty(measured).expect("golden record serializes");
+    let path = Path::new(GOLDEN_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("golden directory is creatable");
+    }
+    std::fs::write(path, &json).expect("golden record is writable");
+    // The file must round-trip to exactly what we measured, or future
+    // runs would diff against a corrupted record.
+    let reread: Value = serde_json::from_str(&json).expect("golden record re-parses");
+    assert_eq!(
+        &reread, measured,
+        "golden record did not survive serialization (non-finite value?)"
+    );
+    eprintln!("golden_tables: BLESSED new golden record at {GOLDEN_PATH}");
+}
+
+#[test]
+fn measured_tables_match_the_golden_record() {
+    let measured = measured_value();
+    let path = Path::new(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_BLESS").is_some() || !path.exists() {
+        bless(&measured);
+        return;
+    }
+    let raw = std::fs::read_to_string(path).expect("golden record is readable");
+    let golden: Value = serde_json::from_str(&raw).expect("golden record parses");
+    let mut diffs = Vec::new();
+    diff_values("tables", &golden, &measured, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "measured tables diverged from the golden record in {} place(s):\n  {}\n\n\
+         If this change is *supposed* to move the numbers, re-bless with\n  \
+         GOLDEN_BLESS=1 cargo test --test golden_tables\n\
+         and commit the updated tests/golden/tables_quick.json.",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_covers_all_rows() {
+    let (table1, table2) = measured();
+    // All six Table I rows, each aggregated over at least one fold with
+    // finite percentages.
+    let rows = [
+        ("general", &table1.general),
+        ("rt_cl", &table1.rt_cl),
+        ("cl", &table1.cl),
+        ("rt_clear", &table1.rt_clear),
+        ("clear_wo_ft", &table1.clear_wo_ft),
+        ("clear_w_ft", &table1.clear_w_ft),
+    ];
+    for (name, agg) in rows {
+        assert!(agg.folds > 0, "{name}: aggregated over zero folds");
+        for (what, v) in [
+            ("accuracy_mean", agg.accuracy_mean),
+            ("accuracy_std", agg.accuracy_std),
+            ("f1_mean", agg.f1_mean),
+            ("f1_std", agg.f1_std),
+        ] {
+            assert!(v.is_finite(), "{name}.{what} is not finite: {v}");
+        }
+    }
+    assert!(
+        (0.0..=1.0).contains(&table1.assignment_accuracy),
+        "assignment accuracy out of range: {}",
+        table1.assignment_accuracy
+    );
+    // Table II covers every device in every block.
+    let devices = Device::all().len();
+    assert_eq!(table2.without_ft.len(), devices);
+    assert_eq!(table2.rt.len(), devices);
+    assert_eq!(table2.with_ft.len(), devices);
+    assert_eq!(table2.measurements.len(), devices);
+}

@@ -1,0 +1,293 @@
+//! Durability benchmark: what the write-ahead log costs and what
+//! recovery buys. Writes `BENCH_durable.json` so the durability perf
+//! trajectory is tracked across revisions.
+//!
+//! Reported numbers:
+//!
+//! * onboarding ops/sec with the WAL off (plain engine) and on (every
+//!   op framed, checksummed and fsynced to a real filesystem WAL);
+//! * steady-state prediction windows/sec with the WAL off and on — the
+//!   serve path never appends for clean windows, so these should match;
+//! * snapshot publication and crash-recovery wall time, with the WAL
+//!   byte volume and recovered-op counts from the observability registry.
+//!
+//! Before any timing, the durable engine's output is asserted
+//! bit-identical to the plain engine, and the recovered engine's output
+//! bit-identical to the engine that never went down — the overhead
+//! numbers are only meaningful because durability changes no served bit.
+
+use clear_bench::cli_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, Prediction, ServingPolicy};
+use clear_durable::{DurableConfig, FsStorage, Storage};
+use clear_features::FeatureMap;
+use clear_serve::{EngineConfig, ServeEngine, ServeRequest};
+use clear_sim::Emotion;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tenants onboarded in the overhead runs.
+const USERS: usize = 24;
+/// Prediction passes over the full request set per measurement.
+const ROUNDS: usize = 4;
+
+#[derive(Debug, Serialize)]
+struct DurableBench {
+    users: usize,
+    windows_per_request: usize,
+    onboard_ops_per_sec_wal_off: f32,
+    onboard_ops_per_sec_wal_on: f32,
+    onboard_overhead_x: f32,
+    predict_windows_per_sec_wal_off: f32,
+    predict_windows_per_sec_wal_on: f32,
+    predict_overhead_x: f32,
+    wal_appends: u64,
+    wal_bytes: u64,
+    snapshot_ms: f32,
+    snapshot_bytes: u64,
+    recovery_ms: f32,
+    recovered_tenants: usize,
+}
+
+fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 8,
+        cache_capacity: 16,
+        max_queue_depth: 1024,
+    }
+}
+
+/// Maps `[lo, hi)` of the subject at `rank` (modulo cohort size),
+/// clamped to the subject's recording count.
+fn maps_of(data: &PreparedCohort, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect()
+}
+
+fn labeled_of(
+    data: &PreparedCohort,
+    rank: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<(FeatureMap, Emotion)> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| {
+            let (map, emotion) = data.map_and_label(i);
+            (map.clone(), emotion)
+        })
+        .collect()
+}
+
+fn counter(snapshot: &clear_obs::Snapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Onboards (and every fourth user, personalizes) the population,
+/// returning elapsed onboarding-only seconds.
+fn populate(engine: &ServeEngine, data: &PreparedCohort, config: &clear_core::ClearConfig) -> f32 {
+    let mut onboard_secs = 0f32;
+    for i in 0..USERS {
+        let user = format!("user-{i}");
+        let maps = maps_of(data, i, 0, 2);
+        let t0 = Instant::now();
+        engine.onboard(&user, &maps).expect("onboarding maps");
+        onboard_secs += t0.elapsed().as_secs_f32();
+        if i % 4 == 0 {
+            engine
+                .personalize(&user, &labeled_of(data, i, 6, 8), &config.finetune)
+                .expect("user onboarded above");
+        }
+    }
+    onboard_secs
+}
+
+/// Serves `ROUNDS` passes of the request set, returning elapsed seconds
+/// and the first pass's results.
+fn predict_pass(
+    engine: &ServeEngine,
+    requests: &[(String, Vec<FeatureMap>)],
+) -> (f32, Vec<Vec<Prediction>>) {
+    let batch: Vec<ServeRequest<'_>> = requests
+        .iter()
+        .map(|(user, maps)| ServeRequest { user, maps })
+        .collect();
+    let mut first = Vec::new();
+    let t0 = Instant::now();
+    for round in 0..ROUNDS {
+        let results = engine.predict_many(&batch);
+        if round == 0 {
+            first = results
+                .into_iter()
+                .map(|r| r.expect("benchmark users are onboarded"))
+                .collect();
+        }
+    }
+    (t0.elapsed().as_secs_f32(), first)
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    // Reduced training profile: the benchmark measures durability, not SGD.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+    let bundle = deploy(&data, initial, &config).bundle().clone();
+
+    let wal_dir = std::env::temp_dir().join(format!("clear-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let storage: Arc<dyn Storage> =
+        Arc::new(FsStorage::open(&wal_dir).expect("temp WAL directory opens"));
+
+    let plain = ServeEngine::with_policy(bundle.clone(), lenient(), engine_config());
+    // Manual snapshot cadence: the WAL grows across the whole run so its
+    // volume is measured, and the snapshot is timed explicitly below.
+    let durable = ServeEngine::recover_with(
+        Arc::clone(&storage),
+        bundle.clone(),
+        lenient(),
+        engine_config(),
+        DurableConfig {
+            snapshot_every_ops: 0,
+        },
+    )
+    .expect("fresh durable engine opens");
+
+    let plain_onboard_secs = populate(&plain, &data, &config);
+    let durable_onboard_secs = populate(&durable, &data, &config);
+    let onboard_ops_per_sec_wal_off = USERS as f32 / plain_onboard_secs.max(1e-9);
+    let onboard_ops_per_sec_wal_on = USERS as f32 / durable_onboard_secs.max(1e-9);
+    let onboard_overhead_x = onboard_ops_per_sec_wal_off / onboard_ops_per_sec_wal_on.max(1e-9);
+    eprintln!(
+        "onboarding: {onboard_ops_per_sec_wal_off:.0} ops/sec WAL-off, \
+         {onboard_ops_per_sec_wal_on:.0} ops/sec WAL-on ({onboard_overhead_x:.2}x overhead)"
+    );
+
+    let requests: Vec<(String, Vec<FeatureMap>)> = (0..USERS)
+        .map(|i| (format!("user-{i}"), maps_of(&data, i, 2, 6)))
+        .collect();
+    let windows_per_request = requests.first().map_or(0, |(_, maps)| maps.len());
+    let total_windows = requests.iter().map(|(_, maps)| maps.len()).sum::<usize>();
+
+    // Correctness gate: durability must change no served bit.
+    let (off_secs, off_results) = predict_pass(&plain, &requests);
+    let (on_secs, on_results) = predict_pass(&durable, &requests);
+    assert_eq!(
+        off_results, on_results,
+        "durable engine output diverged from the plain engine"
+    );
+    let predict_windows_per_sec_wal_off = (ROUNDS * total_windows) as f32 / off_secs.max(1e-9);
+    let predict_windows_per_sec_wal_on = (ROUNDS * total_windows) as f32 / on_secs.max(1e-9);
+    let predict_overhead_x =
+        predict_windows_per_sec_wal_off / predict_windows_per_sec_wal_on.max(1e-9);
+    eprintln!(
+        "prediction: {predict_windows_per_sec_wal_off:.0} windows/sec WAL-off, \
+         {predict_windows_per_sec_wal_on:.0} windows/sec WAL-on ({predict_overhead_x:.2}x)"
+    );
+
+    let obs = registry.snapshot();
+    let wal_appends = counter(&obs, clear_obs::counters::DURABLE_WAL_APPENDS);
+    let wal_bytes = counter(&obs, clear_obs::counters::DURABLE_WAL_BYTES);
+
+    let t0 = Instant::now();
+    durable.snapshot().expect("snapshot publishes");
+    let snapshot_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let snapshot_bytes = storage
+        .read(clear_durable::snapshot::SNAPSHOT_FILE)
+        .expect("snapshot file reads")
+        .map_or(0, |b| b.len() as u64);
+    eprintln!("snapshot: {snapshot_ms:.1} ms, {snapshot_bytes} bytes");
+
+    // Crash recovery: reopen the directory cold and verify the recovered
+    // engine serves the same bits as the engine that never went down.
+    drop(durable);
+    let t0 = Instant::now();
+    let recovered = ServeEngine::recover_with(
+        Arc::clone(&storage),
+        bundle,
+        lenient(),
+        engine_config(),
+        DurableConfig {
+            snapshot_every_ops: 0,
+        },
+    )
+    .expect("recovery succeeds");
+    let recovery_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let (_, recovered_results) = predict_pass(&recovered, &requests);
+    assert_eq!(
+        on_results, recovered_results,
+        "recovered engine output diverged from the pre-restart engine"
+    );
+    let recovered_tenants = recovered.user_ids().len();
+    eprintln!("recovery: {recovery_ms:.1} ms, {recovered_tenants} tenants");
+
+    let results = DurableBench {
+        users: USERS,
+        windows_per_request,
+        onboard_ops_per_sec_wal_off,
+        onboard_ops_per_sec_wal_on,
+        onboard_overhead_x,
+        predict_windows_per_sec_wal_off,
+        predict_windows_per_sec_wal_on,
+        predict_overhead_x,
+        wal_appends,
+        wal_bytes,
+        snapshot_ms,
+        snapshot_bytes,
+        recovery_ms,
+        recovered_tenants,
+    };
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_durable.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_durable_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    clear_obs::uninstall();
+}

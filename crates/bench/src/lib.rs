@@ -15,6 +15,7 @@
 //! | `robustness_curve` | accuracy/abstention/availability vs. artifact severity |
 //! | `bench_exec` | execution-model throughput + LOSO driver scaling (`BENCH_exec.json`) |
 //! | `bench_serve` | multi-tenant engine vs. sequential serving + cache sweep (`BENCH_serve.json`) |
+//! | `bench_durable` | WAL/snapshot overhead + crash-recovery timing (`BENCH_durable.json`) |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

@@ -48,6 +48,10 @@ pub enum DeployError {
     UnknownUser(String),
     /// Input data was unusable (empty, wrong shape).
     BadInput(&'static str),
+    /// A shipped artifact failed verification: truncated or bit-flipped
+    /// envelope, checksum mismatch, or weights that parsed but carry
+    /// non-finite values.
+    CorruptArtifact(String),
 }
 
 impl std::fmt::Display for DeployError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for DeployError {
             DeployError::Serde(e) => write!(f, "bundle serialization failed: {e}"),
             DeployError::UnknownUser(u) => write!(f, "unknown user `{u}`"),
             DeployError::BadInput(why) => write!(f, "bad input: {why}"),
+            DeployError::CorruptArtifact(why) => write!(f, "corrupt artifact: {why}"),
         }
     }
 }
@@ -168,6 +173,9 @@ pub struct PersonalizeOutcome {
     pub personalized_accuracy: f32,
 }
 
+/// Envelope kind tag of sealed bundle artifacts.
+const BUNDLE_KIND: &str = "bundle";
+
 /// The serializable cloud artifact: everything a fleet of edge devices
 /// needs to run CLEAR.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,22 +208,47 @@ impl ClearBundle {
         }
     }
 
-    /// Serializes to JSON.
+    /// Serializes to a sealed JSON artifact: the bundle JSON wrapped in
+    /// a versioned, checksummed `clear_durable` envelope, so truncation
+    /// or bit rot in transit is detected at load instead of surfacing as
+    /// silently wrong weights.
     ///
     /// # Errors
     ///
     /// Returns [`DeployError::Serde`] on serializer failure.
     pub fn to_json(&self) -> Result<String, DeployError> {
-        serde_json::to_string(self).map_err(|e| DeployError::Serde(e.to_string()))
+        let json = serde_json::to_string(self).map_err(|e| DeployError::Serde(e.to_string()))?;
+        Ok(clear_durable::envelope::seal_str(BUNDLE_KIND, &json))
     }
 
-    /// Restores a bundle from [`ClearBundle::to_json`] output.
+    /// Restores a bundle from [`ClearBundle::to_json`] output. Sealed
+    /// artifacts are checksum-verified; unsealed input is accepted as
+    /// legacy raw JSON. Either way the model weights are validated
+    /// finite before the bundle is handed back.
     ///
     /// # Errors
     ///
-    /// Returns [`DeployError::Serde`] on parse failure.
+    /// Returns [`DeployError::CorruptArtifact`] when envelope
+    /// verification fails or any model carries NaN/infinite weights, and
+    /// [`DeployError::Serde`] when the (verified) payload does not
+    /// parse.
     pub fn from_json(json: &str) -> Result<Self, DeployError> {
-        serde_json::from_str(json).map_err(|e| DeployError::Serde(e.to_string()))
+        let payload = if clear_durable::envelope::is_sealed(json.as_bytes()) {
+            clear_durable::envelope::open_str(BUNDLE_KIND, json)
+                .map_err(|e| DeployError::CorruptArtifact(e.to_string()))?
+        } else {
+            json
+        };
+        let bundle: Self =
+            serde_json::from_str(payload).map_err(|e| DeployError::Serde(e.to_string()))?;
+        for (i, model) in bundle.models.iter().enumerate() {
+            if !model.all_finite() {
+                return Err(DeployError::CorruptArtifact(format!(
+                    "cluster model {i} carries non-finite weights"
+                )));
+            }
+        }
+        Ok(bundle)
     }
 
     /// Number of clusters in the bundle.
@@ -563,6 +596,65 @@ mod tests {
         assert_eq!(restored.cluster_count(), dep.bundle().cluster_count());
         assert_eq!(restored.windows, dep.bundle().windows);
         assert!(ClearBundle::from_json("{").is_err());
+    }
+
+    #[test]
+    fn legacy_unsealed_bundle_json_still_loads() {
+        let (_, _, dep, _) = deployment();
+        let raw = serde_json::to_string(dep.bundle()).unwrap();
+        let restored = ClearBundle::from_json(&raw).unwrap();
+        assert_eq!(restored.cluster_count(), dep.bundle().cluster_count());
+    }
+
+    #[test]
+    fn truncated_and_bit_flipped_bundles_are_typed_corruption_errors() {
+        let (_, _, dep, _) = deployment();
+        let sealed = dep.bundle().to_json().unwrap();
+        match ClearBundle::from_json(&sealed[..sealed.len() - 7]) {
+            Err(DeployError::CorruptArtifact(_)) => {}
+            other => panic!("truncated bundle must be CorruptArtifact, got {other:?}"),
+        }
+        // Bundle JSON ends in '}'; flipping its low bit keeps the
+        // artifact valid UTF-8 but breaks the checksum.
+        let mut flipped = sealed.into_bytes();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let flipped = String::from_utf8(flipped).unwrap();
+        match ClearBundle::from_json(&flipped) {
+            Err(DeployError::CorruptArtifact(why)) => {
+                assert!(why.contains("checksum"), "{why}");
+            }
+            other => panic!("bit-flipped bundle must be CorruptArtifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_at_load() {
+        // `1e39` is finite as f64, so it parses, then overflows to +inf
+        // when narrowed to the f32 weight — exactly the corruption that
+        // structural parsing alone cannot catch.
+        fn poison_first_float(v: &mut serde_json::Value) -> bool {
+            match v {
+                serde_json::Value::Number(n) if n.is_f64() => {
+                    *v = serde_json::json!(1e39);
+                    true
+                }
+                serde_json::Value::Array(items) => items.iter_mut().any(|i| poison_first_float(i)),
+                serde_json::Value::Object(map) => map.values_mut().any(|i| poison_first_float(i)),
+                _ => false,
+            }
+        }
+        let (_, _, dep, _) = deployment();
+        let raw = serde_json::to_string(dep.bundle()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&raw).unwrap();
+        assert!(poison_first_float(value.get_mut("models").unwrap()));
+        let poisoned = serde_json::to_string(&value).unwrap();
+        match ClearBundle::from_json(&poisoned) {
+            Err(DeployError::CorruptArtifact(why)) => {
+                assert!(why.contains("non-finite"), "{why}");
+            }
+            other => panic!("non-finite weights must be CorruptArtifact, got {other:?}"),
+        }
     }
 
     #[test]

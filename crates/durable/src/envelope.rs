@@ -1,0 +1,189 @@
+//! Versioned, checksummed envelopes for whole-file artifacts.
+//!
+//! A sealed artifact is one header line followed by the raw payload:
+//!
+//! ```text
+//! CLEAR-ARTIFACT v1 kind=<kind> len=<bytes> crc32=<8 hex>\n<payload>
+//! ```
+//!
+//! [`open`] verifies magic, version, kind, declared length and checksum
+//! before handing back a single byte of payload, so truncation, bit rot
+//! and kind confusion (a snapshot fed where a bundle was expected) all
+//! surface as [`DurableError::CorruptArtifact`] instead of as garbage
+//! deserialized state. The payload itself stays uninterpreted — JSON in
+//! practice — so the envelope composes with any serializer and keeps
+//! sealed JSON artifacts valid UTF-8 end to end.
+
+use crate::frame::crc32;
+use crate::DurableError;
+
+const MAGIC: &str = "CLEAR-ARTIFACT";
+const VERSION: &str = "v1";
+
+/// Longest header line [`open`] will scan for; anything bigger cannot be
+/// a valid envelope and is rejected without scanning the whole payload.
+const MAX_HEADER_BYTES: usize = 128;
+
+/// Whether `bytes` starts with the envelope magic (cheap pre-check for
+/// callers that also accept legacy, unsealed artifacts).
+pub fn is_sealed(bytes: &[u8]) -> bool {
+    bytes.starts_with(MAGIC.as_bytes())
+}
+
+/// Seals `payload` as a `kind` artifact.
+pub fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        !kind.is_empty() && kind.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'),
+        "artifact kinds are short ascii tokens"
+    );
+    let header = format!(
+        "{MAGIC} {VERSION} kind={kind} len={} crc32={:08x}\n",
+        payload.len(),
+        crc32(payload)
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Seals a UTF-8 payload, keeping the artifact a valid `String`.
+pub fn seal_str(kind: &str, payload: &str) -> String {
+    String::from_utf8(seal(kind, payload.as_bytes())).expect("header and payload are UTF-8")
+}
+
+/// Opens a sealed artifact, verifying everything the header declares,
+/// and returns the payload slice.
+///
+/// # Errors
+///
+/// Returns [`DurableError::CorruptArtifact`] (tagged with the *expected*
+/// `kind`) when the magic, version, kind, length or checksum do not
+/// match.
+pub fn open<'a>(kind: &'static str, bytes: &'a [u8]) -> Result<&'a [u8], DurableError> {
+    let scan = &bytes[..bytes.len().min(MAX_HEADER_BYTES)];
+    let newline = scan
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| DurableError::corrupt(kind, "missing envelope header"))?;
+    let header = std::str::from_utf8(&bytes[..newline])
+        .map_err(|_| DurableError::corrupt(kind, "envelope header is not UTF-8"))?;
+    let mut words = header.split(' ');
+    if words.next() != Some(MAGIC) {
+        return Err(DurableError::corrupt(kind, "bad envelope magic"));
+    }
+    match words.next() {
+        Some(VERSION) => {}
+        Some(v) => {
+            return Err(DurableError::corrupt(
+                kind,
+                format!("unsupported envelope version `{v}`"),
+            ))
+        }
+        None => return Err(DurableError::corrupt(kind, "missing envelope version")),
+    }
+    let mut declared_kind = None;
+    let mut declared_len = None;
+    let mut declared_crc = None;
+    for word in words {
+        if let Some(v) = word.strip_prefix("kind=") {
+            declared_kind = Some(v.to_string());
+        } else if let Some(v) = word.strip_prefix("len=") {
+            declared_len = v.parse::<usize>().ok();
+        } else if let Some(v) = word.strip_prefix("crc32=") {
+            declared_crc = u32::from_str_radix(v, 16).ok();
+        }
+    }
+    match declared_kind {
+        Some(k) if k == kind => {}
+        Some(k) => {
+            return Err(DurableError::corrupt(
+                kind,
+                format!("artifact is a `{k}`, expected a `{kind}`"),
+            ))
+        }
+        None => return Err(DurableError::corrupt(kind, "missing artifact kind")),
+    }
+    let len = declared_len.ok_or_else(|| DurableError::corrupt(kind, "missing payload length"))?;
+    let crc = declared_crc.ok_or_else(|| DurableError::corrupt(kind, "missing checksum"))?;
+    let payload = &bytes[newline + 1..];
+    if payload.len() != len {
+        return Err(DurableError::corrupt(
+            kind,
+            format!("payload is {} bytes, header declares {len}", payload.len()),
+        ));
+    }
+    if crc32(payload) != crc {
+        return Err(DurableError::corrupt(kind, "payload fails its checksum"));
+    }
+    Ok(payload)
+}
+
+/// Opens a sealed UTF-8 artifact (see [`open`]).
+///
+/// # Errors
+///
+/// As [`open`], plus a corruption error when the payload is not UTF-8.
+pub fn open_str<'a>(kind: &'static str, artifact: &'a str) -> Result<&'a str, DurableError> {
+    let payload = open(kind, artifact.as_bytes())?;
+    std::str::from_utf8(payload).map_err(|_| DurableError::corrupt(kind, "payload is not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trip() {
+        let sealed = seal("snapshot", b"{\"users\":[]}");
+        assert!(is_sealed(&sealed));
+        assert_eq!(open("snapshot", &sealed).unwrap(), b"{\"users\":[]}");
+        let s = seal_str("bundle", "{\"models\":[]}");
+        assert_eq!(open_str("bundle", &s).unwrap(), "{\"models\":[]}");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let sealed = seal("wal", b"");
+        assert_eq!(open("wal", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let sealed = seal("snapshot", b"payload");
+        let err = open("bundle", &sealed).unwrap_err();
+        assert!(err.to_string().contains("expected a `bundle`"));
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_its_name() {
+        let sealed = String::from_utf8(seal("bundle", b"x"))
+            .unwrap()
+            .replace("v1", "v9");
+        let err = open("bundle", sealed.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("v9"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let sealed = seal("bundle", b"0123456789");
+        let err = open("bundle", &sealed[..sealed.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("bytes"), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_corrupt() {
+        let mut sealed = seal("bundle", b"0123456789");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x04;
+        let err = open("bundle", &sealed).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn unsealed_bytes_are_rejected_and_detected() {
+        assert!(!is_sealed(b"{\"plain\":\"json\"}"));
+        assert!(open("bundle", b"{\"plain\":\"json\"}").is_err());
+        assert!(open("bundle", b"").is_err());
+    }
+}

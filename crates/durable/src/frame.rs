@@ -1,0 +1,235 @@
+//! Checksummed, length-prefixed record frames — the WAL's byte format.
+//!
+//! Each frame is `[len: u32 LE][crc32(payload): u32 LE][payload]`. The
+//! decoder distinguishes the two ways a log can be damaged:
+//!
+//! * **Torn tail** — the file ends before a complete frame (a crash
+//!   mid-append). Everything before the tear decodes normally; the tear
+//!   itself is reported as [`WalTail::Torn`] so the caller can truncate
+//!   it. A torn write only ever *shortens* the file, so an incomplete
+//!   frame at the end is expected damage, not corruption.
+//! * **Corruption** — a *complete* frame whose checksum does not match
+//!   (bit rot, overwritten sectors, editor accidents). No torn write can
+//!   produce this shape, so it is surfaced as a typed
+//!   [`DurableError::CorruptArtifact`] instead of being truncated away.
+//!
+//! Decoding never panics and never allocates proportional to a corrupt
+//! length field: a length that runs past the end of the buffer is, by the
+//! argument above, a torn tail.
+
+use crate::DurableError;
+
+/// Bytes of the `len` + `crc` prefix before each payload.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// How a decoded log ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The buffer ended exactly on a frame boundary.
+    Clean,
+    /// The buffer ended inside a frame; `valid_len` is the byte length
+    /// of the longest decodable prefix (the truncation point).
+    Torn {
+        /// Byte offset of the last complete frame's end.
+        valid_len: usize,
+    },
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (the checksum used by frames and envelopes).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// Encodes one payload as a frame, appending it to `out`.
+pub fn encode_frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one payload as a standalone frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    encode_frame_into(&mut out, payload);
+    out
+}
+
+/// Decodes a sequence of frames, returning the payload slices in order
+/// and how the buffer ended.
+///
+/// # Errors
+///
+/// Returns [`DurableError::CorruptArtifact`] when a *complete* frame
+/// fails its checksum; incomplete trailing bytes are reported as
+/// [`WalTail::Torn`], not as an error.
+pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<&[u8]>, WalTail), DurableError> {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER_BYTES {
+            return Ok((payloads, WalTail::Torn { valid_len: offset }));
+        }
+        let len = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]) as usize;
+        let stored_crc = u32::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+        ]);
+        let body_start = offset + FRAME_HEADER_BYTES;
+        if len > bytes.len() - body_start {
+            // The length runs past the buffer: a torn append (or a
+            // corrupt length field, which truncation also handles
+            // safely — the prefix property holds either way).
+            return Ok((payloads, WalTail::Torn { valid_len: offset }));
+        }
+        let payload = &bytes[body_start..body_start + len];
+        if crc32(payload) != stored_crc {
+            return Err(DurableError::corrupt(
+                "wal",
+                format!("frame at byte {offset} fails its checksum"),
+            ));
+        }
+        payloads.push(payload);
+        offset = body_start + len;
+    }
+    Ok((payloads, WalTail::Clean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 reference values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_payloads_in_order() {
+        let records: [&[u8]; 4] = [b"", b"a", b"hello world", &[0u8, 255, 7, 7]];
+        let mut buf = Vec::new();
+        for r in records {
+            encode_frame_into(&mut buf, r);
+        }
+        let (decoded, tail) = decode_frames(&buf).unwrap();
+        assert_eq!(decoded, records.to_vec());
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        let (decoded, tail) = decode_frames(&[]).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_committed_prefix() {
+        let records: [&[u8]; 3] = [b"first", b"second record", b"third"];
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in records {
+            encode_frame_into(&mut buf, r);
+            boundaries.push(buf.len());
+        }
+        for cut in 0..buf.len() {
+            let (decoded, tail) = decode_frames(&buf[..cut]).unwrap();
+            // The decoded records are exactly the frames wholly before
+            // the cut.
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(decoded.len(), complete, "cut at {cut}");
+            for (d, r) in decoded.iter().zip(records.iter()) {
+                assert_eq!(d, r);
+            }
+            if boundaries.contains(&cut) {
+                assert_eq!(tail, WalTail::Clean, "cut at {cut}");
+            } else {
+                assert_eq!(
+                    tail,
+                    WalTail::Torn {
+                        valid_len: boundaries[complete]
+                    },
+                    "cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_a_typed_corruption_error() {
+        let mut buf = encode_frame(b"important bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        match decode_frames(&buf) {
+            Err(DurableError::CorruptArtifact { artifact, .. }) => assert_eq!(artifact, "wal"),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_a_torn_tail_not_an_allocation() {
+        let mut buf = encode_frame(b"ok");
+        // Append a frame header claiming 4 GiB - 1 of payload.
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        let (decoded, tail) = decode_frames(&buf).unwrap();
+        assert_eq!(decoded, vec![b"ok".as_slice()]);
+        assert_eq!(
+            tail,
+            WalTail::Torn {
+                valid_len: FRAME_HEADER_BYTES + 2
+            }
+        );
+    }
+
+    #[test]
+    fn corruption_in_an_interior_frame_fails_even_with_a_valid_tail() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, b"aaaa");
+        let flip_at = FRAME_HEADER_BYTES; // first payload byte
+        encode_frame_into(&mut buf, b"bbbb");
+        buf[flip_at] ^= 0x01;
+        assert!(decode_frames(&buf).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! # clear-durable — crash-consistent persistence for CLEAR serving
+//!
+//! Everything the serving engine knows about a user — cluster assignment,
+//! physiological baseline, quarantine counts, deferred onboarding
+//! buffers, personalized weight deltas — is state that took real user
+//! interaction (and real fine-tuning compute) to build. This crate makes
+//! that state survive the process that built it:
+//!
+//! * [`frame`] — a checksummed, length-prefixed record codec. A torn
+//!   append (process killed mid-write) is detected as an incomplete tail
+//!   and truncated; a complete frame whose checksum fails is a typed
+//!   corruption error, never garbage records.
+//! * [`envelope`] — a versioned, checksummed wrapper for whole-file
+//!   artifacts (snapshots, shipped bundles). Opening a corrupted or
+//!   truncated artifact yields [`DurableError::CorruptArtifact`], never
+//!   silently wrong bytes.
+//! * [`storage`] — the injectable byte-level backend: a real filesystem
+//!   implementation with atomic tmp-file + rename publication, an
+//!   in-memory store for tests, and a fault-injecting wrapper that
+//!   simulates a crash at any chosen write boundary (optionally tearing
+//!   the final write), so crash-consistency is proven deterministically
+//!   instead of by killing processes.
+//! * [`wal`] — the write-ahead log of serving operations. Every record
+//!   carries a log sequence number; appends are framed, batched and
+//!   synced before the in-memory mutation they describe commits.
+//! * [`snapshot`] — the periodic full-state checkpoint. A snapshot is
+//!   published atomically and records the LSN it covers, after which the
+//!   WAL is truncated; recovery seeds state from the snapshot and replays
+//!   only records with a later LSN, so replay is exact, not idempotent by
+//!   luck.
+//!
+//! The recovery invariant, enforced by `clear-serve`'s crash-injection
+//! suite: a recovered engine is bit-identical — same predictions, same
+//! user registry, same personalized weights — to a never-crashed engine
+//! that processed the same committed operation prefix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod frame;
+pub mod snapshot;
+pub mod storage;
+pub mod wal;
+
+pub use snapshot::{EngineSnapshot, TenantRecord};
+pub use storage::{FaultPlan, FaultStorage, FsStorage, MemStorage, Storage};
+pub use wal::{Wal, WalOp, WalRecord};
+
+/// Errors of the durability layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// A storage operation failed (I/O error or injected fault).
+    Io(String),
+    /// An artifact (WAL frame, snapshot, bundle) failed verification:
+    /// bad magic, unsupported version, checksum mismatch, or a payload
+    /// that does not parse. The first field names the artifact kind.
+    CorruptArtifact {
+        /// Which artifact failed (`"wal"`, `"snapshot"`, `"bundle"`, …).
+        artifact: &'static str,
+        /// What exactly failed verification.
+        detail: String,
+    },
+    /// A previous append failed, so the log's on-disk tail is unknown;
+    /// further durable mutations are refused until a snapshot rebuilds a
+    /// clean log.
+    WalPoisoned,
+}
+
+impl DurableError {
+    /// Convenience constructor for corruption errors.
+    pub fn corrupt(artifact: &'static str, detail: impl Into<String>) -> Self {
+        clear_obs::counter_add(clear_obs::counters::DURABLE_CORRUPTION_EVENTS, 1);
+        DurableError::CorruptArtifact {
+            artifact,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "storage failure: {e}"),
+            DurableError::CorruptArtifact { artifact, detail } => {
+                write!(f, "corrupt {artifact} artifact: {detail}")
+            }
+            DurableError::WalPoisoned => {
+                write!(f, "write-ahead log poisoned by an earlier append failure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// Sizing and cadence knobs of the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Logged operations between automatic snapshots (0 disables
+    /// automatic snapshots; explicit `snapshot()` calls still work).
+    pub snapshot_every_ops: usize,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self {
+            snapshot_every_ops: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync_and_display() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DurableError>();
+        let e = DurableError::corrupt("wal", "checksum mismatch");
+        assert!(e.to_string().contains("wal"));
+        assert!(e.to_string().contains("checksum mismatch"));
+        assert!(DurableError::WalPoisoned.to_string().contains("poisoned"));
+        assert!(DurableError::Io("disk gone".into())
+            .to_string()
+            .contains("disk gone"));
+    }
+
+    #[test]
+    fn default_config_snapshots_periodically() {
+        assert!(DurableConfig::default().snapshot_every_ops > 0);
+    }
+}

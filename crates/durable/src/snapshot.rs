@@ -1,0 +1,199 @@
+//! Periodic full-state checkpoints of the serving engine.
+//!
+//! A snapshot captures everything replay would otherwise reconstruct —
+//! the tenant registry (cluster assignment, baseline, quarantine count,
+//! fork generation, personalized [`WeightDelta`]) and the deferred
+//! onboarding buffers — together with the LSN of the last WAL record it
+//! covers. Publication is atomic (tmp file + rename via
+//! [`Storage::write_atomic`]) and the artifact is sealed in a
+//! checksummed [`crate::envelope`], so a reader sees either the previous
+//! complete snapshot or the new complete snapshot; a half-written or
+//! bit-rotted file is a typed [`DurableError::CorruptArtifact`]. Only
+//! after the snapshot is durable does the caller truncate the WAL.
+//!
+//! Tenants and pending buffers are stored sorted by user id, so the same
+//! engine state always serializes to the same bytes regardless of hash
+//! map iteration order — snapshots are diffable and content-addressable.
+
+use crate::envelope;
+use crate::storage::Storage;
+use crate::DurableError;
+use clear_features::FeatureMap;
+use clear_nn::delta::WeightDelta;
+use serde::{Deserialize, Serialize};
+
+/// Blob name of the snapshot within a [`Storage`] root.
+pub const SNAPSHOT_FILE: &str = "snapshot.clear";
+
+/// Envelope kind tag of sealed snapshots.
+const KIND: &str = "snapshot";
+
+/// Durable state of one onboarded user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantRecord {
+    /// User identifier.
+    pub user: String,
+    /// Assigned cluster index.
+    pub cluster: usize,
+    /// Per-user physiological baseline vector.
+    pub baseline: Vec<f32>,
+    /// Windows quarantined for this user so far.
+    pub quarantined: u64,
+    /// Fork-generation stamp (cache-coherence token for personalized
+    /// weights).
+    pub generation: u64,
+    /// Personalized weights as a delta from the cluster model, if the
+    /// user has adopted a personalization round.
+    pub delta: Option<WeightDelta>,
+}
+
+/// Full engine state at a WAL horizon: recovery seeds from this and
+/// replays only WAL records with `lsn > last_lsn`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// LSN of the last WAL record this snapshot covers (0 = none).
+    pub last_lsn: u64,
+    /// Every onboarded user, sorted by user id.
+    pub tenants: Vec<TenantRecord>,
+    /// Deferred-onboarding window buffers, sorted by user id.
+    pub pending: Vec<(String, Vec<FeatureMap>)>,
+}
+
+impl EngineSnapshot {
+    /// Sorts tenants and pending buffers by user id so identical state
+    /// serializes to identical bytes.
+    pub fn normalize(&mut self) {
+        self.tenants.sort_by(|a, b| a.user.cmp(&b.user));
+        self.pending.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Seals and atomically publishes this snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on storage failure (the previous
+    /// snapshot, if any, survives intact).
+    pub fn save(&self, storage: &dyn Storage) -> Result<(), DurableError> {
+        let _span = clear_obs::span(clear_obs::Stage::SnapshotWrite);
+        let json = serde_json::to_string(self).map_err(|e| DurableError::Io(e.to_string()))?;
+        let sealed = envelope::seal_str(KIND, &json);
+        storage.write_atomic(SNAPSHOT_FILE, sealed.as_bytes())?;
+        clear_obs::counter_add(clear_obs::counters::DURABLE_SNAPSHOTS, 1);
+        clear_obs::size_record(clear_obs::SNAPSHOT_BYTES_HISTOGRAM, sealed.len() as u64);
+        Ok(())
+    }
+
+    /// Loads the published snapshot, `None` when none exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::CorruptArtifact`] when the file exists but
+    /// fails envelope verification or does not parse, and
+    /// [`DurableError::Io`] on storage failure.
+    pub fn load(storage: &dyn Storage) -> Result<Option<Self>, DurableError> {
+        let Some(bytes) = storage.read(SNAPSHOT_FILE)? else {
+            return Ok(None);
+        };
+        let payload = envelope::open(KIND, &bytes)?;
+        let snapshot: EngineSnapshot = serde_json::from_slice(payload)
+            .map_err(|e| DurableError::corrupt(KIND, format!("snapshot does not parse: {e}")))?;
+        Ok(Some(snapshot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn sample() -> EngineSnapshot {
+        let mut snapshot = EngineSnapshot {
+            last_lsn: 42,
+            tenants: vec![
+                TenantRecord {
+                    user: "zoe".to_string(),
+                    cluster: 1,
+                    baseline: vec![0.25, -0.5],
+                    quarantined: 3,
+                    generation: 9,
+                    delta: None,
+                },
+                TenantRecord {
+                    user: "amy".to_string(),
+                    cluster: 0,
+                    baseline: vec![1.0],
+                    quarantined: 0,
+                    generation: 2,
+                    delta: None,
+                },
+            ],
+            pending: Vec::new(),
+        };
+        snapshot.normalize();
+        snapshot
+    }
+
+    #[test]
+    fn normalize_sorts_by_user() {
+        let snapshot = sample();
+        assert_eq!(snapshot.tenants[0].user, "amy");
+        assert_eq!(snapshot.tenants[1].user, "zoe");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let storage = MemStorage::new();
+        assert_eq!(EngineSnapshot::load(&storage).unwrap(), None);
+        let snapshot = sample();
+        snapshot.save(&storage).unwrap();
+        let loaded = EngineSnapshot::load(&storage).unwrap().unwrap();
+        assert_eq!(loaded, snapshot);
+    }
+
+    #[test]
+    fn identical_state_serializes_to_identical_bytes() {
+        let storage_a = MemStorage::new();
+        let storage_b = MemStorage::new();
+        sample().save(&storage_a).unwrap();
+        sample().save(&storage_b).unwrap();
+        assert_eq!(
+            storage_a.read(SNAPSHOT_FILE).unwrap(),
+            storage_b.read(SNAPSHOT_FILE).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_typed_error() {
+        let storage = MemStorage::new();
+        sample().save(&storage).unwrap();
+        let bytes = storage.read(SNAPSHOT_FILE).unwrap().unwrap();
+        storage
+            .write_atomic(SNAPSHOT_FILE, &bytes[..bytes.len() - 5])
+            .unwrap();
+        match EngineSnapshot::load(&storage) {
+            Err(DurableError::CorruptArtifact { artifact, .. }) => {
+                assert_eq!(artifact, "snapshot");
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_kind_artifact_is_rejected() {
+        let storage = MemStorage::new();
+        let sealed = crate::envelope::seal("bundle", b"{}");
+        storage.write_atomic(SNAPSHOT_FILE, &sealed).unwrap();
+        assert!(EngineSnapshot::load(&storage).is_err());
+    }
+
+    #[test]
+    fn unparseable_payload_is_a_typed_error() {
+        let storage = MemStorage::new();
+        let sealed = crate::envelope::seal(KIND, b"{\"last_lsn\":\"not a number\"}");
+        storage.write_atomic(SNAPSHOT_FILE, &sealed).unwrap();
+        match EngineSnapshot::load(&storage) {
+            Err(DurableError::CorruptArtifact { .. }) => {}
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+}

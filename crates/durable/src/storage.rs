@@ -1,0 +1,356 @@
+//! The injectable byte-level backend beneath the WAL and snapshots.
+//!
+//! Durability code never opens files directly; it goes through
+//! [`Storage`], so the same WAL/snapshot/recovery logic runs against a
+//! real filesystem ([`FsStorage`]), an in-memory store for fast tests
+//! ([`MemStorage`]), and a deterministic crash simulator
+//! ([`FaultStorage`]) that fails — optionally mid-write, leaving a torn
+//! prefix — at any chosen write boundary. The crash-injection suite in
+//! `clear-serve` sweeps that boundary across a whole operation script,
+//! which is how the recovery invariant is proven without killing real
+//! processes.
+
+use crate::DurableError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A minimal durable byte store: named blobs with appends, atomic
+/// replacement and removal. Every write method is expected to be durable
+/// (synced) when it returns `Ok`.
+pub trait Storage: Send + Sync {
+    /// Reads a blob, `None` when it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on read failure.
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DurableError>;
+
+    /// Appends `bytes` to a blob (creating it if missing) and syncs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on write/sync failure; a failed
+    /// append may leave a *prefix* of `bytes` behind (a torn write),
+    /// never interleaved or reordered bytes.
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError>;
+
+    /// Atomically replaces a blob's contents and syncs: after a crash
+    /// the blob holds either the old bytes or the new bytes, never a
+    /// mixture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on write/sync failure (the old
+    /// contents survive).
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError>;
+
+    /// Removes a blob; succeeds if it was already absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on removal failure.
+    fn remove(&self, name: &str) -> Result<(), DurableError>;
+}
+
+fn io_err(context: &str, e: std::io::Error) -> DurableError {
+    DurableError::Io(format!("{context}: {e}"))
+}
+
+/// Real-filesystem storage rooted at one directory. Appends open the
+/// file in append mode and `sync_all` before returning; atomic writes
+/// go through a temporary file, `sync_all`, rename, and a best-effort
+/// directory sync so the rename itself is durable.
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) a storage directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] when the directory cannot be
+    /// created.
+    pub fn open(root: &Path) -> Result<Self, DurableError> {
+        std::fs::create_dir_all(root).map_err(|e| io_err("create storage dir", e))?;
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn sync_dir(&self) {
+        // Directory fsync makes renames durable on Linux; on platforms
+        // where directories cannot be synced this is best-effort.
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Storage for FsStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DurableError> {
+        match std::fs::read(self.path_of(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", e)),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path_of(name))
+            .map_err(|e| io_err("open for append", e))?;
+        file.write_all(bytes).map_err(|e| io_err("append", e))?;
+        file.sync_all().map_err(|e| io_err("sync", e))
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        let tmp = self.path_of(&format!("{name}.tmp"));
+        let target = self.path_of(name);
+        {
+            let mut file =
+                std::fs::File::create(&tmp).map_err(|e| io_err("create temp file", e))?;
+            file.write_all(bytes).map_err(|e| io_err("write temp", e))?;
+            file.sync_all().map_err(|e| io_err("sync temp", e))?;
+        }
+        std::fs::rename(&tmp, &target).map_err(|e| io_err("publish rename", e))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), DurableError> {
+        match std::fs::remove_file(self.path_of(name)) {
+            Ok(()) => {
+                self.sync_dir();
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", e)),
+        }
+    }
+}
+
+/// In-memory storage: a thread-safe blob map with filesystem-append
+/// semantics. The reference backend for tests and the substrate behind
+/// [`FaultStorage`].
+#[derive(Default)]
+pub struct MemStorage {
+    blobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store seeded with `blobs` — e.g. the surviving bytes captured
+    /// from a [`FaultStorage`] crash, handed to recovery.
+    pub fn from_blobs(blobs: HashMap<String, Vec<u8>>) -> Self {
+        Self {
+            blobs: Mutex::new(blobs),
+        }
+    }
+
+    /// A copy of every blob — "what the disk holds right now".
+    pub fn dump(&self) -> HashMap<String, Vec<u8>> {
+        self.blobs.lock().clone()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DurableError> {
+        Ok(self.blobs.lock().get(name).cloned())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        self.blobs
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        self.blobs.lock().insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), DurableError> {
+        self.blobs.lock().remove(name);
+        Ok(())
+    }
+}
+
+/// Where a [`FaultStorage`] crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Zero-based index of the write boundary (append or atomic write)
+    /// at which the simulated crash happens. Boundaries are counted
+    /// across the store's lifetime; reads never count.
+    pub kill_at: usize,
+    /// For a killed *append*: how many bytes of the attempted write land
+    /// before the crash (clamped to the write's length). Atomic writes
+    /// ignore this — they leave the old contents, by contract.
+    pub torn_bytes: usize,
+}
+
+/// A crash-simulating wrapper over [`MemStorage`]: write boundary
+/// `kill_at` fails (tearing appends at `torn_bytes`), and every write
+/// after it fails too — the process is "dead". Reads keep working so the
+/// test can capture the surviving bytes via [`FaultStorage::surviving`].
+pub struct FaultStorage {
+    inner: MemStorage,
+    plan: FaultPlan,
+    writes: AtomicUsize,
+}
+
+impl FaultStorage {
+    /// A store that crashes according to `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            inner: MemStorage::new(),
+            plan,
+            writes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Write boundaries attempted so far (including failed ones).
+    pub fn write_boundaries(&self) -> usize {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.writes.load(Ordering::SeqCst) > self.plan.kill_at
+    }
+
+    /// The surviving bytes, as a fresh [`MemStorage`] for recovery.
+    pub fn surviving(&self) -> Arc<MemStorage> {
+        Arc::new(MemStorage::from_blobs(self.inner.dump()))
+    }
+
+    /// Claims the next write boundary; `true` means this write crashes.
+    fn next_write_fails(&self) -> bool {
+        self.writes.fetch_add(1, Ordering::SeqCst) >= self.plan.kill_at
+    }
+
+    fn dead() -> DurableError {
+        DurableError::Io("simulated crash".to_string())
+    }
+}
+
+impl Storage for FaultStorage {
+    fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DurableError> {
+        self.inner.read(name)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        if self.next_write_fails() {
+            // Exactly the kill boundary tears; later writes are from a
+            // process that no longer exists and land nothing.
+            if self.writes.load(Ordering::SeqCst) == self.plan.kill_at + 1 {
+                let torn = self.plan.torn_bytes.min(bytes.len());
+                self.inner.append(name, &bytes[..torn])?;
+            }
+            return Err(Self::dead());
+        }
+        self.inner.append(name, bytes)
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
+        if self.next_write_fails() {
+            return Err(Self::dead());
+        }
+        self.inner.write_atomic(name, bytes)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), DurableError> {
+        if self.next_write_fails() {
+            return Err(Self::dead());
+        }
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("clear-durable-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fs_storage_round_trips_appends_and_atomic_writes() {
+        let root = temp_root("fs");
+        let storage = FsStorage::open(&root).unwrap();
+        assert_eq!(storage.read("wal").unwrap(), None);
+        storage.append("wal", b"one").unwrap();
+        storage.append("wal", b"two").unwrap();
+        assert_eq!(storage.read("wal").unwrap().unwrap(), b"onetwo");
+        storage.write_atomic("wal", b"fresh").unwrap();
+        assert_eq!(storage.read("wal").unwrap().unwrap(), b"fresh");
+        storage.write_atomic("snap", b"state").unwrap();
+        assert_eq!(storage.read("snap").unwrap().unwrap(), b"state");
+        storage.remove("wal").unwrap();
+        storage.remove("wal").unwrap(); // idempotent
+        assert_eq!(storage.read("wal").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mem_storage_matches_fs_semantics() {
+        let storage = MemStorage::new();
+        assert_eq!(storage.read("x").unwrap(), None);
+        storage.append("x", b"ab").unwrap();
+        storage.append("x", b"cd").unwrap();
+        assert_eq!(storage.read("x").unwrap().unwrap(), b"abcd");
+        storage.write_atomic("x", b"z").unwrap();
+        assert_eq!(storage.read("x").unwrap().unwrap(), b"z");
+        storage.remove("x").unwrap();
+        assert_eq!(storage.read("x").unwrap(), None);
+    }
+
+    #[test]
+    fn fault_storage_kills_at_the_chosen_boundary_with_a_torn_prefix() {
+        let storage = FaultStorage::new(FaultPlan {
+            kill_at: 2,
+            torn_bytes: 2,
+        });
+        storage.append("wal", b"aaaa").unwrap(); // boundary 0
+        storage.append("wal", b"bbbb").unwrap(); // boundary 1
+        assert!(!storage.crashed());
+        let err = storage.append("wal", b"cccc").unwrap_err(); // boundary 2: crash
+        assert!(matches!(err, DurableError::Io(_)));
+        assert!(storage.crashed());
+        // Later writes land nothing at all.
+        assert!(storage.append("wal", b"dddd").is_err());
+        assert!(storage.write_atomic("snap", b"s").is_err());
+        let survivor = storage.surviving();
+        assert_eq!(survivor.read("wal").unwrap().unwrap(), b"aaaabbbbcc");
+        assert_eq!(survivor.read("snap").unwrap(), None);
+    }
+
+    #[test]
+    fn fault_storage_atomic_write_failure_keeps_old_contents() {
+        let storage = FaultStorage::new(FaultPlan {
+            kill_at: 1,
+            torn_bytes: 0,
+        });
+        storage.write_atomic("snap", b"old").unwrap();
+        assert!(storage.write_atomic("snap", b"new").is_err());
+        assert_eq!(storage.surviving().read("snap").unwrap().unwrap(), b"old");
+    }
+}

@@ -1,0 +1,368 @@
+//! The write-ahead log of serving operations.
+//!
+//! Every state mutation the serving engine commits — onboarding a user,
+//! buffering deferred-onboarding windows, adopting or rolling back a
+//! personalized model, counting a quarantined window, offboarding — is
+//! first described as a [`WalOp`], stamped with a monotone log sequence
+//! number, framed (see [`crate::frame`]) and synced to storage. Only
+//! after the append returns does the in-memory mutation commit, so a
+//! crash at any instant leaves the log describing a *superset prefix* of
+//! committed state: every acknowledged operation is on disk, and the only
+//! possible extra is a trailing operation that was logged but not yet
+//! applied (which replay then applies — the same outcome the caller was
+//! about to observe).
+//!
+//! All records of one engine operation are framed into a single buffer
+//! and appended with one storage call, so one logical operation costs one
+//! fsync and is either wholly logged or torn off the tail as a unit
+//! prefix. If an append fails, the on-disk tail is unknown; the log
+//! *poisons* itself and refuses further appends ([`DurableError::WalPoisoned`])
+//! until a successful snapshot rebuilds a clean, empty log.
+
+use crate::frame::{self, WalTail};
+use crate::storage::Storage;
+use crate::DurableError;
+use clear_features::FeatureMap;
+use clear_nn::delta::WeightDelta;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Blob name of the write-ahead log within a [`Storage`] root.
+pub const WAL_FILE: &str = "wal.log";
+
+/// One durable serving operation. Ops record *results*, not inputs:
+/// `Onboard` carries the assigned cluster and computed baseline rather
+/// than the raw windows, so replay is exact arithmetic-free state
+/// reconstruction and never re-runs clustering or fine-tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalOp {
+    /// A user was assigned to a cluster (fresh or after deferral).
+    Onboard {
+        /// User identifier.
+        user: String,
+        /// Assigned cluster index.
+        cluster: usize,
+        /// Per-user physiological baseline vector.
+        baseline: Vec<f32>,
+        /// Fork-generation stamp issued at onboarding.
+        generation: u64,
+    },
+    /// Good-quality windows buffered for a deferred onboarding.
+    BufferMaps {
+        /// User identifier.
+        user: String,
+        /// The windows that passed quality gating.
+        maps: Vec<FeatureMap>,
+    },
+    /// A personalization round validated and was adopted.
+    PersonalizeAdopt {
+        /// User identifier.
+        user: String,
+        /// New fork-generation stamp.
+        generation: u64,
+        /// Personalized weights, as a delta from the cluster model.
+        delta: Box<WeightDelta>,
+    },
+    /// A personalization round failed validation and was rolled back.
+    /// Replay is a no-op; the record exists so the audit trail is
+    /// complete.
+    PersonalizeRollback {
+        /// User identifier.
+        user: String,
+    },
+    /// Windows were quarantined during prediction.
+    Quarantine {
+        /// User identifier.
+        user: String,
+        /// How many windows this operation quarantined.
+        count: u64,
+    },
+    /// A user and all their state were removed.
+    Offboard {
+        /// User identifier.
+        user: String,
+    },
+}
+
+impl WalOp {
+    /// The user this operation belongs to.
+    pub fn user(&self) -> &str {
+        match self {
+            WalOp::Onboard { user, .. }
+            | WalOp::BufferMaps { user, .. }
+            | WalOp::PersonalizeAdopt { user, .. }
+            | WalOp::PersonalizeRollback { user }
+            | WalOp::Quarantine { user, .. }
+            | WalOp::Offboard { user } => user,
+        }
+    }
+}
+
+/// A [`WalOp`] stamped with its log sequence number. LSNs start at 1 and
+/// increase by exactly 1 per record for the lifetime of a log directory
+/// (they are *not* reset by truncation), which is what lets a snapshot
+/// name the exact record set it covers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Monotone log sequence number.
+    pub lsn: u64,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// The write-ahead log: an append-only sequence of [`WalRecord`]s over an
+/// injectable [`Storage`].
+pub struct Wal {
+    storage: Arc<dyn Storage>,
+    next_lsn: u64,
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens the log, recovering its committed records.
+    ///
+    /// A torn tail (crash mid-append) is truncated in place — the valid
+    /// prefix is rewritten atomically — and counted via
+    /// `durable.wal_truncations`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::CorruptArtifact`] when a complete frame
+    /// fails its checksum or a record does not parse, and
+    /// [`DurableError::Io`] on storage failure.
+    pub fn open(storage: Arc<dyn Storage>) -> Result<(Self, Vec<WalRecord>), DurableError> {
+        let bytes = storage.read(WAL_FILE)?.unwrap_or_default();
+        let (payloads, tail) = frame::decode_frames(&bytes)?;
+        let mut records = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let record: WalRecord = serde_json::from_slice(payload)
+                .map_err(|e| DurableError::corrupt("wal", format!("record does not parse: {e}")))?;
+            records.push(record);
+        }
+        for pair in records.windows(2) {
+            if pair[1].lsn != pair[0].lsn + 1 {
+                return Err(DurableError::corrupt(
+                    "wal",
+                    format!("lsn gap: {} then {}", pair[0].lsn, pair[1].lsn),
+                ));
+            }
+        }
+        if let WalTail::Torn { valid_len } = tail {
+            storage.write_atomic(WAL_FILE, &bytes[..valid_len])?;
+            clear_obs::counter_add(clear_obs::counters::DURABLE_WAL_TRUNCATIONS, 1);
+        }
+        let next_lsn = records.last().map_or(1, |r| r.lsn + 1);
+        Ok((
+            Self {
+                storage,
+                next_lsn,
+                poisoned: false,
+            },
+            records,
+        ))
+    }
+
+    /// Opens the log continuing after `last_lsn` (used when a snapshot
+    /// supplies the LSN horizon and the log file itself is empty or
+    /// absent).
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::open`].
+    pub fn open_after(
+        storage: Arc<dyn Storage>,
+        last_lsn: u64,
+    ) -> Result<(Self, Vec<WalRecord>), DurableError> {
+        let (mut wal, records) = Self::open(storage)?;
+        if wal.next_lsn <= last_lsn {
+            wal.next_lsn = last_lsn + 1;
+        }
+        Ok((wal, records))
+    }
+
+    /// Appends `ops` as one atomic batch (one frame per record, one
+    /// storage append, one fsync) and returns the LSN of the last record
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::WalPoisoned`] if an earlier append failed,
+    /// or [`DurableError::Io`] on storage failure — after which the log
+    /// is poisoned and the caller must *not* commit the mutation the ops
+    /// describe.
+    pub fn append(&mut self, ops: Vec<WalOp>) -> Result<u64, DurableError> {
+        let _span = clear_obs::span(clear_obs::Stage::WalAppend);
+        if self.poisoned {
+            return Err(DurableError::WalPoisoned);
+        }
+        debug_assert!(!ops.is_empty(), "an append must carry at least one op");
+        let mut buf = Vec::new();
+        let mut last_lsn = self.next_lsn;
+        for op in ops {
+            let record = WalRecord {
+                lsn: self.next_lsn,
+                op,
+            };
+            last_lsn = record.lsn;
+            let payload =
+                serde_json::to_vec(&record).map_err(|e| DurableError::Io(e.to_string()))?;
+            frame::encode_frame_into(&mut buf, &payload);
+            self.next_lsn += 1;
+        }
+        match self.storage.append(WAL_FILE, &buf) {
+            Ok(()) => {
+                clear_obs::counter_add(clear_obs::counters::DURABLE_WAL_APPENDS, 1);
+                clear_obs::counter_add(clear_obs::counters::DURABLE_WAL_BYTES, buf.len() as u64);
+                clear_obs::counter_add(clear_obs::counters::DURABLE_FSYNC_BATCHES, 1);
+                Ok(last_lsn)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Empties the log after its records are covered by a durable
+    /// snapshot. Clears poisoning: the log is rebuilt from a known-good
+    /// (empty) state. LSNs keep counting from where they were.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] on storage failure (the log stays
+    /// poisoned if it was).
+    pub fn truncate(&mut self) -> Result<(), DurableError> {
+        self.storage.write_atomic(WAL_FILE, &[])?;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// LSN the next appended record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// LSN of the last record ever appended (0 if none).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Whether an earlier append failure has poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultPlan, FaultStorage, MemStorage};
+
+    fn ops(users: &[&str]) -> Vec<WalOp> {
+        users
+            .iter()
+            .map(|u| WalOp::Quarantine {
+                user: u.to_string(),
+                count: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_then_reopen_replays_records_in_order() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut wal, records) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(wal.next_lsn(), 1);
+        wal.append(ops(&["a", "b"])).unwrap();
+        wal.append(vec![WalOp::Offboard {
+            user: "a".to_string(),
+        }])
+        .unwrap();
+        let (wal2, records) = Wal::open(storage as Arc<dyn Storage>).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].lsn, 1);
+        assert_eq!(records[2].lsn, 3);
+        assert_eq!(records[0].op.user(), "a");
+        assert!(matches!(records[2].op, WalOp::Offboard { .. }));
+        assert_eq!(wal2.next_lsn(), 4);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let storage = Arc::new(MemStorage::new());
+        {
+            let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+            wal.append(ops(&["a"])).unwrap();
+        }
+        let committed = storage.read(WAL_FILE).unwrap().unwrap();
+        storage.append(WAL_FILE, &[9, 0, 0, 0, 1, 2]).unwrap(); // torn frame
+        let (wal, records) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(wal.next_lsn(), 2);
+        // The tail was physically truncated back to the committed prefix.
+        assert_eq!(storage.read(WAL_FILE).unwrap().unwrap(), committed);
+    }
+
+    #[test]
+    fn failed_append_poisons_and_truncate_heals() {
+        let fault = Arc::new(FaultStorage::new(FaultPlan {
+            kill_at: 1,
+            torn_bytes: 3,
+        }));
+        let (mut wal, _) = Wal::open(fault.clone() as Arc<dyn Storage>).unwrap();
+        wal.append(ops(&["a"])).unwrap();
+        assert!(matches!(wal.append(ops(&["b"])), Err(DurableError::Io(_))));
+        assert!(wal.is_poisoned());
+        assert_eq!(wal.append(ops(&["c"])), Err(DurableError::WalPoisoned));
+        // The torn tail the failed append left behind truncates cleanly.
+        let survivor = fault.surviving();
+        let (_, records) = Wal::open(survivor as Arc<dyn Storage>).unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn truncate_preserves_lsn_monotonicity() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+        wal.append(ops(&["a", "b", "c"])).unwrap();
+        assert_eq!(wal.last_lsn(), 3);
+        wal.truncate().unwrap();
+        assert_eq!(wal.last_lsn(), 3);
+        wal.append(ops(&["d"])).unwrap();
+        let (wal2, records) = Wal::open_after(storage as Arc<dyn Storage>, 3).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].lsn, 4);
+        assert_eq!(wal2.next_lsn(), 5);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_typed_error() {
+        let storage = Arc::new(MemStorage::new());
+        {
+            let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+            wal.append(ops(&["a", "b"])).unwrap();
+        }
+        let mut bytes = storage.read(WAL_FILE).unwrap().unwrap();
+        bytes[10] ^= 0x20; // flip a payload byte in the first frame
+        storage.write_atomic(WAL_FILE, &bytes).unwrap();
+        match Wal::open(storage as Arc<dyn Storage>) {
+            Err(DurableError::CorruptArtifact { artifact, .. }) => assert_eq!(artifact, "wal"),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ops_round_trip_through_json() {
+        let op = WalOp::Onboard {
+            user: "u1".to_string(),
+            cluster: 2,
+            baseline: vec![0.5, -1.25],
+            generation: 7,
+        };
+        let json = serde_json::to_string(&WalRecord { lsn: 9, op }).unwrap();
+        let back: WalRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lsn, 9);
+        assert_eq!(back.op.user(), "u1");
+    }
+}

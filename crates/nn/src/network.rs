@@ -193,6 +193,15 @@ impl Network {
         self.layers.iter().map(Layer::param_count).sum()
     }
 
+    /// Whether every parameter is finite (no NaN or infinity). Artifact
+    /// loaders use this to reject checkpoints that parsed structurally
+    /// but would poison every downstream forward pass.
+    pub fn all_finite(&self) -> bool {
+        let mut finite = true;
+        self.visit_params(&mut |p| finite &= p.iter().all(|v| v.is_finite()));
+        finite
+    }
+
     /// Serializes the network (weights only) to JSON.
     ///
     /// # Errors

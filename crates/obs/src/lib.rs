@@ -102,11 +102,35 @@ pub mod counters {
     pub const CACHE_REHYDRATIONS: &str = "serve.cache_rehydrations";
     /// Requests rejected by per-shard admission control.
     pub const OVERLOADED: &str = "serve.overloaded";
+    /// Write-ahead-log append batches committed.
+    pub const DURABLE_WAL_APPENDS: &str = "durable.wal_appends";
+    /// Bytes appended to the write-ahead log.
+    pub const DURABLE_WAL_BYTES: &str = "durable.wal_bytes";
+    /// Storage sync batches issued by the write-ahead log (one per
+    /// logical operation, however many records it carries).
+    pub const DURABLE_FSYNC_BATCHES: &str = "durable.fsync_batches";
+    /// Torn WAL tails truncated on open (expected crash damage).
+    pub const DURABLE_WAL_TRUNCATIONS: &str = "durable.wal_truncations";
+    /// Snapshots sealed and atomically published.
+    pub const DURABLE_SNAPSHOTS: &str = "durable.snapshots";
+    /// Automatic snapshot attempts that failed (the WAL keeps growing;
+    /// committed state is unaffected).
+    pub const DURABLE_SNAPSHOT_FAILURES: &str = "durable.snapshot_failures";
+    /// WAL records replayed during recovery.
+    pub const DURABLE_RECOVERED_OPS: &str = "durable.recovered_ops";
+    /// Artifacts (WAL frames, snapshots, bundles) that failed
+    /// verification: checksum mismatch, bad envelope, unparseable
+    /// payload, non-finite weights.
+    pub const DURABLE_CORRUPTION_EVENTS: &str = "durable.corruption_events";
 }
 
 /// Histogram name for `predict_batch` request sizes (bounds
 /// [`SIZE_BOUNDS`]).
 pub const BATCH_SIZE_HISTOGRAM: &str = "serve.batch_size";
+
+/// Histogram name for sealed snapshot sizes in bytes (bounds
+/// [`SIZE_BOUNDS`]).
+pub const SNAPSHOT_BYTES_HISTOGRAM: &str = "durable.snapshot_bytes";
 
 static INSTALLED: AtomicBool = AtomicBool::new(false);
 static REGISTRY: RwLock<Option<Arc<Registry>>> = RwLock::new(None);

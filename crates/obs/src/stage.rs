@@ -47,6 +47,15 @@ pub enum Stage {
     /// One cross-user batch assembly pass: admission, tenant snapshot
     /// and model hydration for a request set.
     ServeBatchAssembly,
+    /// One write-ahead-log append batch, including its fsync
+    /// (`clear_durable::Wal::append`).
+    WalAppend,
+    /// One sealed snapshot serialization and atomic publication
+    /// (`clear_durable::EngineSnapshot::save`).
+    SnapshotWrite,
+    /// One recovery replay: snapshot load plus WAL replay into a fresh
+    /// engine (`clear_serve::ServeEngine::recover`).
+    RecoverReplay,
 }
 
 impl Stage {
@@ -70,6 +79,9 @@ impl Stage {
             Stage::EdgeFineTune => "stage.edge.fine_tune",
             Stage::ServeShardWait => "stage.serve.shard_wait",
             Stage::ServeBatchAssembly => "stage.serve.batch_assembly",
+            Stage::WalAppend => "stage.durable.wal_append",
+            Stage::SnapshotWrite => "stage.durable.snapshot",
+            Stage::RecoverReplay => "stage.durable.recover",
         }
     }
 
@@ -93,6 +105,9 @@ impl Stage {
             Stage::EdgeFineTune,
             Stage::ServeShardWait,
             Stage::ServeBatchAssembly,
+            Stage::WalAppend,
+            Stage::SnapshotWrite,
+            Stage::RecoverReplay,
         ]
     }
 }

@@ -26,12 +26,27 @@
 //! per-request results are bit-identical to calling
 //! `ClearDeployment::predict_batch` once per request in isolation,
 //! regardless of shard count, cache bound (≥ 1) or caller thread count.
+//!
+//! * **Crash-consistent durability (opt-in)** — an engine opened with
+//!   [`ServeEngine::recover`] logs every state mutation (onboard,
+//!   deferred-map buffering, personalization adopt/rollback, quarantine,
+//!   offboard) to a checksummed write-ahead log *before* the in-memory
+//!   mutation commits, and periodically publishes atomic snapshots that
+//!   let the log truncate. After a crash, `recover` on the same
+//!   directory rebuilds an engine whose registry — and therefore whose
+//!   predictions — is bit-identical to a never-crashed engine that
+//!   processed the same committed operations (`tests/durability.rs`
+//!   proves this at every write boundary). Engines built with
+//!   [`ServeEngine::new`] skip all of it and serve purely in memory.
 
 use crate::cache::ModelCache;
 use clear_core::deployment::{
     ClearBundle, DeployError, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
 };
 use clear_core::serving;
+use clear_durable::{
+    DurableConfig, DurableError, EngineSnapshot, FsStorage, Storage, TenantRecord, Wal, WalOp,
+};
 use clear_edge::{personalized_cache_capacity, Device};
 use clear_features::quality::assess_map;
 use clear_features::FeatureMap;
@@ -40,10 +55,11 @@ use clear_nn::network::Network;
 use clear_nn::train::TrainConfig;
 use clear_nn::workspace::Workspace;
 use clear_sim::Emotion;
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Errors of the serving engine.
@@ -60,6 +76,14 @@ pub enum ServeError {
         /// The configured cap.
         limit: usize,
     },
+    /// The durability layer failed: a WAL append, snapshot or recovery
+    /// hit storage failure or corruption. The in-memory mutation the
+    /// operation would have made did *not* commit.
+    Durable(DurableError),
+    /// An engine invariant was violated — a bug in the engine itself,
+    /// surfaced as a typed error instead of a panic so one broken
+    /// request cannot take down a multi-tenant process.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for ServeError {
@@ -76,6 +100,8 @@ impl std::fmt::Display for ServeError {
                     "shard {shard} overloaded: {depth} in-flight requests exceed the cap of {limit}"
                 )
             }
+            ServeError::Durable(e) => write!(f, "{e}"),
+            ServeError::Internal(why) => write!(f, "engine invariant violated: {why}"),
         }
     }
 }
@@ -84,7 +110,8 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Deploy(e) => Some(e),
-            ServeError::Overloaded { .. } => None,
+            ServeError::Durable(e) => Some(e),
+            ServeError::Overloaded { .. } | ServeError::Internal(_) => None,
         }
     }
 }
@@ -92,6 +119,12 @@ impl std::error::Error for ServeError {
 impl From<DeployError> for ServeError {
     fn from(e: DeployError) -> Self {
         ServeError::Deploy(e)
+    }
+}
+
+impl From<DurableError> for ServeError {
+    fn from(e: DurableError) -> Self {
+        ServeError::Durable(e)
     }
 }
 
@@ -200,6 +233,18 @@ struct Resolved {
     net: Option<Arc<Network>>,
 }
 
+/// The durability sidecar of an engine opened with
+/// [`ServeEngine::recover`]: the WAL, the storage it and snapshots live
+/// on, and the automatic-snapshot cadence. Lock order is shards
+/// (ascending index) → WAL, everywhere.
+struct Durability {
+    storage: Arc<dyn Storage>,
+    wal: Mutex<Wal>,
+    snapshot_every: usize,
+    /// Operations logged since the last snapshot attempt.
+    ops_since: AtomicUsize,
+}
+
 /// A concurrent, multi-tenant CLEAR serving engine. See the module docs
 /// for the architecture and the sequential-equivalence contract.
 pub struct ServeEngine {
@@ -208,6 +253,12 @@ pub struct ServeEngine {
     shards: Vec<Shard>,
     cache: ModelCache,
     max_queue_depth: usize,
+    /// Source of fork-generation stamps. Globally monotone (never
+    /// per-tenant), so a generation value is never reused across
+    /// offboard/re-onboard cycles and a cached fork from a previous
+    /// enrolment can never be rehydrated by construction.
+    next_generation: AtomicU64,
+    durability: Option<Durability>,
 }
 
 impl ServeEngine {
@@ -230,7 +281,234 @@ impl ServeEngine {
             shards,
             cache: ModelCache::new(config.cache_capacity),
             max_queue_depth: config.max_queue_depth.max(1),
+            next_generation: AtomicU64::new(0),
+            durability: None,
         }
+    }
+
+    /// Opens (or re-opens after a crash) a durable engine rooted at
+    /// `dir` with the default policy and snapshot cadence. The first
+    /// open of an empty directory is a fresh durable engine; every later
+    /// open recovers — snapshot first, then WAL replay of records past
+    /// the snapshot's LSN horizon — and is bit-identical to an engine
+    /// that never crashed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Durable`] on storage failure or when the
+    /// snapshot/WAL fail verification ([`DurableError::CorruptArtifact`]).
+    pub fn recover(
+        dir: &Path,
+        bundle: ClearBundle,
+        config: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let storage: Arc<dyn Storage> = Arc::new(FsStorage::open(dir)?);
+        Self::recover_with(
+            storage,
+            bundle,
+            ServingPolicy::default(),
+            config,
+            DurableConfig::default(),
+        )
+    }
+
+    /// [`ServeEngine::recover`] with every knob exposed: an injectable
+    /// [`Storage`] backend (the crash-injection tests pass an in-memory
+    /// fake), an explicit policy and an explicit snapshot cadence.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::recover`].
+    pub fn recover_with(
+        storage: Arc<dyn Storage>,
+        bundle: ClearBundle,
+        policy: ServingPolicy,
+        config: EngineConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, ServeError> {
+        let _span = clear_obs::span(clear_obs::Stage::RecoverReplay);
+        let snapshot = EngineSnapshot::load(storage.as_ref())?;
+        let last_lsn = snapshot.as_ref().map_or(0, |s| s.last_lsn);
+        let (wal, records) = Wal::open_after(Arc::clone(&storage), last_lsn)?;
+        let mut engine = Self::with_policy(bundle, policy, config);
+        let mut next_generation = 0u64;
+        if let Some(snap) = snapshot {
+            for t in snap.tenants {
+                next_generation = next_generation.max(t.generation + 1);
+                let shard = engine.shard_of(&t.user);
+                engine.shards[shard].state.get_mut().tenants.insert(
+                    t.user,
+                    Tenant {
+                        cluster: t.cluster,
+                        baseline: t.baseline,
+                        quarantined: t.quarantined as usize,
+                        delta: t.delta,
+                        generation: t.generation,
+                    },
+                );
+            }
+            for (user, maps) in snap.pending {
+                let shard = engine.shard_of(&user);
+                engine.shards[shard]
+                    .state
+                    .get_mut()
+                    .pending
+                    .insert(user, maps);
+            }
+        }
+        let mut replayed = 0u64;
+        for record in records {
+            if record.lsn <= last_lsn {
+                continue;
+            }
+            engine.apply_logged(record.op, &mut next_generation);
+            replayed += 1;
+        }
+        clear_obs::counter_add(clear_obs::counters::DURABLE_RECOVERED_OPS, replayed);
+        engine.next_generation = AtomicU64::new(next_generation);
+        engine.durability = Some(Durability {
+            storage,
+            wal: Mutex::new(wal),
+            snapshot_every: durable.snapshot_every_ops,
+            ops_since: AtomicUsize::new(0),
+        });
+        Ok(engine)
+    }
+
+    /// Applies one replayed WAL record to in-memory state. Replay is
+    /// exact state reconstruction: ops carry results (assigned cluster,
+    /// computed baseline, extracted delta), never inputs, so nothing is
+    /// recomputed and nothing can be double-counted.
+    fn apply_logged(&mut self, op: WalOp, next_generation: &mut u64) {
+        let shard = self.shard_of(op.user());
+        let state = self.shards[shard].state.get_mut();
+        match op {
+            WalOp::Onboard {
+                user,
+                cluster,
+                baseline,
+                generation,
+            } => {
+                *next_generation = (*next_generation).max(generation + 1);
+                state.pending.remove(&user);
+                state.tenants.insert(
+                    user,
+                    Tenant {
+                        cluster,
+                        baseline,
+                        quarantined: 0,
+                        delta: None,
+                        generation,
+                    },
+                );
+            }
+            WalOp::BufferMaps { user, maps } => {
+                state.pending.entry(user).or_default().extend(maps);
+            }
+            WalOp::PersonalizeAdopt {
+                user,
+                generation,
+                delta,
+            } => {
+                *next_generation = (*next_generation).max(generation + 1);
+                if let Some(tenant) = state.tenants.get_mut(&user) {
+                    tenant.generation = generation;
+                    tenant.delta = Some(*delta);
+                }
+            }
+            WalOp::PersonalizeRollback { .. } => {}
+            WalOp::Quarantine { user, count } => {
+                if let Some(tenant) = state.tenants.get_mut(&user) {
+                    tenant.quarantined += count as usize;
+                }
+            }
+            WalOp::Offboard { user } => {
+                state.tenants.remove(&user);
+                state.pending.remove(&user);
+            }
+        }
+    }
+
+    /// Whether this engine logs mutations to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Logs one operation ahead of its mutation. A no-op returning `Ok`
+    /// on non-durable engines — the closure never runs, so the serving
+    /// paths pay nothing for durability they did not opt into.
+    fn log_op<F: FnOnce() -> WalOp>(&self, op: F) -> Result<(), ServeError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        d.wal.lock().append(vec![op()])?;
+        d.ops_since.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Takes an automatic snapshot when enough operations have been
+    /// logged. Best-effort by design: the operations it would cover are
+    /// already durable in the WAL, so a snapshot failure is counted
+    /// (`durable.snapshot_failures`) and the log simply keeps growing.
+    fn maybe_snapshot(&self) {
+        let Some(d) = &self.durability else {
+            return;
+        };
+        if d.snapshot_every == 0 || d.ops_since.load(Ordering::SeqCst) < d.snapshot_every {
+            return;
+        }
+        d.ops_since.store(0, Ordering::SeqCst);
+        if self.snapshot().is_err() {
+            clear_obs::counter_add(clear_obs::counters::DURABLE_SNAPSHOT_FAILURES, 1);
+        }
+    }
+
+    /// Publishes a snapshot of the full engine state and truncates the
+    /// WAL. The cut is consistent: every shard is read-locked while the
+    /// state is captured, and the WAL mutex is held from capture through
+    /// truncation so no append can land between the snapshot's LSN
+    /// horizon and the truncation. A no-op returning `Ok` on non-durable
+    /// engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Durable`] when the snapshot cannot be
+    /// published or the WAL cannot be truncated; committed state is
+    /// unaffected either way.
+    pub fn snapshot(&self) -> Result<(), ServeError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        // Lock order: shards (ascending) → WAL, as everywhere.
+        let guards: Vec<RwLockReadGuard<'_, ShardState>> =
+            (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
+        let mut wal = d.wal.lock();
+        let mut snap = EngineSnapshot {
+            last_lsn: wal.last_lsn(),
+            tenants: Vec::new(),
+            pending: Vec::new(),
+        };
+        for guard in &guards {
+            for (user, t) in &guard.tenants {
+                snap.tenants.push(TenantRecord {
+                    user: user.clone(),
+                    cluster: t.cluster,
+                    baseline: t.baseline.clone(),
+                    quarantined: t.quarantined as u64,
+                    generation: t.generation,
+                    delta: t.delta.clone(),
+                });
+            }
+            for (user, maps) in &guard.pending {
+                snap.pending.push((user.clone(), maps.clone()));
+            }
+        }
+        drop(guards);
+        snap.normalize();
+        snap.save(d.storage.as_ref())?;
+        wal.truncate()?;
+        d.ops_since.store(0, Ordering::SeqCst);
+        Ok(())
     }
 
     /// The underlying bundle.
@@ -321,12 +599,15 @@ impl ServeEngine {
     /// Onboards a user from unlabeled maps — the same quality guardrail
     /// and deferred-accumulation behavior as
     /// [`clear_core::deployment::ClearDeployment::onboard`].
-    /// Re-onboarding bumps the tenant's generation, discarding any
-    /// personalization (durable delta *and* cached fork).
+    /// Re-onboarding stamps the tenant with a fresh (globally unique)
+    /// generation, discarding any personalization (durable delta *and*
+    /// cached fork).
     ///
     /// # Errors
     ///
-    /// Returns [`DeployError::BadInput`] (wrapped) when `maps` is empty.
+    /// Returns [`DeployError::BadInput`] (wrapped) when `maps` is empty,
+    /// and [`ServeError::Durable`] when the write-ahead log rejects the
+    /// operation (no state changes in that case).
     pub fn onboard(&self, user: &str, maps: &[FeatureMap]) -> Result<Onboarding, ServeError> {
         let _span = clear_obs::span(clear_obs::Stage::Onboard);
         if maps.is_empty() {
@@ -341,19 +622,36 @@ impl ServeEngine {
         let required = self.policy.min_onboarding_maps.max(1);
         let shard = self.shard_of(user);
         let mut state = self.write_shard(shard);
-        let buffer = state.pending.entry(user.to_string()).or_default();
-        buffer.extend(good);
-        let accumulated = buffer.len();
+        let accumulated = state.pending.get(user).map_or(0, Vec::len) + good.len();
         if accumulated < required {
+            self.log_op(|| WalOp::BufferMaps {
+                user: user.to_string(),
+                maps: good.clone(),
+            })?;
+            state
+                .pending
+                .entry(user.to_string())
+                .or_default()
+                .extend(good);
+            drop(state);
             clear_obs::counter_add(clear_obs::counters::ONBOARD_DEFERRED, 1);
+            self.maybe_snapshot();
             return Ok(Onboarding::Deferred {
                 accumulated,
                 required,
             });
         }
-        let buffered = state.pending.remove(user).unwrap_or_default();
+        let mut buffered = state.pending.get(user).cloned().unwrap_or_default();
+        buffered.extend(good);
         let (cluster, baseline) = serving::assign_cluster(&self.bundle, &buffered);
-        let generation = state.tenants.get(user).map_or(0, |t| t.generation + 1);
+        let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+        self.log_op(|| WalOp::Onboard {
+            user: user.to_string(),
+            cluster,
+            baseline: baseline.clone(),
+            generation,
+        })?;
+        state.pending.remove(user);
         state.tenants.insert(
             user.to_string(),
             Tenant {
@@ -368,6 +666,7 @@ impl ServeEngine {
         // Any cached fork belongs to the previous enrolment.
         self.cache.remove(user);
         clear_obs::counter_add(clear_obs::counters::ONBOARD_ASSIGNED, 1);
+        self.maybe_snapshot();
         Ok(Onboarding::Assigned { cluster })
     }
 
@@ -378,9 +677,12 @@ impl ServeEngine {
     ///
     /// As for `predict_many`'s per-request results.
     pub fn predict(&self, user: &str, maps: &[FeatureMap]) -> Result<Vec<Prediction>, ServeError> {
-        self.predict_many(&[ServeRequest { user, maps }])
-            .pop()
-            .expect("one result per request")
+        match self.predict_many(&[ServeRequest { user, maps }]).pop() {
+            Some(result) => result,
+            None => Err(ServeError::Internal(
+                "predict_many returned no result for a one-request set",
+            )),
+        }
     }
 
     /// Serves a cross-user request set. Assembly resolves every request
@@ -501,22 +803,47 @@ impl ServeEngine {
                         }
                     }
                 }
-                if quarantined > 0 {
-                    let mut state = self.write_shard(r.shard);
-                    if let Some(tenant) = state.tenants.get_mut(&r.user) {
-                        tenant.quarantined += quarantined;
-                    }
-                }
-                slots[r.index] = Some(match failed {
+                let mut result: Result<Vec<Prediction>, ServeError> = match failed {
                     Some(e) => Err(e.into()),
                     None => Ok(predictions),
-                });
+                };
+                if quarantined > 0 {
+                    let mut state = self.write_shard(r.shard);
+                    if state.tenants.contains_key(&r.user) {
+                        // WAL-before-mutate: if the log rejects the
+                        // quarantine, the count is not bumped and the
+                        // request reports the durability failure.
+                        match self.log_op(|| WalOp::Quarantine {
+                            user: r.user.clone(),
+                            count: quarantined as u64,
+                        }) {
+                            Ok(()) => {
+                                if let Some(tenant) = state.tenants.get_mut(&r.user) {
+                                    tenant.quarantined += quarantined;
+                                }
+                            }
+                            Err(e) => {
+                                if result.is_ok() {
+                                    result = Err(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                slots[r.index] = Some(result);
             }
         }
         drop(guards);
+        self.maybe_snapshot();
         slots
             .into_iter()
-            .map(|s| s.expect("every request resolved to a result"))
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(ServeError::Internal(
+                        "a request was never resolved to a result",
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -572,29 +899,55 @@ impl ServeEngine {
                     .tenants
                     .get_mut(user)
                     .ok_or_else(|| DeployError::UnknownUser(user.to_string()))?;
-                tenant.generation += 1;
+                let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+                self.log_op(|| WalOp::PersonalizeAdopt {
+                    user: user.to_string(),
+                    generation,
+                    delta: Box::new(delta.clone()),
+                })?;
+                tenant.generation = generation;
                 tenant.delta = Some(delta);
-                tenant.generation
+                generation
             };
             let evicted = self.cache.insert(user, generation, Arc::new(net));
             if evicted > 0 {
                 clear_obs::counter_add(clear_obs::counters::CACHE_EVICTIONS, evicted);
             }
+        } else {
+            // Nothing mutated, but the audit trail records the rejected
+            // round.
+            self.log_op(|| WalOp::PersonalizeRollback {
+                user: user.to_string(),
+            })?;
         }
+        self.maybe_snapshot();
         Ok(outcome)
     }
 
     /// Drops a user's state (tenant, deferred onboarding buffer and any
     /// cached fork). Returns whether the user existed.
-    pub fn offboard(&self, user: &str) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Durable`] when the write-ahead log rejects
+    /// the operation; the user's state is untouched in that case.
+    pub fn offboard(&self, user: &str) -> Result<bool, ServeError> {
         let shard = self.shard_of(user);
         let existed = {
             let mut state = self.write_shard(shard);
-            let pending = state.pending.remove(user).is_some();
-            state.tenants.remove(user).is_some() || pending
+            if !state.tenants.contains_key(user) && !state.pending.contains_key(user) {
+                false
+            } else {
+                self.log_op(|| WalOp::Offboard {
+                    user: user.to_string(),
+                })?;
+                let pending = state.pending.remove(user).is_some();
+                state.tenants.remove(user).is_some() || pending
+            }
         };
         self.cache.remove(user);
-        existed
+        self.maybe_snapshot();
+        Ok(existed)
     }
 
     /// The cluster a user was assigned to.

@@ -18,7 +18,12 @@
 //!   [`clear_nn::delta::WeightDelta`]s and hydrate through a bounded
 //!   LRU; eviction/rehydration is bit-exact and invisible to callers;
 //! * admission control — per-shard in-flight caps with a typed
-//!   [`ServeError::Overloaded`] rejection instead of unbounded queueing.
+//!   [`ServeError::Overloaded`] rejection instead of unbounded queueing;
+//! * crash-consistent durability (opt-in) — [`ServeEngine::recover`]
+//!   opens an engine over a `clear_durable` write-ahead log plus
+//!   periodic atomic snapshots; after a crash the same call rebuilds a
+//!   registry bit-identical to a never-crashed engine
+//!   (`tests/durability.rs` sweeps every write boundary).
 //!
 //! The load-bearing invariant, enforced by `tests/equivalence.rs`,
 //! `tests/stress.rs` and `tests/properties.rs`: for any request set and

@@ -1,0 +1,454 @@
+//! Crash-consistency proof for the durable serving engine.
+//!
+//! The central test sweeps a simulated crash across **every write
+//! boundary** of a scripted operation sequence (onboards — deferred and
+//! assigned — a quarantining predict, a personalization, an offboard and
+//! a re-onboard), with and without automatic snapshots. At each kill
+//! point the engine runs against a fault-injecting storage that tears
+//! the failing append and fails everything after it; recovery from the
+//! surviving bytes must reproduce — bit-identically, predictions
+//! included — the state of a never-crashed engine after some prefix of
+//! the script that contains at least every acknowledged operation.
+//!
+//! Around that core: durable-vs-plain bit-identity, restart round-trips,
+//! typed-error (never panic) handling of corrupted snapshots and WALs,
+//! and the offboard → re-onboard isolation regression.
+
+mod common;
+
+use clear_core::deployment::{Onboarding, Prediction, ServingPolicy};
+use clear_durable::{
+    DurableConfig, DurableError, FaultPlan, FaultStorage, MemStorage, Storage, Wal,
+};
+use clear_serve::{EngineConfig, ServeEngine, ServeError};
+use common::{fixture, labeled_of, lenient, maps_of, nan_map, Fixture};
+use std::sync::Arc;
+
+/// Users the script touches, in fingerprint order.
+const USERS: [&str; 3] = ["amy", "bob", "cal"];
+
+/// The script's serving policy: deterministic labels (no confidence
+/// abstention) and a 3-map onboarding floor so the deferred/buffer path
+/// is exercised.
+fn script_policy() -> ServingPolicy {
+    ServingPolicy {
+        min_onboarding_maps: 3,
+        ..lenient()
+    }
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 4,
+        cache_capacity: 2,
+        max_queue_depth: 16,
+    }
+}
+
+/// One scripted engine operation.
+#[derive(Debug, Clone, Copy)]
+enum ScriptOp {
+    /// Onboard `user` with maps `[lo, hi)` of the subject at `rank`.
+    Onboard(&'static str, usize, usize, usize),
+    /// Serve `user` one all-NaN map — the quarantine path.
+    PredictNan(&'static str),
+    /// Personalize `user` from labels `[lo, hi)` of the subject at
+    /// `rank` (tiny budget: adopts unvalidated, deterministically).
+    Personalize(&'static str, usize, usize, usize),
+    /// Offboard `user`.
+    Offboard(&'static str),
+}
+
+/// Every durable op type except the no-op rollback: a deferred onboard
+/// (BufferMaps), assigned onboards, a quarantine, an adoption, an
+/// offboard and a re-onboard.
+const SCRIPT: [ScriptOp; 7] = [
+    ScriptOp::Onboard("amy", 0, 0, 2),
+    ScriptOp::Onboard("amy", 0, 2, 5),
+    ScriptOp::Onboard("bob", 1, 0, 3),
+    ScriptOp::PredictNan("amy"),
+    ScriptOp::Personalize("bob", 1, 0, 2),
+    ScriptOp::Offboard("amy"),
+    ScriptOp::Onboard("amy", 2, 0, 3),
+];
+
+/// Applies one op; `Ok` means the engine acknowledged it.
+fn apply(engine: &ServeEngine, f: &Fixture, op: ScriptOp) -> Result<(), ServeError> {
+    match op {
+        ScriptOp::Onboard(user, rank, lo, hi) => {
+            engine.onboard(user, &maps_of(f, rank, lo, hi)).map(|_| ())
+        }
+        ScriptOp::PredictNan(user) => engine.predict(user, &[nan_map(f)]).map(|_| ()),
+        ScriptOp::Personalize(user, rank, lo, hi) => engine
+            .personalize(user, &labeled_of(f, rank, lo, hi), &f.config.finetune)
+            .map(|_| ()),
+        ScriptOp::Offboard(user) => engine.offboard(user).map(|_| ()),
+    }
+}
+
+/// Runs the script until the first failure (a crashed storage kills the
+/// process; nothing after the failing op runs). Returns acknowledged op
+/// count.
+fn run_script(engine: &ServeEngine, f: &Fixture) -> usize {
+    let mut acked = 0;
+    for op in SCRIPT {
+        if apply(engine, f, op).is_err() {
+            break;
+        }
+        acked += 1;
+    }
+    acked
+}
+
+/// Bit-exact comparable form of one prediction.
+fn prediction_key(p: &Prediction) -> String {
+    format!(
+        "{:?}|{}|{}|{:?}|{:?}",
+        p.emotion,
+        p.confidence.to_bits(),
+        p.quality.to_bits(),
+        p.served_by,
+        p.imputed
+    )
+}
+
+/// Bit-exact observable state of the engine: per scripted user, the
+/// registry view plus serving bits on clean probe maps (clean maps never
+/// quarantine, so probing does not mutate state).
+fn fingerprint(engine: &ServeEngine, f: &Fixture) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rank, user) in USERS.iter().enumerate() {
+        let registry = format!(
+            "{user}:{:?}:{}:{}:{}",
+            engine.cluster_of(user).ok(),
+            engine.is_personalized(user),
+            engine.quarantined_count(user),
+            engine.pending_maps(user),
+        );
+        out.push(registry);
+        let served = match engine.predict(user, &maps_of(f, rank, 5, 7)) {
+            Ok(predictions) => predictions.iter().map(prediction_key).collect(),
+            Err(e) => vec![format!("err:{e}")],
+        };
+        out.extend(served);
+    }
+    out
+}
+
+/// Never-crashed reference: fingerprints after every script prefix.
+/// `reference[p]` is the state after ops `0..p`.
+fn reference_fingerprints(f: &Fixture) -> Vec<Vec<String>> {
+    let engine = ServeEngine::with_policy(f.bundle.clone(), script_policy(), engine_config());
+    let mut reference = vec![fingerprint(&engine, f)];
+    for op in SCRIPT {
+        apply(&engine, f, op).expect("reference engine never fails");
+        reference.push(fingerprint(&engine, f));
+    }
+    reference
+}
+
+fn durable_engine(storage: Arc<dyn Storage>, f: &Fixture, snapshot_every: usize) -> ServeEngine {
+    ServeEngine::recover_with(
+        storage,
+        f.bundle.clone(),
+        script_policy(),
+        engine_config(),
+        DurableConfig {
+            snapshot_every_ops: snapshot_every,
+        },
+    )
+    .expect("recovery from intact storage succeeds")
+}
+
+#[test]
+fn durable_engine_serves_identical_bits_to_a_plain_engine() {
+    let f = fixture();
+    let plain = ServeEngine::with_policy(f.bundle.clone(), script_policy(), engine_config());
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let durable = durable_engine(storage, f, 3);
+    assert!(durable.is_durable() && !plain.is_durable());
+    for op in SCRIPT {
+        let a = apply(&plain, f, op).map_err(|e| e.to_string());
+        let b = apply(&durable, f, op).map_err(|e| e.to_string());
+        assert_eq!(a, b, "{op:?} diverged");
+    }
+    assert_eq!(fingerprint(&plain, f), fingerprint(&durable, f));
+}
+
+#[test]
+fn restart_round_trips_bit_identically() {
+    let f = fixture();
+    let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    // Snapshot cadence 2: the restart exercises snapshot + WAL-tail
+    // replay together.
+    let engine = durable_engine(Arc::clone(&storage), f, 2);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    let before = fingerprint(&engine, f);
+    drop(engine);
+    let recovered = durable_engine(Arc::clone(&storage), f, 2);
+    assert_eq!(fingerprint(&recovered, f), before);
+    // The recovered engine keeps serving: amy re-onboarded in the script
+    // and predicts; bob is still personalized.
+    assert!(recovered.predict("amy", &maps_of(f, 2, 3, 5)).is_ok());
+    assert!(recovered.is_personalized("bob"));
+    // A second cycle through explicit snapshot + restart also holds.
+    recovered.snapshot().expect("explicit snapshot succeeds");
+    let again = durable_engine(storage, f, 2);
+    assert_eq!(fingerprint(&again, f), before);
+}
+
+/// The tentpole: at every write boundary, in both snapshot regimes,
+/// recovery lands on a script prefix that includes every acknowledged
+/// op.
+#[test]
+fn crash_at_every_write_boundary_recovers_an_acknowledged_prefix() {
+    let f = fixture();
+    let reference = reference_fingerprints(f);
+    for snapshot_every in [0usize, 3] {
+        // Dry run to learn this regime's write-boundary count.
+        let dry = Arc::new(FaultStorage::new(FaultPlan {
+            kill_at: usize::MAX,
+            torn_bytes: 0,
+        }));
+        let engine = durable_engine(Arc::clone(&dry) as Arc<dyn Storage>, f, snapshot_every);
+        assert_eq!(run_script(&engine, f), SCRIPT.len());
+        assert_eq!(
+            fingerprint(&engine, f),
+            *reference.last().unwrap(),
+            "un-crashed durable run must match the plain reference"
+        );
+        drop(engine);
+        let boundaries = dry.write_boundaries();
+        assert!(boundaries > 0, "the script must write at least once");
+
+        for kill_at in 0..boundaries {
+            // Vary the torn length so tails of every shape are seen:
+            // nothing landed, a few bytes, and more than a whole frame.
+            let torn_bytes = (kill_at * 37) % 256;
+            let fault = Arc::new(FaultStorage::new(FaultPlan {
+                kill_at,
+                torn_bytes,
+            }));
+            let engine = durable_engine(Arc::clone(&fault) as Arc<dyn Storage>, f, snapshot_every);
+            let acked = run_script(&engine, f);
+            assert!(fault.crashed(), "kill point {kill_at} never triggered");
+            drop(engine);
+
+            let recovered = ServeEngine::recover_with(
+                fault.surviving(),
+                f.bundle.clone(),
+                script_policy(),
+                engine_config(),
+                DurableConfig {
+                    snapshot_every_ops: snapshot_every,
+                },
+            )
+            .unwrap_or_else(|e| panic!("kill point {kill_at} left unrecoverable storage: {e}"));
+            let fp = fingerprint(&recovered, f);
+            match reference.iter().position(|r| *r == fp) {
+                Some(p) => assert!(
+                    p >= acked,
+                    "kill point {kill_at} (snapshot_every {snapshot_every}): recovered \
+                     prefix {p} lost acknowledged ops ({acked} acked)"
+                ),
+                None => panic!(
+                    "kill point {kill_at} (snapshot_every {snapshot_every}): recovered \
+                     state matches no script prefix ({acked} acked)"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_error_not_a_panic() {
+    let f = fixture();
+    let mem = Arc::new(MemStorage::new());
+    let storage: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
+    let engine = durable_engine(storage, f, 0);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    engine.snapshot().expect("snapshot succeeds");
+    drop(engine);
+    let mut bytes = mem
+        .read(clear_durable::snapshot::SNAPSHOT_FILE)
+        .unwrap()
+        .expect("snapshot exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    mem.write_atomic(clear_durable::snapshot::SNAPSHOT_FILE, &bytes)
+        .unwrap();
+    let err = match ServeEngine::recover_with(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        f.bundle.clone(),
+        script_policy(),
+        engine_config(),
+        DurableConfig::default(),
+    ) {
+        Ok(_) => panic!("corrupt snapshot must fail recovery"),
+        Err(e) => e,
+    };
+    assert!(matches!(
+        err,
+        ServeError::Durable(DurableError::CorruptArtifact {
+            artifact: "snapshot",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn corrupted_wal_interior_is_a_typed_error_not_a_panic() {
+    let f = fixture();
+    let mem = Arc::new(MemStorage::new());
+    let storage: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
+    let engine = durable_engine(storage, f, 0);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    drop(engine);
+    let mut bytes = mem.read(clear_durable::wal::WAL_FILE).unwrap().unwrap();
+    // Flip a payload byte of the first frame; the tail stays valid, so
+    // this cannot be mistaken for a torn append.
+    bytes[10] ^= 0x08;
+    mem.write_atomic(clear_durable::wal::WAL_FILE, &bytes)
+        .unwrap();
+    let err = match ServeEngine::recover_with(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        f.bundle.clone(),
+        script_policy(),
+        engine_config(),
+        DurableConfig::default(),
+    ) {
+        Ok(_) => panic!("corrupt WAL must fail recovery"),
+        Err(e) => e,
+    };
+    assert!(matches!(
+        err,
+        ServeError::Durable(DurableError::CorruptArtifact {
+            artifact: "wal",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_and_recovery_proceeds() {
+    let f = fixture();
+    let mem = Arc::new(MemStorage::new());
+    let storage: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
+    let engine = durable_engine(storage, f, 0);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    let before = fingerprint(&engine, f);
+    drop(engine);
+    // A torn half-frame after the committed records: expected crash
+    // damage, silently truncated.
+    mem.append(clear_durable::wal::WAL_FILE, &[200, 1, 0, 0, 9, 9, 9])
+        .unwrap();
+    let recovered = durable_engine(Arc::clone(&mem) as Arc<dyn Storage>, f, 0);
+    assert_eq!(fingerprint(&recovered, f), before);
+}
+
+#[test]
+fn wal_failure_fails_the_op_without_mutating_state() {
+    let f = fixture();
+    // Two boundary budget: amy's deferred buffer append lands, then the
+    // storage dies mid-append on the assigning onboard.
+    let fault = Arc::new(FaultStorage::new(FaultPlan {
+        kill_at: 1,
+        torn_bytes: 11,
+    }));
+    let engine = durable_engine(Arc::clone(&fault) as Arc<dyn Storage>, f, 0);
+    let buffered = match engine.onboard("amy", &maps_of(f, 0, 0, 2)).unwrap() {
+        Onboarding::Deferred { accumulated, .. } => accumulated,
+        other => panic!("two maps under a three-map floor must defer, got {other:?}"),
+    };
+    let err = engine
+        .onboard("amy", &maps_of(f, 0, 2, 5))
+        .expect_err("append fails at the kill boundary");
+    assert!(matches!(err, ServeError::Durable(DurableError::Io(_))));
+    // The failed onboard did not commit: amy is still pending with only
+    // the windows the first (logged) onboard buffered, and the poisoned
+    // WAL fails later mutations fast.
+    assert!(engine.cluster_of("amy").is_err());
+    assert_eq!(engine.pending_maps("amy"), buffered);
+    let err = engine
+        .onboard("bob", &maps_of(f, 1, 0, 3))
+        .expect_err("poisoned WAL refuses further mutations");
+    assert!(matches!(
+        err,
+        ServeError::Durable(DurableError::WalPoisoned)
+    ));
+}
+
+/// Satellite regression: a re-onboarded user must never be served by the
+/// previous enrolment's personalized weights — generations are globally
+/// unique, so a stale cached fork cannot be rehydrated even in principle.
+#[test]
+fn reonboarded_user_cannot_rehydrate_previous_tenants_weights() {
+    let f = fixture();
+    let engine = ServeEngine::with_policy(f.bundle.clone(), lenient(), engine_config());
+    let maps = maps_of(f, 0, 0, 2);
+    let probe = maps_of(f, 0, 3, 5);
+    assert!(matches!(
+        engine.onboard("amy", &maps).unwrap(),
+        Onboarding::Assigned { .. }
+    ));
+    engine
+        .personalize("amy", &labeled_of(f, 0, 0, 2), &f.config.finetune)
+        .expect("personalization runs");
+    assert!(engine.is_personalized("amy"));
+    // Serve once so the personalized fork is resident in the cache.
+    let personalized: Vec<String> = engine
+        .predict("amy", &probe)
+        .unwrap()
+        .iter()
+        .map(prediction_key)
+        .collect();
+    assert!(engine.offboard("amy").unwrap());
+    assert!(matches!(
+        engine.onboard("amy", &maps).unwrap(),
+        Onboarding::Assigned { .. }
+    ));
+    assert!(!engine.is_personalized("amy"));
+    // The re-onboarded amy must be served exactly like a fresh user on a
+    // fresh engine — never by the offboarded tenant's fork.
+    let control = ServeEngine::with_policy(f.bundle.clone(), lenient(), engine_config());
+    control.onboard("amy", &maps).unwrap();
+    let fresh: Vec<String> = control
+        .predict("amy", &probe)
+        .unwrap()
+        .iter()
+        .map(prediction_key)
+        .collect();
+    let served: Vec<String> = engine
+        .predict("amy", &probe)
+        .unwrap()
+        .iter()
+        .map(prediction_key)
+        .collect();
+    assert_eq!(served, fresh);
+    if personalized != fresh {
+        assert_ne!(served, personalized, "stale fork served after re-onboard");
+    }
+}
+
+/// LSN continuity across snapshot truncation: the WAL keeps counting, so
+/// a snapshot's horizon can never be confused with replayed records.
+#[test]
+fn wal_lsns_stay_monotone_across_snapshots() {
+    let f = fixture();
+    let mem = Arc::new(MemStorage::new());
+    let engine = durable_engine(Arc::clone(&mem) as Arc<dyn Storage>, f, 0);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    engine.snapshot().expect("snapshot succeeds");
+    // Post-snapshot ops land with LSNs continuing past the horizon.
+    engine.onboard("cal", &maps_of(f, 3, 0, 3)).unwrap();
+    drop(engine);
+    let (_, records) = Wal::open(Arc::clone(&mem) as Arc<dyn Storage>).unwrap();
+    assert!(!records.is_empty());
+    assert!(
+        records.iter().all(|r| r.lsn > SCRIPT.len() as u64),
+        "post-snapshot records must carry LSNs past the snapshot horizon"
+    );
+    let recovered = durable_engine(Arc::clone(&mem) as Arc<dyn Storage>, f, 0);
+    assert!(recovered.cluster_of("cal").is_ok());
+    assert!(recovered.is_personalized("bob"));
+}

@@ -110,7 +110,11 @@ fn apply_engine(f: &Fixture, engine: &ServeEngine, op: PropOp) -> PropResult {
                 .map(|o| outcome_key(&o))
                 .map_err(|e| e.to_string()),
         ),
-        PropOp::Offboard(_) => PropResult::Offboard(engine.offboard(&user)),
+        PropOp::Offboard(_) => PropResult::Offboard(
+            engine
+                .offboard(&user)
+                .expect("non-durable offboard cannot fail"),
+        ),
     }
 }
 

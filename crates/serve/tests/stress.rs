@@ -85,7 +85,11 @@ fn apply_engine(engine: &ServeEngine, user: &str, idx: usize, op: Op) -> OpResul
                 .map(|o| outcome_key(&o))
                 .map_err(|e| e.to_string()),
         ),
-        Op::Offboard => OpResult::Offboard(engine.offboard(user)),
+        Op::Offboard => OpResult::Offboard(
+            engine
+                .offboard(user)
+                .expect("non-durable offboard cannot fail"),
+        ),
     }
 }
 

@@ -16,7 +16,10 @@
 //!   serving counters (see `DESIGN.md` §10),
 //! * [`serve`] — multi-tenant sharded serving engine with cross-user
 //!   cluster batching and a bounded personalized-model cache (see
-//!   `DESIGN.md` §11).
+//!   `DESIGN.md` §11),
+//! * [`durable`] — crash-consistent persistence: checksummed write-ahead
+//!   log, atomic snapshots and verified artifact envelopes behind
+//!   `serve`'s `ServeEngine::recover` (see `DESIGN.md` §12).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -26,6 +29,7 @@
 pub use clear_clustering as clustering;
 pub use clear_core as core;
 pub use clear_dsp as dsp;
+pub use clear_durable as durable;
 pub use clear_edge as edge;
 pub use clear_features as features;
 pub use clear_nn as nn;

@@ -1,0 +1,324 @@
+//! Cluster benchmark: what WAL-shipped replication costs and what
+//! failover buys. Writes `BENCH_cluster.json` so the cluster perf
+//! trajectory is tracked across revisions.
+//!
+//! Reported numbers:
+//!
+//! * onboarding ops/sec on a single engine vs a three-member replicated
+//!   cluster (every mutation framed, shipped over the simulated network
+//!   and acknowledged by the follower);
+//! * steady-state prediction windows/sec, single vs cluster — clean
+//!   windows never append, so shipping should cost almost nothing here;
+//! * failover wall time: killing the member that leads a partition,
+//!   measured until the promoted follower is serving and a replacement
+//!   follower has been seeded;
+//! * catch-up wall time as a function of replication lag: the link to a
+//!   follower is cut, the leader keeps committing, and the time to drain
+//!   the accumulated WAL suffix after healing is measured per lag size.
+//!
+//! Before any timing, the cluster's output is asserted bit-identical to
+//! the single engine — replication overhead is only meaningful because
+//! replication changes no served bit.
+
+use clear_bench::cli_from_args;
+use clear_cluster::{ClusterConfig, FaultProfile, ServeCluster, SimNet};
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, Prediction, ServingPolicy};
+use clear_features::FeatureMap;
+use clear_serve::{EngineConfig, ServeEngine};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tenants onboarded in the overhead runs.
+const USERS: usize = 16;
+/// Prediction passes over the full request set per measurement.
+const ROUNDS: usize = 4;
+/// Replication-lag sizes for the catch-up sweep.
+const LAG_STEPS: [usize; 3] = [4, 16, 48];
+
+#[derive(Debug, Serialize)]
+struct CatchUpPoint {
+    lag: u64,
+    catch_up_ms: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct ClusterBench {
+    users: usize,
+    members: usize,
+    partitions: usize,
+    windows_per_request: usize,
+    onboard_ops_per_sec_single: f32,
+    onboard_ops_per_sec_cluster: f32,
+    replication_overhead_x: f32,
+    predict_windows_per_sec_single: f32,
+    predict_windows_per_sec_cluster: f32,
+    predict_overhead_x: f32,
+    frames_shipped: u64,
+    frames_acked: u64,
+    net_messages: u64,
+    failover_partitions: usize,
+    failover_ms: f32,
+    catch_up: Vec<CatchUpPoint>,
+}
+
+fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 4,
+        cache_capacity: 8,
+        max_queue_depth: 256,
+    }
+}
+
+fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        partitions: 8,
+        vnodes: 64,
+        engine: engine_config(),
+        ship_retries: 2,
+        ship_timeout_ticks: 4,
+    }
+}
+
+/// Maps `[lo, hi)` of the subject at `rank` (modulo cohort size),
+/// clamped to the subject's recording count.
+fn maps_of(data: &PreparedCohort, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect()
+}
+
+fn counter(snapshot: &clear_obs::Snapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+/// A user name guaranteed to land on `partition`, found by salting.
+fn user_on_partition(c: &ServeCluster, partition: usize, salt: usize) -> String {
+    (0..)
+        .map(|n| format!("lag-{salt}-{n}"))
+        .find(|name| c.partition_of(name) == partition)
+        .expect("some salt lands on every partition")
+}
+
+/// Drives replication to completion, returning elapsed seconds.
+fn settle(c: &mut ServeCluster) -> f32 {
+    let t0 = Instant::now();
+    for _ in 0..50 {
+        if c.flush().is_ok() {
+            return t0.elapsed().as_secs_f32();
+        }
+    }
+    c.flush().expect("replication settles within the retry budget");
+    t0.elapsed().as_secs_f32()
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    // Reduced training profile: the benchmark measures replication, not SGD.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+    let bundle = deploy(&data, initial, &config).bundle().clone();
+
+    // Single-engine baseline.
+    let single = ServeEngine::with_policy(bundle.clone(), lenient(), engine_config());
+    let t0 = Instant::now();
+    for i in 0..USERS {
+        single
+            .onboard(&format!("user-{i}"), &maps_of(&data, i, 0, 2))
+            .expect("onboarding maps");
+    }
+    let single_onboard_secs = t0.elapsed().as_secs_f32();
+
+    // Three-member replicated cluster over a reliable simulated network.
+    let mut cluster = ServeCluster::new(
+        bundle.clone(),
+        lenient(),
+        &[0, 1, 2],
+        cluster_config(),
+        Box::new(SimNet::new(7, FaultProfile::reliable())),
+    )
+    .expect("cluster builds");
+    let t0 = Instant::now();
+    for i in 0..USERS {
+        cluster
+            .onboard(&format!("user-{i}"), &maps_of(&data, i, 0, 2))
+            .expect("onboarding maps");
+    }
+    settle(&mut cluster);
+    let cluster_onboard_secs = t0.elapsed().as_secs_f32();
+
+    let onboard_ops_per_sec_single = USERS as f32 / single_onboard_secs.max(1e-9);
+    let onboard_ops_per_sec_cluster = USERS as f32 / cluster_onboard_secs.max(1e-9);
+    let replication_overhead_x =
+        onboard_ops_per_sec_single / onboard_ops_per_sec_cluster.max(1e-9);
+    eprintln!(
+        "onboarding: {onboard_ops_per_sec_single:.0} ops/sec single, \
+         {onboard_ops_per_sec_cluster:.0} ops/sec replicated ({replication_overhead_x:.2}x overhead)"
+    );
+
+    let requests: Vec<(String, Vec<FeatureMap>)> = (0..USERS)
+        .map(|i| (format!("user-{i}"), maps_of(&data, i, 2, 6)))
+        .collect();
+    let windows_per_request = requests.first().map_or(0, |(_, maps)| maps.len());
+    let total_windows = requests.iter().map(|(_, maps)| maps.len()).sum::<usize>();
+
+    // Correctness gate: replication must change no served bit.
+    let mut single_results: Vec<Vec<Prediction>> = Vec::new();
+    let t0 = Instant::now();
+    for round in 0..ROUNDS {
+        for (user, maps) in &requests {
+            let r = single.predict(user, maps).expect("benchmark users are onboarded");
+            if round == 0 {
+                single_results.push(r);
+            }
+        }
+    }
+    let single_predict_secs = t0.elapsed().as_secs_f32();
+
+    let mut cluster_results: Vec<Vec<Prediction>> = Vec::new();
+    let t0 = Instant::now();
+    for round in 0..ROUNDS {
+        for (user, maps) in &requests {
+            let r = cluster.predict(user, maps).expect("benchmark users are onboarded");
+            if round == 0 {
+                cluster_results.push(r);
+            }
+        }
+    }
+    let cluster_predict_secs = t0.elapsed().as_secs_f32();
+    assert_eq!(
+        single_results, cluster_results,
+        "cluster output diverged from the single engine"
+    );
+
+    let predict_windows_per_sec_single =
+        (ROUNDS * total_windows) as f32 / single_predict_secs.max(1e-9);
+    let predict_windows_per_sec_cluster =
+        (ROUNDS * total_windows) as f32 / cluster_predict_secs.max(1e-9);
+    let predict_overhead_x =
+        predict_windows_per_sec_single / predict_windows_per_sec_cluster.max(1e-9);
+    eprintln!(
+        "prediction: {predict_windows_per_sec_single:.0} windows/sec single, \
+         {predict_windows_per_sec_cluster:.0} windows/sec replicated ({predict_overhead_x:.2}x)"
+    );
+
+    // Catch-up sweep: cut the follower link on one partition, let the
+    // leader accumulate a WAL suffix, heal, and time the drain.
+    let mut catch_up = Vec::new();
+    for (step, &ops) in LAG_STEPS.iter().enumerate() {
+        settle(&mut cluster);
+        let partition = cluster.partition_of("user-0");
+        let leader = cluster
+            .leader_of_partition(partition)
+            .expect("partition has a leader");
+        let follower = cluster
+            .follower_of_partition(partition)
+            .expect("partition has a follower");
+        cluster.net_mut().partition_link(leader, follower);
+        for i in 0..ops {
+            let user = user_on_partition(&cluster, partition, step * 1000 + i);
+            cluster
+                .onboard(&user, &maps_of(&data, i, 0, 2))
+                .expect("lagging onboards still commit on the leader");
+        }
+        let lag = cluster.lag_of(partition);
+        cluster.net_mut().heal_all();
+        let catch_up_ms = settle(&mut cluster) * 1e3;
+        eprintln!("catch-up: lag {lag} drained in {catch_up_ms:.1} ms");
+        catch_up.push(CatchUpPoint { lag, catch_up_ms });
+    }
+
+    // Failover: kill the member leading user-0's partition and time the
+    // promotion (catch-up from the dead leader's disk, role flip, and
+    // seeding of a replacement follower for every partition it led).
+    let partition = cluster.partition_of("user-0");
+    let victim = cluster
+        .leader_of_partition(partition)
+        .expect("partition has a leader");
+    let failover_partitions = (0..cluster.partition_count())
+        .filter(|&p| cluster.leader_of_partition(p) == Some(victim))
+        .count();
+    let t0 = Instant::now();
+    cluster.kill_member(victim).expect("crash handled");
+    let failover_ms = t0.elapsed().as_secs_f32() * 1e3;
+    eprintln!("failover: {failover_partitions} partitions re-led in {failover_ms:.1} ms");
+
+    // Post-failover correctness: the promoted follower serves user-0's
+    // exact bits.
+    let (user, maps) = &requests[0];
+    let after = cluster.predict(user, maps).expect("promoted follower serves");
+    assert_eq!(
+        single_results[0], after,
+        "failover changed served bits for user-0"
+    );
+    cluster.restart_member(victim).expect("restart handled");
+    settle(&mut cluster);
+
+    let obs = registry.snapshot();
+    let results = ClusterBench {
+        users: USERS,
+        members: 3,
+        partitions: cluster.partition_count(),
+        windows_per_request,
+        onboard_ops_per_sec_single,
+        onboard_ops_per_sec_cluster,
+        replication_overhead_x,
+        predict_windows_per_sec_single,
+        predict_windows_per_sec_cluster,
+        predict_overhead_x,
+        frames_shipped: counter(&obs, clear_obs::counters::CLUSTER_FRAMES_SHIPPED),
+        frames_acked: counter(&obs, clear_obs::counters::CLUSTER_FRAMES_ACKED),
+        net_messages: counter(&obs, clear_obs::counters::CLUSTER_NET_MESSAGES),
+        failover_partitions,
+        failover_ms,
+        catch_up,
+    };
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_cluster.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_cluster_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    clear_obs::uninstall();
+}

@@ -1,0 +1,1128 @@
+//! The partitioned, replicated serving cluster.
+//!
+//! [`ServeCluster`] owns a set of member [`ServeEngine`]s and routes
+//! every user to one *partition* (consistent hash of the user id, stable
+//! across membership changes). Each partition has a **leader** engine
+//! that serves all traffic and a **follower** engine kept current by
+//! *WAL shipping*: after every mutation the leader exports the WAL
+//! suffix past the follower's acknowledged LSN and sends it through the
+//! [`Transport`]. Followers replay the records — which carry logged
+//! *results*, never inputs — so replication costs no training and the
+//! follower's registry is bit-identical to the leader's at every acked
+//! LSN.
+//!
+//! The shipping path is defensive end to end: duplicate frames dedupe by
+//! LSN, gaps are detected and re-shipped, lost frames and acks are
+//! retried with exponential backoff, and a follower that detects
+//! divergence (a frame that contradicts its own state) latches itself
+//! quarantined until reseeded from a leader snapshot. Failures of whole
+//! members are first-class: [`ServeCluster::kill_member`] (crash, disk
+//! survives) triggers failover — the follower catches up from the dead
+//! leader's disk and is promoted — while [`ServeCluster::destroy_member`]
+//! (disk lost) promotes only a fully-acked follower and otherwise
+//! degrades the partition to read-only follower serving rather than
+//! silently dropping acknowledged writes.
+
+use clear_core::deployment::{
+    ClearBundle, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
+};
+use clear_durable::{
+    read_records, DurableConfig, DurableError, EngineSnapshot, MemStorage, Storage, WalRecord,
+};
+use clear_features::FeatureMap;
+use clear_nn::train::TrainConfig;
+use clear_obs::counters;
+use clear_serve::{EngineConfig, ServeEngine, ServeError};
+use clear_sim::Emotion;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::net::{Envelope, Message, Transport};
+use crate::ring::Partitioner;
+use crate::MemberId;
+
+/// Errors of the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The partition currently has no live leader (and, for reads, no
+    /// servable follower). Mutations are rejected rather than risked.
+    PartitionUnavailable {
+        /// The affected partition.
+        partition: usize,
+    },
+    /// `flush` could not drive the follower to the leader's LSN within
+    /// the configured retries/backoff.
+    ReplicationTimeout {
+        /// The lagging partition.
+        partition: usize,
+        /// Records still unacknowledged.
+        lag: u64,
+    },
+    /// The follower latched itself after detecting divergence; it must
+    /// be reseeded before replication can resume.
+    FollowerDiverged {
+        /// The affected partition.
+        partition: usize,
+        /// The latched follower.
+        member: MemberId,
+    },
+    /// The member id is not part of the cluster.
+    UnknownMember(MemberId),
+    /// The target member is known but not up.
+    MemberDown(MemberId),
+    /// A cluster needs at least one member.
+    NoMembers,
+    /// An underlying engine operation failed.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::PartitionUnavailable { partition } => {
+                write!(f, "partition {partition} has no live leader")
+            }
+            ClusterError::ReplicationTimeout { partition, lag } => write!(
+                f,
+                "partition {partition} replication timed out with {lag} unacknowledged records"
+            ),
+            ClusterError::FollowerDiverged { partition, member } => write!(
+                f,
+                "follower {member} of partition {partition} latched after divergence"
+            ),
+            ClusterError::UnknownMember(m) => write!(f, "member {m} is not part of the cluster"),
+            ClusterError::MemberDown(m) => write!(f, "member {m} is down"),
+            ClusterError::NoMembers => write!(f, "a cluster needs at least one member"),
+            ClusterError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for ClusterError {
+    fn from(e: ServeError) -> Self {
+        ClusterError::Serve(e)
+    }
+}
+
+impl From<DurableError> for ClusterError {
+    fn from(e: DurableError) -> Self {
+        ClusterError::Serve(ServeError::Durable(e))
+    }
+}
+
+/// Cluster-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Fixed partition count (floor 1). A user's partition is
+    /// `hash(user) % partitions` forever; only partition *placement*
+    /// moves with membership.
+    pub partitions: usize,
+    /// Virtual nodes per member on the placement ring.
+    pub vnodes: usize,
+    /// Per-member engine configuration.
+    pub engine: EngineConfig,
+    /// Re-ship attempts after the first before a partition is declared
+    /// lagging (each attempt doubles the tick budget, capped at 16×).
+    pub ship_retries: usize,
+    /// Network ticks granted to the first shipping attempt.
+    pub ship_timeout_ticks: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 8,
+            vnodes: 64,
+            engine: EngineConfig::default(),
+            ship_retries: 4,
+            ship_timeout_ticks: 8,
+        }
+    }
+}
+
+/// One member's copy of one partition: its private storage (the
+/// "disk"), the engine running over it (None while the member is down),
+/// and the divergence latch.
+struct Replica {
+    storage: Arc<MemStorage>,
+    engine: Option<ServeEngine>,
+    latched: bool,
+}
+
+/// Liveness of a member process.
+#[derive(Debug, Clone, Copy)]
+struct Member {
+    up: bool,
+}
+
+/// Per-partition replication bookkeeping, all from the orchestrator's
+/// point of view.
+#[derive(Debug, Clone, Copy)]
+struct PartitionState {
+    /// Serving leader. `None` only after a destroy with a lagging
+    /// follower (promoting would drop acknowledged writes).
+    leader: Option<MemberId>,
+    /// Replication target, when one exists.
+    follower: Option<MemberId>,
+    /// Highest LSN the follower has acknowledged.
+    acked: u64,
+    /// The leader's WAL tip as of the last shipping attempt.
+    leader_last: u64,
+    /// Shipping attempts that needed a retry (for tests/bench).
+    retries: u64,
+}
+
+/// A partitioned, replicated cluster of serving engines. Single-threaded
+/// by design: it is the *orchestration* layer, and determinism — the
+/// same call sequence always produces the same replication schedule — is
+/// what makes the fault-matrix tests able to demand bit-identical
+/// convergence.
+pub struct ServeCluster {
+    bundle: ClearBundle,
+    policy: ServingPolicy,
+    config: ClusterConfig,
+    partitioner: Partitioner,
+    members: BTreeMap<MemberId, Member>,
+    partitions: Vec<PartitionState>,
+    replicas: HashMap<(MemberId, usize), Replica>,
+    net: Box<dyn Transport>,
+}
+
+impl ServeCluster {
+    /// Builds a cluster over `member_ids`, placing every partition's
+    /// leader and follower via consistent hashing and creating fresh
+    /// durable engines (in-memory disks, WAL-logged) for each replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoMembers`] for an empty member list, or any
+    /// engine-construction error.
+    pub fn new(
+        bundle: ClearBundle,
+        policy: ServingPolicy,
+        member_ids: &[MemberId],
+        config: ClusterConfig,
+        net: Box<dyn Transport>,
+    ) -> Result<Self, ClusterError> {
+        if member_ids.is_empty() {
+            return Err(ClusterError::NoMembers);
+        }
+        let mut partitioner = Partitioner::new(config.partitions, config.vnodes);
+        let mut members = BTreeMap::new();
+        for &m in member_ids {
+            partitioner.add_member(m);
+            members.insert(m, Member { up: true });
+        }
+        let mut cluster = Self {
+            bundle,
+            policy,
+            config,
+            partitioner,
+            members,
+            partitions: Vec::new(),
+            replicas: HashMap::new(),
+            net,
+        };
+        for partition in 0..cluster.partitioner.partitions() {
+            let leader = cluster
+                .partitioner
+                .leader_of(partition)
+                .ok_or(ClusterError::NoMembers)?;
+            let replica = cluster.blank_replica()?;
+            cluster.replicas.insert((leader, partition), replica);
+            let follower = cluster.partitioner.follower_of(partition);
+            if let Some(f) = follower {
+                let replica = cluster.blank_replica()?;
+                cluster.replicas.insert((f, partition), replica);
+            }
+            cluster.partitions.push(PartitionState {
+                leader: Some(leader),
+                follower,
+                acked: 0,
+                leader_last: 0,
+                retries: 0,
+            });
+        }
+        Ok(cluster)
+    }
+
+    /// A fresh replica: empty in-memory disk, durable engine over it.
+    /// Automatic snapshots stay off — the cluster checkpoints explicitly
+    /// so it can gate truncation on replication progress.
+    fn blank_replica(&self) -> Result<Replica, ClusterError> {
+        let storage = Arc::new(MemStorage::new());
+        let engine = ServeEngine::recover_with(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            self.bundle.clone(),
+            self.policy,
+            self.config.engine,
+            DurableConfig {
+                snapshot_every_ops: 0,
+            },
+        )?;
+        Ok(Replica {
+            storage,
+            engine: Some(engine),
+            latched: false,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition serving `user`.
+    pub fn partition_of(&self, user: &str) -> usize {
+        self.partitioner.partition_of(user)
+    }
+
+    /// Current leader of a partition (may be a down member after a
+    /// crash that left no viable follower; see [`ServeCluster::is_up`]).
+    pub fn leader_of_partition(&self, partition: usize) -> Option<MemberId> {
+        self.partitions[partition].leader
+    }
+
+    /// Current follower of a partition.
+    pub fn follower_of_partition(&self, partition: usize) -> Option<MemberId> {
+        self.partitions[partition].follower
+    }
+
+    /// Records the follower has yet to acknowledge for a partition.
+    pub fn lag_of(&self, partition: usize) -> u64 {
+        let st = &self.partitions[partition];
+        st.leader_last.saturating_sub(st.acked)
+    }
+
+    /// Shipping attempts that needed at least one retry, per partition.
+    pub fn retries_of(&self, partition: usize) -> u64 {
+        self.partitions[partition].retries
+    }
+
+    /// Whether a member process is up.
+    pub fn is_up(&self, member: MemberId) -> bool {
+        self.members.get(&member).is_some_and(|m| m.up)
+    }
+
+    /// Whether a member's replica of a partition has latched itself
+    /// after detecting divergence.
+    pub fn is_latched(&self, member: MemberId, partition: usize) -> bool {
+        self.replicas
+            .get(&(member, partition))
+            .is_some_and(|r| r.latched)
+    }
+
+    /// All member ids, up or down.
+    pub fn member_ids(&self) -> Vec<MemberId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Direct access to the transport, for fault scripting in tests
+    /// (partitioning links, injecting traffic).
+    pub fn net_mut(&mut self) -> &mut dyn Transport {
+        &mut *self.net
+    }
+
+    fn require_member(&self, member: MemberId) -> Result<(), ClusterError> {
+        if self.members.contains_key(&member) {
+            Ok(())
+        } else {
+            Err(ClusterError::UnknownMember(member))
+        }
+    }
+
+    fn replica_engine(
+        &self,
+        member: MemberId,
+        partition: usize,
+    ) -> Result<&ServeEngine, ClusterError> {
+        self.replicas
+            .get(&(member, partition))
+            .and_then(|r| r.engine.as_ref())
+            .ok_or(ClusterError::PartitionUnavailable { partition })
+    }
+
+    /// The engine that can answer *reads* for `user` right now: the live
+    /// leader, else the live unlatched follower.
+    fn serving_engine(&self, user: &str) -> Result<&ServeEngine, ClusterError> {
+        let partition = self.partitioner.partition_of(user);
+        let st = &self.partitions[partition];
+        if let Some(l) = st.leader.filter(|&m| self.is_up(m)) {
+            return self.replica_engine(l, partition);
+        }
+        if let Some(f) = st
+            .follower
+            .filter(|&m| self.is_up(m) && !self.is_latched(m, partition))
+        {
+            return self.replica_engine(f, partition);
+        }
+        Err(ClusterError::PartitionUnavailable { partition })
+    }
+
+    /// The user's current model generation stamp.
+    pub fn generation_of(&self, user: &str) -> Result<u64, ClusterError> {
+        Ok(self.serving_engine(user)?.generation_of(user)?)
+    }
+
+    /// The cluster model the user was assigned to.
+    pub fn cluster_of(&self, user: &str) -> Result<usize, ClusterError> {
+        Ok(self.serving_engine(user)?.cluster_of(user)?)
+    }
+
+    /// Good maps buffered for a user whose onboarding is still deferred.
+    pub fn pending_maps(&self, user: &str) -> Result<usize, ClusterError> {
+        Ok(self.serving_engine(user)?.pending_maps(user))
+    }
+
+    /// Highest LSN the follower of `partition` has acknowledged.
+    pub fn acked_of(&self, partition: usize) -> u64 {
+        self.partitions[partition].acked
+    }
+
+    /// Whether the user has an adopted personalized fork.
+    pub fn is_personalized(&self, user: &str) -> Result<bool, ClusterError> {
+        Ok(self.serving_engine(user)?.is_personalized(user))
+    }
+
+    /// Windows quarantined so far for the user.
+    pub fn quarantined_count(&self, user: &str) -> Result<usize, ClusterError> {
+        Ok(self.serving_engine(user)?.quarantined_count(user))
+    }
+
+    fn mutable_leader(&self, partition: usize) -> Result<MemberId, ClusterError> {
+        match self.partitions[partition].leader.filter(|&m| self.is_up(m)) {
+            Some(m) => Ok(m),
+            None => {
+                clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
+                Err(ClusterError::PartitionUnavailable { partition })
+            }
+        }
+    }
+
+    fn update_lag_gauge(&self) {
+        let lag = (0..self.partitions.len())
+            .map(|p| self.lag_of(p))
+            .max()
+            .unwrap_or(0);
+        clear_obs::gauge_set(clear_obs::CLUSTER_FOLLOWER_LAG_GAUGE, lag as i64);
+    }
+
+    // ------------------------------------------------------------------
+    // Serving API
+    // ------------------------------------------------------------------
+
+    /// Onboards a user on their partition's leader, then replicates.
+    pub fn onboard(&mut self, user: &str, maps: &[FeatureMap]) -> Result<Onboarding, ClusterError> {
+        let partition = self.partitioner.partition_of(user);
+        let leader = self.mutable_leader(partition)?;
+        let out = self.replica_engine(leader, partition)?.onboard(user, maps)?;
+        self.replicate(partition)?;
+        Ok(out)
+    }
+
+    /// Serves predictions for a user. On a healthy partition this is the
+    /// leader path (quarantine commits, then replicates). On a
+    /// leaderless partition it degrades to *read-only* follower serving:
+    /// identical bits, no state commits.
+    pub fn predict(
+        &mut self,
+        user: &str,
+        maps: &[FeatureMap],
+    ) -> Result<Vec<Prediction>, ClusterError> {
+        let partition = self.partitioner.partition_of(user);
+        if let Some(leader) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) {
+            let out = self.replica_engine(leader, partition)?.predict(user, maps)?;
+            self.replicate(partition)?;
+            return Ok(out);
+        }
+        let follower = self.partitions[partition]
+            .follower
+            .filter(|&m| self.is_up(m) && !self.is_latched(m, partition));
+        let Some(follower) = follower else {
+            clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
+            return Err(ClusterError::PartitionUnavailable { partition });
+        };
+        clear_obs::counter_add(counters::CLUSTER_READONLY_SERVES, 1);
+        Ok(self
+            .replica_engine(follower, partition)?
+            .predict_readonly(user, maps)?)
+    }
+
+    /// Personalizes a user on their partition's leader, then replicates
+    /// the adopted delta (followers apply the logged weights — they
+    /// never retrain).
+    pub fn personalize(
+        &mut self,
+        user: &str,
+        labeled: &[(FeatureMap, Emotion)],
+        config: &TrainConfig,
+    ) -> Result<PersonalizeOutcome, ClusterError> {
+        let partition = self.partitioner.partition_of(user);
+        let leader = self.mutable_leader(partition)?;
+        let out = self
+            .replica_engine(leader, partition)?
+            .personalize(user, labeled, config)?;
+        self.replicate(partition)?;
+        Ok(out)
+    }
+
+    /// Offboards a user on their partition's leader, then replicates.
+    pub fn offboard(&mut self, user: &str) -> Result<bool, ClusterError> {
+        let partition = self.partitioner.partition_of(user);
+        let leader = self.mutable_leader(partition)?;
+        let out = self.replica_engine(leader, partition)?.offboard(user)?;
+        self.replicate(partition)?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Replication
+    // ------------------------------------------------------------------
+
+    /// Advances the network one tick and processes every live member's
+    /// inbox. Exposed so tests can drive partial delivery schedules.
+    pub fn pump(&mut self) {
+        self.net.tick();
+        let live: Vec<MemberId> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.up)
+            .map(|(&id, _)| id)
+            .collect();
+        for member in live {
+            for env in self.net.poll(member) {
+                self.deliver(member, env);
+            }
+        }
+    }
+
+    /// Handles one delivered envelope at `to`.
+    fn deliver(&mut self, to: MemberId, env: Envelope) {
+        match env.msg {
+            Message::Ship { partition, records } => {
+                if partition >= self.partitions.len()
+                    || self.partitions[partition].follower != Some(to)
+                {
+                    return; // stale traffic for a role this member no longer holds
+                }
+                let mut ack = None;
+                if let Some(replica) = self.replicas.get_mut(&(to, partition)) {
+                    if replica.latched {
+                        ack = Some((0, true));
+                    } else if let Some(engine) = replica.engine.as_ref() {
+                        let before = engine.wal_last_lsn().unwrap_or(0);
+                        match engine.import_records(&records) {
+                            Ok(report) => {
+                                let diverged = report.diverged.is_some();
+                                if diverged {
+                                    replica.latched = true;
+                                    clear_obs::counter_add(
+                                        counters::CLUSTER_FOLLOWER_DIVERGENCE,
+                                        1,
+                                    );
+                                }
+                                let applied = report.applied_through.max(before);
+                                clear_obs::counter_add(
+                                    counters::CLUSTER_FRAMES_ACKED,
+                                    applied.saturating_sub(before),
+                                );
+                                ack = Some((applied, diverged));
+                            }
+                            Err(_) => {
+                                replica.latched = true;
+                                clear_obs::counter_add(counters::CLUSTER_FOLLOWER_DIVERGENCE, 1);
+                                ack = Some((0, true));
+                            }
+                        }
+                    }
+                }
+                if let Some((applied_through, diverged)) = ack {
+                    self.net.send(Envelope {
+                        from: to,
+                        to: env.from,
+                        msg: Message::ShipAck {
+                            partition,
+                            applied_through,
+                            diverged,
+                        },
+                    });
+                }
+            }
+            Message::ShipAck {
+                partition,
+                applied_through,
+                diverged,
+            } => {
+                if partition >= self.partitions.len() {
+                    return;
+                }
+                let st = &mut self.partitions[partition];
+                if st.leader != Some(to) || st.follower != Some(env.from) {
+                    return; // ack from a demoted or stale pairing
+                }
+                if diverged {
+                    if let Some(r) = self.replicas.get_mut(&(env.from, partition)) {
+                        r.latched = true;
+                    }
+                } else {
+                    st.acked = st.acked.max(applied_through);
+                }
+            }
+        }
+    }
+
+    /// Ships the leader's WAL suffix past the acked LSN to the follower,
+    /// with bounded retries and exponential backoff. Replication lag is
+    /// not an error here — mutations stay committed on the leader and
+    /// [`ServeCluster::flush`] reports persistent lag as a typed
+    /// timeout.
+    fn replicate(&mut self, partition: usize) -> Result<(), ClusterError> {
+        let _span = clear_obs::span(clear_obs::Stage::ClusterShip);
+        let (leader, follower) = {
+            let st = &self.partitions[partition];
+            (st.leader, st.follower)
+        };
+        let Some(leader) = leader.filter(|&m| self.is_up(m)) else {
+            return Ok(());
+        };
+        let leader_last = self
+            .replica_engine(leader, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
+        self.partitions[partition].leader_last = leader_last;
+        let Some(follower) = follower.filter(|&m| self.is_up(m)) else {
+            self.update_lag_gauge();
+            return Ok(());
+        };
+        if self.is_latched(follower, partition) {
+            self.update_lag_gauge();
+            return Ok(());
+        }
+        let mut attempt: usize = 0;
+        while self.partitions[partition].acked < leader_last
+            && attempt <= self.config.ship_retries
+        {
+            let acked = self.partitions[partition].acked;
+            let records = self
+                .replica_engine(leader, partition)?
+                .export_records_after(acked)?;
+            if records.first().is_some_and(|r| r.lsn > acked + 1) {
+                // The follower is behind the leader's snapshot horizon;
+                // record shipping cannot bridge that, so transfer a
+                // snapshot out of band and resume shipping from there.
+                let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
+                self.rebuild_replica_from_snapshot(follower, partition, &snap)?;
+                self.partitions[partition].acked = snap.last_lsn;
+                continue;
+            }
+            if records.is_empty() {
+                break;
+            }
+            clear_obs::counter_add(counters::CLUSTER_FRAMES_SHIPPED, records.len() as u64);
+            if attempt > 0 {
+                clear_obs::counter_add(counters::CLUSTER_FRAMES_RETRIED, records.len() as u64);
+                self.partitions[partition].retries += 1;
+            }
+            self.net.send(Envelope {
+                from: leader,
+                to: follower,
+                msg: Message::Ship { partition, records },
+            });
+            let budget = self
+                .config
+                .ship_timeout_ticks
+                .saturating_mul(1u64 << attempt.min(4))
+                .max(1);
+            for _ in 0..budget {
+                self.pump();
+                if self.partitions[partition].acked >= leader_last
+                    || self.is_latched(follower, partition)
+                {
+                    break;
+                }
+            }
+            if self.is_latched(follower, partition) {
+                break;
+            }
+            attempt += 1;
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Drives every healthy partition's replication to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::FollowerDiverged`] for a latched follower,
+    /// [`ClusterError::ReplicationTimeout`] when retries and backoff
+    /// could not close the gap (e.g. the link is partitioned).
+    pub fn flush(&mut self) -> Result<(), ClusterError> {
+        for partition in 0..self.partitions.len() {
+            let st = &self.partitions[partition];
+            if st.leader.filter(|&m| self.is_up(m)).is_none() {
+                continue;
+            }
+            let Some(follower) = st.follower else {
+                continue;
+            };
+            if self.is_latched(follower, partition) {
+                return Err(ClusterError::FollowerDiverged {
+                    partition,
+                    member: follower,
+                });
+            }
+            if !self.is_up(follower) {
+                continue;
+            }
+            self.replicate(partition)?;
+            let st = &self.partitions[partition];
+            if let Some(f) = st.follower {
+                if self.is_latched(f, partition) {
+                    return Err(ClusterError::FollowerDiverged {
+                        partition,
+                        member: f,
+                    });
+                }
+            }
+            if st.acked < st.leader_last {
+                return Err(ClusterError::ReplicationTimeout {
+                    partition,
+                    lag: st.leader_last - st.acked,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every leader whose follower is fully caught up (or
+    /// absent/latched), truncating its WAL. Lagging partitions are
+    /// skipped: truncating unshipped records would force a snapshot
+    /// transfer later for no reason.
+    pub fn checkpoint(&self) -> Result<(), ClusterError> {
+        for partition in 0..self.partitions.len() {
+            let st = &self.partitions[partition];
+            let Some(leader) = st.leader.filter(|&m| self.is_up(m)) else {
+                continue;
+            };
+            let engine = self.replica_engine(leader, partition)?;
+            let last = engine.wal_last_lsn().unwrap_or(0);
+            let lagging = match st.follower {
+                Some(f) => !self.is_latched(f, partition) && st.acked < last,
+                None => false,
+            };
+            if lagging {
+                continue;
+            }
+            engine.snapshot()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Membership and failure handling
+    // ------------------------------------------------------------------
+
+    /// Rebuilds `(member, partition)` from a snapshot: fresh or reused
+    /// disk, snapshot published, WAL restarted at the snapshot horizon,
+    /// latch cleared.
+    fn rebuild_replica_from_snapshot(
+        &mut self,
+        member: MemberId,
+        partition: usize,
+        snap: &EngineSnapshot,
+    ) -> Result<(), ClusterError> {
+        let replica = self
+            .replicas
+            .entry((member, partition))
+            .or_insert_with(|| Replica {
+                storage: Arc::new(MemStorage::new()),
+                engine: None,
+                latched: false,
+            });
+        // Drop the old engine before rebuilding over its storage.
+        replica.engine = None;
+        let storage = Arc::clone(&replica.storage) as Arc<dyn Storage>;
+        let engine = ServeEngine::from_snapshot(
+            storage,
+            snap,
+            self.bundle.clone(),
+            self.policy,
+            self.config.engine,
+            DurableConfig {
+                snapshot_every_ops: 0,
+            },
+        )?;
+        replica.engine = Some(engine);
+        replica.latched = false;
+        Ok(())
+    }
+
+    /// Catches `member`'s replica up to everything on `storage` (a dead
+    /// leader's surviving disk): snapshot transfer when the replica is
+    /// behind the snapshot horizon, then WAL-suffix import. Replay
+    /// applies logged results — nothing retrains.
+    fn catch_up_from_storage(
+        &mut self,
+        member: MemberId,
+        partition: usize,
+        storage: &dyn Storage,
+    ) -> Result<(), ClusterError> {
+        let _span = clear_obs::span(clear_obs::Stage::ClusterCatchUp);
+        let snap = EngineSnapshot::load(storage)?;
+        let horizon = snap.as_ref().map_or(0, |s| s.last_lsn);
+        let applied = self
+            .replica_engine(member, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
+        if applied < horizon {
+            let snap = snap.expect("positive horizon implies a snapshot");
+            self.rebuild_replica_from_snapshot(member, partition, &snap)?;
+        }
+        let applied = self
+            .replica_engine(member, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
+        let suffix: Vec<WalRecord> = read_records(storage)?
+            .into_iter()
+            .filter(|r| r.lsn > applied)
+            .collect();
+        if !suffix.is_empty() {
+            let report = self
+                .replica_engine(member, partition)?
+                .import_records(&suffix)?;
+            if report.gap_at.is_some() || report.diverged.is_some() {
+                if let Some(r) = self.replicas.get_mut(&(member, partition)) {
+                    r.latched = true;
+                }
+                clear_obs::counter_add(counters::CLUSTER_FOLLOWER_DIVERGENCE, 1);
+                return Err(ClusterError::FollowerDiverged { partition, member });
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds a follower for a partition on the best available member
+    /// (ring preference, then any live member that is not the leader)
+    /// via snapshot transfer from the live leader. No candidate is not
+    /// an error — the partition simply runs unreplicated.
+    fn seed_follower(&mut self, partition: usize) -> Result<(), ClusterError> {
+        let Some(leader) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) else {
+            return Ok(());
+        };
+        let preferred = self
+            .partitioner
+            .follower_of(partition)
+            .filter(|&m| m != leader && self.is_up(m));
+        let candidate = preferred.or_else(|| {
+            self.members
+                .iter()
+                .filter(|&(&m, state)| state.up && m != leader)
+                .map(|(&m, _)| m)
+                .next()
+        });
+        let Some(candidate) = candidate else {
+            self.partitions[partition].follower = None;
+            self.update_lag_gauge();
+            return Ok(());
+        };
+        let _span = clear_obs::span(clear_obs::Stage::ClusterCatchUp);
+        let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
+        self.rebuild_replica_from_snapshot(candidate, partition, &snap)?;
+        let st = &mut self.partitions[partition];
+        st.follower = Some(candidate);
+        st.acked = snap.last_lsn;
+        st.leader_last = snap.last_lsn;
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Promotes the follower of a partition whose leader just died with
+    /// its disk intact: catch up from that disk (snapshot + WAL suffix),
+    /// promote, and seed a replacement follower.
+    fn failover(&mut self, partition: usize) -> Result<(), ClusterError> {
+        let _span = clear_obs::span(clear_obs::Stage::ClusterFailover);
+        let Some(dead) = self.partitions[partition].leader else {
+            return Ok(());
+        };
+        let viable = self.partitions[partition]
+            .follower
+            .filter(|&f| self.is_up(f) && !self.is_latched(f, partition));
+        let Some(next) = viable else {
+            // No viable follower. The dead leader keeps the role on the
+            // books (its disk survives), so restart_member can resume
+            // it; until then the partition rejects mutations.
+            self.update_lag_gauge();
+            return Ok(());
+        };
+        if let Some(storage) = self
+            .replicas
+            .get(&(dead, partition))
+            .map(|r| Arc::clone(&r.storage))
+        {
+            self.catch_up_from_storage(next, partition, storage.as_ref())?;
+        }
+        clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
+        let last = self
+            .replica_engine(next, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
+        // The dead leader's replica served its purpose; a restarted
+        // member comes back as a freshly seeded follower instead.
+        self.replicas.remove(&(dead, partition));
+        {
+            let st = &mut self.partitions[partition];
+            st.leader = Some(next);
+            st.follower = None;
+            st.acked = last;
+            st.leader_last = last;
+        }
+        self.seed_follower(partition)?;
+        Ok(())
+    }
+
+    /// A member process crashes; its disk survives. Partitions it led
+    /// fail over (followers catch up from the surviving disk before
+    /// promotion); partitions it followed get replacement followers.
+    pub fn kill_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        self.require_member(member)?;
+        self.members.insert(member, Member { up: false });
+        // The process is gone: engines vanish, disks stay.
+        for ((m, _), replica) in self.replicas.iter_mut() {
+            if *m == member {
+                replica.engine = None;
+            }
+        }
+        for partition in 0..self.partitions.len() {
+            if self.partitions[partition].leader == Some(member) {
+                self.failover(partition)?;
+            } else if self.partitions[partition].follower == Some(member) {
+                self.partitions[partition].follower = None;
+                self.seed_follower(partition)?;
+            }
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// A member is lost *with its disk*. Partitions it led promote their
+    /// follower only when fully acknowledged — otherwise acknowledged
+    /// writes would silently disappear — and degrade to leaderless
+    /// read-only serving until [`ServeCluster::force_promote`].
+    pub fn destroy_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        self.require_member(member)?;
+        self.members.insert(member, Member { up: false });
+        self.replicas.retain(|&(m, _), _| m != member);
+        for partition in 0..self.partitions.len() {
+            let st = self.partitions[partition];
+            if st.leader == Some(member) {
+                let caught_up = st.follower.is_some_and(|f| {
+                    self.is_up(f) && !self.is_latched(f, partition) && st.acked >= st.leader_last
+                });
+                if caught_up {
+                    let _span = clear_obs::span(clear_obs::Stage::ClusterFailover);
+                    clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
+                    let next = st.follower.expect("caught_up implies follower");
+                    let last = self
+                        .replica_engine(next, partition)?
+                        .wal_last_lsn()
+                        .unwrap_or(0);
+                    {
+                        let st = &mut self.partitions[partition];
+                        st.leader = Some(next);
+                        st.follower = None;
+                        st.acked = last;
+                        st.leader_last = last;
+                    }
+                    self.seed_follower(partition)?;
+                } else {
+                    self.partitions[partition].leader = None;
+                }
+            } else if st.follower == Some(member) {
+                self.partitions[partition].follower = None;
+                self.seed_follower(partition)?;
+            }
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Promotes the follower of a leaderless partition, accepting the
+    /// loss of whatever the destroyed leader had not replicated. An
+    /// explicit operator decision, never automatic.
+    pub fn force_promote(&mut self, partition: usize) -> Result<(), ClusterError> {
+        if self.partitions[partition].leader.is_some() {
+            return Ok(());
+        }
+        let viable = self.partitions[partition]
+            .follower
+            .filter(|&f| self.is_up(f) && !self.is_latched(f, partition));
+        let Some(next) = viable else {
+            clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
+            return Err(ClusterError::PartitionUnavailable { partition });
+        };
+        let _span = clear_obs::span(clear_obs::Stage::ClusterFailover);
+        clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
+        let last = self
+            .replica_engine(next, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
+        {
+            let st = &mut self.partitions[partition];
+            st.leader = Some(next);
+            st.follower = None;
+            st.acked = last;
+            st.leader_last = last;
+        }
+        self.seed_follower(partition)?;
+        Ok(())
+    }
+
+    /// Restarts a crashed member: recovers every surviving replica from
+    /// its disk (snapshot seed + WAL replay — zero retraining), resumes
+    /// leadership of partitions it still holds, and fills follower
+    /// vacancies.
+    pub fn restart_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        self.require_member(member)?;
+        self.members.insert(member, Member { up: true });
+        let mine: Vec<usize> = self
+            .replicas
+            .keys()
+            .filter(|&&(m, _)| m == member)
+            .map(|&(_, p)| p)
+            .collect();
+        for partition in mine {
+            let storage = {
+                let replica = self
+                    .replicas
+                    .get_mut(&(member, partition))
+                    .expect("listed above");
+                if replica.engine.is_some() {
+                    continue;
+                }
+                Arc::clone(&replica.storage)
+            };
+            let engine = ServeEngine::recover_with(
+                storage as Arc<dyn Storage>,
+                self.bundle.clone(),
+                self.policy,
+                self.config.engine,
+                DurableConfig {
+                    snapshot_every_ops: 0,
+                },
+            )?;
+            if let Some(replica) = self.replicas.get_mut(&(member, partition)) {
+                replica.engine = Some(engine);
+                replica.latched = false;
+            }
+            if self.partitions[partition].leader == Some(member) {
+                // Resume leadership from our own disk; any surviving
+                // follower may be stale, so reseed it from us.
+                let last = self
+                    .replica_engine(member, partition)?
+                    .wal_last_lsn()
+                    .unwrap_or(0);
+                {
+                    let st = &mut self.partitions[partition];
+                    st.acked = last;
+                    st.leader_last = last;
+                }
+                self.seed_follower(partition)?;
+            }
+        }
+        for partition in 0..self.partitions.len() {
+            let st = &self.partitions[partition];
+            if st.follower.is_none()
+                && st.leader.is_some_and(|l| self.is_up(l) && l != member)
+            {
+                self.seed_follower(partition)?;
+            }
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Moves a partition's leadership to `to` via snapshot transfer. The
+    /// outgoing leader stays as the (trivially caught-up) follower, so
+    /// the partition keeps a replica throughout the move.
+    pub fn migrate_partition(
+        &mut self,
+        partition: usize,
+        to: MemberId,
+    ) -> Result<(), ClusterError> {
+        self.require_member(to)?;
+        if !self.is_up(to) {
+            return Err(ClusterError::MemberDown(to));
+        }
+        let Some(from) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) else {
+            clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
+            return Err(ClusterError::PartitionUnavailable { partition });
+        };
+        if from == to {
+            return Ok(());
+        }
+        let old_follower = self.partitions[partition].follower;
+        let snap = self.replica_engine(from, partition)?.export_snapshot()?;
+        self.rebuild_replica_from_snapshot(to, partition, &snap)?;
+        if let Some(f) = old_follower {
+            if f != to && f != from {
+                self.replicas.remove(&(f, partition));
+            }
+        }
+        {
+            let st = &mut self.partitions[partition];
+            st.leader = Some(to);
+            st.follower = Some(from);
+            st.acked = snap.last_lsn;
+            st.leader_last = snap.last_lsn;
+        }
+        clear_obs::counter_add(counters::CLUSTER_MIGRATIONS, 1);
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Adds a brand-new member (or restarts a known one). Consistent
+    /// hashing keeps movement minimal: only partitions whose ring owner
+    /// became the new member migrate to it; everything else stays put.
+    pub fn add_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
+        if self.members.contains_key(&member) {
+            return self.restart_member(member);
+        }
+        self.members.insert(member, Member { up: true });
+        self.partitioner.add_member(member);
+        for partition in 0..self.partitions.len() {
+            if self.partitioner.leader_of(partition) == Some(member) {
+                let current = self.partitions[partition].leader.filter(|&m| self.is_up(m));
+                if current.is_some_and(|m| m != member) {
+                    self.migrate_partition(partition, member)?;
+                }
+            } else if self.partitions[partition].follower.is_none() {
+                self.seed_follower(partition)?;
+            }
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Removes a latched (or stale) follower and seeds a fresh one from
+    /// the live leader — the recovery path after a divergence latch.
+    pub fn reseed_follower(&mut self, partition: usize) -> Result<(), ClusterError> {
+        if let Some(f) = self.partitions[partition].follower.take() {
+            self.replicas.remove(&(f, partition));
+        }
+        self.seed_follower(partition)
+    }
+}

@@ -1,0 +1,44 @@
+//! # clear-cluster — partitioned, replicated serving
+//!
+//! A single [`clear_serve::ServeEngine`] scales CLEAR to a population on
+//! one process; this crate scales it to a *fleet* and makes it survive
+//! the failures a fleet has: crashed members, lost disks, and a network
+//! that drops, duplicates, delays and partitions traffic.
+//!
+//! * [`ServeCluster`] — partitions users across member engines by
+//!   consistent hash ([`Partitioner`]: stable user→partition mapping,
+//!   ring-placed partition→member leadership with minimal movement on
+//!   membership change);
+//! * **WAL shipping** — every partition's leader replicates by sending
+//!   its write-ahead-log suffix to a follower engine, which replays the
+//!   logged *results* (assigned clusters, adopted weight deltas) — so a
+//!   follower is bit-identical at every acknowledged LSN and replication
+//!   never retrains anything, preserving the paper's zero-retraining
+//!   cold-start economics across the fleet;
+//! * [`SimNet`] — all member traffic flows through a deterministic,
+//!   seeded, tick-based network simulator with injectable loss,
+//!   duplication, delay (reordering) and link partitions, so the
+//!   fault-matrix tests can demand *bit-identical* convergence under
+//!   hostile schedules, not just eventual convergence;
+//! * **failover** — a crashed leader's follower catches up from the
+//!   surviving disk (snapshot transfer + LSN-suffix replay) and is
+//!   promoted; a destroyed leader (disk lost) promotes only a
+//!   fully-acknowledged follower, otherwise the partition degrades to
+//!   typed-error mutations and read-only follower serving;
+//! * **divergence quarantine** — a follower that receives a frame
+//!   contradicting its own state latches itself out of replication until
+//!   explicitly reseeded from a leader snapshot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Identifier of a cluster member (one serving process).
+pub type MemberId = usize;
+
+mod cluster;
+pub mod net;
+pub mod ring;
+
+pub use cluster::{ClusterConfig, ClusterError, ServeCluster};
+pub use net::{Envelope, FaultProfile, Message, SimNet, Transport};
+pub use ring::{hash_key, HashRing, Partitioner};

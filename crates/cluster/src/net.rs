@@ -1,0 +1,353 @@
+//! In-process member-to-member transport with deterministic fault
+//! injection.
+//!
+//! All replication traffic flows through the [`Transport`] trait, so the
+//! cluster logic never knows whether it is running over a perfect
+//! network or a hostile one. [`SimNet`] is the only implementation: a
+//! tick-based, seeded simulator that can drop, duplicate, delay
+//! (reorder) and partition messages. The same seed and the same call
+//! sequence always produce the same delivery schedule, which is what
+//! lets the fault-matrix tests assert *bit-identical* convergence under
+//! faults rather than merely "eventual" convergence.
+
+use clear_durable::WalRecord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::MemberId;
+
+/// A replication message between cluster members.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Leader → follower: a contiguous suffix of the partition's WAL.
+    Ship {
+        /// Partition the records belong to.
+        partition: usize,
+        /// WAL records, ascending contiguous LSNs.
+        records: Vec<WalRecord>,
+    },
+    /// Follower → leader: how far the follower has durably applied.
+    ShipAck {
+        /// Partition being acknowledged.
+        partition: usize,
+        /// Highest LSN the follower has applied and logged.
+        applied_through: u64,
+        /// The follower detected divergence and latched itself; the
+        /// leader must stop shipping and reseed it from a snapshot.
+        diverged: bool,
+    },
+}
+
+/// An addressed message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending member.
+    pub from: MemberId,
+    /// Receiving member.
+    pub to: MemberId,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// The wire the cluster runs on. Single-threaded and tick-based: `send`
+/// enqueues, `tick` advances simulated time, `poll` drains a member's
+/// inbox.
+pub trait Transport {
+    /// Submits an envelope for delivery (possibly lost, duplicated,
+    /// delayed or blocked, depending on the implementation).
+    fn send(&mut self, env: Envelope);
+    /// Advances simulated time one tick, releasing delayed messages.
+    fn tick(&mut self);
+    /// Drains every envelope currently deliverable to `member`.
+    fn poll(&mut self, member: MemberId) -> Vec<Envelope>;
+    /// Blocks both directions of the `a`↔`b` link (a network partition).
+    fn partition_link(&mut self, a: MemberId, b: MemberId);
+    /// Unblocks the `a`↔`b` link.
+    fn heal_link(&mut self, a: MemberId, b: MemberId);
+    /// Unblocks every link.
+    fn heal_all(&mut self);
+}
+
+/// Fault probabilities for [`SimNet`]. All probabilities are per
+/// envelope and independent; `0.0` everywhere yields a reliable,
+/// in-order network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability an envelope is silently dropped.
+    pub loss: f64,
+    /// Probability an envelope is delivered twice.
+    pub duplicate: f64,
+    /// Probability an envelope is held back `1..=max_delay_ticks` ticks
+    /// (the source of reordering relative to later sends).
+    pub delay: f64,
+    /// Maximum hold-back for a delayed envelope, in ticks.
+    pub max_delay_ticks: u64,
+}
+
+impl FaultProfile {
+    /// No faults: every envelope arrives exactly once, in send order.
+    pub fn reliable() -> Self {
+        Self {
+            loss: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_ticks: 0,
+        }
+    }
+
+    /// A hostile profile exercising every fault class at once.
+    pub fn hostile() -> Self {
+        Self {
+            loss: 0.2,
+            duplicate: 0.15,
+            delay: 0.3,
+            max_delay_ticks: 4,
+        }
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+/// Deterministic simulated network: per-member FIFO inboxes, a delay
+/// queue keyed by delivery tick, a blocked-link set, and a seeded RNG
+/// driving the fault rolls. Determinism contract: the same seed, profile
+/// and call sequence produce the same delivery schedule.
+pub struct SimNet {
+    rng: SmallRng,
+    profile: FaultProfile,
+    now: u64,
+    seq: u64,
+    inboxes: HashMap<MemberId, VecDeque<Envelope>>,
+    /// `(deliver_at, seq, env)`; drained in `(deliver_at, seq)` order so
+    /// release order never depends on map iteration.
+    delayed: Vec<(u64, u64, Envelope)>,
+    /// Normalized `(min, max)` member pairs whose link is down.
+    blocked: HashSet<(MemberId, MemberId)>,
+}
+
+fn link(a: MemberId, b: MemberId) -> (MemberId, MemberId) {
+    (a.min(b), a.max(b))
+}
+
+impl SimNet {
+    /// A simulated network with the given fault profile and seed.
+    pub fn new(seed: u64, profile: FaultProfile) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            profile,
+            now: 0,
+            seq: 0,
+            inboxes: HashMap::new(),
+            delayed: Vec::new(),
+            blocked: HashSet::new(),
+        }
+    }
+
+    /// A fault-free network (still tick-based, still partitionable).
+    pub fn reliable(seed: u64) -> Self {
+        Self::new(seed, FaultProfile::reliable())
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Envelopes currently held in the delay queue.
+    pub fn delayed_len(&self) -> usize {
+        self.delayed.len()
+    }
+
+    fn enqueue(&mut self, env: Envelope) {
+        self.inboxes.entry(env.to).or_default().push_back(env);
+    }
+}
+
+impl Transport for SimNet {
+    fn send(&mut self, env: Envelope) {
+        clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_MESSAGES, 1);
+        if self.blocked.contains(&link(env.from, env.to)) {
+            clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_DROPPED, 1);
+            return;
+        }
+        if self.profile.loss > 0.0 && self.rng.gen::<f64>() < self.profile.loss {
+            clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_DROPPED, 1);
+            return;
+        }
+        let copies = if self.profile.duplicate > 0.0 && self.rng.gen::<f64>() < self.profile.duplicate
+        {
+            clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_DUPLICATED, 1);
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            if self.profile.delay > 0.0
+                && self.profile.max_delay_ticks > 0
+                && self.rng.gen::<f64>() < self.profile.delay
+            {
+                clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_DELAYED, 1);
+                let hold = self.rng.gen_range(1..=self.profile.max_delay_ticks);
+                self.seq += 1;
+                self.delayed.push((self.now + hold, self.seq, env.clone()));
+            } else {
+                self.enqueue(env.clone());
+            }
+        }
+    }
+
+    fn tick(&mut self) {
+        self.now += 1;
+        if self.delayed.is_empty() {
+            return;
+        }
+        self.delayed.sort_by_key(|&(at, seq, _)| (at, seq));
+        let due = self.delayed.partition_point(|&(at, _, _)| at <= self.now);
+        for (_, _, env) in self.delayed.drain(..due) {
+            self.inboxes.entry(env.to).or_default().push_back(env);
+        }
+    }
+
+    fn poll(&mut self, member: MemberId) -> Vec<Envelope> {
+        self.inboxes
+            .get_mut(&member)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    fn partition_link(&mut self, a: MemberId, b: MemberId) {
+        self.blocked.insert(link(a, b));
+    }
+
+    fn heal_link(&mut self, a: MemberId, b: MemberId) {
+        self.blocked.remove(&link(a, b));
+    }
+
+    fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_durable::{WalOp, WalRecord};
+
+    fn ship(from: MemberId, to: MemberId, lsn: u64) -> Envelope {
+        Envelope {
+            from,
+            to,
+            msg: Message::Ship {
+                partition: 0,
+                records: vec![WalRecord {
+                    lsn,
+                    op: WalOp::Offboard {
+                        user: format!("u{lsn}"),
+                    },
+                }],
+            },
+        }
+    }
+
+    fn lsn_of(env: &Envelope) -> u64 {
+        match &env.msg {
+            Message::Ship { records, .. } => records[0].lsn,
+            Message::ShipAck { .. } => panic!("expected ship"),
+        }
+    }
+
+    #[test]
+    fn reliable_net_delivers_in_order() {
+        let mut net = SimNet::reliable(7);
+        for lsn in 1..=5 {
+            net.send(ship(0, 1, lsn));
+        }
+        net.tick();
+        let got: Vec<u64> = net.poll(1).iter().map(lsn_of).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        assert!(net.poll(1).is_empty(), "poll drains");
+        assert!(net.poll(0).is_empty(), "nothing addressed to sender");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| -> Vec<u64> {
+            let mut net = SimNet::new(seed, FaultProfile::hostile());
+            let mut got = Vec::new();
+            for lsn in 1..=40 {
+                net.send(ship(0, 1, lsn));
+            }
+            for _ in 0..10 {
+                net.tick();
+                got.extend(net.poll(1).iter().map(lsn_of));
+            }
+            got
+        };
+        assert_eq!(run(42), run(42), "same seed, same delivery schedule");
+        assert_ne!(run(42), run(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn hostile_profile_loses_duplicates_or_delays() {
+        let mut net = SimNet::new(1, FaultProfile::hostile());
+        for lsn in 1..=200 {
+            net.send(ship(0, 1, lsn));
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            net.tick();
+            got.extend(net.poll(1).iter().map(lsn_of));
+        }
+        assert_ne!(
+            got,
+            (1..=200).collect::<Vec<u64>>(),
+            "a hostile net must not deliver exactly-once in order"
+        );
+        assert!(!got.is_empty(), "but some traffic gets through");
+        assert_eq!(net.delayed_len(), 0, "enough ticks drain every delay");
+    }
+
+    #[test]
+    fn delayed_envelopes_arrive_after_their_hold() {
+        let mut net = SimNet::new(
+            3,
+            FaultProfile {
+                loss: 0.0,
+                duplicate: 0.0,
+                delay: 1.0,
+                max_delay_ticks: 3,
+            },
+        );
+        net.send(ship(0, 1, 1));
+        assert!(net.poll(1).is_empty(), "held back before any tick");
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            net.tick();
+            got.extend(net.poll(1).iter().map(lsn_of));
+        }
+        assert_eq!(got, vec![1], "released within max_delay_ticks");
+    }
+
+    #[test]
+    fn partitioned_links_drop_until_healed() {
+        let mut net = SimNet::reliable(5);
+        net.partition_link(0, 1);
+        net.send(ship(0, 1, 1));
+        net.send(ship(1, 0, 2)); // blocked both directions
+        net.send(ship(0, 2, 3)); // other links unaffected
+        net.tick();
+        assert!(net.poll(1).is_empty());
+        assert!(net.poll(0).is_empty());
+        assert_eq!(net.poll(2).len(), 1);
+        net.heal_all();
+        net.send(ship(0, 1, 4));
+        net.tick();
+        let got: Vec<u64> = net.poll(1).iter().map(lsn_of).collect();
+        assert_eq!(got, vec![4], "healed link delivers again");
+    }
+}

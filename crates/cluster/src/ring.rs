@@ -1,0 +1,257 @@
+//! Consistent-hash placement: which member leads which partition.
+//!
+//! Users hash to one of a fixed number of *partitions* (stable across
+//! membership changes — a user's partition never moves), and partitions
+//! hash onto a ring of member virtual nodes. Adding or removing one
+//! member therefore moves only the partitions whose ring owner changes —
+//! ~1/N of them — and every moved partition's *new* owner is the added
+//! member (the minimal-movement invariant, proven by the proptests in
+//! `tests/properties.rs`).
+//!
+//! Hashing is FNV-1a 64: deterministic across processes and platforms
+//! (no `RandomState`), so placement is reproducible — the same property
+//! the serving engine relies on for its shard key, made portable.
+
+use crate::MemberId;
+
+/// FNV-1a 64-bit hash of a key. Deterministic and platform-independent,
+/// so cluster placement never depends on process-local hasher state.
+pub fn hash_key(key: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A consistent-hash ring of member virtual nodes. Each member
+/// contributes `vnodes` points; a key is owned by the member whose point
+/// is the first at or clockwise after the key's hash.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, member)` sorted by point. Ties are impossible in
+    /// practice; if two members ever hashed to the same point the lower
+    /// member id would win deterministically.
+    points: Vec<(u64, MemberId)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// An empty ring where every member will contribute `vnodes` virtual
+    /// nodes (floor 1).
+    pub fn new(vnodes: usize) -> Self {
+        Self {
+            points: Vec::new(),
+            vnodes: vnodes.max(1),
+        }
+    }
+
+    fn vnode_point(member: MemberId, vnode: usize) -> u64 {
+        hash_key(&format!("member-{member}#vnode-{vnode}"))
+    }
+
+    /// Adds a member's virtual nodes (idempotent).
+    pub fn add(&mut self, member: MemberId) {
+        if self.points.iter().any(|&(_, m)| m == member) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.push((Self::vnode_point(member, v), member));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a member's virtual nodes (idempotent).
+    pub fn remove(&mut self, member: MemberId) {
+        self.points.retain(|&(_, m)| m != member);
+    }
+
+    /// Members currently on the ring, sorted.
+    pub fn members(&self) -> Vec<MemberId> {
+        let mut out: Vec<MemberId> = self.points.iter().map(|&(_, m)| m).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The member owning `key`: the first virtual node at or clockwise
+    /// after the key's hash, wrapping around. `None` on an empty ring.
+    pub fn owner_of(&self, key: &str) -> Option<MemberId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_key(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        Some(self.points[idx].1)
+    }
+
+    /// The first member *distinct from* `skip` walking clockwise from
+    /// the key's owner — the natural replica placement. `None` when the
+    /// ring holds no other member.
+    pub fn successor_of(&self, key: &str, skip: MemberId) -> Option<MemberId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash_key(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for step in 0..self.points.len() {
+            let (_, m) = self.points[(start + step) % self.points.len()];
+            if m != skip {
+                return Some(m);
+            }
+        }
+        None
+    }
+}
+
+/// Maps users to partitions (stable) and partitions to members (via the
+/// ring). The serving cluster replicates and migrates whole partitions,
+/// never individual users.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    partitions: usize,
+    ring: HashRing,
+}
+
+/// The ring key of a partition.
+fn partition_key(partition: usize) -> String {
+    format!("partition-{partition}")
+}
+
+impl Partitioner {
+    /// A partitioner over `partitions` fixed partitions (floor 1) and a
+    /// ring with `vnodes` virtual nodes per member.
+    pub fn new(partitions: usize, vnodes: usize) -> Self {
+        Self {
+            partitions: partitions.max(1),
+            ring: HashRing::new(vnodes),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// The partition a user's state lives in. Depends only on the user
+    /// id and the partition count — never on membership — so it is the
+    /// same on every member and across every membership change.
+    pub fn partition_of(&self, user: &str) -> usize {
+        (hash_key(user) % self.partitions as u64) as usize
+    }
+
+    /// The member that should lead `partition` under current membership.
+    pub fn leader_of(&self, partition: usize) -> Option<MemberId> {
+        self.ring.owner_of(&partition_key(partition))
+    }
+
+    /// The member that should follow `partition`: the next distinct
+    /// member clockwise from the leader. `None` with fewer than two
+    /// members.
+    pub fn follower_of(&self, partition: usize) -> Option<MemberId> {
+        let leader = self.leader_of(partition)?;
+        self.ring.successor_of(&partition_key(partition), leader)
+    }
+
+    /// Adds a member to the ring (idempotent).
+    pub fn add_member(&mut self, member: MemberId) {
+        self.ring.add(member);
+    }
+
+    /// Removes a member from the ring (idempotent).
+    pub fn remove_member(&mut self, member: MemberId) {
+        self.ring.remove(member);
+    }
+
+    /// Members currently on the ring, sorted.
+    pub fn members(&self) -> Vec<MemberId> {
+        self.ring.members()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_key_is_stable_and_spreads() {
+        // FNV-1a reference value for the empty string.
+        assert_eq!(hash_key(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(hash_key("user-1"), hash_key("user-2"));
+        assert_eq!(hash_key("user-1"), hash_key("user-1"));
+    }
+
+    #[test]
+    fn owner_lookup_wraps_and_is_deterministic() {
+        let mut ring = HashRing::new(16);
+        ring.add(0);
+        ring.add(1);
+        ring.add(2);
+        assert_eq!(ring.members(), vec![0, 1, 2]);
+        for key in ["a", "b", "partition-0", "partition-7"] {
+            let owner = ring.owner_of(key).unwrap();
+            assert_eq!(ring.owner_of(key).unwrap(), owner);
+            assert!(owner <= 2);
+            let succ = ring.successor_of(key, owner).unwrap();
+            assert_ne!(succ, owner);
+        }
+        assert_eq!(HashRing::new(8).owner_of("a"), None);
+    }
+
+    #[test]
+    fn successor_is_none_on_a_single_member_ring() {
+        let mut ring = HashRing::new(16);
+        ring.add(5);
+        assert_eq!(ring.owner_of("k"), Some(5));
+        assert_eq!(ring.successor_of("k", 5), None);
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut ring = HashRing::new(4);
+        ring.add(1);
+        ring.add(1);
+        assert_eq!(ring.members(), vec![1]);
+        ring.remove(1);
+        ring.remove(1);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn partitions_are_stable_across_membership() {
+        let mut part = Partitioner::new(8, 16);
+        part.add_member(0);
+        let before: Vec<usize> = (0..100)
+            .map(|i| part.partition_of(&format!("user-{i}")))
+            .collect();
+        part.add_member(1);
+        part.add_member(2);
+        part.remove_member(0);
+        let after: Vec<usize> = (0..100)
+            .map(|i| part.partition_of(&format!("user-{i}")))
+            .collect();
+        assert_eq!(before, after, "a user's partition never moves");
+    }
+
+    #[test]
+    fn leader_and_follower_are_distinct_members() {
+        let mut part = Partitioner::new(8, 32);
+        part.add_member(0);
+        part.add_member(1);
+        part.add_member(2);
+        for p in 0..8 {
+            let leader = part.leader_of(p).unwrap();
+            let follower = part.follower_of(p).unwrap();
+            assert_ne!(leader, follower, "partition {p}");
+        }
+    }
+}

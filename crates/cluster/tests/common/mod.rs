@@ -1,0 +1,225 @@
+//! Shared fixture for the cluster suites: one cloud training run (quick
+//! profile) whose bundle every test reuses, plus cluster builders, a
+//! scripted workload and a bit-exact fingerprint helper.
+
+#![allow(dead_code)] // each test binary uses a different helper subset
+
+use clear_cluster::{
+    ClusterConfig, ClusterError, FaultProfile, MemberId, ServeCluster, SimNet,
+};
+use clear_core::config::ClearConfig;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, ClearBundle, Prediction, ServingPolicy};
+use clear_features::{FeatureMap, FEATURE_COUNT};
+use clear_serve::EngineConfig;
+use clear_sim::Emotion;
+use std::sync::OnceLock;
+
+pub struct Fixture {
+    pub config: ClearConfig,
+    pub data: PreparedCohort,
+    pub bundle: ClearBundle,
+}
+
+/// The shared cloud artifact: trained once per test binary on all but
+/// the last subject of the quick cohort.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = ClearConfig::quick(17);
+        // One-epoch fine-tuning keeps the personalization calls cheap;
+        // the tests compare behavior, not accuracy.
+        config.finetune.epochs = 1;
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+        let dep = deploy(&data, initial, &config);
+        let bundle = dep.bundle().clone();
+        Fixture {
+            config,
+            data,
+            bundle,
+        }
+    })
+}
+
+/// Deterministic labels (no confidence abstention) and a 3-map
+/// onboarding floor so the deferred/buffer path is exercised.
+pub fn cluster_policy() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        min_onboarding_maps: 3,
+        ..ServingPolicy::default()
+    }
+}
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 2,
+        cache_capacity: 2,
+        max_queue_depth: 16,
+    }
+}
+
+/// Cluster knobs for the suites: few partitions (fast), generous retry
+/// budget (hostile profiles must converge, not flake).
+pub fn cluster_config() -> ClusterConfig {
+    ClusterConfig {
+        partitions: 4,
+        vnodes: 32,
+        engine: engine_config(),
+        ship_retries: 6,
+        ship_timeout_ticks: 8,
+    }
+}
+
+/// A three-member cluster over a seeded simulated network.
+pub fn build_cluster(members: &[MemberId], profile: FaultProfile, seed: u64) -> ServeCluster {
+    let f = fixture();
+    ServeCluster::new(
+        f.bundle.clone(),
+        cluster_policy(),
+        members,
+        cluster_config(),
+        Box::new(SimNet::new(seed, profile)),
+    )
+    .expect("cluster builds")
+}
+
+/// Users the script touches, in fingerprint order.
+pub const USERS: [&str; 5] = ["amy", "bob", "cal", "dee", "eli"];
+
+/// One scripted cluster operation.
+#[derive(Debug, Clone, Copy)]
+pub enum ScriptOp {
+    /// Onboard `user` with maps `[lo, hi)` of the subject at `rank`.
+    Onboard(&'static str, usize, usize, usize),
+    /// Serve `user` one all-NaN map — the quarantine path.
+    PredictNan(&'static str),
+    /// Personalize `user` from labels `[lo, hi)` of the subject at
+    /// `rank` (tiny budget: adopts unvalidated, deterministically).
+    Personalize(&'static str, usize, usize, usize),
+    /// Offboard `user`.
+    Offboard(&'static str),
+}
+
+/// A workload touching every durable op type across several partitions:
+/// a deferred onboard (BufferMaps), assigned onboards, a quarantine, an
+/// adoption, an offboard.
+pub const SCRIPT: [ScriptOp; 9] = [
+    ScriptOp::Onboard("amy", 0, 0, 2),
+    ScriptOp::Onboard("amy", 0, 2, 5),
+    ScriptOp::Onboard("bob", 1, 0, 3),
+    ScriptOp::Onboard("cal", 2, 0, 3),
+    ScriptOp::PredictNan("amy"),
+    ScriptOp::Personalize("bob", 1, 0, 2),
+    ScriptOp::Onboard("dee", 3, 0, 3),
+    ScriptOp::Offboard("cal"),
+    ScriptOp::Onboard("eli", 4, 0, 3),
+];
+
+/// Applies one op to the cluster.
+pub fn apply(c: &mut ServeCluster, f: &Fixture, op: ScriptOp) -> Result<(), ClusterError> {
+    match op {
+        ScriptOp::Onboard(user, rank, lo, hi) => {
+            c.onboard(user, &maps_of(f, rank, lo, hi)).map(|_| ())
+        }
+        ScriptOp::PredictNan(user) => c.predict(user, &[nan_map(f)]).map(|_| ()),
+        ScriptOp::Personalize(user, rank, lo, hi) => c
+            .personalize(user, &labeled_of(f, rank, lo, hi), &f.config.finetune)
+            .map(|_| ()),
+        ScriptOp::Offboard(user) => c.offboard(user).map(|_| ()),
+    }
+}
+
+/// Runs the whole script; every op must be acknowledged (replication lag
+/// is not an error — `flush` settles it later).
+pub fn run_script(c: &mut ServeCluster, f: &Fixture) {
+    for op in SCRIPT {
+        apply(c, f, op).expect("scripted op is acknowledged");
+    }
+}
+
+/// Drives replication to completion; hostile networks may need several
+/// rounds of retries.
+pub fn settle(c: &mut ServeCluster) {
+    for _ in 0..20 {
+        if c.flush().is_ok() {
+            return;
+        }
+    }
+    c.flush().expect("replication settles within the retry budget");
+}
+
+/// Bit-exact comparable form of one prediction.
+pub fn prediction_key(p: &Prediction) -> String {
+    format!(
+        "{:?}|{}|{}|{:?}|{:?}",
+        p.emotion,
+        p.confidence.to_bits(),
+        p.quality.to_bits(),
+        p.served_by,
+        p.imputed
+    )
+}
+
+/// Bit-exact observable state of the cluster: per scripted user, the
+/// registry view (assigned cluster, personalization, quarantine count,
+/// pending maps, generation) plus serving bits on clean probe maps
+/// (clean maps never quarantine, so probing mutates nothing).
+pub fn fingerprint(c: &mut ServeCluster, f: &Fixture) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rank, user) in USERS.iter().enumerate() {
+        let registry = format!(
+            "{user}:{:?}:{:?}:{:?}:{:?}:{:?}",
+            c.cluster_of(user).ok(),
+            c.is_personalized(user).ok(),
+            c.quarantined_count(user).ok(),
+            c.pending_maps(user).ok(),
+            c.generation_of(user).ok(),
+        );
+        out.push(registry);
+        let served = match c.predict(user, &maps_of(f, rank, 5, 7)) {
+            Ok(predictions) => predictions.iter().map(prediction_key).collect(),
+            Err(e) => vec![format!("err:{e}")],
+        };
+        out.extend(served);
+    }
+    out
+}
+
+/// Feature maps `[lo, hi)` of the subject at `rank` (modulo cohort
+/// size), clamped to the subject's map count.
+pub fn maps_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| f.data.maps()[i].clone())
+        .collect()
+}
+
+/// Labeled maps `[lo, hi)` of the subject at `rank`.
+pub fn labeled_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<(FeatureMap, Emotion)> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| {
+            let (map, emotion) = f.data.map_and_label(i);
+            (map.clone(), emotion)
+        })
+        .collect()
+}
+
+/// An all-NaN map of the bundle's shape: every modality block is dead,
+/// so serving it exercises the quarantine path.
+pub fn nan_map(f: &Fixture) -> FeatureMap {
+    FeatureMap::from_columns(&vec![vec![f32::NAN; FEATURE_COUNT]; f.bundle.windows])
+}

@@ -1,0 +1,368 @@
+//! The cluster robustness matrix.
+//!
+//! Every test here compares against the same oracle: a cluster on a
+//! reliable network that ran the same workload. Under seeded loss,
+//! duplication, delay/reordering, link partitions, member crashes,
+//! disk-losing destruction and injected divergence, the cluster must
+//! converge to *bit-identical* serving state — same registry, same
+//! generation stamps, same prediction bits — or degrade through typed
+//! errors, never through silently wrong answers.
+
+mod common;
+
+use clear_cluster::{ClusterError, Envelope, FaultProfile, Message};
+use clear_durable::{WalOp, WalRecord};
+use common::{
+    apply, build_cluster, fingerprint, fixture, maps_of, nan_map, prediction_key, run_script,
+    settle, ScriptOp, SCRIPT,
+};
+
+const MEMBERS: [usize; 3] = [0, 1, 2];
+
+/// The oracle: reliable network, full script, settled replication.
+fn reference() -> Vec<String> {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 99);
+    run_script(&mut c, f);
+    settle(&mut c);
+    fingerprint(&mut c, f)
+}
+
+#[test]
+fn seeded_fault_schedules_converge_bit_identical_to_reliable() {
+    let f = fixture();
+    let oracle = reference();
+    let matrix: [(&str, FaultProfile); 4] = [
+        (
+            "loss",
+            FaultProfile {
+                loss: 0.3,
+                duplicate: 0.0,
+                delay: 0.0,
+                max_delay_ticks: 0,
+            },
+        ),
+        (
+            "duplication",
+            FaultProfile {
+                loss: 0.0,
+                duplicate: 0.5,
+                delay: 0.0,
+                max_delay_ticks: 0,
+            },
+        ),
+        (
+            "reordering",
+            FaultProfile {
+                loss: 0.0,
+                duplicate: 0.0,
+                delay: 0.6,
+                max_delay_ticks: 5,
+            },
+        ),
+        ("hostile", FaultProfile::hostile()),
+    ];
+    for (name, profile) in matrix {
+        for seed in [1, 2, 3] {
+            let mut c = build_cluster(&MEMBERS, profile, seed);
+            run_script(&mut c, f);
+            settle(&mut c);
+            for p in 0..c.partition_count() {
+                assert_eq!(c.lag_of(p), 0, "{name}/seed {seed}: partition {p} lags");
+            }
+            assert_eq!(
+                fingerprint(&mut c, f),
+                oracle,
+                "{name}/seed {seed}: serving state diverged from the reliable oracle"
+            );
+            // The followers themselves must hold identical state, not
+            // just identical acks: kill two of three members and serve
+            // everything from whatever survives.
+            c.kill_member(0).expect("first crash fails over");
+            c.kill_member(1).expect("second crash fails over");
+            assert_eq!(
+                fingerprint(&mut c, f),
+                oracle,
+                "{name}/seed {seed}: survivors serve different bits after total failover"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_member_crash_fails_over_bit_identically() {
+    let f = fixture();
+    let oracle = reference();
+    for victim in MEMBERS {
+        let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 7);
+        run_script(&mut c, f);
+        settle(&mut c);
+        c.kill_member(victim).expect("crash handled");
+        for p in 0..c.partition_count() {
+            let leader = c.leader_of_partition(p).expect("every partition keeps a leader");
+            assert!(c.is_up(leader), "partition {p} leader is dead after failover");
+            assert_ne!(leader, victim);
+        }
+        assert_eq!(
+            fingerprint(&mut c, f),
+            oracle,
+            "victim {victim}: promoted followers serve different bits"
+        );
+        // The restarted member rejoins (recovering from its surviving
+        // disk) without disturbing served state.
+        c.restart_member(victim).expect("restart handled");
+        settle(&mut c);
+        assert_eq!(fingerprint(&mut c, f), oracle, "victim {victim}: restart changed bits");
+    }
+}
+
+#[test]
+fn leader_killed_mid_traffic_promotes_follower_with_generations_intact() {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 31);
+    // First half of the workload: bob ends up personalized.
+    for op in &SCRIPT[..6] {
+        apply(&mut c, f, *op).expect("first half applies");
+    }
+    settle(&mut c);
+    let bob_generation = c.generation_of("bob").expect("bob is onboarded");
+    assert!(c.is_personalized("bob").expect("bob is reachable"));
+    let partition = c.partition_of("bob");
+    let old_leader = c.leader_of_partition(partition).expect("partition has a leader");
+
+    c.kill_member(old_leader).expect("mid-traffic crash handled");
+    let new_leader = c.leader_of_partition(partition).expect("failover promoted someone");
+    assert_ne!(new_leader, old_leader);
+    assert!(c.is_up(new_leader));
+
+    // The promoted follower carries bob's generation stamp and adopted
+    // personalized weights — caught up via snapshot + LSN replay, not
+    // retraining.
+    assert_eq!(c.generation_of("bob").expect("bob survives failover"), bob_generation);
+    assert!(c.is_personalized("bob").expect("bob survives failover"));
+
+    // Traffic continues through the promoted leader.
+    for op in &SCRIPT[6..] {
+        apply(&mut c, f, *op).expect("second half applies after failover");
+    }
+    settle(&mut c);
+
+    // End state matches a cluster that never crashed at all.
+    assert_eq!(fingerprint(&mut c, f), reference());
+    assert_eq!(c.generation_of("bob").expect("bob still served"), bob_generation);
+}
+
+#[test]
+fn partitioned_link_blocks_replication_with_typed_timeout_then_heals() {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 11);
+    run_script(&mut c, f);
+    settle(&mut c);
+    let partition = c.partition_of("amy");
+    let leader = c.leader_of_partition(partition).expect("leader");
+    let follower = c.follower_of_partition(partition).expect("follower");
+
+    c.net_mut().partition_link(leader, follower);
+    let retries_before = c.retries_of(partition);
+    // A mutation on the cut partition commits locally but cannot ship.
+    c.predict("amy", &[nan_map(f)]).expect("mutation still commits on the leader");
+    assert!(c.lag_of(partition) > 0, "unshipped records must show as lag");
+    assert!(
+        c.retries_of(partition) > retries_before,
+        "the shipping path must have retried before giving up"
+    );
+    match c.flush() {
+        Err(ClusterError::ReplicationTimeout { partition: p, lag }) => {
+            assert_eq!(p, partition);
+            assert!(lag >= 1);
+        }
+        other => panic!("expected ReplicationTimeout, got {other:?}"),
+    }
+
+    c.net_mut().heal_all();
+    settle(&mut c);
+    assert_eq!(c.lag_of(partition), 0, "healed link drains the backlog");
+}
+
+#[test]
+fn destroyed_lagging_leader_degrades_readonly_until_force_promote() {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 13);
+    run_script(&mut c, f);
+    settle(&mut c);
+    let partition = c.partition_of("amy");
+    let leader = c.leader_of_partition(partition).expect("leader");
+    let follower = c.follower_of_partition(partition).expect("follower");
+    let amy_probe: Vec<String> = c
+        .predict("amy", &maps_of(f, 0, 5, 7))
+        .expect("amy served on the healthy path")
+        .iter()
+        .map(prediction_key)
+        .collect();
+
+    // Cut replication, commit one more record on the leader, then lose
+    // the leader *and its disk*: the follower is now behind an
+    // unrecoverable leader.
+    c.net_mut().partition_link(leader, follower);
+    c.predict("amy", &[nan_map(f)]).expect("quarantine commits on the leader");
+    assert!(c.lag_of(partition) > 0);
+    c.destroy_member(leader).expect("destruction handled");
+    assert_eq!(
+        c.leader_of_partition(partition),
+        None,
+        "a lagging follower must not be silently promoted over lost acknowledged writes"
+    );
+
+    // Degraded mode: mutations are typed errors, reads flow read-only
+    // from the follower with identical bits.
+    match c.personalize("amy", &common::labeled_of(f, 0, 0, 2), &f.config.finetune) {
+        Err(ClusterError::PartitionUnavailable { partition: p }) => assert_eq!(p, partition),
+        other => panic!("expected PartitionUnavailable, got {other:?}"),
+    }
+    let readonly: Vec<String> = c
+        .predict("amy", &maps_of(f, 0, 5, 7))
+        .expect("reads degrade to the follower")
+        .iter()
+        .map(prediction_key)
+        .collect();
+    assert_eq!(readonly, amy_probe, "read-only serving must not change bits");
+
+    // The operator accepts the loss explicitly; mutations flow again.
+    c.net_mut().heal_all();
+    c.force_promote(partition).expect("force promotion");
+    assert!(c.leader_of_partition(partition).is_some());
+    c.predict("amy", &[nan_map(f)]).expect("mutations flow after promotion");
+    settle(&mut c);
+    assert_eq!(c.lag_of(partition), 0);
+}
+
+#[test]
+fn diverging_follower_latches_and_recovers_by_reseed() {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 17);
+    run_script(&mut c, f);
+    settle(&mut c);
+    let partition = c.partition_of("bob");
+    let leader = c.leader_of_partition(partition).expect("leader");
+    let follower = c.follower_of_partition(partition).expect("follower");
+
+    // Inject a frame that contradicts the follower's state: a
+    // quarantine for a user it has never onboarded, at exactly the next
+    // expected LSN (so it is divergence, not a gap).
+    let garbage = WalRecord {
+        lsn: c.acked_of(partition) + 1,
+        op: WalOp::Quarantine {
+            user: "never-onboarded".to_string(),
+            count: 1,
+        },
+    };
+    c.net_mut().send(Envelope {
+        from: leader,
+        to: follower,
+        msg: Message::Ship {
+            partition,
+            records: vec![garbage],
+        },
+    });
+    c.pump();
+    assert!(
+        c.is_latched(follower, partition),
+        "the follower must latch itself on divergence"
+    );
+    match c.flush() {
+        Err(ClusterError::FollowerDiverged {
+            partition: p,
+            member,
+        }) => {
+            assert_eq!(p, partition);
+            assert_eq!(member, follower);
+        }
+        other => panic!("expected FollowerDiverged, got {other:?}"),
+    }
+
+    // The leader keeps serving and accepting mutations; replication to
+    // the latched follower is simply suspended.
+    c.predict("bob", &[nan_map(f)]).expect("leader still serves mutations");
+
+    // Reseeding from a leader snapshot clears the latch and catches up.
+    c.reseed_follower(partition).expect("reseed");
+    let reseeded = c.follower_of_partition(partition).expect("a follower is back");
+    assert!(!c.is_latched(reseeded, partition));
+    settle(&mut c);
+    assert_eq!(c.lag_of(partition), 0);
+
+    // The injected garbage never contaminated durable state: kill the
+    // leader, forcing the reseeded follower to take over, and it must
+    // serve the leader's exact bits (garbage-free, including the
+    // post-latch mutation it caught up on).
+    let before = fingerprint(&mut c, f);
+    c.kill_member(c.leader_of_partition(partition).expect("leader")).expect("crash");
+    assert_eq!(fingerprint(&mut c, f), before, "reseeded follower diverges from leader");
+}
+
+#[test]
+fn migration_and_member_addition_move_partitions_without_changing_bits() {
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::reliable(), 19);
+    run_script(&mut c, f);
+    settle(&mut c);
+    let before = fingerprint(&mut c, f);
+
+    // Explicit migration: leadership moves, the outgoing leader stays on
+    // as the caught-up follower, bits do not move.
+    let partition = c.partition_of("amy");
+    let from = c.leader_of_partition(partition).expect("leader");
+    let to = MEMBERS
+        .iter()
+        .copied()
+        .find(|&m| m != from)
+        .expect("another member exists");
+    c.migrate_partition(partition, to).expect("migration");
+    assert_eq!(c.leader_of_partition(partition), Some(to));
+    assert_eq!(c.follower_of_partition(partition), Some(from));
+    assert_eq!(fingerprint(&mut c, f), before, "migration changed served bits");
+
+    // Mutations keep flowing through the new leader and replicate back
+    // to the old one.
+    c.predict("amy", &[nan_map(f)]).expect("post-migration mutation");
+    settle(&mut c);
+    assert_eq!(c.lag_of(partition), 0);
+    let with_quarantine = fingerprint(&mut c, f);
+
+    // Adding a member moves only the partitions whose ring owner became
+    // the newcomer — the consistent-hash minimal-movement invariant at
+    // the cluster level.
+    let leaders_before: Vec<_> = (0..c.partition_count())
+        .map(|p| c.leader_of_partition(p))
+        .collect();
+    c.add_member(3).expect("member addition");
+    for p in 0..c.partition_count() {
+        let now = c.leader_of_partition(p).expect("leader");
+        if Some(now) != leaders_before[p] {
+            assert_eq!(now, 3, "partition {p} moved to a member that did not join");
+        }
+    }
+    settle(&mut c);
+    assert_eq!(
+        fingerprint(&mut c, f),
+        with_quarantine,
+        "membership change altered served bits"
+    );
+}
+
+#[test]
+fn deferred_onboarding_spans_partitions_identically() {
+    // Guard against partition-routing bugs in the deferral path: a user
+    // whose onboarding is buffered across two calls must behave exactly
+    // as on a single engine, wherever their partition lives.
+    let f = fixture();
+    let mut c = build_cluster(&MEMBERS, FaultProfile::hostile(), 41);
+    apply(&mut c, f, ScriptOp::Onboard("amy", 0, 0, 2)).expect("deferred");
+    assert_eq!(c.pending_maps("amy").expect("amy reachable"), 2);
+    assert!(c.cluster_of("amy").is_err(), "not assigned yet");
+    apply(&mut c, f, ScriptOp::Onboard("amy", 0, 2, 5)).expect("assigned");
+    assert_eq!(c.pending_maps("amy").expect("amy reachable"), 0);
+    assert!(c.cluster_of("amy").is_ok());
+    settle(&mut c);
+    assert_eq!(c.lag_of(c.partition_of("amy")), 0);
+}

@@ -1,0 +1,128 @@
+//! Property proofs for the consistent-hash partitioner.
+//!
+//! Two invariants carry the cluster's rebalancing story:
+//!
+//! 1. **Minimal movement** — adding a member moves keys only *to* that
+//!    member; removing one moves only *its* keys. Everything else stays
+//!    exactly where it was.
+//! 2. **Balance** — with 64 virtual nodes per member, no member's share
+//!    of a large key population strays far from its fair share.
+
+use clear_cluster::{HashRing, Partitioner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adding_a_member_moves_keys_only_to_it(
+        members in proptest::collection::btree_set(0usize..32, 1..8),
+        newcomer in 32usize..40,
+        keys in proptest::collection::vec("[a-z]{1,12}", 50..200),
+    ) {
+        let mut ring = HashRing::new(32);
+        for &m in &members {
+            ring.add(m);
+        }
+        let before: Vec<usize> = keys.iter().map(|k| ring.owner_of(k).unwrap()).collect();
+        ring.add(newcomer);
+        let after: Vec<usize> = keys.iter().map(|k| ring.owner_of(k).unwrap()).collect();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                prop_assert_eq!(
+                    *a, newcomer,
+                    "key {:?} moved to member {} instead of the newcomer", keys[i], a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_member_moves_only_its_keys(
+        members in proptest::collection::btree_set(0usize..32, 2..8),
+        victim_pick in any::<prop::sample::Index>(),
+        keys in proptest::collection::vec("[a-z]{1,12}", 50..200),
+    ) {
+        let mut ring = HashRing::new(32);
+        for &m in &members {
+            ring.add(m);
+        }
+        let member_list: Vec<usize> = members.iter().copied().collect();
+        let victim = member_list[victim_pick.index(member_list.len())];
+        let before: Vec<usize> = keys.iter().map(|k| ring.owner_of(k).unwrap()).collect();
+        ring.remove(victim);
+        let after: Vec<usize> = keys.iter().map(|k| ring.owner_of(k).unwrap()).collect();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if *b == victim {
+                prop_assert_ne!(*a, victim, "key {:?} still owned by the removed member", keys[i]);
+            } else {
+                prop_assert_eq!(
+                    b, a,
+                    "key {:?} moved although its owner was not removed", keys[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn member_shares_stay_balanced(
+        member_count in 2usize..8,
+        salt in 0u64..1000,
+    ) {
+        let mut ring = HashRing::new(64);
+        for m in 0..member_count {
+            ring.add(m);
+        }
+        let total = 2048usize;
+        let mut counts = vec![0usize; member_count];
+        for i in 0..total {
+            counts[ring.owner_of(&format!("key-{salt}-{i}")).unwrap()] += 1;
+        }
+        let ideal = total as f64 / member_count as f64;
+        for (m, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) < ideal * 3.0,
+                "member {} owns {} of {} keys (ideal {:.0}) — too hot", m, c, total, ideal
+            );
+            prop_assert!(
+                (c as f64) > ideal / 8.0,
+                "member {} owns {} of {} keys (ideal {:.0}) — starved", m, c, total, ideal
+            );
+        }
+    }
+
+    #[test]
+    fn partition_placement_moves_minimally_and_users_never_move(
+        members in proptest::collection::btree_set(0usize..16, 1..6),
+        newcomer in 16usize..20,
+        users in proptest::collection::vec("[a-z]{1,10}", 20..80),
+    ) {
+        let mut part = Partitioner::new(16, 32);
+        for &m in &members {
+            part.add_member(m);
+        }
+        let user_partitions: Vec<usize> = users.iter().map(|u| part.partition_of(u)).collect();
+        let leaders_before: Vec<usize> =
+            (0..16).map(|p| part.leader_of(p).unwrap()).collect();
+        part.add_member(newcomer);
+        // Users never change partition on membership change.
+        let user_partitions_after: Vec<usize> =
+            users.iter().map(|u| part.partition_of(u)).collect();
+        prop_assert_eq!(user_partitions, user_partitions_after);
+        // Partition leadership moves only to the newcomer.
+        for p in 0..16 {
+            let now = part.leader_of(p).unwrap();
+            if now != leaders_before[p] {
+                prop_assert_eq!(now, newcomer, "partition {} moved to an old member", p);
+            }
+        }
+        // Leader and follower are always distinct when possible.
+        if part.members().len() >= 2 {
+            for p in 0..16 {
+                let leader = part.leader_of(p).unwrap();
+                let follower = part.follower_of(p).unwrap();
+                prop_assert_ne!(leader, follower, "partition {} self-replicates", p);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The economic claim of the cluster layer, stated as a counter
+//! equality: replication, failover, catch-up and reseeding move *logged
+//! results* — they never retrain a model. The `nn.train_epochs` counter
+//! must not move while the cluster recovers from a crash.
+//!
+//! Single test on purpose: it owns the process-global metrics registry.
+
+mod common;
+
+use clear_cluster::FaultProfile;
+use clear_obs::{counters, Registry};
+use common::{build_cluster, fingerprint, fixture, run_script, settle};
+use std::sync::Arc;
+
+#[test]
+fn replication_and_failover_never_retrain() {
+    // Train the shared bundle *before* installing the registry so cloud
+    // training epochs do not pollute the serving-time counters.
+    let f = fixture();
+    let registry = Arc::new(Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    let mut c = build_cluster(&[0, 1, 2], FaultProfile::reliable(), 23);
+    run_script(&mut c, f);
+    settle(&mut c);
+
+    let epochs_after_script = registry.counter(counters::TRAIN_EPOCHS).get();
+    assert!(
+        epochs_after_script > 0,
+        "the script personalizes, so the leader trains"
+    );
+    assert!(registry.counter(counters::CLUSTER_FRAMES_SHIPPED).get() > 0);
+    assert!(registry.counter(counters::CLUSTER_FRAMES_ACKED).get() > 0);
+
+    // Crash the member leading bob's partition, fail over, restart it,
+    // reseed, settle — the full recovery arc.
+    let victim = c
+        .leader_of_partition(c.partition_of("bob"))
+        .expect("partition has a leader");
+    c.kill_member(victim).expect("crash handled");
+    c.restart_member(victim).expect("restart handled");
+    settle(&mut c);
+
+    assert_eq!(
+        registry.counter(counters::TRAIN_EPOCHS).get(),
+        epochs_after_script,
+        "failover, catch-up and reseeding must replay logged results, never retrain"
+    );
+    assert!(registry.counter(counters::CLUSTER_FAILOVERS).get() >= 1);
+
+    // Serving after recovery doesn't train either.
+    let _ = fingerprint(&mut c, f);
+    assert_eq!(
+        registry.counter(counters::TRAIN_EPOCHS).get(),
+        epochs_after_script,
+        "post-recovery serving must not train"
+    );
+
+    clear_obs::uninstall();
+}

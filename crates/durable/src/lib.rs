@@ -44,8 +44,8 @@ pub mod storage;
 pub mod wal;
 
 pub use snapshot::{EngineSnapshot, TenantRecord};
-pub use storage::{FaultPlan, FaultStorage, FsStorage, MemStorage, Storage};
-pub use wal::{Wal, WalOp, WalRecord};
+pub use storage::{FaultPlan, FaultStorage, FsStorage, MemStorage, ReadFaultPlan, Storage};
+pub use wal::{read_records, Wal, WalOp, WalRecord};
 
 /// Errors of the durability layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +65,11 @@ pub enum DurableError {
     /// further durable mutations are refused until a snapshot rebuilds a
     /// clean log.
     WalPoisoned,
+    /// An append was asked to log zero operations. Acknowledging it would
+    /// hand the caller an LSN that was never written, so the request is
+    /// rejected before any byte is framed (the log is *not* poisoned —
+    /// nothing touched storage).
+    EmptyAppend,
 }
 
 impl DurableError {
@@ -87,6 +92,9 @@ impl std::fmt::Display for DurableError {
             }
             DurableError::WalPoisoned => {
                 write!(f, "write-ahead log poisoned by an earlier append failure")
+            }
+            DurableError::EmptyAppend => {
+                write!(f, "write-ahead log append carried zero operations")
             }
         }
     }

@@ -206,29 +206,66 @@ pub struct FaultPlan {
     pub torn_bytes: usize,
 }
 
+/// Where a [`FaultStorage`] misbehaves on the *read* path. Unlike the
+/// write plan (a crash kills every later write), read faults are
+/// per-boundary: recovery and snapshot-transfer code must turn one bad
+/// read into a typed error, not die forever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadFaultPlan {
+    /// Zero-based read boundary at which `read` fails with an I/O error.
+    pub fail_at: Option<usize>,
+    /// Zero-based read boundary whose returned bytes come back corrupted
+    /// (one bit flipped in the middle of the blob) — simulated bit rot
+    /// that the checksummed formats must catch.
+    pub corrupt_at: Option<usize>,
+}
+
 /// A crash-simulating wrapper over [`MemStorage`]: write boundary
 /// `kill_at` fails (tearing appends at `torn_bytes`), and every write
 /// after it fails too — the process is "dead". Reads keep working so the
-/// test can capture the surviving bytes via [`FaultStorage::surviving`].
+/// test can capture the surviving bytes via [`FaultStorage::surviving`] —
+/// unless a [`ReadFaultPlan`] injects an I/O error or corrupted bytes at
+/// a chosen read boundary, which is how recovery and snapshot-transfer
+/// paths are fault-tested.
 pub struct FaultStorage {
     inner: MemStorage,
     plan: FaultPlan,
+    read_plan: ReadFaultPlan,
     writes: AtomicUsize,
+    reads: AtomicUsize,
 }
 
 impl FaultStorage {
-    /// A store that crashes according to `plan`.
+    /// A store that crashes according to `plan` (reads are reliable).
     pub fn new(plan: FaultPlan) -> Self {
+        Self::seeded(HashMap::new(), plan, ReadFaultPlan::default())
+    }
+
+    /// A store with both a write crash plan and a read fault plan,
+    /// starting from `blobs` — typically the dump of a healthy store,
+    /// handed to recovery.
+    pub fn seeded(
+        blobs: HashMap<String, Vec<u8>>,
+        plan: FaultPlan,
+        read_plan: ReadFaultPlan,
+    ) -> Self {
         Self {
-            inner: MemStorage::new(),
+            inner: MemStorage::from_blobs(blobs),
             plan,
+            read_plan,
             writes: AtomicUsize::new(0),
+            reads: AtomicUsize::new(0),
         }
     }
 
     /// Write boundaries attempted so far (including failed ones).
     pub fn write_boundaries(&self) -> usize {
         self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Read boundaries attempted so far (including faulted ones).
+    pub fn read_boundaries(&self) -> usize {
+        self.reads.load(Ordering::SeqCst)
     }
 
     /// Whether the simulated crash has happened.
@@ -253,7 +290,23 @@ impl FaultStorage {
 
 impl Storage for FaultStorage {
     fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DurableError> {
-        self.inner.read(name)
+        let boundary = self.reads.fetch_add(1, Ordering::SeqCst);
+        if self.read_plan.fail_at == Some(boundary) {
+            return Err(DurableError::Io(format!(
+                "simulated read fault at boundary {boundary}"
+            )));
+        }
+        let out = self.inner.read(name)?;
+        if self.read_plan.corrupt_at == Some(boundary) {
+            if let Some(mut bytes) = out {
+                if !bytes.is_empty() {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                }
+                return Ok(Some(bytes));
+            }
+        }
+        Ok(out)
     }
 
     fn append(&self, name: &str, bytes: &[u8]) -> Result<(), DurableError> {
@@ -341,6 +394,51 @@ mod tests {
         let survivor = storage.surviving();
         assert_eq!(survivor.read("wal").unwrap().unwrap(), b"aaaabbbbcc");
         assert_eq!(survivor.read("snap").unwrap(), None);
+    }
+
+    #[test]
+    fn fault_storage_injects_read_failure_at_the_chosen_boundary() {
+        let mut blobs = HashMap::new();
+        blobs.insert("wal".to_string(), b"healthy bytes".to_vec());
+        let storage = FaultStorage::seeded(
+            blobs,
+            FaultPlan {
+                kill_at: usize::MAX,
+                torn_bytes: 0,
+            },
+            ReadFaultPlan {
+                fail_at: Some(1),
+                corrupt_at: None,
+            },
+        );
+        assert_eq!(storage.read("wal").unwrap().unwrap(), b"healthy bytes");
+        let err = storage.read("wal").unwrap_err();
+        assert!(matches!(err, DurableError::Io(_)));
+        // Read faults are per-boundary, not fatal: the next read works.
+        assert_eq!(storage.read("wal").unwrap().unwrap(), b"healthy bytes");
+        assert_eq!(storage.read_boundaries(), 3);
+    }
+
+    #[test]
+    fn fault_storage_corrupts_exactly_one_read() {
+        let mut blobs = HashMap::new();
+        blobs.insert("snap".to_string(), vec![0u8; 9]);
+        let storage = FaultStorage::seeded(
+            blobs,
+            FaultPlan {
+                kill_at: usize::MAX,
+                torn_bytes: 0,
+            },
+            ReadFaultPlan {
+                fail_at: None,
+                corrupt_at: Some(0),
+            },
+        );
+        let corrupted = storage.read("snap").unwrap().unwrap();
+        assert_eq!(corrupted[4], 0x40, "middle byte must be flipped");
+        // The underlying blob is untouched — corruption happened on the
+        // wire, and only at the planned boundary.
+        assert_eq!(storage.read("snap").unwrap().unwrap(), vec![0u8; 9]);
     }
 
     #[test]

@@ -186,35 +186,68 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// Returns [`DurableError::WalPoisoned`] if an earlier append failed,
-    /// or [`DurableError::Io`] on storage failure — after which the log
-    /// is poisoned and the caller must *not* commit the mutation the ops
-    /// describe.
+    /// Returns [`DurableError::EmptyAppend`] when `ops` is empty — an
+    /// acknowledged empty append would hand back an LSN that was never
+    /// written — [`DurableError::WalPoisoned`] if an earlier append
+    /// failed, or [`DurableError::Io`] on storage failure — after which
+    /// the log is poisoned and the caller must *not* commit the mutation
+    /// the ops describe.
     pub fn append(&mut self, ops: Vec<WalOp>) -> Result<u64, DurableError> {
+        if self.poisoned {
+            return Err(DurableError::WalPoisoned);
+        }
+        let first = self.next_lsn;
+        let records: Vec<WalRecord> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| WalRecord {
+                lsn: first + i as u64,
+                op,
+            })
+            .collect();
+        self.append_records(&records)
+    }
+
+    /// Appends pre-stamped records — the replication import path: a
+    /// follower writes its leader's records verbatim, LSNs included, so
+    /// the two logs stay bit-comparable. Records must continue exactly at
+    /// [`Wal::next_lsn`] with no gaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::EmptyAppend`] for an empty batch,
+    /// [`DurableError::CorruptArtifact`] when the records do not continue
+    /// the log contiguously (nothing is written), and otherwise as
+    /// [`Wal::append`].
+    pub fn append_records(&mut self, records: &[WalRecord]) -> Result<u64, DurableError> {
         let _span = clear_obs::span(clear_obs::Stage::WalAppend);
         if self.poisoned {
             return Err(DurableError::WalPoisoned);
         }
-        debug_assert!(!ops.is_empty(), "an append must carry at least one op");
+        if records.is_empty() {
+            return Err(DurableError::EmptyAppend);
+        }
         let mut buf = Vec::new();
-        let mut last_lsn = self.next_lsn;
-        for op in ops {
-            let record = WalRecord {
-                lsn: self.next_lsn,
-                op,
-            };
-            last_lsn = record.lsn;
+        let mut expected = self.next_lsn;
+        for record in records {
+            if record.lsn != expected {
+                return Err(DurableError::corrupt(
+                    "wal",
+                    format!("record lsn {} does not continue the log at {expected}", record.lsn),
+                ));
+            }
             let payload =
-                serde_json::to_vec(&record).map_err(|e| DurableError::Io(e.to_string()))?;
+                serde_json::to_vec(record).map_err(|e| DurableError::Io(e.to_string()))?;
             frame::encode_frame_into(&mut buf, &payload);
-            self.next_lsn += 1;
+            expected += 1;
         }
         match self.storage.append(WAL_FILE, &buf) {
             Ok(()) => {
+                self.next_lsn = expected;
                 clear_obs::counter_add(clear_obs::counters::DURABLE_WAL_APPENDS, 1);
                 clear_obs::counter_add(clear_obs::counters::DURABLE_WAL_BYTES, buf.len() as u64);
                 clear_obs::counter_add(clear_obs::counters::DURABLE_FSYNC_BATCHES, 1);
-                Ok(last_lsn)
+                Ok(expected - 1)
             }
             Err(e) => {
                 self.poisoned = true;
@@ -251,6 +284,29 @@ impl Wal {
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
+}
+
+/// Reads a log's committed records without opening it for writing: no
+/// truncation, no LSN bookkeeping, no mutation of any kind. A torn tail
+/// is silently ignored (the clean prefix is returned) — this is the
+/// replication/catch-up read path, where the storage may belong to a
+/// crashed member whose log a survivor is draining.
+///
+/// # Errors
+///
+/// Returns [`DurableError::CorruptArtifact`] when a complete frame fails
+/// its checksum or a record does not parse, and [`DurableError::Io`] on
+/// storage failure.
+pub fn read_records(storage: &dyn Storage) -> Result<Vec<WalRecord>, DurableError> {
+    let bytes = storage.read(WAL_FILE)?.unwrap_or_default();
+    let (payloads, _tail) = frame::decode_frames(&bytes)?;
+    let mut records = Vec::with_capacity(payloads.len());
+    for payload in payloads {
+        let record: WalRecord = serde_json::from_slice(payload)
+            .map_err(|e| DurableError::corrupt("wal", format!("record does not parse: {e}")))?;
+        records.push(record);
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -350,6 +406,70 @@ mod tests {
             Err(DurableError::CorruptArtifact { artifact, .. }) => assert_eq!(artifact, "wal"),
             other => panic!("expected corruption, got {other:?}"),
         }
+    }
+
+    /// Satellite regression: an empty append used to return `next_lsn`
+    /// as `last_lsn` in release builds — an LSN that was never written.
+    /// It is now a typed error, writes nothing, and poisons nothing.
+    #[test]
+    fn empty_append_is_a_typed_error_and_writes_nothing() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+        wal.append(ops(&["a"])).unwrap();
+        assert_eq!(wal.append(Vec::new()), Err(DurableError::EmptyAppend));
+        assert_eq!(wal.append_records(&[]), Err(DurableError::EmptyAppend));
+        assert!(!wal.is_poisoned(), "an empty append must not poison");
+        assert_eq!(wal.next_lsn(), 2, "no lsn may be consumed");
+        // The log still appends normally and replays only real records.
+        wal.append(ops(&["b"])).unwrap();
+        let (_, records) = Wal::open(storage as Arc<dyn Storage>).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].lsn, 2);
+    }
+
+    #[test]
+    fn append_records_requires_contiguous_lsns() {
+        let storage = Arc::new(MemStorage::new());
+        let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+        wal.append(ops(&["a"])).unwrap();
+        let gap = WalRecord {
+            lsn: 5,
+            op: WalOp::Quarantine {
+                user: "x".to_string(),
+                count: 1,
+            },
+        };
+        assert!(matches!(
+            wal.append_records(&[gap]),
+            Err(DurableError::CorruptArtifact { artifact: "wal", .. })
+        ));
+        // Nothing landed, the log continues where it was.
+        let next = WalRecord {
+            lsn: 2,
+            op: WalOp::Offboard {
+                user: "a".to_string(),
+            },
+        };
+        assert_eq!(wal.append_records(&[next]).unwrap(), 2);
+        let (_, records) = Wal::open(storage as Arc<dyn Storage>).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].lsn, 2);
+    }
+
+    #[test]
+    fn read_records_never_mutates_and_tolerates_torn_tails() {
+        let storage = Arc::new(MemStorage::new());
+        {
+            let (mut wal, _) = Wal::open(storage.clone() as Arc<dyn Storage>).unwrap();
+            wal.append(ops(&["a", "b"])).unwrap();
+        }
+        storage.append(WAL_FILE, &[77, 0, 0, 0, 3]).unwrap(); // torn frame
+        let before = storage.read(WAL_FILE).unwrap().unwrap();
+        let records = read_records(storage.as_ref()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].lsn, 2);
+        // The torn tail is still on disk: reading is not repairing.
+        assert_eq!(storage.read(WAL_FILE).unwrap().unwrap(), before);
     }
 
     #[test]

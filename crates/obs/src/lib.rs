@@ -122,7 +122,37 @@ pub mod counters {
     /// verification: checksum mismatch, bad envelope, unparseable
     /// payload, non-finite weights.
     pub const DURABLE_CORRUPTION_EVENTS: &str = "durable.corruption_events";
+    /// WAL records shipped from a partition leader to its follower
+    /// (counted per record, re-ships included).
+    pub const CLUSTER_FRAMES_SHIPPED: &str = "cluster.frames_shipped";
+    /// WAL records acknowledged as applied by a follower.
+    pub const CLUSTER_FRAMES_ACKED: &str = "cluster.frames_acked";
+    /// Shipping attempts retried after loss, reordering or timeout.
+    pub const CLUSTER_FRAMES_RETRIED: &str = "cluster.frames_retried";
+    /// Leader failovers completed (follower promoted).
+    pub const CLUSTER_FAILOVERS: &str = "cluster.failovers";
+    /// Live partition migrations completed.
+    pub const CLUSTER_MIGRATIONS: &str = "cluster.migrations";
+    /// Mutations rejected because a partition had no serving leader.
+    pub const CLUSTER_PARTITION_UNAVAILABLE: &str = "cluster.partition_unavailable";
+    /// Followers latched into quarantine after detecting divergence.
+    pub const CLUSTER_FOLLOWER_DIVERGENCE: &str = "cluster.follower_divergence";
+    /// Predictions served read-only by a follower while its partition
+    /// was leaderless.
+    pub const CLUSTER_READONLY_SERVES: &str = "cluster.readonly_serves";
+    /// Messages handed to the cluster transport.
+    pub const CLUSTER_NET_MESSAGES: &str = "cluster.net_messages";
+    /// Messages the simulated network dropped.
+    pub const CLUSTER_NET_DROPPED: &str = "cluster.net_dropped";
+    /// Messages the simulated network duplicated.
+    pub const CLUSTER_NET_DUPLICATED: &str = "cluster.net_duplicated";
+    /// Messages the simulated network delayed or reordered.
+    pub const CLUSTER_NET_DELAYED: &str = "cluster.net_delayed";
 }
+
+/// Gauge name for the worst follower replication lag across partitions,
+/// in WAL records (leader `last_lsn` minus follower acked LSN).
+pub const CLUSTER_FOLLOWER_LAG_GAUGE: &str = "cluster.follower_lag";
 
 /// Histogram name for `predict_batch` request sizes (bounds
 /// [`SIZE_BOUNDS`]).

@@ -56,6 +56,15 @@ pub enum Stage {
     /// One recovery replay: snapshot load plus WAL replay into a fresh
     /// engine (`clear_serve::ServeEngine::recover`).
     RecoverReplay,
+    /// One replication shipping round: exporting a leader's WAL suffix
+    /// and handing it to the transport (`clear_cluster::ServeCluster`).
+    ClusterShip,
+    /// One follower catch-up: snapshot transfer plus LSN-suffix replay
+    /// into a lagging or freshly seeded member.
+    ClusterCatchUp,
+    /// One leader failover: promoting the caught-up follower of a dead
+    /// leader's partition.
+    ClusterFailover,
 }
 
 impl Stage {
@@ -82,6 +91,9 @@ impl Stage {
             Stage::WalAppend => "stage.durable.wal_append",
             Stage::SnapshotWrite => "stage.durable.snapshot",
             Stage::RecoverReplay => "stage.durable.recover",
+            Stage::ClusterShip => "stage.cluster.ship",
+            Stage::ClusterCatchUp => "stage.cluster.catch_up",
+            Stage::ClusterFailover => "stage.cluster.failover",
         }
     }
 
@@ -108,6 +120,9 @@ impl Stage {
             Stage::WalAppend,
             Stage::SnapshotWrite,
             Stage::RecoverReplay,
+            Stage::ClusterShip,
+            Stage::ClusterCatchUp,
+            Stage::ClusterFailover,
         ]
     }
 }

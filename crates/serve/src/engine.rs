@@ -44,8 +44,10 @@ use clear_core::deployment::{
     ClearBundle, DeployError, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
 };
 use clear_core::serving;
+use clear_durable::wal::WAL_FILE;
 use clear_durable::{
-    DurableConfig, DurableError, EngineSnapshot, FsStorage, Storage, TenantRecord, Wal, WalOp,
+    read_records, DurableConfig, DurableError, EngineSnapshot, FsStorage, Storage, TenantRecord,
+    Wal, WalOp, WalRecord,
 };
 use clear_edge::{personalized_cache_capacity, Device};
 use clear_features::quality::assess_map;
@@ -174,6 +176,30 @@ pub struct ServeRequest<'a> {
     pub user: &'a str,
     /// The feature maps to classify, in order.
     pub maps: &'a [FeatureMap],
+}
+
+/// Outcome of one [`ServeEngine::import_records`] call — the follower
+/// side of WAL-shipped replication. Imports are tolerant of the faults a
+/// lossy transport produces (duplicates, gaps from reordering) and
+/// strict about everything else: a record that cannot apply cleanly
+/// means the two logs describe different histories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportReport {
+    /// Highest LSN durably applied on this engine after the import
+    /// (imports never regress it).
+    pub applied_through: u64,
+    /// Records skipped because their LSN was already applied — the
+    /// normal fate of duplicated or re-shipped frames.
+    pub duplicates: u64,
+    /// First missing LSN, when the batch jumped past the log's tail
+    /// (reordered or lost frames). Records from the gap onward were not
+    /// applied; the shipper should resend from `gap_at`.
+    pub gap_at: Option<u64>,
+    /// Why this engine's state cannot have come from the same history as
+    /// the shipped records (e.g. a quarantine for a user it never
+    /// onboarded). The offending record and everything after it were
+    /// rejected; the caller must quarantine this follower.
+    pub diverged: Option<String>,
 }
 
 /// Occupancy snapshot of the personalized-model cache.
@@ -483,12 +509,24 @@ impl ServeEngine {
         let guards: Vec<RwLockReadGuard<'_, ShardState>> =
             (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
         let mut wal = d.wal.lock();
+        let snap = Self::capture(wal.last_lsn(), &guards);
+        drop(guards);
+        snap.save(d.storage.as_ref())?;
+        wal.truncate()?;
+        d.ops_since.store(0, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Collects every shard's state into a normalized [`EngineSnapshot`]
+    /// at the given LSN horizon. Callers hold the shard guards (and the
+    /// WAL lock that produced `last_lsn`), so the cut is consistent.
+    fn capture(last_lsn: u64, guards: &[RwLockReadGuard<'_, ShardState>]) -> EngineSnapshot {
         let mut snap = EngineSnapshot {
-            last_lsn: wal.last_lsn(),
+            last_lsn,
             tenants: Vec::new(),
             pending: Vec::new(),
         };
-        for guard in &guards {
+        for guard in guards {
             for (user, t) in &guard.tenants {
                 snap.tenants.push(TenantRecord {
                     user: user.clone(),
@@ -503,12 +541,221 @@ impl ServeEngine {
                 snap.pending.push((user.clone(), maps.clone()));
             }
         }
-        drop(guards);
         snap.normalize();
-        snap.save(d.storage.as_ref())?;
-        wal.truncate()?;
-        d.ops_since.store(0, Ordering::SeqCst);
-        Ok(())
+        snap
+    }
+
+    /// Captures the engine's full state as a transferable
+    /// [`EngineSnapshot`] *without* publishing it or truncating the WAL —
+    /// the snapshot-transfer source for seeding replicas and migrating
+    /// partitions. The horizon is the WAL's last LSN at the instant of
+    /// capture, taken under every shard lock, so an importer that seeds
+    /// from this snapshot and then replays records past `last_lsn` lands
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] on a non-durable engine, which
+    /// has no LSN horizon to anchor the snapshot to.
+    pub fn export_snapshot(&self) -> Result<EngineSnapshot, ServeError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or(ServeError::Internal("snapshot export needs a durable engine"))?;
+        let guards: Vec<RwLockReadGuard<'_, ShardState>> =
+            (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
+        let wal = d.wal.lock();
+        Ok(Self::capture(wal.last_lsn(), &guards))
+    }
+
+    /// Builds a durable engine whose state is exactly `snapshot`: the
+    /// snapshot is published to `storage`, any stale WAL there is
+    /// cleared (its records are covered by — or diverged from — the
+    /// snapshot), and the engine recovers from the result. This is the
+    /// snapshot-transfer sink: how a fresh or lagging replica adopts a
+    /// leader's state before catching up on shipped records with
+    /// `lsn > snapshot.last_lsn`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::recover_with`].
+    pub fn from_snapshot(
+        storage: Arc<dyn Storage>,
+        snapshot: &EngineSnapshot,
+        bundle: ClearBundle,
+        policy: ServingPolicy,
+        config: EngineConfig,
+        durable: DurableConfig,
+    ) -> Result<Self, ServeError> {
+        snapshot.save(storage.as_ref())?;
+        storage.write_atomic(WAL_FILE, &[])?;
+        Self::recover_with(storage, bundle, policy, config, durable)
+    }
+
+    /// LSN of the last operation this engine has durably logged (0 if
+    /// none yet), or `None` on a non-durable engine.
+    pub fn wal_last_lsn(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.lock().last_lsn())
+    }
+
+    /// LSN horizon of the engine's published snapshot (0 when no
+    /// snapshot has been published), or `None` on a non-durable engine.
+    /// Records at or below the horizon are no longer in the WAL file, so
+    /// a follower that has acknowledged less than this needs a snapshot
+    /// transfer, not a record ship.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Durable`] when the snapshot cannot be read.
+    pub fn wal_horizon(&self) -> Result<Option<u64>, ServeError> {
+        let Some(d) = &self.durability else {
+            return Ok(None);
+        };
+        Ok(Some(
+            EngineSnapshot::load(d.storage.as_ref())?.map_or(0, |s| s.last_lsn),
+        ))
+    }
+
+    /// Reads this engine's WAL records with `lsn > after` — the shipping
+    /// source of replication. Purely a storage read: no locks beyond the
+    /// storage's own, no truncation, no effect on engine state. Records
+    /// already covered by a published snapshot are gone from the log
+    /// (see [`ServeEngine::wal_horizon`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] on a non-durable engine and
+    /// [`ServeError::Durable`] when the log cannot be read or parsed.
+    pub fn export_records_after(&self, after: u64) -> Result<Vec<WalRecord>, ServeError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or(ServeError::Internal("WAL export needs a durable engine"))?;
+        let records = read_records(d.storage.as_ref())?;
+        Ok(records.into_iter().filter(|r| r.lsn > after).collect())
+    }
+
+    /// Applies a leader's WAL records to this engine — the follower side
+    /// of replication. Each applicable record is appended to this
+    /// engine's own WAL (verbatim, LSN included) *before* the in-memory
+    /// mutation commits, so a follower is itself crash-consistent and
+    /// its log stays bit-comparable to its leader's. Duplicates are
+    /// skipped, a gap stops the import at the gap, and a record that
+    /// cannot have come from this engine's history (see
+    /// [`ImportReport::diverged`]) rejects the rest of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] on a non-durable engine and
+    /// [`ServeError::Durable`] when this engine's own WAL rejects an
+    /// append (the record is then *not* applied).
+    pub fn import_records(&self, records: &[WalRecord]) -> Result<ImportReport, ServeError> {
+        let d = self
+            .durability
+            .as_ref()
+            .ok_or(ServeError::Internal("record import needs a durable engine"))?;
+        let mut report = ImportReport {
+            applied_through: d.wal.lock().last_lsn(),
+            duplicates: 0,
+            gap_at: None,
+            diverged: None,
+        };
+        for record in records {
+            let user = record.op.user();
+            let shard = self.shard_of(user);
+            // Lock order: shard → WAL, as everywhere.
+            let mut state = self.write_shard(shard);
+            let mut wal = d.wal.lock();
+            let last = wal.last_lsn();
+            if record.lsn <= last {
+                report.duplicates += 1;
+                continue;
+            }
+            if record.lsn > last + 1 {
+                report.gap_at = Some(last + 1);
+                break;
+            }
+            let unknown_tenant = !state.tenants.contains_key(user);
+            let divergent = match &record.op {
+                WalOp::Quarantine { .. } | WalOp::PersonalizeAdopt { .. } => unknown_tenant,
+                WalOp::Offboard { .. } => unknown_tenant && !state.pending.contains_key(user),
+                _ => false,
+            };
+            if divergent {
+                report.diverged = Some(format!(
+                    "record {} mutates user \"{user}\" this replica never onboarded",
+                    record.lsn
+                ));
+                break;
+            }
+            wal.append_records(std::slice::from_ref(record))?;
+            drop(wal);
+            d.ops_since.fetch_add(1, Ordering::SeqCst);
+            Self::apply_imported(&mut state, &self.next_generation, record.op.clone());
+            drop(state);
+            // Any cached fork predates the imported mutation.
+            if matches!(
+                record.op,
+                WalOp::Onboard { .. } | WalOp::PersonalizeAdopt { .. } | WalOp::Offboard { .. }
+            ) {
+                self.cache.remove(user);
+            }
+            report.applied_through = record.lsn;
+        }
+        self.maybe_snapshot();
+        Ok(report)
+    }
+
+    /// Applies one imported record under its shard's write lock — the
+    /// `&self` twin of [`ServeEngine::apply_logged`] (which runs during
+    /// recovery on `&mut self`). Generation stamps merge via `fetch_max`,
+    /// keeping the global no-reuse invariant across imports.
+    fn apply_imported(state: &mut ShardState, next_generation: &AtomicU64, op: WalOp) {
+        match op {
+            WalOp::Onboard {
+                user,
+                cluster,
+                baseline,
+                generation,
+            } => {
+                next_generation.fetch_max(generation + 1, Ordering::SeqCst);
+                state.pending.remove(&user);
+                state.tenants.insert(
+                    user,
+                    Tenant {
+                        cluster,
+                        baseline,
+                        quarantined: 0,
+                        delta: None,
+                        generation,
+                    },
+                );
+            }
+            WalOp::BufferMaps { user, maps } => {
+                state.pending.entry(user).or_default().extend(maps);
+            }
+            WalOp::PersonalizeAdopt {
+                user,
+                generation,
+                delta,
+            } => {
+                next_generation.fetch_max(generation + 1, Ordering::SeqCst);
+                if let Some(tenant) = state.tenants.get_mut(&user) {
+                    tenant.generation = generation;
+                    tenant.delta = Some(*delta);
+                }
+            }
+            WalOp::PersonalizeRollback { .. } => {}
+            WalOp::Quarantine { user, count } => {
+                if let Some(tenant) = state.tenants.get_mut(&user) {
+                    tenant.quarantined += count as usize;
+                }
+            }
+            WalOp::Offboard { user } => {
+                state.tenants.remove(&user);
+                state.pending.remove(&user);
+            }
+        }
     }
 
     /// The underlying bundle.
@@ -685,6 +932,32 @@ impl ServeEngine {
         }
     }
 
+    /// Serves one user's batch without committing any state: quarantined
+    /// windows are gated and reported exactly as in [`ServeEngine::predict`],
+    /// but their counts are neither logged nor applied. This is how a
+    /// follower replica serves while its partition is leaderless — the
+    /// served bits match the leader's, and nothing is written that the
+    /// next shipped records would conflict with.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeEngine::predict`].
+    pub fn predict_readonly(
+        &self,
+        user: &str,
+        maps: &[FeatureMap],
+    ) -> Result<Vec<Prediction>, ServeError> {
+        match self
+            .predict_set(&[ServeRequest { user, maps }], false)
+            .pop()
+        {
+            Some(result) => result,
+            None => Err(ServeError::Internal(
+                "predict_set returned no result for a one-request set",
+            )),
+        }
+    }
+
     /// Serves a cross-user request set. Assembly resolves every request
     /// (admission, tenant snapshot, shape checks, fork hydration), then
     /// the resolved requests are grouped by assigned cluster and each
@@ -699,6 +972,17 @@ impl ServeEngine {
     pub fn predict_many(
         &self,
         requests: &[ServeRequest<'_>],
+    ) -> Vec<Result<Vec<Prediction>, ServeError>> {
+        self.predict_set(requests, true)
+    }
+
+    /// [`ServeEngine::predict_many`] with the quarantine commit made
+    /// explicit: read-only callers (follower serving) pass `false` and
+    /// the engine guarantees no WAL append and no registry mutation.
+    fn predict_set(
+        &self,
+        requests: &[ServeRequest<'_>],
+        commit_quarantine: bool,
     ) -> Vec<Result<Vec<Prediction>, ServeError>> {
         let mut slots: Vec<Option<Result<Vec<Prediction>, ServeError>>> =
             requests.iter().map(|_| None).collect();
@@ -807,7 +1091,7 @@ impl ServeEngine {
                     Some(e) => Err(e.into()),
                     None => Ok(predictions),
                 };
-                if quarantined > 0 {
+                if quarantined > 0 && commit_quarantine {
                     let mut state = self.write_shard(r.shard);
                     if state.tenants.contains_key(&r.user) {
                         // WAL-before-mutate: if the log rejects the
@@ -948,6 +1232,22 @@ impl ServeEngine {
         self.cache.remove(user);
         self.maybe_snapshot();
         Ok(existed)
+    }
+
+    /// The fork-generation stamp a user's state currently carries —
+    /// bumped by every re-onboarding and adopted personalization, and
+    /// preserved verbatim across replication, failover and migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`DeployError::UnknownUser`] if the user was
+    /// never onboarded.
+    pub fn generation_of(&self, user: &str) -> Result<u64, ServeError> {
+        self.read_shard(self.shard_of(user))
+            .tenants
+            .get(user)
+            .map(|t| t.generation)
+            .ok_or_else(|| DeployError::UnknownUser(user.to_string()).into())
     }
 
     /// The cluster a user was assigned to.

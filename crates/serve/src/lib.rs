@@ -38,4 +38,4 @@
 mod cache;
 pub mod engine;
 
-pub use engine::{CacheStats, EngineConfig, ServeEngine, ServeError, ServeRequest};
+pub use engine::{CacheStats, EngineConfig, ImportReport, ServeEngine, ServeError, ServeRequest};

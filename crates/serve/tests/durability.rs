@@ -18,7 +18,8 @@ mod common;
 
 use clear_core::deployment::{Onboarding, Prediction, ServingPolicy};
 use clear_durable::{
-    DurableConfig, DurableError, FaultPlan, FaultStorage, MemStorage, Storage, Wal,
+    DurableConfig, DurableError, FaultPlan, FaultStorage, MemStorage, ReadFaultPlan, Storage, Wal,
+    WalOp, WalRecord,
 };
 use clear_serve::{EngineConfig, ServeEngine, ServeError};
 use common::{fixture, labeled_of, lenient, maps_of, nan_map, Fixture};
@@ -428,6 +429,181 @@ fn reonboarded_user_cannot_rehydrate_previous_tenants_weights() {
     if personalized != fresh {
         assert_ne!(served, personalized, "stale fork served after re-onboard");
     }
+}
+
+/// Satellite: read-path faults during recovery are typed errors, never
+/// panics — and a bad read is transient (on the wire), not fatal to the
+/// bytes: retrying over the same storage recovers bit-identically.
+#[test]
+fn recovery_under_read_faults_is_typed_and_retryable() {
+    let f = fixture();
+    let mem = Arc::new(MemStorage::new());
+    // Snapshot cadence 3 so recovery reads both artifacts: the snapshot
+    // (read boundary 0) and the WAL tail (read boundary 1).
+    let engine = durable_engine(Arc::clone(&mem) as Arc<dyn Storage>, f, 3);
+    assert_eq!(run_script(&engine, f), SCRIPT.len());
+    let before = fingerprint(&engine, f);
+    drop(engine);
+    let blobs = mem.dump();
+
+    let recover_over = |storage: Arc<dyn Storage>| {
+        ServeEngine::recover_with(
+            storage,
+            f.bundle.clone(),
+            script_policy(),
+            engine_config(),
+            DurableConfig {
+                snapshot_every_ops: 3,
+            },
+        )
+    };
+
+    // An I/O error on either recovery read is a typed failure.
+    for fail_at in [0usize, 1] {
+        let fault = Arc::new(FaultStorage::seeded(
+            blobs.clone(),
+            FaultPlan {
+                kill_at: usize::MAX,
+                torn_bytes: 0,
+            },
+            ReadFaultPlan {
+                fail_at: Some(fail_at),
+                corrupt_at: None,
+            },
+        ));
+        let err = recover_over(Arc::clone(&fault) as Arc<dyn Storage>)
+            .map(|_| ())
+            .expect_err("a failed read must fail recovery");
+        assert!(
+            matches!(err, ServeError::Durable(DurableError::Io(_))),
+            "read fault at boundary {fail_at} must be typed I/O, got {err:?}"
+        );
+    }
+
+    // Bit rot on the snapshot read is caught by the envelope checksum.
+    let rot = Arc::new(FaultStorage::seeded(
+        blobs,
+        FaultPlan {
+            kill_at: usize::MAX,
+            torn_bytes: 0,
+        },
+        ReadFaultPlan {
+            fail_at: None,
+            corrupt_at: Some(0),
+        },
+    ));
+    let err = recover_over(Arc::clone(&rot) as Arc<dyn Storage>)
+        .map(|_| ())
+        .expect_err("a corrupted read must fail recovery");
+    assert!(
+        matches!(
+            err,
+            ServeError::Durable(DurableError::CorruptArtifact {
+                artifact: "snapshot",
+                ..
+            })
+        ),
+        "snapshot bit rot must be typed corruption, got {err:?}"
+    );
+
+    // The rot plan only corrupts read boundary 0: retrying on the very
+    // same storage sees clean bytes and recovers bit-identically.
+    let recovered = recover_over(rot as Arc<dyn Storage>).expect("retry recovers");
+    assert_eq!(fingerprint(&recovered, f), before);
+}
+
+/// The replication hooks: a replica that imports the leader's exported
+/// WAL records is bit-identical, generation stamps included; duplicated
+/// frames are skipped, a gap stops the import, and a record for a user
+/// the replica never onboarded is reported as divergence.
+#[test]
+fn imported_records_rebuild_a_bit_identical_replica() {
+    let f = fixture();
+    let leader = durable_engine(Arc::new(MemStorage::new()) as Arc<dyn Storage>, f, 0);
+    assert_eq!(run_script(&leader, f), SCRIPT.len());
+    let records = leader.export_records_after(0).unwrap();
+    assert!(!records.is_empty());
+    assert_eq!(records.last().unwrap().lsn, leader.wal_last_lsn().unwrap());
+
+    let replica = durable_engine(Arc::new(MemStorage::new()) as Arc<dyn Storage>, f, 0);
+    // Ship in two chunks with a duplicated overlap, as a lossy transport
+    // would deliver them.
+    let mid = records.len() / 2;
+    let first = replica.import_records(&records[..mid]).unwrap();
+    assert_eq!(first.applied_through, records[mid - 1].lsn);
+    assert_eq!(first.duplicates, 0);
+    let second = replica.import_records(&records[mid - 1..]).unwrap();
+    assert_eq!(second.applied_through, records.last().unwrap().lsn);
+    assert_eq!(second.duplicates, 1);
+    assert_eq!(second.gap_at, None);
+    assert_eq!(second.diverged, None);
+    assert_eq!(fingerprint(&replica, f), fingerprint(&leader, f));
+    for user in USERS {
+        assert_eq!(
+            replica.generation_of(user).ok(),
+            leader.generation_of(user).ok(),
+            "{user}'s generation stamp must transfer verbatim"
+        );
+    }
+    // The replica's own log is bit-comparable: it re-exports the same
+    // records it imported.
+    assert_eq!(replica.export_records_after(0).unwrap(), records);
+
+    // A batch that skips ahead reports the gap and applies nothing.
+    let fresh = durable_engine(Arc::new(MemStorage::new()) as Arc<dyn Storage>, f, 0);
+    let report = fresh.import_records(&records[1..]).unwrap();
+    assert_eq!(report.gap_at, Some(1));
+    assert_eq!(report.applied_through, 0);
+
+    // A mutation for a user this replica never onboarded cannot have
+    // come from its history: divergence, not a silent no-op.
+    let stray = WalRecord {
+        lsn: 1,
+        op: WalOp::Quarantine {
+            user: "zoe".to_string(),
+            count: 1,
+        },
+    };
+    let report = fresh.import_records(&[stray]).unwrap();
+    assert!(report.diverged.is_some());
+    assert_eq!(report.applied_through, 0);
+}
+
+/// Read-only serving (the leaderless-follower path) returns the same
+/// bits as committed serving but mutates nothing — quarantine counts
+/// stay where they were.
+#[test]
+fn predict_readonly_serves_identical_bits_without_committing() {
+    let f = fixture();
+    let engine = ServeEngine::with_policy(f.bundle.clone(), lenient(), engine_config());
+    assert!(matches!(
+        engine.onboard("amy", &maps_of(f, 0, 0, 2)).unwrap(),
+        Onboarding::Assigned { .. }
+    ));
+    let probe = maps_of(f, 0, 3, 5);
+    let committed: Vec<String> = engine
+        .predict("amy", &probe)
+        .unwrap()
+        .iter()
+        .map(prediction_key)
+        .collect();
+    let readonly: Vec<String> = engine
+        .predict_readonly("amy", &probe)
+        .unwrap()
+        .iter()
+        .map(prediction_key)
+        .collect();
+    assert_eq!(readonly, committed);
+    // The quarantine path serves identical bits but commits no count.
+    let before = engine.quarantined_count("amy");
+    let a = engine.predict_readonly("amy", &[nan_map(f)]).unwrap();
+    assert_eq!(engine.quarantined_count("amy"), before);
+    let b = engine.predict("amy", &[nan_map(f)]).unwrap();
+    assert_eq!(engine.quarantined_count("amy"), before + 1);
+    assert_eq!(
+        a.iter().map(prediction_key).collect::<Vec<_>>(),
+        b.iter().map(prediction_key).collect::<Vec<_>>()
+    );
 }
 
 /// LSN continuity across snapshot truncation: the WAL keeps counting, so

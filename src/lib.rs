@@ -19,13 +19,17 @@
 //!   `DESIGN.md` §11),
 //! * [`durable`] — crash-consistent persistence: checksummed write-ahead
 //!   log, atomic snapshots and verified artifact envelopes behind
-//!   `serve`'s `ServeEngine::recover` (see `DESIGN.md` §12).
+//!   `serve`'s `ServeEngine::recover` (see `DESIGN.md` §12),
+//! * [`cluster`] — partitioned, replicated serving: consistent-hash
+//!   placement, WAL-shipped followers, failover and a deterministic
+//!   fault-injected network simulator (see `DESIGN.md` §13).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
 
 #![forbid(unsafe_code)]
 
+pub use clear_cluster as cluster;
 pub use clear_clustering as clustering;
 pub use clear_core as core;
 pub use clear_dsp as dsp;

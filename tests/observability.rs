@@ -46,7 +46,8 @@ fn serving_flow_populates_counters_and_stage_histograms() {
         .expect("carol onboarded above");
     assert_eq!(predictions.len(), 5);
 
-    obs::uninstall();
+    // Snapshot before the cluster exercise below: these assertions pin
+    // the single-deployment flow's exact counts.
     let snap = registry.snapshot();
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
 
@@ -87,4 +88,48 @@ fn serving_flow_populates_counters_and_stage_histograms() {
     assert!(json.contains("\"serve.batches\": 1"));
     assert!(json.contains("\"stage.serve.predict\""));
     assert_eq!(json, registry.snapshot().to_json_pretty());
+
+    // A two-member replicated cluster over the simulated network: WAL
+    // frames ship leader → follower, a crash promotes the follower, and
+    // every leg lands in the cluster counters and stage histograms.
+    let mut cluster = clear::cluster::ServeCluster::new(
+        dep.bundle().clone(),
+        clear::core::deployment::ServingPolicy {
+            min_confidence: 0.0,
+            ..clear::core::deployment::ServingPolicy::default()
+        },
+        &[0, 1],
+        clear::cluster::ClusterConfig {
+            partitions: 2,
+            vnodes: 16,
+            ..clear::cluster::ClusterConfig::default()
+        },
+        Box::new(clear::cluster::SimNet::reliable(5)),
+    )
+    .expect("cluster builds");
+    cluster.onboard("dave", &maps).expect("maps are non-empty");
+    cluster.flush().expect("reliable network settles");
+    let victim = cluster
+        .leader_of_partition(cluster.partition_of("dave"))
+        .expect("partition has a leader");
+    cluster.kill_member(victim).expect("crash handled");
+    assert!(
+        cluster.predict("dave", &batch[..1]).is_ok(),
+        "promoted follower serves after the crash"
+    );
+
+    obs::uninstall();
+    let snap = registry.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert!(c(obs::counters::CLUSTER_NET_MESSAGES) > 0);
+    assert!(c(obs::counters::CLUSTER_FRAMES_SHIPPED) > 0);
+    assert!(c(obs::counters::CLUSTER_FRAMES_ACKED) > 0);
+    assert!(c(obs::counters::CLUSTER_FAILOVERS) >= 1);
+    for key in [
+        "stage.cluster.ship",
+        "stage.cluster.catch_up",
+        "stage.cluster.failover",
+    ] {
+        assert!(snap.histograms.contains_key(key), "missing histogram {key}");
+    }
 }

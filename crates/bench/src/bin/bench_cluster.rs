@@ -75,6 +75,7 @@ fn engine_config() -> EngineConfig {
         shards: 4,
         cache_capacity: 8,
         max_queue_depth: 256,
+        ..EngineConfig::default()
     }
 }
 

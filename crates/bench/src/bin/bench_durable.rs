@@ -62,6 +62,7 @@ fn engine_config() -> EngineConfig {
         shards: 8,
         cache_capacity: 16,
         max_queue_depth: 1024,
+        ..EngineConfig::default()
     }
 }
 

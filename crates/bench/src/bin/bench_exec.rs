@@ -7,6 +7,9 @@
 //! * inference windows/sec with a fresh workspace per call (cold start),
 //!   with one reused workspace (allocation-free steady state), and
 //!   through the edge `predict_batch` path;
+//! * a kernel-backend sweep: windows/sec for every `BackendKind`
+//!   (scalar reference, blocked f32, int8) at several batch sizes, plus
+//!   the blocked-vs-scalar speedup the vectorized kernels deliver;
 //! * CLEAR LOSO validation wall-clock, sequential vs. the parallel fold
 //!   driver at 2 and 4 worker threads.
 //!
@@ -22,12 +25,23 @@ use clear_core::deployment::deploy;
 use clear_core::evaluation::{clear_folds, clear_folds_parallel};
 use clear_edge::{Device, EdgeDeployment};
 use clear_features::FeatureMap;
+use clear_nn::backend::BackendKind;
 use clear_nn::network::cnn_lstm_compact;
 use clear_nn::tensor::Tensor;
 use clear_nn::workspace::Workspace;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct BackendSweepPoint {
+    /// Backend name (`scalar`, `blocked_f32`, `int8`).
+    backend: &'static str,
+    /// Windows per measured round through one reused workspace.
+    batch_size: usize,
+    /// Forward passes per second at this backend × batch point.
+    windows_per_sec: f32,
+}
 
 #[derive(Debug, Serialize)]
 struct ExecBench {
@@ -37,6 +51,10 @@ struct ExecBench {
     inference_reused_ws_per_sec: f32,
     /// Windows per second through the edge batch path.
     inference_edge_batch_per_sec: f32,
+    /// Windows/sec per inference backend at several batch sizes.
+    backend_sweep: Vec<BackendSweepPoint>,
+    /// Best blocked-f32 rate over the best scalar rate in the sweep.
+    blocked_speedup_x: f32,
     /// Sequential LOSO wall-clock, seconds.
     loso_sequential_secs: f32,
     /// Parallel LOSO wall-clock at 2 threads, seconds.
@@ -97,6 +115,52 @@ fn main() {
     eprintln!(
         "inference windows/sec: fresh-ws {fresh:.0}, reused-ws {reused:.0}, edge batch {edge_batch:.0}"
     );
+
+    // Kernel-backend sweep: every backend at several batch sizes, all
+    // through one reused workspace per point so prepared scratch (packed
+    // weights, quantized caches) stays warm the way a serving shard
+    // keeps it. Distinct inputs per batch defeat trivial caching.
+    let sweep_inputs: Vec<Tensor> = (0..32)
+        .map(|i| {
+            Tensor::from_vec(
+                &[1, 123, 9],
+                (0..123 * 9).map(|v| ((v + i * 13) as f32).sin()).collect(),
+            )
+        })
+        .collect();
+    let mut backend_sweep = Vec::new();
+    for kind in BackendKind::all() {
+        for batch_size in [1usize, 8, 32] {
+            let mut ws = Workspace::new();
+            let rounds = (reps / batch_size).max(1);
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                for x in &sweep_inputs[..batch_size] {
+                    let _ = net.forward_with(x, false, &mut ws, kind.instance());
+                }
+            }
+            let windows_per_sec =
+                (rounds * batch_size) as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+            eprintln!(
+                "backend sweep: {} batch {batch_size}: {windows_per_sec:.0} windows/sec",
+                kind.name()
+            );
+            backend_sweep.push(BackendSweepPoint {
+                backend: kind.name(),
+                batch_size,
+                windows_per_sec,
+            });
+        }
+    }
+    let best_rate = |name: &str| {
+        backend_sweep
+            .iter()
+            .filter(|p| p.backend == name)
+            .map(|p| p.windows_per_sec)
+            .fold(0f32, f32::max)
+    };
+    let blocked_speedup_x = best_rate("blocked_f32") / best_rate("scalar").max(1e-9);
+    eprintln!("backend sweep: blocked_f32 is {blocked_speedup_x:.2}x scalar (best-batch rates)");
 
     // LOSO wall-clock: a reduced profile (one epoch) so the comparison
     // measures driver scaling rather than epochs of SGD.
@@ -161,6 +225,8 @@ fn main() {
         inference_fresh_ws_per_sec: fresh,
         inference_reused_ws_per_sec: reused,
         inference_edge_batch_per_sec: edge_batch,
+        backend_sweep,
+        blocked_speedup_x,
         loso_sequential_secs,
         loso_parallel2_secs,
         loso_parallel4_secs,

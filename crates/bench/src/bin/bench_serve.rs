@@ -180,6 +180,7 @@ fn main() {
             shards: 8,
             cache_capacity: 16,
             max_queue_depth: 1024,
+            ..EngineConfig::default()
         },
     );
     for (i, user) in users.iter().enumerate() {
@@ -269,6 +270,7 @@ fn main() {
                 shards: 4,
                 cache_capacity: capacity,
                 max_queue_depth: 1024,
+                ..EngineConfig::default()
             },
         );
         for i in 0..CACHE_USERS {

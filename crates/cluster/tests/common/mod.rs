@@ -58,6 +58,7 @@ fn engine_config() -> EngineConfig {
         shards: 2,
         cache_capacity: 2,
         max_queue_depth: 16,
+        ..EngineConfig::default()
     }
 }
 

@@ -107,6 +107,33 @@ impl Default for ServingPolicy {
     }
 }
 
+/// Numeric serving tier: which inference backend runs the quality-gated
+/// forward pass (see `clear_nn::backend`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServeTier {
+    /// Vectorized f32 kernels, bit-identical to the scalar reference —
+    /// the safe default everywhere: same labels, same confidences, same
+    /// golden tables, just faster.
+    #[default]
+    Exact,
+    /// Int8 quantized execution. When the int8 result would abstain, the
+    /// window is re-served on the exact backend before the abstention
+    /// stands, so the tier can only widen coverage relative to its own
+    /// abstention rate, never emit a cheap abstention the exact path
+    /// would have answered.
+    Fast,
+}
+
+impl ServeTier {
+    /// The inference backend this tier dispatches to.
+    pub fn backend(self) -> clear_nn::backend::BackendKind {
+        match self {
+            ServeTier::Exact => clear_nn::backend::BackendKind::Blocked,
+            ServeTier::Fast => clear_nn::backend::BackendKind::Int8,
+        }
+    }
+}
+
 /// Which checkpoint produced a prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ModelSource {
@@ -485,6 +512,9 @@ impl ClearDeployment {
                 baseline: &state.baseline,
                 centroid: &centroid,
                 personalized: state.personalized.as_ref(),
+                // The single-tenant deployment always serves exactly;
+                // tier selection is a multi-tenant engine concern.
+                tier: ServeTier::Exact,
             };
             let (prediction, quarantined) = serving::predict_one_gated(&ctx, map, ws)?;
             if quarantined {

@@ -17,7 +17,8 @@
 //! (quarantine counts, adopted checkpoints) themselves.
 
 use crate::deployment::{
-    ClearBundle, DeployError, ModelSource, PersonalizeOutcome, Prediction, ServingPolicy,
+    ClearBundle, DeployError, ModelSource, PersonalizeOutcome, Prediction, ServeTier,
+    ServingPolicy,
 };
 use clear_features::catalog::{modality_count, modality_of};
 use clear_features::quality::assess_map;
@@ -47,6 +48,26 @@ pub struct ServeContext<'a> {
     pub centroid: &'a [f32],
     /// The user's personalized checkpoint, when one was adopted.
     pub personalized: Option<&'a Network>,
+    /// Numeric tier the forward pass runs at. [`ServeTier::Exact`] is
+    /// bit-identical to the historical scalar path; [`ServeTier::Fast`]
+    /// runs int8 with an automatic exact re-serve on abstention.
+    pub tier: ServeTier,
+}
+
+/// Applies the confidence/quality gate to a logit vector, returning
+/// `(confidence, emotion)`. Shared by the tiered forward passes below so
+/// the int8 attempt and the f32 fallback are judged by identical rules.
+fn gate_logits(logits: &Tensor, quality: f32, policy: &ServingPolicy) -> (f32, Option<Emotion>) {
+    let class = predict_class(logits);
+    let probs = softmax(logits.as_slice());
+    let confidence = probs.get(class).copied().unwrap_or(0.0);
+    let emotion =
+        if class <= 1 && confidence >= policy.min_confidence && quality >= policy.min_quality {
+            Some(Emotion::from_class_index(class))
+        } else {
+            None
+        };
+    (confidence, emotion)
 }
 
 /// Computes a user's cluster assignment and baseline from their
@@ -241,17 +262,24 @@ pub fn predict_one_gated(
             ModelSource::Cluster(ctx.cluster),
         ),
     };
-    let logits = net.forward(&x, false, ws);
-    let class = predict_class(logits);
-    let probs = softmax(logits.as_slice());
-    let confidence = probs.get(class).copied().unwrap_or(0.0);
-    let emotion = if class <= 1
-        && confidence >= ctx.policy.min_confidence
-        && quality >= ctx.policy.min_quality
-    {
-        Some(Emotion::from_class_index(class))
+    let (confidence, emotion) = {
+        let logits = net.forward_with(&x, false, ws, ctx.tier.backend().instance());
+        gate_logits(logits, quality, ctx.policy)
+    };
+    let (confidence, emotion) = if ctx.tier == ServeTier::Fast {
+        if emotion.is_some() {
+            clear_obs::counter_add(clear_obs::counters::SERVE_TIER_INT8, 1);
+            (confidence, emotion)
+        } else {
+            // The int8 result would abstain: re-serve exactly before the
+            // abstention stands, so the fast tier never costs a label the
+            // exact path would have produced.
+            clear_obs::counter_add(clear_obs::counters::SERVE_TIER_F32_FALLBACK, 1);
+            let logits = net.forward_with(&x, false, ws, ServeTier::Exact.backend().instance());
+            gate_logits(logits, quality, ctx.policy)
+        }
     } else {
-        None
+        (confidence, emotion)
     };
     if !impute.is_empty() {
         clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);

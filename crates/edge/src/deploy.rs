@@ -1,11 +1,12 @@
 //! Deploying, evaluating and fine-tuning networks on simulated devices.
 
 use crate::device::{Device, DeviceSpec};
+use clear_nn::backend::BackendKind;
 use clear_nn::data::Dataset;
 use clear_nn::loss::predict_class;
 use clear_nn::metrics::{ConfusionMatrix, FoldScore};
 use clear_nn::network::Network;
-use clear_nn::quantize::{lower_network, quantize_in_place};
+use clear_nn::quantize::{lower_network, quantize_in_place, Precision};
 use clear_nn::summary::summarize;
 use clear_nn::tensor::Tensor;
 use clear_nn::train::{self, TrainConfig};
@@ -42,7 +43,10 @@ pub struct FineTuneOutcome {
 
 /// A network deployed on a simulated edge device.
 ///
-/// Construction lowers the checkpoint to the device's precision; the model
+/// Construction maps the device's [`Precision`] onto an inference
+/// backend: int8 devices keep the fp32 checkpoint and execute the real
+/// quantized kernels ([`BackendKind::Int8`]), while fp16/fp32 devices
+/// lower the stored weights and run the vectorized f32 path. The model
 /// size and FLOP count are frozen at deployment time.
 #[derive(Debug, Clone)]
 pub struct EdgeDeployment {
@@ -67,7 +71,14 @@ impl EdgeDeployment {
     pub fn new(mut network: Network, device: Device, input_shape: &[usize]) -> Self {
         let spec = device.spec();
         let flops = summarize(&network, input_shape).total_flops();
-        let model_bytes = lower_network(&mut network, spec.precision);
+        let model_bytes = network.param_count() * spec.precision.bytes_per_weight();
+        // Int8 devices execute the real quantized kernels against the
+        // fp32 checkpoint — the backend quantizes weights and activations
+        // itself, so lowering here would only round the master weights
+        // twice. fp16/fp32 devices keep up-front weight lowering.
+        if spec.precision != Precision::Int8 {
+            lower_network(&mut network, spec.precision);
+        }
         Self {
             device,
             spec,
@@ -103,28 +114,42 @@ impl EdgeDeployment {
         &self.network
     }
 
-    /// Runs one inference under the device's numeric precision: lowered
-    /// weights plus, on quantized hardware, **activation quantization
-    /// between layers** — the Edge TPU runs the whole graph in int8 and
-    /// the NCS2 in fp16, which is where most of their accuracy loss comes
-    /// from. Quantization happens in place on the reused workspace
-    /// buffers, so steady-state inference allocates nothing but the
-    /// returned tensor; use [`EdgeDeployment::predict_batch`] to avoid
-    /// even that.
+    /// Runs one inference under the device's numeric precision. The Edge
+    /// TPU runs the whole graph through the real int8 kernels (quantized
+    /// weights, quantized activations, i32 accumulation — where most of
+    /// its accuracy loss comes from); the NCS2 runs fp16-lowered weights
+    /// with every activation rounded through fp16 between layers; the GPU
+    /// baseline is plain vectorized f32. All per-call state lives in the
+    /// reused workspace, so steady-state inference allocates nothing but
+    /// the returned tensor; use [`EdgeDeployment::predict_batch`] to
+    /// avoid even that.
     pub fn infer(&mut self, input: &Tensor) -> Tensor {
         self.infer_ws(input).clone()
     }
 
-    /// Allocation-free inference core: runs the quantized forward pass in
-    /// the deployment's workspace and returns a reference to the output
-    /// activation (valid until the next inference).
+    /// Allocation-free inference core: runs the device-precision forward
+    /// pass in the deployment's workspace and returns a reference to the
+    /// output activation (valid until the next inference).
     fn infer_ws(&mut self, input: &Tensor) -> &Tensor {
         let _span = clear_obs::span(clear_obs::Stage::EdgeInfer);
-        let precision = self.spec.precision;
-        self.network
-            .forward_tapped(input, false, &mut self.ws, &mut |t| {
-                quantize_in_place(t.as_mut_slice(), precision)
-            })
+        match self.spec.precision {
+            // Real quantized execution: the backend quantizes weights
+            // (cached per weight stamp) and activations itself, so no
+            // lowering or inter-layer taps are involved.
+            Precision::Int8 => {
+                self.network
+                    .forward_with(input, false, &mut self.ws, BackendKind::Int8.instance())
+            }
+            // fp16 emulation keeps lowered weights plus a rounding tap on
+            // every activation; under fp32 the tap is a no-op.
+            precision => self.network.forward_tapped_with(
+                input,
+                false,
+                &mut self.ws,
+                BackendKind::Blocked.instance(),
+                &mut |t| quantize_in_place(t.as_mut_slice(), precision),
+            ),
+        }
     }
 
     /// Classifies a batch of feature maps in one pass over the reused
@@ -275,8 +300,15 @@ mod tests {
         let net = trained_net(3);
         let tpu = EdgeDeployment::new(net.clone(), Device::CoralTpu, &[1, 30, 5]);
         assert_eq!(tpu.model_bytes(), net.param_count());
+        // Int8 devices keep the fp32 master checkpoint: quantization
+        // happens inside the backend at execution time.
+        assert_eq!(tpu.network().parameters_flat(), net.parameters_flat());
         let gpu = EdgeDeployment::new(net.clone(), Device::Gpu, &[1, 30, 5]);
         assert_eq!(gpu.model_bytes(), 4 * net.param_count());
+        let ncs2 = EdgeDeployment::new(net.clone(), Device::PiNcs2, &[1, 30, 5]);
+        assert_eq!(ncs2.model_bytes(), 2 * net.param_count());
+        // fp16 devices still lower the stored weights up front.
+        assert_ne!(ncs2.network().parameters_flat(), net.parameters_flat());
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Pluggable inference kernels: the [`InferenceBackend`] trait and its
+//! three implementations.
+//!
+//! The forward path of a [`Network`](crate::network::Network) dispatches
+//! its compute-bearing layers (convolution, dense, LSTM, ReLU) through a
+//! backend instead of baking one loop nest into each layer:
+//!
+//! * [`ScalarRef`] — the original textbook loops, kept verbatim as the
+//!   bit-exact oracle. Training and the backward pass always run here.
+//! * [`BlockedF32`] — autovectorization-friendly f32 kernels that are
+//!   **bit-identical** to [`ScalarRef`]: they vectorize across
+//!   *independent output elements* (im2col + row-axpy convolution,
+//!   transposed-weight column-major LSTM projections) and never
+//!   reassociate a single accumulation chain, so every output element
+//!   sees the exact same sequence of IEEE-754 additions as the scalar
+//!   kernel.
+//! * [`Int8Backend`] — a real quantized execution path: per-tensor int8
+//!   weights with scales prepared alongside the f32 weights, dynamic
+//!   per-tensor activation quantization at kernel boundaries, and i32
+//!   accumulation. Output differs from f32 by a bounded quantization
+//!   error (pinned by the golden divergence tests).
+//!
+//! Weight-derived scratch (transposed copies, quantized tensors) lives in
+//! the caller's [`Workspace`](crate::workspace::Workspace), one
+//! [`KernelScratch`] per layer, and is invalidated by the network's
+//! weight stamp: any `&mut` access to parameters bumps the stamp, so a
+//! workspace can never serve stale prepared weights.
+
+use crate::layers::{Conv2d, Dense, Lstm};
+use crate::quantize::int8_scale;
+use crate::tensor::Tensor;
+use crate::workspace::LstmTape;
+use serde::{Deserialize, Serialize};
+
+/// Swappable forward-pass kernels for the compute-bearing layers.
+///
+/// Implementations receive the layer (weights), the input activation and
+/// the output buffer, plus a per-layer [`KernelScratch`] owned by the
+/// caller's workspace for anything they want to keep across calls
+/// (prepared weight forms, packing buffers). Data-movement layers
+/// (pooling, sequence reshape, dropout) are backend-independent and stay
+/// on their single implementation.
+pub trait InferenceBackend: Sync {
+    /// Short stable name, used in benchmarks and reports.
+    fn name(&self) -> &'static str;
+
+    /// Valid 2D convolution, input `[C, H, W]`.
+    fn conv2d(&self, layer: &Conv2d, x: &Tensor, out: &mut Tensor, scratch: &mut KernelScratch);
+
+    /// Dense layer `[D] → [O]` (a single-row GEMM).
+    fn gemm(&self, layer: &Dense, x: &Tensor, out: &mut Tensor, scratch: &mut KernelScratch);
+
+    /// Full LSTM pass over `[T, D]`, stepping the caller's tape.
+    fn lstm(
+        &self,
+        layer: &Lstm,
+        x: &Tensor,
+        out: &mut Tensor,
+        tape: &mut LstmTape,
+        scratch: &mut KernelScratch,
+    );
+
+    /// Elementwise ReLU. The default is shared by all backends: an
+    /// elementwise `max` has no accumulation order to preserve and
+    /// autovectorizes as-is.
+    fn relu(&self, x: &Tensor, out: &mut Tensor) {
+        out.resize(x.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = v.max(0.0);
+        }
+    }
+}
+
+/// Serializable backend selector, for configs that must name a backend
+/// without holding a trait object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// [`ScalarRef`]: the bit-exact oracle loops.
+    Scalar,
+    /// [`BlockedF32`]: vectorized f32, bit-identical to `Scalar`.
+    Blocked,
+    /// [`Int8Backend`]: quantized execution with bounded divergence.
+    Int8,
+}
+
+impl BackendKind {
+    /// All backends, oracle first.
+    pub fn all() -> [BackendKind; 3] {
+        [BackendKind::Scalar, BackendKind::Blocked, BackendKind::Int8]
+    }
+
+    /// The shared instance of this backend.
+    pub fn instance(self) -> &'static dyn InferenceBackend {
+        match self {
+            BackendKind::Scalar => &ScalarRef,
+            BackendKind::Blocked => &BlockedF32,
+            BackendKind::Int8 => &Int8Backend,
+        }
+    }
+
+    /// The backend's stable name.
+    pub fn name(self) -> &'static str {
+        self.instance().name()
+    }
+}
+
+/// Per-layer kernel scratch, owned by the workspace.
+///
+/// Holds two kinds of state: *prepared* weight-derived data (transposed
+/// LSTM weights for [`BlockedF32`], quantized tensors and scales for
+/// [`Int8Backend`]) guarded by the owning network's weight stamp, and
+/// plain per-call packing buffers that are resized in place. Both exist
+/// so steady-state inference neither re-derives weight forms nor
+/// allocates.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    /// Weight stamp the prepared blocks below were derived from.
+    stamp: u64,
+    /// Prepared (BlockedF32): transposed `[D, 4H]` LSTM input weights.
+    wx_t: Vec<f32>,
+    /// Prepared (BlockedF32): transposed `[H, 4H]` LSTM recurrent weights.
+    wh_t: Vec<f32>,
+    blocked_ready: bool,
+    /// Prepared (Int8): quantized primary weight tensor (conv/dense `w`,
+    /// LSTM `wx`) and its per-tensor scale.
+    qw: Vec<i8>,
+    qw_scale: f32,
+    /// Prepared (Int8): quantized secondary weight tensor (LSTM `wh`).
+    qw2: Vec<i8>,
+    qw2_scale: f32,
+    int8_ready: bool,
+    /// Per-call: im2col patch matrix (BlockedF32 convolution).
+    cols: Vec<f32>,
+    /// Per-call: LSTM input-projection accumulator, `T × 4H`.
+    xacc: Vec<f32>,
+    /// Per-call: quantized input activations.
+    qx: Vec<i8>,
+    /// Per-call: quantized hidden state (Int8 LSTM).
+    qh: Vec<i8>,
+}
+
+impl KernelScratch {
+    /// Invalidates prepared weight forms when the owning network's weight
+    /// stamp moved since they were derived. Called by the forward driver
+    /// before every layer dispatch; O(1) when nothing changed.
+    pub(crate) fn ensure_stamp(&mut self, stamp: u64) {
+        if self.stamp != stamp {
+            self.stamp = stamp;
+            self.blocked_ready = false;
+            self.int8_ready = false;
+        }
+    }
+}
+
+/// Quantizes an activation slice into `out` with a dynamic per-tensor
+/// scale, returning the scale.
+fn quantize_activations(values: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = values.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
+    let scale = int8_scale(max_abs);
+    out.resize(values.len(), 0);
+    for (q, &v) in out.iter_mut().zip(values) {
+        *q = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+// ------------------------------------------------------------- ScalarRef --
+
+/// The reference backend: the original scalar loop nests, unchanged.
+///
+/// Every other backend is specified against this one — [`BlockedF32`]
+/// bit-identically, [`Int8Backend`] within pinned divergence bounds. The
+/// trainer and the backward pass use these kernels unconditionally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarRef;
+
+impl InferenceBackend for ScalarRef {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn conv2d(&self, layer: &Conv2d, x: &Tensor, out: &mut Tensor, _scratch: &mut KernelScratch) {
+        layer.forward_scalar(x, out);
+    }
+
+    fn gemm(&self, layer: &Dense, x: &Tensor, out: &mut Tensor, _scratch: &mut KernelScratch) {
+        layer.forward_scalar(x, out);
+    }
+
+    fn lstm(
+        &self,
+        layer: &Lstm,
+        x: &Tensor,
+        out: &mut Tensor,
+        tape: &mut LstmTape,
+        _scratch: &mut KernelScratch,
+    ) {
+        layer.forward_scalar(x, out, tape);
+    }
+}
+
+// ------------------------------------------------------------ BlockedF32 --
+
+/// Vectorized f32 kernels, bit-identical to [`ScalarRef`].
+///
+/// The bit-exactness strategy: parallelism comes only from *independent
+/// output elements*, never from splitting one accumulation chain.
+///
+/// * Convolution packs the input into an im2col matrix whose row index
+///   `r = (i·kh + ky)·kw + kx` matches the scalar kernel's loop nest, then
+///   runs the GEMM with `r` outermost: each output element starts at its
+///   bias and receives its terms in ascending `r` — the scalar order —
+///   while the inner loop is a contiguous `len = oh·ow` axpy.
+/// * The LSTM keeps transposed weight copies (`[D, 4H]`, `[H, 4H]`) in
+///   scratch and accumulates with `k` outermost: every gate row receives
+///   `Wx·x` terms in ascending `k` from 0, then `Wh·h` terms in ascending
+///   `k`, then the bias — exactly the scalar sequence — while the inner
+///   loop is a contiguous `4H`-wide axpy. The input projection for all
+///   timesteps is hoisted out of the recurrence (it never depends on `h`).
+/// * The dense head stays on the scalar kernel: a single dot product
+///   cannot be vectorized without reassociating its reduction, and the
+///   head is 2 outputs wide — there is nothing to win.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockedF32;
+
+impl InferenceBackend for BlockedF32 {
+    fn name(&self) -> &'static str {
+        "blocked_f32"
+    }
+
+    fn conv2d(&self, layer: &Conv2d, x: &Tensor, out: &mut Tensor, scratch: &mut KernelScratch) {
+        let (in_ch, out_ch, kh, kw) = layer.dims();
+        assert_eq!(x.rank(), 3, "Conv2d expects [C, H, W]");
+        assert_eq!(x.shape()[0], in_ch, "Conv2d channel mismatch");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        assert!(
+            h >= kh && w >= kw,
+            "input {h}x{w} smaller than kernel {kh}x{kw}"
+        );
+        let (oh, ow) = (h - kh + 1, w - kw + 1);
+        out.resize(&[out_ch, oh, ow]);
+        let r_len = in_ch * kh * kw;
+        let j_len = oh * ow;
+        let xs = x.as_slice();
+
+        // Pack: cols[r][j] = x[i][y + ky][xcol + kx] for r = (i·kh+ky)·kw+kx,
+        // j = y·ow + xcol. Each (r, y) strip is one contiguous copy.
+        let cols = &mut scratch.cols;
+        cols.resize(r_len * j_len, 0.0);
+        let mut r = 0usize;
+        for i in 0..in_ch {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    let dst = &mut cols[r * j_len..(r + 1) * j_len];
+                    for y in 0..oh {
+                        let src = (i * h + y + ky) * w + kx;
+                        dst[y * ow..(y + 1) * ow].copy_from_slice(&xs[src..src + ow]);
+                    }
+                    r += 1;
+                }
+            }
+        }
+
+        // GEMM with r outermost: per output element the additions happen
+        // in ascending r starting from the bias — the scalar order.
+        let od = out.as_mut_slice();
+        for o in 0..out_ch {
+            let row = &mut od[o * j_len..(o + 1) * j_len];
+            let bias = layer.b[o];
+            row.iter_mut().for_each(|v| *v = bias);
+            for (r, &wv) in layer.w[o * r_len..(o + 1) * r_len].iter().enumerate() {
+                let col = &cols[r * j_len..(r + 1) * j_len];
+                for (ov, &cv) in row.iter_mut().zip(col) {
+                    *ov += wv * cv;
+                }
+            }
+        }
+    }
+
+    fn gemm(&self, layer: &Dense, x: &Tensor, out: &mut Tensor, _scratch: &mut KernelScratch) {
+        // See the type docs: the head's reduction cannot be vectorized
+        // bit-exactly and is negligible — share the scalar kernel.
+        layer.forward_scalar(x, out);
+    }
+
+    fn lstm(
+        &self,
+        layer: &Lstm,
+        x: &Tensor,
+        out: &mut Tensor,
+        tape: &mut LstmTape,
+        scratch: &mut KernelScratch,
+    ) {
+        let (d, hdim) = layer.dims();
+        assert_eq!(x.rank(), 2, "LSTM expects [T, D]");
+        assert_eq!(x.shape()[1], d, "LSTM input width mismatch");
+        let t_len = x.shape()[0];
+        let rows = 4 * hdim;
+
+        if !scratch.blocked_ready {
+            scratch.wx_t.resize(d * rows, 0.0);
+            for row in 0..rows {
+                for k in 0..d {
+                    scratch.wx_t[k * rows + row] = layer.wx[row * d + k];
+                }
+            }
+            scratch.wh_t.resize(hdim * rows, 0.0);
+            for row in 0..rows {
+                for k in 0..hdim {
+                    scratch.wh_t[k * rows + row] = layer.wh[row * hdim + k];
+                }
+            }
+            scratch.blocked_ready = true;
+        }
+
+        tape.begin(t_len, hdim);
+        let xs = x.as_slice();
+
+        // Input projection for every timestep, hoisted out of the
+        // recurrence: xacc[t][row] accumulates Wx·x terms in ascending k
+        // from 0.0 — the scalar kernel's exact order and starting point.
+        let xacc = &mut scratch.xacc;
+        xacc.resize(t_len * rows, 0.0);
+        xacc.iter_mut().for_each(|v| *v = 0.0);
+        for t in 0..t_len {
+            let xt = &xs[t * d..(t + 1) * d];
+            let acc = &mut xacc[t * rows..(t + 1) * rows];
+            for (k, &xv) in xt.iter().enumerate() {
+                let wcol = &scratch.wx_t[k * rows..(k + 1) * rows];
+                for (av, &wv) in acc.iter_mut().zip(wcol) {
+                    *av += wv * xv;
+                }
+            }
+        }
+
+        for t in 0..t_len {
+            {
+                let (hs_past, _) = tape.hs.split_at(t * hdim);
+                let h_prev: &[f32] = if t == 0 {
+                    &tape.zero
+                } else {
+                    &hs_past[(t - 1) * hdim..]
+                };
+                let gates_t = &mut tape.gates[t * rows..(t + 1) * rows];
+                gates_t.copy_from_slice(&xacc[t * rows..(t + 1) * rows]);
+                // Recurrent projection, k outermost: Wh·h terms land in
+                // ascending k — the scalar order — via contiguous axpys.
+                for (k, &hv) in h_prev.iter().enumerate() {
+                    let wcol = &scratch.wh_t[k * rows..(k + 1) * rows];
+                    for (gv, &wv) in gates_t.iter_mut().zip(wcol) {
+                        *gv += wv * hv;
+                    }
+                }
+                for (row, gv) in gates_t.iter_mut().enumerate() {
+                    *gv = layer.b[row] + *gv;
+                }
+            }
+            layer.step_from_preacts(t, tape);
+        }
+        out.resize(&[hdim]);
+        out.as_mut_slice()
+            .copy_from_slice(&tape.hs[(t_len - 1) * hdim..t_len * hdim]);
+    }
+}
+
+// ----------------------------------------------------------- Int8Backend --
+
+/// Real int8 quantized execution.
+///
+/// Weights are quantized per tensor (symmetric, 127-step) into scratch
+/// the first time a layer runs under a given weight stamp; the scales
+/// live alongside the f32 weights, which stay untouched (biases and the
+/// LSTM cell state remain f32). Activations are quantized dynamically per
+/// tensor at each kernel boundary. Accumulation is i32 — at most
+/// `127·127·k` per output with `k ≤ a few hundred` in this architecture,
+/// orders of magnitude below overflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Int8Backend;
+
+impl Int8Backend {
+    fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let mut acc = 0i32;
+        for (&av, &bv) in a.iter().zip(b) {
+            acc += i32::from(av) * i32::from(bv);
+        }
+        acc
+    }
+}
+
+impl InferenceBackend for Int8Backend {
+    fn name(&self) -> &'static str {
+        "int8"
+    }
+
+    fn conv2d(&self, layer: &Conv2d, x: &Tensor, out: &mut Tensor, scratch: &mut KernelScratch) {
+        let (in_ch, out_ch, kh, kw) = layer.dims();
+        assert_eq!(x.rank(), 3, "Conv2d expects [C, H, W]");
+        assert_eq!(x.shape()[0], in_ch, "Conv2d channel mismatch");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        assert!(
+            h >= kh && w >= kw,
+            "input {h}x{w} smaller than kernel {kh}x{kw}"
+        );
+        let (oh, ow) = (h - kh + 1, w - kw + 1);
+        out.resize(&[out_ch, oh, ow]);
+
+        if !scratch.int8_ready {
+            let (q, scale) = crate::quantize::quantize_int8(&layer.w);
+            scratch.qw = q;
+            scratch.qw_scale = scale;
+            scratch.int8_ready = true;
+        }
+        let xscale = quantize_activations(x.as_slice(), &mut scratch.qx);
+        let rescale = scratch.qw_scale * xscale;
+
+        let od = out.as_mut_slice();
+        for o in 0..out_ch {
+            for y in 0..oh {
+                for xcol in 0..ow {
+                    let mut acc = 0i32;
+                    for i in 0..in_ch {
+                        for ky in 0..kh {
+                            let wrow = ((o * in_ch + i) * kh + ky) * kw;
+                            let xrow = (i * h + y + ky) * w + xcol;
+                            acc += Self::dot_i8(
+                                &scratch.qw[wrow..wrow + kw],
+                                &scratch.qx[xrow..xrow + kw],
+                            );
+                        }
+                    }
+                    od[(o * oh + y) * ow + xcol] = layer.b[o] + acc as f32 * rescale;
+                }
+            }
+        }
+    }
+
+    fn gemm(&self, layer: &Dense, x: &Tensor, out: &mut Tensor, scratch: &mut KernelScratch) {
+        let (d, o_len) = layer.dims();
+        assert_eq!(x.rank(), 1, "Dense expects [D]");
+        assert_eq!(x.numel(), d, "Dense input width mismatch");
+        out.resize(&[o_len]);
+
+        if !scratch.int8_ready {
+            let (q, scale) = crate::quantize::quantize_int8(&layer.w);
+            scratch.qw = q;
+            scratch.qw_scale = scale;
+            scratch.int8_ready = true;
+        }
+        let xscale = quantize_activations(x.as_slice(), &mut scratch.qx);
+        let rescale = scratch.qw_scale * xscale;
+
+        for (o, ov) in out.as_mut_slice().iter_mut().enumerate() {
+            let acc = Self::dot_i8(&scratch.qw[o * d..(o + 1) * d], &scratch.qx);
+            *ov = layer.b[o] + acc as f32 * rescale;
+        }
+    }
+
+    fn lstm(
+        &self,
+        layer: &Lstm,
+        x: &Tensor,
+        out: &mut Tensor,
+        tape: &mut LstmTape,
+        scratch: &mut KernelScratch,
+    ) {
+        let (d, hdim) = layer.dims();
+        assert_eq!(x.rank(), 2, "LSTM expects [T, D]");
+        assert_eq!(x.shape()[1], d, "LSTM input width mismatch");
+        let t_len = x.shape()[0];
+        let rows = 4 * hdim;
+
+        if !scratch.int8_ready {
+            let (qwx, wxs) = crate::quantize::quantize_int8(&layer.wx);
+            let (qwh, whs) = crate::quantize::quantize_int8(&layer.wh);
+            scratch.qw = qwx;
+            scratch.qw_scale = wxs;
+            scratch.qw2 = qwh;
+            scratch.qw2_scale = whs;
+            scratch.int8_ready = true;
+        }
+
+        tape.begin(t_len, hdim);
+        let xs = x.as_slice();
+        for t in 0..t_len {
+            {
+                let xscale = quantize_activations(&xs[t * d..(t + 1) * d], &mut scratch.qx);
+                let (hs_past, _) = tape.hs.split_at(t * hdim);
+                let h_prev: &[f32] = if t == 0 {
+                    &tape.zero
+                } else {
+                    &hs_past[(t - 1) * hdim..]
+                };
+                let hscale = quantize_activations(h_prev, &mut scratch.qh);
+                let rescale_x = scratch.qw_scale * xscale;
+                let rescale_h = scratch.qw2_scale * hscale;
+                let gates_t = &mut tape.gates[t * rows..(t + 1) * rows];
+                for (row, gv) in gates_t.iter_mut().enumerate() {
+                    let accx = Self::dot_i8(&scratch.qw[row * d..(row + 1) * d], &scratch.qx);
+                    let acch =
+                        Self::dot_i8(&scratch.qw2[row * hdim..(row + 1) * hdim], &scratch.qh);
+                    *gv = layer.b[row] + accx as f32 * rescale_x + acch as f32 * rescale_h;
+                }
+            }
+            // Gate activations, cell and hidden updates stay f32.
+            layer.step_from_preacts(t, tape);
+        }
+        out.resize(&[hdim]);
+        out.as_mut_slice()
+            .copy_from_slice(&tape.hs[(t_len - 1) * hdim..t_len * hdim]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{cnn_lstm, cnn_lstm_compact};
+    use crate::workspace::Workspace;
+
+    fn wavy_input(shape: &[usize], seed: u64) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            shape,
+            (0..n)
+                .map(|v| ((v as f32) * 0.37 + seed as f32).sin())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn backend_kinds_resolve_and_name() {
+        assert_eq!(BackendKind::all().len(), 3);
+        assert_eq!(BackendKind::Scalar.name(), "scalar");
+        assert_eq!(BackendKind::Blocked.name(), "blocked_f32");
+        assert_eq!(BackendKind::Int8.name(), "int8");
+    }
+
+    #[test]
+    fn blocked_is_bit_identical_to_scalar() {
+        let net = cnn_lstm_compact(60, 9, 2, 7);
+        let x = wavy_input(&[1, 60, 9], 3);
+        let mut ws_a = Workspace::new();
+        let mut ws_b = Workspace::new();
+        let a = net.forward(&x, false, &mut ws_a).clone();
+        let b = net.forward_with(&x, false, &mut ws_b, &BlockedF32).clone();
+        assert_eq!(a.as_slice(), b.as_slice(), "blocked f32 diverged");
+        let bits_a: Vec<u32> = a.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "bit patterns differ");
+    }
+
+    #[test]
+    fn int8_diverges_boundedly() {
+        let net = cnn_lstm(30, 5, 2, 11);
+        let x = wavy_input(&[1, 30, 5], 5);
+        let mut ws = Workspace::new();
+        let f32_out = net.forward(&x, false, &mut ws).clone();
+        let int8_out = net.forward_with(&x, false, &mut ws, &Int8Backend).clone();
+        let max_div = f32_out
+            .as_slice()
+            .iter()
+            .zip(int8_out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_div > 0.0, "int8 must actually quantize");
+        assert!(max_div < 0.5, "int8 divergence {max_div} out of bounds");
+    }
+
+    #[test]
+    fn backend_alternation_on_one_workspace_is_stable() {
+        // Swapping backends call-to-call on one workspace must not leak
+        // state between them: each backend reproduces its own output.
+        let net = cnn_lstm_compact(40, 9, 2, 3);
+        let x = wavy_input(&[1, 40, 9], 9);
+        let mut ws = Workspace::new();
+        let scalar = net.forward(&x, false, &mut ws).clone();
+        let blocked = net.forward_with(&x, false, &mut ws, &BlockedF32).clone();
+        let int8 = net.forward_with(&x, false, &mut ws, &Int8Backend).clone();
+        let scalar2 = net.forward(&x, false, &mut ws).clone();
+        let int8_2 = net.forward_with(&x, false, &mut ws, &Int8Backend).clone();
+        assert_eq!(scalar.as_slice(), scalar2.as_slice());
+        assert_eq!(scalar.as_slice(), blocked.as_slice());
+        assert_eq!(int8.as_slice(), int8_2.as_slice());
+    }
+
+    #[test]
+    fn weight_mutation_invalidates_prepared_scratch() {
+        // The workspace keeps quantized/transposed weights; mutating the
+        // network must re-derive them, not serve stale forms.
+        let mut net = cnn_lstm_compact(40, 9, 2, 5);
+        let x = wavy_input(&[1, 40, 9], 1);
+        let mut ws = Workspace::new();
+        let before_blocked = net.forward_with(&x, false, &mut ws, &BlockedF32).clone();
+        let before_int8 = net.forward_with(&x, false, &mut ws, &Int8Backend).clone();
+        let mut flat = net.parameters_flat();
+        for v in flat.iter_mut() {
+            *v *= 1.5;
+        }
+        net.set_parameters_flat(&flat);
+        let after_scalar = net.forward(&x, false, &mut ws).clone();
+        let after_blocked = net.forward_with(&x, false, &mut ws, &BlockedF32).clone();
+        let after_int8 = net.forward_with(&x, false, &mut ws, &Int8Backend).clone();
+        assert_ne!(before_blocked.as_slice(), after_blocked.as_slice());
+        assert_ne!(before_int8.as_slice(), after_int8.as_slice());
+        assert_eq!(after_scalar.as_slice(), after_blocked.as_slice());
+    }
+
+    #[test]
+    fn quantize_activations_handles_degenerate_inputs() {
+        let mut buf = Vec::new();
+        let s = quantize_activations(&[0.0; 16], &mut buf);
+        assert_eq!(s, 1.0);
+        assert!(buf.iter().all(|&q| q == 0));
+        let s = quantize_activations(&[f32::INFINITY, 1.0, -2.0], &mut buf);
+        assert!(s.is_finite() && s > 0.0);
+        assert_eq!(buf[0], 127, "infinity saturates");
+    }
+}

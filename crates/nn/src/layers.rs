@@ -14,6 +14,7 @@
 //! on. Only genuinely derived state (pool argmax, LSTM step tape, dropout
 //! mask) is stored.
 
+use crate::backend::{InferenceBackend, KernelScratch};
 use crate::tensor::Tensor;
 use crate::workspace::{LayerState, LstmTape};
 use rand::rngs::SmallRng;
@@ -45,21 +46,27 @@ pub enum Layer {
 
 impl Layer {
     /// Runs the layer forward, writing the output activation into `out`
-    /// and per-call state into `state`. `train` enables dropout.
+    /// and per-call state into `state`. `train` enables dropout. The
+    /// compute-bearing layers dispatch through `backend` with `scratch`
+    /// for kernel-private buffers; data-movement layers ignore both.
     pub(crate) fn forward_ws(
         &self,
         x: &Tensor,
         out: &mut Tensor,
         state: &mut LayerState,
+        scratch: &mut KernelScratch,
         train: bool,
+        backend: &dyn InferenceBackend,
     ) {
         match (self, state) {
-            (Layer::Conv2d(l), LayerState::Conv2d { .. }) => l.forward(x, out),
-            (Layer::Relu(l), LayerState::Relu) => l.forward(x, out),
+            (Layer::Conv2d(l), LayerState::Conv2d { .. }) => backend.conv2d(l, x, out, scratch),
+            (Layer::Relu(_), LayerState::Relu) => backend.relu(x, out),
             (Layer::MaxPool2d(l), LayerState::MaxPool2d { argmax }) => l.forward(x, out, argmax),
             (Layer::MapToSequence(l), LayerState::MapToSequence) => l.forward(x, out),
-            (Layer::Lstm(l), LayerState::Lstm { tape, .. }) => l.forward(x, out, tape),
-            (Layer::Dense(l), LayerState::Dense { .. }) => l.forward(x, out),
+            (Layer::Lstm(l), LayerState::Lstm { tape, .. }) => {
+                backend.lstm(l, x, out, tape, scratch)
+            }
+            (Layer::Dense(l), LayerState::Dense { .. }) => backend.gemm(l, x, out, scratch),
             (Layer::Dropout(l), LayerState::Dropout { mask, counter }) => {
                 l.forward(x, out, mask, counter, train)
             }
@@ -207,7 +214,9 @@ impl Conv2d {
         (self.in_ch, self.out_ch, self.kh, self.kw)
     }
 
-    fn forward(&self, x: &Tensor, out: &mut Tensor) {
+    /// The reference kernel: the plain loop nest every backend is
+    /// specified against (see [`crate::backend`]).
+    pub(crate) fn forward_scalar(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.rank(), 3, "Conv2d expects [C, H, W]");
         assert_eq!(x.shape()[0], self.in_ch, "Conv2d channel mismatch");
         let (h, w) = (x.shape()[1], x.shape()[2]);
@@ -291,14 +300,6 @@ impl Relu {
     /// New ReLU.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    fn forward(&self, x: &Tensor, out: &mut Tensor) {
-        out.resize(x.shape());
-        let od = out.as_mut_slice();
-        for (o, &v) in od.iter_mut().zip(x.as_slice()) {
-            *o = v.max(0.0);
-        }
     }
 
     fn backward(&self, gout: &Tensor, x: &Tensor, gin: &mut Tensor) {
@@ -466,21 +467,18 @@ impl Lstm {
         (self.input, self.hidden)
     }
 
-    fn forward(&self, x: &Tensor, out: &mut Tensor, tape: &mut LstmTape) {
+    /// The reference kernel: the plain loop nest every backend is
+    /// specified against (see [`crate::backend`]).
+    pub(crate) fn forward_scalar(&self, x: &Tensor, out: &mut Tensor, tape: &mut LstmTape) {
         assert_eq!(x.rank(), 2, "LSTM expects [T, D]");
         assert_eq!(x.shape()[1], self.input, "LSTM input width mismatch");
         let t_len = x.shape()[0];
         let hdim = self.hidden;
-        tape.gates.resize(t_len * 4 * hdim, 0.0);
-        tape.cs.resize(t_len * hdim, 0.0);
-        tape.hs.resize(t_len * hdim, 0.0);
-        tape.zero.resize(hdim, 0.0);
-        tape.zero.iter_mut().for_each(|v| *v = 0.0);
+        tape.begin(t_len, hdim);
         let xs = x.as_slice();
-        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
         for t in 0..t_len {
             let xt = &xs[t * self.input..(t + 1) * self.input];
-            // z = Wx x + Wh h + b, gate blocks i|f|g|o, activated in place.
+            // z = Wx x + Wh h + b, gate blocks i|f|g|o.
             {
                 let h_prev: &[f32] = if t == 0 {
                     &tape.zero
@@ -500,34 +498,47 @@ impl Lstm {
                     }
                     gates_t[row] = self.b[row] + acc;
                 }
-                for j in 0..hdim {
-                    gates_t[j] = sigmoid(gates_t[j]); // i
-                    gates_t[hdim + j] = sigmoid(gates_t[hdim + j]); // f
-                    gates_t[2 * hdim + j] = gates_t[2 * hdim + j].tanh(); // g
-                    gates_t[3 * hdim + j] = sigmoid(gates_t[3 * hdim + j]); // o
-                }
             }
-            {
-                let gates_t = &tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
-                let (cs_past, cs_now) = tape.cs.split_at_mut(t * hdim);
-                let c_prev: &[f32] = if t == 0 {
-                    &tape.zero
-                } else {
-                    &cs_past[(t - 1) * hdim..]
-                };
-                let c_t = &mut cs_now[..hdim];
-                for j in 0..hdim {
-                    c_t[j] = gates_t[hdim + j] * c_prev[j] + gates_t[j] * gates_t[2 * hdim + j];
-                }
-                let hs_t = &mut tape.hs[t * hdim..(t + 1) * hdim];
-                for j in 0..hdim {
-                    hs_t[j] = gates_t[3 * hdim + j] * c_t[j].tanh();
-                }
-            }
+            self.step_from_preacts(t, tape);
         }
         out.resize(&[hdim]);
         out.as_mut_slice()
             .copy_from_slice(&tape.hs[(t_len - 1) * hdim..t_len * hdim]);
+    }
+
+    /// Activates the step-`t` gate pre-activations in place and advances
+    /// the cell and hidden state. Shared by every backend: only the
+    /// pre-activation projections differ between kernels, the nonlinear
+    /// step is always this exact f32 code.
+    pub(crate) fn step_from_preacts(&self, t: usize, tape: &mut LstmTape) {
+        let hdim = self.hidden;
+        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+        {
+            let gates_t = &mut tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
+            for j in 0..hdim {
+                gates_t[j] = sigmoid(gates_t[j]); // i
+                gates_t[hdim + j] = sigmoid(gates_t[hdim + j]); // f
+                gates_t[2 * hdim + j] = gates_t[2 * hdim + j].tanh(); // g
+                gates_t[3 * hdim + j] = sigmoid(gates_t[3 * hdim + j]); // o
+            }
+        }
+        {
+            let gates_t = &tape.gates[t * 4 * hdim..(t + 1) * 4 * hdim];
+            let (cs_past, cs_now) = tape.cs.split_at_mut(t * hdim);
+            let c_prev: &[f32] = if t == 0 {
+                &tape.zero
+            } else {
+                &cs_past[(t - 1) * hdim..]
+            };
+            let c_t = &mut cs_now[..hdim];
+            for j in 0..hdim {
+                c_t[j] = gates_t[hdim + j] * c_prev[j] + gates_t[j] * gates_t[2 * hdim + j];
+            }
+            let hs_t = &mut tape.hs[t * hdim..(t + 1) * hdim];
+            for j in 0..hdim {
+                hs_t[j] = gates_t[3 * hdim + j] * c_t[j].tanh();
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -646,7 +657,9 @@ impl Dense {
         (self.input, self.output)
     }
 
-    fn forward(&self, x: &Tensor, out: &mut Tensor) {
+    /// The reference kernel: the plain loop nest every backend is
+    /// specified against (see [`crate::backend`]).
+    pub(crate) fn forward_scalar(&self, x: &Tensor, out: &mut Tensor) {
         assert_eq!(x.rank(), 1, "Dense expects [D]");
         assert_eq!(x.numel(), self.input, "Dense input width mismatch");
         let xs = x.as_slice();
@@ -772,7 +785,7 @@ mod tests {
         conv.b = vec![1.0];
         let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let mut y = Tensor::zeros(&[1]);
-        conv.forward(&x, &mut y);
+        conv.forward_scalar(&x, &mut y);
         assert_eq!(y.as_slice(), &[3.0, 5.0, 7.0, 9.0]);
     }
 
@@ -781,7 +794,7 @@ mod tests {
         let conv = Conv2d::new(2, 3, 3, 2, 1);
         let x = Tensor::zeros(&[2, 10, 5]);
         let mut y = Tensor::zeros(&[1]);
-        conv.forward(&x, &mut y);
+        conv.forward_scalar(&x, &mut y);
         assert_eq!(y.shape(), &[3, 8, 4]);
     }
 
@@ -806,7 +819,7 @@ mod tests {
         let relu = Relu::new();
         let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
         let mut y = Tensor::zeros(&[1]);
-        relu.forward(&x, &mut y);
+        crate::backend::ScalarRef.relu(&x, &mut y);
         assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
         let g = Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]);
         let mut gin = Tensor::zeros(&[1]);
@@ -835,8 +848,8 @@ mod tests {
         let mut tape = LstmTape::default();
         let mut h1 = Tensor::zeros(&[1]);
         let mut h2 = Tensor::zeros(&[1]);
-        lstm.forward(&x, &mut h1, &mut tape);
-        lstm.forward(&x, &mut h2, &mut tape);
+        lstm.forward_scalar(&x, &mut h1, &mut tape);
+        lstm.forward_scalar(&x, &mut h2, &mut tape);
         assert_eq!(h1.shape(), &[7]);
         assert_eq!(h1.as_slice(), h2.as_slice());
         assert!(h1.as_slice().iter().all(|v| v.abs() < 1.0)); // tanh-bounded
@@ -849,9 +862,9 @@ mod tests {
         let down = Tensor::from_vec(&[3, 1], vec![0.9, 0.5, 0.1]);
         let mut tape = LstmTape::default();
         let mut h = Tensor::zeros(&[1]);
-        lstm.forward(&up, &mut h, &mut tape);
+        lstm.forward_scalar(&up, &mut h, &mut tape);
         let hu = h.as_slice().to_vec();
-        lstm.forward(&down, &mut h, &mut tape);
+        lstm.forward_scalar(&down, &mut h, &mut tape);
         let hd = h.as_slice().to_vec();
         assert_ne!(hu, hd, "order must matter to an LSTM");
     }
@@ -862,7 +875,7 @@ mod tests {
         dense.w = vec![1.0, 2.0, 3.0, 4.0];
         dense.b = vec![0.5, -0.5];
         let mut y = Tensor::zeros(&[1]);
-        dense.forward(&Tensor::from_vec(&[2], vec![1.0, 1.0]), &mut y);
+        dense.forward_scalar(&Tensor::from_vec(&[2], vec![1.0, 1.0]), &mut y);
         assert_eq!(y.as_slice(), &[3.5, 6.5]);
     }
 
@@ -899,8 +912,16 @@ mod tests {
         assert_eq!(layer.name(), "Dense");
         assert_eq!(layer.param_count(), 8);
         let mut state = LayerState::for_layer(&layer);
+        let mut scratch = KernelScratch::default();
         let mut y = Tensor::zeros(&[1]);
-        layer.forward_ws(&Tensor::zeros(&[3]), &mut y, &mut state, false);
+        layer.forward_ws(
+            &Tensor::zeros(&[3]),
+            &mut y,
+            &mut state,
+            &mut scratch,
+            false,
+            &crate::backend::ScalarRef,
+        );
         assert_eq!(y.shape(), &[2]);
         let mut visited = 0;
         layer.visit_params(&mut |p| {
@@ -914,9 +935,10 @@ mod tests {
     fn zero_grads_clears_accumulation() {
         let layer = Layer::Dense(Dense::new(2, 1, 0));
         let mut state = LayerState::for_layer(&layer);
+        let mut scratch = KernelScratch::default();
         let x = Tensor::from_vec(&[2], vec![1.0, 1.0]);
         let mut y = Tensor::zeros(&[1]);
-        layer.forward_ws(&x, &mut y, &mut state, true);
+        layer.forward_ws(&x, &mut y, &mut state, &mut scratch, true, &crate::backend::ScalarRef);
         let mut gin = Tensor::zeros(&[1]);
         layer.backward_ws(&Tensor::from_vec(&[1], vec![1.0]), &x, &mut gin, &mut state);
         let mut nonzero = false;

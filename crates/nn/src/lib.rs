@@ -12,8 +12,12 @@
 //! * [`network`] — a serializable sequential container and the canonical
 //!   [`network::cnn_lstm`] architecture builder,
 //! * [`workspace`] — reusable per-caller execution state (activations,
-//!   gradients, LSTM tape, dropout masks): networks are weights-only and
-//!   shareable across threads, each caller brings a workspace,
+//!   gradients, LSTM tape, dropout masks, kernel scratch): networks are
+//!   weights-only and shareable across threads, each caller brings a
+//!   workspace,
+//! * [`backend`] — pluggable inference kernels: the bit-exact scalar
+//!   oracle, a vectorized f32 backend that is bit-identical to it, and a
+//!   real int8 quantized execution path,
 //! * [`loss`] — softmax cross-entropy,
 //! * [`optim`] — SGD with momentum and Adam,
 //! * [`train`] — mini-batch trainer with early stopping on a validation
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod data;
 pub mod delta;
 pub mod layers;

@@ -6,16 +6,34 @@
 //! shared read-only across threads (LOSO folds, concurrent users), each
 //! holding its own workspace.
 
+use crate::backend::{InferenceBackend, ScalarRef};
 use crate::layers::{Conv2d, Dense, Dropout, Layer, Lstm, MapToSequence, MaxPool2d, Relu};
 use crate::tensor::Tensor;
 use crate::workspace::{LayerState, Workspace};
 use crate::NnError;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global weight-stamp source. Stamps start at 1 so the
+/// zero-initialized scratch stamp always reads as "never prepared".
+static WEIGHT_STAMPS: AtomicU64 = AtomicU64::new(1);
+
+fn next_stamp() -> u64 {
+    WEIGHT_STAMPS.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A sequential stack of [`Layer`]s.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     layers: Vec<Layer>,
+    /// Weight stamp: a process-unique value reassigned on every `&mut`
+    /// parameter access, letting workspaces detect stale prepared weight
+    /// forms (transposed copies, quantized tensors) in O(1). Not
+    /// serialized — a deserialized network gets a fresh stamp. A clone
+    /// keeps its source's stamp, which is sound: its weights are
+    /// identical until its own first mutation bumps it.
+    #[serde(skip, default = "next_stamp")]
+    stamp: u64,
 }
 
 impl Network {
@@ -26,7 +44,10 @@ impl Network {
     /// Panics if `layers` is empty.
     pub fn new(layers: Vec<Layer>) -> Self {
         assert!(!layers.is_empty(), "a network needs at least one layer");
-        Self { layers }
+        Self {
+            layers,
+            stamp: next_stamp(),
+        }
     }
 
     /// The layer stack.
@@ -36,7 +57,13 @@ impl Network {
 
     /// Mutable access to the layer stack (used by quantization).
     pub fn layers_mut(&mut self) -> &mut [Layer] {
+        self.stamp = next_stamp();
         &mut self.layers
+    }
+
+    /// The current weight stamp (see the field docs).
+    pub fn weights_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Full forward pass into `ws`, returning the output activation.
@@ -46,6 +73,20 @@ impl Network {
     /// reused.
     pub fn forward<'w>(&self, x: &Tensor, train: bool, ws: &'w mut Workspace) -> &'w Tensor {
         self.forward_tapped(x, train, ws, &mut |_| {})
+    }
+
+    /// [`Network::forward`] through an explicit inference backend (see
+    /// [`crate::backend`]). The plain `forward` is this with
+    /// [`ScalarRef`]; training and the backward pass always use the
+    /// scalar kernels regardless of what inference dispatches here.
+    pub fn forward_with<'w>(
+        &self,
+        x: &Tensor,
+        train: bool,
+        ws: &'w mut Workspace,
+        backend: &dyn InferenceBackend,
+    ) -> &'w Tensor {
+        self.forward_tapped_with(x, train, ws, backend, &mut |_| {})
     }
 
     /// Forward pass that invokes `tap` on every activation as it is
@@ -60,12 +101,32 @@ impl Network {
         ws: &'w mut Workspace,
         tap: &mut dyn FnMut(&mut Tensor),
     ) -> &'w Tensor {
+        self.forward_tapped_with(x, train, ws, &ScalarRef, tap)
+    }
+
+    /// [`Network::forward_tapped`] through an explicit inference backend.
+    pub fn forward_tapped_with<'w>(
+        &self,
+        x: &Tensor,
+        train: bool,
+        ws: &'w mut Workspace,
+        backend: &dyn InferenceBackend,
+        tap: &mut dyn FnMut(&mut Tensor),
+    ) -> &'w Tensor {
         ws.bind(&self.layers);
         ws.acts[0].copy_from(x);
         tap(&mut ws.acts[0]);
         for (i, layer) in self.layers.iter().enumerate() {
             let (ins, outs) = ws.acts.split_at_mut(i + 1);
-            layer.forward_ws(&ins[i], &mut outs[0], &mut ws.states[i], train);
+            ws.kernels[i].ensure_stamp(self.stamp);
+            layer.forward_ws(
+                &ins[i],
+                &mut outs[0],
+                &mut ws.states[i],
+                &mut ws.kernels[i],
+                train,
+                backend,
+            );
             tap(&mut outs[0]);
         }
         ws.output()
@@ -130,6 +191,7 @@ impl Network {
 
     /// Visits every parameter slice mutably, in layer order.
     pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.stamp = next_stamp();
         for layer in &mut self.layers {
             layer.visit_params_mut(f);
         }
@@ -152,6 +214,7 @@ impl Network {
             self.layers.len(),
             "workspace not bound to this network"
         );
+        self.stamp = next_stamp();
         for (layer, state) in self.layers.iter_mut().zip(ws.states.iter_mut()) {
             match (layer, state) {
                 (Layer::Conv2d(l), LayerState::Conv2d { gw, gb }) => {

@@ -124,17 +124,30 @@ pub fn f16_to_f32(h: u16) -> f32 {
     f32::from_bits(bits)
 }
 
+/// Symmetric int8 scale for a tensor with the given max absolute value,
+/// clamped so the scale is always a strictly positive finite number:
+/// all-zero, subnormal-only, and NaN inputs get scale 1 (everything
+/// quantizes to 0 anyway), and an infinite `max_abs` saturates to the
+/// largest finite scale instead of producing `scale = inf` — which would
+/// turn every zero weight into `0 * inf = NaN` on dequantize.
+pub fn int8_scale(max_abs: f32) -> f32 {
+    if !(max_abs >= f32::MIN_POSITIVE) {
+        // NaN, zero, and subnormals all land here (NaN fails every
+        // comparison), so the degenerate cases share one branch.
+        1.0
+    } else {
+        (max_abs / 127.0).clamp(f32::MIN_POSITIVE, f32::MAX)
+    }
+}
+
 /// Per-tensor affine int8 quantization of a weight slice.
 ///
 /// Returns `(quantized, scale)`; `dequantized[i] = quantized[i] * scale`.
-/// An all-zero slice gets scale 1.
+/// The scale is always positive and finite (see [`int8_scale`]); an
+/// all-zero slice gets scale 1.
 pub fn quantize_int8(weights: &[f32]) -> (Vec<i8>, f32) {
     let max_abs = weights.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
-    let scale = if max_abs < f32::MIN_POSITIVE {
-        1.0
-    } else {
-        max_abs / 127.0
-    };
+    let scale = int8_scale(max_abs);
     let q = weights
         .iter()
         .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
@@ -175,11 +188,7 @@ pub fn quantize_in_place(values: &mut [f32], precision: Precision) {
         }
         Precision::Int8 => {
             let max_abs = values.iter().map(|v| v.abs()).fold(0.0f32, f32::max);
-            let scale = if max_abs < f32::MIN_POSITIVE {
-                1.0
-            } else {
-                max_abs / 127.0
-            };
+            let scale = int8_scale(max_abs);
             for v in values.iter_mut() {
                 *v = (*v / scale).round().clamp(-127.0, 127.0) * scale;
             }
@@ -241,6 +250,51 @@ mod tests {
         let (q, scale) = quantize_int8(&[0.0; 8]);
         assert!(q.iter().all(|&v| v == 0));
         assert_eq!(scale, 1.0);
+    }
+
+    #[test]
+    fn int8_degenerate_inputs_never_poison_dequantize() {
+        // Regression: an infinite weight used to yield scale = inf, and
+        // dequantizing any zero weight then produced 0 * inf = NaN.
+        let (q, scale) = quantize_int8(&[f32::INFINITY, 1.0, 0.0, -2.0]);
+        assert!(scale.is_finite() && scale > 0.0);
+        assert_eq!(q[0], 127, "infinity saturates to the int8 max");
+        assert!(dequantize_int8(&q, scale).iter().all(|v| v.is_finite()));
+
+        // NaN fails every comparison: it neither drives the scale nor
+        // survives quantization (a NaN-to-int cast saturates to 0).
+        let (q, scale) = quantize_int8(&[f32::NAN, 0.5, -0.5]);
+        assert!(scale.is_finite() && scale > 0.0);
+        assert_eq!(q[0], 0);
+        assert!(dequantize_int8(&q, scale).iter().all(|v| v.is_finite()));
+
+        // Subnormal-only input behaves like zeros (scale 1).
+        let (q, scale) = quantize_int8(&[1.0e-40, -1.0e-41]);
+        assert_eq!(scale, 1.0);
+        assert!(q.iter().all(|&v| v == 0));
+
+        // quantize_in_place shares the clamp.
+        let mut vals = [f32::INFINITY, 3.0, 0.0];
+        quantize_in_place(&mut vals, Precision::Int8);
+        assert!(vals.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn int8_scale_is_always_positive_and_finite() {
+        for max_abs in [
+            0.0,
+            -0.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::MIN_POSITIVE / 2.0,
+            f32::MIN_POSITIVE,
+            1.0e-30,
+            1.0,
+            f32::MAX,
+        ] {
+            let s = int8_scale(max_abs);
+            assert!(s.is_finite() && s > 0.0, "scale {s} for max_abs {max_abs}");
+        }
     }
 
     #[test]

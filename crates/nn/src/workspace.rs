@@ -14,6 +14,7 @@
 //! Buffers are resized in place, so repeated calls with same-shaped inputs
 //! perform no allocations.
 
+use crate::backend::KernelScratch;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
 
@@ -35,6 +36,10 @@ pub struct Workspace {
     pub(crate) grads: Vec<Tensor>,
     /// Per-layer mutable state, aligned with the bound network's layers.
     pub(crate) states: Vec<LayerState>,
+    /// Per-layer kernel scratch (prepared weight forms, packing buffers),
+    /// aligned with the bound network's layers and invalidated by its
+    /// weight stamp.
+    pub(crate) kernels: Vec<KernelScratch>,
 }
 
 impl Workspace {
@@ -103,6 +108,14 @@ impl Workspace {
             clear_obs::counter_add(clear_obs::counters::WORKSPACE_REBINDS, 1);
             self.states = layers.iter().map(LayerState::for_layer).collect();
             self.grads.clear();
+            // Fresh scratch: prepared weight forms from the old network
+            // must not survive a rebind (stamps would still differ, but a
+            // clean slate also drops dead buffers).
+            self.kernels = layers.iter().map(|_| KernelScratch::default()).collect();
+        }
+        if self.kernels.len() != layers.len() {
+            self.kernels
+                .resize_with(layers.len(), KernelScratch::default);
         }
         if self.acts.len() != layers.len() + 1 {
             self.acts
@@ -231,8 +244,11 @@ impl LayerState {
 
 /// Flat, reusable step tape for the LSTM: forward activations plus
 /// backward scratch, all resized in place per call.
+///
+/// Public because [`InferenceBackend::lstm`](crate::backend::InferenceBackend::lstm)
+/// steps it; its fields stay crate-private.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct LstmTape {
+pub struct LstmTape {
     /// Activated gates per step, `T × 4H`, blocks `i | f | g | o`.
     pub(crate) gates: Vec<f32>,
     /// Cell states per step, `T × H`.
@@ -249,4 +265,16 @@ pub(crate) struct LstmTape {
     pub(crate) dc: Vec<f32>,
     /// Backward scratch: gradient w.r.t. the pre-activation gates, `4H`.
     pub(crate) dz: Vec<f32>,
+}
+
+impl LstmTape {
+    /// Sizes the forward tape for a `[T, D] → H` pass and zeroes the
+    /// `t = 0` stand-in state. Every backend's LSTM kernel starts here.
+    pub(crate) fn begin(&mut self, t_len: usize, hdim: usize) {
+        self.gates.resize(t_len * 4 * hdim, 0.0);
+        self.cs.resize(t_len * hdim, 0.0);
+        self.hs.resize(t_len * hdim, 0.0);
+        self.zero.resize(hdim, 0.0);
+        self.zero.iter_mut().for_each(|v| *v = 0.0);
+    }
 }

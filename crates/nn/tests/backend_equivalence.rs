@@ -1,0 +1,120 @@
+//! Cross-backend equivalence grid.
+//!
+//! [`BlockedF32`] is specified to be **bit-identical** to the scalar
+//! oracle — not approximately equal — on every architecture this repo
+//! instantiates, under fresh and reused workspaces, and across weight
+//! mutation. [`Int8Backend`] is specified to diverge, but boundedly. This
+//! file pins both contracts over the full shape grid; the repo-level
+//! golden tests pin the int8 divergence against blessed numbers.
+
+use clear_nn::backend::BackendKind;
+use clear_nn::network::{cnn_lstm, cnn_lstm_compact, cnn_lstm_custom, Network};
+use clear_nn::tensor::Tensor;
+use clear_nn::workspace::Workspace;
+
+/// Every network shape the repo's tests and experiments instantiate:
+/// the paper architecture at full and reduced input sizes, the compact
+/// preset, and a custom build with odd channel/hidden sizes and three
+/// classes to catch layout assumptions the even presets would hide.
+fn shape_grid() -> Vec<(&'static str, Network, Vec<usize>)> {
+    vec![
+        ("paper-123x9", cnn_lstm(123, 9, 2, 41), vec![1, 123, 9]),
+        ("paper-30x5", cnn_lstm(30, 5, 2, 43), vec![1, 30, 5]),
+        ("paper-60x9", cnn_lstm(60, 9, 2, 47), vec![1, 60, 9]),
+        ("compact-30x6", cnn_lstm_compact(30, 6, 2, 53), vec![1, 30, 6]),
+        ("compact-60x9", cnn_lstm_compact(60, 9, 2, 59), vec![1, 60, 9]),
+        (
+            "custom-29x7x3",
+            cnn_lstm_custom(29, 7, 3, 3, 5, 2, 2, 10, 0.3, 61),
+            vec![1, 29, 7],
+        ),
+    ]
+}
+
+fn wavy_input(shape: &[usize], seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|v| ((v as f32) * 0.37 + seed as f32 * 1.7).sin())
+            .collect(),
+    )
+}
+
+fn logits_bits(net: &Network, x: &Tensor, ws: &mut Workspace, kind: BackendKind) -> Vec<u32> {
+    net.forward_with(x, false, ws, kind.instance())
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn blocked_is_bit_identical_to_scalar_on_every_shape() {
+    // One shared workspace for the blocked side: crossing shapes forces
+    // rebinds and buffer reuse, which must not perturb a single bit.
+    let mut ws_blocked = Workspace::new();
+    for (name, net, shape) in shape_grid() {
+        for seed in 0..3u64 {
+            let x = wavy_input(&shape, seed);
+            let mut ws_scalar = Workspace::new();
+            let scalar = logits_bits(&net, &x, &mut ws_scalar, BackendKind::Scalar);
+            let blocked = logits_bits(&net, &x, &mut ws_blocked, BackendKind::Blocked);
+            assert_eq!(scalar, blocked, "{name} seed {seed}: blocked f32 diverged");
+        }
+    }
+}
+
+#[test]
+fn blocked_stays_bit_identical_after_weight_mutation() {
+    // The workspace caches transposed weight copies; a parameter update
+    // must invalidate them on every shape, never serve stale kernels.
+    for (name, mut net, shape) in shape_grid() {
+        let x = wavy_input(&shape, 9);
+        let mut ws = Workspace::new();
+        let _ = logits_bits(&net, &x, &mut ws, BackendKind::Blocked); // warm scratch
+        net.visit_params_mut(&mut |p| p.iter_mut().for_each(|v| *v *= 1.125));
+        let mut fresh = Workspace::new();
+        let scalar = logits_bits(&net, &x, &mut fresh, BackendKind::Scalar);
+        let blocked = logits_bits(&net, &x, &mut ws, BackendKind::Blocked);
+        assert_eq!(scalar, blocked, "{name}: stale prepared weights served");
+    }
+}
+
+#[test]
+fn int8_diverges_boundedly_on_every_shape() {
+    for (name, net, shape) in shape_grid() {
+        let x = wavy_input(&shape, 5);
+        let mut ws = Workspace::new();
+        let f32_out = net.forward(&x, false, &mut ws).clone();
+        let int8_out = net
+            .forward_with(&x, false, &mut ws, BackendKind::Int8.instance())
+            .clone();
+        let max_div = f32_out
+            .as_slice()
+            .iter()
+            .zip(int8_out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_div > 0.0, "{name}: int8 must actually quantize");
+        assert!(max_div < 0.5, "{name}: int8 divergence {max_div} too large");
+    }
+}
+
+#[test]
+fn every_backend_reproduces_itself_across_workspaces() {
+    // Each backend is a pure function of (weights, input): a fresh
+    // workspace and a dirty reused one must produce identical bits.
+    for (name, net, shape) in shape_grid().into_iter().take(3) {
+        let x = wavy_input(&shape, 13);
+        let warm = wavy_input(&shape, 17);
+        for kind in BackendKind::all() {
+            let mut fresh = Workspace::new();
+            let a = logits_bits(&net, &x, &mut fresh, kind);
+            let mut reused = Workspace::new();
+            let _ = logits_bits(&net, &warm, &mut reused, kind);
+            let b = logits_bits(&net, &x, &mut reused, kind);
+            assert_eq!(a, b, "{name}/{}: workspace reuse changed bits", kind.name());
+        }
+    }
+}

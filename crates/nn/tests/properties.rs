@@ -2,7 +2,7 @@
 
 use clear_nn::loss::softmax;
 use clear_nn::network::cnn_lstm_compact;
-use clear_nn::quantize::{dequantize_int8, quantize_int8, round_f16};
+use clear_nn::quantize::{dequantize_int8, f16_to_f32, f32_to_f16, quantize_int8, round_f16};
 use clear_nn::tensor::Tensor;
 use clear_nn::workspace::Workspace;
 use proptest::prelude::*;
@@ -58,6 +58,29 @@ proptest! {
         prop_assert!(((r - v) / v).abs() <= 1.0 / 2048.0 + 1e-7);
     }
 
+    /// `f32_to_f16` is total and preserves sign and NaN-ness for every
+    /// possible f32 bit pattern — infinities, NaNs with arbitrary
+    /// payloads, and subnormals included — and rounding is idempotent
+    /// even through the specials.
+    #[test]
+    fn f16_conversion_total_over_all_bit_patterns(bits in any::<u32>()) {
+        let v = f32::from_bits(bits);
+        let h = f32_to_f16(v);
+        let r = f16_to_f32(h);
+        prop_assert_eq!(r.is_nan(), v.is_nan());
+        prop_assert_eq!(r.is_sign_negative(), v.is_sign_negative());
+        prop_assert_eq!(f32_to_f16(r), h);
+    }
+
+    /// Values in the half-precision subnormal range round with absolute
+    /// error at most one f16 subnormal step (2^-24).
+    #[test]
+    fn f16_subnormal_rounding_is_tight(v in 1.0e-7f32..6.0e-5) {
+        let r = round_f16(v);
+        prop_assert!(r >= 0.0);
+        prop_assert!((r - v).abs() <= 1.0 / ((1u32 << 24) as f32));
+    }
+
     /// Tensor reshape round-trips preserve data.
     #[test]
     fn tensor_reshape_round_trip(data in prop::collection::vec(-5.0f32..5.0, 12)) {
@@ -102,5 +125,29 @@ proptest! {
         let reference = net.forward(&x, false, &mut fresh);
         prop_assert_eq!(again.shape(), reference.shape());
         prop_assert_eq!(again.as_slice(), reference.as_slice());
+    }
+}
+
+/// Half-precision encodings of non-NaN values survive a decode/encode
+/// round trip bit-exactly: `f16_to_f32` is exact and `f32_to_f16` rounds
+/// every exactly-representable value (±0, subnormals, normals, ±inf) to
+/// itself. NaN encodings keep their NaN-ness and sign but collapse to
+/// one canonical payload.
+#[test]
+fn f16_bits_round_trip_exhaustively() {
+    for bits in 0..=u16::MAX {
+        let v = f16_to_f32(bits);
+        let back = f32_to_f16(v);
+        let is_nan_encoding = (bits >> 10) & 0x1F == 0x1F && bits & 0x03FF != 0;
+        if is_nan_encoding {
+            assert!(v.is_nan(), "{bits:#06x} must decode to NaN");
+            assert!(
+                (back >> 10) & 0x1F == 0x1F && back & 0x03FF != 0,
+                "{bits:#06x} must re-encode as a NaN, got {back:#06x}"
+            );
+            assert_eq!(back & 0x8000, bits & 0x8000, "NaN sign must survive");
+        } else {
+            assert_eq!(back, bits, "non-NaN {bits:#06x} must round-trip");
+        }
     }
 }

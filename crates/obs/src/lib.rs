@@ -102,6 +102,11 @@ pub mod counters {
     pub const CACHE_REHYDRATIONS: &str = "serve.cache_rehydrations";
     /// Requests rejected by per-shard admission control.
     pub const OVERLOADED: &str = "serve.overloaded";
+    /// Windows answered by the int8 fast tier (no fallback needed).
+    pub const SERVE_TIER_INT8: &str = "serve.tier.int8";
+    /// Fast-tier windows re-served on the exact f32 backend because the
+    /// int8 result would have abstained.
+    pub const SERVE_TIER_F32_FALLBACK: &str = "serve.tier.f32_fallback";
     /// Write-ahead-log append batches committed.
     pub const DURABLE_WAL_APPENDS: &str = "durable.wal_appends";
     /// Bytes appended to the write-ahead log.

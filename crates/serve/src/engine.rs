@@ -41,7 +41,8 @@
 
 use crate::cache::ModelCache;
 use clear_core::deployment::{
-    ClearBundle, DeployError, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
+    ClearBundle, DeployError, Onboarding, PersonalizeOutcome, Prediction, ServeTier,
+    ServingPolicy,
 };
 use clear_core::serving;
 use clear_durable::wal::WAL_FILE;
@@ -141,6 +142,12 @@ pub struct EngineConfig {
     /// Per-shard in-flight request cap (floor 1) before
     /// [`ServeError::Overloaded`].
     pub max_queue_depth: usize,
+    /// Numeric tier every request is served at. [`ServeTier::Exact`]
+    /// (the default) is bit-identical to the historical scalar path;
+    /// [`ServeTier::Fast`] runs int8 with automatic exact re-serve on
+    /// abstention — the quality gates decide int8 eligibility per
+    /// window, so the tier changes latency, never the abstention set.
+    pub default_tier: ServeTier,
 }
 
 impl Default for EngineConfig {
@@ -149,6 +156,7 @@ impl Default for EngineConfig {
             shards: 8,
             cache_capacity: 32,
             max_queue_depth: 64,
+            default_tier: ServeTier::Exact,
         }
     }
 }
@@ -279,6 +287,9 @@ pub struct ServeEngine {
     shards: Vec<Shard>,
     cache: ModelCache,
     max_queue_depth: usize,
+    /// Numeric tier every request is served at (see
+    /// [`EngineConfig::default_tier`]).
+    tier: ServeTier,
     /// Source of fork-generation stamps. Globally monotone (never
     /// per-tenant), so a generation value is never reused across
     /// offboard/re-onboard cycles and a cached fork from a previous
@@ -307,9 +318,15 @@ impl ServeEngine {
             shards,
             cache: ModelCache::new(config.cache_capacity),
             max_queue_depth: config.max_queue_depth.max(1),
+            tier: config.default_tier,
             next_generation: AtomicU64::new(0),
             durability: None,
         }
+    }
+
+    /// The numeric tier this engine serves at.
+    pub fn tier(&self) -> ServeTier {
+        self.tier
     }
 
     /// Opens (or re-opens after a crash) a durable engine rooted at
@@ -1069,6 +1086,7 @@ impl ServeEngine {
                     baseline: &r.baseline,
                     centroid: &centroid,
                     personalized: r.net.as_deref(),
+                    tier: self.tier,
                 };
                 let mut predictions = Vec::with_capacity(maps.len());
                 let mut quarantined = 0usize;

@@ -43,6 +43,7 @@ fn engine_config() -> EngineConfig {
         shards: 4,
         cache_capacity: 2,
         max_queue_depth: 16,
+        ..EngineConfig::default()
     }
 }
 

@@ -31,6 +31,7 @@ fn build_pair(shards: usize, cache: usize) -> (ClearDeployment, ServeEngine) {
             shards,
             cache_capacity: cache,
             max_queue_depth: 1024,
+            ..EngineConfig::default()
         },
     );
     for i in 0..USERS {

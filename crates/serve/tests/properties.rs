@@ -157,12 +157,12 @@ proptest! {
         let tiny = ServeEngine::with_policy(
             f.bundle.clone(),
             lenient(),
-            EngineConfig { shards: 2, cache_capacity: 1, max_queue_depth: 64 },
+            EngineConfig { shards: 2, cache_capacity: 1, max_queue_depth: 64, ..EngineConfig::default() },
         );
         let oracle = ServeEngine::with_policy(
             f.bundle.clone(),
             lenient(),
-            EngineConfig { shards: 1, cache_capacity: 1_000_000, max_queue_depth: 64 },
+            EngineConfig { shards: 1, cache_capacity: 1_000_000, max_queue_depth: 64, ..EngineConfig::default() },
         );
         let mut dep = ClearDeployment::with_policy(f.bundle.clone(), lenient());
 

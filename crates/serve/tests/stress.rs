@@ -123,6 +123,7 @@ fn interleaved_multi_user_ops_replay_sequentially() {
             shards: 2,
             cache_capacity: 2,
             max_queue_depth: 64,
+            ..EngineConfig::default()
         },
     );
 

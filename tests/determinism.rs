@@ -6,6 +6,10 @@ use clear::core::config::ClearConfig;
 use clear::core::dataset::PreparedCohort;
 use clear::core::evaluation::{clear_folds, clear_folds_parallel};
 use clear::core::pipeline::CloudTraining;
+use clear::nn::backend::BackendKind;
+use clear::nn::network::cnn_lstm;
+use clear::nn::tensor::Tensor;
+use clear::nn::workspace::Workspace;
 use clear::sim::{Cohort, CohortConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -101,4 +105,77 @@ fn parallel_folds_are_bit_identical_to_sequential() {
         "instrumentation recorded no forward passes"
     );
     assert!(snapshot.counters[clear::obs::counters::TRAIN_EPOCHS] > 0);
+}
+
+#[test]
+fn backend_logits_are_bit_identical_across_thread_counts() {
+    // Every inference backend is a pure function of (weights, input):
+    // sharding a window batch across worker threads — each with its own
+    // workspace, as the serving engine does — must reproduce the
+    // sequential logits bit for bit at any thread count. For the scalar
+    // and blocked backends this extends the bit-exactness contract to
+    // concurrent serving; for int8 it pins that dynamic activation
+    // quantization has no hidden shared state.
+    let net = Arc::new(cnn_lstm(60, 9, 2, 42));
+    let windows: Arc<Vec<Tensor>> = Arc::new(
+        (0..24u64)
+            .map(|i| {
+                Tensor::from_vec(
+                    &[1, 60, 9],
+                    (0..540)
+                        .map(|v| ((v as f32) * 0.13 + i as f32 * 0.71).sin())
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    for kind in BackendKind::all() {
+        let mut ws = Workspace::new();
+        let sequential: Vec<Vec<u32>> = windows
+            .iter()
+            .map(|x| {
+                net.forward_with(x, false, &mut ws, kind.instance())
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let chunk = windows.len().div_ceil(threads);
+            let mut sharded: Vec<Vec<u32>> = Vec::with_capacity(windows.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let net = Arc::clone(&net);
+                        let windows = Arc::clone(&windows);
+                        scope.spawn(move || {
+                            let mut ws = Workspace::new();
+                            let lo = (w * chunk).min(windows.len());
+                            let hi = ((w + 1) * chunk).min(windows.len());
+                            windows[lo..hi]
+                                .iter()
+                                .map(|x| {
+                                    net.forward_with(x, false, &mut ws, kind.instance())
+                                        .as_slice()
+                                        .iter()
+                                        .map(|v| v.to_bits())
+                                        .collect::<Vec<u32>>()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    sharded.extend(handle.join().expect("worker panicked"));
+                }
+            });
+            assert_eq!(
+                sharded,
+                sequential,
+                "backend {} diverged at {threads} threads",
+                kind.name()
+            );
+        }
+    }
 }

@@ -1,0 +1,257 @@
+//! Golden divergence records for the int8 inference backend.
+//!
+//! `BlockedF32` is covered by bit-exactness tests (any divergence at all
+//! is a failure), but `Int8Backend` is *supposed* to diverge from f32 —
+//! the contract is that the divergence is bounded and stable. This
+//! harness pins, against a JSON record under `tests/golden/`:
+//!
+//! * the exact max logit divergence between the scalar f32 oracle and
+//!   the int8 backend on a fixed input grid (untrained nets of every
+//!   production shape plus one trained model), and
+//! * Table I/II-style end metrics (accuracy, binary F1) of one trained
+//!   model served through the f32 edge path (GPU device) and the int8
+//!   edge path (Coral TPU device), together with their deltas.
+//!
+//! Blessing follows the `golden_tables` flow: the record is written when
+//! missing or when `GOLDEN_BLESS` is set:
+//!
+//! ```sh
+//! GOLDEN_BLESS=1 cargo test --test golden_backends
+//! ```
+//!
+//! Re-bless only when a change is *supposed* to move int8 numerics (a
+//! different quantization scheme, new calibration) — never to silence a
+//! diff you cannot explain.
+
+use clear::edge::{Device, EdgeDeployment};
+use clear::nn::backend::BackendKind;
+use clear::nn::data::Dataset;
+use clear::nn::metrics::FoldScore;
+use clear::nn::network::{cnn_lstm, cnn_lstm_compact, Network};
+use clear::nn::tensor::Tensor;
+use clear::nn::train::{self, TrainConfig};
+use clear::nn::workspace::Workspace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use std::path::Path;
+use std::sync::OnceLock;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/backends_int8.json"
+);
+const SEED: u64 = 2025;
+
+fn wavy_input(shape: &[usize], seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n)
+            .map(|v| ((v as f32) * 0.37 + seed as f32 * 1.7).sin())
+            .collect(),
+    )
+}
+
+/// Max |f32 - int8| over the logits of `inputs` fixed probe inputs.
+fn max_divergence(net: &Network, shape: &[usize], inputs: u64) -> f32 {
+    let mut ws = Workspace::new();
+    let mut max_div = 0.0f32;
+    for seed in 0..inputs {
+        let x = wavy_input(shape, seed);
+        let oracle = net.forward(&x, false, &mut ws).clone();
+        let int8 = net
+            .forward_with(&x, false, &mut ws, BackendKind::Int8.instance())
+            .clone();
+        for (a, b) in oracle.as_slice().iter().zip(int8.as_slice()) {
+            max_div = max_div.max((a - b).abs());
+        }
+    }
+    max_div
+}
+
+/// The same easy-but-not-trivial toy task the edge deployment tests use:
+/// label 1 adds a block offset to the top rows of a noisy 30×5 map.
+fn toy_maps(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut d = Dataset::new();
+    for i in 0..n {
+        let label = i % 2;
+        let mut data = vec![0.0f32; 30 * 5];
+        for v in &mut data {
+            *v = rng.gen_range(-0.3..0.3);
+        }
+        if label == 1 {
+            for r in 0..10 {
+                for c in 0..5 {
+                    data[r * 5 + c] += 1.2;
+                }
+            }
+        }
+        d.push(Tensor::from_vec(&[1, 30, 5], data), label);
+    }
+    d
+}
+
+struct MeasuredBackends {
+    divergence: Vec<(&'static str, f32)>,
+    f32_score: FoldScore,
+    int8_score: FoldScore,
+}
+
+fn measured() -> &'static MeasuredBackends {
+    static MEASURED: OnceLock<MeasuredBackends> = OnceLock::new();
+    MEASURED.get_or_init(|| {
+        let mut trained = cnn_lstm(30, 5, 2, SEED);
+        let config = TrainConfig {
+            epochs: 6,
+            batch_size: 8,
+            seed: SEED,
+            ..Default::default()
+        };
+        train::train(&mut trained, &toy_maps(40, SEED), None, &config);
+
+        let divergence = vec![
+            (
+                "untrained-paper-30x5",
+                max_divergence(&cnn_lstm(30, 5, 2, 11), &[1, 30, 5], 4),
+            ),
+            (
+                "untrained-paper-60x9",
+                max_divergence(&cnn_lstm(60, 9, 2, 13), &[1, 60, 9], 4),
+            ),
+            (
+                "untrained-compact-30x6",
+                max_divergence(&cnn_lstm_compact(30, 6, 2, 17), &[1, 30, 6], 4),
+            ),
+            ("trained-paper-30x5", max_divergence(&trained, &[1, 30, 5], 4)),
+        ];
+
+        // Table I/II-style end metrics: the same checkpoint and the same
+        // held-out data served through the f32 path (GPU) and the real
+        // int8 path (Coral TPU).
+        let eval = toy_maps(30, SEED.wrapping_add(1));
+        let mut gpu = EdgeDeployment::new(trained.clone(), Device::Gpu, &[1, 30, 5]);
+        let mut tpu = EdgeDeployment::new(trained, Device::CoralTpu, &[1, 30, 5]);
+        MeasuredBackends {
+            divergence,
+            f32_score: gpu.evaluate(&eval),
+            int8_score: tpu.evaluate(&eval),
+        }
+    })
+}
+
+fn measured_value() -> Value {
+    let m = measured();
+    let divergence: serde_json::Map<String, Value> = m
+        .divergence
+        .iter()
+        .map(|(name, v)| ((*name).to_string(), Value::from(f64::from(*v))))
+        .collect();
+    serde_json::json!({
+        "seed": SEED,
+        "max_logit_divergence": divergence,
+        "metrics": {
+            "f32": { "accuracy": m.f32_score.accuracy, "f1": m.f32_score.f1 },
+            "int8": { "accuracy": m.int8_score.accuracy, "f1": m.int8_score.f1 },
+            "delta": {
+                "accuracy": m.int8_score.accuracy - m.f32_score.accuracy,
+                "f1": m.int8_score.f1 - m.f32_score.f1,
+            },
+        },
+    })
+}
+
+/// Recursive field-by-field diff; every mismatch becomes one line with
+/// its JSON path.
+fn diff_values(path: &str, golden: &Value, measured: &Value, out: &mut Vec<String>) {
+    match (golden, measured) {
+        (Value::Object(g), Value::Object(m)) => {
+            for (key, gv) in g {
+                match m.get(key) {
+                    Some(mv) => diff_values(&format!("{path}.{key}"), gv, mv, out),
+                    None => out.push(format!("{path}.{key}: missing from measured output")),
+                }
+            }
+            for key in m.keys().filter(|k| !g.contains_key(*k)) {
+                out.push(format!("{path}.{key}: not in the golden record"));
+            }
+        }
+        (Value::Array(g), Value::Array(m)) => {
+            if g.len() != m.len() {
+                out.push(format!(
+                    "{path}: golden has {} elements, measured has {}",
+                    g.len(),
+                    m.len()
+                ));
+            } else {
+                for (i, (gv, mv)) in g.iter().zip(m).enumerate() {
+                    diff_values(&format!("{path}[{i}]"), gv, mv, out);
+                }
+            }
+        }
+        _ => {
+            if golden != measured {
+                out.push(format!("{path}: golden {golden} != measured {measured}"));
+            }
+        }
+    }
+}
+
+fn bless(measured: &Value) {
+    let json = serde_json::to_string_pretty(measured).expect("golden record serializes");
+    let path = Path::new(GOLDEN_PATH);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("golden directory is creatable");
+    }
+    std::fs::write(path, &json).expect("golden record is writable");
+    let reread: Value = serde_json::from_str(&json).expect("golden record re-parses");
+    assert_eq!(
+        &reread, measured,
+        "golden record did not survive serialization (non-finite value?)"
+    );
+    eprintln!("golden_backends: BLESSED new golden record at {GOLDEN_PATH}");
+}
+
+#[test]
+fn int8_divergence_matches_the_golden_record() {
+    let measured = measured_value();
+    let path = Path::new(GOLDEN_PATH);
+    if std::env::var_os("GOLDEN_BLESS").is_some() || !path.exists() {
+        bless(&measured);
+        return;
+    }
+    let raw = std::fs::read_to_string(path).expect("golden record is readable");
+    let golden: Value = serde_json::from_str(&raw).expect("golden record parses");
+    let mut diffs = Vec::new();
+    diff_values("backends", &golden, &measured, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "int8 numerics diverged from the golden record in {} place(s):\n  {}\n\n\
+         If this change is *supposed* to move int8 numerics, re-bless with\n  \
+         GOLDEN_BLESS=1 cargo test --test golden_backends\n\
+         and commit the updated tests/golden/backends_int8.json.",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+#[test]
+fn int8_divergence_stays_within_hard_bounds() {
+    // Independent of any blessed record: int8 must quantize (nonzero
+    // divergence) without wrecking either the logits or the end metrics.
+    let m = measured();
+    for (name, div) in &m.divergence {
+        assert!(*div > 0.0, "{name}: int8 produced bit-identical logits");
+        assert!(*div < 0.5, "{name}: int8 divergence {div} out of bounds");
+    }
+    let d_acc = (m.int8_score.accuracy - m.f32_score.accuracy).abs();
+    let d_f1 = (m.int8_score.f1 - m.f32_score.f1).abs();
+    assert!(d_acc <= 0.2, "int8 accuracy delta {d_acc} out of bounds");
+    assert!(d_f1 <= 0.25, "int8 F1 delta {d_f1} out of bounds");
+    assert!(
+        m.f32_score.accuracy > 0.8,
+        "f32 baseline too weak ({}) for the delta to mean anything",
+        m.f32_score.accuracy
+    );
+}

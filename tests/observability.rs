@@ -8,9 +8,10 @@
 
 use clear::core::config::ClearConfig;
 use clear::core::dataset::PreparedCohort;
-use clear::core::deployment::{deploy, Onboarding};
+use clear::core::deployment::{deploy, Onboarding, ServeTier, ServingPolicy};
 use clear::features::FeatureMap;
 use clear::obs::{self, FakeClock, Registry};
+use clear::serve::{EngineConfig, ServeEngine};
 use std::sync::Arc;
 
 #[test]
@@ -88,6 +89,39 @@ fn serving_flow_populates_counters_and_stage_histograms() {
     assert!(json.contains("\"serve.batches\": 1"));
     assert!(json.contains("\"stage.serve.predict\""));
     assert_eq!(json, registry.snapshot().to_json_pretty());
+
+    // Tier counters. A Fast-tier engine serves the int8 backend and
+    // re-serves through the exact path whenever the quantized pass would
+    // abstain. Under a fully lenient policy the quantized pass never
+    // abstains (the task is binary, so the class gate always passes):
+    // every window lands in the int8 counter. Under an unsatisfiable
+    // confidence floor it always abstains: every window takes the
+    // exact-path fallback.
+    let fast_config = EngineConfig {
+        default_tier: ServeTier::Fast,
+        ..EngineConfig::default()
+    };
+    let lenient = ServingPolicy {
+        min_quality: 0.0,
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    };
+    let fast = ServeEngine::with_policy(dep.bundle().clone(), lenient, fast_config);
+    fast.onboard("erin", &maps).expect("maps are non-empty");
+    fast.predict("erin", &batch[..2]).expect("erin onboarded above");
+    let strict = ServingPolicy {
+        min_confidence: 1.1,
+        ..ServingPolicy::default()
+    };
+    let picky = ServeEngine::with_policy(dep.bundle().clone(), strict, fast_config);
+    picky.onboard("frank", &maps).expect("maps are non-empty");
+    picky
+        .predict("frank", &batch[..2])
+        .expect("frank onboarded above");
+    let snap = registry.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(c(obs::counters::SERVE_TIER_INT8), 2);
+    assert_eq!(c(obs::counters::SERVE_TIER_F32_FALLBACK), 2);
 
     // A two-member replicated cluster over the simulated network: WAL
     // frames ship leader → follower, a crash promotes the follower, and

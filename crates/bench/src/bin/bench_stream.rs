@@ -1,0 +1,328 @@
+//! Streaming-ingestion benchmark: 10,000 concurrent sessions of raw
+//! multi-rate signal (SKT 4 Hz … BVP 64 Hz) pumped through one engine,
+//! writing `BENCH_stream.json` so the streaming perf trajectory is
+//! tracked across revisions.
+//!
+//! Reported numbers:
+//!
+//! * ingest throughput — chunks/sec and raw samples/sec across the whole
+//!   cohort of sessions at 8 pump workers;
+//! * chunk-to-prediction latency — p50/p99/max milliseconds from a map's
+//!   final contributing chunk entering `ingest_many` to its predictions
+//!   returning from a drain;
+//! * peak resident buffer bytes — the single-session watermark against
+//!   the edge-model byte budget, and the all-sessions total.
+//!
+//! The budget invariant is asserted in-process (every session stays under
+//! the `clear-edge`-sized byte budget, nothing is shed), so a published
+//! BENCH_stream.json implies the bound held for the whole run.
+
+use clear_bench::cli_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, ServingPolicy};
+use clear_edge::Device;
+use clear_features::FeatureMap;
+use clear_serve::{EngineConfig, ServeEngine};
+use clear_sim::{chunk_schedule, ChunkSizes, SignalConfig};
+use clear_stream::{ChunkIngest, PumpConfig, SessionConfig, StreamPump};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent streaming sessions.
+const SESSIONS: usize = 10_000;
+/// Distinct base signals shared across sessions (the sessions are what
+/// is under test; 10k distinct signal copies would only stress the
+/// harness's memory).
+const BASE_STREAMS: usize = 8;
+/// Pump worker threads for `ingest_many`.
+const THREADS: usize = 8;
+/// Pump drain cadence in ticks.
+const DRAIN_EVERY: usize = 2;
+
+#[derive(Debug, Serialize)]
+struct LatencyStats {
+    p50_ms: f32,
+    p99_ms: f32,
+    max_ms: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct StreamBench {
+    sessions: usize,
+    threads: usize,
+    ticks: usize,
+    chunks: u64,
+    samples: u64,
+    windows: u64,
+    maps: u64,
+    predictions: usize,
+    elapsed_secs: f32,
+    chunks_per_sec: f32,
+    samples_per_sec: f32,
+    predictions_per_sec: f32,
+    chunk_to_prediction: LatencyStats,
+    byte_budget: usize,
+    min_resident_bytes: usize,
+    peak_session_bytes: usize,
+    peak_total_resident_bytes: usize,
+    shed_dropped_windows: u64,
+    shed_rejected_chunks: u64,
+    shed_sparse_hop_windows: u64,
+}
+
+fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+/// Maps `[lo, hi)` of the subject at `rank` (modulo cohort size).
+fn maps_of(data: &PreparedCohort, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| data.maps()[i].clone())
+        .collect()
+}
+
+/// The raw signal of one recording of the subject at `rank` (a recording
+/// not used for onboarding, where the subject has enough).
+fn raw_stream_of(data: &PreparedCohort, rank: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let subjects = data.subject_ids();
+    let indices = data.indices_of(subjects[rank % subjects.len()]);
+    let pick = 2.min(indices.len() - 1);
+    let rec = &data.cohort().recordings()[indices[pick]];
+    (rec.bvp.clone(), rec.gsr.clone(), rec.skt.clone())
+}
+
+fn counter(snapshot: &clear_obs::Snapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+fn percentile(sorted_ms: &[f32], q: f32) -> f32 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f32 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    // Reduced training profile: the benchmark measures streaming, not SGD.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+    let data = PreparedCohort::prepare(&config);
+    let subjects = data.subject_ids();
+    let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+    let bundle = deploy(&data, initial, &config).bundle().clone();
+    let signal = config.cohort.signal;
+
+    // Base signals and per-session seeded arrival schedules.
+    let base: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..BASE_STREAMS)
+        .map(|rank| raw_stream_of(&data, rank))
+        .collect();
+    let total = SignalConfig {
+        stimulus_secs: base[0].0.len() as f32 / signal.fs_bvp,
+        ..signal
+    };
+    let plans: Vec<Vec<ChunkSizes>> = (0..SESSIONS)
+        .map(|j| chunk_schedule(&total, 2.0, 5.0, j as u64))
+        .collect();
+
+    // Per-session byte budget from the edge memory model: the GPU
+    // activation budget split across all concurrent sessions.
+    let session = SessionConfig::new(signal, config.window, bundle.windows)
+        .sized_for_device(Device::Gpu, SESSIONS);
+    let budget = session.byte_budget;
+    eprintln!(
+        "{SESSIONS} sessions, {} B budget each (min viable {} B)",
+        budget,
+        session.min_resident_bytes()
+    );
+
+    let engine = Arc::new(ServeEngine::with_policy(
+        bundle,
+        lenient(),
+        EngineConfig {
+            shards: 8,
+            max_queue_depth: 1024,
+            ..EngineConfig::default()
+        },
+    ));
+    let pump = StreamPump::new(engine, PumpConfig::new(session));
+    let users: Vec<String> = (0..SESSIONS).map(|j| format!("stream-user-{j:05}")).collect();
+    let t_onboard = Instant::now();
+    for (j, user) in users.iter().enumerate() {
+        pump.engine()
+            .onboard(user, &maps_of(&data, j % BASE_STREAMS, 0, 2))
+            .expect("onboarding maps");
+        pump.open(user).expect("open session");
+    }
+    eprintln!(
+        "onboarded + opened {SESSIONS} sessions in {:.1} s",
+        t_onboard.elapsed().as_secs_f32()
+    );
+
+    let before = registry.snapshot();
+    let max_ticks = plans.iter().map(Vec::len).max().unwrap();
+    let mut offsets = vec![(0usize, 0usize, 0usize); SESSIONS];
+    let mut last_ingest: Vec<Instant> = vec![Instant::now(); SESSIONS];
+    let mut latencies_ms: Vec<f32> = Vec::new();
+    let mut predictions = 0usize;
+    let mut peak_total = 0usize;
+
+    let t0 = Instant::now();
+    let drain_into = |latencies_ms: &mut Vec<f32>, predictions: &mut usize,
+                      last_ingest: &[Instant]| {
+        for drain in pump.drain() {
+            let j: usize = drain.user["stream-user-".len()..]
+                .parse()
+                .expect("bench user name");
+            let ms = last_ingest[j].elapsed().as_secs_f32() * 1e3;
+            for _ in 0..drain.maps {
+                latencies_ms.push(ms);
+            }
+            *predictions += drain.result.expect("serving error during drain").len();
+        }
+    };
+    for tick in 0..max_ticks {
+        let t_tick = Instant::now();
+        let mut batch = Vec::with_capacity(SESSIONS);
+        let mut in_tick = Vec::with_capacity(SESSIONS);
+        for j in 0..SESSIONS {
+            if tick >= plans[j].len() {
+                continue;
+            }
+            let (bvp, gsr, skt) = &base[j % BASE_STREAMS];
+            let c = plans[j][tick];
+            let (ob, og, os) = offsets[j];
+            batch.push(ChunkIngest {
+                user: &users[j],
+                bvp: &bvp[ob..ob + c.bvp],
+                gsr: &gsr[og..og + c.gsr],
+                skt: &skt[os..os + c.skt],
+            });
+            offsets[j] = (ob + c.bvp, og + c.gsr, os + c.skt);
+            in_tick.push(j);
+        }
+        for result in pump.ingest_many(&batch, THREADS) {
+            result.expect("no chunk may be shed at this budget");
+        }
+        for j in in_tick {
+            last_ingest[j] = t_tick;
+        }
+        peak_total = peak_total.max(pump.resident_bytes());
+        assert!(
+            pump.peak_session_bytes() <= budget,
+            "peak session {} B exceeds budget {} B at tick {tick}",
+            pump.peak_session_bytes(),
+            budget
+        );
+        if tick % DRAIN_EVERY == DRAIN_EVERY - 1 {
+            drain_into(&mut latencies_ms, &mut predictions, &last_ingest);
+        }
+    }
+    drain_into(&mut latencies_ms, &mut predictions, &last_ingest);
+    let elapsed = t0.elapsed().as_secs_f32();
+
+    let after = registry.snapshot();
+    let chunks = counter(&after, clear_obs::counters::STREAM_CHUNKS)
+        - counter(&before, clear_obs::counters::STREAM_CHUNKS);
+    let samples = counter(&after, clear_obs::counters::STREAM_SAMPLES)
+        - counter(&before, clear_obs::counters::STREAM_SAMPLES);
+    let windows = counter(&after, clear_obs::counters::STREAM_WINDOWS)
+        - counter(&before, clear_obs::counters::STREAM_WINDOWS);
+    let maps = counter(&after, clear_obs::counters::STREAM_MAPS)
+        - counter(&before, clear_obs::counters::STREAM_MAPS);
+    let shed_dropped = counter(&after, clear_obs::counters::STREAM_SHED_DROPPED_WINDOWS);
+    let shed_rejected = counter(&after, clear_obs::counters::STREAM_SHED_REJECTED_CHUNKS);
+    let shed_sparse = counter(&after, clear_obs::counters::STREAM_SHED_SPARSE_HOP_WINDOWS);
+
+    // The run is only publishable if the bound held and nothing was shed:
+    // every session sustained its stream inside the budget.
+    assert!(maps >= SESSIONS as u64, "not every session completed a map");
+    assert_eq!(shed_dropped + shed_rejected + shed_sparse, 0, "budget shed data");
+    assert!(predictions > 0);
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let results = StreamBench {
+        sessions: SESSIONS,
+        threads: THREADS,
+        ticks: max_ticks,
+        chunks,
+        samples,
+        windows,
+        maps,
+        predictions,
+        elapsed_secs: elapsed,
+        chunks_per_sec: chunks as f32 / elapsed.max(1e-9),
+        samples_per_sec: samples as f32 / elapsed.max(1e-9),
+        predictions_per_sec: predictions as f32 / elapsed.max(1e-9),
+        chunk_to_prediction: LatencyStats {
+            p50_ms: percentile(&latencies_ms, 0.50),
+            p99_ms: percentile(&latencies_ms, 0.99),
+            max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        },
+        byte_budget: budget,
+        min_resident_bytes: session.min_resident_bytes(),
+        peak_session_bytes: pump.peak_session_bytes(),
+        peak_total_resident_bytes: peak_total,
+        shed_dropped_windows: shed_dropped,
+        shed_rejected_chunks: shed_rejected,
+        shed_sparse_hop_windows: shed_sparse,
+    };
+    eprintln!(
+        "{} chunks ({:.0}/s), {} maps, {} predictions ({:.0}/s) in {elapsed:.1} s",
+        results.chunks,
+        results.chunks_per_sec,
+        results.maps,
+        results.predictions,
+        results.predictions_per_sec
+    );
+    eprintln!(
+        "chunk→prediction p50 {:.1} ms, p99 {:.1} ms; peak session {} B / budget {} B",
+        results.chunk_to_prediction.p50_ms,
+        results.chunk_to_prediction.p99_ms,
+        results.peak_session_bytes,
+        results.byte_budget
+    );
+
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_stream.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_stream_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    clear_obs::uninstall();
+}

@@ -16,6 +16,7 @@
 //! | `bench_exec` | execution-model throughput + LOSO driver scaling (`BENCH_exec.json`) |
 //! | `bench_serve` | multi-tenant engine vs. sequential serving + cache sweep (`BENCH_serve.json`) |
 //! | `bench_durable` | WAL/snapshot overhead + crash-recovery timing (`BENCH_durable.json`) |
+//! | `bench_stream` | 10k concurrent streaming sessions: throughput, chunk→prediction latency, buffer bounds (`BENCH_stream.json`) |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

@@ -104,6 +104,126 @@ pub fn resample(x: &[f32], fs_in: f32, fs_out: f32) -> Result<Vec<f32>, DspError
     interp_uniform(&xs, x, 0.0, duration, n_out)
 }
 
+/// Resamples a uniformly sampled signal from `fs_in` Hz to `fs_out` Hz on
+/// the fixed output grid `t_j = j / fs_out`, emitting exactly the samples
+/// whose interpolation support is inside the input.
+///
+/// Unlike [`resample`], whose interpolation step depends on the *total*
+/// signal duration (so its values change as more samples arrive), this
+/// grid is independent of signal length: it is the batch counterpart of
+/// [`StreamingResampler`] and produces bit-identical output for any
+/// chunking of the same stream.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadParameter`] when either rate is non-positive or
+/// NaN. An empty input yields an empty output.
+pub fn resample_grid(x: &[f32], fs_in: f32, fs_out: f32) -> Result<Vec<f32>, DspError> {
+    if fs_in.is_nan() || fs_in <= 0.0 || fs_out.is_nan() || fs_out <= 0.0 {
+        return Err(DspError::BadParameter {
+            name: "fs",
+            reason: "sampling rates must be positive",
+        });
+    }
+    let ratio = fs_in / fs_out;
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    loop {
+        let pos = j as f32 * ratio;
+        let i0 = pos as usize;
+        let frac = pos - i0 as f32;
+        let need = if frac > 0.0 { i0 + 1 } else { i0 };
+        if need >= x.len() {
+            break;
+        }
+        out.push(if frac == 0.0 {
+            x[i0]
+        } else {
+            x[i0] + frac * (x[i0 + 1] - x[i0])
+        });
+        j += 1;
+    }
+    Ok(out)
+}
+
+/// Chunk-by-chunk linear resampler onto the fixed grid `t_j = j / fs_out`.
+///
+/// Feed raw device samples with [`StreamingResampler::push`] and receive
+/// pipeline-rate samples, bit-identical to [`resample_grid`] over the
+/// concatenated stream regardless of how it is chunked. Consumed input
+/// samples are drained, so the resident buffer is a couple of samples —
+/// never the whole stream. Identity rates (`fs_in == fs_out`) pass samples
+/// through exactly.
+#[derive(Debug, Clone)]
+pub struct StreamingResampler {
+    ratio: f32,
+    buf: Vec<f32>,
+    /// Absolute input index of `buf[0]`.
+    base: usize,
+    /// Next output sample index `j`.
+    next_out: usize,
+}
+
+impl StreamingResampler {
+    /// Creates a resampler converting `fs_in` Hz input to `fs_out` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when either rate is non-positive
+    /// or NaN.
+    pub fn new(fs_in: f32, fs_out: f32) -> Result<Self, DspError> {
+        if fs_in.is_nan() || fs_in <= 0.0 || fs_out.is_nan() || fs_out <= 0.0 {
+            return Err(DspError::BadParameter {
+                name: "fs",
+                reason: "sampling rates must be positive",
+            });
+        }
+        Ok(Self {
+            ratio: fs_in / fs_out,
+            buf: Vec::new(),
+            base: 0,
+            next_out: 0,
+        })
+    }
+
+    /// Appends input samples and returns every output sample they enable.
+    pub fn push(&mut self, chunk: &[f32]) -> Vec<f32> {
+        self.buf.extend_from_slice(chunk);
+        let total = self.base + self.buf.len();
+        let mut out = Vec::new();
+        loop {
+            let pos = self.next_out as f32 * self.ratio;
+            let i0 = pos as usize;
+            let frac = pos - i0 as f32;
+            let need = if frac > 0.0 { i0 + 1 } else { i0 };
+            if need >= total {
+                break;
+            }
+            let a = self.buf[i0 - self.base];
+            out.push(if frac == 0.0 {
+                a
+            } else {
+                a + frac * (self.buf[i0 + 1 - self.base] - a)
+            });
+            self.next_out += 1;
+        }
+        // Input below the next output's floor index is unreachable:
+        // `floor(j * ratio)` is monotone in `j`, so drop it.
+        let keep = (self.next_out as f32 * self.ratio) as usize;
+        if keep > self.base {
+            let n = (keep - self.base).min(self.buf.len());
+            self.buf.drain(..n);
+            self.base += n;
+        }
+        out
+    }
+
+    /// Input samples currently resident in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 /// Splits `x` into consecutive windows of `len` samples advancing by `step`,
 /// dropping any trailing partial window.
 ///
@@ -185,6 +305,69 @@ mod tests {
         assert!(resample(&[], 10.0, 5.0).is_err());
         assert!(resample(&[1.0], 0.0, 5.0).is_err());
         assert!(resample(&[1.0], 10.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn resample_grid_identity_rate_is_exact_passthrough() {
+        let x = vec![1.5f32, -2.25, 3.125, 4.0, 0.0625];
+        let y = resample_grid(&x, 8.0, 8.0).unwrap();
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn resample_grid_validates_and_handles_empty() {
+        assert!(resample_grid(&[1.0], 0.0, 5.0).is_err());
+        assert!(resample_grid(&[1.0], 10.0, f32::NAN).is_err());
+        assert!(resample_grid(&[], 10.0, 5.0).unwrap().is_empty());
+        assert!(StreamingResampler::new(-1.0, 4.0).is_err());
+    }
+
+    #[test]
+    fn resample_grid_upsamples_linear_ramp() {
+        // 2x upsample of a ramp: midpoints are exact averages.
+        let x: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let y = resample_grid(&x, 4.0, 8.0).unwrap();
+        assert_eq!(y.len(), 15);
+        for (j, v) in y.iter().enumerate() {
+            assert!((v - j as f32 * 0.5).abs() < 1e-6, "sample {j} = {v}");
+        }
+    }
+
+    #[test]
+    fn streaming_resampler_matches_batch_grid_for_any_chunking() {
+        let x: Vec<f32> = (0..997)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0 + (i as f32 * 0.011).cos())
+            .collect();
+        for &(fs_in, fs_out) in &[(32.0f32, 64.0f32), (64.0, 8.0), (4.0, 4.0), (19.0, 7.0)] {
+            let batch = resample_grid(&x, fs_in, fs_out).unwrap();
+            for chunks in [
+                vec![997usize],
+                vec![1; 997],
+                vec![3, 500, 1, 493],
+                vec![100; 10],
+            ] {
+                let mut r = StreamingResampler::new(fs_in, fs_out).unwrap();
+                let mut live = Vec::new();
+                let mut off = 0usize;
+                for c in chunks {
+                    let end = (off + c).min(x.len());
+                    live.extend(r.push(&x[off..end]));
+                    let bound = (fs_in / fs_out).ceil() as usize + 2 + c;
+                    assert!(r.buffered() <= bound, "resampler buffer grew: {}", r.buffered());
+                    off = end;
+                    if off == x.len() {
+                        break;
+                    }
+                }
+                assert_eq!(live.len(), batch.len(), "{fs_in}->{fs_out}");
+                for (a, b) in live.iter().zip(&batch) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{fs_in}->{fs_out}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,4 +58,7 @@ pub use device::{Device, DeviceSpec};
 pub use fault::{
     Fault, FaultConfig, FaultInjector, ResilientDeployment, RetryPolicy, ServeOutcome, ServeStats,
 };
-pub use memory::{footprint, personalized_cache_capacity, MemoryBudget, MemoryFootprint};
+pub use memory::{
+    footprint, personalized_cache_capacity, streaming_session_budget, MemoryBudget,
+    MemoryFootprint,
+};

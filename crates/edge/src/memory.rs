@@ -108,6 +108,24 @@ pub fn personalized_cache_capacity(
     (free / per_model).max(1)
 }
 
+/// Per-session byte budget for streaming ingestion buffers on `device`
+/// when `concurrent_sessions` sessions share it.
+///
+/// Streaming buffers are activation-like transient state, so the bound
+/// divides the device's *activation* budget evenly across sessions. The
+/// result never drops below `floor_bytes` — the caller passes the minimum
+/// a session needs to hold one analysis window plus one hop of samples
+/// and a partially assembled feature map; a budget below that could never
+/// emit a window, making the session pointless.
+pub fn streaming_session_budget(
+    device: Device,
+    concurrent_sessions: usize,
+    floor_bytes: usize,
+) -> usize {
+    let budget = budget_of(device).activation_budget_bytes;
+    (budget / concurrent_sessions.max(1)).max(floor_bytes.max(1))
+}
+
 /// Whether the model fits the device's budgets.
 pub fn fits(network: &Network, device: Device, input_shape: &[usize]) -> bool {
     let fp = footprint(network, device, input_shape);
@@ -176,6 +194,21 @@ mod tests {
         // TPU: 8 MB SRAM over ~72.9 kB int8 checkpoints, minus 4 shared
         // cluster models — dozens of forks, not thousands.
         assert!((10..1000).contains(&tpu), "tpu capacity {tpu}");
+    }
+
+    #[test]
+    fn streaming_budget_scales_down_with_sessions_and_floors() {
+        let floor = 16 << 10;
+        let few = streaming_session_budget(Device::Gpu, 10, floor);
+        let many = streaming_session_budget(Device::Gpu, 10_000, floor);
+        assert!(few > many, "few {few} vs many {many}");
+        // GPU activation budget over 10k sessions still leaves generous
+        // per-session room (≈ 858 KB).
+        assert!(many > 512 << 10, "many {many}");
+        // A starved device clamps to the caller's floor, never below.
+        let starved = streaming_session_budget(Device::PiNcs2, 1_000_000, floor);
+        assert_eq!(starved, floor);
+        assert_eq!(streaming_session_budget(Device::Gpu, 0, floor), 8 << 30);
     }
 
     #[test]

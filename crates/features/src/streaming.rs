@@ -6,24 +6,90 @@
 //! 123-feature column whenever a full analysis window (with the configured
 //! hop) is available — the incremental construction of the same `123 × W`
 //! feature map, bit-identical to the batch path.
+//!
+//! ## Bounded memory
+//!
+//! Buffers are *draining*: once a window is emitted (or skipped), every
+//! sample below the start of the next pending window can never be read by
+//! any future window, so it is dropped. Each modality buffer therefore
+//! holds at most one window plus one hop of samples (plus the most recent
+//! push) regardless of session length. Because window start indices are
+//! computed with exactly the same `f32` expressions as the batch extractor
+//! and are monotone in the window index, draining cannot disturb any value
+//! a future window reads — bit-identity with the batch path is preserved.
+//!
+//! Overlapping-window work is shared through the buffer itself: samples
+//! common to adjacent hops are stored once and sliced zero-copy into each
+//! window's extraction (the previous implementation copied every window's
+//! samples into fresh allocations).
 
 use crate::extract::{extract_window, WindowConfig};
 use crate::map::FeatureMap;
 use clear_sim::SignalConfig;
 
-/// Incremental multi-rate window extractor.
+/// A draining sample buffer addressed by *absolute* stream index.
+///
+/// `data[0]` is absolute sample `base`; samples `< base` were consumed by
+/// emitted (or skipped) windows and released.
+#[derive(Debug, Clone, Default)]
+struct ModalityBuffer {
+    data: Vec<f32>,
+    base: usize,
+}
+
+impl ModalityBuffer {
+    fn extend(&mut self, samples: &[f32]) {
+        self.data.extend_from_slice(samples);
+    }
+
+    /// Total samples ever received (absolute index one past the end).
+    fn total_len(&self) -> usize {
+        self.base + self.data.len()
+    }
+
+    /// Currently resident sample count.
+    fn resident(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrows absolute index range `[a, b)`; callers guarantee
+    /// `base <= a <= b <= total_len()`.
+    fn slice(&self, a: usize, b: usize) -> &[f32] {
+        &self.data[a - self.base..b - self.base]
+    }
+
+    /// Releases samples below absolute index `keep_from`. Indices beyond
+    /// the received horizon are clamped (future samples cannot be dropped;
+    /// they are released by a later drain once the cursor has passed them).
+    fn drain_to(&mut self, keep_from: usize) {
+        if keep_from > self.base {
+            let n = (keep_from - self.base).min(self.data.len());
+            self.data.drain(..n);
+            self.base += n;
+        }
+    }
+}
+
+/// Incremental multi-rate window extractor with draining bounded buffers.
 ///
 /// Push samples as they arrive with [`StreamingExtractor::push`]; each call
-/// may complete one analysis window and return its feature column. Columns
-/// collected so far can be assembled into a [`FeatureMap`] at any time.
+/// may complete one or more analysis windows and return their feature
+/// columns. Columns collected so far can be assembled into a [`FeatureMap`]
+/// at any time (unless retention is disabled via
+/// [`StreamingExtractor::retain_columns`] — long-lived sessions hand each
+/// column downstream instead of accumulating them).
 #[derive(Debug, Clone)]
 pub struct StreamingExtractor {
     signal: SignalConfig,
     window: WindowConfig,
-    bvp: Vec<f32>,
-    gsr: Vec<f32>,
-    skt: Vec<f32>,
-    emitted: usize,
+    bvp: ModalityBuffer,
+    gsr: ModalityBuffer,
+    skt: ModalityBuffer,
+    /// Index of the next window to emit or skip (the drain cursor).
+    cursor: usize,
+    /// Windows advanced past without extraction via [`Self::skip_window`].
+    skipped: usize,
+    retain: bool,
     columns: Vec<Vec<f32>>,
 }
 
@@ -34,57 +100,134 @@ impl StreamingExtractor {
         Self {
             signal,
             window,
-            bvp: Vec::new(),
-            gsr: Vec::new(),
-            skt: Vec::new(),
-            emitted: 0,
+            bvp: ModalityBuffer::default(),
+            gsr: ModalityBuffer::default(),
+            skt: ModalityBuffer::default(),
+            cursor: 0,
+            skipped: 0,
+            retain: true,
             columns: Vec::new(),
         }
     }
 
+    /// Sets whether completed columns are retained for
+    /// [`Self::feature_map`]. Defaults to `true`; long-running sessions
+    /// that forward columns elsewhere disable retention so the extractor's
+    /// memory stays bounded by the sample buffers alone.
+    pub fn retain_columns(mut self, retain: bool) -> Self {
+        self.retain = retain;
+        self
+    }
+
+    /// Buffers newly arrived samples without attempting window emission.
+    /// Any of the slices may be empty — modalities arrive at different
+    /// rates and may stall independently.
+    pub fn extend(&mut self, bvp: &[f32], gsr: &[f32], skt: &[f32]) {
+        self.bvp.extend(bvp);
+        self.gsr.extend(gsr);
+        self.skt.extend(skt);
+        // The cursor may have advanced past these samples already (shed
+        // policies skip windows whose samples never fully arrived).
+        self.drain();
+    }
+
+    /// Emits the next window if every modality has enough samples,
+    /// advancing the cursor and draining consumed samples. Returns `None`
+    /// while the window is still incomplete.
+    pub fn try_emit_one(&mut self) -> Option<Vec<f32>> {
+        let t0 = self.cursor as f32 * self.window.step_secs;
+        let t1 = t0 + self.window.window_secs;
+        let need_bvp = (t1 * self.signal.fs_bvp).ceil() as usize;
+        let need_gsr = (t1 * self.signal.fs_gsr).ceil() as usize;
+        let need_skt = (t1 * self.signal.fs_skt).ceil() as usize;
+        if self.bvp.total_len() < need_bvp
+            || self.gsr.total_len() < need_gsr
+            || self.skt.total_len() < need_skt
+        {
+            return None;
+        }
+        let bounds = |fs: f32, total: usize| -> (usize, usize) {
+            let a = (t0 * fs) as usize;
+            let b = ((t1 * fs) as usize).min(total);
+            (a.min(b), b)
+        };
+        let (ab, bb) = bounds(self.signal.fs_bvp, self.bvp.total_len());
+        let (ag, bg) = bounds(self.signal.fs_gsr, self.gsr.total_len());
+        let (as_, bs) = bounds(self.signal.fs_skt, self.skt.total_len());
+        let col = extract_window(
+            self.bvp.slice(ab, bb),
+            self.gsr.slice(ag, bg),
+            self.skt.slice(as_, bs),
+            &self.signal,
+        );
+        if self.retain {
+            self.columns.push(col.clone());
+        }
+        self.cursor += 1;
+        self.drain();
+        Some(col)
+    }
+
+    /// Advances the cursor past the next window *without* computing it,
+    /// draining the samples only that window could still read. Shed
+    /// policies use this to reclaim memory when a window can no longer be
+    /// afforded (or its samples will never fully arrive).
+    pub fn skip_window(&mut self) {
+        self.cursor += 1;
+        self.skipped += 1;
+        self.drain();
+    }
+
     /// Appends newly arrived samples of each modality (any of the slices
-    /// may be empty — modalities arrive at different rates). Returns the
+    /// may be empty) and emits every window they complete. Returns the
     /// feature columns completed by this push (usually zero or one).
     pub fn push(&mut self, bvp: &[f32], gsr: &[f32], skt: &[f32]) -> Vec<Vec<f32>> {
-        self.bvp.extend_from_slice(bvp);
-        self.gsr.extend_from_slice(gsr);
-        self.skt.extend_from_slice(skt);
+        self.extend(bvp, gsr, skt);
         let mut out = Vec::new();
-        loop {
-            let t0 = self.emitted as f32 * self.window.step_secs;
-            let t1 = t0 + self.window.window_secs;
-            let need_bvp = (t1 * self.signal.fs_bvp).ceil() as usize;
-            let need_gsr = (t1 * self.signal.fs_gsr).ceil() as usize;
-            let need_skt = (t1 * self.signal.fs_skt).ceil() as usize;
-            if self.bvp.len() < need_bvp || self.gsr.len() < need_gsr || self.skt.len() < need_skt {
-                break;
-            }
-            let slice = |x: &[f32], fs: f32| -> Vec<f32> {
-                let a = (t0 * fs) as usize;
-                let b = ((t1 * fs) as usize).min(x.len());
-                x[a.min(b)..b].to_vec()
-            };
-            let col = extract_window(
-                &slice(&self.bvp, self.signal.fs_bvp),
-                &slice(&self.gsr, self.signal.fs_gsr),
-                &slice(&self.skt, self.signal.fs_skt),
-                &self.signal,
-            );
-            self.columns.push(col.clone());
-            self.emitted += 1;
+        while let Some(col) = self.try_emit_one() {
             out.push(col);
         }
         out
     }
 
-    /// Number of completed windows so far.
+    /// Releases every sample below the start of the cursor's window — no
+    /// future window (window starts are monotone in the index) can read
+    /// them. The start index replicates the batch extractor's expression
+    /// `(t0 * fs) as usize` exactly, so draining never changes emitted
+    /// values.
+    fn drain(&mut self) {
+        let t0 = self.cursor as f32 * self.window.step_secs;
+        self.bvp.drain_to((t0 * self.signal.fs_bvp) as usize);
+        self.gsr.drain_to((t0 * self.signal.fs_gsr) as usize);
+        self.skt.drain_to((t0 * self.signal.fs_skt) as usize);
+    }
+
+    /// Number of completed (extracted) windows so far.
     pub fn window_count(&self) -> usize {
-        self.emitted
+        self.cursor - self.skipped
+    }
+
+    /// Index of the next window the cursor will emit or skip.
+    pub fn next_window_index(&self) -> usize {
+        self.cursor
+    }
+
+    /// Windows skipped by [`Self::skip_window`].
+    pub fn skipped_windows(&self) -> usize {
+        self.skipped
+    }
+
+    /// Samples currently resident across all modality buffers. Bounded by
+    /// one window plus one hop per modality (plus the latest push) no
+    /// matter how long the session runs.
+    pub fn buffered_samples(&self) -> usize {
+        self.bvp.resident() + self.gsr.resident() + self.skt.resident()
     }
 
     /// Assembles the feature map of all completed windows.
     ///
-    /// Returns `None` before the first window completes.
+    /// Returns `None` before the first window completes or when column
+    /// retention is disabled.
     pub fn feature_map(&self) -> Option<FeatureMap> {
         if self.columns.is_empty() {
             None
@@ -97,9 +240,9 @@ impl StreamingExtractor {
     /// device would run between sessions). Emitted feature columns and
     /// pending samples are preserved, so results are unaffected.
     pub fn trim(&mut self) {
-        self.bvp.shrink_to_fit();
-        self.gsr.shrink_to_fit();
-        self.skt.shrink_to_fit();
+        self.bvp.data.shrink_to_fit();
+        self.gsr.data.shrink_to_fit();
+        self.skt.data.shrink_to_fit();
         self.columns.shrink_to_fit();
     }
 }
@@ -175,5 +318,125 @@ mod tests {
         assert_eq!(s.window_count(), 4);
         s.trim(); // must not disturb results
         assert_eq!(s.feature_map().unwrap().window_count(), 4);
+    }
+
+    /// Regression for the unbounded-growth bug: the old extractor kept
+    /// every sample ever pushed, so a long session grew without limit.
+    /// Buffers must now stay pinned below one window + one hop + one chunk
+    /// per modality for the whole session.
+    #[test]
+    fn long_session_buffers_stay_bounded() {
+        let config = CohortConfig::small(21);
+        let cohort = Cohort::generate(&config);
+        let rec = &cohort.recordings()[0];
+        let wcfg = WindowConfig::default();
+        let signal = config.signal;
+        let mut s = StreamingExtractor::new(signal, wcfg).retain_columns(false);
+
+        // One second of stream per push, cycling the recording ~40 times:
+        // a session ~20 minutes long at the small-config 30 s stimulus.
+        let chunk_b = signal.fs_bvp as usize;
+        let chunk_g = signal.fs_gsr as usize;
+        let chunk_s = signal.fs_skt as usize;
+        let window_and_hop = ((wcfg.window_secs + wcfg.step_secs)
+            * (signal.fs_bvp + signal.fs_gsr + signal.fs_skt))
+            .ceil() as usize;
+        let bound = window_and_hop + chunk_b + chunk_g + chunk_s + 3;
+
+        let mut total_windows = 0usize;
+        for cycle in 0..40 {
+            let mut off_b = 0;
+            let mut off_g = 0;
+            let mut off_s = 0;
+            while off_b < rec.bvp.len() {
+                let nb = (off_b + chunk_b).min(rec.bvp.len());
+                let ng = (off_g + chunk_g).min(rec.gsr.len());
+                let ns = (off_s + chunk_s).min(rec.skt.len());
+                let cols = s.push(
+                    &rec.bvp[off_b..nb],
+                    &rec.gsr[off_g..ng],
+                    &rec.skt[off_s..ns],
+                );
+                total_windows += cols.len();
+                assert!(
+                    s.buffered_samples() <= bound,
+                    "cycle {cycle}: resident {} exceeds bound {bound}",
+                    s.buffered_samples()
+                );
+                off_b = nb;
+                off_g = ng;
+                off_s = ns;
+            }
+        }
+        // ~1200 s of signal at 12 s / 6 s windows → windows keep flowing.
+        assert!(total_windows > 150, "only {total_windows} windows emitted");
+        assert_eq!(s.window_count(), total_windows);
+        // Retention disabled → no column accumulation either.
+        assert!(s.feature_map().is_none());
+    }
+
+    /// Draining must never change emitted values: compare a bounded run
+    /// against the batch extractor (which sees the whole signal at once).
+    #[test]
+    fn drained_buffers_stay_bit_identical_to_batch() {
+        let config = CohortConfig::small(34);
+        let cohort = Cohort::generate(&config);
+        let rec = &cohort.recordings()[1];
+        let wcfg = WindowConfig::default();
+        let batch = FeatureExtractor::new(config.signal, wcfg).feature_map(rec);
+
+        let mut s = StreamingExtractor::new(config.signal, wcfg);
+        // Quarter-second pushes — many drains over the recording.
+        let cb = (config.signal.fs_bvp / 4.0).max(1.0) as usize;
+        let cg = (config.signal.fs_gsr / 4.0).max(1.0) as usize;
+        let cs = (config.signal.fs_skt / 4.0).max(1.0) as usize;
+        let mut ob = 0;
+        let mut og = 0;
+        let mut os = 0;
+        while ob < rec.bvp.len() || og < rec.gsr.len() || os < rec.skt.len() {
+            let nb = (ob + cb).min(rec.bvp.len());
+            let ng = (og + cg).min(rec.gsr.len());
+            let ns = (os + cs).min(rec.skt.len());
+            s.push(&rec.bvp[ob..nb], &rec.gsr[og..ng], &rec.skt[os..ns]);
+            ob = nb;
+            og = ng;
+            os = ns;
+        }
+        let live = s.feature_map().expect("windows completed");
+        assert_eq!(live.window_count(), batch.window_count());
+        for f in 0..live.feature_count() {
+            for w in 0..live.window_count() {
+                assert_eq!(live.get(f, w).to_bits(), batch.get(f, w).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn skip_window_advances_cursor_and_reclaims_memory() {
+        let config = CohortConfig::small(8);
+        let cohort = Cohort::generate(&config);
+        let rec = &cohort.recordings()[0];
+        let wcfg = WindowConfig::default();
+
+        // Feed BVP/GSR fully but stall SKT: no window can complete, yet
+        // samples keep piling up — the shed-policy scenario.
+        let mut s = StreamingExtractor::new(config.signal, wcfg);
+        s.push(&rec.bvp, &rec.gsr, &[]);
+        assert_eq!(s.window_count(), 0);
+        let before = s.buffered_samples();
+        s.skip_window();
+        assert!(s.buffered_samples() < before, "skip must drain samples");
+        assert_eq!(s.skipped_windows(), 1);
+        assert_eq!(s.window_count(), 0);
+        assert_eq!(s.next_window_index(), 1);
+
+        // Once SKT arrives, later windows still match the batch values.
+        let emitted = s.push(&[], &[], &rec.skt);
+        assert!(!emitted.is_empty());
+        let batch = FeatureExtractor::new(config.signal, wcfg).feature_map(rec);
+        // First streamed column after the skip is batch window 1.
+        for (f, v) in emitted[0].iter().enumerate() {
+            assert_eq!(v.to_bits(), batch.get(f, 1).to_bits(), "feature {f}");
+        }
     }
 }

@@ -153,6 +153,27 @@ pub mod counters {
     pub const CLUSTER_NET_DUPLICATED: &str = "cluster.net_duplicated";
     /// Messages the simulated network delayed or reordered.
     pub const CLUSTER_NET_DELAYED: &str = "cluster.net_delayed";
+    /// Raw signal chunks ingested by streaming sessions.
+    pub const STREAM_CHUNKS: &str = "stream.chunks";
+    /// Raw samples ingested across all modalities (device rate).
+    pub const STREAM_SAMPLES: &str = "stream.samples";
+    /// Feature windows completed by streaming sessions.
+    pub const STREAM_WINDOWS: &str = "stream.windows";
+    /// Full feature maps assembled by streaming sessions and queued for
+    /// prediction.
+    pub const STREAM_MAPS: &str = "stream.maps";
+    /// Streaming sessions opened on a pump.
+    pub const STREAM_SESSIONS_OPENED: &str = "stream.sessions_opened";
+    /// Streaming sessions closed.
+    pub const STREAM_SESSIONS_CLOSED: &str = "stream.sessions_closed";
+    /// Pending windows dropped by the `DropOldest` shed policy.
+    pub const STREAM_SHED_DROPPED_WINDOWS: &str = "stream.shed.dropped_windows";
+    /// Chunks rejected (typed over-budget error) by the `RejectNewest`
+    /// shed policy.
+    pub const STREAM_SHED_REJECTED_CHUNKS: &str = "stream.shed.rejected_chunks";
+    /// Windows skipped by the `DegradeToSparseHop` shed policy (temporal
+    /// resolution halved while over budget).
+    pub const STREAM_SHED_SPARSE_HOP_WINDOWS: &str = "stream.shed.sparse_hop_windows";
 }
 
 /// Gauge name for the worst follower replication lag across partitions,

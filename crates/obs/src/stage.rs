@@ -65,6 +65,14 @@ pub enum Stage {
     /// One leader failover: promoting the caught-up follower of a dead
     /// leader's partition.
     ClusterFailover,
+    /// One raw-signal chunk ingested into a streaming session: buffering,
+    /// budget enforcement and incremental window extraction
+    /// (`clear_stream::StreamSession::ingest`).
+    StreamIngest,
+    /// One pump drain: collecting ready feature maps across sessions and
+    /// serving them through `ServeEngine::predict_many`
+    /// (`clear_stream::StreamPump::drain`).
+    StreamPump,
 }
 
 impl Stage {
@@ -94,6 +102,8 @@ impl Stage {
             Stage::ClusterShip => "stage.cluster.ship",
             Stage::ClusterCatchUp => "stage.cluster.catch_up",
             Stage::ClusterFailover => "stage.cluster.failover",
+            Stage::StreamIngest => "stage.stream.ingest",
+            Stage::StreamPump => "stage.stream.pump",
         }
     }
 
@@ -123,6 +133,8 @@ impl Stage {
             Stage::ClusterShip,
             Stage::ClusterCatchUp,
             Stage::ClusterFailover,
+            Stage::StreamIngest,
+            Stage::StreamPump,
         ]
     }
 }

@@ -790,6 +790,14 @@ impl ServeEngine {
         self.shards.len()
     }
 
+    /// Per-shard admission cap. A caller batching requests through
+    /// [`ServeEngine::predict_many`] must keep each request set at or
+    /// below this, since admission slots are held for the entire set
+    /// (the streaming pump chunks its drains by this limit).
+    pub fn queue_limit(&self) -> usize {
+        self.max_queue_depth
+    }
+
     /// Occupancy of the personalized-model cache.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {

@@ -43,12 +43,14 @@ pub mod artifacts;
 pub mod cohort;
 pub mod signals;
 pub mod stimulus;
+pub mod stream;
 pub mod subject;
 
 pub use archetype::{ArchetypeId, ArchetypeParams};
 pub use cohort::{Cohort, CohortConfig, Recording, SubjectId};
 pub use signals::SignalConfig;
 pub use stimulus::{EmotionCategory, Stimulus, StimulusProtocol};
+pub use stream::{chunk_schedule, ChunkSizes};
 pub use subject::SubjectProfile;
 
 /// Binary emotion label of a stimulus, matching the paper's fear-detection

@@ -1,0 +1,50 @@
+//! # clear-stream — streaming ingestion sessions for CLEAR serving
+//!
+//! The serving layers (PRs 4–7) consume precomputed `123 × W` feature
+//! maps, but the paper's edge deployment sees raw BVP/GSR/SKT samples
+//! arriving continuously at 4–64 Hz. This crate is the front-end that
+//! closes the gap: raw multi-rate signal chunks in, quality-gated
+//! predictions out, **bit-identical** to batch-extracting the same stream
+//! and serving the maps directly.
+//!
+//! * [`StreamSession`] — one user's live state: draining bounded sample
+//!   buffers (via `clear_features::StreamingExtractor`), optional
+//!   device-rate → pipeline-rate resampling
+//!   (`clear_dsp::resample::StreamingResampler`), incremental window
+//!   extraction and map assembly, and a per-session byte budget sized
+//!   from the `clear-edge` memory model with a typed [`ShedPolicy`]
+//!   (reject / drop-oldest / sparse-hop) deciding what gives when the
+//!   budget is hit.
+//! * [`StreamPump`] — the session registry over a
+//!   [`clear_serve::ServeEngine`]: deterministic parallel chunk routing
+//!   ([`StreamPump::ingest_many`]) and prediction drains that batch
+//!   completed maps cross-user through `predict_many`, capped at the
+//!   engine's admission limit.
+//! * [`StreamError`] — typed failures: over-budget chunks, closed or
+//!   unknown sessions, bad configs.
+//!
+//! ## Flow
+//!
+//! ```text
+//! sensor chunks ──ingest──▶ StreamSession ──windows──▶ maps ready
+//!   (4–64 Hz)     budget +   draining buffers            │
+//!                 shed policy                     drain──▶ ServeEngine::predict_many
+//!                                                          └─▶ gated Predictions
+//! ```
+//!
+//! Every stage is deterministic: seeded `clear_sim::chunk_schedule`
+//! arrival patterns, sorted-user drains and atomic-index work claiming
+//! make any worker count replay bit-for-bit (`tests/determinism.rs`),
+//! and the streamed feature values equal the batch extractor's on the
+//! concatenated signal at every chunking (`tests/properties.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pump;
+pub mod session;
+
+pub use pump::{ChunkIngest, PumpConfig, SessionDrain, StreamPump};
+pub use session::{
+    IngestReport, SessionConfig, SessionStats, ShedPolicy, StreamError, StreamSession,
+};

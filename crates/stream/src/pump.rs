@@ -1,0 +1,307 @@
+//! The session pump: cross-user batching from live sessions into the
+//! multi-tenant serving engine.
+//!
+//! A [`StreamPump`] owns every open [`StreamSession`] of one deployment
+//! and connects them to a [`ServeEngine`]. Chunks flow in through
+//! [`StreamPump::ingest`] (or the deterministic parallel
+//! [`StreamPump::ingest_many`]); [`StreamPump::drain`] collects the maps
+//! every session completed and serves them through
+//! [`ServeEngine::predict_many`] in request sets capped at the engine's
+//! admission limit — the pump inherits PR 4's cross-user cluster batching
+//! and admission control instead of reimplementing either.
+//!
+//! ## Determinism
+//!
+//! Sessions are independent: a chunk only touches its own user's state,
+//! and `ingest_many` partitions its batch by user (preserving each user's
+//! chunk order) before workers claim whole users from an atomic index.
+//! Drains iterate sessions in sorted user order. Predictions are
+//! therefore bit-identical at any worker count, with or without an obs
+//! registry installed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use clear_core::Prediction;
+use clear_serve::{ServeEngine, ServeError, ServeRequest};
+use parking_lot::{Mutex, RwLock};
+
+use crate::session::{IngestReport, SessionConfig, SessionStats, StreamError, StreamSession};
+
+/// Sizing knobs of a [`StreamPump`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpConfig {
+    /// Configuration applied to every session the pump opens.
+    pub session: SessionConfig,
+    /// Cap on requests per `predict_many` set; `0` uses the engine's
+    /// [`ServeEngine::queue_limit`] (admission slots are held for a whole
+    /// set, so exceeding it would guarantee `Overloaded` rejections).
+    pub max_batch: usize,
+}
+
+impl PumpConfig {
+    /// A pump config with engine-derived batching.
+    pub fn new(session: SessionConfig) -> Self {
+        Self {
+            session,
+            max_batch: 0,
+        }
+    }
+}
+
+/// One user's chunk inside an [`StreamPump::ingest_many`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkIngest<'a> {
+    /// The session's user.
+    pub user: &'a str,
+    /// BVP samples (may be empty).
+    pub bvp: &'a [f32],
+    /// GSR samples (may be empty).
+    pub gsr: &'a [f32],
+    /// SKT samples (may be empty).
+    pub skt: &'a [f32],
+}
+
+/// One session's outcome from a [`StreamPump::drain`] call.
+#[derive(Debug)]
+pub struct SessionDrain {
+    /// The session's user.
+    pub user: String,
+    /// Maps served in this drain.
+    pub maps: usize,
+    /// The engine's verdicts: one prediction per window of every drained
+    /// map, or the typed serving error for this user's request.
+    pub result: Result<Vec<Prediction>, ServeError>,
+}
+
+/// Streaming front-end over a [`ServeEngine`]: session registry, chunk
+/// routing, and batched prediction drains.
+pub struct StreamPump {
+    engine: Arc<ServeEngine>,
+    config: PumpConfig,
+    sessions: RwLock<BTreeMap<String, Mutex<StreamSession>>>,
+    peak_session_bytes: AtomicUsize,
+}
+
+impl StreamPump {
+    /// Creates a pump serving through `engine`.
+    pub fn new(engine: Arc<ServeEngine>, config: PumpConfig) -> Self {
+        Self {
+            engine,
+            config,
+            sessions: RwLock::new(BTreeMap::new()),
+            peak_session_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The engine this pump serves through.
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Opens a session for `user` with the pump's session config.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::AlreadyOpen`] for a duplicate open,
+    /// [`StreamError::BadConfig`] for an unusable session config.
+    pub fn open(&self, user: &str) -> Result<(), StreamError> {
+        let mut sessions = self.sessions.write();
+        if sessions.contains_key(user) {
+            return Err(StreamError::AlreadyOpen(user.to_string()));
+        }
+        let session = StreamSession::new(user, self.config.session)?;
+        sessions.insert(user.to_string(), Mutex::new(session));
+        clear_obs::counter_add(clear_obs::counters::STREAM_SESSIONS_OPENED, 1);
+        Ok(())
+    }
+
+    /// Closes `user`'s session. Completed maps remain drainable; the
+    /// session is removed by the first [`StreamPump::drain`] that finds
+    /// it closed and empty.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open.
+    pub fn close(&self, user: &str) -> Result<(), StreamError> {
+        let sessions = self.sessions.read();
+        let cell = sessions
+            .get(user)
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))?;
+        let mut session = cell.lock();
+        session.close();
+        self.note_peak(session.stats().peak_resident_bytes);
+        clear_obs::counter_add(clear_obs::counters::STREAM_SESSIONS_CLOSED, 1);
+        Ok(())
+    }
+
+    /// Routes one chunk to `user`'s session.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open, plus any
+    /// session-level error ([`StreamError::Closed`],
+    /// [`StreamError::OverBudget`]).
+    pub fn ingest(
+        &self,
+        user: &str,
+        bvp: &[f32],
+        gsr: &[f32],
+        skt: &[f32],
+    ) -> Result<IngestReport, StreamError> {
+        let _span = clear_obs::span(clear_obs::Stage::StreamIngest);
+        let sessions = self.sessions.read();
+        let cell = sessions
+            .get(user)
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))?;
+        let mut session = cell.lock();
+        let report = session.ingest(bvp, gsr, skt);
+        self.note_peak(session.stats().peak_resident_bytes);
+        report
+    }
+
+    /// Ingests a batch of chunks across users on `threads` workers,
+    /// returning per-chunk results in batch order.
+    ///
+    /// Chunks are partitioned by user with each user's order preserved;
+    /// workers claim whole users from an atomic index, so results are
+    /// bit-identical to a single-threaded replay at any worker count.
+    pub fn ingest_many(
+        &self,
+        batch: &[ChunkIngest<'_>],
+        threads: usize,
+    ) -> Vec<Result<IngestReport, StreamError>> {
+        let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, chunk) in batch.iter().enumerate() {
+            groups.entry(chunk.user).or_default().push(i);
+        }
+        let users: Vec<&str> = groups.keys().copied().collect();
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Result<IngestReport, StreamError>)>> =
+            Mutex::new(Vec::with_capacity(batch.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let u = next.fetch_add(1, Ordering::SeqCst);
+                        if u >= users.len() {
+                            break;
+                        }
+                        for &idx in &groups[users[u]] {
+                            let c = &batch[idx];
+                            local.push((idx, self.ingest(c.user, c.bvp, c.gsr, c.skt)));
+                        }
+                    }
+                    collected.lock().extend(local);
+                });
+            }
+        });
+        let mut slots: Vec<Option<Result<IngestReport, StreamError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        for (idx, result) in collected.into_inner() {
+            slots[idx] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch index processed exactly once"))
+            .collect()
+    }
+
+    /// Collects every session's completed maps (sorted user order) and
+    /// serves them through [`ServeEngine::predict_many`], chunking the
+    /// request sets at the configured batch cap. Sessions that are closed
+    /// and fully drained are removed.
+    pub fn drain(&self) -> Vec<SessionDrain> {
+        let _span = clear_obs::span(clear_obs::Stage::StreamPump);
+        let mut ready: Vec<(String, Vec<clear_features::FeatureMap>)> = Vec::new();
+        {
+            let sessions = self.sessions.read();
+            for (user, cell) in sessions.iter() {
+                let mut session = cell.lock();
+                let maps = session.take_ready();
+                if !maps.is_empty() {
+                    ready.push((user.clone(), maps));
+                }
+            }
+        }
+        {
+            let mut sessions = self.sessions.write();
+            sessions.retain(|_, cell| {
+                let session = cell.lock();
+                !(session.is_closed() && session.ready_maps() == 0)
+            });
+        }
+        let limit = if self.config.max_batch == 0 {
+            self.engine.queue_limit()
+        } else {
+            self.config.max_batch
+        }
+        .max(1);
+        let mut out = Vec::with_capacity(ready.len());
+        for group in ready.chunks(limit) {
+            let requests: Vec<ServeRequest<'_>> = group
+                .iter()
+                .map(|(user, maps)| ServeRequest {
+                    user: user.as_str(),
+                    maps: maps.as_slice(),
+                })
+                .collect();
+            let results = self.engine.predict_many(&requests);
+            for ((user, maps), result) in group.iter().zip(results) {
+                out.push(SessionDrain {
+                    user: user.clone(),
+                    maps: maps.len(),
+                    result,
+                });
+            }
+        }
+        out
+    }
+
+    /// Open sessions (closed-but-undrained sessions count until removal).
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Sum of resident bytes across open sessions.
+    pub fn resident_bytes(&self) -> usize {
+        self.sessions
+            .read()
+            .values()
+            .map(|cell| cell.lock().resident_bytes())
+            .sum()
+    }
+
+    /// Highest single-session resident watermark observed across the
+    /// pump's lifetime (sessions already removed included).
+    pub fn peak_session_bytes(&self) -> usize {
+        let live = self
+            .sessions
+            .read()
+            .values()
+            .map(|cell| cell.lock().stats().peak_resident_bytes)
+            .max()
+            .unwrap_or(0);
+        self.peak_session_bytes.load(Ordering::Relaxed).max(live)
+    }
+
+    /// Lifetime counters of `user`'s session.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open.
+    pub fn stats(&self, user: &str) -> Result<SessionStats, StreamError> {
+        let sessions = self.sessions.read();
+        let cell = sessions
+            .get(user)
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))?;
+        let stats = cell.lock().stats();
+        Ok(stats)
+    }
+
+    fn note_peak(&self, bytes: usize) {
+        self.peak_session_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,632 @@
+//! Per-user streaming ingestion sessions.
+//!
+//! A [`StreamSession`] owns the bounded multi-rate buffers of one user's
+//! live signal: raw chunks go in (optionally resampled from device rates
+//! onto the pipeline grid), feature windows come out incrementally through
+//! [`clear_features::StreamingExtractor`] — bit-identical to running the
+//! batch [`clear_features::FeatureExtractor`] over the concatenated
+//! stream — and complete `123 × W` maps queue for prediction. A byte
+//! budget sized from the `clear-edge` memory model bounds the session's
+//! resident footprint; the [`ShedPolicy`] decides what gives when the
+//! budget is hit.
+
+use std::collections::VecDeque;
+
+use clear_dsp::resample::StreamingResampler;
+use clear_features::{FeatureMap, StreamingExtractor, WindowConfig, FEATURE_COUNT};
+use clear_sim::SignalConfig;
+
+/// What a session sheds when an incoming chunk would push its resident
+/// bytes past the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the chunk with a typed [`StreamError::OverBudget`] — strict
+    /// back-pressure to the producer; no buffered data is lost.
+    RejectNewest,
+    /// Skip the oldest pending windows (draining their samples) until the
+    /// chunk fits, then accept it — fresh data wins, old windows are
+    /// never computed. The session never rejects.
+    DropOldest,
+    /// Accept the chunk and halve temporal resolution while over budget:
+    /// after each emitted window the next one is skipped, so the drain
+    /// cursor advances twice as fast until the session is back under
+    /// budget. Sheds future resolution rather than past data.
+    DegradeToSparseHop,
+}
+
+/// Typed streaming-ingestion failures.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The chunk would exceed the session's byte budget and the shed
+    /// policy ([`ShedPolicy::RejectNewest`]) refuses to drop buffered
+    /// data. Nothing was ingested; retry after draining predictions.
+    OverBudget {
+        /// Bytes currently resident in the session.
+        resident_bytes: usize,
+        /// Size of the rejected chunk.
+        chunk_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+    },
+    /// The session was closed; no further chunks are accepted.
+    Closed(String),
+    /// No open session for this user on the pump.
+    UnknownSession(String),
+    /// A session is already open for this user.
+    AlreadyOpen(String),
+    /// The session configuration is unusable.
+    BadConfig(&'static str),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::OverBudget {
+                resident_bytes,
+                chunk_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "chunk of {chunk_bytes} B rejected: {resident_bytes} B resident \
+                 against a budget of {budget_bytes} B"
+            ),
+            StreamError::Closed(user) => write!(f, "session for '{user}' is closed"),
+            StreamError::UnknownSession(user) => write!(f, "no open session for '{user}'"),
+            StreamError::AlreadyOpen(user) => write!(f, "session for '{user}' already open"),
+            StreamError::BadConfig(why) => write!(f, "bad session config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Configuration of one [`StreamSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Pipeline sampling rates the feature extractor expects.
+    pub signal: SignalConfig,
+    /// Analysis window geometry (must match the deployed bundle's).
+    pub window: WindowConfig,
+    /// Windows per assembled feature map (the deployed bundle's `windows`).
+    pub windows_per_map: usize,
+    /// Resident-byte budget; `0` disables budget enforcement.
+    pub byte_budget: usize,
+    /// What gives when a chunk would exceed the budget.
+    pub shed: ShedPolicy,
+    /// Device-side sampling rates, when the sensor records at rates other
+    /// than the pipeline's. Chunks are resampled onto the pipeline grid
+    /// ([`clear_dsp::resample::resample_grid`] semantics) before
+    /// extraction; `None` ingests at pipeline rates directly.
+    pub ingest_rates: Option<SignalConfig>,
+}
+
+impl SessionConfig {
+    /// A budget-free config for a deployment serving `windows_per_map`
+    /// windows per map at the given rates and geometry.
+    pub fn new(signal: SignalConfig, window: WindowConfig, windows_per_map: usize) -> Self {
+        Self {
+            signal,
+            window,
+            windows_per_map,
+            byte_budget: 0,
+            shed: ShedPolicy::RejectNewest,
+            ingest_rates: None,
+        }
+    }
+
+    /// Sets the shed policy.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Sets an explicit byte budget.
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Sets device-side ingest rates (resampled onto the pipeline grid).
+    pub fn with_ingest_rates(mut self, rates: SignalConfig) -> Self {
+        self.ingest_rates = Some(rates);
+        self
+    }
+
+    /// Sizes the byte budget from the `clear-edge` memory model: the
+    /// device's activation budget divided across `concurrent_sessions`,
+    /// floored at [`SessionConfig::min_resident_bytes`] so a session can
+    /// always complete a window.
+    pub fn sized_for_device(
+        mut self,
+        device: clear_edge::Device,
+        concurrent_sessions: usize,
+    ) -> Self {
+        self.byte_budget = clear_edge::streaming_session_budget(
+            device,
+            concurrent_sessions,
+            self.min_resident_bytes(),
+        );
+        self
+    }
+
+    /// The smallest resident footprint at which a session can still make
+    /// progress: one analysis window plus one hop of samples across all
+    /// modalities, a partially assembled map, and one ready map awaiting
+    /// drain.
+    pub fn min_resident_bytes(&self) -> usize {
+        let span_secs = self.window.window_secs + self.window.step_secs;
+        let rates = self.signal.fs_bvp + self.signal.fs_gsr + self.signal.fs_skt;
+        let samples = (span_secs * rates).ceil() as usize + 3;
+        let map_bytes = self.windows_per_map * FEATURE_COUNT * 4;
+        samples * 4 + 2 * map_bytes
+    }
+}
+
+/// Counters of one session's lifetime (monotone; never reset by drains).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Feature windows extracted.
+    pub windows_completed: u64,
+    /// Full feature maps assembled.
+    pub maps_completed: u64,
+    /// Windows skipped by [`ShedPolicy::DropOldest`].
+    pub shed_dropped_windows: u64,
+    /// Chunks rejected by [`ShedPolicy::RejectNewest`].
+    pub shed_rejected_chunks: u64,
+    /// Windows skipped by [`ShedPolicy::DegradeToSparseHop`].
+    pub shed_sparse_hop_windows: u64,
+    /// Highest resident-byte watermark observed.
+    pub peak_resident_bytes: usize,
+}
+
+/// What one [`StreamSession::ingest`] call accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Feature windows completed by this chunk.
+    pub windows: usize,
+    /// Feature maps completed by this chunk.
+    pub maps: usize,
+    /// Windows shed (dropped or sparse-hopped) while ingesting it.
+    pub shed_windows: usize,
+}
+
+/// One user's live ingestion state: draining sample buffers, incremental
+/// window extraction, map assembly and budget enforcement.
+#[derive(Debug)]
+pub struct StreamSession {
+    user: String,
+    config: SessionConfig,
+    extractor: StreamingExtractor,
+    resamplers: Option<(StreamingResampler, StreamingResampler, StreamingResampler)>,
+    /// Columns of the map currently being assembled.
+    partial: Vec<Vec<f32>>,
+    /// Completed maps awaiting a pump drain.
+    ready: VecDeque<FeatureMap>,
+    closed: bool,
+    stats: SessionStats,
+}
+
+impl StreamSession {
+    /// Opens a session for `user`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::BadConfig`] when `windows_per_map == 0`, the window
+    /// geometry is degenerate, or the ingest rates are not positive.
+    pub fn new(user: impl Into<String>, config: SessionConfig) -> Result<Self, StreamError> {
+        if config.windows_per_map == 0 {
+            return Err(StreamError::BadConfig("windows_per_map must be at least 1"));
+        }
+        if !(config.window.window_secs > 0.0) || !(config.window.step_secs > 0.0) {
+            return Err(StreamError::BadConfig("window geometry must be positive"));
+        }
+        let resamplers = match config.ingest_rates {
+            None => None,
+            Some(rates) => {
+                let mk = |fs_in: f32, fs_out: f32| {
+                    StreamingResampler::new(fs_in, fs_out)
+                        .map_err(|_| StreamError::BadConfig("ingest rates must be positive"))
+                };
+                Some((
+                    mk(rates.fs_bvp, config.signal.fs_bvp)?,
+                    mk(rates.fs_gsr, config.signal.fs_gsr)?,
+                    mk(rates.fs_skt, config.signal.fs_skt)?,
+                ))
+            }
+        };
+        Ok(Self {
+            user: user.into(),
+            extractor: StreamingExtractor::new(config.signal, config.window)
+                .retain_columns(false),
+            resamplers,
+            partial: Vec::with_capacity(config.windows_per_map),
+            ready: VecDeque::new(),
+            closed: false,
+            config,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Whether [`StreamSession::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Completed maps awaiting drain.
+    pub fn ready_maps(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Columns assembled toward the next (incomplete) map.
+    pub fn pending_columns(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Bytes currently resident: sample buffers (extractor + resamplers),
+    /// the partial map, and ready maps awaiting drain.
+    pub fn resident_bytes(&self) -> usize {
+        let resampler_samples = self
+            .resamplers
+            .as_ref()
+            .map(|(b, g, s)| b.buffered() + g.buffered() + s.buffered())
+            .unwrap_or(0);
+        let samples = self.extractor.buffered_samples() + resampler_samples;
+        let col_bytes = FEATURE_COUNT * 4;
+        let ready_bytes: usize = self
+            .ready
+            .iter()
+            .map(|m| m.window_count() * col_bytes)
+            .sum();
+        samples * 4 + self.partial.len() * col_bytes + ready_bytes
+    }
+
+    /// Ingests one multi-rate chunk (any slice may be empty), enforcing
+    /// the byte budget through the shed policy, and extracts every window
+    /// the chunk completes.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Closed`] after [`StreamSession::close`];
+    /// [`StreamError::OverBudget`] under [`ShedPolicy::RejectNewest`]
+    /// when the chunk does not fit (nothing is ingested — retry after
+    /// draining).
+    pub fn ingest(
+        &mut self,
+        bvp: &[f32],
+        gsr: &[f32],
+        skt: &[f32],
+    ) -> Result<IngestReport, StreamError> {
+        if self.closed {
+            return Err(StreamError::Closed(self.user.clone()));
+        }
+        let chunk_bytes = (bvp.len() + gsr.len() + skt.len()) * 4;
+        let budget = self.config.byte_budget;
+        let mut report = IngestReport::default();
+
+        if budget > 0 && self.resident_bytes() + chunk_bytes > budget {
+            match self.config.shed {
+                ShedPolicy::RejectNewest => {
+                    self.stats.shed_rejected_chunks += 1;
+                    clear_obs::counter_add(clear_obs::counters::STREAM_SHED_REJECTED_CHUNKS, 1);
+                    return Err(StreamError::OverBudget {
+                        resident_bytes: self.resident_bytes(),
+                        chunk_bytes,
+                        budget_bytes: budget,
+                    });
+                }
+                ShedPolicy::DropOldest => {
+                    // Skip pending windows (draining their samples) until
+                    // the chunk fits or nothing more can be reclaimed.
+                    while self.resident_bytes() + chunk_bytes > budget {
+                        let before = self.extractor.buffered_samples();
+                        if before == 0 {
+                            break;
+                        }
+                        self.extractor.skip_window();
+                        self.stats.shed_dropped_windows += 1;
+                        report.shed_windows += 1;
+                        clear_obs::counter_add(
+                            clear_obs::counters::STREAM_SHED_DROPPED_WINDOWS,
+                            1,
+                        );
+                        if self.extractor.buffered_samples() == before {
+                            break;
+                        }
+                    }
+                }
+                // Handled per emitted window below.
+                ShedPolicy::DegradeToSparseHop => {}
+            }
+        }
+
+        clear_obs::counter_add(clear_obs::counters::STREAM_CHUNKS, 1);
+        clear_obs::counter_add(
+            clear_obs::counters::STREAM_SAMPLES,
+            (bvp.len() + gsr.len() + skt.len()) as u64,
+        );
+
+        // Resample device-rate chunks onto the pipeline grid if needed.
+        let owned;
+        let (b, g, s): (&[f32], &[f32], &[f32]) = match &mut self.resamplers {
+            Some((rb, rg, rs)) => {
+                owned = (rb.push(bvp), rg.push(gsr), rs.push(skt));
+                (&owned.0, &owned.1, &owned.2)
+            }
+            None => (bvp, gsr, skt),
+        };
+        self.extractor.extend(b, g, s);
+
+        while let Some(col) = self.extractor.try_emit_one() {
+            self.complete_window(col, &mut report);
+            if self.config.shed == ShedPolicy::DegradeToSparseHop
+                && budget > 0
+                && self.resident_bytes() > budget
+            {
+                self.extractor.skip_window();
+                self.stats.shed_sparse_hop_windows += 1;
+                report.shed_windows += 1;
+                clear_obs::counter_add(clear_obs::counters::STREAM_SHED_SPARSE_HOP_WINDOWS, 1);
+            }
+        }
+
+        let resident = self.resident_bytes();
+        if resident > self.stats.peak_resident_bytes {
+            self.stats.peak_resident_bytes = resident;
+        }
+        Ok(report)
+    }
+
+    fn complete_window(&mut self, col: Vec<f32>, report: &mut IngestReport) {
+        self.partial.push(col);
+        self.stats.windows_completed += 1;
+        report.windows += 1;
+        clear_obs::counter_add(clear_obs::counters::STREAM_WINDOWS, 1);
+        if self.partial.len() == self.config.windows_per_map {
+            let map = FeatureMap::from_columns(&self.partial);
+            self.partial.clear();
+            self.ready.push_back(map);
+            self.stats.maps_completed += 1;
+            report.maps += 1;
+            clear_obs::counter_add(clear_obs::counters::STREAM_MAPS, 1);
+        }
+    }
+
+    /// Removes and returns every completed map (the pump feeds these to
+    /// `ServeEngine::predict_many`).
+    pub fn take_ready(&mut self) -> Vec<FeatureMap> {
+        self.ready.drain(..).collect()
+    }
+
+    /// Closes the session: no further chunks are accepted; maps already
+    /// completed remain drainable. A partially assembled map is discarded
+    /// (it cannot match the deployed bundle's shape).
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_features::FeatureExtractor;
+    use clear_sim::{Cohort, CohortConfig};
+
+    fn first_recording(seed: u64) -> (clear_sim::Recording, SignalConfig) {
+        let config = CohortConfig::small(seed);
+        let cohort = Cohort::generate(&config);
+        (cohort.recordings()[0].clone(), config.signal)
+    }
+
+    #[test]
+    fn session_assembles_maps_matching_batch_extraction() {
+        let (rec, signal) = first_recording(11);
+        let wcfg = WindowConfig::default();
+        // 30 s stimulus → 4 windows; 2-window maps → 2 complete maps.
+        let mut s = StreamSession::new("u", SessionConfig::new(signal, wcfg, 2)).unwrap();
+        let report = s.ingest(&rec.bvp, &rec.gsr, &rec.skt).unwrap();
+        assert_eq!(report.windows, 4);
+        assert_eq!(report.maps, 2);
+        let maps = s.take_ready();
+        assert_eq!(maps.len(), 2);
+
+        let batch = FeatureExtractor::new(signal, wcfg).feature_map(&rec);
+        for (k, map) in maps.iter().enumerate() {
+            for f in 0..map.feature_count() {
+                for w in 0..map.window_count() {
+                    assert_eq!(
+                        map.get(f, w).to_bits(),
+                        batch.get(f, k * 2 + w).to_bits(),
+                        "map {k} feature {f} window {w}"
+                    );
+                }
+            }
+        }
+        assert_eq!(s.pending_columns(), 0);
+        assert_eq!(s.stats().maps_completed, 2);
+    }
+
+    #[test]
+    fn reject_newest_returns_typed_over_budget_and_ingests_nothing() {
+        let (rec, signal) = first_recording(3);
+        let cfg = SessionConfig::new(signal, WindowConfig::default(), 2).with_budget(1024);
+        let mut s = StreamSession::new("u", cfg).unwrap();
+        let err = s.ingest(&rec.bvp, &rec.gsr, &rec.skt).unwrap_err();
+        match err {
+            StreamError::OverBudget {
+                chunk_bytes,
+                budget_bytes,
+                ..
+            } => {
+                assert_eq!(budget_bytes, 1024);
+                assert_eq!(
+                    chunk_bytes,
+                    (rec.bvp.len() + rec.gsr.len() + rec.skt.len()) * 4
+                );
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert_eq!(s.resident_bytes(), 0, "rejected chunk must not buffer");
+        assert_eq!(s.stats().shed_rejected_chunks, 1);
+        // A chunk that fits still works afterwards.
+        assert!(s.ingest(&rec.bvp[..64], &rec.gsr[..8], &rec.skt[..4]).is_ok());
+    }
+
+    #[test]
+    fn drop_oldest_sheds_windows_and_never_rejects() {
+        let (rec, signal) = first_recording(9);
+        let cfg = SessionConfig::new(signal, WindowConfig::default(), 2);
+        let budget = cfg.min_resident_bytes();
+        let mut s = StreamSession::new("u", cfg.with_budget(budget).with_shed(ShedPolicy::DropOldest))
+            .unwrap();
+        // Stall SKT entirely: no window can ever complete, so without
+        // shedding the buffers would grow unboundedly.
+        let mut shed = 0usize;
+        for chunk in rec.bvp.chunks(256) {
+            let r = s.ingest(chunk, &[], &[]).unwrap();
+            shed += r.shed_windows;
+        }
+        for chunk in rec.gsr.chunks(32) {
+            let r = s.ingest(&[], chunk, &[]).unwrap();
+            shed += r.shed_windows;
+        }
+        assert!(shed > 0, "expected dropped windows");
+        assert_eq!(s.stats().shed_dropped_windows as usize, shed);
+        assert!(
+            s.resident_bytes() <= budget + 256 * 4,
+            "resident {} vs budget {}",
+            s.resident_bytes(),
+            budget
+        );
+    }
+
+    #[test]
+    fn sparse_hop_halves_resolution_while_over_budget() {
+        let (rec, signal) = first_recording(15);
+        let cfg = SessionConfig::new(signal, WindowConfig::default(), 1);
+        // A budget below one ready map keeps the session permanently over
+        // budget once maps queue up (nothing drains them here), so every
+        // emitted window is followed by a skipped one.
+        let budget = 600 * 4;
+        let mut s = StreamSession::new(
+            "u",
+            cfg.with_budget(budget).with_shed(ShedPolicy::DegradeToSparseHop),
+        )
+        .unwrap();
+        let r = s.ingest(&rec.bvp, &rec.gsr, &rec.skt).unwrap();
+        // 4 possible windows: emitted 0, skipped 1, emitted 2, skipped 3.
+        assert_eq!(r.windows, 2);
+        assert_eq!(r.shed_windows, 2);
+        assert_eq!(s.stats().shed_sparse_hop_windows, 2);
+    }
+
+    #[test]
+    fn closed_session_rejects_ingest_but_keeps_ready_maps() {
+        let (rec, signal) = first_recording(27);
+        let mut s =
+            StreamSession::new("u", SessionConfig::new(signal, WindowConfig::default(), 2))
+                .unwrap();
+        s.ingest(&rec.bvp, &rec.gsr, &rec.skt).unwrap();
+        s.close();
+        assert!(matches!(
+            s.ingest(&[1.0], &[], &[]),
+            Err(StreamError::Closed(_))
+        ));
+        assert_eq!(s.take_ready().len(), 2);
+    }
+
+    #[test]
+    fn resampled_ingest_matches_pipeline_rate_ingest() {
+        let (rec, signal) = first_recording(31);
+        // Device records BVP at half rate and GSR at double rate; the
+        // pipeline-rate reference signal is the resample_grid output.
+        let device = SignalConfig {
+            fs_bvp: 32.0,
+            fs_gsr: 16.0,
+            ..signal
+        };
+        // Build device-rate traces by downsampling the pipeline signal
+        // (contents are irrelevant — identity is what matters).
+        let dev_bvp: Vec<f32> = rec.bvp.iter().step_by(2).copied().collect();
+        let dev_gsr: Vec<f32> = rec
+            .gsr
+            .iter()
+            .flat_map(|&v| [v, v + 0.125])
+            .collect();
+        let ref_bvp =
+            clear_dsp::resample::resample_grid(&dev_bvp, device.fs_bvp, signal.fs_bvp).unwrap();
+        let ref_gsr =
+            clear_dsp::resample::resample_grid(&dev_gsr, device.fs_gsr, signal.fs_gsr).unwrap();
+
+        let wcfg = WindowConfig::default();
+        let mut direct =
+            StreamSession::new("a", SessionConfig::new(signal, wcfg, 1)).unwrap();
+        direct.ingest(&ref_bvp, &ref_gsr, &rec.skt).unwrap();
+
+        let mut resampled = StreamSession::new(
+            "b",
+            SessionConfig::new(signal, wcfg, 1).with_ingest_rates(device),
+        )
+        .unwrap();
+        // Feed the device stream in chunks to exercise the streaming path.
+        let mut ob = 0;
+        let mut og = 0;
+        let mut os = 0;
+        while ob < dev_bvp.len() || og < dev_gsr.len() || os < rec.skt.len() {
+            let nb = (ob + 100).min(dev_bvp.len());
+            let ng = (og + 37).min(dev_gsr.len());
+            let ns = (os + 11).min(rec.skt.len());
+            resampled
+                .ingest(&dev_bvp[ob..nb], &dev_gsr[og..ng], &rec.skt[os..ns])
+                .unwrap();
+            ob = nb;
+            og = ng;
+            os = ns;
+        }
+        let a = direct.take_ready();
+        let b = resampled.take_ready();
+        assert!(!b.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (ma, mb) in a.iter().zip(&b) {
+            for f in 0..ma.feature_count() {
+                for w in 0..ma.window_count() {
+                    assert_eq!(ma.get(f, w).to_bits(), mb.get(f, w).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let signal = SignalConfig::default();
+        assert!(matches!(
+            StreamSession::new("u", SessionConfig::new(signal, WindowConfig::default(), 0)),
+            Err(StreamError::BadConfig(_))
+        ));
+        let bad_rates = SignalConfig {
+            fs_bvp: -1.0,
+            ..signal
+        };
+        assert!(matches!(
+            StreamSession::new(
+                "u",
+                SessionConfig::new(signal, WindowConfig::default(), 1).with_ingest_rates(bad_rates)
+            ),
+            Err(StreamError::BadConfig(_))
+        ));
+    }
+}

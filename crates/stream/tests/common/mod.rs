@@ -1,0 +1,144 @@
+//! Shared fixture for the streaming suites: one cloud training run
+//! (quick profile) whose bundle every test reuses, plus raw-stream and
+//! prediction-comparison helpers.
+
+#![allow(dead_code)] // each test binary uses a different helper subset
+
+use clear_core::config::ClearConfig;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::{deploy, ClearBundle, Prediction, ServingPolicy};
+use clear_features::{FeatureExtractor, FeatureMap};
+use clear_sim::Recording;
+use std::sync::OnceLock;
+
+pub struct Fixture {
+    pub config: ClearConfig,
+    pub data: PreparedCohort,
+    pub bundle: ClearBundle,
+}
+
+/// The shared cloud artifact: trained once per test binary on all but
+/// the last subject of the quick cohort.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut config = ClearConfig::quick(17);
+        // One-epoch fine-tuning keeps personalization cheap; these suites
+        // compare behavior, not accuracy.
+        config.finetune.epochs = 1;
+        let data = PreparedCohort::prepare(&config);
+        let subjects = data.subject_ids();
+        let (_, initial) = subjects.split_last().expect("cohort is non-empty");
+        let dep = deploy(&data, initial, &config);
+        let bundle = dep.bundle().clone();
+        Fixture {
+            config,
+            data,
+            bundle,
+        }
+    })
+}
+
+/// A policy that never abstains on confidence, so clean maps receive
+/// deterministic labels.
+pub fn lenient() -> ServingPolicy {
+    ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    }
+}
+
+/// Feature maps `[lo, hi)` of the subject at `rank` (modulo cohort
+/// size), clamped to the subject's map count.
+pub fn maps_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<FeatureMap> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| f.data.maps()[i].clone())
+        .collect()
+}
+
+/// Recordings `[lo, hi)` of the subject at `rank`, cloned for mutation
+/// (artifact injection).
+pub fn recordings_of(f: &Fixture, rank: usize, lo: usize, hi: usize) -> Vec<Recording> {
+    let subjects = f.data.subject_ids();
+    let subject = subjects[rank % subjects.len()];
+    let indices = f.data.indices_of(subject);
+    let lo = lo.min(indices.len());
+    let hi = hi.min(indices.len());
+    indices[lo..hi]
+        .iter()
+        .map(|&i| f.data.cohort().recordings()[i].clone())
+        .collect()
+}
+
+/// Concatenates recordings into one continuous raw stream (the signal a
+/// live session would see).
+pub fn concat_stream(recordings: &[Recording]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut bvp = Vec::new();
+    let mut gsr = Vec::new();
+    let mut skt = Vec::new();
+    for rec in recordings {
+        bvp.extend_from_slice(&rec.bvp);
+        gsr.extend_from_slice(&rec.gsr);
+        skt.extend_from_slice(&rec.skt);
+    }
+    (bvp, gsr, skt)
+}
+
+/// The precomputed-feature-map path for a raw stream: batch-extract the
+/// concatenated signal and chop the columns into consecutive
+/// `windows_per_map`-window maps (trailing partial windows dropped) —
+/// exactly the maps a `StreamSession` assembles.
+pub fn batch_maps_of_stream(
+    f: &Fixture,
+    bvp: &[f32],
+    gsr: &[f32],
+    skt: &[f32],
+) -> Vec<FeatureMap> {
+    let template = &f.data.cohort().recordings()[0];
+    let rec = Recording {
+        bvp: bvp.to_vec(),
+        gsr: gsr.to_vec(),
+        skt: skt.to_vec(),
+        ..template.clone()
+    };
+    let big = FeatureExtractor::new(f.config.cohort.signal, f.config.window).feature_map(&rec);
+    let wpm = f.bundle.windows;
+    let mut maps = Vec::new();
+    let mut w = 0;
+    while w + wpm <= big.window_count() {
+        let columns: Vec<Vec<f32>> = (w..w + wpm)
+            .map(|k| (0..big.feature_count()).map(|feat| big.get(feat, k)).collect())
+            .collect();
+        maps.push(FeatureMap::from_columns(&columns));
+        w += wpm;
+    }
+    maps
+}
+
+/// Bit-exact comparable form of a [`Prediction`] (f32 fields compared by
+/// bit pattern; NaN-safe).
+pub fn pred_key(p: &Prediction) -> (String, u32, u32, String, String) {
+    (
+        format!("{:?}", p.emotion),
+        p.confidence.to_bits(),
+        p.quality.to_bits(),
+        format!("{:?}", p.served_by),
+        format!("{:?}", p.imputed),
+    )
+}
+
+/// Keys of a whole per-user result, error included.
+pub fn result_key(
+    result: &Result<Vec<Prediction>, clear_serve::ServeError>,
+) -> Result<Vec<(String, u32, u32, String, String)>, String> {
+    match result {
+        Ok(preds) => Ok(preds.iter().map(pred_key).collect()),
+        Err(e) => Err(e.to_string()),
+    }
+}

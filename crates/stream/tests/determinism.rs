@@ -1,0 +1,180 @@
+//! Determinism: N concurrent sessions pumped at 2/4/8 worker threads
+//! produce predictions bit-identical to a single-threaded replay, with an
+//! obs registry installed throughout.
+
+mod common;
+
+use clear_obs::{self as obs, Registry};
+use clear_serve::{EngineConfig, ServeEngine};
+use clear_sim::{chunk_schedule, ChunkSizes, SignalConfig};
+use clear_stream::{ChunkIngest, PumpConfig, SessionConfig, StreamPump};
+use common::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const USERS: usize = 12;
+
+struct UserStream {
+    user: String,
+    bvp: Vec<f32>,
+    gsr: Vec<f32>,
+    skt: Vec<f32>,
+    plan: Vec<ChunkSizes>,
+}
+
+fn build_streams(f: &Fixture) -> Vec<UserStream> {
+    let signal = f.config.cohort.signal;
+    (0..USERS)
+        .map(|i| {
+            let recs = recordings_of(f, i, 2, 5);
+            let (bvp, gsr, skt) = concat_stream(&recs);
+            let total = SignalConfig {
+                stimulus_secs: bvp.len() as f32 / signal.fs_bvp,
+                ..signal
+            };
+            UserStream {
+                user: format!("user-{i:02}"),
+                plan: chunk_schedule(&total, 0.25, 2.0, 1000 + i as u64),
+                bvp,
+                gsr,
+                skt,
+            }
+        })
+        .collect()
+}
+
+/// One full run at `threads` workers: fresh engine + pump, all users
+/// onboarded, every tick's chunks ingested via `ingest_many`, drains
+/// every other tick. Returns per-user prediction keys, per-user session
+/// stats, and the stream counter totals.
+#[allow(clippy::type_complexity)]
+fn run(
+    f: &Fixture,
+    streams: &[UserStream],
+    threads: usize,
+) -> (
+    BTreeMap<String, Vec<(String, u32, u32, String, String)>>,
+    BTreeMap<String, (u64, u64)>,
+    BTreeMap<&'static str, u64>,
+) {
+    let registry = Arc::new(Registry::new());
+    obs::install(Arc::clone(&registry));
+
+    let engine = Arc::new(ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig::default(),
+    ));
+    let pump = StreamPump::new(
+        engine,
+        PumpConfig::new(SessionConfig::new(
+            f.config.cohort.signal,
+            f.config.window,
+            f.bundle.windows,
+        )),
+    );
+    for (i, s) in streams.iter().enumerate() {
+        pump.engine()
+            .onboard(&s.user, &maps_of(f, i, 0, 2))
+            .expect("onboard");
+        pump.open(&s.user).expect("open");
+    }
+
+    let mut offsets = vec![(0usize, 0usize, 0usize); streams.len()];
+    let max_ticks = streams.iter().map(|s| s.plan.len()).max().unwrap();
+    let mut predictions: BTreeMap<String, Vec<_>> = BTreeMap::new();
+    for tick in 0..max_ticks {
+        let mut batch = Vec::new();
+        for (i, s) in streams.iter().enumerate() {
+            if tick >= s.plan.len() {
+                continue;
+            }
+            let c = s.plan[tick];
+            let (ob, og, os) = offsets[i];
+            batch.push(ChunkIngest {
+                user: &s.user,
+                bvp: &s.bvp[ob..ob + c.bvp],
+                gsr: &s.gsr[og..og + c.gsr],
+                skt: &s.skt[os..os + c.skt],
+            });
+            offsets[i] = (ob + c.bvp, og + c.gsr, os + c.skt);
+        }
+        for result in pump.ingest_many(&batch, threads) {
+            result.expect("ingest failed");
+        }
+        if tick % 2 == 1 {
+            for drain in pump.drain() {
+                let preds = drain.result.expect("serving error");
+                predictions
+                    .entry(drain.user)
+                    .or_default()
+                    .extend(preds.iter().map(pred_key));
+            }
+        }
+    }
+    for drain in pump.drain() {
+        let preds = drain.result.expect("serving error");
+        predictions
+            .entry(drain.user)
+            .or_default()
+            .extend(preds.iter().map(pred_key));
+    }
+
+    let stats: BTreeMap<String, (u64, u64)> = streams
+        .iter()
+        .map(|s| {
+            let st = pump.stats(&s.user).expect("session stats");
+            (s.user.clone(), (st.windows_completed, st.maps_completed))
+        })
+        .collect();
+
+    let snap = registry.snapshot();
+    let counters: BTreeMap<&'static str, u64> = [
+        obs::counters::STREAM_CHUNKS,
+        obs::counters::STREAM_SAMPLES,
+        obs::counters::STREAM_WINDOWS,
+        obs::counters::STREAM_MAPS,
+        obs::counters::STREAM_SESSIONS_OPENED,
+    ]
+    .iter()
+    .map(|&name| (name, snap.counters.get(name).copied().unwrap_or(0)))
+    .collect();
+    obs::uninstall();
+    (predictions, stats, counters)
+}
+
+#[test]
+fn parallel_pumping_matches_single_threaded_replay_bit_for_bit() {
+    let f = fixture();
+    let streams = build_streams(f);
+
+    let (base_preds, base_stats, base_counters) = run(f, &streams, 1);
+    // Sanity on the baseline itself: every user produced maps and the
+    // instrumentation saw them.
+    assert_eq!(base_preds.len(), USERS);
+    for (user, preds) in &base_preds {
+        assert!(
+            preds.len() >= f.bundle.windows,
+            "{user} served only {} windows",
+            preds.len()
+        );
+    }
+    assert_eq!(base_counters[obs::counters::STREAM_SESSIONS_OPENED], USERS as u64);
+    assert!(base_counters[obs::counters::STREAM_MAPS] >= USERS as u64);
+
+    for threads in [2, 4, 8] {
+        let (preds, stats, counters) = run(f, &streams, threads);
+        assert_eq!(
+            preds, base_preds,
+            "{threads}-thread predictions diverged from single-threaded replay"
+        );
+        assert_eq!(
+            stats, base_stats,
+            "{threads}-thread session stats diverged"
+        );
+        assert_eq!(
+            counters, base_counters,
+            "{threads}-thread stream counters diverged"
+        );
+    }
+}

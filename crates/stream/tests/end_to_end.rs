@@ -1,0 +1,205 @@
+//! End-to-end: raw-signal sessions through `clear-stream` yield
+//! predictions identical to the precomputed-feature-map path — including
+//! abstain / quarantine / imputation outcomes on injected flatline and
+//! channel-loss artifacts.
+
+mod common;
+
+use clear_serve::{EngineConfig, ServeEngine, ServeRequest};
+use clear_sim::artifacts::{corrupt, ArtifactConfig};
+use clear_sim::{chunk_schedule, SignalConfig};
+use clear_stream::{PumpConfig, SessionConfig, StreamPump};
+use common::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn engine(f: &Fixture) -> Arc<ServeEngine> {
+    Arc::new(ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig::default(),
+    ))
+}
+
+fn session_config(f: &Fixture) -> SessionConfig {
+    SessionConfig::new(f.config.cohort.signal, f.config.window, f.bundle.windows)
+}
+
+/// Streams each user's raw signal through a pump (seeded jittered chunks,
+/// interleaved across users, drained every few pushes) and returns the
+/// concatenated per-user prediction keys.
+fn stream_predictions(
+    f: &Fixture,
+    engine: Arc<ServeEngine>,
+    streams: &BTreeMap<String, (Vec<f32>, Vec<f32>, Vec<f32>)>,
+) -> BTreeMap<String, Vec<(String, u32, u32, String, String)>> {
+    let pump = StreamPump::new(engine, PumpConfig::new(session_config(f)));
+    for user in streams.keys() {
+        pump.open(user).expect("open session");
+    }
+    let signal = f.config.cohort.signal;
+    let mut plans: BTreeMap<&str, _> = BTreeMap::new();
+    for (i, (user, (bvp, _, _))) in streams.iter().enumerate() {
+        let total = SignalConfig {
+            stimulus_secs: bvp.len() as f32 / signal.fs_bvp,
+            ..signal
+        };
+        plans.insert(user.as_str(), (chunk_schedule(&total, 0.5, 3.0, i as u64), 0usize, 0usize, 0usize));
+    }
+    let mut out: BTreeMap<String, Vec<_>> = BTreeMap::new();
+    let max_ticks = plans.values().map(|(p, _, _, _)| p.len()).max().unwrap();
+    for tick in 0..max_ticks {
+        for (user, (bvp, gsr, skt)) in streams.iter() {
+            let (plan, ob, og, os) = plans.get_mut(user.as_str()).unwrap();
+            if tick >= plan.len() {
+                continue;
+            }
+            let c = plan[tick];
+            let nb = (*ob + c.bvp).min(bvp.len());
+            let ng = (*og + c.gsr).min(gsr.len());
+            let ns = (*os + c.skt).min(skt.len());
+            pump.ingest(user, &bvp[*ob..nb], &gsr[*og..ng], &skt[*os..ns])
+                .expect("ingest");
+            *ob = nb;
+            *og = ng;
+            *os = ns;
+        }
+        if tick % 3 == 2 {
+            for drain in pump.drain() {
+                let preds = drain.result.expect("serving error during drain");
+                out.entry(drain.user)
+                    .or_default()
+                    .extend(preds.iter().map(pred_key));
+            }
+        }
+    }
+    for drain in pump.drain() {
+        let preds = drain.result.expect("serving error during final drain");
+        out.entry(drain.user)
+            .or_default()
+            .extend(preds.iter().map(pred_key));
+    }
+    out
+}
+
+/// The reference path: batch-extract each stream, chop into bundle-shaped
+/// maps, serve through `predict_many` directly.
+fn precomputed_predictions(
+    f: &Fixture,
+    engine: Arc<ServeEngine>,
+    streams: &BTreeMap<String, (Vec<f32>, Vec<f32>, Vec<f32>)>,
+) -> BTreeMap<String, Vec<(String, u32, u32, String, String)>> {
+    let maps: BTreeMap<&str, Vec<clear_features::FeatureMap>> = streams
+        .iter()
+        .map(|(user, (bvp, gsr, skt))| {
+            (user.as_str(), batch_maps_of_stream(f, bvp, gsr, skt))
+        })
+        .collect();
+    let requests: Vec<ServeRequest<'_>> = maps
+        .iter()
+        .map(|(user, maps)| ServeRequest {
+            user,
+            maps: maps.as_slice(),
+        })
+        .collect();
+    let results = engine.predict_many(&requests);
+    maps.keys()
+        .zip(results)
+        .map(|(user, result)| {
+            (
+                user.to_string(),
+                result
+                    .expect("serving error on precomputed path")
+                    .iter()
+                    .map(pred_key)
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn clean_streams_match_the_precomputed_map_path_exactly() {
+    let f = fixture();
+    let mut streams = BTreeMap::new();
+    for rank in 0..4 {
+        let recs = recordings_of(f, rank, 2, 6);
+        streams.insert(format!("user-{rank}"), concat_stream(&recs));
+    }
+
+    let live_engine = engine(f);
+    let pre_engine = engine(f);
+    for user in streams.keys() {
+        let rank: usize = user.strip_prefix("user-").unwrap().parse().unwrap();
+        live_engine
+            .onboard(user, &maps_of(f, rank, 0, 2))
+            .expect("onboard live");
+        pre_engine
+            .onboard(user, &maps_of(f, rank, 0, 2))
+            .expect("onboard pre");
+    }
+
+    let live = stream_predictions(f, Arc::clone(&live_engine), &streams);
+    let pre = precomputed_predictions(f, pre_engine, &streams);
+
+    assert_eq!(live.len(), streams.len(), "every user produced predictions");
+    assert_eq!(live, pre, "streamed predictions diverged from batch path");
+    // Sanity: each user served 4 recordings' worth of windows — at least
+    // one full map each (42 s recordings, 6-window maps).
+    for (user, preds) in &live {
+        assert!(
+            preds.len() >= f.bundle.windows,
+            "{user} served only {} windows",
+            preds.len()
+        );
+    }
+}
+
+#[test]
+fn corrupted_streams_reproduce_gated_outcomes_identically() {
+    let f = fixture();
+    // Severe artifacts: flatlines, dropouts and whole-channel loss drive
+    // the quarantine / imputation / abstention gates.
+    let signal = f.config.cohort.signal;
+    let mut streams = BTreeMap::new();
+    for rank in 0..3 {
+        let art = ArtifactConfig {
+            channel_loss_probability: 0.5,
+            ..ArtifactConfig::severity(0.9, 100 + rank as u64)
+        };
+        let recs: Vec<_> = recordings_of(f, rank, 2, 5)
+            .iter()
+            .map(|r| corrupt(r, signal.fs_bvp, signal.fs_gsr, signal.fs_skt, &art))
+            .collect();
+        streams.insert(format!("user-{rank}"), concat_stream(&recs));
+    }
+
+    let live_engine = engine(f);
+    let pre_engine = engine(f);
+    for user in streams.keys() {
+        let rank: usize = user.strip_prefix("user-").unwrap().parse().unwrap();
+        live_engine
+            .onboard(user, &maps_of(f, rank, 0, 2))
+            .expect("onboard live");
+        pre_engine
+            .onboard(user, &maps_of(f, rank, 0, 2))
+            .expect("onboard pre");
+    }
+
+    let live = stream_predictions(f, Arc::clone(&live_engine), &streams);
+    let pre = precomputed_predictions(f, pre_engine, &streams);
+    assert_eq!(live, pre, "gated outcomes diverged on corrupted streams");
+
+    // The artifacts actually exercised the degraded paths: somewhere an
+    // abstention (emotion None) or an imputed modality appeared.
+    let degraded = live.values().flatten().any(|(emotion, _, _, _, imputed)| {
+        emotion == "None" || imputed != "[]"
+    });
+    assert!(degraded, "severity-0.9 artifacts produced no gated outcome");
+    // And both engines agree on how many windows were quarantined.
+    assert_eq!(
+        live_engine.quarantined_count(),
+        pre_engine.quarantined_count(),
+        "quarantine accounting diverged"
+    );
+}

@@ -1,0 +1,175 @@
+//! Property suite: arbitrary chunk-size / modality-interleaving schedules
+//! into a [`StreamSession`] produce feature columns bit-identical to the
+//! batch `FeatureExtractor` over the concatenated signal.
+
+use clear_features::{FeatureExtractor, FeatureMap, WindowConfig};
+use clear_sim::{chunk_schedule, Cohort, CohortConfig, Recording, SignalConfig};
+use clear_stream::{SessionConfig, StreamSession};
+use proptest::prelude::*;
+
+/// A three-recording continuous stream from the small simulated cohort.
+fn stream_signal(seed: u64) -> (SignalConfig, Vec<f32>, Vec<f32>, Vec<f32>, Recording) {
+    let config = CohortConfig::small(seed);
+    let cohort = Cohort::generate(&config);
+    let recs = &cohort.recordings()[..3];
+    let mut bvp = Vec::new();
+    let mut gsr = Vec::new();
+    let mut skt = Vec::new();
+    for r in recs {
+        bvp.extend_from_slice(&r.bvp);
+        gsr.extend_from_slice(&r.gsr);
+        skt.extend_from_slice(&r.skt);
+    }
+    (config.signal, bvp, gsr, skt, recs[0].clone())
+}
+
+/// Batch reference: maps chopped from the extractor run over the whole
+/// stream at once.
+fn batch_maps(
+    signal: SignalConfig,
+    window: WindowConfig,
+    wpm: usize,
+    bvp: &[f32],
+    gsr: &[f32],
+    skt: &[f32],
+    template: &Recording,
+) -> Vec<FeatureMap> {
+    let rec = Recording {
+        bvp: bvp.to_vec(),
+        gsr: gsr.to_vec(),
+        skt: skt.to_vec(),
+        ..template.clone()
+    };
+    let big = FeatureExtractor::new(signal, window).feature_map(&rec);
+    let mut maps = Vec::new();
+    let mut w = 0;
+    while w + wpm <= big.window_count() {
+        let columns: Vec<Vec<f32>> = (w..w + wpm)
+            .map(|k| (0..big.feature_count()).map(|f| big.get(f, k)).collect())
+            .collect();
+        maps.push(FeatureMap::from_columns(&columns));
+        w += wpm;
+    }
+    maps
+}
+
+fn assert_maps_bit_identical(live: &[FeatureMap], batch: &[FeatureMap]) {
+    assert_eq!(live.len(), batch.len(), "map count diverged");
+    for (k, (a, b)) in live.iter().zip(batch).enumerate() {
+        assert_eq!(a.window_count(), b.window_count());
+        for f in 0..a.feature_count() {
+            for w in 0..a.window_count() {
+                assert_eq!(
+                    a.get(f, w).to_bits(),
+                    b.get(f, w).to_bits(),
+                    "map {k} feature {f} window {w} diverged"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any seeded jittered chunk schedule — modalities delivered in
+    /// irregular, independently drawn chunks — reassembles into maps
+    /// bit-identical to the batch path.
+    #[test]
+    fn any_chunk_schedule_is_bit_identical_to_batch(
+        cohort_seed in 0u64..1000,
+        schedule_seed in proptest::num::u64::ANY,
+        min_secs in 0.05f32..1.0,
+        span in 0.1f32..6.0,
+        wpm in 1usize..5,
+    ) {
+        let (signal, bvp, gsr, skt, template) = stream_signal(cohort_seed);
+        let window = WindowConfig::default();
+        let batch = batch_maps(signal, window, wpm, &bvp, &gsr, &skt, &template);
+
+        // A schedule covering the whole 3-recording stream.
+        let total = SignalConfig {
+            stimulus_secs: signal.stimulus_secs * 3.0,
+            ..signal
+        };
+        let plan = chunk_schedule(&total, min_secs, min_secs + span, schedule_seed);
+        prop_assert_eq!(plan.iter().map(|c| c.bvp).sum::<usize>(), bvp.len());
+        prop_assert_eq!(plan.iter().map(|c| c.gsr).sum::<usize>(), gsr.len());
+        prop_assert_eq!(plan.iter().map(|c| c.skt).sum::<usize>(), skt.len());
+
+        let mut session =
+            StreamSession::new("prop", SessionConfig::new(signal, window, wpm)).unwrap();
+        let (mut ob, mut og, mut os) = (0usize, 0usize, 0usize);
+        let mut live = Vec::new();
+        for chunk in &plan {
+            session
+                .ingest(
+                    &bvp[ob..ob + chunk.bvp],
+                    &gsr[og..og + chunk.gsr],
+                    &skt[os..os + chunk.skt],
+                )
+                .unwrap();
+            ob += chunk.bvp;
+            og += chunk.gsr;
+            os += chunk.skt;
+            live.extend(session.take_ready());
+        }
+        assert_maps_bit_identical(&live, &batch);
+
+        // The session's buffers stayed bounded the whole way: resident
+        // bytes cannot exceed one window + hop of samples plus the
+        // largest chunk plus one in-flight map (ready maps were drained
+        // every push).
+        let span_samples = ((window.window_secs + window.step_secs)
+            * (signal.fs_bvp + signal.fs_gsr + signal.fs_skt))
+            .ceil() as usize;
+        let max_chunk = plan
+            .iter()
+            .map(|c| c.bvp + c.gsr + c.skt)
+            .max()
+            .unwrap_or(0);
+        let bound = (span_samples + max_chunk + 3) * 4
+            + 2 * wpm * clear_features::FEATURE_COUNT * 4;
+        prop_assert!(
+            session.resident_bytes() <= bound,
+            "resident {} exceeds bound {}",
+            session.resident_bytes(),
+            bound
+        );
+    }
+
+    /// Degenerate schedules — one-sample chunks, one modality at a time —
+    /// still match the batch path bit-for-bit.
+    #[test]
+    fn single_modality_interleavings_are_bit_identical(
+        cohort_seed in 0u64..1000,
+        order in 0usize..6,
+    ) {
+        let (signal, bvp, gsr, skt, template) = stream_signal(cohort_seed);
+        let window = WindowConfig::default();
+        let wpm = 4;
+        let batch = batch_maps(signal, window, wpm, &bvp, &gsr, &skt, &template);
+
+        // Deliver each modality completely before the next, in one of the
+        // six possible orders: the extreme of modality skew.
+        let mut session =
+            StreamSession::new("prop", SessionConfig::new(signal, window, wpm)).unwrap();
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let mut live = Vec::new();
+        for &m in &perms[order] {
+            let (b, g, s): (&[f32], &[f32], &[f32]) = match m {
+                0 => (&bvp, &[], &[]),
+                1 => (&[], &gsr, &[]),
+                _ => (&[], &[], &skt),
+            };
+            session.ingest(b, g, s).unwrap();
+            live.extend(session.take_ready());
+        }
+        assert_maps_bit_identical(&live, &batch);
+    }
+}

@@ -1,0 +1,127 @@
+//! Scale: 10,000 concurrent streaming sessions with bounded per-session
+//! buffer memory, pumped through one engine.
+//!
+//! Ignored by default (it is a release-mode soak — the CI `stream` job
+//! runs it with `--ignored`).
+
+mod common;
+
+use clear_edge::Device;
+use clear_serve::{EngineConfig, ServeEngine};
+use clear_sim::{chunk_schedule, ChunkSizes, SignalConfig};
+use clear_stream::{ChunkIngest, PumpConfig, SessionConfig, StreamPump};
+use common::*;
+use std::sync::Arc;
+
+const SESSIONS: usize = 10_000;
+const BASE_STREAMS: usize = 8;
+const THREADS: usize = 8;
+
+#[test]
+#[ignore = "10k-session soak; run in release via the CI stream job"]
+fn ten_thousand_sessions_stream_with_bounded_buffers() {
+    let f = fixture();
+    let signal = f.config.cohort.signal;
+
+    // Eight base signals shared across users (10k distinct copies would
+    // only stress the test harness's memory, not the sessions').
+    let base: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)> = (0..BASE_STREAMS)
+        .map(|rank| concat_stream(&recordings_of(f, rank, 2, 3)))
+        .collect();
+    let total = SignalConfig {
+        stimulus_secs: base[0].0.len() as f32 / signal.fs_bvp,
+        ..signal
+    };
+    let plans: Vec<Vec<ChunkSizes>> = (0..SESSIONS)
+        .map(|j| chunk_schedule(&total, 2.0, 5.0, j as u64))
+        .collect();
+
+    // Budget each session from the edge memory model: the GPU activation
+    // budget split 10,000 ways, floored at the minimum viable footprint.
+    let session = SessionConfig::new(signal, f.config.window, f.bundle.windows)
+        .sized_for_device(Device::Gpu, SESSIONS);
+    let budget = session.byte_budget;
+    assert!(budget >= session.min_resident_bytes());
+
+    let engine = Arc::new(ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig::default(),
+    ));
+    let pump = StreamPump::new(engine, PumpConfig::new(session));
+    let users: Vec<String> = (0..SESSIONS).map(|j| format!("user-{j:05}")).collect();
+    for (j, user) in users.iter().enumerate() {
+        pump.engine()
+            .onboard(user, &maps_of(f, j % BASE_STREAMS, 0, 2))
+            .expect("onboard");
+        pump.open(user).expect("open");
+    }
+    assert_eq!(pump.session_count(), SESSIONS);
+
+    let max_ticks = plans.iter().map(Vec::len).max().unwrap();
+    let mut offsets = vec![(0usize, 0usize, 0usize); SESSIONS];
+    let mut maps_served = 0usize;
+    let mut predictions = 0usize;
+    for tick in 0..max_ticks {
+        let mut batch = Vec::with_capacity(SESSIONS);
+        for j in 0..SESSIONS {
+            if tick >= plans[j].len() {
+                continue;
+            }
+            let (bvp, gsr, skt) = &base[j % BASE_STREAMS];
+            let c = plans[j][tick];
+            let (ob, og, os) = offsets[j];
+            batch.push(ChunkIngest {
+                user: &users[j],
+                bvp: &bvp[ob..ob + c.bvp],
+                gsr: &gsr[og..og + c.gsr],
+                skt: &skt[os..os + c.skt],
+            });
+            offsets[j] = (ob + c.bvp, og + c.gsr, os + c.skt);
+        }
+        for result in pump.ingest_many(&batch, THREADS) {
+            result.expect("no chunk may be shed at this budget");
+        }
+        // Every session stayed under its byte budget — the bound the edge
+        // memory model promised.
+        assert!(
+            pump.peak_session_bytes() <= budget,
+            "peak session {} B exceeds budget {} B at tick {tick}",
+            pump.peak_session_bytes(),
+            budget
+        );
+        if tick % 4 == 3 {
+            for drain in pump.drain() {
+                maps_served += drain.maps;
+                predictions += drain.result.expect("serving error").len();
+            }
+        }
+    }
+    for drain in pump.drain() {
+        maps_served += drain.maps;
+        predictions += drain.result.expect("serving error").len();
+    }
+
+    // One 42 s recording per user → exactly one full map each.
+    assert_eq!(maps_served, SESSIONS, "every session must complete its map");
+    assert_eq!(predictions, SESSIONS * f.bundle.windows);
+
+    // The peak is not just under the sliced budget but within a small
+    // constant of the theoretical minimum: buffers really drain.
+    let peak = pump.peak_session_bytes();
+    assert!(
+        peak <= 4 * session.min_resident_bytes(),
+        "peak {} B vs min viable {} B — buffers are not draining",
+        peak,
+        session.min_resident_bytes()
+    );
+
+    // Nothing was shed and every session is still live.
+    for user in users.iter().step_by(997) {
+        let stats = pump.stats(user).expect("stats");
+        assert_eq!(stats.shed_rejected_chunks, 0);
+        assert_eq!(stats.shed_dropped_windows, 0);
+        assert_eq!(stats.shed_sparse_hop_windows, 0);
+    }
+    assert_eq!(pump.session_count(), SESSIONS);
+}

@@ -22,7 +22,11 @@
 //!   `serve`'s `ServeEngine::recover` (see `DESIGN.md` §12),
 //! * [`cluster`] — partitioned, replicated serving: consistent-hash
 //!   placement, WAL-shipped followers, failover and a deterministic
-//!   fault-injected network simulator (see `DESIGN.md` §13).
+//!   fault-injected network simulator (see `DESIGN.md` §13),
+//! * [`stream`] — streaming ingestion sessions: raw multi-rate signal
+//!   chunks in, gated predictions out through the serving engine,
+//!   bit-identical to the batch feature path, with edge-budgeted buffers
+//!   and typed shed policies (see `DESIGN.md` §15).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -40,3 +44,4 @@ pub use clear_nn as nn;
 pub use clear_obs as obs;
 pub use clear_serve as serve;
 pub use clear_sim as sim;
+pub use clear_stream as stream;

@@ -152,9 +152,56 @@ fn serving_flow_populates_counters_and_stage_histograms() {
         "promoted follower serves after the crash"
     );
 
+    // Streaming ingestion: raw signal chunks through a StreamPump land in
+    // the stream counters and stage histograms, and the drained
+    // predictions flow through the same serving counters as batch paths.
+    let stream_policy = ServingPolicy {
+        min_confidence: 0.0,
+        ..ServingPolicy::default()
+    };
+    let stream_engine = Arc::new(ServeEngine::with_policy(
+        dep.bundle().clone(),
+        stream_policy,
+        EngineConfig::default(),
+    ));
+    let pump = clear::stream::StreamPump::new(
+        Arc::clone(&stream_engine),
+        clear::stream::PumpConfig::new(clear::stream::SessionConfig::new(
+            config.cohort.signal,
+            config.window,
+            dep.bundle().windows,
+        )),
+    );
+    stream_engine
+        .onboard("grace", &maps)
+        .expect("maps are non-empty");
+    pump.open("grace").expect("fresh session");
+    let rec = &data.cohort().recordings()[indices[2]];
+    let (hb, hg, hs) = (rec.bvp.len() / 2, rec.gsr.len() / 2, rec.skt.len() / 2);
+    pump.ingest("grace", &rec.bvp[..hb], &rec.gsr[..hg], &rec.skt[..hs])
+        .expect("chunk fits — no budget configured");
+    pump.ingest("grace", &rec.bvp[hb..], &rec.gsr[hg..], &rec.skt[hs..])
+        .expect("chunk fits — no budget configured");
+    let drains = pump.drain();
+    assert_eq!(drains.len(), 1, "one session had completed maps");
+    let served = drains[0].result.as_ref().expect("grace onboarded above");
+    assert_eq!(served.len(), dep.bundle().windows);
+    pump.close("grace").expect("session is open");
+
     obs::uninstall();
     let snap = registry.snapshot();
     let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(c(obs::counters::STREAM_CHUNKS), 2);
+    assert_eq!(
+        c(obs::counters::STREAM_SAMPLES),
+        (rec.bvp.len() + rec.gsr.len() + rec.skt.len()) as u64
+    );
+    assert_eq!(c(obs::counters::STREAM_WINDOWS), dep.bundle().windows as u64);
+    assert_eq!(c(obs::counters::STREAM_MAPS), 1);
+    assert_eq!(c(obs::counters::STREAM_SESSIONS_OPENED), 1);
+    assert_eq!(c(obs::counters::STREAM_SESSIONS_CLOSED), 1);
+    assert_eq!(snap.histograms["stage.stream.ingest"].count, 2);
+    assert_eq!(snap.histograms["stage.stream.pump"].count, 1);
     assert!(c(obs::counters::CLUSTER_NET_MESSAGES) > 0);
     assert!(c(obs::counters::CLUSTER_FRAMES_SHIPPED) > 0);
     assert!(c(obs::counters::CLUSTER_FRAMES_ACKED) > 0);

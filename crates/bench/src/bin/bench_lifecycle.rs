@@ -1,0 +1,361 @@
+//! Lifecycle benchmark: what the Monitor → Refit → Shadow → Rollout loop
+//! costs, written to `BENCH_lifecycle.json` so the lifecycle perf
+//! trajectory is tracked across revisions.
+//!
+//! Reported numbers:
+//!
+//! * drift detection — observe+assess throughput of the sliding-window
+//!   monitor on synthetic samples, and how many intervals a clear drift
+//!   onset takes to raise its first signal;
+//! * shadow evaluation — wall time of a dual-predict `shadow_eval` over
+//!   replayed traffic against the plain live serve of the same windows
+//!   (the overhead a canary costs the machine, never the serving path —
+//!   both are observation-silent and non-committing);
+//! * rollout — background refit wall time, artifact seal/open time and
+//!   size, per-cluster adoption time (the WAL-logged generation swap),
+//!   the post-adoption guard probe, and per-cluster restore time.
+//!
+//! The serving-path invariant is asserted in-process (`nn.train_epochs`
+//! is pinned across shadow evaluation, adoption, guard and restore), so
+//! a published BENCH_lifecycle.json implies training stayed off-path for
+//! the whole run.
+
+use clear_bench::cli_from_args;
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::ClearBundle;
+use clear_core::pipeline::CloudTraining;
+use clear_features::FeatureMap;
+use clear_lifecycle::{
+    DriftConfig, DriftMonitor, RefitConfig, Refitter, RolloutConfig, RolloutController,
+    WindowSample,
+};
+use clear_serve::{EngineConfig, ServeEngine, ServeRequest};
+use clear_sim::DriftScenario;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Synthetic samples for the monitor throughput measurement.
+const DRIFT_SAMPLES: usize = 200_000;
+/// Repetitions of the serve/shadow timing loops.
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct DriftBench {
+    samples: usize,
+    observe_assess_per_sec: f32,
+    intervals_to_detection: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ShadowBench {
+    probe_windows: usize,
+    live_windows_per_sec: f32,
+    shadow_eval_secs: f32,
+    overhead_vs_live: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct RolloutBench {
+    refit_secs: f32,
+    candidate_clusters: usize,
+    seal_bytes: usize,
+    seal_ms: f32,
+    open_ms: f32,
+    adopted_clusters: usize,
+    rollout_ms: f32,
+    per_cluster_adopt_ms: f32,
+    guard_ms: f32,
+    rolled_back_by_guard: usize,
+    per_cluster_restore_ms: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct LifecycleBench {
+    users: usize,
+    drift: DriftBench,
+    shadow: ShadowBench,
+    rollout: RolloutBench,
+}
+
+fn healthy_sample() -> WindowSample {
+    WindowSample {
+        served: 1_000,
+        abstained: 100,
+        quality_sum: 810.0,
+        quality_count: 900,
+        affinity_sum: 5.0,
+        affinity_count: 10,
+    }
+}
+
+fn drifted_sample() -> WindowSample {
+    WindowSample {
+        served: 1_000,
+        abstained: 350,
+        quality_sum: 455.0,
+        quality_count: 650,
+        affinity_sum: 10.0,
+        affinity_count: 10,
+    }
+}
+
+fn bench_drift() -> DriftBench {
+    // Throughput: a stationary stream through observe+assess. The
+    // monitor holds a bounded deque, so this is steady-state cost.
+    let mut monitor = DriftMonitor::new(DriftConfig::default());
+    let healthy = healthy_sample();
+    let t0 = Instant::now();
+    let mut spurious = 0usize;
+    for _ in 0..DRIFT_SAMPLES {
+        monitor.observe(healthy);
+        spurious += monitor.assess().len();
+    }
+    let per_sec = DRIFT_SAMPLES as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+    assert_eq!(spurious, 0, "a stationary stream must never signal");
+
+    // Detection latency: healthy history, then a hard onset; count the
+    // intervals until the first signal. The geometry bounds it at
+    // recent_windows (the reference span must stay clean).
+    let config = DriftConfig::default();
+    let mut monitor = DriftMonitor::new(config);
+    for _ in 0..(config.reference_windows + config.recent_windows) {
+        monitor.observe(healthy);
+    }
+    let mut intervals = 0usize;
+    loop {
+        monitor.observe(drifted_sample());
+        intervals += 1;
+        if !monitor.assess().is_empty() {
+            break;
+        }
+        assert!(
+            intervals <= config.recent_windows + 1,
+            "a hard onset must be detected within the recent span"
+        );
+    }
+    DriftBench {
+        samples: DRIFT_SAMPLES,
+        observe_assess_per_sec: per_sec,
+        intervals_to_detection: intervals,
+    }
+}
+
+fn main() {
+    let cli = cli_from_args();
+
+    let registry = Arc::new(clear_obs::Registry::new());
+    clear_obs::install(Arc::clone(&registry));
+
+    let drift = bench_drift();
+    eprintln!(
+        "drift monitor: {:.0} observe+assess/s, detection after {} intervals",
+        drift.observe_assess_per_sec, drift.intervals_to_detection
+    );
+
+    // Reduced training profile: the benchmark measures the lifecycle
+    // machinery, not SGD convergence.
+    let mut config = cli.config.clone();
+    config.train.epochs = 1;
+    config.train.patience = 0;
+    config.finetune.epochs = 1;
+    config.refine.rounds = 2;
+    config.refine.kmeans.n_init = 1;
+
+    // Calibration-time cohort for training/onboarding, drifted cohort for
+    // the traffic the candidates are judged on — the scenario the loop
+    // exists for.
+    let scenario = DriftScenario::new(config.cohort.clone(), 1.0, &[0, 1]);
+    let base_data = PreparedCohort::prepare_from(scenario.phase(0.0), &config);
+    let drifted_data = PreparedCohort::prepare_from(scenario.phase(1.0), &config);
+    let subjects = base_data.subject_ids();
+    let cloud = CloudTraining::fit(&base_data, &subjects, &config);
+    let bundle = ClearBundle::from_cloud(&cloud);
+    let engine = ServeEngine::new(bundle, EngineConfig::default());
+
+    let users: Vec<String> = subjects.iter().map(|s| format!("user-{s}")).collect();
+    for (rank, user) in users.iter().enumerate() {
+        let indices = base_data.indices_of(subjects[rank]);
+        let maps: Vec<FeatureMap> = indices[..2.min(indices.len())]
+            .iter()
+            .map(|&i| base_data.maps()[i].clone())
+            .collect();
+        engine.onboard(user, &maps).expect("onboarding maps");
+    }
+
+    // Replayed drifted traffic: the maps onboarding did not consume.
+    let owned: Vec<(String, Vec<FeatureMap>)> = users
+        .iter()
+        .enumerate()
+        .map(|(rank, user)| {
+            let indices = drifted_data.indices_of(subjects[rank]);
+            let maps = indices[2.min(indices.len())..]
+                .iter()
+                .map(|&i| drifted_data.maps()[i].clone())
+                .collect();
+            (user.clone(), maps)
+        })
+        .collect();
+    let traffic: Vec<ServeRequest<'_>> = owned
+        .iter()
+        .map(|(user, maps)| ServeRequest { user, maps })
+        .collect();
+
+    let train_epochs = |snapshot: &clear_obs::Snapshot| -> u64 {
+        snapshot
+            .counters
+            .get(clear_obs::counters::TRAIN_EPOCHS)
+            .copied()
+            .unwrap_or(0)
+    };
+    let epochs_before = train_epochs(&registry.snapshot());
+
+    // Live baseline: the same observation-silent serve the shadow eval
+    // performs, without the candidate side.
+    let no_overrides = HashMap::new();
+    let mut probe_windows = 0usize;
+    let t0 = Instant::now();
+    for rep in 0..REPS {
+        let served: usize = engine
+            .predict_shadow(&traffic, &no_overrides)
+            .into_iter()
+            .map(|r| r.map_or(0, |p| p.len()))
+            .sum();
+        if rep == 0 {
+            probe_windows = served;
+        }
+    }
+    let live_secs = t0.elapsed().as_secs_f32() / REPS as f32;
+    assert!(probe_windows > 0, "the probe must serve windows");
+
+    // Background refit on the drifted population.
+    let refitter = Refitter::new(RefitConfig {
+        train: config.train.clone(),
+        ..RefitConfig::default()
+    });
+    let t0 = Instant::now();
+    let generation = refitter.refit(engine.bundle(), &drifted_data, 1);
+    let refit_secs = t0.elapsed().as_secs_f32();
+
+    let t0 = Instant::now();
+    let artifact = generation.seal().expect("seal generation");
+    let seal_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let t0 = Instant::now();
+    let reopened = clear_lifecycle::CandidateGeneration::open(&artifact).expect("open generation");
+    let open_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let candidates = reopened.accepted();
+    eprintln!(
+        "refit: {refit_secs:.1} s, {} surviving candidate(s), artifact {} B",
+        candidates.len(),
+        artifact.len()
+    );
+
+    // Shadow evaluation (dual predict + per-cluster aggregation).
+    let controller = RolloutController::new(RolloutConfig::default());
+    let baseline = controller.shadow_eval(&engine, &no_overrides, &traffic);
+    let t0 = Instant::now();
+    let mut report = controller.shadow_eval(&engine, &candidates, &traffic);
+    for _ in 1..REPS {
+        report = controller.shadow_eval(&engine, &candidates, &traffic);
+    }
+    let shadow_secs = t0.elapsed().as_secs_f32() / REPS as f32;
+
+    // Staged adoption, guard probe, and rollback of everything adopted —
+    // so the restore path is timed on the same clusters.
+    let decisions = controller.decide(&report, &candidates);
+    let t0 = Instant::now();
+    let adopted = controller
+        .roll_out(&engine, &candidates, &decisions)
+        .expect("rollout");
+    let rollout_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let t0 = Instant::now();
+    let rolled_back = controller
+        .guard(&engine, &adopted, &baseline, &traffic)
+        .expect("guard probe");
+    let guard_ms = t0.elapsed().as_secs_f32() * 1e3;
+    let still_adopted: Vec<_> = adopted
+        .iter()
+        .filter(|a| !rolled_back.contains(&a.cluster))
+        .collect();
+    let t0 = Instant::now();
+    for a in &still_adopted {
+        engine.restore_cluster_model(a.cluster).expect("restore");
+    }
+    let restore_secs = t0.elapsed().as_secs_f32();
+    let per_cluster_restore_ms = if still_adopted.is_empty() {
+        0.0
+    } else {
+        restore_secs * 1e3 / still_adopted.len() as f32
+    };
+
+    // Nothing above may have trained on the serving path.
+    let epochs_after = train_epochs(&registry.snapshot());
+    let refit_epochs = config.train.epochs as u64 * generation.candidates.len() as u64;
+    assert!(
+        epochs_after - epochs_before <= refit_epochs,
+        "serving-path operations trained: {} epochs beyond the refit budget",
+        (epochs_after - epochs_before).saturating_sub(refit_epochs)
+    );
+
+    let results = LifecycleBench {
+        users: users.len(),
+        drift,
+        shadow: ShadowBench {
+            probe_windows,
+            live_windows_per_sec: probe_windows as f32 / live_secs.max(1e-9),
+            shadow_eval_secs: shadow_secs,
+            overhead_vs_live: shadow_secs / live_secs.max(1e-9),
+        },
+        rollout: RolloutBench {
+            refit_secs,
+            candidate_clusters: candidates.len(),
+            seal_bytes: artifact.len(),
+            seal_ms,
+            open_ms,
+            adopted_clusters: adopted.len(),
+            rollout_ms,
+            per_cluster_adopt_ms: if adopted.is_empty() {
+                0.0
+            } else {
+                rollout_ms / adopted.len() as f32
+            },
+            guard_ms,
+            rolled_back_by_guard: rolled_back.len(),
+            per_cluster_restore_ms,
+        },
+    };
+    eprintln!(
+        "shadow eval {:.2} s over {} windows ({:.2}x live); rollout {:.1} ms for {} cluster(s), guard {:.1} ms",
+        results.shadow.shadow_eval_secs,
+        results.shadow.probe_windows,
+        results.shadow.overhead_vs_live,
+        results.rollout.rollout_ms,
+        results.rollout.adopted_clusters,
+    );
+
+    let path = cli
+        .json_path
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_lifecycle.json"));
+    match serde_json::to_string_pretty(&results) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("results written to {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+
+    // Export the observability snapshot next to the main results file.
+    let obs_path = path.with_file_name("BENCH_lifecycle_obs.json");
+    let snapshot = registry.snapshot();
+    match std::fs::write(&obs_path, snapshot.to_json_pretty()) {
+        Ok(()) => eprintln!(
+            "observability snapshot ({} counters, {} histograms) written to {}",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            obs_path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", obs_path.display()),
+    }
+    clear_obs::uninstall();
+}

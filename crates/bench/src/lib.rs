@@ -17,6 +17,7 @@
 //! | `bench_serve` | multi-tenant engine vs. sequential serving + cache sweep (`BENCH_serve.json`) |
 //! | `bench_durable` | WAL/snapshot overhead + crash-recovery timing (`BENCH_durable.json`) |
 //! | `bench_stream` | 10k concurrent streaming sessions: throughput, chunk→prediction latency, buffer bounds (`BENCH_stream.json`) |
+//! | `bench_lifecycle` | drift-detection latency, shadow-eval overhead, rollout/rollback wall time (`BENCH_lifecycle.json`) |
 //!
 //! All binaries accept `--quick` (reduced profile for smoke runs) and
 //! `--seed <n>`.

@@ -31,6 +31,21 @@ impl PreparedCohort {
         }
     }
 
+    /// Extracts feature maps for an externally generated `cohort` — e.g.
+    /// a drifted phase from [`clear_sim::DriftScenario`] — using the
+    /// windowing of `config`. [`PreparedCohort::prepare`] is equivalent
+    /// to calling this on `Cohort::generate(&config.cohort)`.
+    pub fn prepare_from(cohort: Cohort, config: &ClearConfig) -> Self {
+        let extractor = FeatureExtractor::new(cohort.config().signal, config.window);
+        let maps = extractor.feature_maps(cohort.recordings());
+        let windows = maps.first().map_or(0, FeatureMap::window_count);
+        Self {
+            cohort,
+            maps,
+            windows,
+        }
+    }
+
     /// The underlying cohort (roster, ground truth).
     pub fn cohort(&self) -> &Cohort {
         &self.cohort

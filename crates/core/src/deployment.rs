@@ -512,9 +512,12 @@ impl ClearDeployment {
                 baseline: &state.baseline,
                 centroid: &centroid,
                 personalized: state.personalized.as_ref(),
-                // The single-tenant deployment always serves exactly;
-                // tier selection is a multi-tenant engine concern.
+                // The single-tenant deployment always serves the base
+                // bundle exactly; cluster-generation rollout and tier
+                // selection are multi-tenant engine concerns.
+                cluster_model: None,
                 tier: ServeTier::Exact,
+                shadow: false,
             };
             let (prediction, quarantined) = serving::predict_one_gated(&ctx, map, ws)?;
             if quarantined {

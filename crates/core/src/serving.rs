@@ -48,10 +48,22 @@ pub struct ServeContext<'a> {
     pub centroid: &'a [f32],
     /// The user's personalized checkpoint, when one was adopted.
     pub personalized: Option<&'a Network>,
+    /// The cluster's serving checkpoint, when it differs from the base
+    /// bundle model — an adopted lifecycle generation, or a shadow
+    /// candidate under evaluation. `None` serves
+    /// `bundle.models[cluster]`, bit-identical to the pre-lifecycle
+    /// path. A personalized checkpoint still wins: user forks are
+    /// deltas against the *base* model and survive cluster rollouts.
+    pub cluster_model: Option<&'a Network>,
     /// Numeric tier the forward pass runs at. [`ServeTier::Exact`] is
     /// bit-identical to the historical scalar path; [`ServeTier::Fast`]
     /// runs int8 with an automatic exact re-serve on abstention.
     pub tier: ServeTier,
+    /// Whether this is a shadow (dual-predict) serve: gating and the
+    /// returned prediction are identical, but the `serve.*`
+    /// counters are not bumped, so shadow traffic never pollutes the
+    /// drift monitor's inputs. Live callers pass `false`.
+    pub shadow: bool,
 }
 
 /// Applies the confidence/quality gate to a logit vector, returning
@@ -197,11 +209,20 @@ pub fn predict_one_gated(
     map: &FeatureMap,
     ws: &mut Workspace,
 ) -> Result<(Prediction, bool), DeployError> {
-    let _span = clear_obs::span(clear_obs::Stage::Predict);
+    // Shadow serves are observation-silent: identical bits out, no
+    // serve.* counters or spans, so dual-predicted traffic cannot feed
+    // back into the drift signals that triggered it.
+    let _span = if ctx.shadow {
+        clear_obs::SpanGuard::noop()
+    } else {
+        clear_obs::span(clear_obs::Stage::Predict)
+    };
     let mq = assess_map(map);
     let dead = mq.dead_modalities(ctx.policy.min_modality_score);
     if dead.len() == mq.blocks.len() {
-        clear_obs::counter_add(clear_obs::counters::QUARANTINES, 1);
+        if !ctx.shadow {
+            clear_obs::counter_add(clear_obs::counters::QUARANTINES, 1);
+        }
         return Ok((
             Prediction {
                 emotion: None,
@@ -252,9 +273,10 @@ pub fn predict_one_gated(
 
     // The served network is read-only; all mutable per-call state
     // (activations, LSTM tape) lives in the caller's workspace.
-    let (net, served_by) = match ctx.personalized {
-        Some(net) => (net, ModelSource::Personalized),
-        None => (
+    let (net, served_by) = match (ctx.personalized, ctx.cluster_model) {
+        (Some(net), _) => (net, ModelSource::Personalized),
+        (None, Some(net)) => (net, ModelSource::Cluster(ctx.cluster)),
+        (None, None) => (
             ctx.bundle
                 .models
                 .get(ctx.cluster)
@@ -268,26 +290,32 @@ pub fn predict_one_gated(
     };
     let (confidence, emotion) = if ctx.tier == ServeTier::Fast {
         if emotion.is_some() {
-            clear_obs::counter_add(clear_obs::counters::SERVE_TIER_INT8, 1);
+            if !ctx.shadow {
+                clear_obs::counter_add(clear_obs::counters::SERVE_TIER_INT8, 1);
+            }
             (confidence, emotion)
         } else {
             // The int8 result would abstain: re-serve exactly before the
             // abstention stands, so the fast tier never costs a label the
             // exact path would have produced.
-            clear_obs::counter_add(clear_obs::counters::SERVE_TIER_F32_FALLBACK, 1);
+            if !ctx.shadow {
+                clear_obs::counter_add(clear_obs::counters::SERVE_TIER_F32_FALLBACK, 1);
+            }
             let logits = net.forward_with(&x, false, ws, ServeTier::Exact.backend().instance());
             gate_logits(logits, quality, ctx.policy)
         }
     } else {
         (confidence, emotion)
     };
-    if !impute.is_empty() {
-        clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);
-    }
-    if emotion.is_some() {
-        clear_obs::counter_add(clear_obs::counters::PREDICTIONS, 1);
-    } else {
-        clear_obs::counter_add(clear_obs::counters::ABSTENTIONS, 1);
+    if !ctx.shadow {
+        if !impute.is_empty() {
+            clear_obs::counter_add(clear_obs::counters::IMPUTED_MODALITIES, impute.len() as u64);
+        }
+        if emotion.is_some() {
+            clear_obs::counter_add(clear_obs::counters::PREDICTIONS, 1);
+        } else {
+            clear_obs::counter_add(clear_obs::counters::ABSTENTIONS, 1);
+        }
     }
     Ok((
         Prediction {

@@ -43,7 +43,7 @@ pub mod snapshot;
 pub mod storage;
 pub mod wal;
 
-pub use snapshot::{EngineSnapshot, TenantRecord};
+pub use snapshot::{AdoptedClusterRecord, EngineSnapshot, TenantRecord};
 pub use storage::{FaultPlan, FaultStorage, FsStorage, MemStorage, ReadFaultPlan, Storage};
 pub use wal::{read_records, Wal, WalOp, WalRecord};
 

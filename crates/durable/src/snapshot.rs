@@ -47,6 +47,18 @@ pub struct TenantRecord {
     pub delta: Option<WeightDelta>,
 }
 
+/// Durable state of one cluster serving an adopted (non-base) model
+/// generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdoptedClusterRecord {
+    /// Cluster index.
+    pub cluster: usize,
+    /// Engine-wide generation stamp of the adopted model.
+    pub generation: u64,
+    /// Adopted weights as a delta from the cluster's base bundle model.
+    pub delta: WeightDelta,
+}
+
 /// Full engine state at a WAL horizon: recovery seeds from this and
 /// replays only WAL records with `lsn > last_lsn`.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -57,14 +69,21 @@ pub struct EngineSnapshot {
     pub tenants: Vec<TenantRecord>,
     /// Deferred-onboarding window buffers, sorted by user id.
     pub pending: Vec<(String, Vec<FeatureMap>)>,
+    /// Clusters serving an adopted model generation, sorted by cluster
+    /// index. Absent in pre-lifecycle snapshots (defaults to empty:
+    /// every cluster serves its base bundle model).
+    #[serde(default)]
+    pub adopted: Vec<AdoptedClusterRecord>,
 }
 
 impl EngineSnapshot {
-    /// Sorts tenants and pending buffers by user id so identical state
-    /// serializes to identical bytes.
+    /// Sorts tenants and pending buffers by user id (and adopted
+    /// clusters by index) so identical state serializes to identical
+    /// bytes.
     pub fn normalize(&mut self) {
         self.tenants.sort_by(|a, b| a.user.cmp(&b.user));
         self.pending.sort_by(|a, b| a.0.cmp(&b.0));
+        self.adopted.sort_by_key(|a| a.cluster);
     }
 
     /// Seals and atomically publishes this snapshot.
@@ -128,9 +147,25 @@ mod tests {
                 },
             ],
             pending: Vec::new(),
+            adopted: Vec::new(),
         };
         snapshot.normalize();
         snapshot
+    }
+
+    #[test]
+    fn pre_lifecycle_snapshot_json_still_loads() {
+        // A snapshot sealed before the `adopted` field existed must load
+        // with every cluster on its base model.
+        let storage = MemStorage::new();
+        let legacy = r#"{"last_lsn":5,"tenants":[],"pending":[]}"#;
+        let sealed = crate::envelope::seal_str(KIND, legacy);
+        storage
+            .write_atomic(SNAPSHOT_FILE, sealed.as_bytes())
+            .unwrap();
+        let loaded = EngineSnapshot::load(&storage).unwrap().unwrap();
+        assert_eq!(loaded.last_lsn, 5);
+        assert!(loaded.adopted.is_empty());
     }
 
     #[test]

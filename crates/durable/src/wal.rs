@@ -82,10 +82,27 @@ pub enum WalOp {
         /// User identifier.
         user: String,
     },
+    /// A new generation of one cluster's serving model was adopted (or,
+    /// with `delta: None`, the cluster was rolled back to its base
+    /// bundle model). The delta is against the immutable base model in
+    /// the engine's bundle, so replay reconstructs the adopted weights
+    /// bit-exactly without retraining — the same contract as
+    /// [`WalOp::PersonalizeAdopt`], lifted from users to clusters.
+    AdoptClusterModel {
+        /// Cluster index whose serving model changed.
+        cluster: usize,
+        /// Engine-wide generation stamp issued for this adoption.
+        generation: u64,
+        /// New weights as a delta from the cluster's *base* bundle
+        /// model; `None` restores the base model itself (rollback).
+        delta: Option<Box<WeightDelta>>,
+    },
 }
 
 impl WalOp {
-    /// The user this operation belongs to.
+    /// The user this operation belongs to. Engine-wide operations
+    /// ([`WalOp::AdoptClusterModel`]) belong to no user and return the
+    /// empty string.
     pub fn user(&self) -> &str {
         match self {
             WalOp::Onboard { user, .. }
@@ -94,6 +111,7 @@ impl WalOp {
             | WalOp::PersonalizeRollback { user }
             | WalOp::Quarantine { user, .. }
             | WalOp::Offboard { user } => user,
+            WalOp::AdoptClusterModel { .. } => "",
         }
     }
 }
@@ -484,5 +502,26 @@ mod tests {
         let back: WalRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.lsn, 9);
         assert_eq!(back.op.user(), "u1");
+    }
+
+    #[test]
+    fn engine_wide_ops_belong_to_no_user_and_round_trip() {
+        let op = WalOp::AdoptClusterModel {
+            cluster: 3,
+            generation: 11,
+            delta: None,
+        };
+        assert_eq!(op.user(), "");
+        let json = serde_json::to_string(&WalRecord { lsn: 4, op }).unwrap();
+        let back: WalRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lsn, 4);
+        assert!(matches!(
+            back.op,
+            WalOp::AdoptClusterModel {
+                cluster: 3,
+                generation: 11,
+                delta: None,
+            }
+        ));
     }
 }

@@ -1,0 +1,403 @@
+//! Drift detection over the serving engine's own telemetry.
+//!
+//! The monitor never touches the serving path. It periodically diffs the
+//! cumulative counters of the installed [`clear_obs`] registry (or takes
+//! direct [`WindowSample`]s in tests) into per-interval rate samples,
+//! keeps them in a bounded sliding window split into a *reference* span
+//! (the oldest samples — what "healthy" looked like) and a *recent* span
+//! (the newest), and raises typed [`DriftSignal`]s when the recent span
+//! departs from the reference by more than the configured steps.
+//!
+//! Degenerate inputs are first-class: with fewer samples than both spans
+//! need, or with zero traffic on either side, the monitor stays silent
+//! rather than guessing — `tests/properties.rs` drives this with
+//! arbitrary window sizes and orderings.
+
+use std::collections::VecDeque;
+
+/// Thresholds and window geometry of the drift monitor.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftConfig {
+    /// Samples forming the healthy reference span (floor 1).
+    pub reference_windows: usize,
+    /// Samples forming the recent span under judgment (floor 1).
+    pub recent_windows: usize,
+    /// Minimum absolute rise of the abstention rate (abstained / served)
+    /// between the spans to raise [`DriftSignal::AbstentionStep`].
+    pub abstention_step: f64,
+    /// Minimum absolute drop of the mean served-window quality score to
+    /// raise [`DriftSignal::QualityDrop`].
+    pub quality_drop: f64,
+    /// Minimum absolute rise of the mean cluster-assignment distance to
+    /// raise [`DriftSignal::AffinityDrop`].
+    pub affinity_drop: f64,
+    /// Minimum served windows on *each* side before any judgment; spans
+    /// below this are treated as no-traffic and never signal.
+    pub min_traffic: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            reference_windows: 4,
+            recent_windows: 4,
+            abstention_step: 0.10,
+            quality_drop: 0.08,
+            affinity_drop: 0.15,
+            min_traffic: 16,
+        }
+    }
+}
+
+/// One observation interval's aggregate serving outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowSample {
+    /// Windows served (predictions emitted, including abstentions).
+    pub served: u64,
+    /// Windows the gate abstained on (includes quarantines).
+    pub abstained: u64,
+    /// Sum of served-window quality scores (mean = `quality_sum / quality_count`).
+    pub quality_sum: f64,
+    /// Observations contributing to `quality_sum`.
+    pub quality_count: u64,
+    /// Sum of cluster-assignment distances of newly observed users.
+    pub affinity_sum: f64,
+    /// Observations contributing to `affinity_sum`.
+    pub affinity_count: u64,
+}
+
+impl WindowSample {
+    // Saturating: callers may feed pathological counters (tests do, on
+    // purpose) and the monitor must degrade, never panic.
+    fn merge(&mut self, other: &WindowSample) {
+        self.served = self.served.saturating_add(other.served);
+        self.abstained = self.abstained.saturating_add(other.abstained);
+        self.quality_sum += other.quality_sum;
+        self.quality_count = self.quality_count.saturating_add(other.quality_count);
+        self.affinity_sum += other.affinity_sum;
+        self.affinity_count = self.affinity_count.saturating_add(other.affinity_count);
+    }
+}
+
+/// A typed drift verdict: which served-quality aggregate moved, from
+/// where to where. Rates are per-window averages over the two spans.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DriftSignal {
+    /// The abstention rate rose by at least `abstention_step`.
+    AbstentionStep {
+        /// Reference-span abstention rate.
+        reference: f64,
+        /// Recent-span abstention rate.
+        recent: f64,
+    },
+    /// The mean served-window quality fell by at least `quality_drop`.
+    QualityDrop {
+        /// Reference-span mean quality.
+        reference: f64,
+        /// Recent-span mean quality.
+        recent: f64,
+    },
+    /// The mean assignment distance rose by at least `affinity_drop` —
+    /// new users land ever farther from every calibration centroid.
+    AffinityDrop {
+        /// Reference-span mean assignment distance.
+        reference: f64,
+        /// Recent-span mean assignment distance.
+        recent: f64,
+    },
+}
+
+/// Cumulative serve-counter readings the monitor diffs between scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct CounterBase {
+    predictions: u64,
+    abstentions: u64,
+    quarantines: u64,
+}
+
+/// Sliding-window drift detector over serving telemetry.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    samples: VecDeque<WindowSample>,
+    base: Option<CounterBase>,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given thresholds and window geometry.
+    pub fn new(config: DriftConfig) -> Self {
+        Self {
+            config,
+            samples: VecDeque::new(),
+            base: None,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Number of samples currently held.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.config.reference_windows.max(1) + self.config.recent_windows.max(1)
+    }
+
+    /// Pushes one interval sample, evicting the oldest beyond the window
+    /// capacity. Pure bookkeeping — no telemetry, no thresholds.
+    pub fn observe(&mut self, sample: WindowSample) {
+        self.samples.push_back(sample);
+        while self.samples.len() > self.capacity() {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Diffs `snapshot`'s cumulative serve counters against the previous
+    /// scan into one [`WindowSample`] and pushes it. The first call only
+    /// establishes the baseline (counters are cumulative since process
+    /// start; the interval before the monitor existed is nobody's).
+    pub fn observe_counters(&mut self, snapshot: &clear_obs::Snapshot) {
+        let get = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let now = CounterBase {
+            predictions: get(clear_obs::counters::PREDICTIONS),
+            abstentions: get(clear_obs::counters::ABSTENTIONS),
+            quarantines: get(clear_obs::counters::QUARANTINES),
+        };
+        if let Some(prev) = self.base.replace(now) {
+            let served = now.predictions.saturating_sub(prev.predictions);
+            let abstained = now
+                .abstentions
+                .saturating_sub(prev.abstentions)
+                .saturating_add(now.quarantines.saturating_sub(prev.quarantines));
+            self.observe(WindowSample {
+                served: served + abstained,
+                abstained,
+                ..WindowSample::default()
+            });
+        }
+    }
+
+    /// Judges the recent span against the reference span. Empty when the
+    /// window has not filled, either side lacks `min_traffic`, or nothing
+    /// crossed a threshold.
+    pub fn assess(&self) -> Vec<DriftSignal> {
+        let reference_len = self.config.reference_windows.max(1);
+        let recent_len = self.config.recent_windows.max(1);
+        if self.samples.len() < reference_len + recent_len {
+            return Vec::new();
+        }
+        let mut reference = WindowSample::default();
+        let mut recent = WindowSample::default();
+        for (i, s) in self.samples.iter().enumerate() {
+            if i < reference_len {
+                reference.merge(s);
+            } else {
+                recent.merge(s);
+            }
+        }
+        if reference.served < self.config.min_traffic || recent.served < self.config.min_traffic {
+            return Vec::new();
+        }
+        let mut signals = Vec::new();
+        let rate = |s: &WindowSample| s.abstained as f64 / s.served as f64;
+        let (ref_rate, rec_rate) = (rate(&reference), rate(&recent));
+        if rec_rate - ref_rate >= self.config.abstention_step {
+            signals.push(DriftSignal::AbstentionStep {
+                reference: ref_rate,
+                recent: rec_rate,
+            });
+        }
+        let mean = |sum: f64, n: u64| if n == 0 { None } else { Some(sum / n as f64) };
+        if let (Some(rq), Some(cq)) = (
+            mean(reference.quality_sum, reference.quality_count),
+            mean(recent.quality_sum, recent.quality_count),
+        ) {
+            if rq - cq >= self.config.quality_drop {
+                signals.push(DriftSignal::QualityDrop {
+                    reference: rq,
+                    recent: cq,
+                });
+            }
+        }
+        if let (Some(ra), Some(ca)) = (
+            mean(reference.affinity_sum, reference.affinity_count),
+            mean(recent.affinity_sum, recent.affinity_count),
+        ) {
+            if ca - ra >= self.config.affinity_drop {
+                signals.push(DriftSignal::AffinityDrop {
+                    reference: ra,
+                    recent: ca,
+                });
+            }
+        }
+        signals
+    }
+
+    /// One monitoring tick: snapshot the installed registry, diff it into
+    /// a sample, and judge. This is the production entry point — it spans
+    /// the scan and feeds the lifecycle counters; `observe`/`assess` stay
+    /// pure for property tests.
+    pub fn scan(&mut self) -> Vec<DriftSignal> {
+        let _span = clear_obs::span(clear_obs::Stage::LifecycleDriftScan);
+        let Some(registry) = clear_obs::installed() else {
+            return Vec::new();
+        };
+        self.observe_counters(&registry.snapshot());
+        clear_obs::counter_add(clear_obs::counters::LIFECYCLE_WINDOWS_OBSERVED, 1);
+        let signals = self.assess();
+        if !signals.is_empty() {
+            clear_obs::counter_add(
+                clear_obs::counters::LIFECYCLE_DRIFT_SIGNALS,
+                signals.len() as u64,
+            );
+        }
+        signals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(served: u64) -> WindowSample {
+        WindowSample {
+            served,
+            abstained: served / 10,
+            ..WindowSample::default()
+        }
+    }
+
+    fn degraded(served: u64) -> WindowSample {
+        WindowSample {
+            served,
+            abstained: served / 2,
+            ..WindowSample::default()
+        }
+    }
+
+    #[test]
+    fn empty_monitor_is_silent() {
+        let m = DriftMonitor::new(DriftConfig::default());
+        assert!(m.assess().is_empty());
+    }
+
+    #[test]
+    fn stationary_stream_never_signals() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..50 {
+            m.observe(healthy(100));
+            assert!(m.assess().is_empty());
+        }
+    }
+
+    #[test]
+    fn abstention_step_is_detected() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..4 {
+            m.observe(healthy(100));
+        }
+        for _ in 0..4 {
+            m.observe(degraded(100));
+        }
+        let signals = m.assess();
+        assert!(
+            signals
+                .iter()
+                .any(|s| matches!(s, DriftSignal::AbstentionStep { .. })),
+            "expected an abstention step, got {signals:?}"
+        );
+    }
+
+    #[test]
+    fn step_fully_in_the_past_is_the_new_normal() {
+        // Once the degraded regime fills the reference span too, the
+        // monitor stops signalling: drift is a *change*, not a level.
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..20 {
+            m.observe(degraded(100));
+        }
+        assert!(m.assess().is_empty());
+    }
+
+    #[test]
+    fn low_traffic_spans_never_signal() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        for _ in 0..4 {
+            m.observe(healthy(2));
+        }
+        for _ in 0..4 {
+            m.observe(degraded(2));
+        }
+        assert!(m.assess().is_empty());
+    }
+
+    #[test]
+    fn quality_and_affinity_signals_fire() {
+        let mut m = DriftMonitor::new(DriftConfig {
+            min_traffic: 1,
+            ..DriftConfig::default()
+        });
+        for _ in 0..4 {
+            m.observe(WindowSample {
+                served: 50,
+                abstained: 0,
+                quality_sum: 45.0,
+                quality_count: 50,
+                affinity_sum: 10.0,
+                affinity_count: 10,
+            });
+        }
+        for _ in 0..4 {
+            m.observe(WindowSample {
+                served: 50,
+                abstained: 0,
+                quality_sum: 30.0,
+                quality_count: 50,
+                affinity_sum: 20.0,
+                affinity_count: 10,
+            });
+        }
+        let signals = m.assess();
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, DriftSignal::QualityDrop { .. })));
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, DriftSignal::AffinityDrop { .. })));
+    }
+
+    #[test]
+    fn counter_diffing_skips_the_pre_monitor_interval() {
+        let mut m = DriftMonitor::new(DriftConfig::default());
+        let mut snap = clear_obs::Snapshot {
+            counters: Default::default(),
+            gauges: Default::default(),
+            histograms: Default::default(),
+        };
+        snap.counters
+            .insert(clear_obs::counters::PREDICTIONS.to_string(), 1000);
+        m.observe_counters(&snap);
+        assert_eq!(m.sample_count(), 0, "first scan only sets the baseline");
+        snap.counters
+            .insert(clear_obs::counters::PREDICTIONS.to_string(), 1100);
+        snap.counters
+            .insert(clear_obs::counters::ABSTENTIONS.to_string(), 30);
+        m.observe_counters(&snap);
+        assert_eq!(m.sample_count(), 1);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let config = DriftConfig::default();
+        let cap = config.reference_windows + config.recent_windows;
+        let mut m = DriftMonitor::new(config);
+        for _ in 0..100 {
+            m.observe(healthy(10));
+        }
+        assert_eq!(m.sample_count(), cap);
+    }
+}

@@ -1,0 +1,112 @@
+//! # clear-lifecycle — drift detection, re-clustering, canaried rollout
+//!
+//! The cold-start pipeline ships one frozen generation of cluster models
+//! and serves it forever; real populations drift away from their
+//! calibration (sensor aging, habituation, baseline shift), and quality
+//! decays silently behind the abstention gate. This crate closes the
+//! loop without ever putting training on the serving path:
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────────┐
+//!            ▼                                                │
+//!   Monitor ──drift──▶ Refit ──candidates──▶ Shadow ──pass──▶ Rollout
+//!      ▲                  │                     │                │
+//!      │                  └──no survivors───────┼──fail──▶ (keep live)
+//!      │                                        │                │
+//!      └──────────────── Rollback ◀──regression─┴────────────────┘
+//! ```
+//!
+//! * [`DriftMonitor`] — diffs the serving layer's own cumulative
+//!   counters into sliding-window rate samples and raises typed
+//!   [`DriftSignal`]s when the recent span departs from the reference.
+//! * [`Refitter`] — re-runs per-cluster training on recently observed
+//!   users' data, entirely off the serving path, and applies the
+//!   personalization-holdout rule before anything ships; survivors form
+//!   a [`CandidateGeneration`], sealable as a checksummed artifact.
+//! * [`RolloutController`] — shadow-evaluates candidates against live
+//!   traffic (dual-predict through the engine, observation-silent),
+//!   adopts passing clusters one WAL-logged generation swap at a time,
+//!   and restores any cluster that regresses after adoption.
+//!
+//! The load-bearing invariants, proven by `tests/lifecycle.rs` at the
+//! workspace root: untouched clusters serve bit-identical predictions
+//! through every phase; a rollback restores the prior generation
+//! bit-for-bit; and the serving path never trains (the `nn.train_epochs`
+//! counter is pinned across shadow evaluation and rollout).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod refit;
+pub mod rollout;
+
+pub use drift::{DriftConfig, DriftMonitor, DriftSignal, WindowSample};
+pub use refit::{CandidateGeneration, ClusterCandidate, RefitConfig, Refitter};
+pub use rollout::{
+    AdoptedCluster, ClusterShadowStats, RolloutConfig, RolloutController, RolloutDecision,
+    ShadowReport,
+};
+
+/// The lifecycle state machine (see `DESIGN.md` §16). States advance
+/// Monitor → Refit → Shadow → Rollout and fall back to Monitor; Rollback
+/// is reachable only from Rollout (a post-adoption regression) and
+/// returns to Monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LifecycleState {
+    /// Watching serving telemetry for drift; the steady state.
+    Monitor,
+    /// Training candidate cluster models on recent users, off-path.
+    Refit,
+    /// Dual-predicting candidates against live traffic.
+    Shadow,
+    /// Adopting passing clusters, one generation swap at a time.
+    Rollout,
+    /// Restoring a regressed cluster to its base generation.
+    Rollback,
+}
+
+impl LifecycleState {
+    /// Whether `next` is a legal transition from this state.
+    pub fn can_advance_to(self, next: LifecycleState) -> bool {
+        use LifecycleState::*;
+        matches!(
+            (self, next),
+            (Monitor, Refit)        // drift detected
+                | (Refit, Shadow)   // candidates survived the holdout
+                | (Refit, Monitor)  // no survivors
+                | (Shadow, Rollout) // gate passed for at least one cluster
+                | (Shadow, Monitor) // every candidate failed the gate
+                | (Rollout, Monitor)  // adoption complete and healthy
+                | (Rollout, Rollback) // post-adoption regression
+                | (Rollback, Monitor) // restored; back to watching
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::LifecycleState::*;
+
+    #[test]
+    fn happy_path_is_legal() {
+        for (a, b) in [(Monitor, Refit), (Refit, Shadow), (Shadow, Rollout), (Rollout, Monitor)] {
+            assert!(a.can_advance_to(b), "{a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn rollback_is_only_reachable_from_rollout() {
+        assert!(Rollout.can_advance_to(Rollback));
+        for s in [Monitor, Refit, Shadow, Rollback] {
+            assert!(!s.can_advance_to(Rollback), "{s:?} must not roll back");
+        }
+    }
+
+    #[test]
+    fn no_state_skips_the_gate() {
+        assert!(!Monitor.can_advance_to(Rollout));
+        assert!(!Refit.can_advance_to(Rollout));
+        assert!(!Monitor.can_advance_to(Shadow));
+    }
+}

@@ -1,0 +1,280 @@
+//! Background re-clustering: recent users → candidate cluster models.
+//!
+//! The refitter is the only place in the lifecycle layer where training
+//! happens, and it never touches live serving: it assigns a window of
+//! recently observed users through the *live* bundle's cold-start
+//! geometry, retrains each cluster's model from the cluster's immutable
+//! base checkpoint on those users' (labeled) recent data, and applies
+//! the same validation-holdout rule the personalization stage uses — a
+//! candidate that scores worse than its base on held-out recent data is
+//! rejected before anyone shadow-evaluates it. What survives is a
+//! [`CandidateGeneration`]: per-cluster checkpoints plus the accuracy
+//! evidence, sealable as a checksummed artifact for hand-off to the
+//! rollout controller (possibly on another machine, possibly after a
+//! crash).
+
+use clear_core::dataset::PreparedCohort;
+use clear_core::deployment::ClearBundle;
+use clear_core::serving;
+use clear_durable::envelope;
+use clear_durable::DurableError;
+use clear_nn::network::Network;
+use clear_nn::train::{self, TrainConfig};
+use clear_sim::SubjectId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Envelope kind tag of sealed candidate generations.
+const KIND: &str = "generation";
+
+/// Hyper-parameters of a background refit round.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RefitConfig {
+    /// Training hyper-parameters of candidate models (typically the
+    /// deployment's cloud-training config, fewer epochs).
+    pub train: TrainConfig,
+    /// Fraction of each cluster's recent data held out to judge the
+    /// candidate against its base (the personalization-holdout rule at
+    /// cluster scale).
+    pub val_fraction: f32,
+    /// Clusters with fewer recent subjects than this keep their base
+    /// model unchallenged.
+    pub min_members: usize,
+}
+
+impl Default for RefitConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            val_fraction: 0.25,
+            min_members: 1,
+        }
+    }
+}
+
+/// One cluster's refit outcome: the evidence always, the checkpoint only
+/// when it survived the holdout rule.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClusterCandidate {
+    /// Cluster index in the live bundle.
+    pub cluster: usize,
+    /// Recent subjects assigned to this cluster.
+    pub members: usize,
+    /// Base model's accuracy on the held-out recent data.
+    pub base_accuracy: f32,
+    /// Candidate's accuracy on the same held-out data.
+    pub candidate_accuracy: f32,
+    /// The retrained checkpoint; `None` when the cluster was skipped
+    /// (too few members) or the candidate lost the holdout comparison.
+    pub model: Option<Network>,
+}
+
+/// A full candidate generation: one [`ClusterCandidate`] per cluster of
+/// the bundle it was refit against.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CandidateGeneration {
+    /// Caller-chosen round stamp (diagnostics; the engine assigns the
+    /// real generation number at adoption).
+    pub round: u64,
+    /// Per-cluster outcomes, indexed by cluster.
+    pub candidates: Vec<ClusterCandidate>,
+}
+
+impl CandidateGeneration {
+    /// The surviving candidates in the shape
+    /// [`clear_serve::ServeEngine::predict_shadow`] consumes.
+    pub fn accepted(&self) -> HashMap<usize, Arc<Network>> {
+        self.candidates
+            .iter()
+            .filter_map(|c| c.model.as_ref().map(|m| (c.cluster, Arc::new(m.clone()))))
+            .collect()
+    }
+
+    /// Clusters with a surviving candidate, ascending.
+    pub fn accepted_clusters(&self) -> Vec<usize> {
+        self.candidates
+            .iter()
+            .filter(|c| c.model.is_some())
+            .map(|c| c.cluster)
+            .collect()
+    }
+
+    /// Seals this generation as a checksummed artifact (kind
+    /// `generation`), suitable for durable storage or shipping to the
+    /// machine running the rollout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] when serialization fails.
+    pub fn seal(&self) -> Result<String, DurableError> {
+        let json = serde_json::to_string(self).map_err(|e| DurableError::Io(e.to_string()))?;
+        Ok(envelope::seal_str(KIND, &json))
+    }
+
+    /// Opens a sealed candidate generation, verifying the envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::CorruptArtifact`] when the artifact fails
+    /// envelope verification or does not parse.
+    pub fn open(artifact: &str) -> Result<Self, DurableError> {
+        let payload = envelope::open_str(KIND, artifact)?;
+        serde_json::from_str(payload)
+            .map_err(|e| DurableError::corrupt(KIND, format!("generation does not parse: {e}")))
+    }
+}
+
+/// Background re-clustering of recent users into candidate models.
+#[derive(Debug, Clone)]
+pub struct Refitter {
+    config: RefitConfig,
+}
+
+impl Refitter {
+    /// A refitter with the given hyper-parameters.
+    pub fn new(config: RefitConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs one refit round: assigns every subject of `recent` through
+    /// the live bundle's cold-start geometry, then per cluster retrains
+    /// from the base checkpoint on the members' recent data and keeps
+    /// the candidate only if it beats (or ties) the base on held-out
+    /// data. Live serving is untouched — the bundle is read-only here.
+    pub fn refit(
+        &self,
+        bundle: &ClearBundle,
+        recent: &PreparedCohort,
+        round: u64,
+    ) -> CandidateGeneration {
+        let _span = clear_obs::span(clear_obs::Stage::LifecycleRefit);
+        clear_obs::counter_add(clear_obs::counters::LIFECYCLE_REFITS, 1);
+
+        // Cold-start assignment of the recent population, exactly as the
+        // serving path would admit them.
+        let mut members: Vec<Vec<SubjectId>> = vec![Vec::new(); bundle.models.len()];
+        for subject in recent.subject_ids() {
+            let indices = recent.indices_of(subject);
+            let maps: Vec<_> = indices.iter().map(|&i| recent.maps()[i].clone()).collect();
+            let (cluster, _) = serving::assign_cluster(bundle, &maps);
+            if let Some(slot) = members.get_mut(cluster) {
+                slot.push(subject);
+            }
+        }
+
+        let candidates = members
+            .iter()
+            .enumerate()
+            .map(|(cluster, subjects)| self.refit_cluster(bundle, recent, cluster, subjects))
+            .collect();
+        CandidateGeneration { round, candidates }
+    }
+
+    fn refit_cluster(
+        &self,
+        bundle: &ClearBundle,
+        recent: &PreparedCohort,
+        cluster: usize,
+        subjects: &[SubjectId],
+    ) -> ClusterCandidate {
+        let skipped = ClusterCandidate {
+            cluster,
+            members: subjects.len(),
+            base_accuracy: 0.0,
+            candidate_accuracy: 0.0,
+            model: None,
+        };
+        if subjects.len() < self.config.min_members.max(1) {
+            return skipped;
+        }
+        let full = recent.corrected_dataset_for_subjects(subjects, &bundle.clf_normalizer);
+        if full.is_empty() {
+            return skipped;
+        }
+        let base = &bundle.models[cluster];
+        let mut candidate = base.clone();
+        // Hold out recent data for the candidate-vs-base comparison; when
+        // the recent window is too small to split, compare on the full
+        // set (better than adopting blind).
+        let (val, train_set) = full.split_stratified(self.config.val_fraction, self.config.train.seed);
+        let (train_set, holdout) = if val.is_empty() || train_set.is_empty() {
+            (full.clone(), full.clone())
+        } else {
+            (train_set, val)
+        };
+        train::train(&mut candidate, &train_set, None, &self.config.train);
+        let base_accuracy = train::evaluate(base, &holdout).accuracy;
+        let candidate_accuracy = train::evaluate(&candidate, &holdout).accuracy;
+        // The personalization-holdout rule at cluster scale: never ship a
+        // candidate that measures worse than what users already have.
+        let model = (candidate_accuracy + 1e-6 >= base_accuracy).then_some(candidate);
+        ClusterCandidate {
+            cluster,
+            members: subjects.len(),
+            base_accuracy,
+            candidate_accuracy,
+            model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_generation() -> CandidateGeneration {
+        CandidateGeneration {
+            round: 3,
+            candidates: vec![
+                ClusterCandidate {
+                    cluster: 0,
+                    members: 2,
+                    base_accuracy: 0.5,
+                    candidate_accuracy: 0.75,
+                    model: Some(clear_nn::network::cnn_lstm_compact(4, 5, 2, 7)),
+                },
+                ClusterCandidate {
+                    cluster: 1,
+                    members: 0,
+                    base_accuracy: 0.0,
+                    candidate_accuracy: 0.0,
+                    model: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let generation = sample_generation();
+        let sealed = generation.seal().unwrap();
+        assert!(envelope::is_sealed(sealed.as_bytes()));
+        let opened = CandidateGeneration::open(&sealed).unwrap();
+        assert_eq!(opened.round, 3);
+        assert_eq!(opened.candidates.len(), 2);
+        assert_eq!(opened.accepted_clusters(), vec![0]);
+        let a = generation.candidates[0].model.as_ref().unwrap();
+        let b = opened.candidates[0].model.as_ref().unwrap();
+        assert_eq!(a.parameters_flat(), b.parameters_flat());
+    }
+
+    #[test]
+    fn tampered_artifact_is_rejected() {
+        let sealed = sample_generation().seal().unwrap();
+        let tampered = sealed.replace("0.75", "0.85");
+        assert!(CandidateGeneration::open(&tampered).is_err());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let other = envelope::seal_str("snapshot", "{}");
+        assert!(CandidateGeneration::open(&other).is_err());
+    }
+
+    #[test]
+    fn accepted_map_only_contains_surviving_candidates() {
+        let accepted = sample_generation().accepted();
+        assert_eq!(accepted.len(), 1);
+        assert!(accepted.contains_key(&0));
+    }
+}

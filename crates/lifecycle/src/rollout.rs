@@ -1,0 +1,436 @@
+//! Canaried generation rollout: shadow-evaluate, adopt cluster-by-cluster,
+//! roll back on regression.
+//!
+//! The controller never trains and never blocks serving. Its three moves:
+//!
+//! 1. **Shadow evaluation** — dual-predict a traffic sample through
+//!    [`clear_serve::ServeEngine::predict_shadow`]: once with no
+//!    overrides (the live models, observation-silent) and once with the
+//!    candidate checkpoints. Both serves produce the same gated
+//!    [`Prediction`]s real traffic would see, so the comparison is of
+//!    *outcomes* (abstentions, confidence), not proxy losses.
+//! 2. **Staged rollout** — clusters whose candidate held up are adopted
+//!    one at a time through the engine's WAL-logged generation swap;
+//!    clusters that failed the gate keep their current model, and
+//!    clusters without a candidate are never touched.
+//! 3. **Regression guard** — after adoption, a probe sample is served
+//!    silently against the new generation; any cluster whose abstention
+//!    rate regressed past the tolerance is restored to its base model
+//!    (bit-for-bit, via the engine's delta-anchored rollback).
+
+use clear_nn::network::Network;
+use clear_serve::{ServeEngine, ServeError, ServeRequest};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Gates of the shadow evaluation and the post-rollout guard.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RolloutConfig {
+    /// Minimum dual-predicted windows per cluster before it may adopt.
+    pub min_shadow_windows: u64,
+    /// Maximum tolerated rise of the abstention rate (candidate vs live,
+    /// and post-rollout vs pre-rollout in the guard).
+    pub max_abstention_regression: f64,
+    /// Maximum tolerated drop of mean served confidence (candidate vs
+    /// live).
+    pub max_confidence_drop: f64,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        Self {
+            min_shadow_windows: 16,
+            max_abstention_regression: 0.05,
+            max_confidence_drop: 0.10,
+        }
+    }
+}
+
+/// Dual-predict outcome aggregates of one cluster.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterShadowStats {
+    /// Dual-predicted windows.
+    pub windows: u64,
+    /// Windows the live side abstained on.
+    pub live_abstained: u64,
+    /// Windows the candidate side abstained on.
+    pub shadow_abstained: u64,
+    /// Sum of live confidences over live-served windows.
+    pub live_confidence_sum: f64,
+    /// Sum of candidate confidences over candidate-served windows.
+    pub shadow_confidence_sum: f64,
+    /// Windows where both sides served and agreed on the label.
+    pub agreements: u64,
+    /// Windows where both sides served (the agreement denominator).
+    pub both_served: u64,
+}
+
+impl ClusterShadowStats {
+    /// Live abstention rate (0 with no traffic).
+    pub fn live_abstention_rate(&self) -> f64 {
+        rate(self.live_abstained, self.windows)
+    }
+
+    /// Candidate abstention rate (0 with no traffic).
+    pub fn shadow_abstention_rate(&self) -> f64 {
+        rate(self.shadow_abstained, self.windows)
+    }
+
+    /// Mean live confidence over served windows (0 when it never served).
+    pub fn live_mean_confidence(&self) -> f64 {
+        mean(self.live_confidence_sum, self.windows - self.live_abstained)
+    }
+
+    /// Mean candidate confidence over served windows.
+    pub fn shadow_mean_confidence(&self) -> f64 {
+        mean(self.shadow_confidence_sum, self.windows - self.shadow_abstained)
+    }
+
+    /// Fraction of both-served windows where the labels agreed.
+    pub fn agreement_rate(&self) -> f64 {
+        rate(self.agreements, self.both_served)
+    }
+}
+
+fn rate(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+fn mean(sum: f64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The result of one shadow evaluation pass.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShadowReport {
+    /// Per-cluster aggregates over the dual-predicted traffic.
+    pub clusters: BTreeMap<usize, ClusterShadowStats>,
+    /// Requests skipped because either side returned a typed error
+    /// (unknown user, overload); skipped traffic contributes nothing.
+    pub skipped: u64,
+}
+
+/// Verdict of the gate for one candidate cluster.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum RolloutDecision {
+    /// The candidate held up: adopt.
+    Adopt,
+    /// Too little dual-predicted traffic to judge.
+    InsufficientTraffic {
+        /// Windows observed.
+        windows: u64,
+        /// Windows required.
+        needed: u64,
+    },
+    /// The candidate abstained too much more than live.
+    AbstentionRegression {
+        /// Live abstention rate.
+        live: f64,
+        /// Candidate abstention rate.
+        shadow: f64,
+    },
+    /// The candidate's served confidence dropped too far below live.
+    ConfidenceRegression {
+        /// Live mean confidence.
+        live: f64,
+        /// Candidate mean confidence.
+        shadow: f64,
+    },
+}
+
+/// One cluster's completed adoption.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdoptedCluster {
+    /// The cluster that switched generations.
+    pub cluster: usize,
+    /// The engine generation stamp it now serves.
+    pub generation: u64,
+}
+
+/// Shadow evaluation, staged adoption and regression rollback.
+#[derive(Debug, Clone)]
+pub struct RolloutController {
+    config: RolloutConfig,
+}
+
+impl RolloutController {
+    /// A controller with the given gates.
+    pub fn new(config: RolloutConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured gates.
+    pub fn config(&self) -> &RolloutConfig {
+        &self.config
+    }
+
+    /// Dual-predicts `traffic` against `candidates` and aggregates gated
+    /// outcomes per cluster. Both serves are observation-silent and
+    /// commit nothing — live traffic flowing concurrently is unaffected
+    /// and unpolluted.
+    pub fn shadow_eval(
+        &self,
+        engine: &ServeEngine,
+        candidates: &HashMap<usize, Arc<Network>>,
+        traffic: &[ServeRequest<'_>],
+    ) -> ShadowReport {
+        let _span = clear_obs::span(clear_obs::Stage::LifecycleShadowEval);
+        clear_obs::counter_add(clear_obs::counters::LIFECYCLE_SHADOW_EVALS, 1);
+        let no_overrides = HashMap::new();
+        let live = engine.predict_shadow(traffic, &no_overrides);
+        let shadow = engine.predict_shadow(traffic, candidates);
+        let mut report = ShadowReport::default();
+        for ((request, live), shadow) in traffic.iter().zip(live).zip(shadow) {
+            let (Ok(live), Ok(shadow), Ok(cluster)) =
+                (live, shadow, engine.cluster_of(request.user))
+            else {
+                report.skipped += 1;
+                continue;
+            };
+            let stats = report.clusters.entry(cluster).or_default();
+            for (l, s) in live.iter().zip(&shadow) {
+                stats.windows += 1;
+                match l.emotion {
+                    Some(_) => stats.live_confidence_sum += f64::from(l.confidence),
+                    None => stats.live_abstained += 1,
+                }
+                match s.emotion {
+                    Some(_) => stats.shadow_confidence_sum += f64::from(s.confidence),
+                    None => stats.shadow_abstained += 1,
+                }
+                if let (Some(le), Some(se)) = (l.emotion, s.emotion) {
+                    stats.both_served += 1;
+                    if le == se {
+                        stats.agreements += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Judges every candidate cluster against the gates.
+    pub fn decide(
+        &self,
+        report: &ShadowReport,
+        candidates: &HashMap<usize, Arc<Network>>,
+    ) -> BTreeMap<usize, RolloutDecision> {
+        let mut decisions = BTreeMap::new();
+        for &cluster in candidates.keys() {
+            let stats = report.clusters.get(&cluster).copied().unwrap_or_default();
+            let decision = if stats.windows < self.config.min_shadow_windows {
+                RolloutDecision::InsufficientTraffic {
+                    windows: stats.windows,
+                    needed: self.config.min_shadow_windows,
+                }
+            } else if stats.shadow_abstention_rate()
+                > stats.live_abstention_rate() + self.config.max_abstention_regression
+            {
+                RolloutDecision::AbstentionRegression {
+                    live: stats.live_abstention_rate(),
+                    shadow: stats.shadow_abstention_rate(),
+                }
+            } else if stats.shadow_mean_confidence()
+                < stats.live_mean_confidence() - self.config.max_confidence_drop
+            {
+                RolloutDecision::ConfidenceRegression {
+                    live: stats.live_mean_confidence(),
+                    shadow: stats.shadow_mean_confidence(),
+                }
+            } else {
+                RolloutDecision::Adopt
+            };
+            decisions.insert(cluster, decision);
+        }
+        decisions
+    }
+
+    /// Adopts every [`RolloutDecision::Adopt`] cluster, one WAL-logged
+    /// generation swap at a time (ascending cluster order, so two
+    /// controllers racing converge on the same order). Clusters that
+    /// failed the gate are left serving their current model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first engine error; clusters already adopted stay
+    /// adopted (each adoption is individually durable).
+    pub fn roll_out(
+        &self,
+        engine: &ServeEngine,
+        candidates: &HashMap<usize, Arc<Network>>,
+        decisions: &BTreeMap<usize, RolloutDecision>,
+    ) -> Result<Vec<AdoptedCluster>, ServeError> {
+        let mut adopted = Vec::new();
+        for (&cluster, decision) in decisions {
+            if !matches!(decision, RolloutDecision::Adopt) {
+                continue;
+            }
+            let Some(net) = candidates.get(&cluster) else {
+                continue;
+            };
+            let generation = engine.adopt_cluster_model(cluster, net)?;
+            adopted.push(AdoptedCluster {
+                cluster,
+                generation,
+            });
+        }
+        Ok(adopted)
+    }
+
+    /// Post-rollout regression guard: serves `probe` silently against the
+    /// adopted generation and restores any adopted cluster whose
+    /// abstention rate regressed past the tolerance relative to its
+    /// pre-rollout live rate in `baseline`. Returns the rolled-back
+    /// clusters (the engine's delta-anchored restore makes their serving
+    /// bit-identical to before the rollout).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first engine error from a restore; earlier restores
+    /// stick.
+    pub fn guard(
+        &self,
+        engine: &ServeEngine,
+        adopted: &[AdoptedCluster],
+        baseline: &ShadowReport,
+        probe: &[ServeRequest<'_>],
+    ) -> Result<Vec<usize>, ServeError> {
+        let no_overrides = HashMap::new();
+        let results = engine.predict_shadow(probe, &no_overrides);
+        let mut windows: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        for (request, result) in probe.iter().zip(results) {
+            let (Ok(predictions), Ok(cluster)) = (result, engine.cluster_of(request.user)) else {
+                continue;
+            };
+            let slot = windows.entry(cluster).or_default();
+            for p in &predictions {
+                slot.0 += 1;
+                if p.emotion.is_none() {
+                    slot.1 += 1;
+                }
+            }
+        }
+        let mut rolled_back = Vec::new();
+        for a in adopted {
+            let Some(&(served, abstained)) = windows.get(&a.cluster) else {
+                continue;
+            };
+            if served == 0 {
+                continue;
+            }
+            let before = baseline
+                .clusters
+                .get(&a.cluster)
+                .map_or(0.0, |s| s.live_abstention_rate());
+            let after = abstained as f64 / served as f64;
+            if after > before + self.config.max_abstention_regression {
+                engine.restore_cluster_model(a.cluster)?;
+                rolled_back.push(a.cluster);
+            }
+        }
+        Ok(rolled_back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(windows: u64, live_abs: u64, shadow_abs: u64) -> ClusterShadowStats {
+        ClusterShadowStats {
+            windows,
+            live_abstained: live_abs,
+            shadow_abstained: shadow_abs,
+            live_confidence_sum: 0.9 * (windows - live_abs) as f64,
+            shadow_confidence_sum: 0.9 * (windows - shadow_abs) as f64,
+            ..ClusterShadowStats::default()
+        }
+    }
+
+    fn candidates(clusters: &[usize]) -> HashMap<usize, Arc<Network>> {
+        clusters
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    Arc::new(clear_nn::network::cnn_lstm_compact(4, 5, 2, c as u64)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_candidate_is_adopted() {
+        let controller = RolloutController::new(RolloutConfig::default());
+        let mut report = ShadowReport::default();
+        report.clusters.insert(0, stats(100, 10, 9));
+        let decisions = controller.decide(&report, &candidates(&[0]));
+        assert_eq!(decisions[&0], RolloutDecision::Adopt);
+    }
+
+    #[test]
+    fn abstention_regression_is_rejected() {
+        let controller = RolloutController::new(RolloutConfig::default());
+        let mut report = ShadowReport::default();
+        report.clusters.insert(0, stats(100, 10, 40));
+        let decisions = controller.decide(&report, &candidates(&[0]));
+        assert!(matches!(
+            decisions[&0],
+            RolloutDecision::AbstentionRegression { .. }
+        ));
+    }
+
+    #[test]
+    fn thin_traffic_is_rejected() {
+        let controller = RolloutController::new(RolloutConfig::default());
+        let mut report = ShadowReport::default();
+        report.clusters.insert(0, stats(3, 0, 0));
+        let decisions = controller.decide(&report, &candidates(&[0]));
+        assert!(matches!(
+            decisions[&0],
+            RolloutDecision::InsufficientTraffic { .. }
+        ));
+    }
+
+    #[test]
+    fn unseen_candidate_cluster_is_insufficient_not_adopted() {
+        // A candidate whose cluster saw no shadow traffic at all must not
+        // slip through the gate.
+        let controller = RolloutController::new(RolloutConfig::default());
+        let decisions = controller.decide(&ShadowReport::default(), &candidates(&[2]));
+        assert!(matches!(
+            decisions[&2],
+            RolloutDecision::InsufficientTraffic { .. }
+        ));
+    }
+
+    #[test]
+    fn confidence_regression_is_rejected() {
+        let controller = RolloutController::new(RolloutConfig::default());
+        let mut s = stats(100, 10, 10);
+        s.shadow_confidence_sum = 0.5 * 90.0;
+        let mut report = ShadowReport::default();
+        report.clusters.insert(1, s);
+        let decisions = controller.decide(&report, &candidates(&[1]));
+        assert!(matches!(
+            decisions[&1],
+            RolloutDecision::ConfidenceRegression { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_rates_handle_zero_traffic() {
+        let s = ClusterShadowStats::default();
+        assert_eq!(s.live_abstention_rate(), 0.0);
+        assert_eq!(s.shadow_mean_confidence(), 0.0);
+        assert_eq!(s.agreement_rate(), 0.0);
+    }
+}

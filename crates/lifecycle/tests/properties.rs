@@ -1,0 +1,169 @@
+//! Property-based invariants of the drift monitor's windowing:
+//!
+//! 1. a stationary stream never signals, at any window geometry, traffic
+//!    level or sample ordering;
+//! 2. the response to an abstention-rate step is monotone — a larger
+//!    step never signals where a smaller one stayed quiet, and the
+//!    reported rise grows with the step;
+//! 3. no input — empty, degenerate geometry, zero traffic, saturating
+//!    counters — ever panics.
+
+use clear_lifecycle::{DriftConfig, DriftMonitor, DriftSignal, WindowSample};
+use proptest::prelude::*;
+
+fn sample(served: u64, abstained: u64) -> WindowSample {
+    WindowSample {
+        served,
+        abstained: abstained.min(served),
+        ..WindowSample::default()
+    }
+}
+
+fn abstention_rise(signals: &[DriftSignal]) -> Option<f64> {
+    signals.iter().find_map(|s| match s {
+        DriftSignal::AbstentionStep { reference, recent } => Some(recent - reference),
+        _ => None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// A stream whose per-window abstention rate never moves must never
+    /// signal, for any window geometry, stream length, traffic volume or
+    /// per-window jitter in volume (rates are scale-free).
+    #[test]
+    fn stationary_streams_never_signal(
+        reference in 1usize..12,
+        recent in 1usize..12,
+        den in 1u64..1000,
+        num_seed in 0u64..1000,
+        jitter in prop::collection::vec(1u64..5, 0..40),
+    ) {
+        let config = DriftConfig {
+            reference_windows: reference,
+            recent_windows: recent,
+            min_traffic: 0,
+            ..DriftConfig::default()
+        };
+        // Exact constant rate num/den at every window: volume jitters,
+        // the rate does not (scaling numerator and denominator alike
+        // keeps the ratio exact — no integer-floor artifacts).
+        let num = num_seed % (den + 1);
+        let mut monitor = DriftMonitor::new(config);
+        for &scale in &jitter {
+            monitor.observe(sample(den * scale, num * scale));
+            let signals = monitor.assess();
+            prop_assert!(
+                signals.is_empty(),
+                "stationary stream signalled: {signals:?}"
+            );
+        }
+    }
+
+    /// After a step in the abstention rate, the monitor's response is
+    /// monotone in the step size: if a step of `d` signals, every larger
+    /// step signals too, and the reported rise is at least as large.
+    #[test]
+    fn response_is_monotone_in_the_step_size(
+        reference in 1usize..6,
+        recent in 1usize..6,
+        served in 100u64..10_000,
+        base_per_mille in 0u64..400,
+        step_a in 0u64..300,
+        extra in 1u64..300,
+    ) {
+        let config = DriftConfig {
+            reference_windows: reference,
+            recent_windows: recent,
+            min_traffic: 1,
+            ..DriftConfig::default()
+        };
+        let step_b = step_a + extra;
+        let run = |step: u64| {
+            let mut monitor = DriftMonitor::new(config);
+            for _ in 0..reference {
+                monitor.observe(sample(served, served * base_per_mille / 1000));
+            }
+            for _ in 0..recent {
+                let rate = (base_per_mille + step).min(1000);
+                monitor.observe(sample(served, served * rate / 1000));
+            }
+            monitor.assess()
+        };
+        let small = abstention_rise(&run(step_a));
+        let large = abstention_rise(&run(step_b));
+        if let Some(small_rise) = small {
+            let large_rise = large.expect("larger step must also signal");
+            prop_assert!(
+                large_rise >= small_rise - 1e-9,
+                "rise shrank: {small_rise} -> {large_rise}"
+            );
+        }
+    }
+
+    /// No observation sequence, window geometry or counter level can
+    /// panic the monitor — including zero-window configs, zero traffic,
+    /// abstained > served inputs and u64::MAX counters.
+    #[test]
+    fn never_panics_on_degenerate_input(
+        reference in 0usize..4,
+        recent in 0usize..4,
+        min_traffic in 0u64..100,
+        stream in prop::collection::vec((0u64..5, 0u64..10), 0..20),
+        extremes in any::<bool>(),
+    ) {
+        let mut monitor = DriftMonitor::new(DriftConfig {
+            reference_windows: reference,
+            recent_windows: recent,
+            min_traffic,
+            ..DriftConfig::default()
+        });
+        let _ = monitor.assess();
+        for &(served, abstained) in &stream {
+            monitor.observe(WindowSample {
+                served,
+                abstained,
+                ..WindowSample::default()
+            });
+            let _ = monitor.assess();
+        }
+        if extremes {
+            monitor.observe(WindowSample {
+                served: u64::MAX,
+                abstained: u64::MAX,
+                quality_sum: f64::MAX,
+                quality_count: u64::MAX,
+                affinity_sum: f64::MIN,
+                affinity_count: 1,
+            });
+            let _ = monitor.assess();
+        }
+    }
+
+    /// Counter-snapshot diffing is order-safe: regressing counters (a
+    /// restarted process) clamp to zero instead of underflowing.
+    #[test]
+    fn counter_regressions_clamp_instead_of_underflow(
+        a in 0u64..1000,
+        b in 0u64..1000,
+    ) {
+        let mut monitor = DriftMonitor::new(DriftConfig::default());
+        let snap_with = |n: u64| {
+            let mut snap = clear_obs::Snapshot {
+                counters: Default::default(),
+                gauges: Default::default(),
+                histograms: Default::default(),
+            };
+            snap.counters.insert(clear_obs::counters::PREDICTIONS.to_string(), n);
+            snap
+        };
+        monitor.observe_counters(&snap_with(a));
+        monitor.observe_counters(&snap_with(b));
+        let _ = monitor.assess();
+        prop_assert_eq!(monitor.sample_count(), 1);
+    }
+}

@@ -174,6 +174,23 @@ pub mod counters {
     /// Windows skipped by the `DegradeToSparseHop` shed policy (temporal
     /// resolution halved while over budget).
     pub const STREAM_SHED_SPARSE_HOP_WINDOWS: &str = "stream.shed.sparse_hop_windows";
+    /// Drift-monitor window samples ingested.
+    pub const LIFECYCLE_WINDOWS_OBSERVED: &str = "lifecycle.windows_observed";
+    /// Typed drift signals raised by the drift monitor.
+    pub const LIFECYCLE_DRIFT_SIGNALS: &str = "lifecycle.drift_signals";
+    /// Background refits completed (candidate generations produced).
+    pub const LIFECYCLE_REFITS: &str = "lifecycle.refits";
+    /// Shadow evaluations completed (candidate dual-predicted against
+    /// live traffic).
+    pub const LIFECYCLE_SHADOW_EVALS: &str = "lifecycle.shadow_evals";
+    /// Windows dual-predicted on the shadow path (candidate-side serves;
+    /// kept separate from `serve.*` so shadow traffic never pollutes the
+    /// drift monitor's own inputs).
+    pub const LIFECYCLE_SHADOW_WINDOWS: &str = "lifecycle.shadow_windows";
+    /// Cluster model generations adopted by staged rollout.
+    pub const LIFECYCLE_CLUSTERS_ADOPTED: &str = "lifecycle.clusters_adopted";
+    /// Cluster model generations rolled back to the prior generation.
+    pub const LIFECYCLE_CLUSTERS_ROLLED_BACK: &str = "lifecycle.clusters_rolled_back";
 }
 
 /// Gauge name for the worst follower replication lag across partitions,

@@ -73,6 +73,22 @@ pub enum Stage {
     /// serving them through `ServeEngine::predict_many`
     /// (`clear_stream::StreamPump::drain`).
     StreamPump,
+    /// One drift-monitor observation: diffing a counter snapshot into a
+    /// window sample and scanning the sliding windows for drift
+    /// (`clear_lifecycle::DriftMonitor::observe`).
+    LifecycleDriftScan,
+    /// One background refit: re-running the clustering stage over
+    /// accumulated recent-user summaries to produce a candidate
+    /// generation (`clear_lifecycle::Refitter::refit`).
+    LifecycleRefit,
+    /// One shadow evaluation: dual-predicting live traffic under the
+    /// incumbent and candidate models and comparing gated outcomes
+    /// (`clear_lifecycle::RolloutController::shadow_eval`).
+    LifecycleShadowEval,
+    /// One staged rollout step: adopting (or rolling back) one cluster's
+    /// candidate model through the serving engine
+    /// (`clear_lifecycle::RolloutController`).
+    LifecycleRollout,
 }
 
 impl Stage {
@@ -104,6 +120,10 @@ impl Stage {
             Stage::ClusterFailover => "stage.cluster.failover",
             Stage::StreamIngest => "stage.stream.ingest",
             Stage::StreamPump => "stage.stream.pump",
+            Stage::LifecycleDriftScan => "stage.lifecycle.drift_scan",
+            Stage::LifecycleRefit => "stage.lifecycle.refit",
+            Stage::LifecycleShadowEval => "stage.lifecycle.shadow_eval",
+            Stage::LifecycleRollout => "stage.lifecycle.rollout",
         }
     }
 
@@ -135,6 +155,10 @@ impl Stage {
             Stage::ClusterFailover,
             Stage::StreamIngest,
             Stage::StreamPump,
+            Stage::LifecycleDriftScan,
+            Stage::LifecycleRefit,
+            Stage::LifecycleShadowEval,
+            Stage::LifecycleRollout,
         ]
     }
 }

@@ -47,8 +47,8 @@ use clear_core::deployment::{
 use clear_core::serving;
 use clear_durable::wal::WAL_FILE;
 use clear_durable::{
-    read_records, DurableConfig, DurableError, EngineSnapshot, FsStorage, Storage, TenantRecord,
-    Wal, WalOp, WalRecord,
+    read_records, AdoptedClusterRecord, DurableConfig, DurableError, EngineSnapshot, FsStorage,
+    Storage, TenantRecord, Wal, WalOp, WalRecord,
 };
 use clear_edge::{personalized_cache_capacity, Device};
 use clear_features::quality::assess_map;
@@ -267,10 +267,24 @@ struct Resolved {
     net: Option<Arc<Network>>,
 }
 
+/// One cluster's adopted serving model: a lifecycle generation that
+/// replaced the base bundle checkpoint (see
+/// [`ServeEngine::adopt_cluster_model`]).
+struct AdoptedModel {
+    /// Engine-wide generation stamp issued at adoption.
+    generation: u64,
+    /// The adopted weights as a delta from the base bundle model — the
+    /// durable form carried by the WAL and snapshots.
+    delta: WeightDelta,
+    /// The hydrated serving checkpoint.
+    net: Arc<Network>,
+}
+
 /// The durability sidecar of an engine opened with
 /// [`ServeEngine::recover`]: the WAL, the storage it and snapshots live
 /// on, and the automatic-snapshot cadence. Lock order is shards
-/// (ascending index) → WAL, everywhere.
+/// (ascending index) → adopted cluster slots (ascending index) → WAL,
+/// everywhere.
 struct Durability {
     storage: Arc<dyn Storage>,
     wal: Mutex<Wal>,
@@ -293,8 +307,14 @@ pub struct ServeEngine {
     /// Source of fork-generation stamps. Globally monotone (never
     /// per-tenant), so a generation value is never reused across
     /// offboard/re-onboard cycles and a cached fork from a previous
-    /// enrolment can never be rehydrated by construction.
+    /// enrolment can never be rehydrated by construction. Cluster-model
+    /// adoptions draw from the same counter, so user forks and cluster
+    /// generations share one engine-wide ordering.
     next_generation: AtomicU64,
+    /// Per-cluster adopted serving models, indexed by cluster. `None`
+    /// serves the base bundle checkpoint — the state every engine
+    /// starts in, bit-identical to the pre-lifecycle serving path.
+    adopted: Vec<RwLock<Option<AdoptedModel>>>,
     durability: Option<Durability>,
 }
 
@@ -312,6 +332,9 @@ impl ServeEngine {
                 depth: AtomicUsize::new(0),
             })
             .collect();
+        let adopted = (0..bundle.cluster_count())
+            .map(|_| RwLock::new(None))
+            .collect();
         Self {
             bundle,
             policy,
@@ -320,6 +343,7 @@ impl ServeEngine {
             max_queue_depth: config.max_queue_depth.max(1),
             tier: config.default_tier,
             next_generation: AtomicU64::new(0),
+            adopted,
             durability: None,
         }
     }
@@ -398,13 +422,22 @@ impl ServeEngine {
                     .pending
                     .insert(user, maps);
             }
+            for a in snap.adopted {
+                next_generation = next_generation.max(a.generation + 1);
+                let net = engine.hydrate_adopted(a.cluster, &a.delta)?;
+                *engine.adopted[a.cluster].get_mut() = Some(AdoptedModel {
+                    generation: a.generation,
+                    delta: a.delta,
+                    net,
+                });
+            }
         }
         let mut replayed = 0u64;
         for record in records {
             if record.lsn <= last_lsn {
                 continue;
             }
-            engine.apply_logged(record.op, &mut next_generation);
+            engine.apply_logged(record.op, &mut next_generation)?;
             replayed += 1;
         }
         clear_obs::counter_add(clear_obs::counters::DURABLE_RECOVERED_OPS, replayed);
@@ -418,11 +451,73 @@ impl ServeEngine {
         Ok(engine)
     }
 
+    /// Rebuilds an adopted cluster checkpoint from its durable delta
+    /// form: the delta applies to the immutable base bundle model, so
+    /// the result is bit-identical to the network that was adopted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a corruption error when the cluster is out of range for
+    /// this bundle or the delta does not apply to its base model —
+    /// either way the record cannot have come from this engine's
+    /// history.
+    fn hydrate_adopted(
+        &self,
+        cluster: usize,
+        delta: &WeightDelta,
+    ) -> Result<Arc<Network>, ServeError> {
+        let base = self.bundle.models.get(cluster).ok_or_else(|| {
+            DurableError::corrupt(
+                "snapshot",
+                format!("adopted model names cluster {cluster}, bundle has fewer"),
+            )
+        })?;
+        let net = delta.apply(base).map_err(|e| {
+            DurableError::corrupt(
+                "snapshot",
+                format!("adopted delta does not apply to cluster {cluster}'s base model: {e}"),
+            )
+        })?;
+        Ok(Arc::new(net))
+    }
+
     /// Applies one replayed WAL record to in-memory state. Replay is
     /// exact state reconstruction: ops carry results (assigned cluster,
     /// computed baseline, extracted delta), never inputs, so nothing is
     /// recomputed and nothing can be double-counted.
-    fn apply_logged(&mut self, op: WalOp, next_generation: &mut u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Durable`] when an adopted-model record
+    /// cannot be reconstructed against this engine's bundle.
+    fn apply_logged(&mut self, op: WalOp, next_generation: &mut u64) -> Result<(), ServeError> {
+        if let WalOp::AdoptClusterModel {
+            cluster,
+            generation,
+            delta,
+        } = op
+        {
+            *next_generation = (*next_generation).max(generation + 1);
+            let installed = match delta {
+                None => None,
+                Some(delta) => {
+                    let net = self.hydrate_adopted(cluster, &delta)?;
+                    Some(AdoptedModel {
+                        generation,
+                        delta: *delta,
+                        net,
+                    })
+                }
+            };
+            let slot = self.adopted.get_mut(cluster).ok_or_else(|| {
+                DurableError::corrupt(
+                    "wal",
+                    format!("adopted model names cluster {cluster}, bundle has fewer"),
+                )
+            })?;
+            *slot.get_mut() = installed;
+            return Ok(());
+        }
         let shard = self.shard_of(op.user());
         let state = self.shards[shard].state.get_mut();
         match op {
@@ -469,7 +564,10 @@ impl ServeEngine {
                 state.tenants.remove(&user);
                 state.pending.remove(&user);
             }
+            // Returned on above: engine-wide, not shard state.
+            WalOp::AdoptClusterModel { .. } => {}
         }
+        Ok(())
     }
 
     /// Whether this engine logs mutations to a write-ahead log.
@@ -522,11 +620,15 @@ impl ServeEngine {
         let Some(d) = &self.durability else {
             return Ok(());
         };
-        // Lock order: shards (ascending) → WAL, as everywhere.
+        // Lock order: shards (ascending) → adopted slots (ascending) →
+        // WAL, as everywhere.
         let guards: Vec<RwLockReadGuard<'_, ShardState>> =
             (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
+        let slots: Vec<RwLockReadGuard<'_, Option<AdoptedModel>>> =
+            self.adopted.iter().map(|s| s.read()).collect();
         let mut wal = d.wal.lock();
-        let snap = Self::capture(wal.last_lsn(), &guards);
+        let snap = Self::capture(wal.last_lsn(), &guards, &slots);
+        drop(slots);
         drop(guards);
         snap.save(d.storage.as_ref())?;
         wal.truncate()?;
@@ -535,13 +637,19 @@ impl ServeEngine {
     }
 
     /// Collects every shard's state into a normalized [`EngineSnapshot`]
-    /// at the given LSN horizon. Callers hold the shard guards (and the
-    /// WAL lock that produced `last_lsn`), so the cut is consistent.
-    fn capture(last_lsn: u64, guards: &[RwLockReadGuard<'_, ShardState>]) -> EngineSnapshot {
+    /// at the given LSN horizon. Callers hold the shard and adopted-slot
+    /// guards (and the WAL lock that produced `last_lsn`), so the cut is
+    /// consistent.
+    fn capture(
+        last_lsn: u64,
+        guards: &[RwLockReadGuard<'_, ShardState>],
+        slots: &[RwLockReadGuard<'_, Option<AdoptedModel>>],
+    ) -> EngineSnapshot {
         let mut snap = EngineSnapshot {
             last_lsn,
             tenants: Vec::new(),
             pending: Vec::new(),
+            adopted: Vec::new(),
         };
         for guard in guards {
             for (user, t) in &guard.tenants {
@@ -556,6 +664,15 @@ impl ServeEngine {
             }
             for (user, maps) in &guard.pending {
                 snap.pending.push((user.clone(), maps.clone()));
+            }
+        }
+        for (cluster, slot) in slots.iter().enumerate() {
+            if let Some(a) = slot.as_ref() {
+                snap.adopted.push(AdoptedClusterRecord {
+                    cluster,
+                    generation: a.generation,
+                    delta: a.delta.clone(),
+                });
             }
         }
         snap.normalize();
@@ -581,8 +698,10 @@ impl ServeEngine {
             .ok_or(ServeError::Internal("snapshot export needs a durable engine"))?;
         let guards: Vec<RwLockReadGuard<'_, ShardState>> =
             (0..self.shards.len()).map(|i| self.read_shard(i)).collect();
+        let slots: Vec<RwLockReadGuard<'_, Option<AdoptedModel>>> =
+            self.adopted.iter().map(|s| s.read()).collect();
         let wal = d.wal.lock();
-        Ok(Self::capture(wal.last_lsn(), &guards))
+        Ok(Self::capture(wal.last_lsn(), &guards, &slots))
     }
 
     /// Builds a durable engine whose state is exactly `snapshot`: the
@@ -678,6 +797,65 @@ impl ServeEngine {
             diverged: None,
         };
         for record in records {
+            if let WalOp::AdoptClusterModel {
+                cluster,
+                generation,
+                delta,
+            } = &record.op
+            {
+                // Engine-wide op: it locks its cluster slot, not a
+                // shard. Validate (and hydrate) before anything is
+                // appended, so a record that cannot have come from this
+                // replica's bundle rejects with nothing written.
+                if *cluster >= self.adopted.len() {
+                    report.diverged = Some(format!(
+                        "record {} adopts a model for cluster {cluster} this replica's bundle \
+                         does not have",
+                        record.lsn
+                    ));
+                    break;
+                }
+                let hydrated = match delta {
+                    None => None,
+                    Some(delta) => match self.hydrate_adopted(*cluster, delta) {
+                        Ok(net) => Some(net),
+                        Err(_) => {
+                            report.diverged = Some(format!(
+                                "record {} carries a delta that does not apply to this \
+                                 replica's base model for cluster {cluster}",
+                                record.lsn
+                            ));
+                            break;
+                        }
+                    },
+                };
+                // Lock order: adopted slot → WAL, as everywhere.
+                let mut slot = self.adopted[*cluster].write();
+                let mut wal = d.wal.lock();
+                let last = wal.last_lsn();
+                if record.lsn <= last {
+                    report.duplicates += 1;
+                    continue;
+                }
+                if record.lsn > last + 1 {
+                    report.gap_at = Some(last + 1);
+                    break;
+                }
+                wal.append_records(std::slice::from_ref(record))?;
+                drop(wal);
+                d.ops_since.fetch_add(1, Ordering::SeqCst);
+                self.next_generation.fetch_max(generation + 1, Ordering::SeqCst);
+                *slot = match (delta, hydrated) {
+                    (Some(delta), Some(net)) => Some(AdoptedModel {
+                        generation: *generation,
+                        delta: (**delta).clone(),
+                        net,
+                    }),
+                    _ => None,
+                };
+                report.applied_through = record.lsn;
+                continue;
+            }
             let user = record.op.user();
             let shard = self.shard_of(user);
             // Lock order: shard → WAL, as everywhere.
@@ -772,6 +950,9 @@ impl ServeEngine {
                 state.tenants.remove(&user);
                 state.pending.remove(&user);
             }
+            // Engine-wide: applied by `import_records` itself, which
+            // holds the cluster slot instead of a shard lock.
+            WalOp::AdoptClusterModel { .. } => {}
         }
     }
 
@@ -973,7 +1154,7 @@ impl ServeEngine {
         maps: &[FeatureMap],
     ) -> Result<Vec<Prediction>, ServeError> {
         match self
-            .predict_set(&[ServeRequest { user, maps }], false)
+            .predict_set(&[ServeRequest { user, maps }], false, None)
             .pop()
         {
             Some(result) => result,
@@ -998,16 +1179,37 @@ impl ServeEngine {
         &self,
         requests: &[ServeRequest<'_>],
     ) -> Vec<Result<Vec<Prediction>, ServeError>> {
-        self.predict_set(requests, true)
+        self.predict_set(requests, true, None)
+    }
+
+    /// Dual-predicts a request set against candidate cluster models —
+    /// the shadow-evaluation hook of the lifecycle layer. Requests are
+    /// resolved, gated and served exactly as [`ServeEngine::predict_many`]
+    /// would, except that clusters named in `candidates` serve the
+    /// candidate checkpoint instead of their live one, nothing commits
+    /// (no WAL append, no quarantine bookkeeping), and serve-side
+    /// counters stay untouched (`lifecycle.shadow_windows` counts the
+    /// traffic instead). Personalized users keep their forks on both
+    /// sides, mirroring what a real rollout would — and would not —
+    /// change.
+    pub fn predict_shadow(
+        &self,
+        requests: &[ServeRequest<'_>],
+        candidates: &HashMap<usize, Arc<Network>>,
+    ) -> Vec<Result<Vec<Prediction>, ServeError>> {
+        self.predict_set(requests, false, Some(candidates))
     }
 
     /// [`ServeEngine::predict_many`] with the quarantine commit made
-    /// explicit: read-only callers (follower serving) pass `false` and
-    /// the engine guarantees no WAL append and no registry mutation.
+    /// explicit — read-only callers (follower serving) pass `false` and
+    /// the engine guarantees no WAL append and no registry mutation —
+    /// and the shadow candidate overrides made explicit (see
+    /// [`ServeEngine::predict_shadow`]).
     fn predict_set(
         &self,
         requests: &[ServeRequest<'_>],
         commit_quarantine: bool,
+        shadow: Option<&HashMap<usize, Arc<Network>>>,
     ) -> Vec<Result<Vec<Prediction>, ServeError>> {
         let mut slots: Vec<Option<Result<Vec<Prediction>, ServeError>>> =
             requests.iter().map(|_| None).collect();
@@ -1078,15 +1280,43 @@ impl ServeEngine {
         for r in resolved {
             by_cluster.entry(r.cluster).or_default().push(r);
         }
+        let is_shadow = shadow.is_some();
         for (cluster, group) in by_cluster {
             let centroid = serving::cluster_raw_centroid(&self.bundle, cluster);
+            // Resolved once per group, so every prediction emitted for
+            // this cluster in this set carries exactly one generation —
+            // a rollout landing mid-set affects the next set, never a
+            // suffix of this one. Shadow candidates override the live
+            // choice; otherwise the adopted generation (when present)
+            // overrides the base bundle model.
+            let cluster_model: Option<Arc<Network>> = shadow
+                .and_then(|c| c.get(&cluster).cloned())
+                .or_else(|| {
+                    self.adopted
+                        .get(cluster)
+                        .and_then(|slot| slot.read().as_ref().map(|a| Arc::clone(&a.net)))
+                });
             let mut ws = Workspace::new();
             for r in group {
                 let maps = requests[r.index].maps;
-                let _span = clear_obs::span(clear_obs::Stage::PredictBatch);
-                clear_obs::counter_add(clear_obs::counters::BATCHES, 1);
-                clear_obs::counter_add(clear_obs::counters::BATCH_WINDOWS, maps.len() as u64);
-                clear_obs::size_record(clear_obs::BATCH_SIZE_HISTOGRAM, maps.len() as u64);
+                let _span = if is_shadow {
+                    clear_obs::SpanGuard::noop()
+                } else {
+                    clear_obs::span(clear_obs::Stage::PredictBatch)
+                };
+                if is_shadow {
+                    // Shadow serves are observation-silent: the drift
+                    // monitor must never see its own dual-predict
+                    // traffic reflected in the serve counters.
+                    clear_obs::counter_add(
+                        clear_obs::counters::LIFECYCLE_SHADOW_WINDOWS,
+                        maps.len() as u64,
+                    );
+                } else {
+                    clear_obs::counter_add(clear_obs::counters::BATCHES, 1);
+                    clear_obs::counter_add(clear_obs::counters::BATCH_WINDOWS, maps.len() as u64);
+                    clear_obs::size_record(clear_obs::BATCH_SIZE_HISTOGRAM, maps.len() as u64);
+                }
                 let ctx = serving::ServeContext {
                     bundle: &self.bundle,
                     policy: &self.policy,
@@ -1094,6 +1324,8 @@ impl ServeEngine {
                     baseline: &r.baseline,
                     centroid: &centroid,
                     personalized: r.net.as_deref(),
+                    cluster_model: cluster_model.as_deref(),
+                    shadow: is_shadow,
                     tier: self.tier,
                 };
                 let mut predictions = Vec::with_capacity(maps.len());
@@ -1232,6 +1464,112 @@ impl ServeEngine {
         }
         self.maybe_snapshot();
         Ok(outcome)
+    }
+
+    /// Installs `net` as the serving model for one cluster — the
+    /// per-cluster commit step of a lifecycle rollout. The checkpoint is
+    /// stored durably as a sparse [`WeightDelta`] against the cluster's
+    /// immutable base bundle model, stamped with a fresh engine-wide
+    /// generation, and WAL-logged before it becomes visible, so recovery
+    /// replays the adoption decision and a recovered engine serves the
+    /// same generation bit-for-bit. Personalized users are untouched:
+    /// their forks anchor to the base model and keep winning resolution.
+    ///
+    /// Returns the generation stamp the cluster now serves.
+    ///
+    /// # Errors
+    ///
+    /// Wrapped [`DeployError::BadInput`] for an out-of-range cluster,
+    /// [`DeployError::Serde`] when the checkpoint's shape does not match
+    /// the base model, and [`ServeError::Durable`] when the WAL rejects
+    /// the append (the cluster keeps its previous model in that case).
+    pub fn adopt_cluster_model(&self, cluster: usize, net: &Network) -> Result<u64, ServeError> {
+        let _span = clear_obs::span(clear_obs::Stage::LifecycleRollout);
+        let base = self
+            .bundle
+            .models
+            .get(cluster)
+            .ok_or(DeployError::BadInput("bundle has no model for cluster"))?;
+        let delta = WeightDelta::between(base, net)
+            .map_err(|e| DeployError::Serde(format!("delta extraction failed: {e}")))?;
+        // Hydrate through the delta (not a clone of `net`) so the bytes
+        // served now are the bytes recovery will reconstruct.
+        let hydrated = Arc::new(
+            delta
+                .apply(base)
+                .map_err(|e| DeployError::Serde(format!("delta does not re-apply: {e}")))?,
+        );
+        let generation = {
+            // Lock order: adopted slot → WAL. Holding the slot across
+            // the append keeps per-slot WAL order equal to install
+            // order, so replay converges to the live state.
+            let mut slot = self.adopted[cluster].write();
+            let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+            self.log_op(|| WalOp::AdoptClusterModel {
+                cluster,
+                generation,
+                delta: Some(Box::new(delta.clone())),
+            })?;
+            *slot = Some(AdoptedModel {
+                generation,
+                delta,
+                net: hydrated,
+            });
+            generation
+        };
+        clear_obs::counter_add(clear_obs::counters::LIFECYCLE_CLUSTERS_ADOPTED, 1);
+        self.maybe_snapshot();
+        Ok(generation)
+    }
+
+    /// Rolls a cluster back to its immutable base bundle model — the
+    /// lifecycle controller's regression escape hatch. The restore is
+    /// WAL-logged (as an adoption of "no delta") so recovery lands on
+    /// the base model too. Returns the generation stamp of the restore,
+    /// or 0 without touching the WAL when the cluster already serves
+    /// base — rollback of a never-adopted cluster is a no-op, not an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Wrapped [`DeployError::BadInput`] for an out-of-range cluster and
+    /// [`ServeError::Durable`] when the WAL rejects the append (the
+    /// adopted model stays in place in that case).
+    pub fn restore_cluster_model(&self, cluster: usize) -> Result<u64, ServeError> {
+        if cluster >= self.adopted.len() {
+            return Err(DeployError::BadInput("bundle has no model for cluster").into());
+        }
+        let generation = {
+            let mut slot = self.adopted[cluster].write();
+            if slot.is_none() {
+                return Ok(0);
+            }
+            let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+            self.log_op(|| WalOp::AdoptClusterModel {
+                cluster,
+                generation,
+                delta: None,
+            })?;
+            *slot = None;
+            generation
+        };
+        clear_obs::counter_add(clear_obs::counters::LIFECYCLE_CLUSTERS_ROLLED_BACK, 1);
+        self.maybe_snapshot();
+        Ok(generation)
+    }
+
+    /// The generation stamp a cluster currently serves: 0 while on the
+    /// base bundle model, the adoption's stamp after a rollout.
+    pub fn cluster_generation(&self, cluster: usize) -> u64 {
+        self.adopted
+            .get(cluster)
+            .and_then(|slot| slot.read().as_ref().map(|a| a.generation))
+            .unwrap_or(0)
+    }
+
+    /// Number of clusters the bundle serves (adoption slots).
+    pub fn cluster_count(&self) -> usize {
+        self.adopted.len()
     }
 
     /// Drops a user's state (tenant, deferred onboarding buffer and any

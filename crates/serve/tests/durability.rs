@@ -2,8 +2,9 @@
 //!
 //! The central test sweeps a simulated crash across **every write
 //! boundary** of a scripted operation sequence (onboards — deferred and
-//! assigned — a quarantining predict, a personalization, an offboard and
-//! a re-onboard), with and without automatic snapshots. At each kill
+//! assigned — a quarantining predict, a personalization, cluster-model
+//! adoptions and a rollback, an offboard and a re-onboard), with and
+//! without automatic snapshots. At each kill
 //! point the engine runs against a fault-injecting storage that tears
 //! the failing append and fails everything after it; recovery from the
 //! surviving bytes must reproduce — bit-identically, predictions
@@ -21,6 +22,7 @@ use clear_durable::{
     DurableConfig, DurableError, FaultPlan, FaultStorage, MemStorage, ReadFaultPlan, Storage, Wal,
     WalOp, WalRecord,
 };
+use clear_nn::network::Network;
 use clear_serve::{EngineConfig, ServeEngine, ServeError};
 use common::{fixture, labeled_of, lenient, maps_of, nan_map, Fixture};
 use std::sync::Arc;
@@ -59,20 +61,41 @@ enum ScriptOp {
     Personalize(&'static str, usize, usize, usize),
     /// Offboard `user`.
     Offboard(&'static str),
+    /// Adopt a perturbed candidate generation for `cluster`.
+    AdoptCluster(usize),
+    /// Restore `cluster` to its base generation.
+    RestoreCluster(usize),
 }
 
-/// Every durable op type except the no-op rollback: a deferred onboard
-/// (BufferMaps), assigned onboards, a quarantine, an adoption, an
-/// offboard and a re-onboard.
-const SCRIPT: [ScriptOp; 7] = [
+/// Every durable op type: a deferred onboard (BufferMaps), assigned
+/// onboards, a quarantine, a personalization adoption, cluster-model
+/// generation swaps (adopt twice, roll one back), an offboard and a
+/// re-onboard.
+const SCRIPT: [ScriptOp; 10] = [
     ScriptOp::Onboard("amy", 0, 0, 2),
     ScriptOp::Onboard("amy", 0, 2, 5),
     ScriptOp::Onboard("bob", 1, 0, 3),
     ScriptOp::PredictNan("amy"),
     ScriptOp::Personalize("bob", 1, 0, 2),
+    ScriptOp::AdoptCluster(0),
+    ScriptOp::AdoptCluster(1),
+    ScriptOp::RestoreCluster(0),
     ScriptOp::Offboard("amy"),
     ScriptOp::Onboard("amy", 2, 0, 3),
 ];
+
+/// A deterministically perturbed clone of `cluster`'s base checkpoint:
+/// every parameter nudged enough to move every served confidence bit.
+fn candidate_of(f: &Fixture, cluster: usize) -> Network {
+    let mut net = f.bundle.models[cluster].clone();
+    let params: Vec<f32> = net
+        .parameters_flat()
+        .iter()
+        .map(|w| w * 1.01 + 1e-3)
+        .collect();
+    net.set_parameters_flat(&params);
+    net
+}
 
 /// Applies one op; `Ok` means the engine acknowledged it.
 fn apply(engine: &ServeEngine, f: &Fixture, op: ScriptOp) -> Result<(), ServeError> {
@@ -85,6 +108,10 @@ fn apply(engine: &ServeEngine, f: &Fixture, op: ScriptOp) -> Result<(), ServeErr
             .personalize(user, &labeled_of(f, rank, lo, hi), &f.config.finetune)
             .map(|_| ()),
         ScriptOp::Offboard(user) => engine.offboard(user).map(|_| ()),
+        ScriptOp::AdoptCluster(cluster) => engine
+            .adopt_cluster_model(cluster, &candidate_of(f, cluster))
+            .map(|_| ()),
+        ScriptOp::RestoreCluster(cluster) => engine.restore_cluster_model(cluster).map(|_| ()),
     }
 }
 
@@ -119,6 +146,12 @@ fn prediction_key(p: &Prediction) -> String {
 /// quarantine, so probing does not mutate state).
 fn fingerprint(engine: &ServeEngine, f: &Fixture) -> Vec<String> {
     let mut out = Vec::new();
+    for cluster in 0..engine.cluster_count() {
+        out.push(format!(
+            "gen{cluster}:{}",
+            engine.cluster_generation(cluster)
+        ));
+    }
     for (rank, user) in USERS.iter().enumerate() {
         let registry = format!(
             "{user}:{:?}:{}:{}:{}",
@@ -258,6 +291,101 @@ fn crash_at_every_write_boundary_recovers_an_acknowledged_prefix() {
                      state matches no script prefix ({acked} acked)"
                 ),
             }
+        }
+    }
+}
+
+/// Lifecycle satellite: a crash at any write boundary **inside** a
+/// cluster-model adoption recovers to either the old generation's bits
+/// or the new generation's bits — never a mix — and an acknowledged
+/// adoption always survives recovery.
+#[test]
+fn crash_during_adoption_recovers_old_or_new_bits_never_mixed() {
+    let f = fixture();
+    let probe = maps_of(f, 0, 5, 7);
+    let onboard = |engine: &ServeEngine| {
+        assert!(matches!(
+            engine.onboard("amy", &maps_of(f, 0, 0, 3)).unwrap(),
+            Onboarding::Assigned { .. }
+        ));
+    };
+    let bits_of = |engine: &ServeEngine| -> Vec<String> {
+        engine
+            .predict_readonly("amy", &probe)
+            .expect("probe serves")
+            .iter()
+            .map(prediction_key)
+            .collect()
+    };
+
+    // Reference bits on a never-crashed engine, before and after the
+    // adoption. The perturbed candidate must actually move the bits,
+    // otherwise old-vs-new below proves nothing.
+    let plain = ServeEngine::with_policy(f.bundle.clone(), script_policy(), engine_config());
+    onboard(&plain);
+    let cluster = plain.cluster_of("amy").expect("amy is assigned");
+    let old_bits = bits_of(&plain);
+    plain
+        .adopt_cluster_model(cluster, &candidate_of(f, cluster))
+        .expect("adoption on an intact engine");
+    let new_bits = bits_of(&plain);
+    assert_ne!(old_bits, new_bits, "candidate must change served bits");
+
+    // Dry run to locate the adoption's write boundaries.
+    let dry = Arc::new(FaultStorage::new(FaultPlan {
+        kill_at: usize::MAX,
+        torn_bytes: 0,
+    }));
+    let engine = durable_engine(Arc::clone(&dry) as Arc<dyn Storage>, f, 0);
+    onboard(&engine);
+    let start = dry.write_boundaries();
+    engine
+        .adopt_cluster_model(cluster, &candidate_of(f, cluster))
+        .expect("dry adoption succeeds");
+    let end = dry.write_boundaries();
+    drop(engine);
+    assert!(end > start, "adoption must be a durable (logged) operation");
+
+    for kill_at in start..end {
+        let torn_bytes = (kill_at * 53) % 256;
+        let fault = Arc::new(FaultStorage::new(FaultPlan {
+            kill_at,
+            torn_bytes,
+        }));
+        let engine = durable_engine(Arc::clone(&fault) as Arc<dyn Storage>, f, 0);
+        onboard(&engine);
+        let acked = engine
+            .adopt_cluster_model(cluster, &candidate_of(f, cluster))
+            .is_ok();
+        assert!(fault.crashed(), "kill point {kill_at} never triggered");
+        drop(engine);
+
+        let recovered = ServeEngine::recover_with(
+            fault.surviving(),
+            f.bundle.clone(),
+            script_policy(),
+            engine_config(),
+            DurableConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("kill point {kill_at} left unrecoverable storage: {e}"));
+        let generation = recovered.cluster_generation(cluster);
+        if acked {
+            assert!(
+                generation > 0,
+                "kill point {kill_at}: acknowledged adoption lost on recovery"
+            );
+        }
+        let bits = bits_of(&recovered);
+        if generation > 0 {
+            assert_eq!(
+                bits, new_bits,
+                "kill point {kill_at}: adopted generation serves foreign bits"
+            );
+        } else {
+            assert_eq!(
+                bits, old_bits,
+                "kill point {kill_at}: un-adopted engine serves foreign bits"
+            );
         }
     }
 }

@@ -285,6 +285,20 @@ impl Cohort {
         cohort
     }
 
+    /// Assembles a cohort from pre-built parts (the drift generator
+    /// synthesizes its own recordings from shifted profiles).
+    pub(crate) fn from_parts(
+        config: CohortConfig,
+        subjects: Vec<SubjectProfile>,
+        recordings: Vec<Recording>,
+    ) -> Self {
+        Self {
+            config,
+            subjects,
+            recordings,
+        }
+    }
+
     /// The configuration this cohort was generated from.
     pub fn config(&self) -> &CohortConfig {
         &self.config
@@ -318,7 +332,7 @@ impl Cohort {
     }
 }
 
-fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+pub(crate) fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     let u1: f32 = rng.gen_range(1e-6..1.0f32);
     let u2: f32 = rng.gen_range(0.0..1.0f32);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()

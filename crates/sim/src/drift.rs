@@ -1,0 +1,280 @@
+//! Population drift: the same cohort, slowly leaving its calibration.
+//!
+//! The cold-start pipeline clusters a *calibration* population once and
+//! serves everyone after it from that frozen geometry. Real populations
+//! do not hold still: sensors age (more noise, weaker amplitudes),
+//! subjects habituate to the stimulus class (smaller evoked responses)
+//! and autonomic baselines shift with season and health. This module
+//! generates that failure mode on demand so the lifecycle layer — drift
+//! detection, re-clustering, canaried rollout — has something real to
+//! detect and repair.
+//!
+//! A [`DriftScenario`] wraps a [`CohortConfig`] plus a severity and a
+//! set of drifted archetypes. [`DriftScenario::phase`] materializes the
+//! population at drift time `t ∈ [0, 1]`: the subject roster, the
+//! per-recording stimulus randomness and every non-drifted subject are
+//! **bit-identical** to [`Cohort::generate`] on the same config — only
+//! the drifted subjects' generative parameters move, linearly, toward
+//! the shifted regime. `phase(0.0)` therefore reproduces the plain
+//! cohort exactly, which is what makes before/after comparisons and
+//! stationary-control tests trustworthy.
+
+use crate::archetype::ArchetypeId;
+use crate::cohort::{gauss, Cohort, CohortConfig, Recording, SubjectId};
+use crate::signals::{synth_bvp, synth_gsr, synth_skt, Evocation};
+use crate::subject::SubjectProfile;
+use crate::Emotion;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A parameterized drift process over one cohort's population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftScenario {
+    /// The calibration-time cohort the population drifts away from.
+    pub config: CohortConfig,
+    /// How far the shifted regime is from calibration at `t = 1.0`.
+    /// `0.0` is a stationary population (every phase bit-identical);
+    /// `1.0` is severe enough to degrade gated serving quality.
+    pub severity: f32,
+    /// Which archetypes drift; the rest stay bit-identical at every
+    /// phase, giving the rollout tests their untouched control group.
+    pub drifted: [bool; 4],
+}
+
+impl DriftScenario {
+    /// A scenario in which the named archetypes drift with `severity`.
+    pub fn new(config: CohortConfig, severity: f32, drifted_archetypes: &[usize]) -> Self {
+        let mut drifted = [false; 4];
+        for &a in drifted_archetypes {
+            if a < drifted.len() {
+                drifted[a] = true;
+            }
+        }
+        Self {
+            config,
+            severity,
+            drifted,
+        }
+    }
+
+    /// A stationary control: no archetype moves, every phase is
+    /// bit-identical to [`Cohort::generate`].
+    pub fn stationary(config: CohortConfig) -> Self {
+        Self {
+            config,
+            severity: 0.0,
+            drifted: [false; 4],
+        }
+    }
+
+    /// The population at drift time `t` (clamped to `[0, 1]`).
+    ///
+    /// Roster order, subject ids, per-subject stimulus seeds and all
+    /// non-drifted subjects match [`Cohort::generate`] exactly; drifted
+    /// subjects' profiles are moved by [`DriftScenario::shifted`] before
+    /// their traces are synthesized.
+    pub fn phase(&self, t: f32) -> Cohort {
+        let base = Cohort::generate(&self.config);
+        let t = t.clamp(0.0, 1.0);
+        if t * self.severity == 0.0 {
+            return base;
+        }
+        let subjects: Vec<SubjectProfile> = base
+            .subjects()
+            .iter()
+            .map(|s| self.shifted(s, t))
+            .collect();
+        let mut recordings = Vec::with_capacity(self.config.total_recordings());
+        for subject in &subjects {
+            // Same per-subject stimulus stream as `Cohort::generate`:
+            // only the generative parameters differ, so a drifted
+            // recording is the *same presentation* seen through the
+            // shifted physiology.
+            let mut srng = SmallRng::seed_from_u64(
+                self.config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(subject.id as u64),
+            );
+            for stim in 0..self.config.recordings_per_subject {
+                let emotion = if stim % 2 == 0 {
+                    Emotion::Fear
+                } else {
+                    Emotion::NonFear
+                };
+                let intensity = (1.0 + 0.15 * gauss(&mut srng)).clamp(0.4, 1.6);
+                let evocation = Evocation { emotion, intensity };
+                let bvp = synth_bvp(
+                    subject,
+                    &evocation,
+                    self.config.class_overlap,
+                    &self.config.signal,
+                    &mut srng,
+                );
+                let gsr = synth_gsr(
+                    subject,
+                    &evocation,
+                    self.config.class_overlap,
+                    &self.config.signal,
+                    &mut srng,
+                );
+                let skt = synth_skt(
+                    subject,
+                    &evocation,
+                    self.config.class_overlap,
+                    &self.config.signal,
+                    &mut srng,
+                );
+                recordings.push(Recording {
+                    subject: SubjectId(subject.id),
+                    stimulus: stim,
+                    emotion,
+                    category: None,
+                    intensity,
+                    bvp,
+                    gsr,
+                    skt,
+                });
+            }
+        }
+        Cohort::from_parts(self.config.clone(), subjects, recordings)
+    }
+
+    /// Whether a subject of `archetype` moves under this scenario.
+    pub fn is_drifted(&self, archetype: ArchetypeId) -> bool {
+        self.drifted.get(archetype.0).copied().unwrap_or(false)
+    }
+
+    /// The profile of one subject at drift time `t`.
+    ///
+    /// The drift direction is fixed (not sampled): elevated autonomic
+    /// baseline (heart rate and tonic conductance up, skin temperature
+    /// down), habituated evoked responses (electrodermal reactivity and
+    /// overall response gain attenuated) and aging sensors (noise up).
+    /// Linear interpolation keeps phases comparable: `t = 0` is the
+    /// original profile bit-for-bit.
+    pub fn shifted(&self, profile: &SubjectProfile, t: f32) -> SubjectProfile {
+        if !self.is_drifted(profile.archetype) {
+            return profile.clone();
+        }
+        let s = t.clamp(0.0, 1.0) * self.severity;
+        if s == 0.0 {
+            return profile.clone();
+        }
+        let mut out = profile.clone();
+        let p = &mut out.params;
+        p.base_hr = (p.base_hr + 9.0 * s).clamp(45.0, 110.0);
+        p.base_tonic_gsr = (p.base_tonic_gsr + 1.1 * s).max(0.2);
+        p.base_skt = (p.base_skt - 0.9 * s).clamp(28.0, 37.0);
+        p.hr_react += 6.0 * s;
+        p.scr_rate_react = (p.scr_rate_react * (1.0 - 0.40 * s.min(1.0))).max(0.0);
+        p.scr_amp_react = (p.scr_amp_react * (1.0 - 0.45 * s.min(1.0))).max(1.0);
+        p.tonic_gsr_react = (p.tonic_gsr_react * (1.0 - 0.35 * s.min(1.0))).max(0.0);
+        out.response_gain = (out.response_gain * (1.0 - 0.35 * s.min(1.0))).clamp(0.25, 1.6);
+        out.noise_level = (out.noise_level * (1.0 + 1.5 * s)).clamp(0.02, 0.25);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> DriftScenario {
+        DriftScenario::new(CohortConfig::small(13), 1.0, &[0, 2])
+    }
+
+    #[test]
+    fn phase_zero_is_bit_identical_to_plain_generation() {
+        let s = scenario();
+        let plain = Cohort::generate(&s.config);
+        let phase = s.phase(0.0);
+        assert_eq!(plain.subjects(), phase.subjects());
+        assert_eq!(plain.recordings(), phase.recordings());
+    }
+
+    #[test]
+    fn stationary_scenario_never_moves() {
+        let s = DriftScenario::stationary(CohortConfig::small(13));
+        let plain = Cohort::generate(&s.config);
+        for t in [0.0, 0.4, 1.0] {
+            let phase = s.phase(t);
+            assert_eq!(plain.recordings(), phase.recordings());
+        }
+    }
+
+    #[test]
+    fn undrifted_archetypes_stay_bit_identical() {
+        let s = scenario();
+        let plain = Cohort::generate(&s.config);
+        let phase = s.phase(1.0);
+        let mut untouched = 0;
+        for (a, b) in plain.subjects().iter().zip(phase.subjects()) {
+            if !s.is_drifted(a.archetype) {
+                assert_eq!(a, b);
+                let ra = plain.recordings_of(SubjectId(a.id));
+                let rb = phase.recordings_of(SubjectId(b.id));
+                assert_eq!(ra, rb);
+                untouched += 1;
+            }
+        }
+        assert!(untouched > 0, "control group must be non-empty");
+    }
+
+    #[test]
+    fn drifted_subjects_actually_move() {
+        let s = scenario();
+        let plain = Cohort::generate(&s.config);
+        let phase = s.phase(1.0);
+        let mut moved = 0;
+        for (a, b) in plain.subjects().iter().zip(phase.subjects()) {
+            if s.is_drifted(a.archetype) {
+                assert_ne!(a.params, b.params);
+                assert!(b.params.base_hr >= a.params.base_hr);
+                assert!(b.response_gain <= a.response_gain);
+                assert!(b.noise_level >= a.noise_level);
+                moved += 1;
+            }
+        }
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn drift_is_monotone_in_t() {
+        let s = scenario();
+        let sub = Cohort::generate(&s.config)
+            .subjects()
+            .iter()
+            .find(|p| s.is_drifted(p.archetype))
+            .cloned()
+            .unwrap();
+        let mut last_hr = sub.params.base_hr;
+        for t in [0.25, 0.5, 0.75, 1.0] {
+            let shifted = s.shifted(&sub, t);
+            assert!(shifted.params.base_hr >= last_hr);
+            last_hr = shifted.params.base_hr;
+        }
+    }
+
+    #[test]
+    fn phases_are_deterministic() {
+        let s = scenario();
+        let a = s.phase(0.7);
+        let b = s.phase(0.7);
+        assert_eq!(a.recordings(), b.recordings());
+    }
+
+    #[test]
+    fn shifted_parameters_respect_physiological_bounds() {
+        let s = DriftScenario::new(CohortConfig::small(17), 2.5, &[0, 1, 2, 3]);
+        for sub in Cohort::generate(&s.config).subjects() {
+            let d = s.shifted(sub, 1.0);
+            assert!(d.params.base_hr <= 110.0);
+            assert!(d.params.base_skt >= 28.0);
+            assert!(d.params.scr_amp_react >= 1.0);
+            assert!(d.response_gain >= 0.25);
+            assert!(d.noise_level <= 0.25);
+        }
+    }
+}

@@ -41,6 +41,7 @@
 pub mod archetype;
 pub mod artifacts;
 pub mod cohort;
+pub mod drift;
 pub mod signals;
 pub mod stimulus;
 pub mod stream;
@@ -48,6 +49,7 @@ pub mod subject;
 
 pub use archetype::{ArchetypeId, ArchetypeParams};
 pub use cohort::{Cohort, CohortConfig, Recording, SubjectId};
+pub use drift::DriftScenario;
 pub use signals::SignalConfig;
 pub use stimulus::{EmotionCategory, Stimulus, StimulusProtocol};
 pub use stream::{chunk_schedule, ChunkSizes};

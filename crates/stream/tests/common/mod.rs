@@ -94,12 +94,7 @@ pub fn concat_stream(recordings: &[Recording]) -> (Vec<f32>, Vec<f32>, Vec<f32>)
 /// concatenated signal and chop the columns into consecutive
 /// `windows_per_map`-window maps (trailing partial windows dropped) —
 /// exactly the maps a `StreamSession` assembles.
-pub fn batch_maps_of_stream(
-    f: &Fixture,
-    bvp: &[f32],
-    gsr: &[f32],
-    skt: &[f32],
-) -> Vec<FeatureMap> {
+pub fn batch_maps_of_stream(f: &Fixture, bvp: &[f32], gsr: &[f32], skt: &[f32]) -> Vec<FeatureMap> {
     let template = &f.data.cohort().recordings()[0];
     let rec = Recording {
         bvp: bvp.to_vec(),
@@ -113,7 +108,11 @@ pub fn batch_maps_of_stream(
     let mut w = 0;
     while w + wpm <= big.window_count() {
         let columns: Vec<Vec<f32>> = (w..w + wpm)
-            .map(|k| (0..big.feature_count()).map(|feat| big.get(feat, k)).collect())
+            .map(|k| {
+                (0..big.feature_count())
+                    .map(|feat| big.get(feat, k))
+                    .collect()
+            })
             .collect();
         maps.push(FeatureMap::from_columns(&columns));
         w += wpm;

@@ -1,0 +1,201 @@
+//! Generation rollout under live streaming load.
+//!
+//! A cluster-model adoption lands mid-stream while sessions are
+//! ingesting and draining. The invariant: every drained prediction batch
+//! is served by exactly one generation — bit-identical to either the
+//! pure-old replay or the pure-new replay of the same stream, never a
+//! mix of the two — and once a session has seen the new generation it
+//! never reverts.
+//!
+//! Proven by triple replay: the same deterministic chunk schedule runs
+//! against (a) an engine that never adopts, (b) an engine that adopts
+//! before any traffic, and (c) an engine that adopts at the midpoint
+//! tick. Sessions are ingestion-driven, so the three runs drain the
+//! same maps at the same drain indices; every midpoint-run batch must
+//! equal its (a)- or (b)-counterpart wholesale.
+
+mod common;
+
+use clear_serve::{EngineConfig, ServeEngine};
+use clear_sim::{chunk_schedule, ChunkSizes, SignalConfig};
+use clear_stream::{ChunkIngest, PumpConfig, SessionConfig, StreamPump};
+use common::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const USERS: usize = 8;
+const THREADS: usize = 4;
+
+type Key = (String, u32, u32, String, String);
+
+struct UserStream {
+    user: String,
+    bvp: Vec<f32>,
+    gsr: Vec<f32>,
+    skt: Vec<f32>,
+    plan: Vec<ChunkSizes>,
+}
+
+fn build_streams(f: &Fixture) -> Vec<UserStream> {
+    let signal = f.config.cohort.signal;
+    (0..USERS)
+        .map(|i| {
+            let recs = recordings_of(f, i, 2, 6);
+            let (bvp, gsr, skt) = concat_stream(&recs);
+            let total = SignalConfig {
+                stimulus_secs: bvp.len() as f32 / signal.fs_bvp,
+                ..signal
+            };
+            UserStream {
+                user: format!("user-{i:02}"),
+                plan: chunk_schedule(&total, 0.25, 2.0, 7_000 + i as u64),
+                bvp,
+                gsr,
+                skt,
+            }
+        })
+        .collect()
+}
+
+/// A deterministically perturbed clone of `base`: every parameter nudged
+/// by 2 % plus a small bias — enough to move every served confidence,
+/// without changing the model's shape.
+fn perturbed(base: &clear_nn::network::Network) -> clear_nn::network::Network {
+    let mut net = base.clone();
+    let params: Vec<f32> = net
+        .parameters_flat()
+        .iter()
+        .map(|w| w * 1.02 + 5e-4)
+        .collect();
+    net.set_parameters_flat(&params);
+    net
+}
+
+/// One full pumped replay. When `adopt_at` is `Some(t)`, a perturbed
+/// candidate is adopted for every cluster right before tick `t`'s
+/// ingest. Returns each user's drained batches in drain order, as
+/// bit-exact prediction keys.
+fn run(
+    f: &Fixture,
+    streams: &[UserStream],
+    adopt_at: Option<usize>,
+) -> BTreeMap<String, Vec<Vec<Key>>> {
+    let engine = Arc::new(ServeEngine::with_policy(
+        f.bundle.clone(),
+        lenient(),
+        EngineConfig::default(),
+    ));
+    let pump = StreamPump::new(
+        Arc::clone(&engine),
+        PumpConfig::new(SessionConfig::new(
+            f.config.cohort.signal,
+            f.config.window,
+            f.bundle.windows,
+        )),
+    );
+    for (i, s) in streams.iter().enumerate() {
+        pump.engine()
+            .onboard(&s.user, &maps_of(f, i, 0, 2))
+            .expect("onboard");
+        pump.open(&s.user).expect("open");
+    }
+
+    let adopt = |tick: usize| {
+        if adopt_at == Some(tick) {
+            for cluster in 0..engine.cluster_count() {
+                let generation = engine
+                    .adopt_cluster_model(cluster, &perturbed(&f.bundle.models[cluster]))
+                    .expect("adoption on a live engine");
+                assert!(generation > 0, "adopted generations start at 1");
+                assert_eq!(engine.cluster_generation(cluster), generation);
+            }
+        }
+    };
+
+    let mut out: BTreeMap<String, Vec<Vec<Key>>> = streams
+        .iter()
+        .map(|s| (s.user.clone(), Vec::new()))
+        .collect();
+    let mut offsets = vec![(0usize, 0usize, 0usize); streams.len()];
+    let max_ticks = streams.iter().map(|s| s.plan.len()).max().unwrap();
+    for tick in 0..max_ticks {
+        adopt(tick);
+        let mut batch = Vec::new();
+        for (i, s) in streams.iter().enumerate() {
+            if tick >= s.plan.len() {
+                continue;
+            }
+            let c = s.plan[tick];
+            let (ob, og, os) = offsets[i];
+            batch.push(ChunkIngest {
+                user: &s.user,
+                bvp: &s.bvp[ob..ob + c.bvp],
+                gsr: &s.gsr[og..og + c.gsr],
+                skt: &s.skt[os..os + c.skt],
+            });
+            offsets[i] = (ob + c.bvp, og + c.gsr, os + c.skt);
+        }
+        for result in pump.ingest_many(&batch, THREADS) {
+            result.expect("ingest failed");
+        }
+        for drain in pump.drain() {
+            let preds = drain.result.expect("serving error");
+            out.get_mut(&drain.user)
+                .expect("drains only name open sessions")
+                .push(preds.iter().map(pred_key).collect());
+        }
+    }
+    for drain in pump.drain() {
+        let preds = drain.result.expect("serving error");
+        out.get_mut(&drain.user)
+            .expect("drains only name open sessions")
+            .push(preds.iter().map(pred_key).collect());
+    }
+    out
+}
+
+#[test]
+fn mid_stream_rollout_switches_generations_atomically_per_drain() {
+    let f = fixture();
+    let streams = build_streams(f);
+    let max_ticks = streams.iter().map(|s| s.plan.len()).max().unwrap();
+
+    let old = run(f, &streams, None);
+    let new = run(f, &streams, Some(0));
+    let mid = run(f, &streams, Some(max_ticks / 2));
+
+    let mut served_old = 0usize;
+    let mut served_new = 0usize;
+    for s in &streams {
+        let (o, n, m) = (&old[&s.user], &new[&s.user], &mid[&s.user]);
+        assert_eq!(o.len(), m.len(), "{}: drain cadence diverged", s.user);
+        assert_eq!(n.len(), m.len(), "{}: drain cadence diverged", s.user);
+        assert!(!m.is_empty(), "{} never drained a map", s.user);
+        let mut switched = false;
+        for (i, batch) in m.iter().enumerate() {
+            let is_old = batch == &o[i];
+            let is_new = batch == &n[i];
+            assert!(
+                is_old || is_new,
+                "drain {i} of {} matches neither generation — a mixed-generation batch",
+                s.user
+            );
+            if is_old && !is_new {
+                assert!(
+                    !switched,
+                    "drain {i} of {} reverted to the old generation after switching",
+                    s.user
+                );
+                served_old += 1;
+            }
+            if is_new && !is_old {
+                switched = true;
+                served_new += 1;
+            }
+        }
+    }
+    // The switch really happened mid-stream: unambiguous old-generation
+    // batches before it, unambiguous new-generation batches after.
+    assert!(served_old > 0, "no drain served the old generation");
+    assert!(served_new > 0, "no drain served the new generation");
+}

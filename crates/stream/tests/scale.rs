@@ -1,8 +1,9 @@
 //! Scale: 10,000 concurrent streaming sessions with bounded per-session
 //! buffer memory, pumped through one engine.
 //!
-//! Ignored by default (it is a release-mode soak — the CI `stream` job
-//! runs it with `--ignored`).
+//! Ignored by default (it is a release-mode soak): enable the `soak`
+//! feature — as the CI lifecycle job does in release — or pass
+//! `--ignored` to run it.
 
 mod common;
 
@@ -18,7 +19,10 @@ const BASE_STREAMS: usize = 8;
 const THREADS: usize = 8;
 
 #[test]
-#[ignore = "10k-session soak; run in release via the CI stream job"]
+#[cfg_attr(
+    not(feature = "soak"),
+    ignore = "10k-session soak; run in release with --features soak (the CI lifecycle job does)"
+)]
 fn ten_thousand_sessions_stream_with_bounded_buffers() {
     let f = fixture();
     let signal = f.config.cohort.signal;

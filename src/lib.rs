@@ -26,7 +26,11 @@
 //! * [`stream`] — streaming ingestion sessions: raw multi-rate signal
 //!   chunks in, gated predictions out through the serving engine,
 //!   bit-identical to the batch feature path, with edge-budgeted buffers
-//!   and typed shed policies (see `DESIGN.md` §15).
+//!   and typed shed policies (see `DESIGN.md` §15),
+//! * [`lifecycle`] — model lifecycle: drift detection over serving
+//!   telemetry, background re-clustering into candidate generations, and
+//!   canaried rollout with shadow evaluation and automatic rollback (see
+//!   `DESIGN.md` §16).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -40,6 +44,7 @@ pub use clear_dsp as dsp;
 pub use clear_durable as durable;
 pub use clear_edge as edge;
 pub use clear_features as features;
+pub use clear_lifecycle as lifecycle;
 pub use clear_nn as nn;
 pub use clear_obs as obs;
 pub use clear_serve as serve;

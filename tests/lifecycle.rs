@@ -1,0 +1,327 @@
+//! Lifecycle end-to-end: a drifting cohort raises drift signals from
+//! real serving telemetry, background refit produces a candidate
+//! generation, shadow evaluation and staged rollout adopt it cluster by
+//! cluster — and through all of it the untouched clusters serve
+//! bit-identical predictions. A forced regression is then detected by
+//! the guard and rolled back to a bit-identical base generation.
+//!
+//! This test owns the process-global obs registry for its binary; it is
+//! the only test here precisely so installation cannot race another test
+//! (same arrangement as `observability.rs`).
+
+use clear::core::config::ClearConfig;
+use clear::core::dataset::PreparedCohort;
+use clear::core::deployment::{ClearBundle, Onboarding, Prediction};
+use clear::core::pipeline::CloudTraining;
+use clear::features::FeatureMap;
+use clear::lifecycle::{
+    AdoptedCluster, CandidateGeneration, DriftConfig, DriftMonitor, RefitConfig, Refitter,
+    RolloutConfig, RolloutController, RolloutDecision, WindowSample,
+};
+use clear::obs::{self, FakeClock, Registry};
+use clear::serve::{EngineConfig, ServeEngine, ServeRequest};
+use clear::sim::{DriftScenario, Emotion, SubjectId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Everything bit-relevant about one gated prediction.
+fn fingerprint(p: &Prediction) -> (Option<Emotion>, u32, u32, bool) {
+    (
+        p.emotion,
+        p.confidence.to_bits(),
+        p.quality.to_bits(),
+        p.imputed,
+    )
+}
+
+/// Serves `probe` observation-silently against the live models (no
+/// candidate overrides, no state commits) — the non-mutating way to ask
+/// "what would these users be told right now".
+fn predict_all(engine: &ServeEngine, probe: &[ServeRequest<'_>]) -> Vec<Vec<Prediction>> {
+    engine
+        .predict_shadow(probe, &HashMap::new())
+        .into_iter()
+        .map(|r| r.expect("probe users are onboarded"))
+        .collect()
+}
+
+/// Owned probe storage: every user paired with its recordings `2..` from
+/// `data` (recordings `..2` are the onboarding budget).
+fn probe_maps(
+    users: &[(String, SubjectId)],
+    data: &PreparedCohort,
+) -> Vec<(String, Vec<FeatureMap>)> {
+    users
+        .iter()
+        .map(|(name, subject)| {
+            let idx = data.indices_of(*subject);
+            let maps = idx[2..].iter().map(|&i| data.maps()[i].clone()).collect();
+            (name.clone(), maps)
+        })
+        .collect()
+}
+
+fn requests<'a>(owned: &'a [(String, Vec<FeatureMap>)]) -> Vec<ServeRequest<'a>> {
+    owned
+        .iter()
+        .map(|(user, maps)| ServeRequest { user, maps })
+        .collect()
+}
+
+#[test]
+fn drifting_cohort_is_detected_refit_and_rolled_out_with_bit_identical_controls() {
+    let registry = Arc::new(Registry::with_clock(Box::new(FakeClock::new(1_000))));
+    obs::install(Arc::clone(&registry));
+
+    // Calibration: train the bundle on the stationary phase of a cohort
+    // whose first two archetypes drift away afterwards. phase(0.0) is
+    // bit-identical to the plain cohort, so this is an ordinary deploy.
+    let config = ClearConfig::quick(41);
+    let scenario = DriftScenario::new(config.cohort.clone(), 1.0, &[0, 1]);
+    let base_data = PreparedCohort::prepare_from(scenario.phase(0.0), &config);
+    let drifted_data = PreparedCohort::prepare_from(scenario.phase(1.0), &config);
+    let subjects = base_data.subject_ids();
+    let cloud = CloudTraining::fit(&base_data, &subjects, &config);
+    let bundle = ClearBundle::from_cloud(&cloud);
+    let engine = ServeEngine::new(bundle, EngineConfig::default());
+
+    // Onboard every subject as a serving user on calibration-time data.
+    let users: Vec<(String, SubjectId)> =
+        subjects.iter().map(|&s| (format!("user-{s}"), s)).collect();
+    for (name, subject) in &users {
+        let idx = base_data.indices_of(*subject);
+        let maps: Vec<FeatureMap> = idx[..2]
+            .iter()
+            .map(|&i| base_data.maps()[i].clone())
+            .collect();
+        let outcome = engine.onboard(name, &maps).expect("maps are non-empty");
+        assert!(matches!(outcome, Onboarding::Assigned { .. }));
+    }
+
+    // ---- Monitor: real traffic, real telemetry ----
+    // Two reference intervals of calibration-time traffic, then two
+    // intervals of the same presentations seen through the drifted
+    // physiology. Quality is label agreement of served windows.
+    let mut monitor = DriftMonitor::new(DriftConfig {
+        reference_windows: 2,
+        recent_windows: 2,
+        abstention_step: 0.05,
+        quality_drop: 0.05,
+        affinity_drop: 0.15,
+        min_traffic: 8,
+    });
+    let serve_interval = |data: &PreparedCohort, range: std::ops::Range<usize>| -> WindowSample {
+        let mut sample = WindowSample::default();
+        for (name, subject) in &users {
+            let idx = data.indices_of(*subject);
+            let slice = &idx[range.clone()];
+            let maps: Vec<FeatureMap> = slice.iter().map(|&i| data.maps()[i].clone()).collect();
+            let predictions = engine.predict(name, &maps).expect("onboarded above");
+            for (p, &i) in predictions.iter().zip(slice) {
+                sample.served += 1;
+                match p.emotion {
+                    None => sample.abstained += 1,
+                    Some(e) => {
+                        let (_, label) = data.map_and_label(i);
+                        sample.quality_sum += if e == label { 1.0 } else { 0.0 };
+                        sample.quality_count += 1;
+                    }
+                }
+            }
+        }
+        sample
+    };
+    monitor.observe(serve_interval(&base_data, 2..5));
+    monitor.observe(serve_interval(&base_data, 5..8));
+    assert!(monitor.assess().is_empty(), "window not filled: silent");
+    monitor.observe(serve_interval(&drifted_data, 2..5));
+    monitor.observe(serve_interval(&drifted_data, 5..8));
+    let signals = monitor.assess();
+    assert!(
+        !signals.is_empty(),
+        "severely drifted traffic must raise a drift signal"
+    );
+
+    // ---- Refit: background re-clustering, off the serving path ----
+    let refitter = Refitter::new(RefitConfig {
+        train: config.train.clone(),
+        val_fraction: 0.25,
+        min_members: 1,
+    });
+    let generation = refitter.refit(engine.bundle(), &drifted_data, 1);
+    // Hand-off goes through the sealed artifact, as it would between
+    // machines (or across a crash).
+    let sealed = generation.seal().expect("generation seals");
+    let generation = CandidateGeneration::open(&sealed).expect("sealed generation round-trips");
+    let mut candidates = generation.accepted();
+    assert!(
+        !candidates.is_empty(),
+        "refit on drifted data produced no surviving candidate"
+    );
+    let epochs_after_refit = registry
+        .snapshot()
+        .counters
+        .get(obs::counters::TRAIN_EPOCHS)
+        .copied()
+        .unwrap_or(0);
+    assert!(epochs_after_refit > 0, "cloud fit and refit both train");
+
+    // ---- Stage the rollout so a populated control cluster survives ----
+    let mut cluster_users: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+    for (name, _) in &users {
+        let cluster = engine.cluster_of(name).expect("onboarded above");
+        cluster_users.entry(cluster).or_default().push(name);
+    }
+    assert!(
+        cluster_users.len() >= 2,
+        "clustering collapsed to a single populated cluster"
+    );
+    candidates.retain(|c, _| cluster_users.contains_key(c));
+    assert!(
+        !candidates.is_empty(),
+        "no surviving candidate cluster has live traffic"
+    );
+    if cluster_users.keys().all(|c| candidates.contains_key(c)) {
+        let holdout = *candidates.keys().max().expect("non-empty");
+        candidates.remove(&holdout);
+    }
+
+    // ---- Shadow evaluation and staged adoption ----
+    // Wide-open gates: the gate *discrimination* is pinned by the crate's
+    // unit tests and by the forced-regression episode below; here every
+    // populated candidate must clear them and adopt.
+    let controller = RolloutController::new(RolloutConfig {
+        min_shadow_windows: 1,
+        max_abstention_regression: 1.0,
+        max_confidence_drop: 1.0,
+    });
+    let probe_owned = probe_maps(&users, &drifted_data);
+    let probe = requests(&probe_owned);
+    let before = predict_all(&engine, &probe);
+    let report = controller.shadow_eval(&engine, &candidates, &probe);
+    let decisions = controller.decide(&report, &candidates);
+    for (cluster, decision) in &decisions {
+        assert_eq!(
+            *decision,
+            RolloutDecision::Adopt,
+            "populated candidate {cluster} failed an unfailable gate"
+        );
+    }
+    let adopted = controller
+        .roll_out(&engine, &candidates, &decisions)
+        .expect("adoption is durable");
+    assert_eq!(adopted.len(), candidates.len());
+    for a in &adopted {
+        assert!(a.generation > 0, "adopted generations start at 1");
+        assert_eq!(engine.cluster_generation(a.cluster), a.generation);
+    }
+    let rolled = controller
+        .guard(&engine, &adopted, &report, &probe)
+        .expect("guard probe serves");
+    assert!(
+        rolled.is_empty(),
+        "nothing regresses past a 100 % tolerance"
+    );
+
+    // ---- Migrated clusters change; untouched clusters are bit-identical ----
+    let after = predict_all(&engine, &probe);
+    let adopted_set: BTreeSet<usize> = adopted.iter().map(|a| a.cluster).collect();
+    let mut changed: BTreeSet<usize> = BTreeSet::new();
+    for (i, (name, _)) in users.iter().enumerate() {
+        let cluster = engine.cluster_of(name).expect("onboarded above");
+        assert_eq!(before[i].len(), after[i].len());
+        let pairs = before[i].iter().zip(&after[i]);
+        if adopted_set.contains(&cluster) {
+            if pairs.clone().any(|(b, a)| fingerprint(b) != fingerprint(a)) {
+                changed.insert(cluster);
+            }
+        } else {
+            for (b, a) in pairs {
+                assert_eq!(
+                    fingerprint(b),
+                    fingerprint(a),
+                    "untouched cluster {cluster} changed its serving (user {name})"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        changed, adopted_set,
+        "every adopted cluster must visibly change its members' predictions"
+    );
+
+    // ---- Forced regression: the guard detects and restores ----
+    let victim = *cluster_users
+        .keys()
+        .find(|c| !adopted_set.contains(c))
+        .expect("a populated untouched cluster exists by construction");
+    // The healthy baseline the guard compares against: calibration-time
+    // traffic through the current (post-rollout) engine.
+    let base_probe_owned = probe_maps(&users, &base_data);
+    let base_probe = requests(&base_probe_owned);
+    let baseline_report = controller.shadow_eval(&engine, &HashMap::new(), &base_probe);
+    let victim_live = baseline_report.clusters[&victim].live_abstention_rate();
+    assert!(
+        victim_live < 0.9,
+        "victim cluster already abstains on {victim_live} of calibration traffic"
+    );
+    let pre_forced = predict_all(&engine, &base_probe);
+
+    // A candidate with its weights scaled to nothing: logits collapse
+    // toward zero, softmax toward uniform, confidence below the 0.55
+    // serving gate — it abstains on every window it is handed.
+    let mut junk = engine.bundle().models[victim].clone();
+    let tiny: Vec<f32> = junk.parameters_flat().iter().map(|w| w * 1e-3).collect();
+    junk.set_parameters_flat(&tiny);
+    let junk_generation = engine
+        .adopt_cluster_model(victim, &junk)
+        .expect("adoption is durable");
+    assert_eq!(engine.cluster_generation(victim), junk_generation);
+
+    let strict = RolloutController::new(RolloutConfig::default());
+    let forced = [AdoptedCluster {
+        cluster: victim,
+        generation: junk_generation,
+    }];
+    let rolled_back = strict
+        .guard(&engine, &forced, &baseline_report, &base_probe)
+        .expect("guard probe serves");
+    assert_eq!(
+        rolled_back,
+        vec![victim],
+        "the guard must roll the regressed cluster back"
+    );
+    assert_eq!(
+        engine.cluster_generation(victim),
+        0,
+        "rollback restores the base generation"
+    );
+    let post_rollback = predict_all(&engine, &base_probe);
+    for (i, (name, _)) in users.iter().enumerate() {
+        for (b, a) in pre_forced[i].iter().zip(&post_rollback[i]) {
+            assert_eq!(
+                fingerprint(b),
+                fingerprint(a),
+                "rollback must restore serving bit-for-bit (user {name})"
+            );
+        }
+    }
+
+    // ---- The serving path never trains; the lifecycle is accounted ----
+    let snap = registry.snapshot();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        c(obs::counters::TRAIN_EPOCHS),
+        epochs_after_refit,
+        "training epochs moved during shadow evaluation / rollout / guard"
+    );
+    assert!(c(obs::counters::LIFECYCLE_REFITS) >= 1);
+    assert!(c(obs::counters::LIFECYCLE_SHADOW_EVALS) >= 2);
+    assert!(c(obs::counters::LIFECYCLE_SHADOW_WINDOWS) > 0);
+    assert_eq!(
+        c(obs::counters::LIFECYCLE_CLUSTERS_ADOPTED),
+        adopted.len() as u64 + 1,
+        "staged rollout plus the forced adoption"
+    );
+    assert_eq!(c(obs::counters::LIFECYCLE_CLUSTERS_ROLLED_BACK), 1);
+}

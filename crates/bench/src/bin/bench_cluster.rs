@@ -9,9 +9,16 @@
 //!   and acknowledged by the follower);
 //! * steady-state prediction windows/sec, single vs cluster — clean
 //!   windows never append, so shipping should cost almost nothing here;
+//! * onboarding throughput as a function of the replica count
+//!   (R = 0 / 1 / 2, full write quorum) — what each additional
+//!   synchronously acknowledged follower costs;
+//! * anti-entropy scrub cost: wall time per partition for a
+//!   fingerprint exchange across every follower on a settled cluster;
 //! * failover wall time: killing the member that leads a partition,
 //!   measured until the promoted follower is serving and a replacement
-//!   follower has been seeded;
+//!   follower has been seeded — plus the same measurement with live
+//!   streaming sessions attached, until every queued map has been
+//!   redelivered;
 //! * catch-up wall time as a function of replication lag: the link to a
 //!   follower is cut, the leader keeps committing, and the time to drain
 //!   the accumulated WAL suffix after healing is measured per lag size.
@@ -21,11 +28,14 @@
 //! replication changes no served bit.
 
 use clear_bench::cli_from_args;
-use clear_cluster::{ClusterConfig, FaultProfile, ServeCluster, SimNet};
+use clear_cluster::{
+    ClusterConfig, FaultProfile, ReplicationConfig, ServeCluster, SimNet,
+};
 use clear_core::dataset::PreparedCohort;
 use clear_core::deployment::{deploy, Prediction, ServingPolicy};
 use clear_features::FeatureMap;
 use clear_serve::{EngineConfig, ServeEngine};
+use clear_stream::{ClusterPump, SessionConfig};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -41,6 +51,14 @@ const LAG_STEPS: [usize; 3] = [4, 16, 48];
 struct CatchUpPoint {
     lag: u64,
     catch_up_ms: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct QuorumPoint {
+    replicas: usize,
+    write_quorum: usize,
+    onboard_ops_per_sec: f32,
+    overhead_x_vs_single: f32,
 }
 
 #[derive(Debug, Serialize)]
@@ -60,6 +78,10 @@ struct ClusterBench {
     net_messages: u64,
     failover_partitions: usize,
     failover_ms: f32,
+    failover_live_sessions_ms: f32,
+    scrub_ms_per_partition: f32,
+    scrub_repairs: u64,
+    quorum: Vec<QuorumPoint>,
     catch_up: Vec<CatchUpPoint>,
 }
 
@@ -79,13 +101,15 @@ fn engine_config() -> EngineConfig {
     }
 }
 
-fn cluster_config() -> ClusterConfig {
+fn cluster_config(replication: ReplicationConfig) -> ClusterConfig {
     ClusterConfig {
         partitions: 8,
         vnodes: 64,
         engine: engine_config(),
         ship_retries: 2,
         ship_timeout_ticks: 4,
+        replication,
+        scrub_every_ticks: 0,
     }
 }
 
@@ -154,12 +178,16 @@ fn main() {
     }
     let single_onboard_secs = t0.elapsed().as_secs_f32();
 
-    // Three-member replicated cluster over a reliable simulated network.
+    // Three-member replicated cluster over a reliable simulated network
+    // (one follower, single-ack quorum — the historical baseline).
     let mut cluster = ServeCluster::new(
         bundle.clone(),
         lenient(),
         &[0, 1, 2],
-        cluster_config(),
+        cluster_config(ReplicationConfig {
+            replicas: 1,
+            write_quorum: 1,
+        }),
         Box::new(SimNet::new(7, FaultProfile::reliable())),
     )
     .expect("cluster builds");
@@ -227,6 +255,53 @@ fn main() {
          {predict_windows_per_sec_cluster:.0} windows/sec replicated ({predict_overhead_x:.2}x)"
     );
 
+    // Quorum-overhead sweep: what each additional synchronously
+    // acknowledged follower costs on the mutation path. R = 0 ships
+    // nothing synchronously; R = 2 waits for both followers.
+    let mut quorum = Vec::new();
+    for replicas in [0usize, 1, 2] {
+        let replication = ReplicationConfig {
+            replicas,
+            write_quorum: replicas,
+        };
+        let mut c = ServeCluster::new(
+            bundle.clone(),
+            lenient(),
+            &[0, 1, 2],
+            cluster_config(replication),
+            Box::new(SimNet::new(23, FaultProfile::reliable())),
+        )
+        .expect("cluster builds");
+        let t0 = Instant::now();
+        for i in 0..USERS {
+            c.onboard(&format!("user-{i}"), &maps_of(&data, i, 0, 2))
+                .expect("onboarding maps");
+        }
+        settle(&mut c);
+        let ops_per_sec = USERS as f32 / t0.elapsed().as_secs_f32().max(1e-9);
+        let overhead = onboard_ops_per_sec_single / ops_per_sec.max(1e-9);
+        eprintln!(
+            "quorum R={replicas}: {ops_per_sec:.0} onboard ops/sec ({overhead:.2}x vs single)"
+        );
+        quorum.push(QuorumPoint {
+            replicas,
+            write_quorum: replicas,
+            onboard_ops_per_sec: ops_per_sec,
+            overhead_x_vs_single: overhead,
+        });
+    }
+
+    // Scrub cost: a full fingerprint exchange per partition on a
+    // settled cluster (every follower clean, nothing to repair).
+    settle(&mut cluster);
+    let t0 = Instant::now();
+    for p in 0..cluster.partition_count() {
+        cluster.scrub(p).expect("scrub on a settled cluster");
+    }
+    let scrub_ms_per_partition =
+        t0.elapsed().as_secs_f32() * 1e3 / cluster.partition_count().max(1) as f32;
+    eprintln!("scrub: {scrub_ms_per_partition:.2} ms/partition");
+
     // Catch-up sweep: cut the follower link on one partition, let the
     // leader accumulate a WAL suffix, heal, and time the drain.
     let mut catch_up = Vec::new();
@@ -279,6 +354,75 @@ fn main() {
     cluster.restart_member(victim).expect("restart handled");
     settle(&mut cluster);
 
+    // Failover with live streaming sessions attached: kill the leader of
+    // user-0's partition mid-stream and measure until every queued map
+    // has been redelivered through the promoted leader.
+    let stream_users: Vec<String> = (0..4).map(|i| format!("user-{i}")).collect();
+    let mut pump = ClusterPump::new(SessionConfig::new(
+        config.cohort.signal,
+        config.window,
+        bundle.windows,
+    ));
+    for u in &stream_users {
+        pump.open(u).expect("open session");
+    }
+    let raw: Vec<(String, (Vec<f32>, Vec<f32>, Vec<f32>))> = stream_users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            let subjects = data.subject_ids();
+            let idx = data.indices_of(subjects[i % subjects.len()]);
+            let mut bvp = Vec::new();
+            let mut gsr = Vec::new();
+            let mut skt = Vec::new();
+            for &r in idx.iter().take(4) {
+                let rec = &data.cohort().recordings()[r];
+                bvp.extend_from_slice(&rec.bvp);
+                gsr.extend_from_slice(&rec.gsr);
+                skt.extend_from_slice(&rec.skt);
+            }
+            (u.clone(), (bvp, gsr, skt))
+        })
+        .collect();
+    for (u, (bvp, gsr, skt)) in &raw {
+        pump.ingest(
+            u,
+            &bvp[..bvp.len() / 2],
+            &gsr[..gsr.len() / 2],
+            &skt[..skt.len() / 2],
+        )
+        .expect("pre-crash ingest");
+    }
+    pump.drain(&mut cluster);
+    let partition = cluster.partition_of("user-0");
+    let victim = cluster
+        .leader_of_partition(partition)
+        .expect("partition has a leader");
+    let t0 = Instant::now();
+    cluster.kill_member(victim).expect("crash handled");
+    for (u, (bvp, gsr, skt)) in &raw {
+        pump.ingest(
+            u,
+            &bvp[bvp.len() / 2..],
+            &gsr[gsr.len() / 2..],
+            &skt[skt.len() / 2..],
+        )
+        .expect("post-crash ingest");
+    }
+    for _ in 0..3 {
+        pump.drain(&mut cluster);
+    }
+    let failover_live_sessions_ms = t0.elapsed().as_secs_f32() * 1e3;
+    for u in &stream_users {
+        assert_eq!(pump.pending_maps_of(u), 0, "{u} left maps undelivered");
+    }
+    eprintln!(
+        "failover with {} live sessions: {failover_live_sessions_ms:.1} ms",
+        stream_users.len()
+    );
+    cluster.restart_member(victim).expect("restart handled");
+    settle(&mut cluster);
+
     let obs = registry.snapshot();
     let results = ClusterBench {
         users: USERS,
@@ -296,6 +440,10 @@ fn main() {
         net_messages: counter(&obs, clear_obs::counters::CLUSTER_NET_MESSAGES),
         failover_partitions,
         failover_ms,
+        failover_live_sessions_ms,
+        scrub_ms_per_partition,
+        scrub_repairs: counter(&obs, clear_obs::counters::CLUSTER_SCRUB_REPAIRS),
+        quorum,
         catch_up,
     };
     let path = cli

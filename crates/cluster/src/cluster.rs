@@ -3,25 +3,40 @@
 //! [`ServeCluster`] owns a set of member [`ServeEngine`]s and routes
 //! every user to one *partition* (consistent hash of the user id, stable
 //! across membership changes). Each partition has a **leader** engine
-//! that serves all traffic and a **follower** engine kept current by
-//! *WAL shipping*: after every mutation the leader exports the WAL
-//! suffix past the follower's acknowledged LSN and sends it through the
-//! [`Transport`]. Followers replay the records — which carry logged
-//! *results*, never inputs — so replication costs no training and the
-//! follower's registry is bit-identical to the leader's at every acked
-//! LSN.
+//! that serves all traffic and up to R **follower** engines
+//! ([`ReplicationConfig::replicas`], placed on distinct ring members)
+//! kept current by *WAL shipping*: after every mutation the leader
+//! exports the WAL suffix past each follower's acknowledged LSN and
+//! sends it through the [`Transport`]. Followers replay the records —
+//! which carry logged *results*, never inputs — so replication costs no
+//! training and a follower's registry is bit-identical to the leader's
+//! at every acked LSN.
+//!
+//! Durability is **quorum-acknowledged**: [`ServeCluster::flush`]
+//! returns once [`ReplicationConfig::write_quorum`] followers have acked
+//! the leader's WAL tip, reports transient lag as a typed
+//! [`ClusterError::ReplicationTimeout`], and reports the *structural*
+//! loss of too many followers as [`ClusterError::QuorumLost`].
 //!
 //! The shipping path is defensive end to end: duplicate frames dedupe by
 //! LSN, gaps are detected and re-shipped, lost frames and acks are
 //! retried with exponential backoff, and a follower that detects
 //! divergence (a frame that contradicts its own state) latches itself
-//! quarantined until reseeded from a leader snapshot. Failures of whole
-//! members are first-class: [`ServeCluster::kill_member`] (crash, disk
-//! survives) triggers failover — the follower catches up from the dead
-//! leader's disk and is promoted — while [`ServeCluster::destroy_member`]
-//! (disk lost) promotes only a fully-acked follower and otherwise
-//! degrades the partition to read-only follower serving rather than
-//! silently dropping acknowledged writes.
+//! quarantined until reseeded from a leader snapshot. Divergence that
+//! frame replay alone cannot see — a follower whose *state* silently
+//! rotted while its LSNs stayed plausible — is caught by **anti-entropy
+//! scrubbing** ([`ServeCluster::scrub`]): leader and followers exchange
+//! per-user sealed-envelope fingerprints, stale followers are repaired
+//! by snapshot transfer, and genuinely diverged ones are latched.
+//!
+//! Failures of whole members are first-class:
+//! [`ServeCluster::kill_member`] (crash, disk survives) triggers
+//! failover — the follower with the highest durable LSN catches up from
+//! the dead leader's disk and is promoted, and replacements are
+//! recruited — while [`ServeCluster::destroy_member`] (disk lost)
+//! promotes only a fully-acked follower and otherwise degrades the
+//! partition to read-only follower serving rather than silently dropping
+//! acknowledged writes.
 
 use clear_core::deployment::{
     ClearBundle, Onboarding, PersonalizeOutcome, Prediction, ServingPolicy,
@@ -66,6 +81,26 @@ pub enum ClusterError {
         /// The latched follower.
         member: MemberId,
     },
+    /// Fewer live, unlatched followers remain than the configured write
+    /// quorum. Structural, not transient: retrying cannot recruit
+    /// members, so `flush` reports it instead of spinning.
+    QuorumLost {
+        /// The affected partition.
+        partition: usize,
+        /// Live, unlatched followers still assigned.
+        survivors: usize,
+        /// The effective write quorum.
+        needed: usize,
+    },
+    /// A freshly reseeded follower failed post-reseed fingerprint
+    /// verification twice; its replica is latched and needs operator
+    /// attention (the snapshot-transfer path itself is suspect).
+    ReseedVerificationFailed {
+        /// The affected partition.
+        partition: usize,
+        /// The follower that failed verification.
+        member: MemberId,
+    },
     /// The member id is not part of the cluster.
     UnknownMember(MemberId),
     /// The target member is known but not up.
@@ -89,6 +124,18 @@ impl std::fmt::Display for ClusterError {
             ClusterError::FollowerDiverged { partition, member } => write!(
                 f,
                 "follower {member} of partition {partition} latched after divergence"
+            ),
+            ClusterError::QuorumLost {
+                partition,
+                survivors,
+                needed,
+            } => write!(
+                f,
+                "partition {partition} lost its write quorum ({survivors} of {needed} followers remain)"
+            ),
+            ClusterError::ReseedVerificationFailed { partition, member } => write!(
+                f,
+                "reseeded follower {member} of partition {partition} failed fingerprint verification twice"
             ),
             ClusterError::UnknownMember(m) => write!(f, "member {m} is not part of the cluster"),
             ClusterError::MemberDown(m) => write!(f, "member {m} is down"),
@@ -119,6 +166,29 @@ impl From<DurableError> for ClusterError {
     }
 }
 
+/// Replication shape of every partition: how many followers are placed
+/// and how many of them a [`ServeCluster::flush`] must hear from.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicationConfig {
+    /// Followers per partition (R). The ring places them on distinct
+    /// members, never co-located with each other or the leader; fewer
+    /// are recruited when membership is too small. `0` runs
+    /// unreplicated.
+    pub replicas: usize,
+    /// Follower acks `flush` must collect before a partition counts as
+    /// durable. Clamped to `replicas`; `0` makes `flush` leader-only.
+    pub write_quorum: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            write_quorum: 1,
+        }
+    }
+}
+
 /// Cluster-level knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -135,6 +205,12 @@ pub struct ClusterConfig {
     pub ship_retries: usize,
     /// Network ticks granted to the first shipping attempt.
     pub ship_timeout_ticks: u64,
+    /// Follower count and write quorum of every partition.
+    pub replication: ReplicationConfig,
+    /// Ticks between automatic anti-entropy scrubs (round-robin over
+    /// partitions, driven from [`ServeCluster::pump`]). `0` disables the
+    /// cadence; scrubs then run only when called explicitly.
+    pub scrub_every_ticks: u64,
 }
 
 impl Default for ClusterConfig {
@@ -145,6 +221,8 @@ impl Default for ClusterConfig {
             engine: EngineConfig::default(),
             ship_retries: 4,
             ship_timeout_ticks: 8,
+            replication: ReplicationConfig::default(),
+            scrub_every_ticks: 0,
         }
     }
 }
@@ -164,21 +242,57 @@ struct Member {
     up: bool,
 }
 
+/// One follower assignment: the member and the highest LSN it has
+/// acknowledged as durably applied.
+#[derive(Debug, Clone, Copy)]
+struct FollowerState {
+    member: MemberId,
+    acked: u64,
+}
+
 /// Per-partition replication bookkeeping, all from the orchestrator's
 /// point of view.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct PartitionState {
-    /// Serving leader. `None` only after a destroy with a lagging
+    /// Serving leader. `None` only after a destroy with no fully-acked
     /// follower (promoting would drop acknowledged writes).
     leader: Option<MemberId>,
-    /// Replication target, when one exists.
-    follower: Option<MemberId>,
-    /// Highest LSN the follower has acknowledged.
-    acked: u64,
+    /// Replication targets in ring order, each with its acked LSN.
+    followers: Vec<FollowerState>,
     /// The leader's WAL tip as of the last shipping attempt.
     leader_last: u64,
     /// Shipping attempts that needed a retry (for tests/bench).
     retries: u64,
+}
+
+/// In-flight anti-entropy state of one partition scrub, between
+/// [`ServeCluster::scrub_begin`] and [`ServeCluster::scrub_settle`].
+struct ScrubState {
+    /// Followers probed and not yet classified.
+    outstanding: Vec<MemberId>,
+    /// Followers whose report showed them behind the leader's tip;
+    /// repaired by snapshot transfer at settle.
+    stale: Vec<MemberId>,
+    /// Followers latched as diverged (LSN ahead of the leader, or equal
+    /// LSN with mismatched fingerprints).
+    diverged: Vec<MemberId>,
+    /// Followers whose fingerprints matched the leader's exactly.
+    clean: Vec<MemberId>,
+}
+
+/// What one anti-entropy scrub found and did, per follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// The scrubbed partition.
+    pub partition: usize,
+    /// Followers bit-identical to the leader at its WAL tip.
+    pub clean: Vec<MemberId>,
+    /// Stale followers repaired by snapshot transfer.
+    pub repaired: Vec<MemberId>,
+    /// Followers latched as diverged.
+    pub diverged: Vec<MemberId>,
+    /// Followers that never reported (down, silent, or lost traffic).
+    pub unresponsive: Vec<MemberId>,
 }
 
 /// A partitioned, replicated cluster of serving engines. Single-threaded
@@ -195,12 +309,22 @@ pub struct ServeCluster {
     partitions: Vec<PartitionState>,
     replicas: HashMap<(MemberId, usize), Replica>,
     net: Box<dyn Transport>,
+    /// In-flight scrubs, keyed by partition.
+    scrubs: HashMap<usize, ScrubState>,
+    /// Reentrancy guard: `scrub` pumps the network, and `pump`'s
+    /// automatic cadence must not start a scrub inside a scrub.
+    in_scrub: bool,
+    /// Ticks accumulated toward the next automatic scrub.
+    ticks_since_scrub: u64,
+    /// Round-robin cursor of the automatic scrub cadence.
+    scrub_cursor: usize,
 }
 
 impl ServeCluster {
     /// Builds a cluster over `member_ids`, placing every partition's
-    /// leader and follower via consistent hashing and creating fresh
-    /// durable engines (in-memory disks, WAL-logged) for each replica.
+    /// leader and its `replicas` followers via consistent hashing and
+    /// creating fresh durable engines (in-memory disks, WAL-logged) for
+    /// each replica.
     ///
     /// # Errors
     ///
@@ -231,6 +355,10 @@ impl ServeCluster {
             partitions: Vec::new(),
             replicas: HashMap::new(),
             net,
+            scrubs: HashMap::new(),
+            in_scrub: false,
+            ticks_since_scrub: 0,
+            scrub_cursor: 0,
         };
         for partition in 0..cluster.partitioner.partitions() {
             let leader = cluster
@@ -239,15 +367,19 @@ impl ServeCluster {
                 .ok_or(ClusterError::NoMembers)?;
             let replica = cluster.blank_replica()?;
             cluster.replicas.insert((leader, partition), replica);
-            let follower = cluster.partitioner.follower_of(partition);
-            if let Some(f) = follower {
+            let followers = cluster
+                .partitioner
+                .followers_of(partition, config.replication.replicas);
+            for &f in &followers {
                 let replica = cluster.blank_replica()?;
                 cluster.replicas.insert((f, partition), replica);
             }
             cluster.partitions.push(PartitionState {
                 leader: Some(leader),
-                follower,
-                acked: 0,
+                followers: followers
+                    .into_iter()
+                    .map(|member| FollowerState { member, acked: 0 })
+                    .collect(),
                 leader_last: 0,
                 retries: 0,
             });
@@ -296,15 +428,52 @@ impl ServeCluster {
         self.partitions[partition].leader
     }
 
-    /// Current follower of a partition.
+    /// First follower of a partition in ring order (the primary
+    /// replication target), when one exists.
     pub fn follower_of_partition(&self, partition: usize) -> Option<MemberId> {
-        self.partitions[partition].follower
+        self.partitions[partition]
+            .followers
+            .first()
+            .map(|f| f.member)
     }
 
-    /// Records the follower has yet to acknowledge for a partition.
+    /// Every follower of a partition, in ring order.
+    pub fn followers_of_partition(&self, partition: usize) -> Vec<MemberId> {
+        self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .collect()
+    }
+
+    /// The effective write quorum: the configured quorum, clamped to the
+    /// configured replica count.
+    fn effective_quorum(&self) -> usize {
+        self.config
+            .replication
+            .write_quorum
+            .min(self.config.replication.replicas)
+    }
+
+    /// The quorum-acknowledged LSN of a partition: the LSN the
+    /// `write_quorum`-th most caught-up follower has acked (the leader's
+    /// tip when the quorum is zero, `0` when fewer followers than the
+    /// quorum exist).
+    fn quorum_acked(&self, partition: usize) -> u64 {
+        let st = &self.partitions[partition];
+        let q = self.effective_quorum();
+        if q == 0 {
+            return st.leader_last;
+        }
+        let mut acks: Vec<u64> = st.followers.iter().map(|f| f.acked).collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        acks.get(q - 1).copied().unwrap_or(0)
+    }
+
+    /// Records the write quorum has yet to acknowledge for a partition.
     pub fn lag_of(&self, partition: usize) -> u64 {
         let st = &self.partitions[partition];
-        st.leader_last.saturating_sub(st.acked)
+        st.leader_last.saturating_sub(self.quorum_acked(partition))
     }
 
     /// Shipping attempts that needed at least one retry, per partition.
@@ -355,18 +524,37 @@ impl ServeCluster {
             .ok_or(ClusterError::PartitionUnavailable { partition })
     }
 
+    /// The live, unlatched follower holding the most durable state (its
+    /// engine's WAL tip; ties break toward the lowest member id) — the
+    /// promotion candidate and the read-only fallback.
+    fn best_follower(&self, partition: usize) -> Option<MemberId> {
+        self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .filter(|&m| self.is_up(m) && !self.is_latched(m, partition))
+            .filter_map(|m| {
+                let lsn = self
+                    .replicas
+                    .get(&(m, partition))?
+                    .engine
+                    .as_ref()?
+                    .wal_last_lsn()
+                    .unwrap_or(0);
+                Some((lsn, m))
+            })
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|(_, m)| m)
+    }
+
     /// The engine that can answer *reads* for `user` right now: the live
-    /// leader, else the live unlatched follower.
+    /// leader, else the best live unlatched follower.
     fn serving_engine(&self, user: &str) -> Result<&ServeEngine, ClusterError> {
         let partition = self.partitioner.partition_of(user);
-        let st = &self.partitions[partition];
-        if let Some(l) = st.leader.filter(|&m| self.is_up(m)) {
+        if let Some(l) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) {
             return self.replica_engine(l, partition);
         }
-        if let Some(f) = st
-            .follower
-            .filter(|&m| self.is_up(m) && !self.is_latched(m, partition))
-        {
+        if let Some(f) = self.best_follower(partition) {
             return self.replica_engine(f, partition);
         }
         Err(ClusterError::PartitionUnavailable { partition })
@@ -387,9 +575,21 @@ impl ServeCluster {
         Ok(self.serving_engine(user)?.pending_maps(user))
     }
 
-    /// Highest LSN the follower of `partition` has acknowledged.
+    /// The quorum-acknowledged LSN of `partition`: every record at or
+    /// below it is durable on at least `write_quorum` followers.
     pub fn acked_of(&self, partition: usize) -> u64 {
-        self.partitions[partition].acked
+        self.quorum_acked(partition)
+    }
+
+    /// Updates a follower's acked LSN (monotone).
+    fn raise_follower_acked(&mut self, partition: usize, member: MemberId, lsn: u64) {
+        if let Some(f) = self.partitions[partition]
+            .followers
+            .iter_mut()
+            .find(|f| f.member == member)
+        {
+            f.acked = f.acked.max(lsn);
+        }
     }
 
     /// Whether the user has an adopted personalized fork.
@@ -448,10 +648,7 @@ impl ServeCluster {
             self.replicate(partition)?;
             return Ok(out);
         }
-        let follower = self.partitions[partition]
-            .follower
-            .filter(|&m| self.is_up(m) && !self.is_latched(m, partition));
-        let Some(follower) = follower else {
+        let Some(follower) = self.best_follower(partition) else {
             clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
             return Err(ClusterError::PartitionUnavailable { partition });
         };
@@ -494,6 +691,8 @@ impl ServeCluster {
 
     /// Advances the network one tick and processes every live member's
     /// inbox. Exposed so tests can drive partial delivery schedules.
+    /// When [`ClusterConfig::scrub_every_ticks`] is set, this is also
+    /// the clock of the automatic anti-entropy cadence.
     pub fn pump(&mut self) {
         self.net.tick();
         let live: Vec<MemberId> = self
@@ -507,6 +706,18 @@ impl ServeCluster {
                 self.deliver(member, env);
             }
         }
+        if self.config.scrub_every_ticks > 0 && !self.in_scrub && self.scrubs.is_empty() {
+            self.ticks_since_scrub += 1;
+            if self.ticks_since_scrub >= self.config.scrub_every_ticks
+                && !self.partitions.is_empty()
+            {
+                self.ticks_since_scrub = 0;
+                let partition = self.scrub_cursor % self.partitions.len();
+                self.scrub_cursor = self.scrub_cursor.wrapping_add(1);
+                // Best effort: a leaderless partition skips its turn.
+                let _ = self.scrub(partition);
+            }
+        }
     }
 
     /// Handles one delivered envelope at `to`.
@@ -514,7 +725,10 @@ impl ServeCluster {
         match env.msg {
             Message::Ship { partition, records } => {
                 if partition >= self.partitions.len()
-                    || self.partitions[partition].follower != Some(to)
+                    || !self.partitions[partition]
+                        .followers
+                        .iter()
+                        .any(|f| f.member == to)
                 {
                     return; // stale traffic for a role this member no longer holds
                 }
@@ -566,11 +780,13 @@ impl ServeCluster {
                 applied_through,
                 diverged,
             } => {
-                if partition >= self.partitions.len() {
-                    return;
-                }
-                let st = &mut self.partitions[partition];
-                if st.leader != Some(to) || st.follower != Some(env.from) {
+                if partition >= self.partitions.len()
+                    || self.partitions[partition].leader != Some(to)
+                    || !self.partitions[partition]
+                        .followers
+                        .iter()
+                        .any(|f| f.member == env.from)
+                {
                     return; // ack from a demoted or stale pairing
                 }
                 if diverged {
@@ -578,24 +794,107 @@ impl ServeCluster {
                         r.latched = true;
                     }
                 } else {
-                    st.acked = st.acked.max(applied_through);
+                    self.raise_follower_acked(partition, env.from, applied_through);
+                }
+            }
+            Message::ScrubRequest { partition } => {
+                if partition >= self.partitions.len()
+                    || !self.partitions[partition]
+                        .followers
+                        .iter()
+                        .any(|f| f.member == to)
+                {
+                    return; // stale probe for a role this member no longer holds
+                }
+                let Some(replica) = self.replicas.get(&(to, partition)) else {
+                    return;
+                };
+                if replica.latched {
+                    return; // latched followers stay silent; settle counts them
+                }
+                let Some(engine) = replica.engine.as_ref() else {
+                    return;
+                };
+                let applied_through = engine.wal_last_lsn().unwrap_or(0);
+                let Ok(fingerprints) = engine.user_fingerprints() else {
+                    return;
+                };
+                self.net.send(Envelope {
+                    from: to,
+                    to: env.from,
+                    msg: Message::ScrubReport {
+                        partition,
+                        applied_through,
+                        fingerprints,
+                    },
+                });
+            }
+            Message::ScrubReport {
+                partition,
+                applied_through,
+                fingerprints,
+            } => {
+                if partition >= self.partitions.len()
+                    || self.partitions[partition].leader != Some(to)
+                {
+                    return;
+                }
+                if !self
+                    .scrubs
+                    .get(&partition)
+                    .is_some_and(|s| s.outstanding.contains(&env.from))
+                {
+                    return; // no scrub in flight, or a duplicate report
+                }
+                let Ok(leader_engine) = self.replica_engine(to, partition) else {
+                    return;
+                };
+                let leader_tip = leader_engine.wal_last_lsn().unwrap_or(0);
+                // 0 = clean, 1 = stale (repairable), 2 = diverged.
+                let verdict = if applied_through > leader_tip {
+                    2 // ahead of its leader: impossible without divergence
+                } else if applied_through < leader_tip {
+                    1
+                } else {
+                    match leader_engine.user_fingerprints() {
+                        Ok(mine) if mine == fingerprints => 0,
+                        Ok(_) => 2, // same LSN, different state: silent rot
+                        Err(_) => 1, // cannot compare; repair conservatively
+                    }
+                };
+                let scrub = self.scrubs.get_mut(&partition).expect("checked above");
+                scrub.outstanding.retain(|&m| m != env.from);
+                match verdict {
+                    0 => {
+                        scrub.clean.push(env.from);
+                        // A clean report doubles as an ack at the tip.
+                        self.raise_follower_acked(partition, env.from, applied_through);
+                    }
+                    1 => scrub.stale.push(env.from),
+                    _ => {
+                        scrub.diverged.push(env.from);
+                        if let Some(r) = self.replicas.get_mut(&(env.from, partition)) {
+                            r.latched = true;
+                        }
+                        clear_obs::counter_add(counters::CLUSTER_FOLLOWER_DIVERGENCE, 1);
+                        clear_obs::counter_add(counters::CLUSTER_SCRUB_DIVERGENCE, 1);
+                    }
                 }
             }
         }
     }
 
-    /// Ships the leader's WAL suffix past the acked LSN to the follower,
-    /// with bounded retries and exponential backoff. Replication lag is
-    /// not an error here — mutations stay committed on the leader and
-    /// [`ServeCluster::flush`] reports persistent lag as a typed
-    /// timeout.
+    /// Ships the leader's WAL suffix past each lagging follower's acked
+    /// LSN, with bounded retries and exponential backoff, until the
+    /// write quorum has acknowledged the leader's tip. Every attempt
+    /// ships to *every* live, unlatched, lagging follower — stragglers
+    /// past the quorum keep receiving frames; only the wait is
+    /// quorum-bounded. Replication lag is not an error here — mutations
+    /// stay committed on the leader and [`ServeCluster::flush`] reports
+    /// persistent lag as a typed timeout.
     fn replicate(&mut self, partition: usize) -> Result<(), ClusterError> {
         let _span = clear_obs::span(clear_obs::Stage::ClusterShip);
-        let (leader, follower) = {
-            let st = &self.partitions[partition];
-            (st.leader, st.follower)
-        };
-        let Some(leader) = leader.filter(|&m| self.is_up(m)) else {
+        let Some(leader) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) else {
             return Ok(());
         };
         let leader_last = self
@@ -603,59 +902,65 @@ impl ServeCluster {
             .wal_last_lsn()
             .unwrap_or(0);
         self.partitions[partition].leader_last = leader_last;
-        let Some(follower) = follower.filter(|&m| self.is_up(m)) else {
-            self.update_lag_gauge();
-            return Ok(());
-        };
-        if self.is_latched(follower, partition) {
-            self.update_lag_gauge();
-            return Ok(());
-        }
         let mut attempt: usize = 0;
-        while self.partitions[partition].acked < leader_last
-            && attempt <= self.config.ship_retries
-        {
-            let acked = self.partitions[partition].acked;
-            let records = self
-                .replica_engine(leader, partition)?
-                .export_records_after(acked)?;
-            if records.first().is_some_and(|r| r.lsn > acked + 1) {
-                // The follower is behind the leader's snapshot horizon;
-                // record shipping cannot bridge that, so transfer a
-                // snapshot out of band and resume shipping from there.
-                let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
-                self.rebuild_replica_from_snapshot(follower, partition, &snap)?;
-                self.partitions[partition].acked = snap.last_lsn;
-                continue;
+        while self.quorum_acked(partition) < leader_last && attempt <= self.config.ship_retries {
+            let lagging: Vec<(MemberId, u64)> = self.partitions[partition]
+                .followers
+                .iter()
+                .filter(|f| {
+                    f.acked < leader_last
+                        && self.is_up(f.member)
+                        && !self.is_latched(f.member, partition)
+                })
+                .map(|f| (f.member, f.acked))
+                .collect();
+            if lagging.is_empty() {
+                break; // nobody left who could make progress
             }
-            if records.is_empty() {
-                break;
-            }
-            clear_obs::counter_add(counters::CLUSTER_FRAMES_SHIPPED, records.len() as u64);
-            if attempt > 0 {
-                clear_obs::counter_add(counters::CLUSTER_FRAMES_RETRIED, records.len() as u64);
-                self.partitions[partition].retries += 1;
-            }
-            self.net.send(Envelope {
-                from: leader,
-                to: follower,
-                msg: Message::Ship { partition, records },
-            });
-            let budget = self
-                .config
-                .ship_timeout_ticks
-                .saturating_mul(1u64 << attempt.min(4))
-                .max(1);
-            for _ in 0..budget {
-                self.pump();
-                if self.partitions[partition].acked >= leader_last
-                    || self.is_latched(follower, partition)
-                {
-                    break;
+            let mut shipped = false;
+            for &(follower, acked) in &lagging {
+                let records = self
+                    .replica_engine(leader, partition)?
+                    .export_records_after(acked)?;
+                if records.first().is_some_and(|r| r.lsn > acked + 1) {
+                    // The follower is behind the leader's snapshot
+                    // horizon; record shipping cannot bridge that, so
+                    // transfer a snapshot out of band and resume
+                    // shipping from there.
+                    let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
+                    self.rebuild_replica_from_snapshot(follower, partition, &snap)?;
+                    self.raise_follower_acked(partition, follower, snap.last_lsn);
+                    continue;
                 }
+                if records.is_empty() {
+                    continue;
+                }
+                clear_obs::counter_add(counters::CLUSTER_FRAMES_SHIPPED, records.len() as u64);
+                if attempt > 0 {
+                    clear_obs::counter_add(counters::CLUSTER_FRAMES_RETRIED, records.len() as u64);
+                }
+                self.net.send(Envelope {
+                    from: leader,
+                    to: follower,
+                    msg: Message::Ship { partition, records },
+                });
+                shipped = true;
             }
-            if self.is_latched(follower, partition) {
-                break;
+            if shipped {
+                if attempt > 0 {
+                    self.partitions[partition].retries += 1;
+                }
+                let budget = self
+                    .config
+                    .ship_timeout_ticks
+                    .saturating_mul(1u64 << attempt.min(4))
+                    .max(1);
+                for _ in 0..budget {
+                    self.pump();
+                    if self.quorum_acked(partition) >= leader_last {
+                        break;
+                    }
+                }
             }
             attempt += 1;
         }
@@ -663,55 +968,69 @@ impl ServeCluster {
         Ok(())
     }
 
-    /// Drives every healthy partition's replication to completion.
+    /// The first latched follower of a partition, if any.
+    fn latched_follower(&self, partition: usize) -> Option<MemberId> {
+        self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .find(|&m| self.is_latched(m, partition))
+    }
+
+    /// Drives every healthy partition's replication until its write
+    /// quorum has acknowledged the leader's WAL tip.
     ///
     /// # Errors
     ///
     /// [`ClusterError::FollowerDiverged`] for a latched follower,
+    /// [`ClusterError::QuorumLost`] when fewer live, unlatched followers
+    /// remain than the write quorum (structural — retrying cannot help),
     /// [`ClusterError::ReplicationTimeout`] when retries and backoff
-    /// could not close the gap (e.g. the link is partitioned).
+    /// could not collect the quorum's acks (e.g. links are partitioned).
     pub fn flush(&mut self) -> Result<(), ClusterError> {
         for partition in 0..self.partitions.len() {
-            let st = &self.partitions[partition];
-            if st.leader.filter(|&m| self.is_up(m)).is_none() {
+            if self.partitions[partition]
+                .leader
+                .filter(|&m| self.is_up(m))
+                .is_none()
+            {
                 continue;
             }
-            let Some(follower) = st.follower else {
-                continue;
-            };
-            if self.is_latched(follower, partition) {
-                return Err(ClusterError::FollowerDiverged {
+            if let Some(member) = self.latched_follower(partition) {
+                return Err(ClusterError::FollowerDiverged { partition, member });
+            }
+            let needed = self.effective_quorum();
+            let survivors = self.partitions[partition]
+                .followers
+                .iter()
+                .filter(|f| self.is_up(f.member) && !self.is_latched(f.member, partition))
+                .count();
+            if survivors < needed {
+                clear_obs::counter_add(counters::CLUSTER_QUORUM_LOST, 1);
+                return Err(ClusterError::QuorumLost {
                     partition,
-                    member: follower,
+                    survivors,
+                    needed,
                 });
-            }
-            if !self.is_up(follower) {
-                continue;
             }
             self.replicate(partition)?;
-            let st = &self.partitions[partition];
-            if let Some(f) = st.follower {
-                if self.is_latched(f, partition) {
-                    return Err(ClusterError::FollowerDiverged {
-                        partition,
-                        member: f,
-                    });
-                }
+            if let Some(member) = self.latched_follower(partition) {
+                return Err(ClusterError::FollowerDiverged { partition, member });
             }
-            if st.acked < st.leader_last {
-                return Err(ClusterError::ReplicationTimeout {
-                    partition,
-                    lag: st.leader_last - st.acked,
-                });
+            let lag = self.lag_of(partition);
+            if lag > 0 {
+                return Err(ClusterError::ReplicationTimeout { partition, lag });
             }
         }
         Ok(())
     }
 
-    /// Snapshots every leader whose follower is fully caught up (or
-    /// absent/latched), truncating its WAL. Lagging partitions are
-    /// skipped: truncating unshipped records would force a snapshot
-    /// transfer later for no reason.
+    /// Snapshots every leader whose live, unlatched followers are all
+    /// fully caught up (or absent), truncating its WAL. Lagging
+    /// partitions are skipped: truncating unshipped records would force
+    /// a snapshot transfer later for no reason. The gate is every
+    /// follower, not just the quorum — a straggler past the quorum still
+    /// deserves cheap record shipping.
     pub fn checkpoint(&self) -> Result<(), ClusterError> {
         for partition in 0..self.partitions.len() {
             let st = &self.partitions[partition];
@@ -720,10 +1039,9 @@ impl ServeCluster {
             };
             let engine = self.replica_engine(leader, partition)?;
             let last = engine.wal_last_lsn().unwrap_or(0);
-            let lagging = match st.follower {
-                Some(f) => !self.is_latched(f, partition) && st.acked < last,
-                None => false,
-            };
+            let lagging = st.followers.iter().any(|f| {
+                self.is_up(f.member) && !self.is_latched(f.member, partition) && f.acked < last
+            });
             if lagging {
                 continue;
             }
@@ -815,88 +1133,124 @@ impl ServeCluster {
         Ok(())
     }
 
-    /// Seeds a follower for a partition on the best available member
-    /// (ring preference, then any live member that is not the leader)
-    /// via snapshot transfer from the live leader. No candidate is not
-    /// an error — the partition simply runs unreplicated.
-    fn seed_follower(&mut self, partition: usize) -> Result<(), ClusterError> {
+    /// Recruits followers for a partition until it has
+    /// [`ReplicationConfig::replicas`] of them (or candidates run out),
+    /// preferring ring placement, then any other live member, each
+    /// seeded by snapshot transfer from the live leader. Entries for
+    /// dead members (or the leader itself) are dropped first; surviving
+    /// followers keep their acked LSNs. Too few candidates is not an
+    /// error — the partition simply runs under-replicated and `flush`
+    /// reports the quorum shortfall.
+    fn fill_followers(&mut self, partition: usize) -> Result<(), ClusterError> {
         let Some(leader) = self.partitions[partition].leader.filter(|&m| self.is_up(m)) else {
-            return Ok(());
-        };
-        let preferred = self
-            .partitioner
-            .follower_of(partition)
-            .filter(|&m| m != leader && self.is_up(m));
-        let candidate = preferred.or_else(|| {
-            self.members
-                .iter()
-                .filter(|&(&m, state)| state.up && m != leader)
-                .map(|(&m, _)| m)
-                .next()
-        });
-        let Some(candidate) = candidate else {
-            self.partitions[partition].follower = None;
             self.update_lag_gauge();
             return Ok(());
         };
+        let keep: Vec<FollowerState> = self.partitions[partition]
+            .followers
+            .iter()
+            .filter(|f| f.member != leader && self.is_up(f.member))
+            .copied()
+            .collect();
+        self.partitions[partition].followers = keep;
+        let want = self.config.replication.replicas;
+        let have: Vec<MemberId> = self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .collect();
+        if have.len() >= want {
+            self.update_lag_gauge();
+            return Ok(());
+        }
+        let mut candidates: Vec<MemberId> = self
+            .partitioner
+            .followers_of(partition, want)
+            .into_iter()
+            .filter(|&m| m != leader && self.is_up(m) && !have.contains(&m))
+            .collect();
+        for (&m, state) in self.members.iter() {
+            if state.up && m != leader && !have.contains(&m) && !candidates.contains(&m) {
+                candidates.push(m);
+            }
+        }
+        candidates.truncate(want - have.len());
+        if candidates.is_empty() {
+            self.update_lag_gauge();
+            return Ok(());
+        }
         let _span = clear_obs::span(clear_obs::Stage::ClusterCatchUp);
         let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
-        self.rebuild_replica_from_snapshot(candidate, partition, &snap)?;
-        let st = &mut self.partitions[partition];
-        st.follower = Some(candidate);
-        st.acked = snap.last_lsn;
-        st.leader_last = snap.last_lsn;
+        for member in candidates {
+            self.rebuild_replica_from_snapshot(member, partition, &snap)?;
+            self.partitions[partition].followers.push(FollowerState {
+                member,
+                acked: snap.last_lsn,
+            });
+        }
+        self.partitions[partition].leader_last = self
+            .replica_engine(leader, partition)?
+            .wal_last_lsn()
+            .unwrap_or(0);
         self.update_lag_gauge();
         Ok(())
     }
 
-    /// Promotes the follower of a partition whose leader just died with
-    /// its disk intact: catch up from that disk (snapshot + WAL suffix),
-    /// promote, and seed a replacement follower.
+    /// Promotes the best follower of a partition whose leader just died
+    /// with its disk intact: the live, unlatched follower with the
+    /// highest durable LSN catches up from that disk (snapshot + WAL
+    /// suffix) and is promoted; surviving followers stay on, and
+    /// replacements are recruited. A candidate that diverges during
+    /// catch-up is latched and the next best is tried.
     fn failover(&mut self, partition: usize) -> Result<(), ClusterError> {
         let _span = clear_obs::span(clear_obs::Stage::ClusterFailover);
         let Some(dead) = self.partitions[partition].leader else {
             return Ok(());
         };
-        let viable = self.partitions[partition]
-            .follower
-            .filter(|&f| self.is_up(f) && !self.is_latched(f, partition));
-        let Some(next) = viable else {
-            // No viable follower. The dead leader keeps the role on the
-            // books (its disk survives), so restart_member can resume
-            // it; until then the partition rejects mutations.
-            self.update_lag_gauge();
-            return Ok(());
-        };
-        if let Some(storage) = self
+        let storage = self
             .replicas
             .get(&(dead, partition))
-            .map(|r| Arc::clone(&r.storage))
-        {
-            self.catch_up_from_storage(next, partition, storage.as_ref())?;
+            .map(|r| Arc::clone(&r.storage));
+        let mut last_err = None;
+        while let Some(next) = self.best_follower(partition) {
+            if let Some(storage) = storage.as_ref() {
+                if let Err(e) = self.catch_up_from_storage(next, partition, storage.as_ref()) {
+                    // catch_up latched the candidate; try the next best.
+                    last_err = Some(e);
+                    continue;
+                }
+            }
+            clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
+            let last = self
+                .replica_engine(next, partition)?
+                .wal_last_lsn()
+                .unwrap_or(0);
+            // The dead leader's replica served its purpose; a restarted
+            // member comes back as a freshly seeded follower instead.
+            self.replicas.remove(&(dead, partition));
+            {
+                let st = &mut self.partitions[partition];
+                st.leader = Some(next);
+                st.followers
+                    .retain(|f| f.member != next && f.member != dead);
+                st.leader_last = last;
+            }
+            return self.fill_followers(partition);
         }
-        clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
-        let last = self
-            .replica_engine(next, partition)?
-            .wal_last_lsn()
-            .unwrap_or(0);
-        // The dead leader's replica served its purpose; a restarted
-        // member comes back as a freshly seeded follower instead.
-        self.replicas.remove(&(dead, partition));
-        {
-            let st = &mut self.partitions[partition];
-            st.leader = Some(next);
-            st.follower = None;
-            st.acked = last;
-            st.leader_last = last;
+        // No viable follower. The dead leader keeps the role on the
+        // books (its disk survives), so restart_member can resume it;
+        // until then the partition rejects mutations.
+        self.update_lag_gauge();
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        self.seed_follower(partition)?;
-        Ok(())
     }
 
     /// A member process crashes; its disk survives. Partitions it led
-    /// fail over (followers catch up from the surviving disk before
-    /// promotion); partitions it followed get replacement followers.
+    /// fail over (the highest-LSN follower catches up from the surviving
+    /// disk before promotion); partitions it followed get replacement
+    /// followers.
     pub fn kill_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
         self.require_member(member)?;
         self.members.insert(member, Member { up: false });
@@ -909,33 +1263,60 @@ impl ServeCluster {
         for partition in 0..self.partitions.len() {
             if self.partitions[partition].leader == Some(member) {
                 self.failover(partition)?;
-            } else if self.partitions[partition].follower == Some(member) {
-                self.partitions[partition].follower = None;
-                self.seed_follower(partition)?;
+            } else if self.partitions[partition]
+                .followers
+                .iter()
+                .any(|f| f.member == member)
+            {
+                self.partitions[partition]
+                    .followers
+                    .retain(|f| f.member != member);
+                self.fill_followers(partition)?;
             }
         }
         self.update_lag_gauge();
         Ok(())
     }
 
-    /// A member is lost *with its disk*. Partitions it led promote their
-    /// follower only when fully acknowledged — otherwise acknowledged
-    /// writes would silently disappear — and degrade to leaderless
-    /// read-only serving until [`ServeCluster::force_promote`].
+    /// A member is lost *with its disk*. Partitions it led promote a
+    /// follower only when one is fully acknowledged (the highest-LSN
+    /// such follower wins) — otherwise acknowledged writes would
+    /// silently disappear — and degrade to leaderless read-only serving
+    /// until [`ServeCluster::force_promote`].
     pub fn destroy_member(&mut self, member: MemberId) -> Result<(), ClusterError> {
         self.require_member(member)?;
         self.members.insert(member, Member { up: false });
         self.replicas.retain(|&(m, _), _| m != member);
         for partition in 0..self.partitions.len() {
-            let st = self.partitions[partition];
-            if st.leader == Some(member) {
-                let caught_up = st.follower.is_some_and(|f| {
-                    self.is_up(f) && !self.is_latched(f, partition) && st.acked >= st.leader_last
-                });
-                if caught_up {
+            let led = self.partitions[partition].leader == Some(member);
+            let followed = self.partitions[partition]
+                .followers
+                .iter()
+                .any(|f| f.member == member);
+            if led {
+                let tip = self.partitions[partition].leader_last;
+                // Fully acked, live, unlatched; highest durable LSN wins.
+                let next = self.partitions[partition]
+                    .followers
+                    .iter()
+                    .filter(|f| f.member != member && f.acked >= tip)
+                    .map(|f| f.member)
+                    .filter(|&m| self.is_up(m) && !self.is_latched(m, partition))
+                    .filter_map(|m| {
+                        let lsn = self
+                            .replicas
+                            .get(&(m, partition))?
+                            .engine
+                            .as_ref()?
+                            .wal_last_lsn()
+                            .unwrap_or(0);
+                        Some((lsn, m))
+                    })
+                    .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+                    .map(|(_, m)| m);
+                if let Some(next) = next {
                     let _span = clear_obs::span(clear_obs::Stage::ClusterFailover);
                     clear_obs::counter_add(counters::CLUSTER_FAILOVERS, 1);
-                    let next = st.follower.expect("caught_up implies follower");
                     let last = self
                         .replica_engine(next, partition)?
                         .wal_last_lsn()
@@ -943,34 +1324,35 @@ impl ServeCluster {
                     {
                         let st = &mut self.partitions[partition];
                         st.leader = Some(next);
-                        st.follower = None;
-                        st.acked = last;
+                        st.followers
+                            .retain(|f| f.member != next && f.member != member);
                         st.leader_last = last;
                     }
-                    self.seed_follower(partition)?;
+                    self.fill_followers(partition)?;
                 } else {
-                    self.partitions[partition].leader = None;
+                    let st = &mut self.partitions[partition];
+                    st.leader = None;
+                    st.followers.retain(|f| f.member != member);
                 }
-            } else if st.follower == Some(member) {
-                self.partitions[partition].follower = None;
-                self.seed_follower(partition)?;
+            } else if followed {
+                self.partitions[partition]
+                    .followers
+                    .retain(|f| f.member != member);
+                self.fill_followers(partition)?;
             }
         }
         self.update_lag_gauge();
         Ok(())
     }
 
-    /// Promotes the follower of a leaderless partition, accepting the
-    /// loss of whatever the destroyed leader had not replicated. An
-    /// explicit operator decision, never automatic.
+    /// Promotes the best surviving follower of a leaderless partition,
+    /// accepting the loss of whatever the destroyed leader had not
+    /// replicated. An explicit operator decision, never automatic.
     pub fn force_promote(&mut self, partition: usize) -> Result<(), ClusterError> {
         if self.partitions[partition].leader.is_some() {
             return Ok(());
         }
-        let viable = self.partitions[partition]
-            .follower
-            .filter(|&f| self.is_up(f) && !self.is_latched(f, partition));
-        let Some(next) = viable else {
+        let Some(next) = self.best_follower(partition) else {
             clear_obs::counter_add(counters::CLUSTER_PARTITION_UNAVAILABLE, 1);
             return Err(ClusterError::PartitionUnavailable { partition });
         };
@@ -983,12 +1365,10 @@ impl ServeCluster {
         {
             let st = &mut self.partitions[partition];
             st.leader = Some(next);
-            st.follower = None;
-            st.acked = last;
+            st.followers.retain(|f| f.member != next);
             st.leader_last = last;
         }
-        self.seed_follower(partition)?;
-        Ok(())
+        self.fill_followers(partition)
     }
 
     /// Restarts a crashed member: recovers every surviving replica from
@@ -1030,25 +1410,25 @@ impl ServeCluster {
             }
             if self.partitions[partition].leader == Some(member) {
                 // Resume leadership from our own disk; any surviving
-                // follower may be stale, so reseed it from us.
+                // follower may be stale, so reseed the whole set from us.
                 let last = self
                     .replica_engine(member, partition)?
                     .wal_last_lsn()
                     .unwrap_or(0);
                 {
                     let st = &mut self.partitions[partition];
-                    st.acked = last;
                     st.leader_last = last;
+                    st.followers.clear();
                 }
-                self.seed_follower(partition)?;
+                self.fill_followers(partition)?;
             }
         }
         for partition in 0..self.partitions.len() {
             let st = &self.partitions[partition];
-            if st.follower.is_none()
+            if st.followers.len() < self.config.replication.replicas
                 && st.leader.is_some_and(|l| self.is_up(l) && l != member)
             {
-                self.seed_follower(partition)?;
+                self.fill_followers(partition)?;
             }
         }
         self.update_lag_gauge();
@@ -1074,10 +1454,14 @@ impl ServeCluster {
         if from == to {
             return Ok(());
         }
-        let old_follower = self.partitions[partition].follower;
+        let old_followers: Vec<MemberId> = self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .collect();
         let snap = self.replica_engine(from, partition)?.export_snapshot()?;
         self.rebuild_replica_from_snapshot(to, partition, &snap)?;
-        if let Some(f) = old_follower {
+        for f in old_followers {
             if f != to && f != from {
                 self.replicas.remove(&(f, partition));
             }
@@ -1085,11 +1469,16 @@ impl ServeCluster {
         {
             let st = &mut self.partitions[partition];
             st.leader = Some(to);
-            st.follower = Some(from);
-            st.acked = snap.last_lsn;
+            // The outgoing leader is trivially caught up; further
+            // vacancies are filled from the ring below.
+            st.followers = vec![FollowerState {
+                member: from,
+                acked: snap.last_lsn,
+            }];
             st.leader_last = snap.last_lsn;
         }
         clear_obs::counter_add(counters::CLUSTER_MIGRATIONS, 1);
+        self.fill_followers(partition)?;
         self.update_lag_gauge();
         Ok(())
     }
@@ -1109,20 +1498,216 @@ impl ServeCluster {
                 if current.is_some_and(|m| m != member) {
                     self.migrate_partition(partition, member)?;
                 }
-            } else if self.partitions[partition].follower.is_none() {
-                self.seed_follower(partition)?;
+            } else if self.partitions[partition].followers.len()
+                < self.config.replication.replicas
+            {
+                self.fill_followers(partition)?;
             }
         }
         self.update_lag_gauge();
         Ok(())
     }
 
-    /// Removes a latched (or stale) follower and seeds a fresh one from
-    /// the live leader — the recovery path after a divergence latch.
+    /// Removes every latched follower (or, when none is latched, the
+    /// entire follower set) and seeds fresh replacements from the live
+    /// leader — the recovery path after a divergence latch. Each fresh
+    /// follower's per-user fingerprints are verified against the leader
+    /// after seeding; a mismatch is retried with one more snapshot
+    /// transfer, and a second mismatch latches the replica and returns
+    /// [`ClusterError::ReseedVerificationFailed`].
     pub fn reseed_follower(&mut self, partition: usize) -> Result<(), ClusterError> {
-        if let Some(f) = self.partitions[partition].follower.take() {
-            self.replicas.remove(&(f, partition));
+        let latched: Vec<MemberId> = self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .filter(|&m| self.is_latched(m, partition))
+            .collect();
+        let doomed: Vec<MemberId> = if latched.is_empty() {
+            self.partitions[partition]
+                .followers
+                .iter()
+                .map(|f| f.member)
+                .collect()
+        } else {
+            latched
+        };
+        for m in &doomed {
+            self.replicas.remove(&(*m, partition));
         }
-        self.seed_follower(partition)
+        self.partitions[partition]
+            .followers
+            .retain(|f| !doomed.contains(&f.member));
+        let before: Vec<MemberId> = self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .collect();
+        self.fill_followers(partition)?;
+        let fresh: Vec<MemberId> = self.partitions[partition]
+            .followers
+            .iter()
+            .map(|f| f.member)
+            .filter(|m| !before.contains(m))
+            .collect();
+        for member in fresh {
+            self.verify_reseeded(partition, member)?;
+        }
+        self.update_lag_gauge();
+        Ok(())
+    }
+
+    /// Compares a freshly seeded follower's per-user fingerprints against
+    /// the leader's; retries the snapshot transfer once on mismatch, and
+    /// latches the replica with a typed error if it still disagrees.
+    fn verify_reseeded(
+        &mut self,
+        partition: usize,
+        member: MemberId,
+    ) -> Result<(), ClusterError> {
+        let Some(leader) = self.partitions[partition].leader.filter(|&l| self.is_up(l))
+        else {
+            return Ok(());
+        };
+        let want = self.replica_engine(leader, partition)?.user_fingerprints()?;
+        let got = self.replica_engine(member, partition)?.user_fingerprints()?;
+        if got == want {
+            return Ok(());
+        }
+        // One more snapshot transfer, then re-verify.
+        let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
+        self.rebuild_replica_from_snapshot(member, partition, &snap)?;
+        self.raise_follower_acked(partition, member, snap.last_lsn);
+        let want = self.replica_engine(leader, partition)?.user_fingerprints()?;
+        let got = self.replica_engine(member, partition)?.user_fingerprints()?;
+        if got == want {
+            return Ok(());
+        }
+        if let Some(replica) = self.replicas.get_mut(&(member, partition)) {
+            replica.latched = true;
+        }
+        clear_obs::counter_add(counters::CLUSTER_FOLLOWER_DIVERGENCE, 1);
+        Err(ClusterError::ReseedVerificationFailed { partition, member })
+    }
+
+    /// Starts an anti-entropy scrub of `partition`: the live leader
+    /// sends a [`Message::ScrubRequest`] to every live, unlatched
+    /// follower; already-latched followers are recorded as diverged
+    /// immediately. Reports flow back through [`ServeCluster::pump`];
+    /// [`ServeCluster::scrub_settle`] classifies and repairs. Exposed
+    /// separately from [`ServeCluster::scrub`] so crash tests can kill
+    /// members at every message boundary of the exchange.
+    pub fn scrub_begin(&mut self, partition: usize) -> Result<(), ClusterError> {
+        let leader = self.mutable_leader(partition)?;
+        let mut outstanding = Vec::new();
+        let mut diverged = Vec::new();
+        for f in &self.partitions[partition].followers {
+            if self.is_latched(f.member, partition) {
+                diverged.push(f.member);
+            } else if self.is_up(f.member) {
+                outstanding.push(f.member);
+            }
+        }
+        self.scrubs.insert(
+            partition,
+            ScrubState {
+                outstanding: outstanding.clone(),
+                stale: Vec::new(),
+                diverged,
+                clean: Vec::new(),
+            },
+        );
+        for member in outstanding {
+            self.net.send(Envelope {
+                from: leader,
+                to: member,
+                msg: Message::ScrubRequest { partition },
+            });
+        }
+        Ok(())
+    }
+
+    /// Settles an in-flight scrub of `partition`: repairs every stale
+    /// follower by snapshot transfer from the live leader and reports
+    /// the classification. Followers whose reports never arrived are
+    /// returned as unresponsive, untouched. Idempotent — settling a
+    /// partition with no scrub in flight returns an empty outcome.
+    pub fn scrub_settle(&mut self, partition: usize) -> Result<ScrubOutcome, ClusterError> {
+        let Some(state) = self.scrubs.remove(&partition) else {
+            return Ok(ScrubOutcome {
+                partition,
+                clean: Vec::new(),
+                repaired: Vec::new(),
+                diverged: Vec::new(),
+                unresponsive: Vec::new(),
+            });
+        };
+        // Repair only followers still assigned, live and unlatched — a
+        // failover or kill between begin and settle may have moved them.
+        let stale: Vec<MemberId> = state
+            .stale
+            .iter()
+            .copied()
+            .filter(|&m| {
+                self.partitions[partition]
+                    .followers
+                    .iter()
+                    .any(|f| f.member == m)
+                    && self.is_up(m)
+                    && !self.is_latched(m, partition)
+            })
+            .collect();
+        let mut repaired = Vec::new();
+        let live_leader = self.partitions[partition].leader.filter(|&l| self.is_up(l));
+        if let Some(leader) = live_leader {
+            if !stale.is_empty() {
+                let snap = self.replica_engine(leader, partition)?.export_snapshot()?;
+                for member in stale {
+                    self.rebuild_replica_from_snapshot(member, partition, &snap)?;
+                    self.raise_follower_acked(partition, member, snap.last_lsn);
+                    clear_obs::counter_add(counters::CLUSTER_SCRUB_REPAIRS, 1);
+                    repaired.push(member);
+                }
+            }
+        }
+        clear_obs::counter_add(counters::CLUSTER_SCRUBS, 1);
+        self.update_lag_gauge();
+        Ok(ScrubOutcome {
+            partition,
+            clean: state.clean,
+            repaired,
+            diverged: state.diverged,
+            unresponsive: state.outstanding,
+        })
+    }
+
+    /// One full anti-entropy scrub of `partition`: requests per-user
+    /// state fingerprints from every live follower, pumps the transport
+    /// until every report arrives (bounded by the ship timeout), then
+    /// classifies and repairs. Stale followers are repaired by snapshot
+    /// transfer; silently diverged ones are latched (recover via
+    /// [`ServeCluster::reseed_follower`]).
+    pub fn scrub(&mut self, partition: usize) -> Result<ScrubOutcome, ClusterError> {
+        let _span = clear_obs::span(clear_obs::Stage::ClusterScrub);
+        let was = self.in_scrub;
+        self.in_scrub = true;
+        let result = self.scrub_inner(partition);
+        self.in_scrub = was;
+        result
+    }
+
+    fn scrub_inner(&mut self, partition: usize) -> Result<ScrubOutcome, ClusterError> {
+        self.scrub_begin(partition)?;
+        let budget = self.config.ship_timeout_ticks.saturating_mul(4).max(4);
+        for _ in 0..budget {
+            if self
+                .scrubs
+                .get(&partition)
+                .map_or(true, |s| s.outstanding.is_empty())
+            {
+                break;
+            }
+            self.pump();
+        }
+        self.scrub_settle(partition)
     }
 }

@@ -9,25 +9,35 @@
 //!   consistent hash ([`Partitioner`]: stable user→partition mapping,
 //!   ring-placed partition→member leadership with minimal movement on
 //!   membership change);
-//! * **WAL shipping** — every partition's leader replicates by sending
-//!   its write-ahead-log suffix to a follower engine, which replays the
-//!   logged *results* (assigned clusters, adopted weight deltas) — so a
-//!   follower is bit-identical at every acknowledged LSN and replication
-//!   never retrains anything, preserving the paper's zero-retraining
-//!   cold-start economics across the fleet;
+//! * **quorum WAL shipping** — every partition's leader replicates by
+//!   sending its write-ahead-log suffix to `R` follower engines
+//!   ([`ReplicationConfig`]), each of which replays the logged *results*
+//!   (assigned clusters, adopted weight deltas) — so a follower is
+//!   bit-identical at every acknowledged LSN and replication never
+//!   retrains anything, preserving the paper's zero-retraining
+//!   cold-start economics across the fleet. [`ServeCluster::flush`]
+//!   returns once `write_quorum` followers acknowledge, and reports a
+//!   typed [`ClusterError::QuorumLost`] when fewer survive;
 //! * [`SimNet`] — all member traffic flows through a deterministic,
 //!   seeded, tick-based network simulator with injectable loss,
-//!   duplication, delay (reordering) and link partitions, so the
+//!   duplication, delay, reordering and link partitions, so the
 //!   fault-matrix tests can demand *bit-identical* convergence under
 //!   hostile schedules, not just eventual convergence;
-//! * **failover** — a crashed leader's follower catches up from the
-//!   surviving disk (snapshot transfer + LSN-suffix replay) and is
-//!   promoted; a destroyed leader (disk lost) promotes only a
-//!   fully-acknowledged follower, otherwise the partition degrades to
-//!   typed-error mutations and read-only follower serving;
+//! * **failover** — when a leader crashes, the follower with the highest
+//!   durable LSN catches up from the surviving disk (snapshot transfer +
+//!   LSN-suffix replay) and is promoted; a destroyed leader (disk lost)
+//!   promotes only a fully-acknowledged follower, otherwise the
+//!   partition degrades to typed-error mutations and read-only follower
+//!   serving;
+//! * **anti-entropy scrubbing** — [`ServeCluster::scrub`] exchanges
+//!   per-user sealed-envelope fingerprints between leader and followers,
+//!   repairing stale followers by snapshot transfer and latching
+//!   silently diverged ones ([`ScrubOutcome`]);
 //! * **divergence quarantine** — a follower that receives a frame
-//!   contradicting its own state latches itself out of replication until
-//!   explicitly reseeded from a leader snapshot.
+//!   contradicting its own state (or fails a scrub fingerprint check)
+//!   latches itself out of replication until explicitly reseeded from a
+//!   leader snapshot, and the reseed itself is fingerprint-verified
+//!   ([`ClusterError::ReseedVerificationFailed`] on a second mismatch).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +49,8 @@ mod cluster;
 pub mod net;
 pub mod ring;
 
-pub use cluster::{ClusterConfig, ClusterError, ServeCluster};
+pub use cluster::{
+    ClusterConfig, ClusterError, ReplicationConfig, ScrubOutcome, ServeCluster,
+};
 pub use net::{Envelope, FaultProfile, Message, SimNet, Transport};
 pub use ring::{hash_key, HashRing, Partitioner};

@@ -4,8 +4,8 @@
 //! All replication traffic flows through the [`Transport`] trait, so the
 //! cluster logic never knows whether it is running over a perfect
 //! network or a hostile one. [`SimNet`] is the only implementation: a
-//! tick-based, seeded simulator that can drop, duplicate, delay
-//! (reorder) and partition messages. The same seed and the same call
+//! tick-based, seeded simulator that can drop, duplicate, delay,
+//! reorder and partition messages. The same seed and the same call
 //! sequence always produce the same delivery schedule, which is what
 //! lets the fault-matrix tests assert *bit-identical* convergence under
 //! faults rather than merely "eventual" convergence.
@@ -36,6 +36,24 @@ pub enum Message {
         /// The follower detected divergence and latched itself; the
         /// leader must stop shipping and reseed it from a snapshot.
         diverged: bool,
+    },
+    /// Leader → follower: report your per-user state fingerprints (one
+    /// anti-entropy scrub probe).
+    ScrubRequest {
+        /// Partition being scrubbed.
+        partition: usize,
+    },
+    /// Follower → leader: the follower's durable LSN and per-user state
+    /// fingerprints at a consistent cut, for the leader to compare
+    /// against its own.
+    ScrubReport {
+        /// Partition being scrubbed.
+        partition: usize,
+        /// The follower's durable LSN at the fingerprint cut.
+        applied_through: u64,
+        /// Sorted `(key, checksum)` pairs (see
+        /// `clear_serve::ServeEngine::user_fingerprints`).
+        fingerprints: Vec<(String, u32)>,
     },
 }
 
@@ -79,10 +97,14 @@ pub struct FaultProfile {
     /// Probability an envelope is delivered twice.
     pub duplicate: f64,
     /// Probability an envelope is held back `1..=max_delay_ticks` ticks
-    /// (the source of reordering relative to later sends).
+    /// (one source of reordering relative to later sends).
     pub delay: f64,
     /// Maximum hold-back for a delayed envelope, in ticks.
     pub max_delay_ticks: u64,
+    /// Probability an envelope is inserted at a seeded position *ahead*
+    /// of messages already queued for the recipient, instead of at the
+    /// back — same-tick reordering, independent of `delay`.
+    pub reorder: f64,
 }
 
 impl FaultProfile {
@@ -93,6 +115,7 @@ impl FaultProfile {
             duplicate: 0.0,
             delay: 0.0,
             max_delay_ticks: 0,
+            reorder: 0.0,
         }
     }
 
@@ -103,6 +126,7 @@ impl FaultProfile {
             duplicate: 0.15,
             delay: 0.3,
             max_delay_ticks: 4,
+            reorder: 0.25,
         }
     }
 }
@@ -164,7 +188,17 @@ impl SimNet {
     }
 
     fn enqueue(&mut self, env: Envelope) {
-        self.inboxes.entry(env.to).or_default().push_back(env);
+        let inbox = self.inboxes.entry(env.to).or_default();
+        if !inbox.is_empty()
+            && self.profile.reorder > 0.0
+            && self.rng.gen::<f64>() < self.profile.reorder
+        {
+            clear_obs::counter_add(clear_obs::counters::CLUSTER_NET_REORDERED, 1);
+            let at = self.rng.gen_range(0..inbox.len());
+            inbox.insert(at, env);
+        } else {
+            inbox.push_back(env);
+        }
     }
 }
 
@@ -257,7 +291,7 @@ mod tests {
     fn lsn_of(env: &Envelope) -> u64 {
         match &env.msg {
             Message::Ship { records, .. } => records[0].lsn,
-            Message::ShipAck { .. } => panic!("expected ship"),
+            other => panic!("expected ship, got {other:?}"),
         }
     }
 
@@ -321,6 +355,7 @@ mod tests {
                 duplicate: 0.0,
                 delay: 1.0,
                 max_delay_ticks: 3,
+                reorder: 0.0,
             },
         );
         net.send(ship(0, 1, 1));
@@ -331,6 +366,35 @@ mod tests {
             got.extend(net.poll(1).iter().map(lsn_of));
         }
         assert_eq!(got, vec![1], "released within max_delay_ticks");
+    }
+
+    #[test]
+    fn reordering_shuffles_but_never_loses() {
+        let profile = FaultProfile {
+            loss: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay_ticks: 0,
+            reorder: 1.0,
+        };
+        let run = |seed: u64| -> Vec<u64> {
+            let mut net = SimNet::new(seed, profile);
+            for lsn in 1..=30 {
+                net.send(ship(0, 1, lsn));
+            }
+            net.tick();
+            net.poll(1).iter().map(lsn_of).collect()
+        };
+        let got = run(11);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (1..=30).collect::<Vec<u64>>(),
+            "reordering must not lose or duplicate"
+        );
+        assert_ne!(got, sorted, "certain reordering must shuffle 30 sends");
+        assert_eq!(run(11), got, "same seed, same shuffle");
     }
 
     #[test]

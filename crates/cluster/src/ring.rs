@@ -98,18 +98,31 @@ impl HashRing {
     /// the key's owner — the natural replica placement. `None` when the
     /// ring holds no other member.
     pub fn successor_of(&self, key: &str, skip: MemberId) -> Option<MemberId> {
-        if self.points.is_empty() {
-            return None;
+        self.successors_of(key, skip, 1).into_iter().next()
+    }
+
+    /// The first `n` *distinct* members other than `skip`, walking
+    /// clockwise from the key's hash — R-replica placement. Members
+    /// appear at most once however many virtual nodes they contribute,
+    /// so no two replicas of one key ever co-locate; fewer than `n`
+    /// members are returned when the ring has fewer than `n` candidates.
+    pub fn successors_of(&self, key: &str, skip: MemberId, n: usize) -> Vec<MemberId> {
+        let mut out = Vec::with_capacity(n);
+        if self.points.is_empty() || n == 0 {
+            return out;
         }
         let h = hash_key(key);
         let start = self.points.partition_point(|&(p, _)| p < h);
         for step in 0..self.points.len() {
             let (_, m) = self.points[(start + step) % self.points.len()];
-            if m != skip {
-                return Some(m);
+            if m != skip && !out.contains(&m) {
+                out.push(m);
+                if out.len() == n {
+                    break;
+                }
             }
         }
-        None
+        out
     }
 }
 
@@ -158,8 +171,19 @@ impl Partitioner {
     /// member clockwise from the leader. `None` with fewer than two
     /// members.
     pub fn follower_of(&self, partition: usize) -> Option<MemberId> {
-        let leader = self.leader_of(partition)?;
-        self.ring.successor_of(&partition_key(partition), leader)
+        self.followers_of(partition, 1).into_iter().next()
+    }
+
+    /// The `replicas` members that should follow `partition`: the next
+    /// distinct members clockwise from the leader, in ring order. All
+    /// returned members are distinct from each other and from the
+    /// leader; fewer are returned when membership is too small.
+    pub fn followers_of(&self, partition: usize, replicas: usize) -> Vec<MemberId> {
+        let Some(leader) = self.leader_of(partition) else {
+            return Vec::new();
+        };
+        self.ring
+            .successors_of(&partition_key(partition), leader, replicas)
     }
 
     /// Adds a member to the ring (idempotent).
@@ -253,5 +277,35 @@ mod tests {
             let follower = part.follower_of(p).unwrap();
             assert_ne!(leader, follower, "partition {p}");
         }
+    }
+
+    #[test]
+    fn r_replica_placement_never_co_locates() {
+        let mut part = Partitioner::new(8, 32);
+        for m in 0..4 {
+            part.add_member(m);
+        }
+        for p in 0..8 {
+            let leader = part.leader_of(p).unwrap();
+            let followers = part.followers_of(p, 2);
+            assert_eq!(followers.len(), 2, "partition {p}");
+            assert!(!followers.contains(&leader), "partition {p} self-replicates");
+            assert_ne!(followers[0], followers[1], "partition {p} co-locates replicas");
+            assert_eq!(
+                followers[0],
+                part.follower_of(p).unwrap(),
+                "the single-follower view is the first ring successor"
+            );
+        }
+    }
+
+    #[test]
+    fn successors_clamp_to_available_members() {
+        let mut part = Partitioner::new(4, 16);
+        part.add_member(7);
+        assert!(part.followers_of(0, 2).is_empty(), "no candidates besides the leader");
+        part.add_member(8);
+        assert_eq!(part.followers_of(0, 3).len(), 1, "one candidate, however many asked");
+        assert!(part.followers_of(0, 0).is_empty());
     }
 }

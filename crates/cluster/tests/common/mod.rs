@@ -5,7 +5,8 @@
 #![allow(dead_code)] // each test binary uses a different helper subset
 
 use clear_cluster::{
-    ClusterConfig, ClusterError, FaultProfile, MemberId, ServeCluster, SimNet,
+    ClusterConfig, ClusterError, FaultProfile, MemberId, ReplicationConfig, ServeCluster,
+    SimNet,
 };
 use clear_core::config::ClearConfig;
 use clear_core::dataset::PreparedCohort;
@@ -63,7 +64,8 @@ fn engine_config() -> EngineConfig {
 }
 
 /// Cluster knobs for the suites: few partitions (fast), generous retry
-/// budget (hostile profiles must converge, not flake).
+/// budget (hostile profiles must converge, not flake), two followers
+/// with a single-ack write quorum — the issue's reference topology.
 pub fn cluster_config() -> ClusterConfig {
     ClusterConfig {
         partitions: 4,
@@ -71,17 +73,34 @@ pub fn cluster_config() -> ClusterConfig {
         engine: engine_config(),
         ship_retries: 6,
         ship_timeout_ticks: 8,
+        replication: ReplicationConfig {
+            replicas: 2,
+            write_quorum: 1,
+        },
+        scrub_every_ticks: 0,
     }
 }
 
 /// A three-member cluster over a seeded simulated network.
 pub fn build_cluster(members: &[MemberId], profile: FaultProfile, seed: u64) -> ServeCluster {
+    build_cluster_with(members, profile, seed, cluster_config())
+}
+
+/// [`build_cluster`] with explicit cluster knobs (scrub cadence,
+/// replication factor) for suites that deviate from the reference
+/// topology.
+pub fn build_cluster_with(
+    members: &[MemberId],
+    profile: FaultProfile,
+    seed: u64,
+    config: ClusterConfig,
+) -> ServeCluster {
     let f = fixture();
     ServeCluster::new(
         f.bundle.clone(),
         cluster_policy(),
         members,
-        cluster_config(),
+        config,
         Box::new(SimNet::new(seed, profile)),
     )
     .expect("cluster builds")
@@ -142,11 +161,15 @@ pub fn run_script(c: &mut ServeCluster, f: &Fixture) {
 }
 
 /// Drives replication to completion; hostile networks may need several
-/// rounds of retries.
+/// rounds of retries. A lost write quorum is *structural* — retrying
+/// cannot recruit followers that no longer exist — so it counts as
+/// settled here; tests that care assert on `flush` directly.
 pub fn settle(c: &mut ServeCluster) {
     for _ in 0..20 {
-        if c.flush().is_ok() {
-            return;
+        match c.flush() {
+            Ok(()) => return,
+            Err(ClusterError::QuorumLost { .. }) => return,
+            Err(_) => {}
         }
     }
     c.flush().expect("replication settles within the retry budget");

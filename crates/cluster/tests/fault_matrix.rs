@@ -32,7 +32,7 @@ fn reference() -> Vec<String> {
 fn seeded_fault_schedules_converge_bit_identical_to_reliable() {
     let f = fixture();
     let oracle = reference();
-    let matrix: [(&str, FaultProfile); 4] = [
+    let matrix: [(&str, FaultProfile); 5] = [
         (
             "loss",
             FaultProfile {
@@ -40,6 +40,7 @@ fn seeded_fault_schedules_converge_bit_identical_to_reliable() {
                 duplicate: 0.0,
                 delay: 0.0,
                 max_delay_ticks: 0,
+                reorder: 0.0,
             },
         ),
         (
@@ -49,6 +50,17 @@ fn seeded_fault_schedules_converge_bit_identical_to_reliable() {
                 duplicate: 0.5,
                 delay: 0.0,
                 max_delay_ticks: 0,
+                reorder: 0.0,
+            },
+        ),
+        (
+            "delay",
+            FaultProfile {
+                loss: 0.0,
+                duplicate: 0.0,
+                delay: 0.6,
+                max_delay_ticks: 5,
+                reorder: 0.0,
             },
         ),
         (
@@ -56,8 +68,9 @@ fn seeded_fault_schedules_converge_bit_identical_to_reliable() {
             FaultProfile {
                 loss: 0.0,
                 duplicate: 0.0,
-                delay: 0.6,
-                max_delay_ticks: 5,
+                delay: 0.0,
+                max_delay_ticks: 0,
+                reorder: 0.9,
             },
         ),
         ("hostile", FaultProfile::hostile()),
@@ -160,9 +173,14 @@ fn partitioned_link_blocks_replication_with_typed_timeout_then_heals() {
     settle(&mut c);
     let partition = c.partition_of("amy");
     let leader = c.leader_of_partition(partition).expect("leader");
-    let follower = c.follower_of_partition(partition).expect("follower");
+    let followers = c.followers_of_partition(partition);
+    assert!(!followers.is_empty(), "partition has followers");
 
-    c.net_mut().partition_link(leader, follower);
+    // Cut the leader off from *every* follower: with a write quorum of
+    // one, any single surviving link would satisfy the quorum.
+    for &follower in &followers {
+        c.net_mut().partition_link(leader, follower);
+    }
     let retries_before = c.retries_of(partition);
     // A mutation on the cut partition commits locally but cannot ship.
     c.predict("amy", &[nan_map(f)]).expect("mutation still commits on the leader");
@@ -192,7 +210,8 @@ fn destroyed_lagging_leader_degrades_readonly_until_force_promote() {
     settle(&mut c);
     let partition = c.partition_of("amy");
     let leader = c.leader_of_partition(partition).expect("leader");
-    let follower = c.follower_of_partition(partition).expect("follower");
+    let followers = c.followers_of_partition(partition);
+    assert!(!followers.is_empty(), "partition has followers");
     let amy_probe: Vec<String> = c
         .predict("amy", &maps_of(f, 0, 5, 7))
         .expect("amy served on the healthy path")
@@ -200,10 +219,12 @@ fn destroyed_lagging_leader_degrades_readonly_until_force_promote() {
         .map(prediction_key)
         .collect();
 
-    // Cut replication, commit one more record on the leader, then lose
-    // the leader *and its disk*: the follower is now behind an
-    // unrecoverable leader.
-    c.net_mut().partition_link(leader, follower);
+    // Cut replication to every follower, commit one more record on the
+    // leader, then lose the leader *and its disk*: all followers are now
+    // behind an unrecoverable leader.
+    for &follower in &followers {
+        c.net_mut().partition_link(leader, follower);
+    }
     c.predict("amy", &[nan_map(f)]).expect("quarantine commits on the leader");
     assert!(c.lag_of(partition) > 0);
     c.destroy_member(leader).expect("destruction handled");

@@ -125,4 +125,56 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn r_replica_placement_never_co_locates_and_moves_minimally(
+        members in proptest::collection::btree_set(0usize..16, 1..6),
+        newcomer in 16usize..20,
+        replicas in 1usize..4,
+    ) {
+        let mut part = Partitioner::new(16, 32);
+        for &m in &members {
+            part.add_member(m);
+        }
+        // Placement never co-locates: leader and all followers are
+        // pairwise distinct, clamped to available membership.
+        let check_distinct = |part: &Partitioner| -> Result<(), TestCaseError> {
+            for p in 0..16 {
+                let leader = part.leader_of(p).unwrap();
+                let followers = part.followers_of(p, replicas);
+                let expected = replicas.min(part.members().len() - 1);
+                prop_assert_eq!(
+                    followers.len(), expected,
+                    "partition {} placed {} followers, wanted {}", p, followers.len(), expected
+                );
+                let mut all = followers.clone();
+                all.push(leader);
+                let total = all.len();
+                all.sort_unstable();
+                all.dedup();
+                prop_assert_eq!(all.len(), total, "partition {} co-locates replicas", p);
+            }
+            Ok(())
+        };
+        check_distinct(&part)?;
+        // Adding a member changes only replica sets the ring reassigns:
+        // every changed set involves the newcomer (it joined the set, or
+        // its arrival shifted the clockwise walk past the leader).
+        let before: Vec<(usize, Vec<usize>)> = (0..16)
+            .map(|p| (part.leader_of(p).unwrap(), part.followers_of(p, replicas)))
+            .collect();
+        part.add_member(newcomer);
+        check_distinct(&part)?;
+        for p in 0..16 {
+            let now = (part.leader_of(p).unwrap(), part.followers_of(p, replicas));
+            if now != before[p] {
+                let gained = now.0 == newcomer || now.1.contains(&newcomer);
+                prop_assert!(
+                    gained,
+                    "partition {} replica set changed without involving the newcomer: \
+                     {:?} -> {:?}", p, before[p], now
+                );
+            }
+        }
+    }
 }

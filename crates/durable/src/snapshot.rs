@@ -102,6 +102,45 @@ impl EngineSnapshot {
         Ok(())
     }
 
+    /// Per-entry state fingerprints for anti-entropy comparison: one
+    /// `(key, checksum)` pair per tenant (`user`), deferred onboarding
+    /// buffer (`pending:user`) and adopted cluster model (`cluster:N`),
+    /// sorted by key. The checksum is the sealed-envelope checksum
+    /// ([`envelope::fingerprint`]) of the entry's canonical JSON, so two
+    /// replicas report equal fingerprints for a key iff their durable
+    /// state for that key is byte-identical — the comparison `clear-
+    /// cluster`'s scrub pass exchanges instead of whole snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DurableError::Io`] when an entry fails to serialize
+    /// (non-finite floats cannot occur in committed state, so this is
+    /// unreachable in practice).
+    pub fn user_fingerprints(&self) -> Result<Vec<(String, u32)>, DurableError> {
+        let io = |e: serde_json::Error| DurableError::Io(e.to_string());
+        let mut out = Vec::with_capacity(self.tenants.len() + self.pending.len());
+        for t in &self.tenants {
+            let payload = serde_json::to_vec(t).map_err(io)?;
+            out.push((t.user.clone(), envelope::fingerprint("tenant", &payload)));
+        }
+        for (user, maps) in &self.pending {
+            let payload = serde_json::to_vec(maps).map_err(io)?;
+            out.push((
+                format!("pending:{user}"),
+                envelope::fingerprint("pending", &payload),
+            ));
+        }
+        for a in &self.adopted {
+            let payload = serde_json::to_vec(a).map_err(io)?;
+            out.push((
+                format!("cluster:{}", a.cluster),
+                envelope::fingerprint("adopted", &payload),
+            ));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
     /// Loads the published snapshot, `None` when none exists yet.
     ///
     /// # Errors
@@ -194,6 +233,28 @@ mod tests {
         assert_eq!(
             storage_a.read(SNAPSHOT_FILE).unwrap(),
             storage_b.read(SNAPSHOT_FILE).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_sorted_and_track_state() {
+        let snapshot = sample();
+        let prints = snapshot.user_fingerprints().unwrap();
+        let keys: Vec<&str> = prints.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["amy", "zoe"], "sorted by key");
+        assert_eq!(
+            prints,
+            sample().user_fingerprints().unwrap(),
+            "identical state, identical fingerprints"
+        );
+        let mut mutated = sample();
+        mutated.tenants[1].quarantined += 1;
+        let changed = mutated.user_fingerprints().unwrap();
+        assert_eq!(prints[0], changed[0], "untouched user unchanged");
+        assert_ne!(prints[1].1, changed[1].1, "mutated user must move");
+        assert!(
+            EngineSnapshot::default().user_fingerprints().unwrap().is_empty(),
+            "an empty engine fingerprints to nothing"
         );
     }
 

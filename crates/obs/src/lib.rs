@@ -153,6 +153,18 @@ pub mod counters {
     pub const CLUSTER_NET_DUPLICATED: &str = "cluster.net_duplicated";
     /// Messages the simulated network delayed or reordered.
     pub const CLUSTER_NET_DELAYED: &str = "cluster.net_delayed";
+    /// Messages the simulated network reordered ahead of queued traffic.
+    pub const CLUSTER_NET_REORDERED: &str = "cluster.net_reordered";
+    /// Flushes rejected because fewer live, unlatched followers remained
+    /// than the configured write quorum.
+    pub const CLUSTER_QUORUM_LOST: &str = "cluster.quorum_lost";
+    /// Anti-entropy scrub passes completed (one per partition scrubbed).
+    pub const CLUSTER_SCRUBS: &str = "cluster.scrubs";
+    /// Stale followers repaired by scrub-triggered snapshot transfer.
+    pub const CLUSTER_SCRUB_REPAIRS: &str = "cluster.scrub_repairs";
+    /// Followers latched by scrub after a fingerprint or LSN mismatch
+    /// that frame replay alone could not have detected.
+    pub const CLUSTER_SCRUB_DIVERGENCE: &str = "cluster.scrub_divergence";
     /// Raw signal chunks ingested by streaming sessions.
     pub const STREAM_CHUNKS: &str = "stream.chunks";
     /// Raw samples ingested across all modalities (device rate).
@@ -174,6 +186,9 @@ pub mod counters {
     /// Windows skipped by the `DegradeToSparseHop` shed policy (temporal
     /// resolution halved while over budget).
     pub const STREAM_SHED_SPARSE_HOP_WINDOWS: &str = "stream.shed.sparse_hop_windows";
+    /// Feature maps re-routed to a new partition leader after a failed
+    /// cluster-backed drain (undelivered work carried forward).
+    pub const STREAM_CLUSTER_REDELIVERIES: &str = "stream.cluster.redeliveries";
     /// Drift-monitor window samples ingested.
     pub const LIFECYCLE_WINDOWS_OBSERVED: &str = "lifecycle.windows_observed";
     /// Typed drift signals raised by the drift monitor.

@@ -89,6 +89,10 @@ pub enum Stage {
     /// candidate model through the serving engine
     /// (`clear_lifecycle::RolloutController`).
     LifecycleRollout,
+    /// One anti-entropy scrub of a partition: exchanging per-user state
+    /// fingerprints between leader and followers and repairing or
+    /// latching replicas that disagree (`clear_cluster::ServeCluster::scrub`).
+    ClusterScrub,
 }
 
 impl Stage {
@@ -124,6 +128,7 @@ impl Stage {
             Stage::LifecycleRefit => "stage.lifecycle.refit",
             Stage::LifecycleShadowEval => "stage.lifecycle.shadow_eval",
             Stage::LifecycleRollout => "stage.lifecycle.rollout",
+            Stage::ClusterScrub => "stage.cluster.scrub",
         }
     }
 
@@ -159,6 +164,7 @@ impl Stage {
             Stage::LifecycleRefit,
             Stage::LifecycleShadowEval,
             Stage::LifecycleRollout,
+            Stage::ClusterScrub,
         ]
     }
 }

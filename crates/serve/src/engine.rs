@@ -704,6 +704,22 @@ impl ServeEngine {
         Ok(Self::capture(wal.last_lsn(), &guards, &slots))
     }
 
+    /// Per-user state fingerprints for anti-entropy comparison: sorted
+    /// `(key, checksum)` pairs covering every tenant record, deferred
+    /// onboarding buffer and adopted cluster model, computed from a
+    /// consistent cut (see [`ServeEngine::export_snapshot`]) via the
+    /// sealed-envelope checksums of `clear-durable`. Two engines report
+    /// equal fingerprints for a key iff their durable state for that key
+    /// is byte-identical, so a replication scrub can find a stale or
+    /// diverged replica without transferring any state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::export_snapshot`] (requires a durable engine).
+    pub fn user_fingerprints(&self) -> Result<Vec<(String, u32)>, ServeError> {
+        Ok(self.export_snapshot()?.user_fingerprints()?)
+    }
+
     /// Builds a durable engine whose state is exactly `snapshot`: the
     /// snapshot is published to `storage`, any stale WAL there is
     /// cleared (its records are covered by — or diverged from — the

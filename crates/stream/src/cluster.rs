@@ -1,0 +1,301 @@
+//! The cluster pump: streaming sessions served by a replicated cluster.
+//!
+//! [`ClusterPump`] is the cluster-backed sibling of
+//! [`StreamPump`](crate::StreamPump): the same session registry and
+//! incremental window extraction, but predictions flow through a
+//! [`clear_cluster::ServeCluster`] — which partitions users across
+//! members, replicates every mutation and fails over on member loss —
+//! instead of a single [`clear_serve::ServeEngine`].
+//!
+//! ## Exactly-once delivery across failover
+//!
+//! A leader crash between drains must neither lose nor duplicate
+//! predictions. The pump makes delivery idempotent by sequencing: every
+//! completed map gets a per-user, monotonically increasing sequence
+//! number when it leaves its session, and lives in a pending queue until
+//! the cluster acknowledges it. One drain serves each user's pending
+//! run with a single all-or-nothing `predict` call:
+//!
+//! * **success** — the user's delivered watermark advances past the
+//!   run's last sequence number and the queue empties; a later
+//!   redelivery attempt of the same numbers is filtered by the
+//!   watermark, so nothing is ever served twice;
+//! * **failure** (e.g. the partition lost its leader and every
+//!   follower) — the queue keeps the run, in order, and the next drain
+//!   re-routes it to whatever member now leads the partition. Per-user
+//!   order is preserved because the queue is FIFO and a failed run never
+//!   advances the watermark.
+//!
+//! The result is bit-identical to a run that never failed over: the
+//! fault-matrix test kills a partition leader mid-session and compares
+//! every prediction bit against an undisturbed cluster.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use clear_cluster::{ClusterError, ServeCluster};
+use clear_core::Prediction;
+use clear_features::FeatureMap;
+
+use crate::session::{IngestReport, SessionConfig, SessionStats, StreamError, StreamSession};
+
+/// One map waiting for cluster acknowledgement.
+#[derive(Debug, Clone)]
+struct PendingMap {
+    /// Per-user delivery sequence number (1-based).
+    seq: u64,
+    /// The completed feature map.
+    map: FeatureMap,
+    /// Whether a previous drain already tried (and failed) to deliver
+    /// this map — a later success counts it as a redelivery.
+    attempted: bool,
+}
+
+/// Per-user delivery state: sequence allocator, pending queue and the
+/// delivered watermark.
+#[derive(Debug, Default)]
+struct DeliveryState {
+    /// Last sequence number assigned to a map of this user.
+    last_assigned: u64,
+    /// Last sequence number the cluster acknowledged.
+    delivered_through: u64,
+    /// Maps assigned but not yet acknowledged, in sequence order.
+    pending: VecDeque<PendingMap>,
+}
+
+/// One session's outcome from a [`ClusterPump::drain`] call.
+#[derive(Debug)]
+pub struct ClusterSessionDrain {
+    /// The session's user.
+    pub user: String,
+    /// Maps the cluster acknowledged in this drain (0 on failure).
+    pub maps: usize,
+    /// The cluster's verdicts: one prediction per window of every
+    /// delivered map, or the typed cluster error that kept the user's
+    /// run pending (it will be re-routed by the next drain).
+    pub result: Result<Vec<Prediction>, ClusterError>,
+}
+
+/// Streaming front-end over a [`ServeCluster`]: session registry, chunk
+/// routing, and sequenced exactly-once prediction drains.
+///
+/// Unlike [`StreamPump`](crate::StreamPump) this type is single-threaded
+/// (`&mut self`), matching the deterministic single-threaded
+/// orchestration of [`ServeCluster`] itself.
+pub struct ClusterPump {
+    config: SessionConfig,
+    sessions: BTreeMap<String, StreamSession>,
+    delivery: BTreeMap<String, DeliveryState>,
+    peak_session_bytes: usize,
+}
+
+impl ClusterPump {
+    /// Creates a pump whose sessions use `config`.
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            config,
+            sessions: BTreeMap::new(),
+            delivery: BTreeMap::new(),
+            peak_session_bytes: 0,
+        }
+    }
+
+    /// Opens a session for `user`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::AlreadyOpen`] for a duplicate open,
+    /// [`StreamError::BadConfig`] for an unusable session config.
+    pub fn open(&mut self, user: &str) -> Result<(), StreamError> {
+        if self.sessions.contains_key(user) {
+            return Err(StreamError::AlreadyOpen(user.to_string()));
+        }
+        let session = StreamSession::new(user, self.config)?;
+        self.sessions.insert(user.to_string(), session);
+        self.delivery.entry(user.to_string()).or_default();
+        clear_obs::counter_add(clear_obs::counters::STREAM_SESSIONS_OPENED, 1);
+        Ok(())
+    }
+
+    /// Closes `user`'s session. Completed maps remain deliverable; the
+    /// session is removed by the first [`ClusterPump::drain`] that finds
+    /// it closed with nothing ready and nothing pending.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open.
+    pub fn close(&mut self, user: &str) -> Result<(), StreamError> {
+        let session = self
+            .sessions
+            .get_mut(user)
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))?;
+        session.close();
+        self.peak_session_bytes = self
+            .peak_session_bytes
+            .max(session.stats().peak_resident_bytes);
+        clear_obs::counter_add(clear_obs::counters::STREAM_SESSIONS_CLOSED, 1);
+        Ok(())
+    }
+
+    /// Routes one chunk to `user`'s session.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open, plus any
+    /// session-level error ([`StreamError::Closed`],
+    /// [`StreamError::OverBudget`]).
+    pub fn ingest(
+        &mut self,
+        user: &str,
+        bvp: &[f32],
+        gsr: &[f32],
+        skt: &[f32],
+    ) -> Result<IngestReport, StreamError> {
+        let _span = clear_obs::span(clear_obs::Stage::StreamIngest);
+        let session = self
+            .sessions
+            .get_mut(user)
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))?;
+        let report = session.ingest(bvp, gsr, skt);
+        self.peak_session_bytes = self
+            .peak_session_bytes
+            .max(session.stats().peak_resident_bytes);
+        report
+    }
+
+    /// Sequences every session's completed maps into the pending queues,
+    /// then delivers each user's queue through one all-or-nothing
+    /// [`ServeCluster::predict`] call (sorted user order). A failed
+    /// delivery keeps the user's queue intact for the next drain —
+    /// re-routed to whatever member then leads the partition, order
+    /// preserved, duplicates filtered by the delivered watermark.
+    pub fn drain(&mut self, cluster: &mut ServeCluster) -> Vec<ClusterSessionDrain> {
+        let _span = clear_obs::span(clear_obs::Stage::StreamPump);
+        // Phase 1: move newly completed maps into the sequenced queues.
+        for (user, session) in self.sessions.iter_mut() {
+            let maps = session.take_ready();
+            if maps.is_empty() {
+                continue;
+            }
+            let state = self.delivery.entry(user.clone()).or_default();
+            for map in maps {
+                state.last_assigned += 1;
+                state.pending.push_back(PendingMap {
+                    seq: state.last_assigned,
+                    map,
+                    attempted: false,
+                });
+            }
+        }
+        // Closed sessions with nothing ready stay on the books until
+        // their pending queue has fully delivered.
+        let delivery = &self.delivery;
+        self.sessions.retain(|user, session| {
+            !(session.is_closed()
+                && session.ready_maps() == 0
+                && delivery.get(user).map_or(true, |s| s.pending.is_empty()))
+        });
+        // Phase 2: deliver, one user at a time, in sorted order.
+        let mut out = Vec::new();
+        for (user, state) in self.delivery.iter_mut() {
+            // The watermark filter makes redelivery idempotent even if a
+            // queue were ever rebuilt from sequenced state.
+            while state
+                .pending
+                .front()
+                .is_some_and(|p| p.seq <= state.delivered_through)
+            {
+                state.pending.pop_front();
+            }
+            if state.pending.is_empty() {
+                continue;
+            }
+            let maps: Vec<FeatureMap> =
+                state.pending.iter().map(|p| p.map.clone()).collect();
+            match cluster.predict(user, &maps) {
+                Ok(predictions) => {
+                    let redelivered =
+                        state.pending.iter().filter(|p| p.attempted).count();
+                    if redelivered > 0 {
+                        clear_obs::counter_add(
+                            clear_obs::counters::STREAM_CLUSTER_REDELIVERIES,
+                            redelivered as u64,
+                        );
+                    }
+                    state.delivered_through = state
+                        .pending
+                        .back()
+                        .map(|p| p.seq)
+                        .unwrap_or(state.delivered_through);
+                    let delivered = state.pending.len();
+                    state.pending.clear();
+                    out.push(ClusterSessionDrain {
+                        user: user.clone(),
+                        maps: delivered,
+                        result: Ok(predictions),
+                    });
+                }
+                Err(e) => {
+                    for p in state.pending.iter_mut() {
+                        p.attempted = true;
+                    }
+                    out.push(ClusterSessionDrain {
+                        user: user.clone(),
+                        maps: 0,
+                        result: Err(e),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Open sessions (closed-but-undelivered sessions count until
+    /// removal).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Maps sequenced but not yet acknowledged by the cluster, for
+    /// `user`.
+    pub fn pending_maps_of(&self, user: &str) -> usize {
+        self.delivery
+            .get(user)
+            .map_or(0, |s| s.pending.len())
+    }
+
+    /// Last sequence number the cluster acknowledged for `user`.
+    pub fn delivered_through(&self, user: &str) -> u64 {
+        self.delivery
+            .get(user)
+            .map_or(0, |s| s.delivered_through)
+    }
+
+    /// Sum of resident bytes across open sessions.
+    pub fn resident_bytes(&self) -> usize {
+        self.sessions.values().map(|s| s.resident_bytes()).sum()
+    }
+
+    /// Highest single-session resident watermark observed across the
+    /// pump's lifetime.
+    pub fn peak_session_bytes(&self) -> usize {
+        let live = self
+            .sessions
+            .values()
+            .map(|s| s.stats().peak_resident_bytes)
+            .max()
+            .unwrap_or(0);
+        self.peak_session_bytes.max(live)
+    }
+
+    /// Lifetime counters of `user`'s session.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownSession`] when no session is open.
+    pub fn stats(&self, user: &str) -> Result<SessionStats, StreamError> {
+        self.sessions
+            .get(user)
+            .map(|s| s.stats())
+            .ok_or_else(|| StreamError::UnknownSession(user.to_string()))
+    }
+}

@@ -20,6 +20,11 @@
 //!   ([`StreamPump::ingest_many`]) and prediction drains that batch
 //!   completed maps cross-user through `predict_many`, capped at the
 //!   engine's admission limit.
+//! * [`ClusterPump`] — the cluster-backed sibling: the same sessions,
+//!   served through a replicated [`clear_cluster::ServeCluster`] with
+//!   sequenced exactly-once delivery — a mid-session leader failover
+//!   loses no prediction, duplicates none, and stays bit-identical to a
+//!   never-failed run (`tests/cluster_failover.rs`).
 //! * [`StreamError`] — typed failures: over-budget chunks, closed or
 //!   unknown sessions, bad configs.
 //!
@@ -41,9 +46,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod pump;
 pub mod session;
 
+pub use cluster::{ClusterPump, ClusterSessionDrain};
 pub use pump::{ChunkIngest, PumpConfig, SessionDrain, StreamPump};
 pub use session::{
     IngestReport, SessionConfig, SessionStats, ShedPolicy, StreamError, StreamSession,

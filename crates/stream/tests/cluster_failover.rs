@@ -1,0 +1,198 @@
+//! Cluster-backed streaming across failover: a mid-session leader kill
+//! (and even a full-fleet outage with later recovery) loses no
+//! prediction, duplicates none, and yields a prediction stream
+//! bit-identical to a cluster that never failed.
+
+mod common;
+
+use clear_cluster::{
+    ClusterConfig, FaultProfile, ReplicationConfig, ServeCluster, SimNet,
+};
+use clear_stream::{ClusterPump, SessionConfig};
+use common::*;
+use std::collections::BTreeMap;
+
+type PredKey = (String, u32, u32, String, String);
+
+const MEMBERS: [usize; 3] = [0, 1, 2];
+
+fn session_config(f: &Fixture) -> SessionConfig {
+    SessionConfig::new(f.config.cohort.signal, f.config.window, f.bundle.windows)
+}
+
+fn build_cluster(f: &Fixture) -> ServeCluster {
+    ServeCluster::new(
+        f.bundle.clone(),
+        lenient(),
+        &MEMBERS,
+        ClusterConfig {
+            partitions: 4,
+            vnodes: 32,
+            replication: ReplicationConfig {
+                replicas: 2,
+                write_quorum: 1,
+            },
+            ..ClusterConfig::default()
+        },
+        Box::new(SimNet::new(5, FaultProfile::reliable())),
+    )
+    .expect("cluster builds")
+}
+
+/// Users under stream, keyed to their cohort rank.
+const USERS: [(&str, usize); 3] = [("amy", 0), ("bob", 1), ("cal", 2)];
+
+/// Each user's raw stream: a few recordings past the onboarding set,
+/// concatenated.
+fn streams(f: &Fixture) -> BTreeMap<String, (Vec<f32>, Vec<f32>, Vec<f32>)> {
+    USERS
+        .iter()
+        .map(|&(user, rank)| {
+            (
+                user.to_string(),
+                concat_stream(&recordings_of(f, rank, 3, 7)),
+            )
+        })
+        .collect()
+}
+
+fn slice(v: &[f32], tick: usize, ticks: usize) -> &[f32] {
+    let per = (v.len() + ticks - 1) / ticks.max(1);
+    let lo = (tick * per).min(v.len());
+    let hi = ((tick + 1) * per).min(v.len());
+    &v[lo..hi]
+}
+
+const TICKS: usize = 12;
+
+/// Streams every user through a [`ClusterPump`] over `cluster`,
+/// invoking `fault` after each tick's ingests. Returns the per-user
+/// delivered prediction keys (in delivery order), the number of failed
+/// drain results observed, and the pump for post-run inspection.
+fn run_streams(
+    f: &Fixture,
+    cluster: &mut ServeCluster,
+    mut fault: impl FnMut(usize, &mut ServeCluster),
+) -> (BTreeMap<String, Vec<PredKey>>, usize, ClusterPump) {
+    for &(user, rank) in &USERS {
+        cluster
+            .onboard(user, &maps_of(f, rank, 0, 3))
+            .expect("onboarding succeeds before streaming");
+    }
+    let mut pump = ClusterPump::new(session_config(f));
+    let streams = streams(f);
+    for user in streams.keys() {
+        pump.open(user).expect("open session");
+    }
+    let mut out: BTreeMap<String, Vec<PredKey>> = BTreeMap::new();
+    let mut failed_drains = 0;
+    let mut collect = |drains: Vec<clear_stream::ClusterSessionDrain>,
+                       failed: &mut usize,
+                       out: &mut BTreeMap<String, Vec<PredKey>>| {
+        for d in drains {
+            match d.result {
+                Ok(preds) => out
+                    .entry(d.user)
+                    .or_default()
+                    .extend(preds.iter().map(pred_key)),
+                Err(_) => *failed += 1,
+            }
+        }
+    };
+    for tick in 0..TICKS {
+        for (user, (bvp, gsr, skt)) in &streams {
+            pump.ingest(
+                user,
+                slice(bvp, tick, TICKS),
+                slice(gsr, tick, TICKS),
+                slice(skt, tick, TICKS),
+            )
+            .expect("ingest");
+        }
+        fault(tick, cluster);
+        if tick % 2 == 1 {
+            collect(pump.drain(cluster), &mut failed_drains, &mut out);
+        }
+    }
+    for user in streams.keys() {
+        pump.close(user).expect("close");
+    }
+    for _ in 0..3 {
+        collect(pump.drain(cluster), &mut failed_drains, &mut out);
+    }
+    (out, failed_drains, pump)
+}
+
+#[test]
+fn leader_kill_mid_session_loses_and_duplicates_nothing() {
+    let f = fixture();
+
+    let mut oracle_cluster = build_cluster(f);
+    let (oracle, oracle_failures, _) = run_streams(f, &mut oracle_cluster, |_, _| {});
+    assert_eq!(oracle_failures, 0, "the reliable run must never fail a drain");
+    assert!(
+        oracle.values().any(|v| !v.is_empty()),
+        "the workload must actually produce predictions"
+    );
+
+    let mut c = build_cluster(f);
+    let victim_partition = c.partition_of("amy");
+    let (failed_run, _, pump) = run_streams(f, &mut c, |tick, cluster| {
+        if tick == 5 {
+            let leader = cluster
+                .leader_of_partition(victim_partition)
+                .expect("partition has a leader");
+            cluster.kill_member(leader).expect("crash fails over");
+        }
+    });
+
+    // Zero lost, zero duplicated: the delivered stream is bit-identical
+    // to the never-failed run, per user, in order.
+    assert_eq!(failed_run, oracle, "failover changed delivered prediction bits");
+    for (user, _) in USERS {
+        assert_eq!(pump.pending_maps_of(user), 0, "{user} left maps undelivered");
+    }
+}
+
+#[test]
+fn full_outage_redelivers_to_recovered_leaders_without_loss_or_dups() {
+    let f = fixture();
+
+    let mut oracle_cluster = build_cluster(f);
+    let (oracle, _, _) = run_streams(f, &mut oracle_cluster, |_, _| {});
+
+    let mut c = build_cluster(f);
+    let (failed_run, failed_drains, pump) = run_streams(f, &mut c, |tick, cluster| {
+        if tick == 5 {
+            // The whole fleet goes down: every partition becomes
+            // unavailable and drains must queue, not drop.
+            for m in MEMBERS {
+                cluster.kill_member(m).expect("crash handled");
+            }
+        }
+        if tick == 9 {
+            for m in MEMBERS {
+                cluster.restart_member(m).expect("restart handled");
+            }
+        }
+    });
+
+    assert!(
+        failed_drains > 0,
+        "drains during the outage must surface typed failures, not block"
+    );
+    // Redelivery after recovery: nothing lost, nothing duplicated,
+    // bit-identical to the undisturbed run.
+    assert_eq!(failed_run, oracle, "outage redelivery changed prediction bits");
+    for (user, _) in USERS {
+        assert_eq!(
+            pump.pending_maps_of(user),
+            0,
+            "{user} left maps undelivered after recovery"
+        );
+        assert!(
+            pump.delivered_through(user) > 0,
+            "{user} never had a delivery acknowledged"
+        );
+    }
+}
